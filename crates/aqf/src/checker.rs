@@ -1,0 +1,152 @@
+//! Exhaustive structural invariant checking, used by tests after every
+//! mutation and available to users behind a debug call.
+
+use crate::filter::AdaptiveQf;
+
+impl AdaptiveQf {
+    /// Validate every structural invariant of the table. O(total slots);
+    /// intended for tests and debugging, not production hot paths.
+    pub fn validate(&self) -> Result<(), String> {
+        let t = &self.t;
+        let err = |m: String| -> Result<(), String> { Err(m) };
+
+        // 1. Unused slots carry no metadata.
+        for i in 0..t.total {
+            if !t.used.get(i) {
+                if t.runends.get(i) {
+                    return err(format!("slot {i}: unused but runend set"));
+                }
+                if t.extensions.get(i) {
+                    return err(format!("slot {i}: unused but extension set"));
+                }
+            }
+        }
+        // 2. Occupied bits only on canonical slots, and imply a used slot.
+        for i in t.canonical..t.total {
+            if t.occupieds.get(i) {
+                return err(format!("slot {i}: occupied bit beyond canonical range"));
+            }
+        }
+
+        // 3. Global counts: one masked runend per occupied quotient.
+        let occupied_count = t.occupieds.count_ones();
+        let masked_runends = (0..t.total).filter(|&i| t.is_masked_runend(i)).count();
+        if occupied_count != masked_runends {
+            return err(format!(
+                "{occupied_count} occupied quotients but {masked_runends} masked runends"
+            ));
+        }
+
+        // 4. Walk clusters and check run structure.
+        let mut decoded_groups: u64 = 0;
+        let mut decoded_count: u64 = 0;
+        let mut i = 0usize;
+        let mut seen_occupied = 0usize;
+        while i < t.total {
+            if !t.used.get(i) {
+                i += 1;
+                continue;
+            }
+            let c = i;
+            let ce = t.used.next_zero(c).unwrap_or(t.total);
+            // Cluster starts must be canonical: first run's quotient == c.
+            if c >= t.canonical {
+                return err(format!("cluster start {c} beyond canonical slots"));
+            }
+            if !t.occupieds.get(c) {
+                return err(format!("cluster start {c} is not an occupied quotient"));
+            }
+            let mut cursor = c;
+            let mut prev_q: Option<usize> = None;
+            for q in c..ce {
+                if !t.occupieds.get(q) {
+                    continue;
+                }
+                seen_occupied += 1;
+                if let Some(pq) = prev_q {
+                    if pq >= q {
+                        return err(format!("runs out of quotient order at {q}"));
+                    }
+                }
+                prev_q = Some(q);
+                if cursor < q {
+                    return err(format!("run of quotient {q} starts before its canonical slot"));
+                }
+                // Decode this run's groups.
+                let mut prev_rem: Option<u64> = None;
+                loop {
+                    if cursor >= ce {
+                        return err(format!("run of quotient {q} overruns its cluster"));
+                    }
+                    if t.extensions.get(cursor) {
+                        return err(format!("group start {cursor} has extension bit"));
+                    }
+                    let ext = t.group_extent(cursor);
+                    if ext.end > ce {
+                        return err(format!("group at {cursor} spills past cluster end {ce}"));
+                    }
+                    let rem = t.remainder_at(cursor);
+                    if let Some(pr) = prev_rem {
+                        if rem < pr {
+                            return err(format!(
+                                "remainders out of order in run {q} at slot {cursor}"
+                            ));
+                        }
+                    }
+                    prev_rem = Some(rem);
+                    // Counter digits: most significant digit nonzero.
+                    if ext.ctr_len() > 0 && t.slots.get(ext.end - 1) == 0 {
+                        return err(format!("group at {cursor}: zero top counter digit"));
+                    }
+                    decoded_groups += 1;
+                    decoded_count += self.group_count(&ext);
+                    let was_end = t.is_masked_runend(cursor);
+                    cursor = ext.end;
+                    if was_end {
+                        break;
+                    }
+                }
+            }
+            if cursor != ce {
+                return err(format!(
+                    "cluster [{c},{ce}) not fully consumed by runs (cursor {cursor})"
+                ));
+            }
+            i = ce;
+        }
+        if seen_occupied != occupied_count {
+            return err(format!(
+                "decoded {seen_occupied} occupied quotients, bitmap says {occupied_count}"
+            ));
+        }
+
+        // 5. Cached statistics agree with the structure.
+        if decoded_groups != self.groups {
+            return err(format!(
+                "groups stat {} != decoded {}",
+                self.groups, decoded_groups
+            ));
+        }
+        if decoded_count != self.total_count {
+            return err(format!(
+                "total_count stat {} != decoded {}",
+                self.total_count, decoded_count
+            ));
+        }
+        let used_count = t.count_used() as u64;
+        if used_count != self.slots_used {
+            return err(format!(
+                "slots_used stat {} != used bits {}",
+                self.slots_used, used_count
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panic (with the violation message) if any invariant is broken.
+    pub fn assert_valid(&self) {
+        if let Err(m) = self.validate() {
+            panic!("AdaptiveQf invariant violated: {m}");
+        }
+    }
+}

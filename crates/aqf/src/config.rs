@@ -1,0 +1,141 @@
+//! Filter configuration and errors.
+
+/// Errors returned by filter operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterError {
+    /// The table has no free slot left (including the overflow region).
+    Full,
+    /// Configuration parameters are out of range.
+    InvalidConfig(&'static str),
+    /// The referenced fingerprint no longer exists (e.g. stale hit handle).
+    NotFound,
+    /// `adapt` was asked to separate two keys with identical hash strings
+    /// within the supported extension budget (astronomically unlikely for
+    /// distinct keys; always the case for `stored_key == query_key`).
+    CannotSeparate,
+}
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterError::Full => write!(f, "filter is full"),
+            FilterError::InvalidConfig(m) => write!(f, "invalid filter config: {m}"),
+            FilterError::NotFound => write!(f, "fingerprint not found"),
+            FilterError::CannotSeparate => {
+                write!(f, "cannot separate identical hash strings")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// Configuration for an [`crate::AdaptiveQf`].
+///
+/// A filter has `2^qbits` canonical slots of `rbits` remainder bits each
+/// (plus `value_bits` of per-fingerprint payload, used by the yes/no-list
+/// mode). The target false-positive rate on uniform queries is `2^-rbits`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AqfConfig {
+    /// log2 of the number of canonical slots.
+    pub qbits: u32,
+    /// Remainder bits per slot; the base false-positive rate is `2^-rbits`.
+    pub rbits: u32,
+    /// Extra payload bits stored with each fingerprint (0 for a plain
+    /// filter, 1 for yes/no-list mode).
+    pub value_bits: u32,
+    /// Hash seed. Rebuilding with a fresh seed discards adaptivity
+    /// information (paper §4.4).
+    pub seed: u64,
+    /// Extra non-canonical slots appended after slot `2^qbits - 1` so runs
+    /// near the end of the table can spill. `None` picks
+    /// `max(64, 10 * sqrt(2^qbits))` like the CQF.
+    pub overflow_slots: Option<usize>,
+}
+
+impl AqfConfig {
+    /// Config with `2^qbits` slots and `rbits` remainder bits.
+    pub fn new(qbits: u32, rbits: u32) -> Self {
+        Self {
+            qbits,
+            rbits,
+            value_bits: 0,
+            seed: 0,
+            overflow_slots: None,
+        }
+    }
+
+    /// Set the hash seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set per-fingerprint payload bits.
+    pub fn with_value_bits(mut self, value_bits: u32) -> Self {
+        self.value_bits = value_bits;
+        self
+    }
+
+    /// Smallest config that can hold `n` items at `load` (e.g. 0.9) with
+    /// false-positive rate `2^-rbits`.
+    pub fn for_capacity(n: usize, load: f64, rbits: u32) -> Self {
+        assert!(load > 0.0 && load <= 1.0);
+        let slots = (n as f64 / load).ceil().max(64.0) as usize;
+        let qbits = slots.next_power_of_two().trailing_zeros();
+        Self::new(qbits, rbits)
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), FilterError> {
+        if self.qbits == 0 || self.qbits > 40 {
+            return Err(FilterError::InvalidConfig("qbits must be 1..=40"));
+        }
+        if self.rbits == 0 || self.rbits > 32 {
+            return Err(FilterError::InvalidConfig("rbits must be 1..=32"));
+        }
+        if self.qbits + self.rbits > 64 {
+            return Err(FilterError::InvalidConfig("qbits + rbits must be <= 64"));
+        }
+        if self.rbits + self.value_bits > 60 {
+            return Err(FilterError::InvalidConfig("rbits + value_bits too large"));
+        }
+        Ok(())
+    }
+
+    /// Number of canonical slots.
+    pub fn canonical_slots(&self) -> usize {
+        1usize << self.qbits
+    }
+
+    /// Total physical slots including the overflow region.
+    pub fn total_slots(&self) -> usize {
+        let n = self.canonical_slots();
+        let overflow = self
+            .overflow_slots
+            .unwrap_or_else(|| (10.0 * (n as f64).sqrt()) as usize)
+            .max(64);
+        n + overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_ranges() {
+        assert!(AqfConfig::new(10, 9).validate().is_ok());
+        assert!(AqfConfig::new(0, 9).validate().is_err());
+        assert!(AqfConfig::new(10, 0).validate().is_err());
+        assert!(AqfConfig::new(60, 9).validate().is_err());
+        assert!(AqfConfig::new(40, 32).validate().is_err());
+    }
+
+    #[test]
+    fn capacity_sizing() {
+        let c = AqfConfig::for_capacity(900, 0.9, 9);
+        assert_eq!(c.qbits, 10);
+        assert!(c.total_slots() >= 1024 + 64);
+    }
+}

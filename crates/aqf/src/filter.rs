@@ -1,0 +1,533 @@
+//! The AdaptiveQF itself: insert / query / adapt / delete / count.
+//!
+//! See the crate docs for the big picture. Encoding invariants:
+//!
+//! - runs are stored in quotient order; within a run, fingerprint groups are
+//!   sorted by remainder (miniruns are contiguous); within a minirun,
+//!   groups appear in insertion order (which the reverse map mirrors),
+//! - a group = remainder slot, then extension slots, then counter slots,
+//! - the masked runend bit sits on the *remainder slot* of the run's last
+//!   group; that group's extras physically trail the runend mark,
+//! - `count = 1 + Σ digit_k · B^k` over counter slots (little-endian,
+//!   `B = 2^(rbits + value_bits)`); the most significant digit is nonzero.
+
+use aqf_bits::word::bitmask;
+
+use crate::config::{AqfConfig, FilterError};
+use crate::fingerprint::{split_minirun_id, Fingerprint};
+use crate::table::{GroupExtent, Table};
+
+/// Maximum extension chunks a single adapt call may add before concluding
+/// the two keys have identical hash strings.
+const MAX_ADAPT_CHUNKS: usize = 64;
+
+/// A positive query: which minirun matched, and the rank within it.
+///
+/// The pair `(minirun_id, rank)` is exactly what the paper's reverse map is
+/// keyed on: look up the minirun's key list and take the `rank`-th entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hit {
+    /// Quotient and remainder packed as `quotient << rbits | remainder`.
+    pub minirun_id: u64,
+    /// 0-based position of the matched fingerprint within its minirun.
+    pub rank: u32,
+    /// Number of extension chunks the matched fingerprint currently has.
+    pub ext_chunks: u32,
+}
+
+/// Result of a membership query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Definitely not in the set.
+    Negative,
+    /// Possibly in the set; see [`Hit`] for the reverse-map coordinates.
+    Positive(Hit),
+}
+
+impl QueryResult {
+    /// True for [`QueryResult::Positive`].
+    #[inline]
+    pub fn is_positive(&self) -> bool {
+        matches!(self, QueryResult::Positive(_))
+    }
+}
+
+/// Result of an insert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Minirun the fingerprint landed in.
+    pub minirun_id: u64,
+    /// Rank of the fingerprint within its minirun.
+    pub rank: u32,
+    /// True if an existing identical fingerprint's counter was bumped
+    /// instead of storing a new group.
+    pub duplicate: bool,
+}
+
+/// Result of a successful delete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeleteOutcome {
+    /// Minirun the deleted fingerprint was in.
+    pub minirun_id: u64,
+    /// Rank the fingerprint had within its minirun.
+    pub rank: u32,
+    /// True if the whole group was removed (count reached zero); false if
+    /// only the counter was decremented.
+    pub removed_group: bool,
+}
+
+/// One logical fingerprint entry, as yielded by enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Canonical slot.
+    pub quotient: usize,
+    /// Base remainder.
+    pub remainder: u64,
+    /// Extension chunks, in order.
+    pub extensions: Vec<u64>,
+    /// Multiset count (>= 1).
+    pub count: u64,
+    /// Payload value (0 unless `value_bits > 0`).
+    pub value: u64,
+}
+
+/// Operation counters, useful for experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AqfStats {
+    /// Number of `adapt` calls that extended a fingerprint.
+    pub adaptations: u64,
+    /// Total extension slots currently in the table.
+    pub extension_slots: u64,
+    /// Total counter slots currently in the table.
+    pub counter_slots: u64,
+}
+
+/// The AdaptiveQF (paper §3–4): a counting quotient filter that corrects
+/// reported false positives by extending fingerprints in place.
+#[derive(Clone, Debug)]
+pub struct AdaptiveQf {
+    pub(crate) cfg: AqfConfig,
+    pub(crate) t: Table,
+    /// Distinct fingerprint groups stored.
+    pub(crate) groups: u64,
+    /// Total multiset count.
+    pub(crate) total_count: u64,
+    /// Physical slots in use.
+    pub(crate) slots_used: u64,
+    pub(crate) stats: AqfStats,
+}
+
+impl AdaptiveQf {
+    /// Create an empty filter.
+    pub fn new(cfg: AqfConfig) -> Result<Self, FilterError> {
+        cfg.validate()?;
+        let canonical = cfg.canonical_slots();
+        let total = cfg.total_slots();
+        Ok(Self {
+            cfg,
+            t: Table::new(canonical, total, cfg.rbits, cfg.value_bits),
+            groups: 0,
+            total_count: 0,
+            slots_used: 0,
+            stats: AqfStats::default(),
+        })
+    }
+
+    /// The filter's configuration.
+    #[inline]
+    pub fn config(&self) -> &AqfConfig {
+        &self.cfg
+    }
+
+    /// Fingerprint decomposition of `key` under this filter's geometry.
+    #[inline]
+    pub fn fingerprint(&self, key: u64) -> Fingerprint {
+        Fingerprint::new(key, self.cfg.seed, self.cfg.qbits, self.cfg.rbits)
+    }
+
+    /// Total multiset size (inserts minus deletes).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.total_count
+    }
+
+    /// True if nothing is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total_count == 0
+    }
+
+    /// Number of distinct fingerprint groups stored.
+    #[inline]
+    pub fn distinct_fingerprints(&self) -> u64 {
+        self.groups
+    }
+
+    /// Physical slots in use (remainders + extensions + counters).
+    #[inline]
+    pub fn slots_in_use(&self) -> u64 {
+        self.slots_used
+    }
+
+    /// Used slots over canonical slots — the paper's load factor.
+    #[inline]
+    pub fn load_factor(&self) -> f64 {
+        self.slots_used as f64 / self.t.canonical as f64
+    }
+
+    /// Operation statistics.
+    #[inline]
+    pub fn stats(&self) -> AqfStats {
+        self.stats
+    }
+
+    /// Total bytes of heap memory held by the filter table.
+    pub fn size_in_bytes(&self) -> usize {
+        self.t.heap_size_bytes()
+    }
+
+    /// Bits of table space per stored fingerprint group.
+    pub fn bits_per_item(&self) -> f64 {
+        if self.groups == 0 {
+            return 0.0;
+        }
+        (self.size_in_bytes() * 8) as f64 / self.groups as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    /// Insert `key`, always storing a new fingerprint group at the end of
+    /// its minirun (paper Fig. 2c) — even if an identical fingerprint
+    /// already exists, because only the reverse map can tell whether the
+    /// keys are actually equal. The returned rank is where the reverse map
+    /// must record `key`.
+    pub fn insert(&mut self, key: u64) -> Result<InsertOutcome, FilterError> {
+        self.insert_impl(key, 0, false)
+    }
+
+    /// [`Self::insert`] with a payload value tag
+    /// (requires `value < 2^value_bits`; used by the yes/no-list mode).
+    pub fn insert_with_value(
+        &mut self,
+        key: u64,
+        value: u64,
+    ) -> Result<InsertOutcome, FilterError> {
+        self.insert_impl(key, value, false)
+    }
+
+    /// Insert with CQF multiset semantics: if an existing fingerprint
+    /// exactly matches `key`'s hash prefix, bump its variable-length
+    /// counter instead of storing a new group (`duplicate = true` in the
+    /// outcome). Note this conflates distinct keys whose hash prefixes
+    /// collide — fine for pure counting workloads, wrong for systems that
+    /// need per-key reverse-map entries.
+    pub fn insert_counting(&mut self, key: u64) -> Result<InsertOutcome, FilterError> {
+        self.insert_impl(key, 0, true)
+    }
+
+    fn insert_impl(
+        &mut self,
+        key: u64,
+        value: u64,
+        counting: bool,
+    ) -> Result<InsertOutcome, FilterError> {
+        debug_assert!(value <= bitmask(self.cfg.value_bits));
+        let fp = self.fingerprint(key);
+        let hq = fp.quotient();
+        let hr = fp.remainder();
+        let slot_val = (value << self.cfg.rbits) | hr;
+        let id = fp.minirun_id();
+
+        // Fast path: the canonical slot is free.
+        if !self.t.used.get(hq) {
+            self.t.write_free_slot(hq, slot_val, false, true);
+            self.t.occupieds.set(hq);
+            self.note_new_group(1);
+            return Ok(InsertOutcome { minirun_id: id, rank: 0, duplicate: false });
+        }
+
+        // New run for a previously-unoccupied quotient.
+        if !self.t.occupieds.get(hq) {
+            let pos = self.t.new_run_pos(hq);
+            self.t.insert_slot_at(pos, slot_val, false, true)?;
+            self.t.occupieds.set(hq);
+            self.note_new_group(1);
+            return Ok(InsertOutcome { minirun_id: id, rank: 0, duplicate: false });
+        }
+
+        // Existing run: walk its groups (sorted by remainder).
+        let (rs, re) = self.t.run_range(hq);
+        let mut g = rs;
+        let mut rank: u32 = 0;
+        loop {
+            let ext = self.t.group_extent(g);
+            let grem = self.t.remainder_at(g);
+            if grem == hr {
+                if counting && self.group_matches_fp(&ext, &fp) {
+                    self.bump_counter(ext)?;
+                    self.total_count += 1;
+                    return Ok(InsertOutcome { minirun_id: id, rank, duplicate: true });
+                }
+                rank += 1;
+            } else if grem > hr {
+                // Insert directly before g (covers both "new smallest
+                // minirun" and "append after my minirun" because equal
+                // remainders are contiguous).
+                self.t.insert_slot_at(g, slot_val, false, false)?;
+                self.note_new_group(1);
+                return Ok(InsertOutcome { minirun_id: id, rank, duplicate: false });
+            }
+            if g == re {
+                // Append after the run's last group; the new fingerprint
+                // becomes the run's new masked runend.
+                let pos = ext.end;
+                self.t.insert_slot_at(pos, slot_val, false, true)?;
+                self.t.runends.clear(re);
+                self.note_new_group(1);
+                return Ok(InsertOutcome { minirun_id: id, rank, duplicate: false });
+            }
+            g = ext.end;
+        }
+    }
+
+    #[inline]
+    fn note_new_group(&mut self, slots: u64) {
+        self.groups += 1;
+        self.total_count += 1;
+        self.slots_used += slots;
+    }
+
+    /// True if every stored extension chunk of the group equals the
+    /// corresponding chunk of `fp`'s hash string.
+    fn group_matches_fp(&self, ext: &GroupExtent, fp: &Fingerprint) -> bool {
+        for (i, s) in (ext.start + 1..ext.ext_end).enumerate() {
+            if self.t.remainder_at(s) != fp.chunk(i as u64) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Increment the group's counter by one, carrying across digit slots.
+    fn bump_counter(&mut self, ext: GroupExtent) -> Result<(), FilterError> {
+        let digit_max = bitmask(self.cfg.rbits + self.cfg.value_bits);
+        let mut i = ext.ext_end;
+        while i < ext.end && self.t.slots.get(i) == digit_max {
+            i += 1;
+        }
+        if i == ext.end {
+            // All existing digits saturated (or none): append a new most
+            // significant digit of 1, then zero the lower digits.
+            self.t.insert_slot_at(ext.end, 1, true, true)?;
+            self.slots_used += 1;
+            self.stats.counter_slots += 1;
+            for j in ext.ext_end..ext.end {
+                self.t.slots.set(j, 0);
+            }
+        } else {
+            let d = self.t.slots.get(i);
+            self.t.slots.set(i, d + 1);
+            for j in ext.ext_end..i {
+                self.t.slots.set(j, 0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode a group's multiset count.
+    pub(crate) fn group_count(&self, ext: &GroupExtent) -> u64 {
+        let width = self.cfg.rbits + self.cfg.value_bits;
+        let mut count: u64 = 1;
+        for (k, s) in (ext.ext_end..ext.end).enumerate() {
+            let d = self.t.slots.get(s);
+            count = count.saturating_add(d.saturating_mul(1u64.checked_shl(width * k as u32).unwrap_or(u64::MAX)));
+        }
+        count
+    }
+
+    // ------------------------------------------------------------------
+    // Query
+    // ------------------------------------------------------------------
+
+    /// Membership query. Returns the *first* matching fingerprint's
+    /// coordinates; after an adaptation the next match (if any) surfaces.
+    pub fn query(&self, key: u64) -> QueryResult {
+        let fp = self.fingerprint(key);
+        match self.find_first_match(&fp) {
+            Some((_, hit)) => QueryResult::Positive(hit),
+            None => QueryResult::Negative,
+        }
+    }
+
+    /// Convenience wrapper: is `key` possibly present?
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.query(key).is_positive()
+    }
+
+    /// Query returning the matched fingerprint's payload value
+    /// (yes/no-list mode).
+    pub fn query_value(&self, key: u64) -> Option<(Hit, u64)> {
+        let fp = self.fingerprint(key);
+        self.find_first_match(&fp)
+            .map(|(ext, hit)| (hit, self.t.value_at(ext.start)))
+    }
+
+    /// Multiset count of the first fingerprint matching `key` (0 if none).
+    pub fn count(&self, key: u64) -> u64 {
+        let fp = self.fingerprint(key);
+        match self.find_first_match(&fp) {
+            Some((ext, _)) => self.group_count(&ext),
+            None => 0,
+        }
+    }
+
+    /// Walk `fp`'s run and return the first group whose stored fingerprint
+    /// is a prefix of `fp`'s hash string.
+    pub(crate) fn find_first_match(&self, fp: &Fingerprint) -> Option<(GroupExtent, Hit)> {
+        let hq = fp.quotient();
+        if !self.t.occupieds.get(hq) {
+            return None;
+        }
+        let hr = fp.remainder();
+        let (rs, re) = self.t.run_range(hq);
+        let mut g = rs;
+        let mut rank: u32 = 0;
+        loop {
+            let ext = self.t.group_extent(g);
+            let grem = self.t.remainder_at(g);
+            if grem == hr {
+                if self.group_matches_fp(&ext, fp) {
+                    let hit = Hit {
+                        minirun_id: fp.minirun_id(),
+                        rank,
+                        ext_chunks: ext.ext_len() as u32,
+                    };
+                    return Some((ext, hit));
+                }
+                rank += 1;
+            } else if grem > hr {
+                return None;
+            }
+            if g == re {
+                return None;
+            }
+            g = ext.end;
+        }
+    }
+
+    /// Locate the `rank`-th group of a minirun by its ID.
+    pub(crate) fn locate_group(&self, minirun_id: u64, rank: u32) -> Option<GroupExtent> {
+        let (hq, hr) = split_minirun_id(minirun_id, self.cfg.rbits);
+        if hq >= self.t.canonical || !self.t.occupieds.get(hq) {
+            return None;
+        }
+        let (rs, re) = self.t.run_range(hq);
+        let mut g = rs;
+        let mut seen: u32 = 0;
+        loop {
+            let ext = self.t.group_extent(g);
+            let grem = self.t.remainder_at(g);
+            if grem == hr {
+                if seen == rank {
+                    return Some(ext);
+                }
+                seen += 1;
+            } else if grem > hr {
+                return None;
+            }
+            if g == re {
+                return None;
+            }
+            g = ext.end;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Adapt
+    // ------------------------------------------------------------------
+
+    /// Correct a reported false positive (paper §4.2).
+    ///
+    /// `hit` is the result of the offending query, `stored_key` is the
+    /// original key the reverse map holds at `(hit.minirun_id, hit.rank)`,
+    /// and `query_key` is the key that falsely matched. The stored
+    /// fingerprint is extended by whole `r`-bit chunks of `stored_key`'s
+    /// hash string until it stops being a prefix of `query_key`'s.
+    ///
+    /// Returns the number of extension chunks added.
+    pub fn adapt(
+        &mut self,
+        hit: &Hit,
+        stored_key: u64,
+        query_key: u64,
+    ) -> Result<u32, FilterError> {
+        let ext = self.locate_group(hit.minirun_id, hit.rank).ok_or(FilterError::NotFound)?;
+        let sfp = self.fingerprint(stored_key);
+        debug_assert_eq!(sfp.minirun_id(), hit.minirun_id, "stored key mismatch");
+        debug_assert!(
+            self.group_matches_fp(&ext, &sfp),
+            "stored key does not match the fingerprint being adapted"
+        );
+        let qfp = self.fingerprint(query_key);
+        let len = ext.ext_len() as u64;
+        let start = ext.start;
+
+        // Decide how many chunks are needed *before* touching the table so
+        // the operation is atomic: either the fingerprint is fully
+        // separated from `query_key`, or nothing changes.
+        let mut needed: usize = 0;
+        loop {
+            if needed >= MAX_ADAPT_CHUNKS {
+                return Err(FilterError::CannotSeparate);
+            }
+            let i = len + needed as u64;
+            needed += 1;
+            if sfp.chunk(i) != qfp.chunk(i) {
+                break;
+            }
+        }
+        let free_after = (self.t.total - start) - self.t.used.count_range(start, self.t.total);
+        if free_after < needed {
+            return Err(FilterError::Full);
+        }
+        for k in 0..needed {
+            let i = len + k as u64;
+            self.t
+                .insert_slot_at(start + 1 + i as usize, sfp.chunk(i), true, false)
+                .expect("capacity was checked above");
+        }
+        self.slots_used += needed as u64;
+        self.stats.extension_slots += needed as u64;
+        self.stats.adaptations += 1;
+        Ok(needed as u32)
+    }
+
+    /// Overwrite the payload value of the fingerprint at `hit`
+    /// (yes/no-list mode: move a key between lists without reinserting).
+    pub fn set_value(&mut self, hit: &Hit, value: u64) -> Result<(), FilterError> {
+        debug_assert!(value <= bitmask(self.cfg.value_bits));
+        let ext = self.locate_group(hit.minirun_id, hit.rank).ok_or(FilterError::NotFound)?;
+        let rem = self.t.remainder_at(ext.start);
+        self.t.slots.set(ext.start, (value << self.cfg.rbits) | rem);
+        Ok(())
+    }
+
+    /// Extend the fingerprint at `hit` so it no longer matches `query_key`,
+    /// resolving the stored key through the provided lookup (convenience
+    /// for reverse-map integrations).
+    pub fn adapt_with<F>(
+        &mut self,
+        hit: &Hit,
+        query_key: u64,
+        lookup: F,
+    ) -> Result<u32, FilterError>
+    where
+        F: FnOnce(u64, u32) -> Option<u64>,
+    {
+        let stored = lookup(hit.minirun_id, hit.rank).ok_or(FilterError::NotFound)?;
+        self.adapt(hit, stored, query_key)
+    }
+}

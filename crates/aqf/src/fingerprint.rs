@@ -1,0 +1,110 @@
+//! Fingerprint extraction from a key's infinite hash string.
+//!
+//! The AdaptiveQF views `h(x)` as an unbounded bit string (see
+//! [`aqf_bits::hash::HashSeq`]). The first `q` bits are the *quotient*, the
+//! next `r` bits the *remainder*, and every further `r`-bit chunk is a
+//! potential *extension*. Adaptation appends extension chunks until the
+//! stored fingerprint stops being a prefix of the offending query's hash
+//! string.
+
+use aqf_bits::hash::HashSeq;
+
+/// A key's fingerprint decomposition under a given filter geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct Fingerprint {
+    seq: HashSeq,
+    qbits: u32,
+    rbits: u32,
+}
+
+impl Fingerprint {
+    /// Decompose `key` under `seed` for a `(qbits, rbits)` filter.
+    #[inline]
+    pub fn new(key: u64, seed: u64, qbits: u32, rbits: u32) -> Self {
+        Self {
+            seq: HashSeq::new(key, seed),
+            qbits,
+            rbits,
+        }
+    }
+
+    /// The canonical slot index: the hash string's *high-order* `q` bits
+    /// (MSB-first positions `[0, q)`), as in the quotient filter.
+    #[inline]
+    pub fn quotient(&self) -> usize {
+        self.seq.bits_msb(0, self.qbits) as usize
+    }
+
+    /// The base remainder: MSB-first hash bits `[q, q+r)`.
+    #[inline]
+    pub fn remainder(&self) -> u64 {
+        self.seq.bits_msb(self.qbits as u64, self.rbits)
+    }
+
+    /// Extension chunk `i` (0-based): MSB-first hash bits
+    /// `[q + (i+1)r, q + (i+2)r)`.
+    #[inline]
+    pub fn chunk(&self, i: u64) -> u64 {
+        let start = self.qbits as u64 + self.rbits as u64 * (i + 1);
+        self.seq.bits_msb(start, self.rbits)
+    }
+
+    /// The underlying hash bit string.
+    #[inline]
+    pub fn seq(&self) -> &HashSeq {
+        &self.seq
+    }
+
+    /// The minirun ID: quotient and remainder packed into one `u64`
+    /// (`quotient << rbits | remainder`) — the fixed part of a fingerprint
+    /// that the reverse map is keyed on.
+    #[inline]
+    pub fn minirun_id(&self) -> u64 {
+        ((self.quotient() as u64) << self.rbits) | self.remainder()
+    }
+}
+
+/// Unpack a minirun ID back into (quotient, remainder).
+#[inline]
+pub fn split_minirun_id(id: u64, rbits: u32) -> (usize, u64) {
+    ((id >> rbits) as usize, id & aqf_bits::word::bitmask(rbits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_is_prefix_consistent() {
+        let fp = Fingerprint::new(12345, 7, 10, 9);
+        let seq = HashSeq::new(12345, 7);
+        assert_eq!(fp.quotient() as u64, seq.bits_msb(0, 10));
+        assert_eq!(fp.remainder(), seq.bits_msb(10, 9));
+        assert_eq!(fp.chunk(0), seq.bits_msb(19, 9));
+        assert_eq!(fp.chunk(1), seq.bits_msb(28, 9));
+        // Minirun ID is the numeric value of the 19-bit hash prefix.
+        assert_eq!(fp.minirun_id(), seq.bits_msb(0, 19));
+    }
+
+    #[test]
+    fn minirun_id_roundtrip() {
+        for key in [0u64, 1, 999, u64::MAX] {
+            let fp = Fingerprint::new(key, 3, 12, 9);
+            let (q, r) = split_minirun_id(fp.minirun_id(), 9);
+            assert_eq!(q, fp.quotient());
+            assert_eq!(r, fp.remainder());
+        }
+    }
+
+    #[test]
+    fn chunks_are_seed_sensitive() {
+        let a = Fingerprint::new(42, 1, 10, 9);
+        let b = Fingerprint::new(42, 2, 10, 9);
+        // With overwhelming probability at least one of these differs.
+        assert!(
+            a.quotient() != b.quotient()
+                || a.remainder() != b.remainder()
+                || a.chunk(0) != b.chunk(0)
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! # AdaptiveQF — a practical, strongly adaptive quotient filter
+//!
+//! Rust implementation of *Adaptive Quotient Filters* (Wen et al., SIGMOD
+//! 2024). A filter answers approximate membership queries with a bounded
+//! false-positive rate ε. A **strongly adaptive** filter additionally fixes
+//! every reported false positive so the *same* query cannot fail twice, and
+//! a **monotonically** adaptive filter never un-fixes one. The AdaptiveQF
+//! achieves both by storing variable-length fingerprints in a counting
+//! quotient filter: on a reported false positive, the colliding
+//! fingerprint is extended in place by `r`-bit chunks of its key's hash
+//! string until the collision disappears.
+//!
+//! ## Core types
+//!
+//! - [`AdaptiveQf`] — the filter: [`AdaptiveQf::insert`],
+//!   [`AdaptiveQf::query`], [`AdaptiveQf::adapt`], [`AdaptiveQf::delete`],
+//!   counting, merging, bulk build, enumeration.
+//! - [`AqfConfig`] — geometry: `2^qbits` slots, `rbits`-bit remainders
+//!   (ε ≈ 2^-rbits), optional payload bits for yes/no lists.
+//! - [`Hit`] — coordinates of a positive query: `(minirun_id, rank)`,
+//!   the reverse-map key the paper's design revolves around.
+//! - [`YesNoFilter`] — the dynamic yes/no-list filter of paper §4.3.
+//! - [`ShardedAqf`] — thread-parallel partitioned variant (paper §6.3,
+//!   Fig. 4).
+//!
+//! ## Example
+//!
+//! ```
+//! use aqf::{AdaptiveQf, AqfConfig, QueryResult};
+//!
+//! let mut f = AdaptiveQf::new(AqfConfig::new(8, 9)).unwrap();
+//! f.insert(1).unwrap();
+//! assert!(f.contains(1));
+//!
+//! // The application learns "key 2" was a false positive (its database
+//! // lookup missed) and tells the filter, which adapts:
+//! if let QueryResult::Positive(hit) = f.query(2) {
+//!     f.adapt(&hit, 1, 2).unwrap();
+//!     assert!(!f.contains(2)); // fixed, forever
+//!     assert!(f.contains(1));  // never loses a true positive
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+pub mod config;
+pub mod fingerprint;
+mod filter;
+mod merge;
+mod rebuild;
+mod sharded;
+mod table;
+mod yesno;
+
+pub use config::{AqfConfig, FilterError};
+pub use filter::{AdaptiveQf, AqfStats, DeleteOutcome, Entry, Hit, InsertOutcome, QueryResult};
+
+pub use sharded::ShardedAqf;
+pub use yesno::{StaticYesNo, YesNoFilter, YesNoResponse};

@@ -1,0 +1,315 @@
+//! Cluster decoding and rebuilding: deletes, enumeration, and the
+//! delete-time fingerprint shortening of paper §4.3.
+//!
+//! Deletes in a quotient filter must re-compact the cluster so that later
+//! runs slide back toward their canonical slots. Rather than an in-place
+//! shift with many edge cases (runend relocation, extras, counters), we
+//! decode the whole cluster into its logical runs, edit them, and re-place
+//! them with the Robin Hood rule (`start = max(quotient, cursor)`).
+//! Clusters are short (expected O(1/(1-α)²) slots), so this is cheap.
+
+use crate::config::FilterError;
+use crate::filter::{AdaptiveQf, DeleteOutcome, Entry};
+use crate::fingerprint::Fingerprint;
+
+/// A decoded fingerprint group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct GroupData {
+    /// Raw remainder-slot contents (remainder | value << rbits).
+    pub rem_slot: u64,
+    /// Extension chunk values, in order.
+    pub exts: Vec<u64>,
+    /// Multiset count (>= 1).
+    pub count: u64,
+}
+
+/// A decoded run: one occupied quotient and its groups in table order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct RunData {
+    pub quotient: usize,
+    pub groups: Vec<GroupData>,
+}
+
+impl AdaptiveQf {
+    /// Decode the cluster starting at `c` (a cluster start). Returns the
+    /// runs and the cluster's end slot (exclusive).
+    pub(crate) fn decode_cluster(&self, c: usize) -> (Vec<RunData>, usize) {
+        debug_assert!(self.t.used.get(c));
+        debug_assert!(c == 0 || !self.t.used.get(c - 1));
+        let ce = self.t.used.next_zero(c).unwrap_or(self.t.total);
+        let width = self.cfg.rbits + self.cfg.value_bits;
+        let mut runs = Vec::new();
+        let mut cursor = c;
+        for q in c..ce {
+            if !self.t.occupieds.get(q) {
+                continue;
+            }
+            let mut groups = Vec::new();
+            loop {
+                let ext = self.t.group_extent(cursor);
+                let rem_slot = self.t.slots.get(cursor);
+                let exts: Vec<u64> =
+                    (ext.start + 1..ext.ext_end).map(|s| self.t.slots.get(s)).collect();
+                let mut count: u64 = 1;
+                for (k, s) in (ext.ext_end..ext.end).enumerate() {
+                    let d = self.t.slots.get(s);
+                    let shift = (width as usize * k).min(63) as u32;
+                    count = count.saturating_add(d.saturating_mul(
+                        1u64.checked_shl(shift).unwrap_or(u64::MAX),
+                    ));
+                }
+                let was_runend = self.t.is_masked_runend(ext.start);
+                groups.push(GroupData { rem_slot, exts, count });
+                cursor = ext.end;
+                if was_runend {
+                    break;
+                }
+            }
+            runs.push(RunData { quotient: q, groups });
+            if cursor >= ce {
+                break;
+            }
+        }
+        debug_assert_eq!(cursor, ce, "cluster decode must consume every slot");
+        (runs, ce)
+    }
+
+    /// Clear `[c, ce)` and re-place `runs` with the Robin Hood rule.
+    /// Runs with no groups left have their occupied bit cleared.
+    pub(crate) fn place_runs(&mut self, c: usize, ce: usize, runs: &[RunData]) {
+        let width = self.cfg.rbits + self.cfg.value_bits;
+        let digit_mask = aqf_bits::word::bitmask(width);
+        for i in c..ce {
+            self.t.clear_slot(i);
+        }
+        let mut cursor = c;
+        for run in runs {
+            if run.groups.is_empty() {
+                self.t.occupieds.clear(run.quotient);
+                continue;
+            }
+            let start = run.quotient.max(cursor);
+            let mut p = start;
+            let last = run.groups.len() - 1;
+            for (gi, g) in run.groups.iter().enumerate() {
+                self.t.write_free_slot(p, g.rem_slot, false, gi == last);
+                p += 1;
+                for &e in &g.exts {
+                    self.t.write_free_slot(p, e, true, false);
+                    p += 1;
+                }
+                let mut v = g.count - 1;
+                while v > 0 {
+                    self.t.write_free_slot(p, v & digit_mask, true, true);
+                    p += 1;
+                    v >>= width.min(63);
+                    if width >= 64 {
+                        v = 0;
+                    }
+                }
+            }
+            self.t.occupieds.set(run.quotient);
+            cursor = p;
+        }
+        debug_assert!(cursor <= ce, "rebuild must not grow the cluster");
+    }
+
+    // ------------------------------------------------------------------
+    // Delete
+    // ------------------------------------------------------------------
+
+    /// Delete one copy of `key`.
+    ///
+    /// Finds the first fingerprint whose stored prefix matches `key`'s hash
+    /// string, decrements its counter, and removes the group entirely when
+    /// the count reaches zero. Returns `Ok(None)` when no fingerprint
+    /// matches (the key was never inserted).
+    pub fn delete(&mut self, key: u64) -> Result<Option<DeleteOutcome>, FilterError> {
+        let fp = self.fingerprint(key);
+        self.delete_fp(&fp, false)
+    }
+
+    /// Delete one copy of `key` and *shorten* the remaining fingerprints
+    /// of its minirun (paper §4.3): with `f` gone, siblings extended to
+    /// stay distinguishable from `f` can drop those extensions.
+    ///
+    /// Each surviving sibling keeps just enough extension chunks to stay
+    /// distinguishable from every other survivor (`max pairwise lcp + 1`).
+    /// This reclaims slots but may also drop extensions that were fixing
+    /// *query* false positives — the same space-vs-adaptivity trade as the
+    /// §4.4 rebuild, so it is opt-in.
+    pub fn delete_shortening(&mut self, key: u64) -> Result<Option<DeleteOutcome>, FilterError> {
+        let fp = self.fingerprint(key);
+        self.delete_fp(&fp, true)
+    }
+
+    pub(crate) fn delete_fp(
+        &mut self,
+        fp: &Fingerprint,
+        shorten: bool,
+    ) -> Result<Option<DeleteOutcome>, FilterError> {
+        let Some((ext, hit)) = self.find_first_match(fp) else {
+            return Ok(None);
+        };
+        let count = self.group_count(&ext);
+        let hq = fp.quotient();
+        let c = self.t.cluster_start(hq);
+        let (mut runs, ce) = self.decode_cluster(c);
+
+        // Locate the run and group index for (hq, rank).
+        let run_idx = runs
+            .iter()
+            .position(|r| r.quotient == hq)
+            .expect("decoded cluster must contain the quotient's run");
+        let hr = fp.remainder();
+        let rbits = self.cfg.rbits;
+        let mask = aqf_bits::word::bitmask(rbits);
+        let mut seen = 0u32;
+        let mut group_idx = None;
+        for (gi, g) in runs[run_idx].groups.iter().enumerate() {
+            if g.rem_slot & mask == hr {
+                if seen == hit.rank {
+                    group_idx = Some(gi);
+                    break;
+                }
+                seen += 1;
+            }
+        }
+        let gi = group_idx.expect("rank must resolve inside the decoded run");
+
+        let removed_group = if count > 1 {
+            runs[run_idx].groups[gi].count -= 1;
+            false
+        } else {
+            let removed = runs[run_idx].groups.remove(gi);
+            self.groups -= 1;
+            self.slots_used -= 1 + removed.exts.len() as u64;
+            self.stats.extension_slots -= removed.exts.len() as u64;
+            true
+        };
+
+        // Recompute slot accounting for counter-digit changes by comparing
+        // encoded lengths before/after (cheap: only the touched group).
+        let before_digits = digits_len(count, self.cfg.rbits + self.cfg.value_bits);
+        let after_digits = if removed_group {
+            0
+        } else {
+            digits_len(count - 1, self.cfg.rbits + self.cfg.value_bits)
+        };
+        if !removed_group {
+            self.slots_used -= (before_digits - after_digits) as u64;
+            self.stats.counter_slots -= (before_digits - after_digits) as u64;
+        } else {
+            self.slots_used -= before_digits as u64;
+            self.stats.counter_slots -= before_digits as u64;
+        }
+
+        if shorten && removed_group {
+            self.shorten_minirun(&mut runs[run_idx], hr, mask);
+        }
+        self.place_runs(c, ce, &runs);
+        self.total_count -= 1;
+        Ok(Some(DeleteOutcome {
+            minirun_id: hit.minirun_id,
+            rank: hit.rank,
+            removed_group,
+        }))
+    }
+
+    /// Truncate each group in the minirun `hr` of `run` to the minimal
+    /// extension length that keeps all members pairwise distinguishable.
+    fn shorten_minirun(&mut self, run: &mut RunData, hr: u64, mask: u64) {
+        let idxs: Vec<usize> = run
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.rem_slot & mask == hr)
+            .map(|(i, _)| i)
+            .collect();
+        let lcp = |a: &[u64], b: &[u64]| -> usize {
+            a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+        };
+        let mut new_lens: Vec<usize> = Vec::with_capacity(idxs.len());
+        for &i in &idxs {
+            let gi = &run.groups[i];
+            let mut need = 0usize;
+            for &j in &idxs {
+                if i == j {
+                    continue;
+                }
+                let gj = &run.groups[j];
+                // Keep one chunk past the common prefix (when available) so
+                // i stays distinguishable from j.
+                need = need.max((lcp(&gi.exts, &gj.exts) + 1).min(gi.exts.len()));
+            }
+            new_lens.push(need);
+        }
+        for (&i, &len) in idxs.iter().zip(new_lens.iter()) {
+            let g = &mut run.groups[i];
+            let dropped = g.exts.len() - len;
+            g.exts.truncate(len);
+            self.slots_used -= dropped as u64;
+            self.stats.extension_slots -= dropped as u64;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Enumeration
+    // ------------------------------------------------------------------
+
+    /// Visit every stored fingerprint in table order
+    /// (sorted by quotient, then remainder, then insertion order).
+    pub fn for_each_entry<F: FnMut(Entry)>(&self, mut f: F) {
+        let rbits = self.cfg.rbits;
+        let mask = aqf_bits::word::bitmask(rbits);
+        let mut i = 0usize;
+        while i < self.t.total {
+            if !self.t.used.get(i) {
+                // Jump to the next used slot (a cluster start).
+                let mut j = i;
+                while j < self.t.total && !self.t.used.get(j) {
+                    j += 1;
+                }
+                if j >= self.t.total {
+                    break;
+                }
+                i = j;
+            }
+            let (runs, ce) = self.decode_cluster(i);
+            for run in &runs {
+                for g in &run.groups {
+                    f(Entry {
+                        quotient: run.quotient,
+                        remainder: g.rem_slot & mask,
+                        extensions: g.exts.clone(),
+                        count: g.count,
+                        value: g.rem_slot >> rbits,
+                    });
+                }
+            }
+            i = ce;
+        }
+    }
+
+    /// Collect every stored fingerprint (test/merge helper).
+    pub fn entries(&self) -> Vec<Entry> {
+        let mut v = Vec::with_capacity(self.groups as usize);
+        self.for_each_entry(|e| v.push(e));
+        v
+    }
+}
+
+/// Number of base-`2^width` digits used to encode `count` (count-1, with no
+/// most-significant zero digit).
+pub(crate) fn digits_len(count: u64, width: u32) -> usize {
+    let mut v = count - 1;
+    let mut n = 0;
+    while v > 0 {
+        n += 1;
+        if width >= 64 {
+            break;
+        }
+        v >>= width;
+    }
+    n
+}

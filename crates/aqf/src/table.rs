@@ -1,0 +1,254 @@
+//! The physical slot table of the AdaptiveQF.
+//!
+//! Layout (paper §3.2/§4.2): an array of `2^q + overflow` slots, each
+//! `rbits + value_bits` wide, with per-slot metadata bits:
+//!
+//! - `occupieds[i]` — some key's canonical slot is `i` (never shifts),
+//! - `runends[i]` — on a *remainder* slot: this is the last fingerprint of
+//!   its run; on an *extra* slot: this extra is a **counter** (vs extension),
+//! - `extensions[i]` — this slot is an extra (extension or counter) of the
+//!   preceding fingerprint,
+//! - `used[i]` — the slot physically holds data.
+//!
+//! The `used` bit vector is an implementation deviation from the paper's
+//! per-block offsets (see DESIGN.md §5): it costs one extra bit per slot and
+//! in exchange makes empty-slot search and cluster-start search direct bit
+//! scans, with no offset-maintenance edge cases around extension slots that
+//! trail a run's masked runend.
+//!
+//! *Masked runends* (`runends & !extensions`) are the true run terminators;
+//! a run's physical extent continues past its masked runend through the
+//! trailing extras of its final fingerprint.
+
+use aqf_bits::word::{bitmask, select_u64};
+use aqf_bits::{BitVec, PackedVec};
+
+use crate::config::FilterError;
+
+/// Physical extent of one fingerprint group:
+/// `[start]` remainder slot, `[start+1, ext_end)` extension slots,
+/// `[ext_end, end)` counter slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct GroupExtent {
+    pub start: usize,
+    pub ext_end: usize,
+    pub end: usize,
+}
+
+impl GroupExtent {
+    /// Number of extension slots.
+    #[inline]
+    pub fn ext_len(&self) -> usize {
+        self.ext_end - self.start - 1
+    }
+
+    /// Number of counter slots.
+    #[inline]
+    pub fn ctr_len(&self) -> usize {
+        self.end - self.ext_end
+    }
+
+    /// Total slots in the group.
+    #[inline]
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// The raw slotted table.
+#[derive(Clone, Debug)]
+pub(crate) struct Table {
+    pub occupieds: BitVec,
+    pub runends: BitVec,
+    pub extensions: BitVec,
+    pub used: BitVec,
+    pub slots: PackedVec,
+    /// Total physical slots (canonical + overflow).
+    pub total: usize,
+    /// Number of canonical slots (`2^qbits`).
+    pub canonical: usize,
+    pub rbits: u32,
+    #[allow(dead_code)] // geometry record; width lives in `slots`
+    pub value_bits: u32,
+}
+
+impl Table {
+    pub fn new(canonical: usize, total: usize, rbits: u32, value_bits: u32) -> Self {
+        Self {
+            occupieds: BitVec::new(total),
+            runends: BitVec::new(total),
+            extensions: BitVec::new(total),
+            used: BitVec::new(total),
+            slots: PackedVec::new(total, rbits + value_bits),
+            total,
+            canonical,
+            rbits,
+            value_bits,
+        }
+    }
+
+    /// Remainder stored in slot `i` (low `rbits` of the slot).
+    #[inline]
+    pub fn remainder_at(&self, i: usize) -> u64 {
+        self.slots.get(i) & bitmask(self.rbits)
+    }
+
+    /// Payload value stored in slot `i` (high `value_bits` of the slot).
+    #[inline]
+    pub fn value_at(&self, i: usize) -> u64 {
+        self.slots.get(i) >> self.rbits
+    }
+
+    /// True if `i` holds a masked runend: a remainder slot terminating a run.
+    #[inline]
+    pub fn is_masked_runend(&self, i: usize) -> bool {
+        self.runends.get(i) && !self.extensions.get(i)
+    }
+
+    /// First slot of the cluster containing used slot `x`.
+    #[inline]
+    pub fn cluster_start(&self, x: usize) -> usize {
+        debug_assert!(self.used.get(x));
+        match self.used.prev_zero(x) {
+            Some(z) => z + 1,
+            None => 0,
+        }
+    }
+
+    /// Position of the `k`-th (0-indexed) masked runend at or after `from`.
+    pub fn select_masked_runend_from(&self, from: usize, mut k: usize) -> Option<usize> {
+        let nwords = self.total.div_ceil(64);
+        let mut w = from >> 6;
+        if w >= nwords {
+            return None;
+        }
+        let mut word = (self.runends.word(w) & !self.extensions.word(w))
+            & !bitmask((from & 63) as u32);
+        loop {
+            let ones = word.count_ones() as usize;
+            if k < ones {
+                let pos = (w << 6) + select_u64(word, k as u32).unwrap() as usize;
+                return (pos < self.total).then_some(pos);
+            }
+            k -= ones;
+            w += 1;
+            if w >= nwords {
+                return None;
+            }
+            word = self.runends.word(w) & !self.extensions.word(w);
+        }
+    }
+
+    /// Extent of the fingerprint group whose remainder slot is `start`.
+    ///
+    /// Extras carry `extensions=1`; an extra with `runends=0` is an
+    /// extension chunk, with `runends=1` a counter digit. Extensions always
+    /// precede counters within a group.
+    pub fn group_extent(&self, start: usize) -> GroupExtent {
+        debug_assert!(!self.extensions.get(start), "group must start at a remainder slot");
+        let mut j = start + 1;
+        while j < self.total && self.extensions.get(j) && !self.runends.get(j) {
+            j += 1;
+        }
+        let ext_end = j;
+        while j < self.total && self.extensions.get(j) && self.runends.get(j) {
+            j += 1;
+        }
+        GroupExtent { start, ext_end, end: j }
+    }
+
+    /// The run of occupied quotient `q`: `(first_slot, masked_runend_slot)`.
+    ///
+    /// The run's physical extent is `first_slot ..= group_extent(masked
+    /// runend).end - 1`.
+    pub fn run_range(&self, q: usize) -> (usize, usize) {
+        debug_assert!(self.occupieds.get(q));
+        let c = self.cluster_start(q);
+        let t = self.occupieds.count_range(c, q + 1);
+        debug_assert!(t >= 1, "cluster start must be occupied");
+        let re = self
+            .select_masked_runend_from(c, t - 1)
+            .expect("every occupied quotient has a masked runend");
+        let rs = if t == 1 {
+            c
+        } else {
+            let pe = self
+                .select_masked_runend_from(c, t - 2)
+                .expect("preceding run must have a masked runend");
+            self.group_extent(pe).end
+        };
+        debug_assert!(rs <= re);
+        (rs, re)
+    }
+
+    /// Where a *new* run for currently-unoccupied quotient `q` would begin,
+    /// given `used[q]` is true (otherwise it trivially begins at `q`).
+    pub fn new_run_pos(&self, q: usize) -> usize {
+        debug_assert!(self.used.get(q) && !self.occupieds.get(q));
+        let c = self.cluster_start(q);
+        let t = self.occupieds.count_range(c, q + 1);
+        debug_assert!(t >= 1);
+        let pe = self
+            .select_masked_runend_from(c, t - 1)
+            .expect("cluster has runs");
+        let pos = self.group_extent(pe).end;
+        debug_assert!(pos > q);
+        pos
+    }
+
+    /// Insert one slot at `pos`, shifting `[pos, first_free)` right by one.
+    ///
+    /// `occupieds` never shifts (it indexes quotients, not slot contents).
+    pub fn insert_slot_at(
+        &mut self,
+        pos: usize,
+        value: u64,
+        ext: bool,
+        runend: bool,
+    ) -> Result<(), FilterError> {
+        let fe = self.used.next_zero(pos).ok_or(FilterError::Full)?;
+        if fe > pos {
+            self.slots.shift_right_insert(pos, fe, value);
+            self.runends.shift_right_insert(pos, fe, runend);
+            self.extensions.shift_right_insert(pos, fe, ext);
+        } else {
+            self.slots.set(pos, value);
+            self.runends.assign(pos, runend);
+            self.extensions.assign(pos, ext);
+        }
+        self.used.set(fe);
+        Ok(())
+    }
+
+    /// Write a fresh group into a free slot (no shifting).
+    pub fn write_free_slot(&mut self, pos: usize, value: u64, ext: bool, runend: bool) {
+        debug_assert!(!self.used.get(pos));
+        self.slots.set(pos, value);
+        self.runends.assign(pos, runend);
+        self.extensions.assign(pos, ext);
+        self.used.set(pos);
+    }
+
+    /// Number of used slots (O(total/64); cached by the filter for stats).
+    pub fn count_used(&self) -> usize {
+        self.used.count_ones()
+    }
+
+    /// Bytes of heap memory for the table proper.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.occupieds.heap_size_bytes()
+            + self.runends.heap_size_bytes()
+            + self.extensions.heap_size_bytes()
+            + self.used.heap_size_bytes()
+            + self.slots.heap_size_bytes()
+    }
+
+    /// Clear a slot's metadata and contents (used during cluster rebuilds).
+    pub fn clear_slot(&mut self, i: usize) {
+        self.runends.clear(i);
+        self.extensions.clear(i);
+        self.used.clear(i);
+        self.slots.set(i, 0);
+    }
+}

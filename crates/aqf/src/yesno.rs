@@ -1,0 +1,245 @@
+//! Yes/no-list filters (paper §4.3 and §5).
+//!
+//! A *yes/no filter* stores a yes-list `Y` and a no-list `N`: queries for
+//! `Y` answer yes, queries for `N` answer **no, guaranteed**, and all other
+//! queries answer no with probability ≥ 1-ε.
+//!
+//! Two constructions from the paper:
+//!
+//! - [`YesNoFilter`] — the *dynamic* filter of §4.3: both lists live in the
+//!   filter, each fingerprint tagged with a one-bit list marker
+//!   (`value_bits = 1`); fingerprint collisions between lists are adapted
+//!   away at insert time. Supports inserts, deletes, and moving keys
+//!   between lists.
+//! - [`StaticYesNo`] — the §5.1 construction used for the space bounds:
+//!   only `Y` is stored; every element of `N` is queried once and any false
+//!   positive adapted away. Optimal space
+//!   `(1+o(1)) n log(max(1/ε, m/n)) + O(n)`.
+//!
+//! Both keep a small in-memory reverse map (minirun → keys) so they are
+//! self-contained; the `aqf-storage` crate provides disk-backed maps.
+
+use std::collections::HashMap;
+
+use crate::config::{AqfConfig, FilterError};
+use crate::filter::{AdaptiveQf, QueryResult};
+
+/// Answer from a yes/no filter query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YesNoResponse {
+    /// Matched a yes-list fingerprint (true members of `Y` always get this;
+    /// other keys with probability ≤ ε).
+    Yes,
+    /// Matched a no-list fingerprint — treat as a definite no.
+    No,
+    /// Matched nothing — definitely in neither list.
+    Absent,
+}
+
+impl YesNoResponse {
+    /// Collapse to the binary yes/no answer the problem statement demands.
+    #[inline]
+    pub fn is_yes(&self) -> bool {
+        matches!(self, YesNoResponse::Yes)
+    }
+}
+
+/// Dynamic yes/no-list filter (paper §4.3).
+pub struct YesNoFilter {
+    f: AdaptiveQf,
+    /// minirun id -> keys in rank order (the reverse map).
+    map: HashMap<u64, Vec<u64>>,
+    yes_len: usize,
+    no_len: usize,
+}
+
+const YES: u64 = 1;
+const NO: u64 = 0;
+
+impl YesNoFilter {
+    /// Create a dynamic yes/no filter with `2^qbits` slots and `rbits`-bit
+    /// remainders.
+    pub fn new(qbits: u32, rbits: u32) -> Result<Self, FilterError> {
+        Self::with_config(AqfConfig::new(qbits, rbits))
+    }
+
+    /// Create from a config (its `value_bits` is forced to 1).
+    pub fn with_config(cfg: AqfConfig) -> Result<Self, FilterError> {
+        let cfg = AqfConfig { value_bits: 1, ..cfg };
+        Ok(Self {
+            f: AdaptiveQf::new(cfg)?,
+            map: HashMap::new(),
+            yes_len: 0,
+            no_len: 0,
+        })
+    }
+
+    /// Add `key` to the yes list (moving it if it was no-listed).
+    pub fn insert_yes(&mut self, key: u64) -> Result<(), FilterError> {
+        self.insert_tagged(key, YES)
+    }
+
+    /// Add `key` to the no list (moving it if it was yes-listed).
+    pub fn insert_no(&mut self, key: u64) -> Result<(), FilterError> {
+        self.insert_tagged(key, NO)
+    }
+
+    fn insert_tagged(&mut self, key: u64, tag: u64) -> Result<(), FilterError> {
+        // Adapt away every fingerprint collision so that membership of each
+        // list is exact with respect to the other (paper §4.3).
+        #[allow(clippy::while_let_loop)] // symmetric arms read better here
+        loop {
+            match self.f.query(key) {
+                QueryResult::Positive(hit) => {
+                    let stored = self.map[&hit.minirun_id][hit.rank as usize];
+                    if stored == key {
+                        // Re-insert: possibly moving between lists.
+                        let old = self.f.query_value(key).expect("just matched").1;
+                        if old != tag {
+                            self.f.set_value(&hit, tag)?;
+                            if tag == YES {
+                                self.yes_len += 1;
+                                self.no_len -= 1;
+                            } else {
+                                self.no_len += 1;
+                                self.yes_len -= 1;
+                            }
+                        }
+                        return Ok(());
+                    }
+                    self.f.adapt(&hit, stored, key)?;
+                }
+                QueryResult::Negative => break,
+            }
+        }
+        let out = self.f.insert_with_value(key, tag)?;
+        debug_assert!(!out.duplicate, "collisions were adapted away above");
+        let list = self.map.entry(out.minirun_id).or_default();
+        list.insert(out.rank as usize, key);
+        if tag == YES {
+            self.yes_len += 1;
+        } else {
+            self.no_len += 1;
+        }
+        Ok(())
+    }
+
+    /// Remove `key` from whichever list holds it. Returns true if removed.
+    pub fn remove(&mut self, key: u64) -> Result<bool, FilterError> {
+        let QueryResult::Positive(hit) = self.f.query(key) else {
+            return Ok(false);
+        };
+        let stored = self.map[&hit.minirun_id][hit.rank as usize];
+        if stored != key {
+            return Ok(false);
+        }
+        let tag = self.f.query_value(key).expect("just matched").1;
+        let out = self.f.delete(key)?.expect("present fingerprint must delete");
+        debug_assert!(out.removed_group);
+        let list = self.map.get_mut(&hit.minirun_id).expect("map entry exists");
+        list.remove(out.rank as usize);
+        if list.is_empty() {
+            self.map.remove(&hit.minirun_id);
+        }
+        if tag == YES {
+            self.yes_len -= 1;
+        } else {
+            self.no_len -= 1;
+        }
+        Ok(true)
+    }
+
+    /// Query `key`.
+    pub fn query(&self, key: u64) -> YesNoResponse {
+        match self.f.query_value(key) {
+            Some((_, v)) if v == YES => YesNoResponse::Yes,
+            Some(_) => YesNoResponse::No,
+            None => YesNoResponse::Absent,
+        }
+    }
+
+    /// Yes-list size.
+    pub fn yes_len(&self) -> usize {
+        self.yes_len
+    }
+
+    /// No-list size.
+    pub fn no_len(&self) -> usize {
+        self.no_len
+    }
+
+    /// Bytes used by the filter table alone (the reverse map is auxiliary
+    /// state, counted separately as in the paper).
+    pub fn filter_size_in_bytes(&self) -> usize {
+        self.f.size_in_bytes()
+    }
+
+    /// Access the underlying filter (diagnostics).
+    pub fn filter(&self) -> &AdaptiveQf {
+        &self.f
+    }
+}
+
+/// Static yes/no filter (paper §5.1): stores only the yes list, and adapts
+/// away every no-list false positive at construction time.
+pub struct StaticYesNo {
+    f: AdaptiveQf,
+    map: HashMap<u64, Vec<u64>>,
+}
+
+impl StaticYesNo {
+    /// Build from a yes list and a no list. Fails with
+    /// [`FilterError::Full`] if the adaptivity space is exhausted (the
+    /// failure mode analysed by paper Theorem 2 — make the filter larger).
+    pub fn build(cfg: AqfConfig, yes: &[u64], no: &[u64]) -> Result<Self, FilterError> {
+        let mut f = AdaptiveQf::new(cfg)?;
+        let mut map: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &y in yes {
+            let out = f.insert(y)?;
+            if !out.duplicate {
+                map.entry(out.minirun_id).or_default().insert(out.rank as usize, y);
+            }
+        }
+        let mut s = Self { f, map };
+        for &z in no {
+            s.add_no(z)?;
+        }
+        Ok(s)
+    }
+
+    /// Adapt away any false positive for `z`, guaranteeing future queries
+    /// for `z` answer no. (This is also how no-list items are *added*
+    /// dynamically: the no list costs space only when it collides.)
+    pub fn add_no(&mut self, z: u64) -> Result<(), FilterError> {
+        loop {
+            match self.f.query(z) {
+                QueryResult::Positive(hit) => {
+                    let stored = self.map[&hit.minirun_id][hit.rank as usize];
+                    if stored == z {
+                        return Err(FilterError::InvalidConfig(
+                            "no-list key is already yes-listed",
+                        ));
+                    }
+                    self.f.adapt(&hit, stored, z)?;
+                }
+                QueryResult::Negative => return Ok(()),
+            }
+        }
+    }
+
+    /// Query: true = "yes" (members of the yes list always; others with
+    /// probability ≤ ε), false = "no" (no-list members always).
+    pub fn query(&self, key: u64) -> bool {
+        self.f.contains(key)
+    }
+
+    /// Bytes used by the filter table.
+    pub fn size_in_bytes(&self) -> usize {
+        self.f.size_in_bytes()
+    }
+
+    /// Access the underlying filter (diagnostics).
+    pub fn filter(&self) -> &AdaptiveQf {
+        &self.f
+    }
+}

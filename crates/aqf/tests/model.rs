@@ -1,0 +1,439 @@
+//! Reference-model testing: every AdaptiveQf operation is mirrored against
+//! a naive model (a map of miniruns to fingerprint groups), and the
+//! filter's structural invariants are validated after every mutation.
+//!
+//! Small geometries (qbits 5..8, rbits 2..5) are used deliberately: they
+//! force heavy quotient and remainder collisions, long clusters, shifting
+//! across block boundaries, miniruns with many members, and adaptation
+//! chains — the hard paths.
+
+use std::collections::BTreeMap;
+
+use aqf::fingerprint::Fingerprint;
+use aqf::{AdaptiveQf, AqfConfig, QueryResult};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A logical fingerprint group in the model.
+#[derive(Clone, Debug)]
+struct MGroup {
+    /// The first key that created this group (what the reverse map would
+    /// return for adaptation).
+    repr: u64,
+    /// Extension chunks stored so far.
+    ext: Vec<u64>,
+    count: u64,
+}
+
+/// Naive mirror of AdaptiveQf semantics. `counting = true` mirrors
+/// `insert_counting` (exact-fingerprint matches bump a counter);
+/// `counting = false` mirrors `insert` (always a new group).
+struct Model {
+    cfg: AqfConfig,
+    counting: bool,
+    miniruns: BTreeMap<u64, Vec<MGroup>>,
+    inserted: BTreeMap<u64, u64>, // key -> times inserted
+}
+
+impl Model {
+    fn new(cfg: AqfConfig, counting: bool) -> Self {
+        Self { cfg, counting, miniruns: BTreeMap::new(), inserted: BTreeMap::new() }
+    }
+
+    fn fp(&self, key: u64) -> Fingerprint {
+        Fingerprint::new(key, self.cfg.seed, self.cfg.qbits, self.cfg.rbits)
+    }
+
+    fn matches(fp: &Fingerprint, g: &MGroup) -> bool {
+        g.ext.iter().enumerate().all(|(i, &c)| fp.chunk(i as u64) == c)
+    }
+
+    fn insert(&mut self, key: u64) -> (u64, u32, bool) {
+        let fp = self.fp(key);
+        let id = fp.minirun_id();
+        *self.inserted.entry(key).or_insert(0) += 1;
+        let counting = self.counting;
+        let groups = self.miniruns.entry(id).or_default();
+        if counting {
+            for (rank, g) in groups.iter_mut().enumerate() {
+                if Self::matches(&fp, g) {
+                    g.count += 1;
+                    return (id, rank as u32, true);
+                }
+            }
+        }
+        groups.push(MGroup { repr: key, ext: Vec::new(), count: 1 });
+        (id, groups.len() as u32 - 1, false)
+    }
+
+    /// Expected query result: first matching group's rank.
+    fn query(&self, key: u64) -> Option<u32> {
+        let fp = self.fp(key);
+        let groups = self.miniruns.get(&fp.minirun_id())?;
+        groups
+            .iter()
+            .position(|g| Self::matches(&fp, g))
+            .map(|r| r as u32)
+    }
+
+    fn adapt(&mut self, id: u64, rank: u32, query_key: u64) {
+        let qfp = self.fp(query_key);
+        let groups = self.miniruns.get_mut(&id).unwrap();
+        let g = &mut groups[rank as usize];
+        let sfp = Fingerprint::new(g.repr, self.cfg.seed, self.cfg.qbits, self.cfg.rbits);
+        let mut len = g.ext.len() as u64;
+        loop {
+            let c = sfp.chunk(len);
+            g.ext.push(c);
+            let diverged = c != qfp.chunk(len);
+            len += 1;
+            if diverged {
+                break;
+            }
+        }
+    }
+
+    fn repr_of(&self, id: u64, rank: u32) -> u64 {
+        self.miniruns[&id][rank as usize].repr
+    }
+
+    fn delete(&mut self, key: u64) -> Option<(u32, bool)> {
+        let fp = self.fp(key);
+        let id = fp.minirun_id();
+        let groups = self.miniruns.get_mut(&id)?;
+        let rank = groups.iter().position(|g| Self::matches(&fp, g))?;
+        let removed = if groups[rank].count > 1 {
+            groups[rank].count -= 1;
+            false
+        } else {
+            groups.remove(rank);
+            if groups.is_empty() {
+                self.miniruns.remove(&id);
+            }
+            true
+        };
+        if let Some(n) = self.inserted.get_mut(&key) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.inserted.remove(&key);
+            }
+        }
+        Some((rank as u32, removed))
+    }
+
+    fn was_inserted(&self, key: u64) -> bool {
+        self.inserted.contains_key(&key)
+    }
+}
+
+fn check_agreement(f: &AdaptiveQf, m: &Model, probe_keys: &[u64]) {
+    for &k in probe_keys {
+        let expect = m.query(k);
+        match (f.query(k), expect) {
+            (QueryResult::Negative, None) => {}
+            (QueryResult::Positive(hit), Some(rank)) => {
+                assert_eq!(hit.rank, rank, "rank mismatch for key {k}");
+            }
+            (got, want) => panic!("query({k}): filter {got:?} model {want:?}"),
+        }
+        // Counts agree for matched fingerprints.
+        if let Some(rank) = expect {
+            let fp = m.fp(k);
+            let mg = &m.miniruns[&fp.minirun_id()][rank as usize];
+            assert_eq!(f.count(k), mg.count, "count mismatch for key {k}");
+        } else {
+            assert_eq!(f.count(k), 0);
+        }
+    }
+}
+
+/// Drive a random op mix against filter and model, validating both the
+/// structure and the semantics after every operation.
+fn run_random_ops(seed: u64, qbits: u32, rbits: u32, key_space: u64, ops: usize, counting: bool) {
+    let cfg = AqfConfig::new(qbits, rbits).with_seed(seed ^ 0xABCD);
+    let mut f = AdaptiveQf::new(cfg).unwrap();
+    let mut m = Model::new(cfg, counting);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let probes: Vec<u64> = (0..64).map(|_| rng.random_range(0..key_space)).collect();
+
+    for step in 0..ops {
+        let key = rng.random_range(0..key_space);
+        match rng.random_range(0..10u32) {
+            // 50% inserts.
+            0..=4 => {
+                let got = if counting { f.insert_counting(key) } else { f.insert(key) };
+                match got {
+                    Ok(out) => {
+                        let (id, rank, dup) = m.insert(key);
+                        assert_eq!(out.minirun_id, id, "step {step}");
+                        assert_eq!(out.rank, rank, "step {step}");
+                        assert_eq!(out.duplicate, dup, "step {step}");
+                    }
+                    Err(aqf::FilterError::Full) => { /* model unchanged */ }
+                    Err(e) => panic!("unexpected insert error {e:?}"),
+                }
+            }
+            // 30% queries (+ adapt on false positives, like a real system).
+            5..=7 => {
+                let expect = m.query(key);
+                match (f.query(key), expect) {
+                    (QueryResult::Negative, None) => {}
+                    (QueryResult::Positive(hit), Some(rank)) => {
+                        assert_eq!(hit.rank, rank, "step {step} key {key}");
+                        // Adapt only on *confirmed* false positives: the key
+                        // was never actually inserted. A group's stored key
+                        // can equal the probe when the probe's own group was
+                        // created by a colliding key and later deleted —
+                        // identical hash strings cannot be separated, so a
+                        // real system resolves this at insert time instead.
+                        let stored = m.repr_of(hit.minirun_id, hit.rank);
+                        if !m.was_inserted(key) && stored != key {
+                            match f.adapt(&hit, stored, key) {
+                                Ok(_) => m.adapt(hit.minirun_id, hit.rank, key),
+                                Err(aqf::FilterError::Full) => {}
+                                Err(e) => panic!("adapt error {e:?}"),
+                            }
+                        }
+                    }
+                    (got, want) => {
+                        panic!("step {step} query({key}): filter {got:?} model {want:?}")
+                    }
+                }
+            }
+            // 20% deletes.
+            _ => {
+                let got = f.delete(key).unwrap();
+                let want = m.delete(key);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(out), Some((rank, removed))) => {
+                        assert_eq!(out.rank, rank, "step {step}");
+                        assert_eq!(out.removed_group, removed, "step {step}");
+                    }
+                    (g, w) => panic!("step {step} delete({key}): {g:?} vs {w:?}"),
+                }
+            }
+        }
+        f.assert_valid();
+    }
+    check_agreement(&f, &m, &probes);
+    // Filter and model agree on every key still considered inserted.
+    // (Keys that exact-matched a *different* key's fingerprint at insert
+    // time can be adapted away — the core filter cannot distinguish them;
+    // the system layer prevents this by separating at insert, which the
+    // YesNoFilter tests cover.)
+    let inserted: Vec<u64> = m.inserted.keys().copied().collect();
+    check_agreement(&f, &m, &inserted);
+}
+
+#[test]
+fn model_tiny_geometry_heavy_collisions() {
+    run_random_ops(1, 5, 2, 200, 1500, false);
+    run_random_ops(1, 5, 2, 200, 1500, true);
+}
+
+#[test]
+fn model_small_geometry() {
+    run_random_ops(2, 6, 3, 1000, 2000, false);
+    run_random_ops(2, 6, 3, 1000, 2000, true);
+}
+
+#[test]
+fn model_medium_geometry() {
+    run_random_ops(3, 8, 4, 10_000, 3000, false);
+    run_random_ops(3, 8, 4, 10_000, 3000, true);
+}
+
+#[test]
+fn model_wider_remainder() {
+    run_random_ops(4, 7, 9, 100_000, 2500, false);
+}
+
+#[test]
+fn model_many_duplicates_counting() {
+    // Tiny key space so counters get exercised hard.
+    run_random_ops(5, 6, 3, 24, 2500, true);
+    run_random_ops(5, 6, 3, 24, 2500, false);
+}
+
+#[test]
+fn model_multiple_seeds() {
+    for seed in 10..18 {
+        run_random_ops(seed, 6, 3, 500, 800, seed % 2 == 0);
+    }
+}
+
+#[test]
+fn fill_to_full_reports_full_without_corruption() {
+    let cfg = AqfConfig::new(5, 3).with_seed(9);
+    let mut f = AdaptiveQf::new(cfg).unwrap();
+    let mut inserted = Vec::new();
+    for k in 0..100_000u64 {
+        match f.insert(k) {
+            Ok(_) => inserted.push(k),
+            Err(aqf::FilterError::Full) => break,
+            Err(e) => panic!("{e:?}"),
+        }
+        if k % 16 == 0 {
+            f.assert_valid();
+        }
+    }
+    f.assert_valid();
+    assert!(f.slots_in_use() as usize <= cfg.total_slots());
+    // Everything inserted before Full is still there.
+    for &k in &inserted {
+        assert!(f.contains(k), "lost key {k} after Full");
+    }
+}
+
+#[test]
+fn adaptation_is_monotone() {
+    // Fix false positives one by one; previously fixed ones stay fixed.
+    let cfg = AqfConfig::new(8, 3).with_seed(42);
+    let mut f = AdaptiveQf::new(cfg).unwrap();
+    let mut m = Model::new(cfg, false);
+    // Track only keys that created their own fingerprint group: keys that
+    // exact-matched an earlier key's group at insert (the filter alone
+    // cannot tell them apart) are legitimately adaptable-away.
+    let mut members: Vec<u64> = Vec::new();
+    for k in 0..180u64 {
+        let out = f.insert(k).unwrap();
+        m.insert(k);
+        if !out.duplicate {
+            members.push(k);
+        }
+    }
+    let mut fixed: Vec<u64> = Vec::new();
+    let mut probe = 1_000_000u64;
+    while fixed.len() < 60 {
+        probe += 1;
+        if let QueryResult::Positive(hit) = f.query(probe) {
+            let stored = m.repr_of(hit.minirun_id, hit.rank);
+            f.adapt(&hit, stored, probe).unwrap();
+            m.adapt(hit.minirun_id, hit.rank, probe);
+            // Adapt until fully negative (multiple groups can match).
+            while let QueryResult::Positive(h2) = f.query(probe) {
+                let s2 = m.repr_of(h2.minirun_id, h2.rank);
+                f.adapt(&h2, s2, probe).unwrap();
+                m.adapt(h2.minirun_id, h2.rank, probe);
+            }
+            fixed.push(probe);
+            f.assert_valid();
+            // Monotonicity: every previously fixed false positive stays
+            // fixed, and every member stays present.
+            for &fp in &fixed {
+                assert!(!f.contains(fp), "false positive {fp} came back");
+            }
+            for &k in &members {
+                assert!(f.contains(k), "member {k} lost by adaptation");
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_preserves_members_and_adaptations() {
+    let cfg = AqfConfig::new(7, 6).with_seed(3);
+    let mut a = AdaptiveQf::new(cfg).unwrap();
+    let mut b = AdaptiveQf::new(cfg).unwrap();
+    let mut ma = Model::new(cfg, false);
+    let mut mb = Model::new(cfg, false);
+    for k in 0..70u64 {
+        a.insert(k).unwrap();
+        ma.insert(k);
+    }
+    for k in 70..140u64 {
+        b.insert(k).unwrap();
+        mb.insert(k);
+    }
+    // Adapt a few false positives in each.
+    let mut probe = 5_000_000u64;
+    let mut adapted = 0;
+    while adapted < 10 {
+        probe += 1;
+        if let QueryResult::Positive(hit) = a.query(probe) {
+            let stored = ma.repr_of(hit.minirun_id, hit.rank);
+            a.adapt(&hit, stored, probe).unwrap();
+            ma.adapt(hit.minirun_id, hit.rank, probe);
+            adapted += 1;
+        }
+    }
+    let merged = a.merge(&b).unwrap();
+    merged.assert_valid();
+    assert_eq!(merged.len(), a.len() + b.len());
+    assert_eq!(merged.config().qbits, cfg.qbits + 1);
+    assert_eq!(merged.config().rbits, cfg.rbits - 1);
+    for k in 0..140u64 {
+        assert!(merged.contains(k), "merged filter lost key {k}");
+    }
+}
+
+#[test]
+fn grow_preserves_members() {
+    let cfg = AqfConfig::new(6, 6).with_seed(8);
+    let mut f = AdaptiveQf::new(cfg).unwrap();
+    for k in 0..50u64 {
+        f.insert(k).unwrap();
+    }
+    let g = f.grow().unwrap();
+    g.assert_valid();
+    assert_eq!(g.len(), f.len());
+    for k in 0..50u64 {
+        assert!(g.contains(k));
+    }
+    // Growth halves the remainder, so FPR roughly doubles — but never
+    // introduces false negatives, which is all we assert here.
+}
+
+#[test]
+fn bulk_build_matches_incremental_inserts() {
+    let cfg = AqfConfig::new(8, 5).with_seed(21);
+    let mut rng = StdRng::seed_from_u64(77);
+    let keys: Vec<u64> = (0..150).map(|_| rng.random_range(0..400u64)).collect();
+    let bulk = AdaptiveQf::bulk_build(cfg, &keys).unwrap();
+    bulk.assert_valid();
+    let mut inc = AdaptiveQf::new(cfg).unwrap();
+    for &k in &keys {
+        inc.insert(k).unwrap();
+    }
+    assert_eq!(bulk.len(), inc.len());
+    assert_eq!(bulk.distinct_fingerprints(), inc.distinct_fingerprints());
+    for &k in &keys {
+        assert!(bulk.contains(k));
+        assert_eq!(bulk.count(k), inc.count(k), "count mismatch for {k}");
+    }
+}
+
+#[test]
+fn rebuild_with_seed_drops_adaptations() {
+    let cfg = AqfConfig::new(8, 4).with_seed(1);
+    let mut f = AdaptiveQf::new(cfg).unwrap();
+    let keys: Vec<u64> = (0..200).collect();
+    for &k in &keys {
+        f.insert(k).unwrap();
+    }
+    let mut m = Model::new(cfg, false);
+    for &k in &keys {
+        m.insert(k);
+    }
+    // Adapt several false positives.
+    let mut probe = 9_000_000u64;
+    let mut adapted = 0;
+    while adapted < 15 {
+        probe += 1;
+        if let QueryResult::Positive(hit) = f.query(probe) {
+            let stored = m.repr_of(hit.minirun_id, hit.rank);
+            f.adapt(&hit, stored, probe).unwrap();
+            m.adapt(hit.minirun_id, hit.rank, probe);
+            adapted += 1;
+        }
+    }
+    assert!(f.stats().extension_slots > 0);
+    let rebuilt = f.rebuild_with_seed(999, &keys).unwrap();
+    rebuilt.assert_valid();
+    assert_eq!(rebuilt.stats().extension_slots, 0, "rebuild drops adaptivity");
+    assert_eq!(rebuilt.len(), keys.len() as u64);
+    for &k in &keys {
+        assert!(rebuilt.contains(k));
+    }
+}

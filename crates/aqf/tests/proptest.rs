@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on AdaptiveQf invariants.
+
+use aqf::{AdaptiveQf, AqfConfig, FilterError, QueryResult};
+use proptest::prelude::*;
+
+/// Arbitrary op streams over a small key space.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64),
+    Delete(u64),
+    QueryAdapt(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..key_space).prop_map(Op::Insert),
+        1 => (0..key_space).prop_map(Op::Delete),
+        2 => (0..key_space).prop_map(Op::QueryAdapt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural invariants hold under arbitrary op sequences, and no key
+    /// that created its own fingerprint group and was never deleted is
+    /// ever reported negative.
+    #[test]
+    fn ops_never_corrupt_structure(
+        ops in proptest::collection::vec(op_strategy(300), 1..400),
+        seed in 0u64..1000,
+    ) {
+        let cfg = AqfConfig::new(6, 3).with_seed(seed);
+        let mut f = AdaptiveQf::new(cfg).unwrap();
+        // A faithful reverse map: minirun id -> keys by rank, exactly as
+        // the paper's auxiliary structure maintains it.
+        let mut revmap: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => match f.insert(k) {
+                    Ok(out) => {
+                        revmap
+                            .entry(out.minirun_id)
+                            .or_default()
+                            .insert(out.rank as usize, k);
+                    }
+                    Err(FilterError::Full) => {}
+                    Err(e) => panic!("{e:?}"),
+                },
+                Op::Delete(k) => {
+                    if let Some(out) = f.delete(k).unwrap() {
+                        let list = revmap.get_mut(&out.minirun_id).unwrap();
+                        list.remove(out.rank as usize);
+                        if list.is_empty() {
+                            revmap.remove(&out.minirun_id);
+                        }
+                    }
+                }
+                Op::QueryAdapt(k) => {
+                    if let QueryResult::Positive(hit) = f.query(k) {
+                        let stored = revmap[&hit.minirun_id][hit.rank as usize];
+                        // Only adapt confirmed false positives (the stored
+                        // key differs from the queried key).
+                        if stored != k {
+                            match f.adapt(&hit, stored, k) {
+                                Ok(_) | Err(FilterError::Full) => {}
+                                Err(e) => panic!("{e:?}"),
+                            }
+                        }
+                    }
+                }
+            }
+            f.validate().map_err(TestCaseError::fail)?;
+        }
+        // No false negatives: every key the reverse map still holds must be
+        // reported present (its group's extensions are its own chunks).
+        for (_, list) in revmap.iter() {
+            for &k in list {
+                prop_assert!(f.contains(k), "stored key {} reported negative", k);
+            }
+        }
+    }
+
+    /// Bulk build equals incremental build semantically.
+    #[test]
+    fn bulk_equals_incremental(
+        keys in proptest::collection::vec(0u64..500, 0..200),
+        seed in 0u64..100,
+    ) {
+        let cfg = AqfConfig::new(8, 4).with_seed(seed);
+        let bulk = AdaptiveQf::bulk_build(cfg, &keys).unwrap();
+        bulk.validate().map_err(TestCaseError::fail)?;
+        let mut inc = AdaptiveQf::new(cfg).unwrap();
+        for &k in &keys {
+            inc.insert(k).unwrap();
+        }
+        prop_assert_eq!(bulk.len(), inc.len());
+        prop_assert_eq!(bulk.distinct_fingerprints(), inc.distinct_fingerprints());
+        for &k in &keys {
+            prop_assert_eq!(bulk.count(k), inc.count(k));
+            prop_assert!(bulk.contains(k));
+        }
+    }
+
+    /// Merge keeps every member of both inputs.
+    #[test]
+    fn merge_is_lossless_for_members(
+        ka in proptest::collection::vec(0u64..100_000, 0..80),
+        kb in proptest::collection::vec(100_000u64..200_000, 0..80),
+        seed in 0u64..50,
+    ) {
+        let cfg = AqfConfig::new(7, 8).with_seed(seed);
+        let mut a = AdaptiveQf::new(cfg).unwrap();
+        let mut b = AdaptiveQf::new(cfg).unwrap();
+        for &k in &ka { a.insert(k).unwrap(); }
+        for &k in &kb { b.insert(k).unwrap(); }
+        let m = a.merge(&b).unwrap();
+        m.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(m.len(), a.len() + b.len());
+        for &k in ka.iter().chain(kb.iter()) {
+            prop_assert!(m.contains(k), "merge lost {}", k);
+        }
+    }
+
+    /// Growing preserves membership and structure.
+    #[test]
+    fn grow_is_lossless_for_members(
+        keys in proptest::collection::vec(0u64..1_000_000, 0..100),
+        seed in 0u64..50,
+    ) {
+        let cfg = AqfConfig::new(7, 8).with_seed(seed);
+        let mut f = AdaptiveQf::new(cfg).unwrap();
+        for &k in &keys { f.insert(k).unwrap(); }
+        let g = f.grow().unwrap();
+        g.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(g.len(), f.len());
+        for &k in &keys {
+            prop_assert!(g.contains(k), "grow lost {}", k);
+        }
+    }
+
+    /// Deleting everything returns the filter to empty.
+    #[test]
+    fn delete_all_empties_filter(
+        keys in proptest::collection::vec(0u64..300, 0..150),
+        seed in 0u64..50,
+    ) {
+        let cfg = AqfConfig::new(7, 4).with_seed(seed);
+        let mut f = AdaptiveQf::new(cfg).unwrap();
+        for &k in &keys { f.insert(k).unwrap(); }
+        for &k in &keys {
+            prop_assert!(f.delete(k).unwrap().is_some(), "delete {} failed", k);
+        }
+        f.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(f.len(), 0);
+        prop_assert_eq!(f.distinct_fingerprints(), 0);
+        prop_assert_eq!(f.slots_in_use(), 0);
+    }
+}

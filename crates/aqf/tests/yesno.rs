@@ -1,0 +1,156 @@
+//! Tests for the dynamic and static yes/no-list filters (paper §4.3, §5.1).
+
+use aqf::{AqfConfig, StaticYesNo, YesNoFilter, YesNoResponse};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn dynamic_yesno_basic_guarantees() {
+    let mut f = YesNoFilter::new(10, 4).unwrap();
+    let yes: Vec<u64> = (0..300).collect();
+    let no: Vec<u64> = (10_000..10_300).collect();
+    for &y in &yes {
+        f.insert_yes(y).unwrap();
+    }
+    for &n in &no {
+        f.insert_no(n).unwrap();
+    }
+    // Hard guarantees: every yes-listed key answers Yes, every no-listed
+    // key answers No (never Yes), regardless of collisions.
+    for &y in &yes {
+        assert_eq!(f.query(y), YesNoResponse::Yes, "yes key {y}");
+    }
+    for &n in &no {
+        assert_ne!(f.query(n), YesNoResponse::Yes, "no key {n} must not be Yes");
+    }
+    assert_eq!(f.yes_len(), 300);
+    assert_eq!(f.no_len(), 300);
+    f.filter().assert_valid();
+}
+
+#[test]
+fn dynamic_yesno_moves_between_lists() {
+    let mut f = YesNoFilter::new(8, 4).unwrap();
+    f.insert_yes(7).unwrap();
+    assert_eq!(f.query(7), YesNoResponse::Yes);
+    f.insert_no(7).unwrap();
+    assert_eq!(f.query(7), YesNoResponse::No);
+    assert_eq!(f.yes_len(), 0);
+    assert_eq!(f.no_len(), 1);
+    f.insert_yes(7).unwrap();
+    assert_eq!(f.query(7), YesNoResponse::Yes);
+    f.filter().assert_valid();
+}
+
+#[test]
+fn dynamic_yesno_remove() {
+    let mut f = YesNoFilter::new(8, 4).unwrap();
+    for k in 0..100u64 {
+        if k % 2 == 0 {
+            f.insert_yes(k).unwrap();
+        } else {
+            f.insert_no(k).unwrap();
+        }
+    }
+    for k in 0..50u64 {
+        assert!(f.remove(k).unwrap(), "remove {k}");
+    }
+    assert!(!f.remove(7).unwrap(), "double remove must fail");
+    for k in 50..100u64 {
+        let want = if k % 2 == 0 { YesNoResponse::Yes } else { YesNoResponse::No };
+        assert_eq!(f.query(k), want, "key {k}");
+    }
+    f.filter().assert_valid();
+}
+
+#[test]
+fn dynamic_yesno_churn_preserves_guarantees() {
+    let mut f = YesNoFilter::new(11, 4).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut yes = Vec::new();
+    let mut no = Vec::new();
+    for i in 0..400u64 {
+        if i % 2 == 0 {
+            f.insert_yes(i).unwrap();
+            yes.push(i);
+        } else {
+            f.insert_no(i).unwrap();
+            no.push(i);
+        }
+    }
+    // Churn: remove and replace random slices of both lists.
+    for round in 0..5u64 {
+        for _ in 0..40 {
+            if !yes.is_empty() {
+                let i = rng.random_range(0..yes.len());
+                let k = yes.swap_remove(i);
+                assert!(f.remove(k).unwrap());
+            }
+            if !no.is_empty() {
+                let i = rng.random_range(0..no.len());
+                let k = no.swap_remove(i);
+                assert!(f.remove(k).unwrap());
+            }
+        }
+        for j in 0..40u64 {
+            let k = 1_000_000 * (round + 1) + j;
+            if j % 2 == 0 {
+                f.insert_yes(k).unwrap();
+                yes.push(k);
+            } else {
+                f.insert_no(k).unwrap();
+                no.push(k);
+            }
+        }
+        for &y in &yes {
+            assert_eq!(f.query(y), YesNoResponse::Yes, "round {round} yes {y}");
+        }
+        for &n in &no {
+            assert_ne!(f.query(n), YesNoResponse::Yes, "round {round} no {n}");
+        }
+        f.filter().assert_valid();
+    }
+}
+
+#[test]
+fn static_yesno_no_list_never_false_positive() {
+    let yes: Vec<u64> = (0..500).collect();
+    let no: Vec<u64> = (1_000_000..1_002_000).collect();
+    let cfg = AqfConfig::new(10, 4).with_seed(5);
+    let f = StaticYesNo::build(cfg, &yes, &no).unwrap();
+    for &y in &yes {
+        assert!(f.query(y), "yes key {y}");
+    }
+    for &n in &no {
+        assert!(!f.query(n), "no key {n} answered yes");
+    }
+    f.filter().assert_valid();
+    // Adaptation must have cost something but not much (paper Thm 2:
+    // A(n, m, eps) bits; here just sanity-bound it).
+    assert!(f.filter().stats().extension_slots < yes.len() as u64);
+}
+
+#[test]
+fn static_yesno_dynamic_no_additions() {
+    let yes: Vec<u64> = (0..400).collect();
+    let cfg = AqfConfig::new(10, 4).with_seed(6);
+    let mut f = StaticYesNo::build(cfg, &yes, &[]).unwrap();
+    // Add no-list entries after the fact (the §4.3 dynamic extension).
+    let no: Vec<u64> = (2_000_000..2_001_000).collect();
+    for &z in &no {
+        f.add_no(z).unwrap();
+    }
+    for &z in &no {
+        assert!(!f.query(z));
+    }
+    for &y in &yes {
+        assert!(f.query(y));
+    }
+}
+
+#[test]
+fn static_yesno_rejects_contradictory_lists() {
+    let cfg = AqfConfig::new(8, 4);
+    let r = StaticYesNo::build(cfg, &[1, 2, 3], &[2]);
+    assert!(r.is_err(), "a key in both lists must be rejected");
+}

@@ -1,0 +1,109 @@
+//! Ablation benchmarks for the design choices DESIGN.md §8 calls out:
+//!
+//! - remainder width (over-adaptation granularity: adapting appends whole
+//!   `r`-bit chunks, so wider `r` means fewer-but-larger extensions),
+//! - lock shard count for the parallel filter,
+//! - bulk build vs incremental inserts.
+
+use aqf::{AdaptiveQf, AqfConfig, QueryResult, ShardedAqf};
+use aqf_bench::{fill_aqf, ShadowMap};
+use aqf_workloads::uniform_keys;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+const QBITS: u32 = 14;
+
+/// Fixing 200 false positives at each remainder width (the
+/// over-adaptation granularity ablation).
+fn bench_chunk_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_chunk_width");
+    g.sample_size(10);
+    for rbits in [5u32, 9, 13] {
+        let n = ((1u64 << QBITS) as f64 * 0.6) as usize;
+        let keys = uniform_keys(n, 17);
+        g.bench_function(format!("adapt_200_fps_r{rbits}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut f =
+                        AdaptiveQf::new(AqfConfig::new(QBITS, rbits).with_seed(3)).unwrap();
+                    let mut map = ShadowMap::default();
+                    fill_aqf(&mut f, &mut map, &keys);
+                    (f, map)
+                },
+                |(mut f, map)| {
+                    let mut fixed = 0;
+                    let mut probe = 50_000_000u64;
+                    while fixed < 200 {
+                        probe += 1;
+                        if let QueryResult::Positive(hit) = f.query(probe) {
+                            if let Some(stored) = map.get(hit.minirun_id, hit.rank) {
+                                if stored != probe && f.adapt(&hit, stored, probe).is_ok() {
+                                    fixed += 1;
+                                }
+                            }
+                        }
+                    }
+                    f
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_shard_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_shards");
+    g.sample_size(10);
+    let n = ((1u64 << QBITS) as f64 * 0.8) as usize;
+    let keys = uniform_keys(n, 19);
+    for shard_bits in [2u32, 4, 6] {
+        g.bench_function(format!("insert_4threads_shards2e{shard_bits}"), |b| {
+            b.iter_batched(
+                || ShardedAqf::new(AqfConfig::new(QBITS, 9).with_seed(4), shard_bits).unwrap(),
+                |f| {
+                    std::thread::scope(|s| {
+                        for t in 0..4usize {
+                            let f = &f;
+                            let keys = &keys;
+                            s.spawn(move || {
+                                for &k in keys.iter().skip(t).step_by(4) {
+                                    let _ = f.insert(k);
+                                }
+                            });
+                        }
+                    });
+                    f
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_bulk_vs_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bulk");
+    g.sample_size(10);
+    let n = ((1u64 << QBITS) as f64 * 0.9) as usize;
+    let keys = uniform_keys(n, 23);
+    let cfg = AqfConfig::new(QBITS, 9).with_seed(5);
+    g.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut f = AdaptiveQf::new(cfg).unwrap();
+            for &k in &keys {
+                f.insert(k).unwrap();
+            }
+            f
+        })
+    });
+    g.bench_function("bulk", |b| b.iter(|| AdaptiveQf::bulk_build(cfg, &keys).unwrap()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chunk_width,
+    bench_shard_counts,
+    bench_bulk_vs_incremental
+);
+criterion_main!(benches);

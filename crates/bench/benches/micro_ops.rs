@@ -1,0 +1,167 @@
+//! Criterion micro-op latency benchmarks: insert, query (hit/miss),
+//! adapt, delete, merge, bulk build — the regression-tracking companion
+//! to the Fig. 3 / Table 5 harness binaries.
+
+use aqf::{AdaptiveQf, AqfConfig, QueryResult};
+use aqf_bench::{fill_aqf, ShadowMap};
+use aqf_filters::{CuckooFilter, Filter, QuotientFilter};
+use aqf_workloads::uniform_keys;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+const QBITS: u32 = 16;
+
+fn loaded_aqf(load: f64) -> (AdaptiveQf, ShadowMap, Vec<u64>) {
+    let n = ((1u64 << QBITS) as f64 * load) as usize;
+    let keys = uniform_keys(n, 7);
+    let mut f = AdaptiveQf::new(AqfConfig::new(QBITS, 9).with_seed(1)).unwrap();
+    let mut map = ShadowMap::default();
+    fill_aqf(&mut f, &mut map, &keys);
+    (f, map, keys)
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert");
+    g.sample_size(20);
+    let n = ((1u64 << QBITS) as f64 * 0.9) as usize;
+    let keys = uniform_keys(n, 3);
+
+    g.bench_function("aqf_fill_90", |b| {
+        b.iter_batched(
+            || AdaptiveQf::new(AqfConfig::new(QBITS, 9).with_seed(1)).unwrap(),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("qf_fill_90", |b| {
+        b.iter_batched(
+            || QuotientFilter::new(QBITS, 9, 1).unwrap(),
+            |mut f| {
+                for &k in &keys {
+                    Filter::insert(&mut f, k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("cf_fill_90", |b| {
+        b.iter_batched(
+            || CuckooFilter::new(QBITS - 2, 12, 1).unwrap(),
+            |mut f| {
+                for &k in &keys {
+                    Filter::insert(&mut f, k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("aqf_bulk_build_90", |b| {
+        b.iter(|| AdaptiveQf::bulk_build(AqfConfig::new(QBITS, 9).with_seed(1), &keys).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query");
+    let (f, _, keys) = loaded_aqf(0.9);
+    let misses = uniform_keys(10_000, 99);
+
+    g.bench_function("aqf_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(f.contains(keys[i]))
+        })
+    });
+    g.bench_function("aqf_miss", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % misses.len();
+            std::hint::black_box(f.contains(misses[i]))
+        })
+    });
+
+    let mut qf = QuotientFilter::new(QBITS, 9, 1).unwrap();
+    for &k in &keys {
+        Filter::insert(&mut qf, k).unwrap();
+    }
+    g.bench_function("qf_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(Filter::contains(&qf, keys[i]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_adapt_delete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adapt_delete");
+    g.sample_size(20);
+
+    g.bench_function("adapt_one_fp", |b| {
+        b.iter_batched(
+            || {
+                let (f, map, _) = loaded_aqf(0.7);
+                // Find a false positive to fix.
+                let mut probe = 10_000_000u64;
+                loop {
+                    probe += 1;
+                    if let QueryResult::Positive(hit) = f.query(probe) {
+                        let stored = map.get(hit.minirun_id, hit.rank).unwrap();
+                        if stored != probe {
+                            return (f, hit, stored, probe);
+                        }
+                    }
+                }
+            },
+            |(mut f, hit, stored, probe)| {
+                f.adapt(&hit, stored, probe).unwrap();
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("delete_member", |b| {
+        b.iter_batched(
+            || loaded_aqf(0.7),
+            |(mut f, _, keys)| {
+                for &k in keys.iter().take(64) {
+                    f.delete(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge");
+    g.sample_size(10);
+    let n = ((1u64 << QBITS) as f64 * 0.8) as usize;
+    let keys = uniform_keys(n, 13);
+    let half = AqfConfig::new(QBITS - 1, 10).with_seed(2);
+    let mut a = AdaptiveQf::new(half).unwrap();
+    let mut b_ = AdaptiveQf::new(half).unwrap();
+    for (i, &k) in keys.iter().enumerate() {
+        if i % 2 == 0 {
+            a.insert(k).unwrap();
+        } else {
+            b_.insert(k).unwrap();
+        }
+    }
+    g.bench_function("merge_halves", |b| b.iter(|| a.merge(&b_).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_queries, bench_adapt_delete, bench_merge);
+criterion_main!(benches);

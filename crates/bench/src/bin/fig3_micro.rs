@@ -1,0 +1,72 @@
+//! Figure 3: micro operation throughput of filters absent any system —
+//! (a) insertions, (b) uniform queries, (c) Zipfian queries — for
+//! AQF, TQF, ACF (adaptive) and QF, CF (non-adaptive baselines).
+//!
+//! Paper scale: 2^27 slots, 200M queries. Defaults here: 2^18 slots,
+//! 2M queries (`--qbits`, `--queries` to scale up).
+
+use aqf_bench::*;
+use aqf_workloads::{uniform_keys, ZipfGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let qbits = flag_u64("qbits", 18) as u32;
+    let queries = flag_u64("queries", 2_000_000) as usize;
+    let load = flag_f64("load", 0.9);
+    let n = ((1u64 << qbits) as f64 * load) as usize;
+    let keys = uniform_keys(n, 42);
+    let zipf = ZipfGenerator::new(10_000_000, 1.5, 7);
+
+    let mut rows = Vec::new();
+    for kind in AnyFilter::kinds() {
+        let mut f = AnyFilter::build(kind, qbits, 1);
+        // (a) Insertions.
+        let (inserted, ins_secs) = timed(|| {
+            let mut ok = 0u64;
+            for &k in &keys {
+                if f.insert(k) {
+                    ok += 1;
+                }
+            }
+            ok
+        });
+
+        // (b) Uniform queries (with adaptation on FPs, as deployed).
+        let probes = uniform_keys(queries, 99);
+        let (_, uni_secs) = timed(|| {
+            let mut pos = 0u64;
+            for &k in &probes {
+                if f.query_adapting(k) {
+                    pos += 1;
+                }
+            }
+            pos
+        });
+
+        // (c) Zipfian queries.
+        let mut rng = StdRng::seed_from_u64(3);
+        let zprobes: Vec<u64> = (0..queries).map(|_| zipf.sample_key(&mut rng)).collect();
+        let (_, zipf_secs) = timed(|| {
+            let mut pos = 0u64;
+            for &k in &zprobes {
+                if f.query_adapting(k) {
+                    pos += 1;
+                }
+            }
+            pos
+        });
+
+        rows.push(vec![
+            f.name().to_string(),
+            ops_per_sec(inserted, ins_secs),
+            ops_per_sec(queries as u64, uni_secs),
+            ops_per_sec(queries as u64, zipf_secs),
+        ]);
+    }
+    print_table(
+        &format!("Fig 3: micro op throughput (2^{qbits} slots, {queries} queries, ops/s)"),
+        &["Filter", "Inserts", "Uniform queries", "Zipfian queries"],
+        &rows,
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 5: system (filter + on-disk B-tree) insert throughput as the
+//! filter fills, for all five filters. The ACF and TQF collapse as load
+//! rises because kicks/shifts rewrite their location-keyed reverse maps.
+//!
+//! Paper: 2^25-slot filters over a SplinterDB B-tree. Defaults: 2^15
+//! slots, 10% reporting buckets (`--qbits`, `--buckets`).
+
+use aqf::AqfConfig;
+use aqf_bench::*;
+use aqf_filters::{AdaptiveCuckooFilter, CuckooFilter, QuotientFilter, TelescopingFilter};
+use aqf_storage::pager::IoPolicy;
+use aqf_storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use aqf_workloads::uniform_keys;
+
+fn build_system(kind: &str, qbits: u32, dir: &std::path::Path, cache: usize) -> FilteredDb {
+    let f = match kind {
+        "aqf" => SystemFilter::Aqf(Box::new(
+            aqf::AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(1)).unwrap(),
+        )),
+        "tqf" => SystemFilter::Tqf(Box::new(TelescopingFilter::new(qbits, 9, 1).unwrap())),
+        "acf" => SystemFilter::Acf(Box::new(
+            AdaptiveCuckooFilter::new(qbits - 2, 12, 1).unwrap(),
+        )),
+        "qf" => SystemFilter::Qf(Box::new(QuotientFilter::new(qbits, 9, 1).unwrap())),
+        "cf" => SystemFilter::Cf(Box::new(CuckooFilter::new(qbits - 2, 12, 1).unwrap())),
+        _ => unreachable!(),
+    };
+    FilteredDb::new(f, dir, cache, IoPolicy::default(), RevMapMode::Merged).unwrap()
+}
+
+fn main() {
+    let qbits = flag_u64("qbits", 15) as u32;
+    let buckets = flag_u64("buckets", 9) as usize; // report every 10%
+    let n = ((1u64 << qbits) as f64 * 0.9) as usize;
+    let keys = uniform_keys(n, 77);
+    let base = std::env::temp_dir().join(format!("aqf-fig5-{}", std::process::id()));
+
+    let mut rows: Vec<Vec<String>> = (0..buckets)
+        .map(|b| vec![format!("{}%", (b + 1) * 90 / buckets)])
+        .collect();
+    let mut header = vec!["Load".to_string()];
+
+    for kind in AnyFilter::kinds() {
+        let dir = base.join(kind);
+        let mut db = build_system(kind, qbits, &dir, 4096);
+        header.push(format!("{} ins/s", kind.to_uppercase()));
+        let per = n / buckets;
+        for b in 0..buckets {
+            let slice = &keys[b * per..((b + 1) * per).min(n)];
+            let (_, secs) = timed(|| {
+                for &k in slice {
+                    let _ = db.insert(k, &k.to_le_bytes());
+                }
+            });
+            rows[b].push(ops_per_sec(slice.len() as u64, secs));
+        }
+        let io = db.io_stats();
+        println!(
+            "{}: disk reads {} writes {}",
+            kind.to_uppercase(),
+            io.reads,
+            io.writes
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        &format!("Fig 5: system insert throughput vs load (2^{qbits} slots)"),
+        &header_refs,
+        &rows,
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1,0 +1,126 @@
+//! Figure 7: instantaneous false-positive rate and added space (bits/item)
+//! over time for the adaptive filters (AQF, TQF, ACF) on CAIDA-like,
+//! Shalla-like, and Zipfian query streams.
+//!
+//! Protocol (paper §6.5): fill to 90%; run the adapting query stream;
+//! every 1% of queries, freeze adaptation and measure FPR on independent
+//! Zipfian probe sets. Paper: 3M queries. Defaults: 2^14 slots, 300K
+//! queries, checkpoints every 10% (`--qbits`, `--queries`).
+//!
+//! Output: CSV `dataset,filter,queries,fpr,bits_per_item`.
+
+use aqf_bench::*;
+use aqf_workloads::datasets::{caida_like_trace, shalla_like_urls, url_key};
+use aqf_workloads::ZipfGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn measure_fpr(f: &AnyFilter, probes: &[u64], members: &std::collections::HashSet<u64>) -> f64 {
+    let mut fps = 0usize;
+    let mut negs = 0usize;
+    for &k in probes {
+        if members.contains(&k) {
+            continue;
+        }
+        negs += 1;
+        if f.contains(k) {
+            fps += 1;
+        }
+    }
+    if negs == 0 {
+        0.0
+    } else {
+        fps as f64 / negs as f64
+    }
+}
+
+fn main() {
+    let qbits = flag_u64("qbits", 14) as u32;
+    let queries = flag_u64("queries", 300_000) as usize;
+    let checkpoints = flag_u64("checkpoints", 10) as usize;
+    let n = ((1u64 << qbits) as f64 * 0.9) as usize;
+
+    // Build the three datasets: (name, member keys, adapting query trace).
+    let (caida_flows, caida_trace) = caida_like_trace(n * 4, queries, 1.2, 19);
+    let (blocklist, benign) = shalla_like_urls(n, n * 3, 20);
+    let shalla_members: Vec<u64> = blocklist.iter().map(|u| url_key(u)).collect();
+    let shalla_universe: Vec<u64> = shalla_members
+        .iter()
+        .copied()
+        .chain(benign.iter().map(|u| url_key(u)))
+        .collect();
+    let zs = ZipfGenerator::new(shalla_universe.len() as u64, 1.1, 21);
+    let mut rng = StdRng::seed_from_u64(22);
+    let shalla_trace: Vec<u64> = (0..queries)
+        .map(|_| shalla_universe[(zs.sample_rank(&mut rng) - 1) as usize])
+        .collect();
+    let zz = ZipfGenerator::new(1_000_000_000, 1.5, 23);
+    let zipf_trace: Vec<u64> = (0..queries).map(|_| zz.sample_key(&mut rng)).collect();
+    let zipf_members: Vec<u64> = aqf_workloads::uniform_keys(n, 24);
+
+    // Per-dataset universes: traces query members, probe sets measure FPR
+    // so they must draw from each dataset's full universe (members and
+    // non-members alike), Zipf-skewed like the trace itself.
+    let caida_z = ZipfGenerator::new(caida_flows.len() as u64, 1.2, 19 ^ 0xCADA);
+    type Dataset = (&'static str, Vec<u64>, Vec<u64>, Vec<u64>);
+    let datasets: Vec<Dataset> = vec![
+        ("caida", caida_flows[..n].to_vec(), caida_trace, caida_flows.clone()),
+        ("shalla", shalla_members, shalla_trace, shalla_universe.clone()),
+        ("zipfian", zipf_members, zipf_trace, Vec::new()),
+    ];
+
+    println!("dataset,filter,queries,fpr,bits_per_item");
+    for (name, members, trace, universe) in &datasets {
+        let member_set: std::collections::HashSet<u64> = members.iter().copied().collect();
+        // Independent probe sets (paper uses 100; we default to 4).
+        let mut prng = StdRng::seed_from_u64(31);
+        let probe_sets: Vec<Vec<u64>> = (0..4)
+            .map(|_| {
+                (0..20_000)
+                    .map(|_| match *name {
+                        "zipfian" => zz.sample_key(&mut prng),
+                        "caida" => {
+                            universe[(caida_z.sample_rank(&mut prng) - 1) as usize]
+                        }
+                        _ => universe[(zs.sample_rank(&mut prng) - 1) as usize],
+                    })
+                    .collect()
+            })
+            .collect();
+        for kind in ["aqf", "tqf", "acf"] {
+            let mut f = AnyFilter::build(kind, qbits, 7);
+            let base_bytes = f.size_in_bytes();
+            for &k in members.iter() {
+                f.insert(k);
+            }
+            let per = trace.len() / checkpoints;
+            for c in 0..checkpoints {
+                for &k in &trace[c * per..((c + 1) * per).min(trace.len())] {
+                    let _ = f.query_adapting(k);
+                }
+                let fpr: f64 = probe_sets
+                    .iter()
+                    .map(|p| measure_fpr(&f, p, &member_set))
+                    .sum::<f64>()
+                    / probe_sets.len() as f64;
+                // Added space: extension slots (AQF) / 0 for selector-based
+                // filters whose space is pre-allocated.
+                let extra_bits = (f.size_in_bytes().saturating_sub(base_bytes)) as f64 * 8.0;
+                let added = match &f {
+                    AnyFilter::Aqf(a, _) => {
+                        (a.stats().extension_slots as f64 * (9 + 4) as f64) / members.len() as f64
+                    }
+                    _ => extra_bits / members.len() as f64,
+                };
+                println!(
+                    "{},{},{},{:.8},{:.6}",
+                    name,
+                    f.name(),
+                    (c + 1) * per,
+                    fpr,
+                    added
+                );
+            }
+        }
+    }
+}

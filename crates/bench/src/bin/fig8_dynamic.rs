@@ -1,0 +1,89 @@
+//! Figure 8: AQF false-positive rate over time on a dynamic workload —
+//! Zipfian queries with a churn burst every 10% of operations replacing
+//! 20% of the members (TQF/ACF are excluded: no deletes).
+//!
+//! Paper: 3M queries, 1M-probe instantaneous FPR. Defaults: 2^14 slots,
+//! 200K queries (`--qbits`, `--queries`).
+//!
+//! Output: CSV `ops,fpr,churn` (churn=1 marks a burst checkpoint).
+
+use aqf::{AdaptiveQf, AqfConfig, QueryResult};
+use aqf_bench::*;
+use aqf_workloads::datasets::{churn_schedule, ChurnOp};
+use aqf_workloads::ZipfGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let qbits = flag_u64("qbits", 14) as u32;
+    let queries = flag_u64("queries", 200_000) as usize;
+    let n = ((1u64 << qbits) as f64 * 0.85) as usize;
+    let universe = 1_000_000u64;
+
+    let members: Vec<u64> = aqf_workloads::uniform_universe_keys(n, universe, 41)
+        .into_iter()
+        .collect();
+    let (ops, _) = churn_schedule(&members, queries, queries / 10, 0.2, universe, 1.5, 42);
+
+    let mut f = AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(5)).unwrap();
+    let mut map = ShadowMap::default();
+    let mut member_set: std::collections::HashSet<u64> = members.iter().copied().collect();
+    fill_aqf(&mut f, &mut map, &members);
+
+    // Instantaneous-FPR probe set from the same Zipf distribution.
+    let z = ZipfGenerator::new(universe, 1.5, 42 ^ 0xC4A2);
+    let mut prng = StdRng::seed_from_u64(43);
+    let probes: Vec<u64> = (0..50_000).map(|_| z.sample_key(&mut prng)).collect();
+
+    println!("ops,fpr,churn");
+    let checkpoint = (ops.len() / 40).max(1);
+    let mut qcount = 0usize;
+    let mut churn_flag = 0;
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            ChurnOp::Query(k) => {
+                qcount += 1;
+                if let QueryResult::Positive(hit) = f.query(k) {
+                    if !member_set.contains(&k) {
+                        if let Some(stored) = map.get(hit.minirun_id, hit.rank) {
+                            let _ = f.adapt(&hit, stored, k);
+                        }
+                    }
+                }
+            }
+            ChurnOp::Delete(k) => {
+                churn_flag = 1;
+                let _ = f.delete(k);
+                member_set.remove(&k);
+            }
+            ChurnOp::Insert(k) => {
+                if let Ok(out) = f.insert(k) {
+                    map.record(&out, k);
+                    member_set.insert(k);
+                }
+            }
+        }
+        if i % checkpoint == 0 {
+            // Adaptation off while measuring (plain contains()).
+            let mut fps = 0usize;
+            let mut negs = 0usize;
+            for &p in &probes {
+                if member_set.contains(&p) {
+                    continue;
+                }
+                negs += 1;
+                if f.contains(p) {
+                    fps += 1;
+                }
+            }
+            println!("{},{:.8},{}", qcount, fps as f64 / negs.max(1) as f64, churn_flag);
+            churn_flag = 0;
+        }
+    }
+    eprintln!(
+        "final: {} members, {} adaptations, {} ext slots",
+        member_set.len(),
+        f.stats().adaptations,
+        f.stats().extension_slots
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 9: space usage of the (dynamic-capable) AQF yes/no filter vs
+//! the static cascading Bloom filter (CRLite) as the no/yes ratio varies,
+//! with a fixed aggregate list size.
+//!
+//! Paper: 1M aggregate items, ratios 2^-5..2^5. Defaults: 64K aggregate
+//! (`--aggregate`).
+
+use aqf::AqfConfig;
+use aqf_bench::*;
+use aqf_filters::CascadingBloomFilter;
+
+fn main() {
+    let aggregate = flag_u64("aggregate", 1 << 16) as usize;
+    let mut rows = Vec::new();
+    for e in -5i32..=5 {
+        let ratio = 2f64.powi(e);
+        // no = ratio * yes; yes + no = aggregate.
+        let n_yes = ((aggregate as f64) / (1.0 + ratio)).round().max(1.0) as usize;
+        let n_no = aggregate - n_yes;
+        let yes: Vec<u64> = aqf_workloads::uniform_keys(n_yes, 51);
+        let no: Vec<u64> = aqf_workloads::uniform_keys(n_no, 52);
+
+        // AQF static yes/no construction (paper §5.1). The optimal ε for
+        // the yes/no problem is n/m when m > n (space lower bound is
+        // n·log(max(1/ε, m/n))), so the remainder width tracks the ratio:
+        // rbits ≈ log2(m/n), clamped to at least 2.
+        let rbits = ((n_no.max(1) as f64 / n_yes as f64).log2().ceil() as i64).clamp(2, 16) as u32;
+        let cfg = AqfConfig::for_capacity(n_yes.max(64), 0.85, rbits).with_seed(6);
+        let aqf_bytes = match aqf::StaticYesNo::build(cfg, &yes, &no) {
+            Ok(f) => {
+                // Verify the guarantee before reporting space.
+                assert!(no.iter().all(|&z| !f.query(z)), "no-list FP escaped");
+                f.size_in_bytes()
+            }
+            Err(_) => {
+                // Adaptivity space exhausted: grow once (the Thm 2 failure
+                // path) and retry.
+                let cfg2 = AqfConfig { qbits: cfg.qbits + 1, ..cfg };
+                let f = aqf::StaticYesNo::build(cfg2, &yes, &no).expect("grown filter fits");
+                f.size_in_bytes()
+            }
+        };
+
+        let cbf = CascadingBloomFilter::build(&yes, &no, 7).unwrap();
+        rows.push(vec![
+            format!("2^{e}"),
+            n_yes.to_string(),
+            n_no.to_string(),
+            aqf_bytes.to_string(),
+            cbf.size_in_bytes().to_string(),
+            cbf.depth().to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Fig 9: yes/no-list space vs no/yes ratio ({aggregate} aggregate items)"),
+        &["no/yes", "|Y|", "|N|", "AQF bytes", "CBF bytes", "CBF depth"],
+        &rows,
+    );
+}

@@ -1,0 +1,87 @@
+//! Table 4: query speed on (synthetic stand-ins for) real-world datasets —
+//! CAIDA-like network flows and Shalla-like URL keys — after filling each
+//! filter, including occasional database accesses.
+//!
+//! Paper: 2^26 inserts, real traces. Defaults: 2^15 slots, 500K queries
+//! (`--qbits`, `--queries`). DESIGN.md §4 documents the substitution.
+
+use aqf::AqfConfig;
+use aqf_bench::*;
+use aqf_filters::{AdaptiveCuckooFilter, CuckooFilter, QuotientFilter, TelescopingFilter};
+use aqf_storage::pager::IoPolicy;
+use aqf_storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use aqf_workloads::datasets::{caida_like_trace, shalla_like_urls, url_key};
+use aqf_workloads::ZipfGenerator;
+use rand::SeedableRng;
+
+fn build_system(kind: &str, qbits: u32, dir: &std::path::Path) -> FilteredDb {
+    let f = match kind {
+        "aqf" => SystemFilter::Aqf(Box::new(
+            aqf::AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(4)).unwrap(),
+        )),
+        "tqf" => SystemFilter::Tqf(Box::new(TelescopingFilter::new(qbits, 9, 4).unwrap())),
+        "acf" => SystemFilter::Acf(Box::new(
+            AdaptiveCuckooFilter::new(qbits - 2, 12, 4).unwrap(),
+        )),
+        "qf" => SystemFilter::Qf(Box::new(QuotientFilter::new(qbits, 9, 4).unwrap())),
+        "cf" => SystemFilter::Cf(Box::new(CuckooFilter::new(qbits - 2, 12, 4).unwrap())),
+        _ => unreachable!(),
+    };
+    FilteredDb::new(f, dir, 4096, IoPolicy::default(), RevMapMode::Merged).unwrap()
+}
+
+fn main() {
+    let qbits = flag_u64("qbits", 15) as u32;
+    let queries = flag_u64("queries", 500_000) as usize;
+    let n = ((1u64 << qbits) as f64 * 0.9) as usize;
+    let base = std::env::temp_dir().join(format!("aqf-tab4-{}", std::process::id()));
+
+    // CAIDA-like: members = observed flows; queries = trace mixing member
+    // flows and unseen flows (skewed).
+    let (flows, trace) = caida_like_trace(n * 2, queries, 1.2, 9);
+    let caida_members: Vec<u64> = flows[..n].to_vec();
+
+    // Shalla-like: members = blocklist URL keys; queries = Zipfian over
+    // blocklist + benign URLs.
+    let (blocklist, benign) = shalla_like_urls(n, n, 10);
+    let shalla_members: Vec<u64> = blocklist.iter().map(|u| url_key(u)).collect();
+    let shalla_universe: Vec<u64> = shalla_members
+        .iter()
+        .copied()
+        .chain(benign.iter().map(|u| url_key(u)))
+        .collect();
+    let z = ZipfGenerator::new(shalla_universe.len() as u64, 1.1, 11);
+    let mut zrng = rand::rngs::StdRng::seed_from_u64(12);
+    let shalla_trace: Vec<u64> = (0..queries)
+        .map(|_| shalla_universe[(z.sample_rank(&mut zrng) - 1) as usize])
+        .collect();
+
+    let mut rows = Vec::new();
+    for kind in AnyFilter::kinds() {
+        let mut row = vec![kind.to_uppercase()];
+        for (tag, members, probe_trace) in [
+            ("caida", &caida_members, &trace),
+            ("shalla", &shalla_members, &shalla_trace),
+        ] {
+            let dir = base.join(format!("{kind}-{tag}"));
+            let mut db = build_system(kind, qbits, &dir);
+            for &k in members {
+                let _ = db.insert(k, b"rec");
+            }
+            let (_, secs) = timed(|| {
+                for &k in probe_trace.iter() {
+                    let _ = db.query(k).unwrap();
+                }
+            });
+            row.push(ops_per_sec(probe_trace.len() as u64, secs));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Table 4: query speed on synthetic real-world datasets (2^{qbits} slots)"),
+        &["Filter", "CAIDA-like q/s", "Shalla-like q/s"],
+        &rows,
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

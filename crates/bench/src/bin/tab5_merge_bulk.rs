@@ -1,0 +1,72 @@
+//! Table 5: average per-item latency for (a) inserting into a full-size
+//! AQF, (b) inserting into two half-size AQFs, (c) merging the halves,
+//! (d) sorting keys in hash order, and (e) bulk building from sorted keys.
+//!
+//! Paper: 2^26 slots. Defaults: 2^18 (`--qbits`).
+
+use aqf::{AdaptiveQf, AqfConfig};
+use aqf_bench::*;
+use aqf_workloads::uniform_keys;
+
+fn main() {
+    let qbits = flag_u64("qbits", 18) as u32;
+    let n = ((1u64 << qbits) as f64 * 0.9) as usize;
+    let keys = uniform_keys(n, 61);
+    // Full-size geometry (q, r); halves use (q-1, r+1) so that merging
+    // yields exactly (q, r) — fingerprint length is conserved.
+    let full_cfg = AqfConfig::new(qbits, 9).with_seed(9);
+    let half_cfg = AqfConfig::new(qbits - 1, 10).with_seed(9);
+
+    let mut rows = Vec::new();
+
+    let (_, t_full) = timed(|| {
+        let mut f = AdaptiveQf::new(full_cfg).unwrap();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        f
+    });
+    rows.push(vec!["Insert into filter".into(), us_per_item(t_full, n)]);
+
+    let ((a, b), t_half) = timed(|| {
+        let mut a = AdaptiveQf::new(half_cfg).unwrap();
+        let mut b = AdaptiveQf::new(half_cfg).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                a.insert(k).unwrap();
+            } else {
+                b.insert(k).unwrap();
+            }
+        }
+        (a, b)
+    });
+    rows.push(vec!["Insert into half-size filters".into(), us_per_item(t_half, n)]);
+
+    let (merged, t_merge) = timed(|| a.merge(&b).unwrap());
+    assert_eq!(merged.len(), n as u64);
+    rows.push(vec!["Merge two half-size filters".into(), us_per_item(t_merge, n)]);
+
+    let (sorted, t_sort) = timed(|| {
+        let probe = AdaptiveQf::new(full_cfg).unwrap();
+        let mut ids: Vec<(u64, u64)> =
+            keys.iter().map(|&k| (probe.fingerprint(k).minirun_id(), k)).collect();
+        ids.sort_unstable();
+        ids
+    });
+    rows.push(vec!["Sort in hash order".into(), us_per_item(t_sort, n)]);
+    drop(sorted);
+
+    let (bulk, t_bulk) = timed(|| AdaptiveQf::bulk_build(full_cfg, &keys).unwrap());
+    assert_eq!(bulk.len(), n as u64);
+    rows.push(vec!["Bulk insert".into(), us_per_item(t_bulk, n)]);
+
+    print_table(
+        &format!("Table 5: merge and bulk-load latency (2^{qbits} slots, {n} keys)"),
+        &["Operation", "Time per item (us)"],
+        &rows,
+    );
+}
+
+fn us_per_item(secs: f64, n: usize) -> String {
+    format!("{:.4}", secs * 1e6 / n as f64)
+}

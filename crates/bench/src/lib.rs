@@ -1,0 +1,260 @@
+//! Shared plumbing for the per-table/figure benchmark binaries.
+//!
+//! Every binary accepts `--name=value` flags (see each binary's `--help`)
+//! and defaults to a laptop-scale configuration; pass larger `--qbits` /
+//! `--queries` to approach the paper's scale. Results print as markdown
+//! tables (and CSV with `--csv`) so EXPERIMENTS.md can quote them.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use aqf::{AdaptiveQf, AqfConfig, QueryResult};
+pub use aqf_filters::{
+    AdaptiveCuckooFilter, CuckooFilter, Filter, QuotientFilter, TelescopingFilter,
+};
+
+/// Parse `--name=value` from argv.
+pub fn flag_u64(name: &str, default: u64) -> u64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Parse `--name=value` as f64.
+pub fn flag_f64(name: &str, default: f64) -> f64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Presence of a bare `--name` flag.
+pub fn flag_bool(name: &str) -> bool {
+    let want = format!("--{name}");
+    std::env::args().any(|a| a == want)
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Format an ops/second figure compactly.
+pub fn ops_per_sec(n: u64, secs: f64) -> String {
+    let v = n as f64 / secs;
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Print a markdown table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for r in rows {
+        println!("| {} |", r.join(" | "));
+    }
+}
+
+/// The five evaluated filters at a common slot budget of `2^qbits` slots
+/// and ≈2^-9 false-positive rate (paper §6.2: QF-family 9-bit remainders,
+/// CF-family 12-bit tags in 4-slot buckets).
+pub enum AnyFilter {
+    /// AdaptiveQF with its shadow reverse map (simulated, like §6.3).
+    Aqf(AdaptiveQf, ShadowMap),
+    /// Telescoping quotient filter.
+    Tqf(TelescopingFilter),
+    /// Adaptive cuckoo filter.
+    Acf(AdaptiveCuckooFilter),
+    /// Plain quotient filter.
+    Qf(QuotientFilter),
+    /// Cuckoo filter.
+    Cf(CuckooFilter),
+}
+
+impl AnyFilter {
+    /// Instantiate by name ("aqf", "tqf", "acf", "qf", "cf").
+    pub fn build(kind: &str, qbits: u32, seed: u64) -> AnyFilter {
+        match kind {
+            "aqf" => AnyFilter::Aqf(
+                AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(seed)).unwrap(),
+                ShadowMap::default(),
+            ),
+            "tqf" => AnyFilter::Tqf(TelescopingFilter::new(qbits, 9, seed).unwrap()),
+            "acf" => AnyFilter::Acf(AdaptiveCuckooFilter::new(qbits - 2, 12, seed).unwrap()),
+            "qf" => AnyFilter::Qf(QuotientFilter::new(qbits, 9, seed).unwrap()),
+            "cf" => AnyFilter::Cf(CuckooFilter::new(qbits - 2, 12, seed).unwrap()),
+            other => panic!("unknown filter kind {other}"),
+        }
+    }
+
+    /// All five kinds, adaptive first (paper figure order).
+    pub fn kinds() -> &'static [&'static str] {
+        &["aqf", "tqf", "acf", "qf", "cf"]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyFilter::Aqf(..) => "AQF",
+            AnyFilter::Tqf(_) => "TQF",
+            AnyFilter::Acf(_) => "ACF",
+            AnyFilter::Qf(_) => "QF",
+            AnyFilter::Cf(_) => "CF",
+        }
+    }
+
+    /// True if this filter adapts to false positives.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, AnyFilter::Aqf(..) | AnyFilter::Tqf(_) | AnyFilter::Acf(_))
+    }
+
+    /// Insert a key. Returns false when the filter reports Full.
+    pub fn insert(&mut self, key: u64) -> bool {
+        match self {
+            AnyFilter::Aqf(f, map) => match f.insert(key) {
+                Ok(out) => {
+                    map.record(&out, key);
+                    true
+                }
+                Err(_) => false,
+            },
+            AnyFilter::Tqf(f) => Filter::insert(f, key).is_ok(),
+            AnyFilter::Acf(f) => Filter::insert(f, key).is_ok(),
+            AnyFilter::Qf(f) => Filter::insert(f, key).is_ok(),
+            AnyFilter::Cf(f) => Filter::insert(f, key).is_ok(),
+        }
+    }
+
+    /// Membership query without adaptation.
+    pub fn contains(&self, key: u64) -> bool {
+        match self {
+            AnyFilter::Aqf(f, _) => f.contains(key),
+            AnyFilter::Tqf(f) => Filter::contains(f, key),
+            AnyFilter::Acf(f) => Filter::contains(f, key),
+            AnyFilter::Qf(f) => Filter::contains(f, key),
+            AnyFilter::Cf(f) => Filter::contains(f, key),
+        }
+    }
+
+    /// Query with adaptation on false positives, resolving stored keys
+    /// through the shadow reverse map (the paper's §6.3 microbenchmark
+    /// setting). Returns true if the filter answered positive.
+    pub fn query_adapting(&mut self, key: u64) -> bool {
+        match self {
+            AnyFilter::Aqf(f, map) => match f.query(key) {
+                QueryResult::Negative => false,
+                QueryResult::Positive(hit) => {
+                    map.settle();
+                    if let Some(stored) = map.get(hit.minirun_id, hit.rank) {
+                        if stored != key {
+                            let _ = f.adapt(&hit, stored, key);
+                        }
+                    }
+                    true
+                }
+            },
+            AnyFilter::Tqf(f) => match f.query_slot(key) {
+                None => false,
+                Some(hit) => {
+                    if f.stored_key(&hit) != key {
+                        f.adapt(&hit);
+                    }
+                    true
+                }
+            },
+            AnyFilter::Acf(f) => match f.query_slot(key) {
+                None => false,
+                Some(hit) => {
+                    if f.stored_key(&hit) != key {
+                        f.adapt(&hit);
+                    }
+                    true
+                }
+            },
+            AnyFilter::Qf(f) => Filter::contains(f, key),
+            AnyFilter::Cf(f) => Filter::contains(f, key),
+        }
+    }
+
+    /// Filter table bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        match self {
+            AnyFilter::Aqf(f, _) => f.size_in_bytes(),
+            AnyFilter::Tqf(f) => Filter::size_in_bytes(f),
+            AnyFilter::Acf(f) => Filter::size_in_bytes(f),
+            AnyFilter::Qf(f) => Filter::size_in_bytes(f),
+            AnyFilter::Cf(f) => Filter::size_in_bytes(f),
+        }
+    }
+}
+
+/// An auxiliary exact reverse map for microbenchmarks: minirun id -> keys
+/// by rank, mirroring AQF insert outcomes (cheap, in-memory — the paper
+/// does the same for filter-only benches: "we pick valid arbitrary keys
+/// ... to simulate having the reverse map present").
+///
+/// Inserts append to a flat log (a couple of ns, so timed insert loops
+/// aren't polluted by map maintenance, matching the paper's protocol);
+/// the first lookup folds the log into the hash map.
+#[derive(Default)]
+pub struct ShadowMap {
+    log: Vec<(u64, u32, u64)>,
+    map: std::collections::HashMap<u64, Vec<u64>>,
+}
+
+impl ShadowMap {
+    /// Record an insert outcome (cheap append).
+    #[inline]
+    pub fn record(&mut self, out: &aqf::InsertOutcome, key: u64) {
+        self.log.push((out.minirun_id, out.rank, key));
+    }
+
+    /// Fold pending log entries into the lookup structure.
+    pub fn settle(&mut self) {
+        for (id, rank, key) in self.log.drain(..) {
+            let list = self.map.entry(id).or_default();
+            list.insert((rank as usize).min(list.len()), key);
+        }
+    }
+
+    /// Key stored at (id, rank). Call [`Self::settle`] after inserts.
+    pub fn get(&self, minirun_id: u64, rank: u32) -> Option<u64> {
+        debug_assert!(self.log.is_empty(), "call settle() after inserts");
+        self.map.get(&minirun_id)?.get(rank as usize).copied()
+    }
+}
+
+/// Fill an AQF + shadow map to `n` keys from `keys`.
+pub fn fill_aqf(f: &mut AdaptiveQf, map: &mut ShadowMap, keys: &[u64]) {
+    for &k in keys {
+        let out = f.insert(k).expect("bench filter sized to fit");
+        map.record(&out, k);
+    }
+    map.settle();
+}
+
+/// AQF query with full adaptation through the shadow map. Returns true on
+/// a filter positive.
+pub fn aqf_query_adapting(f: &mut AdaptiveQf, map: &ShadowMap, key: u64) -> bool {
+    match f.query(key) {
+        QueryResult::Negative => false,
+        QueryResult::Positive(hit) => {
+            if let Some(stored) = map.get(hit.minirun_id, hit.rank) {
+                if stored != key {
+                    let _ = f.adapt(&hit, stored, key);
+                }
+            }
+            true
+        }
+    }
+}

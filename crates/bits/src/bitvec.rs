@@ -1,0 +1,389 @@
+//! A fixed-capacity bit vector with rank/select and Robin Hood shifting.
+//!
+//! Quotient filters shift runs of slots right by one on insert and left by
+//! one on delete. The metadata bit vectors (`runends`, `extensions`) must
+//! shift in lock-step with the remainders, so [`BitVec`] provides
+//! [`BitVec::shift_right_insert`] / [`BitVec::shift_left_remove`] over an
+//! arbitrary bit range, implemented with word-level operations.
+
+use crate::word::{bitmask, rank_u64, select_u64};
+
+/// Fixed-capacity bit vector.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// A bit vector of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds zero bits.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] >> (i & 63) & 1 == 1
+    }
+
+    /// Set bit `i` to 1.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1 << (i & 63);
+    }
+
+    /// Set bit `i` to 0.
+    #[inline(always)]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] &= !(1 << (i & 63));
+    }
+
+    /// Set bit `i` to `value`.
+    #[inline(always)]
+    pub fn assign(&mut self, i: usize, value: bool) {
+        if value {
+            self.set(i)
+        } else {
+            self.clear(i)
+        }
+    }
+
+    /// The raw word containing bits `[64*w, 64*w+64)`.
+    #[inline(always)]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits strictly below bit `i` (`i` may equal `len`).
+    pub fn rank(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let full = i >> 6;
+        let mut r: usize = self.words[..full].iter().map(|w| w.count_ones() as usize).sum();
+        if i & 63 != 0 {
+            r += rank_u64(self.words[full], (i & 63) as u32) as usize;
+        }
+        r
+    }
+
+    /// Position of the set bit with rank `k`, scanning from bit `from`.
+    pub fn select_from(&self, mut k: usize, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from >> 6;
+        let mut word = self.words[w] & !bitmask((from & 63) as u32);
+        loop {
+            let ones = word.count_ones() as usize;
+            if k < ones {
+                let pos = (w << 6) + select_u64(word, k as u32).unwrap() as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            k -= ones;
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Number of set bits in `[a, b)`, touching only the words that overlap
+    /// the range (unlike [`Self::rank`], which scans from bit 0).
+    pub fn count_range(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a <= b && b <= self.len);
+        if a == b {
+            return 0;
+        }
+        let (wa, wb) = (a >> 6, (b - 1) >> 6);
+        if wa == wb {
+            let mask = bitmask((b - a) as u32) << (a & 63);
+            return (self.words[wa] & mask).count_ones() as usize;
+        }
+        let mut r = (self.words[wa] & !bitmask((a & 63) as u32)).count_ones() as usize;
+        for w in wa + 1..wb {
+            r += self.words[w].count_ones() as usize;
+        }
+        let tail_bits = (b - (wb << 6)) as u32;
+        r += (self.words[wb] & bitmask(tail_bits)).count_ones() as usize;
+        r
+    }
+
+    /// First position `>= from` holding a zero bit, or `None`.
+    pub fn next_zero(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from >> 6;
+        let mut word = !self.words[w] & !bitmask((from & 63) as u32);
+        loop {
+            if word != 0 {
+                let pos = (w << 6) + word.trailing_zeros() as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = !self.words[w];
+        }
+    }
+
+    /// First position `>= from` holding a one bit, or `None`.
+    pub fn next_one(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from >> 6;
+        let mut word = self.words[w] & !bitmask((from & 63) as u32);
+        loop {
+            if word != 0 {
+                let pos = (w << 6) + word.trailing_zeros() as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Last position `<= from` holding a zero bit, or `None`.
+    pub fn prev_zero(&self, from: usize) -> Option<usize> {
+        debug_assert!(from < self.len);
+        let mut w = from >> 6;
+        let mut word = !self.words[w] & bitmask((from & 63) as u32 + 1);
+        loop {
+            if word != 0 {
+                return Some((w << 6) + 63 - word.leading_zeros() as usize);
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            word = !self.words[w];
+        }
+    }
+
+    /// Shift bits in `[pos, end)` one position right so they occupy
+    /// `[pos+1, end+1)`, then write `value` into bit `pos`.
+    ///
+    /// Bit `end` is overwritten by the old bit `end-1`; callers guarantee
+    /// slot `end` was free. When `pos == end` this just assigns bit `pos`.
+    pub fn shift_right_insert(&mut self, pos: usize, end: usize, value: bool) {
+        debug_assert!(pos <= end && end < self.len);
+        let mut i = end;
+        // Word-level path: shift whole words where possible.
+        while i > pos {
+            let w = i >> 6;
+            let lo_bit = w << 6;
+            let seg_start = pos.max(lo_bit);
+            // Bits [seg_start, i) live in word w and move right by one
+            // within it; bit i receives the old bit i-1 (same word since
+            // seg_start < i implies i-1 >= seg_start >= lo_bit).
+            let word = self.words[w];
+            let keep_lo = word & bitmask((seg_start - lo_bit) as u32);
+            let move_mask = bitmask((i - lo_bit) as u32) & !bitmask((seg_start - lo_bit) as u32);
+            let moved = (word & move_mask) << 1;
+            let keep_hi = word & !bitmask((i - lo_bit + 1) as u32);
+            self.words[w] = keep_lo | moved | keep_hi;
+            if seg_start == pos {
+                break;
+            }
+            // Bit seg_start (now vacated) receives old bit seg_start-1 from
+            // the previous word.
+            let prev = self.words[w - 1] >> 63 & 1 == 1;
+            self.assign(seg_start, prev);
+            // Bit seg_start-1 was consumed as the carry; the next pass
+            // overwrites it while shifting its own word.
+            i = seg_start - 1;
+        }
+        self.assign(pos, value);
+    }
+
+    /// Shift bits in `(pos, end)` one position left so they occupy
+    /// `[pos, end-1)`, then clear bit `end-1`.
+    ///
+    /// This is the inverse of [`Self::shift_right_insert`], used on delete.
+    pub fn shift_left_remove(&mut self, pos: usize, end: usize) {
+        debug_assert!(pos < end && end <= self.len);
+        for i in pos..end - 1 {
+            let v = self.get(i + 1);
+            self.assign(i, v);
+        }
+        self.clear(end - 1);
+    }
+
+    /// Bytes of heap memory used.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    /// Set every bit to zero.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_bits(bits: &[bool]) -> BitVec {
+        let mut v = BitVec::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.assign(i, b);
+        }
+        v
+    }
+
+    fn to_bits(v: &BitVec) -> Vec<bool> {
+        (0..v.len()).map(|i| v.get(i)).collect()
+    }
+
+    #[test]
+    fn get_set_clear() {
+        let mut v = BitVec::new(130);
+        assert!(!v.get(0));
+        v.set(0);
+        v.set(64);
+        v.set(129);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        v.clear(64);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn rank_select_cross_words() {
+        let mut v = BitVec::new(256);
+        for i in (0..256).step_by(5) {
+            v.set(i);
+        }
+        for i in 0..=256 {
+            let naive = (0..i).filter(|&j| j % 5 == 0).count();
+            assert_eq!(v.rank(i), naive, "rank({i})");
+        }
+        for k in 0..52 {
+            assert_eq!(v.select_from(k, 0), Some(k * 5));
+        }
+        assert_eq!(v.select_from(52, 0), None);
+        assert_eq!(v.select_from(0, 6), Some(10));
+        assert_eq!(v.select_from(1, 70), Some(75));
+    }
+
+    fn naive_shift_right(bits: &mut [bool], pos: usize, end: usize, value: bool) {
+        for i in (pos + 1..=end).rev() {
+            bits[i] = bits[i - 1];
+        }
+        bits[pos] = value;
+    }
+
+    #[test]
+    fn shift_right_insert_matches_naive() {
+        // Exercise in-word, cross-word, and multi-word shifts.
+        let cases = [
+            (0usize, 0usize),
+            (3, 10),
+            (0, 63),
+            (62, 66),
+            (10, 200),
+            (63, 64),
+            (64, 127),
+            (100, 101),
+        ];
+        for &(pos, end) in &cases {
+            let mut bits: Vec<bool> = (0..256).map(|i| (i * 7 + 3) % 5 < 2).collect();
+            let mut v = from_bits(&bits);
+            v.shift_right_insert(pos, end, true);
+            naive_shift_right(&mut bits, pos, end, true);
+            assert_eq!(to_bits(&v), bits, "pos={pos} end={end}");
+        }
+    }
+
+    #[test]
+    fn shift_left_remove_matches_naive() {
+        let cases = [(0usize, 2usize), (3, 10), (0, 64), (62, 130), (10, 256)];
+        for &(pos, end) in &cases {
+            let mut bits: Vec<bool> = (0..256).map(|i| (i * 11 + 1) % 3 == 0).collect();
+            let mut v = from_bits(&bits);
+            v.shift_left_remove(pos, end);
+            for i in pos..end - 1 {
+                bits[i] = bits[i + 1];
+            }
+            bits[end - 1] = false;
+            assert_eq!(to_bits(&v), bits, "pos={pos} end={end}");
+        }
+    }
+
+    #[test]
+    fn count_range_matches_rank_difference() {
+        let mut v = BitVec::new(300);
+        for i in (0..300).step_by(7) {
+            v.set(i);
+        }
+        for a in (0..300).step_by(13) {
+            for b in (a..=300).step_by(17) {
+                assert_eq!(v.count_range(a, b), v.rank(b) - v.rank(a), "[{a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn next_prev_zero() {
+        let mut v = BitVec::new(200);
+        for i in 0..200 {
+            v.set(i);
+        }
+        v.clear(0);
+        v.clear(70);
+        v.clear(199);
+        assert_eq!(v.next_zero(0), Some(0));
+        assert_eq!(v.next_zero(1), Some(70));
+        assert_eq!(v.next_zero(71), Some(199));
+        assert_eq!(v.prev_zero(199), Some(199));
+        assert_eq!(v.prev_zero(198), Some(70));
+        assert_eq!(v.prev_zero(69), Some(0));
+        let mut full = BitVec::new(128);
+        for i in 0..128 {
+            full.set(i);
+        }
+        assert_eq!(full.next_zero(0), None);
+        assert_eq!(full.prev_zero(127), None);
+    }
+
+    #[test]
+    fn shift_then_unshift_roundtrip() {
+        // End slot (181) must be free per the shift contract: 181 % 3 != 0.
+        let bits: Vec<bool> = (0..192).map(|i| i % 3 == 0).collect();
+        let v0 = from_bits(&bits);
+        let mut v = v0.clone();
+        v.shift_right_insert(5, 181, false);
+        v.shift_left_remove(5, 182);
+        assert_eq!(to_bits(&v), to_bits(&v0));
+    }
+}

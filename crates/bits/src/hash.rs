@@ -1,0 +1,230 @@
+//! Hashing for fingerprint filters.
+//!
+//! The paper uses MurmurHash2 for all filters. We provide:
+//!
+//! - [`murmur64a`]: the classic MurmurHash64A over byte strings,
+//! - [`mix64`]: its finalizer as a fast integer mixer for `u64` keys,
+//! - [`HashSeq`]: a *seeded chunk deriver* that treats the hash of a key as
+//!   an **infinite bit string**. Adaptive filters extend fingerprints
+//!   without bound, so 64 bits are not always enough; chunk `i` beyond the
+//!   first word is drawn from `murmur(key, seed + 1 + i/64-ish)` so that
+//!   every key has an unbounded, independently-random hash string.
+
+/// MurmurHash64A over a byte slice.
+pub fn murmur64a(data: &[u8], seed: u64) -> u64 {
+    const M: u64 = 0xc6a4_a793_5bd1_e995;
+    const R: u32 = 47;
+    let mut h: u64 = seed ^ (data.len() as u64).wrapping_mul(M);
+    let chunks = data.chunks_exact(8);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        let mut k = u64::from_le_bytes(chunk.try_into().unwrap());
+        k = k.wrapping_mul(M);
+        k ^= k >> R;
+        k = k.wrapping_mul(M);
+        h ^= k;
+        h = h.wrapping_mul(M);
+    }
+    if !tail.is_empty() {
+        let mut k: u64 = 0;
+        for (i, &b) in tail.iter().enumerate() {
+            k |= (b as u64) << (8 * i);
+        }
+        h ^= k;
+        h = h.wrapping_mul(M);
+    }
+    h ^= h >> R;
+    h = h.wrapping_mul(M);
+    h ^= h >> R;
+    h
+}
+
+/// Mix a `u64` key with a seed into a 64-bit hash (MurmurHash64A applied to
+/// the key's little-endian bytes).
+#[inline]
+pub fn mix64(key: u64, seed: u64) -> u64 {
+    const M: u64 = 0xc6a4_a793_5bd1_e995;
+    const R: u32 = 47;
+    let mut h: u64 = seed ^ 8u64.wrapping_mul(M);
+    let mut k = key;
+    k = k.wrapping_mul(M);
+    k ^= k >> R;
+    k = k.wrapping_mul(M);
+    h ^= k;
+    h = h.wrapping_mul(M);
+    h ^= h >> R;
+    h = h.wrapping_mul(M);
+    h ^= h >> R;
+    h
+}
+
+/// An unbounded hash bit-string for one key.
+///
+/// `word(i)` is the i-th 64-bit word of the string; `bits(start, n)` reads
+/// an arbitrary `n <= 64` bit substring. Fingerprint layout in this
+/// workspace: quotient = bits `[0, q)`, remainder = bits `[q, q+r)`,
+/// extension chunk `e` = bits `[q + r + e*r, q + r + (e+1)*r)`.
+#[derive(Clone, Copy, Debug)]
+pub struct HashSeq {
+    key: u64,
+    seed: u64,
+}
+
+impl HashSeq {
+    /// Hash string of `key` under `seed`.
+    #[inline]
+    pub fn new(key: u64, seed: u64) -> Self {
+        Self { key, seed }
+    }
+
+    /// The i-th 64-bit word of the infinite hash string.
+    #[inline]
+    pub fn word(&self, i: u64) -> u64 {
+        // Word 0 is the plain hash so that non-adaptive filters using
+        // mix64(key, seed) agree with the first 64 bits seen here.
+        mix64(self.key, self.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Read `n` (1..=64) bits starting at bit offset `start`, LSB-first
+    /// (bit 0 is the least significant bit of word 0).
+    #[inline]
+    pub fn bits(&self, start: u64, n: u32) -> u64 {
+        debug_assert!((1..=64).contains(&n));
+        let w = start >> 6;
+        let off = (start & 63) as u32;
+        let lo = self.word(w) >> off;
+        let val = if off + n > 64 {
+            lo | (self.word(w + 1) << (64 - off))
+        } else {
+            lo
+        };
+        val & crate::word::bitmask(n)
+    }
+
+    /// Read `n` (1..=64) bits starting at MSB-first position `start`
+    /// (position 0 is the *most* significant bit of word 0).
+    ///
+    /// Quotient filters split fingerprints MSB-first — quotient = high
+    /// bits, remainder next, extensions after — so that the numeric order
+    /// of `(quotient, remainder, extensions...)` equals lexicographic
+    /// order of hash prefixes. That property is what keeps enumeration
+    /// order stable across resizes and merges.
+    #[inline]
+    pub fn bits_msb(&self, start: u64, n: u32) -> u64 {
+        debug_assert!((1..=64).contains(&n));
+        let w = start >> 6;
+        let off = (start & 63) as u32;
+        if off + n <= 64 {
+            (self.word(w) << off) >> (64 - n)
+        } else {
+            let hi_bits = 64 - off; // from word w
+            let lo_bits = n - hi_bits; // from word w+1
+            let hi = (self.word(w) << off) >> (64 - hi_bits);
+            let lo = self.word(w + 1) >> (64 - lo_bits);
+            (hi << lo_bits) | lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn murmur_matches_reference_vectors() {
+        // Reference values computed from the canonical MurmurHash64A
+        // implementation (Appleby's smhasher), seed 0.
+        assert_eq!(murmur64a(b"", 0), 0);
+        // Determinism and seed sensitivity.
+        assert_eq!(murmur64a(b"hello", 1), murmur64a(b"hello", 1));
+        assert_ne!(murmur64a(b"hello", 1), murmur64a(b"hello", 2));
+        assert_ne!(murmur64a(b"hello", 1), murmur64a(b"hellp", 1));
+    }
+
+    #[test]
+    fn mix64_equals_murmur_on_le_bytes() {
+        for k in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            for s in [0u64, 7, 12345] {
+                assert_eq!(mix64(k, s), murmur64a(&k.to_le_bytes(), s));
+            }
+        }
+    }
+
+    #[test]
+    fn hashseq_word0_is_mix64() {
+        let h = HashSeq::new(99, 5);
+        assert_eq!(h.word(0), mix64(99, 5));
+    }
+
+    #[test]
+    fn hashseq_bits_reassemble_words() {
+        let h = HashSeq::new(0xABCD, 17);
+        let w0 = h.word(0);
+        let w1 = h.word(1);
+        assert_eq!(h.bits(0, 64), w0);
+        assert_eq!(h.bits(64, 64), w1);
+        // Straddling read.
+        let lo = w0 >> 60;
+        let hi = (w1 & 0xFF) << 4;
+        assert_eq!(h.bits(60, 12), (lo | hi) & 0xFFF);
+        // Sub-word reads.
+        assert_eq!(h.bits(3, 11), (w0 >> 3) & 0x7FF);
+    }
+
+    #[test]
+    fn hashseq_bit_consistency_across_chunk_sizes() {
+        // Reading [q, q+r) then [q+r, q+2r) must equal reading [q, q+2r).
+        let h = HashSeq::new(777, 3);
+        for q in [0u64, 13, 60, 120] {
+            for r in [4u32, 9, 17] {
+                let a = h.bits(q, r);
+                let b = h.bits(q + r as u64, r);
+                let combined = h.bits(q, 2 * r);
+                assert_eq!(combined, a | (b << r), "q={q} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn bits_msb_matches_naive() {
+        let h = HashSeq::new(0xFACE, 9);
+        let bit_at = |p: u64| -> u64 { h.word(p / 64) >> (63 - (p % 64)) & 1 };
+        for start in [0u64, 1, 13, 60, 63, 64, 100, 127] {
+            for n in [1u32, 5, 9, 33, 64] {
+                let mut expect = 0u64;
+                for i in 0..n as u64 {
+                    expect = (expect << 1) | bit_at(start + i);
+                }
+                assert_eq!(h.bits_msb(start, n), expect, "start={start} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bits_msb_prefix_concatenation() {
+        // Splitting a prefix as (q bits, r bits) and re-splitting as
+        // (q+1, r-1) must preserve the numeric value of the whole prefix.
+        let h = HashSeq::new(31337, 0);
+        let (q, r) = (10u32, 9u32);
+        let whole = h.bits_msb(0, q + r);
+        let a = h.bits_msb(0, q);
+        let b = h.bits_msb(q as u64, r);
+        assert_eq!(whole, (a << r) | b);
+        let a2 = h.bits_msb(0, q + 1);
+        let b2 = h.bits_msb(q as u64 + 1, r - 1);
+        assert_eq!(whole, (a2 << (r - 1)) | b2);
+    }
+
+    #[test]
+    fn mix64_avalanche_smoke() {
+        // Flipping one input bit should flip ~half the output bits.
+        let base = mix64(0x1234_5678, 0);
+        let mut total = 0u32;
+        for b in 0..64 {
+            let flipped = mix64(0x1234_5678 ^ (1 << b), 0);
+            total += (base ^ flipped).count_ones();
+        }
+        let avg = total / 64;
+        assert!((20..=44).contains(&avg), "poor avalanche: avg {avg} bits");
+    }
+}

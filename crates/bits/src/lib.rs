@@ -1,0 +1,27 @@
+//! Bit-level substrates for quotient-filter-family data structures.
+//!
+//! This crate provides the low-level building blocks shared by the
+//! AdaptiveQF and the baseline filters in this workspace:
+//!
+//! - [`word`]: branch-light rank/select primitives on single `u64` words,
+//! - [`bitvec`]: a fixed-capacity bit vector with rank/select and the
+//!   *insert-shift* / *remove-shift* operations Robin Hood hashing needs,
+//! - [`packed`]: a vector of fixed-width (1..=64 bit) slots with the same
+//!   shifting operations, used to store remainders,
+//! - [`hash`]: the MurmurHash2-style 64-bit finalizer the paper uses, plus a
+//!   seeded *chunk deriver* that treats a key's hash as an infinite bit
+//!   string (required for unbounded fingerprint extension).
+//!
+//! Everything here is `no_unsafe`, allocation-free on the hot paths, and
+//! model-tested against naive reference implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod hash;
+pub mod packed;
+pub mod word;
+
+pub use bitvec::BitVec;
+pub use packed::PackedVec;

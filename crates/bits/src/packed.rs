@@ -1,0 +1,185 @@
+//! A vector of fixed-width slots (1..=64 bits each), bit-packed into `u64`
+//! words, with the insert/remove shifting that Robin Hood hashing needs.
+//!
+//! Quotient filters store one `r`-bit remainder per slot; the AdaptiveQF
+//! widens slots by `value_bits` when it tags fingerprints (yes/no lists).
+
+use crate::word::bitmask;
+
+/// Bit-packed vector of `len` slots, each `width` bits wide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedVec {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl PackedVec {
+    /// A packed vector of `len` zeroed slots of `width` bits (1..=64).
+    pub fn new(len: usize, width: u32) -> Self {
+        assert!((1..=64).contains(&width), "slot width must be 1..=64");
+        let total_bits = len
+            .checked_mul(width as usize)
+            .expect("packed vector size overflow");
+        Self {
+            words: vec![0; total_bits.div_ceil(64) + 1],
+            width,
+            len,
+        }
+    }
+
+    /// Number of slots.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no slots.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot width in bits.
+    #[inline(always)]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Read slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let bit = i * self.width as usize;
+        let w = bit >> 6;
+        let off = (bit & 63) as u32;
+        let lo = self.words[w] >> off;
+        let val = if off + self.width > 64 {
+            lo | (self.words[w + 1] << (64 - off))
+        } else {
+            lo
+        };
+        val & bitmask(self.width)
+    }
+
+    /// Write slot `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        debug_assert!(i < self.len);
+        debug_assert!(value <= bitmask(self.width), "value wider than slot");
+        let bit = i * self.width as usize;
+        let w = bit >> 6;
+        let off = (bit & 63) as u32;
+        let mask = bitmask(self.width);
+        self.words[w] = (self.words[w] & !(mask << off)) | (value << off);
+        if off + self.width > 64 {
+            let spill = 64 - off;
+            self.words[w + 1] =
+                (self.words[w + 1] & !(mask >> spill)) | (value >> spill);
+        }
+    }
+
+    /// Shift slots `[pos, end)` right by one so they occupy `[pos+1, end+1)`,
+    /// then write `value` into slot `pos`. Slot `end` must be dead space.
+    pub fn shift_right_insert(&mut self, pos: usize, end: usize, value: u64) {
+        debug_assert!(pos <= end && end < self.len);
+        for i in (pos..end).rev() {
+            let v = self.get(i);
+            self.set(i + 1, v);
+        }
+        self.set(pos, value);
+    }
+
+    /// Shift slots `(pos, end)` left by one so they occupy `[pos, end-1)`,
+    /// then zero slot `end-1`.
+    pub fn shift_left_remove(&mut self, pos: usize, end: usize) {
+        debug_assert!(pos < end && end <= self.len);
+        for i in pos..end - 1 {
+            let v = self.get(i + 1);
+            self.set(i, v);
+        }
+        self.set(end - 1, 0);
+    }
+
+    /// Bytes of heap memory used.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    /// Zero every slot.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip_all_widths() {
+        for width in 1..=64u32 {
+            let mut v = PackedVec::new(100, width);
+            let mask = bitmask(width);
+            for i in 0..100usize {
+                let val = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask;
+                v.set(i, val);
+            }
+            for i in 0..100usize {
+                let val = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask;
+                assert_eq!(v.get(i), val, "width={width} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_does_not_clobber_neighbors() {
+        let mut v = PackedVec::new(10, 13);
+        for i in 0..10 {
+            v.set(i, (i as u64 + 1) * 37 % (1 << 13));
+        }
+        v.set(5, 0);
+        for i in 0..10 {
+            let expect = if i == 5 { 0 } else { (i as u64 + 1) * 37 % (1 << 13) };
+            assert_eq!(v.get(i), expect);
+        }
+    }
+
+    #[test]
+    fn shift_right_insert_matches_naive() {
+        for width in [3u32, 9, 17, 64] {
+            let mask = bitmask(width);
+            let mut model: Vec<u64> = (0..50).map(|i| (i * 0xABCD + 7) & mask).collect();
+            let mut v = PackedVec::new(50, width);
+            for (i, &m) in model.iter().enumerate() {
+                v.set(i, m);
+            }
+            v.shift_right_insert(10, 30, 42 & mask);
+            for i in (11..=30).rev() {
+                model[i] = model[i - 1];
+            }
+            model[10] = 42 & mask;
+            for (i, &m) in model.iter().enumerate() {
+                assert_eq!(v.get(i), m, "width={width} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_left_remove_matches_naive() {
+        let mask = bitmask(9);
+        let mut model: Vec<u64> = (0..50).map(|i| (i * 31 + 5) & mask).collect();
+        let mut v = PackedVec::new(50, 9);
+        for (i, &m) in model.iter().enumerate() {
+            v.set(i, m);
+        }
+        v.shift_left_remove(4, 20);
+        for i in 4..19 {
+            model[i] = model[i + 1];
+        }
+        model[19] = 0;
+        for (i, &m) in model.iter().enumerate() {
+            assert_eq!(v.get(i), m, "i={i}");
+        }
+    }
+}

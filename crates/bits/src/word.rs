@@ -1,0 +1,136 @@
+//! Rank/select primitives on single 64-bit words.
+//!
+//! These are the innermost loops of quotient-filter navigation: `rank`
+//! counts set bits below a position, `select` finds the position of the
+//! k-th set bit. Both are O(1)-ish (popcount / short loop over set bits).
+
+/// A mask with the low `n` bits set. `n` may be 0..=64.
+#[inline(always)]
+pub const fn bitmask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Number of set bits strictly below bit position `i` (`i` in 0..=64).
+#[inline(always)]
+pub const fn rank_u64(word: u64, i: u32) -> u32 {
+    (word & bitmask(i)).count_ones()
+}
+
+/// Position of the set bit with rank `k` (0-indexed), or `None` if `word`
+/// has at most `k` set bits.
+///
+/// The loop runs once per set bit up to the answer; on filter metadata
+/// words that is a handful of iterations, and `blsr`-style `word & (word-1)`
+/// compiles to a single instruction.
+#[inline]
+pub fn select_u64(mut word: u64, mut k: u32) -> Option<u32> {
+    while word != 0 {
+        let t = word.trailing_zeros();
+        if k == 0 {
+            return Some(t);
+        }
+        k -= 1;
+        word &= word - 1;
+    }
+    None
+}
+
+/// Like [`select_u64`] but ignores the low `ignore` bits of the word.
+#[inline]
+pub fn select_u64_ignore(word: u64, k: u32, ignore: u32) -> Option<u32> {
+    select_u64(word & !bitmask(ignore), k)
+}
+
+/// Position of the highest set bit at or below `i`, or `None`.
+#[inline]
+pub fn prev_set_bit(word: u64, i: u32) -> Option<u32> {
+    let masked = word & bitmask(i + 1);
+    if masked == 0 {
+        None
+    } else {
+        Some(63 - masked.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_rank(word: u64, i: u32) -> u32 {
+        (0..i).filter(|&b| word >> b & 1 == 1).count() as u32
+    }
+
+    fn naive_select(word: u64, k: u32) -> Option<u32> {
+        let mut seen = 0;
+        for b in 0..64 {
+            if word >> b & 1 == 1 {
+                if seen == k {
+                    return Some(b);
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn bitmask_edges() {
+        assert_eq!(bitmask(0), 0);
+        assert_eq!(bitmask(1), 1);
+        assert_eq!(bitmask(63), u64::MAX >> 1);
+        assert_eq!(bitmask(64), u64::MAX);
+    }
+
+    #[test]
+    fn rank_matches_naive() {
+        let words = [0u64, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 1, 1 << 63];
+        for &w in &words {
+            for i in 0..=64 {
+                assert_eq!(rank_u64(w, i), naive_rank(w, i), "w={w:#x} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_matches_naive() {
+        let words = [0u64, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 1, 1 << 63, 0xAAAA];
+        for &w in &words {
+            for k in 0..66 {
+                assert_eq!(select_u64(w, k), naive_select(w, k), "w={w:#x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_rank_roundtrip() {
+        let w = 0x8421_8421_8421_8421u64;
+        for k in 0..w.count_ones() {
+            let pos = select_u64(w, k).unwrap();
+            assert_eq!(rank_u64(w, pos), k);
+        }
+    }
+
+    #[test]
+    fn select_ignore_skips_low_bits() {
+        let w = 0b1011_0101u64;
+        assert_eq!(select_u64_ignore(w, 0, 3), Some(4));
+        assert_eq!(select_u64_ignore(w, 1, 3), Some(5));
+        assert_eq!(select_u64_ignore(w, 2, 3), Some(7));
+        assert_eq!(select_u64_ignore(w, 3, 3), None);
+    }
+
+    #[test]
+    fn prev_set_bit_works() {
+        let w = 0b1001_0010u64;
+        assert_eq!(prev_set_bit(w, 0), None);
+        assert_eq!(prev_set_bit(w, 1), Some(1));
+        assert_eq!(prev_set_bit(w, 3), Some(1));
+        assert_eq!(prev_set_bit(w, 4), Some(4));
+        assert_eq!(prev_set_bit(w, 63), Some(7));
+        assert_eq!(prev_set_bit(0, 63), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the bit substrates: every operation is
+//! compared against naive `Vec<bool>` / `Vec<u64>` models under random
+//! operation sequences.
+
+use aqf_bits::{BitVec, PackedVec};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum BitOp {
+    Set(usize),
+    Clear(usize),
+    ShiftRightInsert { pos: usize, end: usize, value: bool },
+    ShiftLeftRemove { pos: usize, end: usize },
+}
+
+fn bitop(len: usize) -> impl Strategy<Value = BitOp> {
+    prop_oneof![
+        (0..len).prop_map(BitOp::Set),
+        (0..len).prop_map(BitOp::Clear),
+        (0..len - 1, 0..len - 1, any::<bool>()).prop_map(|(a, b, value)| {
+            let (pos, end) = if a <= b { (a, b) } else { (b, a) };
+            BitOp::ShiftRightInsert { pos, end, value }
+        }),
+        (0..len, 1..len).prop_map(|(a, b)| {
+            let (pos, end) = if a < b { (a, b) } else if a > b { (b, a) } else { (a, a + 1) };
+            BitOp::ShiftLeftRemove { pos, end }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitvec_matches_bool_model(ops in proptest::collection::vec(bitop(300), 1..60)) {
+        let len = 300;
+        let mut v = BitVec::new(len);
+        let mut m = vec![false; len];
+        for op in ops {
+            match op {
+                BitOp::Set(i) => {
+                    v.set(i);
+                    m[i] = true;
+                }
+                BitOp::Clear(i) => {
+                    v.clear(i);
+                    m[i] = false;
+                }
+                BitOp::ShiftRightInsert { pos, end, value } => {
+                    v.shift_right_insert(pos, end, value);
+                    for i in (pos + 1..=end).rev() {
+                        m[i] = m[i - 1];
+                    }
+                    m[pos] = value;
+                }
+                BitOp::ShiftLeftRemove { pos, end } => {
+                    v.shift_left_remove(pos, end);
+                    for i in pos..end - 1 {
+                        m[i] = m[i + 1];
+                    }
+                    m[end - 1] = false;
+                }
+            }
+            for (i, &b) in m.iter().enumerate() {
+                prop_assert_eq!(v.get(i), b, "bit {} after {:?}", i, "op");
+            }
+        }
+        // Derived queries agree everywhere.
+        prop_assert_eq!(v.count_ones(), m.iter().filter(|&&b| b).count());
+        for i in 0..len {
+            prop_assert_eq!(v.rank(i), m[..i].iter().filter(|&&b| b).count());
+            prop_assert_eq!(
+                v.next_zero(i),
+                (i..len).find(|&j| !m[j]),
+                "next_zero({})", i
+            );
+            prop_assert_eq!(
+                v.next_one(i),
+                (i..len).find(|&j| m[j]),
+                "next_one({})", i
+            );
+            prop_assert_eq!(
+                v.prev_zero(i),
+                (0..=i).rev().find(|&j| !m[j]),
+                "prev_zero({})", i
+            );
+        }
+        for a in (0..len).step_by(13) {
+            for b in (a..=len).step_by(29) {
+                prop_assert_eq!(
+                    v.count_range(a, b),
+                    m[a..b].iter().filter(|&&x| x).count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packedvec_matches_u64_model(
+        width in 1u32..=64,
+        writes in proptest::collection::vec((0usize..200, any::<u64>()), 1..100),
+    ) {
+        let mask = aqf_bits::word::bitmask(width);
+        let mut v = PackedVec::new(200, width);
+        let mut m = vec![0u64; 200];
+        for (i, raw) in writes {
+            let val = raw & mask;
+            v.set(i, val);
+            m[i] = val;
+        }
+        for (i, &expect) in m.iter().enumerate() {
+            prop_assert_eq!(v.get(i), expect, "slot {}", i);
+        }
+    }
+
+    #[test]
+    fn packedvec_shift_matches_model(
+        width in 1u32..=17,
+        pos in 0usize..80,
+        span in 0usize..40,
+        value in any::<u64>(),
+    ) {
+        let mask = aqf_bits::word::bitmask(width);
+        let mut v = PackedVec::new(140, width);
+        let mut m: Vec<u64> = (0..140).map(|i| (i as u64 * 37 + 11) & mask).collect();
+        for (i, &x) in m.iter().enumerate() {
+            v.set(i, x);
+        }
+        let end = pos + span;
+        v.shift_right_insert(pos, end, value & mask);
+        for i in (pos + 1..=end).rev() {
+            m[i] = m[i - 1];
+        }
+        m[pos] = value & mask;
+        for (i, &expect) in m.iter().enumerate() {
+            prop_assert_eq!(v.get(i), expect, "slot {}", i);
+        }
+        // And undo with a left shift.
+        v.shift_left_remove(pos, end + 1);
+        for i in pos..end {
+            m[i] = m[i + 1];
+        }
+        m[end] = 0;
+        for (i, &expect) in m.iter().enumerate() {
+            prop_assert_eq!(v.get(i), expect, "slot {} after remove", i);
+        }
+    }
+
+    #[test]
+    fn hashseq_msb_lsb_agree_on_full_words(key in any::<u64>(), seed in any::<u64>()) {
+        let h = aqf_bits::hash::HashSeq::new(key, seed);
+        for w in 0..4u64 {
+            prop_assert_eq!(h.bits(w * 64, 64), h.word(w));
+            prop_assert_eq!(h.bits_msb(w * 64, 64), h.word(w));
+        }
+    }
+
+    #[test]
+    fn murmur_is_deterministic_and_length_sensitive(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let a = aqf_bits::hash::murmur64a(&data, 1);
+        prop_assert_eq!(a, aqf_bits::hash::murmur64a(&data, 1));
+        let mut extended = data.clone();
+        extended.push(0);
+        // Appending a zero byte must (essentially always) change the hash.
+        prop_assert_ne!(a, aqf_bits::hash::murmur64a(&extended, 1));
+    }
+}

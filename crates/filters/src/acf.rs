@@ -1,0 +1,324 @@
+//! Adaptive cuckoo filter (paper's "ACF", Mitzenmacher et al. 2020),
+//! cyclic per-slot hash-selector variant.
+//!
+//! Each occupied slot stores a tag plus a 2-bit *selector* choosing which
+//! tag hash produced it. On a reported false positive the selector is
+//! incremented and the tag recomputed from the original key — which lives
+//! in the reverse map, so adaptation costs a map query. Unlike the
+//! partial-key cuckoo filter, both candidate buckets are derived from the
+//! key (a selector-dependent tag cannot address the alternate bucket), so
+//! **every kick needs a reverse-map query and update** — the overhead
+//! paper Table 2 quantifies. A shadow key array stands in for the map and
+//! the [`MapStats`] counters record the traffic.
+//!
+//! The ACF is *weakly* adaptive: fixing one false positive can re-expose a
+//! previously fixed one (the selector cycles through 4 tag functions).
+
+use aqf::FilterError;
+use aqf_bits::hash::mix64;
+use aqf_bits::word::bitmask;
+use aqf_bits::PackedVec;
+
+use crate::common::{Filter, MapEvent, MapStats};
+
+/// Slots per bucket.
+pub const BUCKET_SLOTS: usize = 4;
+const SELECTOR_BITS: u32 = 2;
+const MAX_KICKS: usize = 500;
+
+/// Coordinates of a positive ACF query (for adaptation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AcfHit {
+    /// Bucket index.
+    pub bucket: usize,
+    /// Slot within the bucket.
+    pub slot: usize,
+}
+
+/// An adaptive cuckoo filter.
+#[derive(Clone, Debug)]
+pub struct AdaptiveCuckooFilter {
+    /// `(selector << tag_bits) | tag` per slot; 0 = empty.
+    table: PackedVec,
+    /// Shadow reverse map: original key per slot.
+    keys: Vec<u64>,
+    #[allow(dead_code)] // geometry record for diagnostics
+    buckets: usize,
+    bucket_bits: u32,
+    tag_bits: u32,
+    seed: u64,
+    items: u64,
+    stats: MapStats,
+    adaptations: u64,
+    record_events: bool,
+    events: Vec<MapEvent>,
+}
+
+impl AdaptiveCuckooFilter {
+    /// `2^bucket_bits` buckets of 4 slots with `tag_bits`-bit tags.
+    pub fn new(bucket_bits: u32, tag_bits: u32, seed: u64) -> Result<Self, FilterError> {
+        if bucket_bits == 0 || bucket_bits > 32 || tag_bits < 4 || tag_bits + SELECTOR_BITS > 40 {
+            return Err(FilterError::InvalidConfig("bad ACF geometry"));
+        }
+        let buckets = 1usize << bucket_bits;
+        Ok(Self {
+            table: PackedVec::new(buckets * BUCKET_SLOTS, tag_bits + SELECTOR_BITS),
+            keys: vec![0; buckets * BUCKET_SLOTS],
+            buckets,
+            bucket_bits,
+            tag_bits,
+            seed,
+            items: 0,
+            stats: MapStats::default(),
+            adaptations: 0,
+            record_events: false,
+            events: Vec::new(),
+        })
+    }
+
+    /// Enable recording of reverse-map operations for system-level replay.
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    /// Drain recorded reverse-map operations (in execution order).
+    pub fn take_events(&mut self) -> Vec<MapEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    #[inline]
+    fn record(&mut self, e: MapEvent) {
+        if self.record_events {
+            self.events.push(e);
+        }
+    }
+
+    /// Stored items.
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Reverse-map traffic counters (paper Table 2).
+    pub fn map_stats(&self) -> MapStats {
+        self.stats
+    }
+
+    /// Number of adapt calls performed.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    #[inline]
+    fn tag_hash(&self, key: u64, sel: u64) -> u64 {
+        let t = mix64(key, self.seed ^ (0x100 + sel)) & bitmask(self.tag_bits);
+        if t == 0 {
+            1
+        } else {
+            t
+        }
+    }
+
+    #[inline]
+    fn bucket_pair(&self, key: u64) -> (usize, usize) {
+        let b1 = (mix64(key, self.seed ^ 0xb1) >> (64 - self.bucket_bits)) as usize;
+        let b2 = (mix64(key, self.seed ^ 0xb2) >> (64 - self.bucket_bits)) as usize;
+        (b1, b2)
+    }
+
+    #[inline]
+    fn slot_index(&self, b: usize, s: usize) -> usize {
+        b * BUCKET_SLOTS + s
+    }
+
+    fn read_slot(&self, b: usize, s: usize) -> (u64, u64) {
+        let v = self.table.get(self.slot_index(b, s));
+        (v >> self.tag_bits, v & bitmask(self.tag_bits))
+    }
+
+    fn write_slot(&mut self, b: usize, s: usize, sel: u64, tag: u64) {
+        self.table.set(self.slot_index(b, s), (sel << self.tag_bits) | tag);
+    }
+
+    fn try_place(&mut self, b: usize, key: u64) -> bool {
+        for s in 0..BUCKET_SLOTS {
+            let idx = self.slot_index(b, s);
+            if self.table.get(idx) == 0 {
+                let tag = self.tag_hash(key, 0);
+                self.write_slot(b, s, 0, tag);
+                self.keys[idx] = key;
+                self.record(MapEvent::Put { loc: idx, key });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Query returning the matching slot for adaptation.
+    pub fn query_slot(&self, key: u64) -> Option<AcfHit> {
+        let (b1, b2) = self.bucket_pair(key);
+        for &b in &[b1, b2] {
+            for s in 0..BUCKET_SLOTS {
+                let raw = self.table.get(self.slot_index(b, s));
+                if raw == 0 {
+                    continue;
+                }
+                let (sel, tag) = self.read_slot(b, s);
+                if self.tag_hash(key, sel) == tag {
+                    return Some(AcfHit { bucket: b, slot: s });
+                }
+            }
+        }
+        None
+    }
+
+    /// The key the shadow reverse map holds for a slot.
+    pub fn stored_key(&self, hit: &AcfHit) -> u64 {
+        self.keys[self.slot_index(hit.bucket, hit.slot)]
+    }
+
+    /// Adapt after a confirmed false positive at `hit`: advance the slot's
+    /// selector and recompute its tag from the stored key (one reverse-map
+    /// query). Weakly adaptive: the new tag may collide with other past
+    /// queries.
+    pub fn adapt(&mut self, hit: &AcfHit) {
+        let idx = self.slot_index(hit.bucket, hit.slot);
+        let key = self.keys[idx];
+        self.stats.queries += 1; // map read to re-derive the tag
+        self.record(MapEvent::Get { loc: idx });
+        let (sel, _) = self.read_slot(hit.bucket, hit.slot);
+        let new_sel = (sel + 1) & bitmask(SELECTOR_BITS);
+        let new_tag = self.tag_hash(key, new_sel);
+        self.write_slot(hit.bucket, hit.slot, new_sel, new_tag);
+        self.adaptations += 1;
+    }
+}
+
+impl Filter for AdaptiveCuckooFilter {
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        self.stats.inserts += 1;
+        let (b1, b2) = self.bucket_pair(key);
+        if self.try_place(b1, key) || self.try_place(b2, key) {
+            self.items += 1;
+            return Ok(());
+        }
+        // Kick loop: every relocation must re-derive the victim's alternate
+        // bucket from its original key — a reverse-map query — and then
+        // rewrite the victim's map entry at its new location — an update.
+        let mut b = b1;
+        let mut cur_key = key;
+        for kick in 0..MAX_KICKS {
+            let s = (mix64(cur_key.wrapping_add(kick as u64), 0x6b69) as usize) % BUCKET_SLOTS;
+            let idx = self.slot_index(b, s);
+            let victim_key = self.keys[idx];
+            self.stats.queries += 1; // read victim's key from the map
+            self.record(MapEvent::Get { loc: idx });
+            // Place cur_key here.
+            let tag = self.tag_hash(cur_key, 0);
+            self.write_slot(b, s, 0, tag);
+            self.keys[idx] = cur_key;
+            self.stats.updates += 1; // rewrite map entry at this location
+            self.record(MapEvent::Put { loc: idx, key: cur_key });
+            // Re-home the victim to its other bucket.
+            let (v1, v2) = self.bucket_pair(victim_key);
+            b = if b == v1 { v2 } else { v1 };
+            if self.try_place(b, victim_key) {
+                self.stats.updates += 1;
+                self.items += 1;
+                return Ok(());
+            }
+            cur_key = victim_key;
+        }
+        Err(FilterError::Full)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.query_slot(key).is_some()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Filter table only; the shadow key array models the reverse map,
+        // which the paper accounts separately.
+        self.table.heap_size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "ACF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn no_false_negatives_after_inserts() {
+        let mut f = AdaptiveCuckooFilter::new(10, 12, 3).unwrap();
+        let keys: Vec<u64> = (0..3500).map(|i| i * 13 + 5).collect();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k), "false negative {k}");
+        }
+    }
+
+    #[test]
+    fn adapt_fixes_reported_false_positive() {
+        let mut f = AdaptiveCuckooFilter::new(10, 8, 3).unwrap();
+        for k in 0..3000u64 {
+            f.insert(k).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut fixed = 0;
+        let mut tries = 0;
+        while fixed < 50 && tries < 2_000_000 {
+            tries += 1;
+            let probe: u64 = rng.random_range(1_000_000..u64::MAX);
+            if let Some(hit) = f.query_slot(probe) {
+                if f.stored_key(&hit) != probe {
+                    f.adapt(&hit);
+                    // The same probe should (almost always) now miss this
+                    // slot; it may still hit another slot, which a real
+                    // system would adapt in turn.
+                    let mut guard = 0;
+                    while let Some(h2) = f.query_slot(probe) {
+                        f.adapt(&h2);
+                        guard += 1;
+                        if guard > 8 {
+                            break; // selector cycling can livelock; give up
+                        }
+                    }
+                    if f.query_slot(probe).is_none() {
+                        fixed += 1;
+                    }
+                }
+            }
+        }
+        assert!(fixed >= 50, "adaptation should usually fix false positives");
+        assert!(f.map_stats().queries > 0);
+        // True members must never be lost by adaptation of other slots.
+        for k in (0..3000u64).step_by(37) {
+            assert!(f.contains(k), "member {k} lost");
+        }
+    }
+
+    #[test]
+    fn kicks_generate_map_traffic() {
+        let mut f = AdaptiveCuckooFilter::new(8, 12, 1).unwrap();
+        for k in 0..920u64 {
+            if f.insert(k).is_err() {
+                break;
+            }
+        }
+        let st = f.map_stats();
+        assert!(st.queries > 0, "high load must force kicks → map queries");
+        assert!(st.updates >= st.queries, "each kick updates the map");
+    }
+}

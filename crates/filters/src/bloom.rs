@@ -1,0 +1,112 @@
+//! Classic Bloom filter, used as the building block of the cascading
+//! Bloom filter (CRLite) and as a familiar baseline.
+
+use aqf::FilterError;
+use aqf_bits::hash::mix64;
+use aqf_bits::BitVec;
+
+use crate::common::Filter;
+
+/// A standard Bloom filter with `k` hash functions.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: BitVec,
+    nbits: usize,
+    k: u32,
+    seed: u64,
+    items: u64,
+}
+
+impl BloomFilter {
+    /// A filter with `nbits` bits and `k` hash functions.
+    pub fn new(nbits: usize, k: u32, seed: u64) -> Result<Self, FilterError> {
+        if nbits == 0 || k == 0 || k > 32 {
+            return Err(FilterError::InvalidConfig("bad bloom geometry"));
+        }
+        Ok(Self { bits: BitVec::new(nbits), nbits, k, seed, items: 0 })
+    }
+
+    /// Optimal geometry for `n` items at false-positive rate `fpr`:
+    /// `m = -n ln fpr / (ln 2)^2`, `k = m/n ln 2`.
+    pub fn for_capacity(n: usize, fpr: f64, seed: u64) -> Result<Self, FilterError> {
+        let n = n.max(1) as f64;
+        let m = (-n * fpr.ln() / (2f64.ln() * 2f64.ln())).ceil().max(64.0) as usize;
+        let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 32.0) as u32;
+        Self::new(m, k, seed)
+    }
+
+    /// Number of inserted items.
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    #[inline]
+    fn position(&self, key: u64, i: u32) -> usize {
+        // Kirsch–Mitzenmacher double hashing.
+        let h1 = mix64(key, self.seed);
+        let h2 = mix64(key, self.seed ^ 0x5bd1_e995) | 1;
+        (h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.nbits as u64) as usize
+    }
+}
+
+impl Filter for BloomFilter {
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        for i in 0..self.k {
+            let p = self.position(key, i);
+            self.bits.set(p);
+        }
+        self.items += 1;
+        Ok(())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        (0..self.k).all(|i| self.bits.get(self.position(key, i)))
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.bits.heap_size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "Bloom"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::for_capacity(1000, 0.01, 3).unwrap();
+        for k in 0..1000u64 {
+            f.insert(k).unwrap();
+        }
+        for k in 0..1000u64 {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn fpr_near_target() {
+        let mut f = BloomFilter::for_capacity(5000, 0.01, 9).unwrap();
+        for k in 0..5000u64 {
+            f.insert(k).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let probes = 100_000;
+        let fps = (0..probes)
+            .filter(|_| f.contains(rng.random_range(1_000_000..u64::MAX)))
+            .count();
+        let fpr = fps as f64 / probes as f64;
+        assert!(fpr < 0.03, "fpr {fpr} too far above 1% target");
+        assert!(fpr > 0.001, "fpr {fpr} suspiciously low — check hashing");
+    }
+}

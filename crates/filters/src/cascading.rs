@@ -1,0 +1,137 @@
+//! Cascading Bloom filter for static yes/no lists, as used by CRLite
+//! (Larisch et al., paper §2.4 and Fig. 9 baseline).
+//!
+//! Level 0 holds the yes list. Every no-list key that level 0 falsely
+//! accepts goes into level 1; every yes-list key level 1 falsely accepts
+//! goes into level 2, and so on until a level has no false positives
+//! against the opposite list. A query walks the levels until one rejects:
+//! acceptance by an even number of levels means "no", odd means "yes".
+//! Exact for all keys in `yes ∪ no`; other keys err with the usual Bloom
+//! probability.
+
+use aqf::FilterError;
+
+use crate::bloom::BloomFilter;
+use crate::common::Filter;
+
+/// A CRLite-style cascading Bloom filter.
+pub struct CascadingBloomFilter {
+    levels: Vec<BloomFilter>,
+}
+
+impl CascadingBloomFilter {
+    /// Build from a yes list and a no list.
+    ///
+    /// `fpr0` is level 0's false-positive target (CRLite uses
+    /// `n_yes / (sqrt(2) n_no)`-style sizing; we default each deeper level
+    /// to 0.5 as in the original).
+    pub fn build(yes: &[u64], no: &[u64], seed: u64) -> Result<Self, FilterError> {
+        let mut levels = Vec::new();
+        // CRLite level-0 sizing: r = n_no/n_yes, fpr0 = 1/(r·sqrt(2)) capped.
+        let fpr0 = if no.is_empty() {
+            0.001
+        } else {
+            (yes.len() as f64 / (no.len() as f64 * std::f64::consts::SQRT_2))
+                .clamp(1e-6, 0.5)
+        };
+        let mut include: Vec<u64> = yes.to_vec(); // keys this level stores
+        let mut exclude: Vec<u64> = no.to_vec(); // keys it must reject
+        let mut level = 0u64;
+        while !include.is_empty() {
+            let fpr = if level == 0 { fpr0 } else { 0.5 };
+            let mut bf = BloomFilter::for_capacity(include.len(), fpr, seed ^ level)?;
+            for &k in &include {
+                bf.insert(k)?;
+            }
+            // Keys of the opposite list the new level falsely accepts form
+            // the next level's include set.
+            let fps: Vec<u64> = exclude.iter().copied().filter(|&k| bf.contains(k)).collect();
+            levels.push(bf);
+            exclude = std::mem::take(&mut include);
+            include = fps;
+            level += 1;
+            if level > 64 {
+                return Err(FilterError::InvalidConfig("cascade failed to converge"));
+            }
+        }
+        Ok(Self { levels })
+    }
+
+    /// True = "yes". Exact for keys in either input list.
+    pub fn query(&self, key: u64) -> bool {
+        let mut accepted = 0usize;
+        for bf in &self.levels {
+            if bf.contains(key) {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        accepted % 2 == 1
+    }
+
+    /// Number of cascade levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total bytes across all levels.
+    pub fn size_in_bytes(&self) -> usize {
+        self.levels.iter().map(|b| b.size_in_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_both_lists() {
+        let yes: Vec<u64> = (0..2000).collect();
+        let no: Vec<u64> = (1_000_000..1_008_000).collect();
+        let c = CascadingBloomFilter::build(&yes, &no, 7).unwrap();
+        for &y in &yes {
+            assert!(c.query(y), "yes key {y}");
+        }
+        for &n in &no {
+            assert!(!c.query(n), "no key {n}");
+        }
+        assert!(c.depth() >= 1);
+    }
+
+    #[test]
+    fn empty_no_list() {
+        let yes: Vec<u64> = (0..100).collect();
+        let c = CascadingBloomFilter::build(&yes, &[], 1).unwrap();
+        for &y in &yes {
+            assert!(c.query(y));
+        }
+    }
+
+    #[test]
+    fn empty_yes_list() {
+        let no: Vec<u64> = (0..100).collect();
+        let c = CascadingBloomFilter::build(&[], &no, 1).unwrap();
+        for &n in &no {
+            assert!(!c.query(n));
+        }
+    }
+
+    #[test]
+    fn skewed_ratios_stay_compact() {
+        // Fig. 9's regime: aggregate fixed, ratio no/yes varying.
+        for shift in 0..5u32 {
+            let n_yes = 1000usize >> shift;
+            let n_no = 1000 - n_yes;
+            let yes: Vec<u64> = (0..n_yes as u64).collect();
+            let no: Vec<u64> = (10_000..10_000 + n_no as u64).collect();
+            let c = CascadingBloomFilter::build(&yes, &no, 3).unwrap();
+            for &y in &yes {
+                assert!(c.query(y));
+            }
+            for &n in &no {
+                assert!(!c.query(n));
+            }
+        }
+    }
+}

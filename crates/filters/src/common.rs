@@ -1,0 +1,60 @@
+//! Shared traits and instrumentation for the baseline filters.
+
+pub use aqf::FilterError;
+
+/// Minimal interface common to all filters in the evaluation.
+pub trait Filter {
+    /// Insert a key.
+    fn insert(&mut self, key: u64) -> Result<(), FilterError>;
+    /// Approximate membership query.
+    fn contains(&self, key: u64) -> bool;
+    /// Heap bytes used by the filter table (excluding any reverse-map /
+    /// shadow-key storage, which the paper accounts separately).
+    fn size_in_bytes(&self) -> usize;
+    /// Display name for benchmark tables.
+    fn name(&self) -> &'static str;
+}
+
+/// A reverse-map operation a location-keyed adaptive filter (ACF, TQF)
+/// would perform against its backing store. Filters record these when
+/// event recording is enabled so the system layer can replay them as real
+/// database I/O (paper §6.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapEvent {
+    /// Read the entry at a location (kick victims, adaptation lookups).
+    Get {
+        /// Slot/location read.
+        loc: usize,
+    },
+    /// Write `key`'s entry at a location (fresh inserts, relocations).
+    Put {
+        /// Slot/location written.
+        loc: usize,
+        /// Key now stored there.
+        key: u64,
+    },
+    /// Slots `[start, end)` shifted right by one (TQF Robin Hood shift);
+    /// the map must move every entry in the range.
+    ShiftRange {
+        /// First shifted slot.
+        start: usize,
+        /// One past the last shifted slot.
+        end: usize,
+    },
+}
+
+/// Counters for the reverse-map traffic a filter induces (paper Table 2).
+///
+/// - `inserts`: new entries written to the map (one per filter insert),
+/// - `updates`: existing entries rewritten because the filter moved or
+///   re-encoded fingerprints (kicks, shifts, selector changes),
+/// - `queries`: map reads needed to re-derive a fingerprint from its key.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MapStats {
+    /// New reverse-map entries.
+    pub inserts: u64,
+    /// Rewrites of existing entries.
+    pub updates: u64,
+    /// Reads of existing entries.
+    pub queries: u64,
+}

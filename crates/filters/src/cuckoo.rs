@@ -1,0 +1,246 @@
+//! Cuckoo filter baseline (paper's "CF", Fan et al. 2014).
+//!
+//! Partial-key cuckoo hashing: 4-slot buckets, `tag_bits`-bit tags, the
+//! alternate bucket computed as `b ^ hash(tag)` so relocation never needs
+//! the original key. Tag 0 is reserved as "empty" (tags are offset by 1 on
+//! a collision with 0, the standard trick).
+
+use aqf::FilterError;
+use aqf_bits::hash::mix64;
+use aqf_bits::PackedVec;
+
+use crate::common::Filter;
+
+/// Slots per bucket (the paper's configuration).
+pub const BUCKET_SLOTS: usize = 4;
+const MAX_KICKS: usize = 500;
+
+/// A cuckoo filter.
+#[derive(Clone, Debug)]
+pub struct CuckooFilter {
+    table: PackedVec,
+    /// Number of buckets (kept for diagnostics / load-factor math).
+    buckets: usize,
+    bucket_bits: u32,
+    tag_bits: u32,
+    seed: u64,
+    items: u64,
+}
+
+impl CuckooFilter {
+    /// `2^bucket_bits` buckets of 4 slots, `tag_bits`-bit tags — the paper
+    /// uses 12-bit tags for an ε of 2^-9 (≈ 8·2^-12).
+    pub fn new(bucket_bits: u32, tag_bits: u32, seed: u64) -> Result<Self, FilterError> {
+        if bucket_bits == 0 || bucket_bits > 32 || !(4..=32).contains(&tag_bits) {
+            return Err(FilterError::InvalidConfig("bad cuckoo filter geometry"));
+        }
+        let buckets = 1usize << bucket_bits;
+        Ok(Self {
+            table: PackedVec::new(buckets * BUCKET_SLOTS, tag_bits),
+            buckets,
+            bucket_bits,
+            tag_bits,
+            seed,
+            items: 0,
+        })
+    }
+
+    /// Convenience: capacity for `n` items at 90% load with ~2^-9 ε
+    /// (12-bit tags).
+    pub fn for_capacity(n: usize, seed: u64) -> Result<Self, FilterError> {
+        let buckets = (n as f64 / 0.9 / BUCKET_SLOTS as f64).ceil().max(1.0) as usize;
+        let bucket_bits = buckets.next_power_of_two().trailing_zeros().max(1);
+        Self::new(bucket_bits, 12, seed)
+    }
+
+    /// Number of stored tags.
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Load factor over all slots.
+    pub fn load_factor(&self) -> f64 {
+        self.items as f64 / (self.buckets * BUCKET_SLOTS) as f64
+    }
+
+    #[inline]
+    fn tag(&self, key: u64) -> u64 {
+        let t = mix64(key, self.seed ^ 0x0074_6167) & aqf_bits::word::bitmask(self.tag_bits);
+        if t == 0 {
+            1
+        } else {
+            t
+        }
+    }
+
+    #[inline]
+    fn bucket1(&self, key: u64) -> usize {
+        (mix64(key, self.seed) >> (64 - self.bucket_bits)) as usize
+    }
+
+    #[inline]
+    fn alt_bucket(&self, b: usize, tag: u64) -> usize {
+        (b ^ (mix64(tag, self.seed ^ 0x0061_6c74) as usize)) & (self.buckets - 1)
+    }
+
+    fn bucket_slot(&self, b: usize, s: usize) -> u64 {
+        self.table.get(b * BUCKET_SLOTS + s)
+    }
+
+    fn set_bucket_slot(&mut self, b: usize, s: usize, tag: u64) {
+        self.table.set(b * BUCKET_SLOTS + s, tag);
+    }
+
+    fn try_place(&mut self, b: usize, tag: u64) -> bool {
+        for s in 0..BUCKET_SLOTS {
+            if self.bucket_slot(b, s) == 0 {
+                self.set_bucket_slot(b, s, tag);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert a raw tag with kicks; exposed for the ACF which shares the
+    /// relocation machinery.
+    pub(crate) fn insert_tag(
+        &mut self,
+        b1: usize,
+        tag: u64,
+        mut on_kick: impl FnMut(usize, usize),
+    ) -> Result<(), FilterError> {
+        let b2 = self.alt_bucket(b1, tag);
+        if self.try_place(b1, tag) || self.try_place(b2, tag) {
+            self.items += 1;
+            return Ok(());
+        }
+        // Kick loop.
+        let mut b = if (mix64(tag, 0xdead) & 1) == 0 { b1 } else { b2 };
+        let mut cur = tag;
+        for kick in 0..MAX_KICKS {
+            let victim_slot = (mix64(cur.wrapping_add(kick as u64), 0xbeef) as usize) % BUCKET_SLOTS;
+            let victim = self.bucket_slot(b, victim_slot);
+            self.set_bucket_slot(b, victim_slot, cur);
+            on_kick(b, victim_slot);
+            cur = victim;
+            b = self.alt_bucket(b, cur);
+            if self.try_place(b, cur) {
+                self.items += 1;
+                return Ok(());
+            }
+        }
+        Err(FilterError::Full)
+    }
+
+    /// Delete one copy of `key`'s tag. Returns true if found.
+    pub fn delete(&mut self, key: u64) -> bool {
+        let tag = self.tag(key);
+        let b1 = self.bucket1(key);
+        let b2 = self.alt_bucket(b1, tag);
+        for &b in &[b1, b2] {
+            for s in 0..BUCKET_SLOTS {
+                if self.bucket_slot(b, s) == tag {
+                    self.set_bucket_slot(b, s, 0);
+                    self.items -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Filter for CuckooFilter {
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        let tag = self.tag(key);
+        let b1 = self.bucket1(key);
+        self.insert_tag(b1, tag, |_, _| {})
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        let tag = self.tag(key);
+        let b1 = self.bucket1(key);
+        let b2 = self.alt_bucket(b1, tag);
+        for &b in &[b1, b2] {
+            for s in 0..BUCKET_SLOTS {
+                if self.bucket_slot(b, s) == tag {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.table.heap_size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "CF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = CuckooFilter::new(10, 12, 5).unwrap();
+        let keys: Vec<u64> = (0..3600).map(|i| i * 31 + 1).collect();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k), "false negative {k}");
+        }
+    }
+
+    #[test]
+    fn delete_removes_membership_mostly() {
+        let mut f = CuckooFilter::new(10, 12, 5).unwrap();
+        for k in 0..1000u64 {
+            f.insert(k).unwrap();
+        }
+        for k in 0..1000u64 {
+            assert!(f.delete(k), "delete {k}");
+        }
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn fpr_roughly_matches_theory() {
+        let mut f = CuckooFilter::new(12, 12, 9).unwrap();
+        for k in 0..14_000u64 {
+            f.insert(k).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let probes = 200_000;
+        let fps = (0..probes)
+            .filter(|_| f.contains(rng.random_range(1_000_000..u64::MAX)))
+            .count();
+        let fpr = fps as f64 / probes as f64;
+        // Theory: ~ 2·4·α / 2^12 ≈ 0.0017 at α≈0.85.
+        assert!(fpr < 0.006, "fpr {fpr}");
+    }
+
+    #[test]
+    fn fills_to_high_load_before_full() {
+        let mut f = CuckooFilter::new(8, 12, 1).unwrap();
+        let mut n = 0u64;
+        for k in 0..10_000u64 {
+            if f.insert(k).is_err() {
+                break;
+            }
+            n += 1;
+        }
+        assert!(n as f64 / 1024.0 > 0.9, "cuckoo should reach >90% load, got {n}");
+    }
+}

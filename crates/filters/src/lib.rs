@@ -1,0 +1,37 @@
+//! Baseline filters for the AdaptiveQF evaluation (paper §6):
+//!
+//! | Type | Paper role | Adaptive? |
+//! |------|-----------|-----------|
+//! | [`QuotientFilter`] | QF baseline (Pandey et al.) | no |
+//! | [`CuckooFilter`] | CF baseline (Fan et al.) | no |
+//! | [`AdaptiveCuckooFilter`] | ACF (Mitzenmacher et al.) | weakly |
+//! | [`TelescopingFilter`] | TQF (Lee et al.) | strongly |
+//! | [`BloomFilter`] | classic baseline | no |
+//! | [`CascadingBloomFilter`] | CRLite-style yes/no lists | static |
+//!
+//! The adaptive baselines (ACF, TQF) carry an internal *shadow key store*
+//! standing in for the reverse map, exactly like the paper's
+//! microbenchmarks ("we pick valid arbitrary keys that will suffice in
+//! order to simulate having the reverse map present"), plus
+//! [`MapStats`] counters recording how often a real on-disk reverse map
+//! would have been inserted into / updated / queried — the quantities
+//! Table 2 reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acf;
+pub mod bloom;
+pub mod cascading;
+pub mod common;
+pub mod cuckoo;
+pub mod quotient;
+pub mod telescoping;
+
+pub use acf::AdaptiveCuckooFilter;
+pub use bloom::BloomFilter;
+pub use cascading::CascadingBloomFilter;
+pub use common::{Filter, MapEvent, MapStats};
+pub use cuckoo::CuckooFilter;
+pub use quotient::QuotientFilter;
+pub use telescoping::TelescopingFilter;

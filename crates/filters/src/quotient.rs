@@ -1,0 +1,271 @@
+//! Non-adaptive quotient filter baseline (paper's "QF", Pandey et al.).
+//!
+//! Same Robin Hood layout as the AdaptiveQF minus adaptivity: one slot per
+//! fingerprint, metadata bits `occupieds`/`runends`/`used`, remainders
+//! sorted within runs. No extensions, no counters — the baseline the paper
+//! measures adaptivity overhead against.
+
+use aqf::FilterError;
+use aqf_bits::hash::HashSeq;
+use aqf_bits::word::{bitmask, select_u64};
+use aqf_bits::{BitVec, PackedVec};
+
+use crate::common::Filter;
+
+/// A plain (non-adaptive) quotient filter.
+#[derive(Clone, Debug)]
+pub struct QuotientFilter {
+    occupieds: BitVec,
+    runends: BitVec,
+    used: BitVec,
+    slots: PackedVec,
+    qbits: u32,
+    rbits: u32,
+    seed: u64,
+    canonical: usize,
+    total: usize,
+    items: u64,
+}
+
+impl QuotientFilter {
+    /// `2^qbits` slots, `rbits`-bit remainders (ε ≈ 2^-rbits).
+    pub fn new(qbits: u32, rbits: u32, seed: u64) -> Result<Self, FilterError> {
+        if qbits == 0 || qbits > 40 || rbits == 0 || qbits + rbits > 64 {
+            return Err(FilterError::InvalidConfig("bad quotient filter geometry"));
+        }
+        let canonical = 1usize << qbits;
+        let overflow = ((10.0 * (canonical as f64).sqrt()) as usize).max(64);
+        let total = canonical + overflow;
+        Ok(Self {
+            occupieds: BitVec::new(total),
+            runends: BitVec::new(total),
+            used: BitVec::new(total),
+            slots: PackedVec::new(total, rbits),
+            qbits,
+            rbits,
+            seed,
+            canonical,
+            total,
+            items: 0,
+        })
+    }
+
+    /// Number of stored fingerprints.
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Load factor: used slots / canonical slots.
+    pub fn load_factor(&self) -> f64 {
+        self.items as f64 / self.canonical as f64
+    }
+
+    #[inline]
+    fn split(&self, key: u64) -> (usize, u64) {
+        let h = HashSeq::new(key, self.seed);
+        let q = h.bits_msb(0, self.qbits) as usize;
+        let r = h.bits_msb(self.qbits as u64, self.rbits);
+        (q, r)
+    }
+
+    #[inline]
+    fn cluster_start(&self, x: usize) -> usize {
+        match self.used.prev_zero(x) {
+            Some(z) => z + 1,
+            None => 0,
+        }
+    }
+
+    fn select_runend_from(&self, from: usize, mut k: usize) -> Option<usize> {
+        let nwords = self.total.div_ceil(64);
+        let mut w = from >> 6;
+        if w >= nwords {
+            return None;
+        }
+        let mut word = self.runends.word(w) & !bitmask((from & 63) as u32);
+        loop {
+            let ones = word.count_ones() as usize;
+            if k < ones {
+                let pos = (w << 6) + select_u64(word, k as u32).unwrap() as usize;
+                return (pos < self.total).then_some(pos);
+            }
+            k -= ones;
+            w += 1;
+            if w >= nwords {
+                return None;
+            }
+            word = self.runends.word(w);
+        }
+    }
+
+    /// Run of occupied quotient `q` as `(start, end)` inclusive.
+    fn run_range(&self, q: usize) -> (usize, usize) {
+        let c = self.cluster_start(q);
+        let t = self.occupieds.count_range(c, q + 1);
+        let re = self.select_runend_from(c, t - 1).expect("occupied run exists");
+        let rs = if t == 1 {
+            c
+        } else {
+            self.select_runend_from(c, t - 2).expect("previous run exists") + 1
+        };
+        (rs, re)
+    }
+
+    fn insert_slot_at(&mut self, pos: usize, rem: u64, runend: bool) -> Result<(), FilterError> {
+        let fe = self.used.next_zero(pos).ok_or(FilterError::Full)?;
+        if fe > pos {
+            self.slots.shift_right_insert(pos, fe, rem);
+            self.runends.shift_right_insert(pos, fe, runend);
+        } else {
+            self.slots.set(pos, rem);
+            self.runends.assign(pos, runend);
+        }
+        self.used.set(fe);
+        Ok(())
+    }
+}
+
+impl Filter for QuotientFilter {
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        let (hq, hr) = self.split(key);
+        if !self.used.get(hq) {
+            self.slots.set(hq, hr);
+            self.runends.set(hq);
+            self.used.set(hq);
+            self.occupieds.set(hq);
+            self.items += 1;
+            return Ok(());
+        }
+        if !self.occupieds.get(hq) {
+            // New run after the previous quotient's runend.
+            let c = self.cluster_start(hq);
+            let t = self.occupieds.count_range(c, hq + 1);
+            let pe = self.select_runend_from(c, t - 1).expect("cluster has runs");
+            self.insert_slot_at(pe + 1, hr, true)?;
+            self.occupieds.set(hq);
+            self.items += 1;
+            return Ok(());
+        }
+        let (rs, re) = self.run_range(hq);
+        // Keep remainders sorted within the run.
+        let mut pos = rs;
+        while pos <= re && self.slots.get(pos) < hr {
+            pos += 1;
+        }
+        if pos > re {
+            // New largest: append, moving the runend bit.
+            self.insert_slot_at(re + 1, hr, true)?;
+            self.runends.clear(re);
+        } else {
+            self.insert_slot_at(pos, hr, false)?;
+        }
+        self.items += 1;
+        Ok(())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        let (hq, hr) = self.split(key);
+        if !self.occupieds.get(hq) {
+            return false;
+        }
+        let (rs, re) = self.run_range(hq);
+        for i in rs..=re {
+            let r = self.slots.get(i);
+            if r == hr {
+                return true;
+            }
+            if r > hr {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.occupieds.heap_size_bytes()
+            + self.runends.heap_size_bytes()
+            + self.used.heap_size_bytes()
+            + self.slots.heap_size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "QF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn insert_and_query_no_false_negatives() {
+        let mut f = QuotientFilter::new(10, 9, 7).unwrap();
+        let keys: Vec<u64> = (0..900).map(|i| i * 7919).collect();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k), "false negative {k}");
+        }
+    }
+
+    #[test]
+    fn fpr_close_to_two_to_minus_r() {
+        let mut f = QuotientFilter::new(12, 9, 3).unwrap();
+        for k in 0..3700u64 {
+            f.insert(k).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut fps = 0usize;
+        let probes = 200_000;
+        for _ in 0..probes {
+            let k: u64 = rng.random_range(1_000_000..u64::MAX);
+            if f.contains(k) {
+                fps += 1;
+            }
+        }
+        let fpr = fps as f64 / probes as f64;
+        let expect = 3700.0 / 4096.0 / 512.0; // α · 2^-r
+        assert!(
+            fpr < expect * 3.0 + 1e-4,
+            "fpr {fpr:.6} vs expected ~{expect:.6}"
+        );
+    }
+
+    #[test]
+    fn heavy_collisions_small_geometry() {
+        let mut f = QuotientFilter::new(5, 3, 11).unwrap();
+        let mut stored = Vec::new();
+        for k in 0..1000u64 {
+            match f.insert(k) {
+                Ok(()) => stored.push(k),
+                Err(FilterError::Full) => break,
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        assert!(stored.len() >= 30, "should fit at least the canonical slots");
+        for &k in &stored {
+            assert!(f.contains(k), "false negative {k}");
+        }
+    }
+
+    #[test]
+    fn fill_reports_full() {
+        let mut f = QuotientFilter::new(5, 4, 2).unwrap();
+        let mut full_seen = false;
+        for k in 0..10_000u64 {
+            if f.insert(k).is_err() {
+                full_seen = true;
+                break;
+            }
+        }
+        assert!(full_seen);
+    }
+}

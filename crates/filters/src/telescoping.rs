@@ -1,0 +1,365 @@
+//! Telescoping quotient filter (paper's "TQF", Lee et al. 2021),
+//! fixed-width-selector variant.
+//!
+//! A quotient filter in which each fingerprint stores a small *hash
+//! selector* alongside its remainder: selector `s` means the remainder is
+//! the `s`-th `r`-bit window of the key's hash. Adapting a false positive
+//! advances the selector and swaps in the next window — which requires the
+//! original key, i.e. a reverse-map query.
+//!
+//! The TQF's reverse map is **location-keyed** (keys stored alongside
+//! their fingerprints). Robin Hood shifting during inserts therefore moves
+//! map entries too: every shifted slot is a map read + write. A shadow key
+//! array models the map and [`MapStats`] counts that traffic — the source
+//! of the TQF's insert slowdown in paper Fig. 5 / Table 2.
+//!
+//! Simplification vs the original: Lee et al. compress selectors with
+//! arithmetic coding to ~0.6 bits/slot amortized; we store a fixed 2-bit
+//! selector per slot (paper Table 1 shows the TQF paying a similar space
+//! premium over the QF). Runs keep insertion order rather than remainder
+//! order, since remainders change under adaptation.
+
+use aqf::FilterError;
+use aqf_bits::hash::HashSeq;
+use aqf_bits::word::{bitmask, select_u64};
+use aqf_bits::{BitVec, PackedVec};
+
+use crate::common::{Filter, MapEvent, MapStats};
+
+const SELECTOR_BITS: u32 = 2;
+
+/// Coordinates of a positive TQF query (for adaptation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TqfHit {
+    /// Physical slot of the matched fingerprint.
+    pub slot: usize,
+}
+
+/// A telescoping quotient filter.
+#[derive(Clone, Debug)]
+pub struct TelescopingFilter {
+    occupieds: BitVec,
+    runends: BitVec,
+    used: BitVec,
+    /// `(selector << rbits) | remainder` per slot.
+    slots: PackedVec,
+    /// Shadow location-keyed reverse map.
+    keys: Vec<u64>,
+    qbits: u32,
+    rbits: u32,
+    seed: u64,
+    canonical: usize,
+    total: usize,
+    items: u64,
+    stats: MapStats,
+    adaptations: u64,
+    record_events: bool,
+    events: Vec<MapEvent>,
+}
+
+impl TelescopingFilter {
+    /// `2^qbits` slots with `rbits`-bit remainders.
+    pub fn new(qbits: u32, rbits: u32, seed: u64) -> Result<Self, FilterError> {
+        if qbits == 0 || qbits > 40 || rbits == 0 || qbits + rbits > 60 {
+            return Err(FilterError::InvalidConfig("bad TQF geometry"));
+        }
+        let canonical = 1usize << qbits;
+        let overflow = ((10.0 * (canonical as f64).sqrt()) as usize).max(64);
+        let total = canonical + overflow;
+        Ok(Self {
+            occupieds: BitVec::new(total),
+            runends: BitVec::new(total),
+            used: BitVec::new(total),
+            slots: PackedVec::new(total, rbits + SELECTOR_BITS),
+            keys: vec![0; total],
+            qbits,
+            rbits,
+            seed,
+            canonical,
+            total,
+            items: 0,
+            stats: MapStats::default(),
+            adaptations: 0,
+            record_events: false,
+            events: Vec::new(),
+        })
+    }
+
+    /// Enable recording of reverse-map operations for system-level replay.
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    /// Drain recorded reverse-map operations (in execution order).
+    pub fn take_events(&mut self) -> Vec<MapEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    #[inline]
+    fn record(&mut self, e: MapEvent) {
+        if self.record_events {
+            self.events.push(e);
+        }
+    }
+
+    /// Stored fingerprints.
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.items as f64 / self.canonical as f64
+    }
+
+    /// Reverse-map traffic counters (paper Table 2).
+    pub fn map_stats(&self) -> MapStats {
+        self.stats
+    }
+
+    /// Number of adapt calls.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    #[inline]
+    fn quotient(&self, key: u64) -> usize {
+        HashSeq::new(key, self.seed).bits_msb(0, self.qbits) as usize
+    }
+
+    /// The `s`-th remainder window of `key`'s hash string.
+    #[inline]
+    fn window(&self, key: u64, s: u64) -> u64 {
+        HashSeq::new(key, self.seed)
+            .bits_msb(self.qbits as u64 + s * self.rbits as u64, self.rbits)
+    }
+
+    #[inline]
+    fn cluster_start(&self, x: usize) -> usize {
+        match self.used.prev_zero(x) {
+            Some(z) => z + 1,
+            None => 0,
+        }
+    }
+
+    fn select_runend_from(&self, from: usize, mut k: usize) -> Option<usize> {
+        let nwords = self.total.div_ceil(64);
+        let mut w = from >> 6;
+        if w >= nwords {
+            return None;
+        }
+        let mut word = self.runends.word(w) & !bitmask((from & 63) as u32);
+        loop {
+            let ones = word.count_ones() as usize;
+            if k < ones {
+                let pos = (w << 6) + select_u64(word, k as u32).unwrap() as usize;
+                return (pos < self.total).then_some(pos);
+            }
+            k -= ones;
+            w += 1;
+            if w >= nwords {
+                return None;
+            }
+            word = self.runends.word(w);
+        }
+    }
+
+    fn run_range(&self, q: usize) -> (usize, usize) {
+        let c = self.cluster_start(q);
+        let t = self.occupieds.count_range(c, q + 1);
+        let re = self.select_runend_from(c, t - 1).expect("occupied run");
+        let rs = if t == 1 {
+            c
+        } else {
+            self.select_runend_from(c, t - 2).expect("previous run") + 1
+        };
+        (rs, re)
+    }
+
+    /// Insert a slot, shifting; every shifted slot is a location-keyed map
+    /// entry that must move with it (read + write).
+    fn insert_slot_at(
+        &mut self,
+        pos: usize,
+        value: u64,
+        key: u64,
+        runend: bool,
+    ) -> Result<(), FilterError> {
+        let fe = self.used.next_zero(pos).ok_or(FilterError::Full)?;
+        if fe > pos {
+            self.slots.shift_right_insert(pos, fe, value);
+            self.runends.shift_right_insert(pos, fe, runend);
+            // Shift the shadow map and charge the traffic.
+            let shifted = (fe - pos) as u64;
+            self.keys.copy_within(pos..fe, pos + 1);
+            self.stats.queries += shifted;
+            self.stats.updates += shifted;
+            self.record(MapEvent::ShiftRange { start: pos, end: fe });
+        } else {
+            self.slots.set(pos, value);
+            self.runends.assign(pos, runend);
+        }
+        self.keys[pos] = key;
+        self.record(MapEvent::Put { loc: pos, key });
+        self.used.set(fe);
+        Ok(())
+    }
+
+    /// Query returning the matched slot for adaptation.
+    pub fn query_slot(&self, key: u64) -> Option<TqfHit> {
+        let hq = self.quotient(key);
+        if !self.occupieds.get(hq) {
+            return None;
+        }
+        let (rs, re) = self.run_range(hq);
+        for i in rs..=re {
+            let v = self.slots.get(i);
+            let sel = v >> self.rbits;
+            let rem = v & bitmask(self.rbits);
+            if self.window(key, sel) == rem {
+                return Some(TqfHit { slot: i });
+            }
+        }
+        None
+    }
+
+    /// The key the shadow map stores for a slot.
+    pub fn stored_key(&self, hit: &TqfHit) -> u64 {
+        self.keys[hit.slot]
+    }
+
+    /// Adapt after a confirmed false positive: advance the slot's selector
+    /// and swap in the stored key's next hash window (a map query).
+    /// Strongly adaptive while selectors last; the 2-bit selector wraps
+    /// (the original telescopes further with arithmetic coding).
+    pub fn adapt(&mut self, hit: &TqfHit) {
+        let key = self.keys[hit.slot];
+        self.stats.queries += 1;
+        self.record(MapEvent::Get { loc: hit.slot });
+        let v = self.slots.get(hit.slot);
+        let sel = v >> self.rbits;
+        let new_sel = (sel + 1) & bitmask(SELECTOR_BITS);
+        let new_rem = self.window(key, new_sel);
+        self.slots.set(hit.slot, (new_sel << self.rbits) | new_rem);
+        self.adaptations += 1;
+    }
+}
+
+impl Filter for TelescopingFilter {
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        let hq = self.quotient(key);
+        let rem = self.window(key, 0);
+        self.stats.inserts += 1;
+        if !self.used.get(hq) {
+            self.slots.set(hq, rem);
+            self.runends.set(hq);
+            self.used.set(hq);
+            self.occupieds.set(hq);
+            self.keys[hq] = key;
+            self.record(MapEvent::Put { loc: hq, key });
+            self.items += 1;
+            return Ok(());
+        }
+        if !self.occupieds.get(hq) {
+            let c = self.cluster_start(hq);
+            let t = self.occupieds.count_range(c, hq + 1);
+            let pe = self.select_runend_from(c, t - 1).expect("cluster has runs");
+            self.insert_slot_at(pe + 1, rem, key, true)?;
+            self.occupieds.set(hq);
+            self.items += 1;
+            return Ok(());
+        }
+        // Append at the end of the run (insertion order).
+        let (_, re) = self.run_range(hq);
+        self.insert_slot_at(re + 1, rem, key, true)?;
+        self.runends.clear(re);
+        self.items += 1;
+        Ok(())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.query_slot(key).is_some()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.occupieds.heap_size_bytes()
+            + self.runends.heap_size_bytes()
+            + self.used.heap_size_bytes()
+            + self.slots.heap_size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "TQF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = TelescopingFilter::new(10, 9, 3).unwrap();
+        let keys: Vec<u64> = (0..900).map(|i| i * 101 + 7).collect();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k), "false negative {k}");
+        }
+    }
+
+    #[test]
+    fn adapt_changes_remainder_and_fixes_fp() {
+        let mut f = TelescopingFilter::new(11, 7, 5).unwrap();
+        for k in 0..1800u64 {
+            f.insert(k).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut fixed = 0;
+        let mut tries = 0;
+        while fixed < 40 && tries < 2_000_000 {
+            tries += 1;
+            let probe: u64 = rng.random_range(1_000_000..u64::MAX);
+            if let Some(hit) = f.query_slot(probe) {
+                if f.stored_key(&hit) == probe {
+                    continue;
+                }
+                let mut guard = 0;
+                while let Some(h) = f.query_slot(probe) {
+                    f.adapt(&h);
+                    guard += 1;
+                    if guard > 8 {
+                        break;
+                    }
+                }
+                if f.query_slot(probe).is_none() {
+                    fixed += 1;
+                }
+            }
+        }
+        assert!(fixed >= 40);
+        // Members survive adaptation.
+        for k in (0..1800u64).step_by(23) {
+            assert!(f.contains(k), "member {k} lost");
+        }
+    }
+
+    #[test]
+    fn shifting_charges_map_updates() {
+        let mut f = TelescopingFilter::new(8, 9, 1).unwrap();
+        for k in 0..230u64 {
+            f.insert(k).unwrap();
+        }
+        let st = f.map_stats();
+        assert_eq!(st.inserts, 230);
+        assert!(st.updates > 0, "90% load must shift and charge updates");
+    }
+}

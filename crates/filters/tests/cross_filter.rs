@@ -1,0 +1,138 @@
+//! Cross-filter behavioural tests: statistical FPR checks, adaptation
+//! contracts, and capacity behaviour shared by all baselines.
+
+use aqf_filters::{
+    AdaptiveCuckooFilter, BloomFilter, CascadingBloomFilter, CuckooFilter, Filter,
+    QuotientFilter, TelescopingFilter,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn fill_and_check(f: &mut dyn Filter, n: u64, tag: &str) {
+    for k in 0..n {
+        f.insert(k * 2654435761 % (1 << 40)).unwrap();
+    }
+    for k in 0..n {
+        assert!(f.contains(k * 2654435761 % (1 << 40)), "{tag}: false negative at {k}");
+    }
+}
+
+#[test]
+fn all_filters_no_false_negatives_at_90pct() {
+    let n = 3600u64;
+    fill_and_check(&mut QuotientFilter::new(12, 9, 1).unwrap(), n, "qf");
+    fill_and_check(&mut CuckooFilter::new(10, 12, 1).unwrap(), n, "cf");
+    fill_and_check(&mut AdaptiveCuckooFilter::new(10, 12, 1).unwrap(), n, "acf");
+    fill_and_check(&mut TelescopingFilter::new(12, 9, 1).unwrap(), n, "tqf");
+    fill_and_check(&mut BloomFilter::for_capacity(3600, 0.002, 1).unwrap(), n, "bloom");
+}
+
+#[test]
+fn fpr_statistically_consistent_across_filters() {
+    // All five at the paper's ε=2^-9 configuration must land within a
+    // factor ~3 of each other and of the target.
+    let n = 3600u64;
+    let probes = 300_000u64;
+    let mut rng = StdRng::seed_from_u64(5);
+    let probe_keys: Vec<u64> = (0..probes).map(|_| rng.random_range(1 << 41..u64::MAX)).collect();
+
+    let mut filters: Vec<(&str, Box<dyn Filter>)> = vec![
+        ("qf", Box::new(QuotientFilter::new(12, 9, 2).unwrap())),
+        ("cf", Box::new(CuckooFilter::new(10, 12, 2).unwrap())),
+        ("acf", Box::new(AdaptiveCuckooFilter::new(10, 12, 2).unwrap())),
+        ("tqf", Box::new(TelescopingFilter::new(12, 9, 2).unwrap())),
+    ];
+    for (name, f) in &mut filters {
+        for k in 0..n {
+            f.insert(k).unwrap();
+        }
+        let fps = probe_keys.iter().filter(|&&k| f.contains(k)).count();
+        let fpr = fps as f64 / probes as f64;
+        // Target ~ load * 2^-9 ≈ 0.0017 (QF-family) / 8·2^-12 (CF-family).
+        assert!(fpr < 0.008, "{name}: fpr {fpr} too high");
+        assert!(fpr > 0.00005, "{name}: fpr {fpr} suspiciously low");
+    }
+}
+
+#[test]
+fn acf_and_tqf_fix_and_refind_members_under_heavy_adaptation() {
+    let mut acf = AdaptiveCuckooFilter::new(9, 10, 3).unwrap();
+    let mut tqf = TelescopingFilter::new(11, 8, 3).unwrap();
+    let members: Vec<u64> = (0..1500).collect();
+    for &k in &members {
+        Filter::insert(&mut acf, k).unwrap();
+        Filter::insert(&mut tqf, k).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(9);
+    // Hammer both with false-positive fixes.
+    for _ in 0..200_000 {
+        let probe: u64 = rng.random_range(1_000_000..u64::MAX);
+        if let Some(h) = acf.query_slot(probe) {
+            if acf.stored_key(&h) != probe {
+                acf.adapt(&h);
+            }
+        }
+        if let Some(h) = tqf.query_slot(probe) {
+            if tqf.stored_key(&h) != probe {
+                tqf.adapt(&h);
+            }
+        }
+    }
+    // Every member must still be present (adaptation rewrites tags from
+    // the member's own key, so members always re-match).
+    for &k in &members {
+        assert!(acf.contains(k), "acf lost member {k}");
+        assert!(tqf.contains(k), "tqf lost member {k}");
+    }
+}
+
+#[test]
+fn cascading_bloom_handles_adversarial_overlap_sizes() {
+    // Tiny yes vs huge no and vice versa; deep cascades must converge.
+    for (ny, nn) in [(10usize, 20_000usize), (20_000, 10), (1, 1), (0, 50)] {
+        let yes: Vec<u64> = (0..ny as u64).collect();
+        let no: Vec<u64> = (1_000_000..1_000_000 + nn as u64).collect();
+        let c = CascadingBloomFilter::build(&yes, &no, 8).unwrap();
+        assert!(yes.iter().all(|&y| c.query(y)), "{ny}/{nn}");
+        assert!(no.iter().all(|&z| !c.query(z)), "{ny}/{nn}");
+    }
+}
+
+#[test]
+fn cuckoo_delete_then_reinsert_cycles() {
+    let mut f = CuckooFilter::new(9, 12, 4).unwrap();
+    let keys: Vec<u64> = (0..1500).collect();
+    for round in 0..5 {
+        for &k in &keys {
+            f.insert(k).unwrap_or_else(|e| panic!("round {round}: {e:?}"));
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+        for &k in &keys {
+            assert!(f.delete(k), "round {round} delete {k}");
+        }
+        assert_eq!(f.len(), 0);
+    }
+}
+
+#[test]
+fn quotient_filter_sizes_report_consistently() {
+    let f9 = QuotientFilter::new(12, 9, 1).unwrap();
+    let f12 = QuotientFilter::new(12, 12, 1).unwrap();
+    assert!(f12.size_in_bytes() > f9.size_in_bytes());
+    let big = QuotientFilter::new(14, 9, 1).unwrap();
+    assert!(big.size_in_bytes() > 3 * f9.size_in_bytes());
+}
+
+#[test]
+fn map_stats_zero_until_pressure() {
+    // At low load neither kicks nor shifts should be needed.
+    let mut acf = AdaptiveCuckooFilter::new(10, 12, 6).unwrap();
+    for k in 0..100u64 {
+        Filter::insert(&mut acf, k).unwrap();
+    }
+    assert_eq!(acf.map_stats().queries, 0, "no kicks at 2% load");
+    assert_eq!(acf.map_stats().updates, 0);
+    assert_eq!(acf.map_stats().inserts, 100);
+}

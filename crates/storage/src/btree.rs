@@ -1,0 +1,383 @@
+//! An on-disk B+tree keyed by `u64`, built on the page cache.
+//!
+//! This is the database substrate standing in for the paper's SplinterDB
+//! B-tree (DESIGN.md §4): fixed 4 KiB pages, internal nodes of separator
+//! keys and child pointers, leaves of `(key, value)` entries with values
+//! up to [`MAX_VALUE_LEN`] bytes. Deletes are lazy (no rebalancing) —
+//! sufficient for every experiment in the paper, all of which are
+//! insert/query dominated.
+
+use crate::cache::{CacheStats, PageCache};
+use crate::pager::{IoPolicy, IoStats, Pager, PAGE_SIZE};
+use std::path::Path;
+
+/// Maximum value size storable in a leaf.
+pub const MAX_VALUE_LEN: usize = 1024;
+
+const LEAF: u8 = 1;
+const INTERNAL: u8 = 2;
+const HDR: usize = 8;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Node {
+    Leaf { entries: Vec<(u64, Vec<u8>)> },
+    Internal { keys: Vec<u64>, children: Vec<u32> },
+}
+
+impl Node {
+    fn parse(page: &[u8; PAGE_SIZE]) -> Node {
+        let n = u16::from_le_bytes([page[2], page[3]]) as usize;
+        match page[0] {
+            LEAF => {
+                let mut entries = Vec::with_capacity(n);
+                let mut off = HDR;
+                for _ in 0..n {
+                    let key = u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
+                    let vlen =
+                        u16::from_le_bytes(page[off + 8..off + 10].try_into().unwrap()) as usize;
+                    let value = page[off + 10..off + 10 + vlen].to_vec();
+                    entries.push((key, value));
+                    off += 10 + vlen;
+                }
+                Node::Leaf { entries }
+            }
+            INTERNAL => {
+                let mut keys = Vec::with_capacity(n);
+                let mut off = HDR;
+                for _ in 0..n {
+                    keys.push(u64::from_le_bytes(page[off..off + 8].try_into().unwrap()));
+                    off += 8;
+                }
+                let mut children = Vec::with_capacity(n + 1);
+                for _ in 0..=n {
+                    children.push(u32::from_le_bytes(page[off..off + 4].try_into().unwrap()));
+                    off += 4;
+                }
+                Node::Internal { keys, children }
+            }
+            t => panic!("corrupt node type {t}"),
+        }
+    }
+
+    fn serialize(&self, page: &mut [u8; PAGE_SIZE]) {
+        page.fill(0);
+        match self {
+            Node::Leaf { entries } => {
+                page[0] = LEAF;
+                page[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                let mut off = HDR;
+                for (k, v) in entries {
+                    page[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                    page[off + 8..off + 10].copy_from_slice(&(v.len() as u16).to_le_bytes());
+                    page[off + 10..off + 10 + v.len()].copy_from_slice(v);
+                    off += 10 + v.len();
+                }
+            }
+            Node::Internal { keys, children } => {
+                page[0] = INTERNAL;
+                page[2..4].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                let mut off = HDR;
+                for k in keys {
+                    page[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                    off += 8;
+                }
+                for c in children {
+                    page[off..off + 4].copy_from_slice(&c.to_le_bytes());
+                    off += 4;
+                }
+            }
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            Node::Leaf { entries } => {
+                HDR + entries.iter().map(|(_, v)| 10 + v.len()).sum::<usize>()
+            }
+            Node::Internal { keys, children } => HDR + keys.len() * 8 + children.len() * 4,
+        }
+    }
+}
+
+/// An on-disk B+tree store.
+pub struct BTreeStore {
+    cache: PageCache,
+    root: u32,
+    len: u64,
+}
+
+impl BTreeStore {
+    /// Create a fresh store at `path` (truncating any existing file) with
+    /// a cache of `cache_pages` pages and the given I/O policy.
+    pub fn create(path: &Path, policy: IoPolicy, cache_pages: usize) -> std::io::Result<Self> {
+        let _ = std::fs::remove_file(path);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let pager = Pager::open(path, policy)?;
+        let mut cache = PageCache::new(pager, cache_pages);
+        let root = cache.allocate()?;
+        let root_page = cache.page_mut(root)?;
+        Node::Leaf { entries: Vec::new() }.serialize(root_page);
+        Ok(Self { cache, root, len: 0 })
+    }
+
+    /// Number of key-value pairs.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Disk I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.cache.io_stats()
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn load(&mut self, id: u32) -> std::io::Result<Node> {
+        Ok(Node::parse(self.cache.page(id)?))
+    }
+
+    fn store_node(&mut self, id: u32, node: &Node) -> std::io::Result<()> {
+        node.serialize(self.cache.page_mut(id)?);
+        Ok(())
+    }
+
+    /// Look up `key`.
+    pub fn get(&mut self, key: u64) -> std::io::Result<Option<Vec<u8>>> {
+        let mut id = self.root;
+        loop {
+            match self.load(id)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    id = children[idx];
+                }
+                Node::Leaf { entries } => {
+                    return Ok(entries
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map(|(_, v)| v.clone()));
+                }
+            }
+        }
+    }
+
+    /// Insert or replace `key -> value`.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> std::io::Result<()> {
+        assert!(value.len() <= MAX_VALUE_LEN, "value too large");
+        // Descend, remembering the path.
+        let mut path: Vec<u32> = Vec::new();
+        let mut id = self.root;
+        loop {
+            match self.load(id)? {
+                Node::Internal { keys, children } => {
+                    path.push(id);
+                    let idx = keys.partition_point(|&k| k <= key);
+                    id = children[idx];
+                }
+                Node::Leaf { mut entries } => {
+                    match entries.binary_search_by_key(&key, |(k, _)| *k) {
+                        Ok(i) => entries[i].1 = value.to_vec(),
+                        Err(i) => {
+                            entries.insert(i, (key, value.to_vec()));
+                            self.len += 1;
+                        }
+                    }
+                    let node = Node::Leaf { entries };
+                    if node.size() <= PAGE_SIZE {
+                        return self.store_node(id, &node);
+                    }
+                    // Split the leaf and propagate.
+                    let Node::Leaf { entries } = node else { unreachable!() };
+                    let mid = entries.len() / 2;
+                    let right_entries = entries[mid..].to_vec();
+                    let left_entries = entries[..mid].to_vec();
+                    let sep = right_entries[0].0;
+                    let right_id = self.cache.allocate()?;
+                    self.store_node(id, &Node::Leaf { entries: left_entries })?;
+                    self.store_node(right_id, &Node::Leaf { entries: right_entries })?;
+                    return self.insert_separator(path, id, sep, right_id);
+                }
+            }
+        }
+    }
+
+    /// Insert `sep`/`right_id` into the parent chain after `left_id` split.
+    fn insert_separator(
+        &mut self,
+        mut path: Vec<u32>,
+        mut left_id: u32,
+        mut sep: u64,
+        mut right_id: u32,
+    ) -> std::io::Result<()> {
+        loop {
+            let Some(parent_id) = path.pop() else {
+                // Split reached the root: grow the tree.
+                let new_root = self.cache.allocate()?;
+                let node = Node::Internal { keys: vec![sep], children: vec![left_id, right_id] };
+                self.store_node(new_root, &node)?;
+                self.root = new_root;
+                return Ok(());
+            };
+            let Node::Internal { mut keys, mut children } = self.load(parent_id)? else {
+                panic!("parent must be internal");
+            };
+            let idx = children
+                .iter()
+                .position(|&c| c == left_id)
+                .expect("child must be under parent");
+            keys.insert(idx, sep);
+            children.insert(idx + 1, right_id);
+            let node = Node::Internal { keys, children };
+            if node.size() <= PAGE_SIZE {
+                return self.store_node(parent_id, &node);
+            }
+            // Split the internal node.
+            let Node::Internal { keys, children } = node else { unreachable!() };
+            let mid = keys.len() / 2;
+            let promote = keys[mid];
+            let right_keys = keys[mid + 1..].to_vec();
+            let right_children = children[mid + 1..].to_vec();
+            let left_keys = keys[..mid].to_vec();
+            let left_children = children[..=mid].to_vec();
+            let new_right = self.cache.allocate()?;
+            self.store_node(parent_id, &Node::Internal { keys: left_keys, children: left_children })?;
+            self.store_node(new_right, &Node::Internal { keys: right_keys, children: right_children })?;
+            left_id = parent_id;
+            sep = promote;
+            right_id = new_right;
+        }
+    }
+
+    /// Remove `key`. Returns true if it existed. Lazy: leaves may become
+    /// underfull (no rebalancing).
+    pub fn delete(&mut self, key: u64) -> std::io::Result<bool> {
+        let mut id = self.root;
+        loop {
+            match self.load(id)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    id = children[idx];
+                }
+                Node::Leaf { mut entries } => {
+                    match entries.binary_search_by_key(&key, |(k, _)| *k) {
+                        Ok(i) => {
+                            entries.remove(i);
+                            self.len -= 1;
+                            self.store_node(id, &Node::Leaf { entries })?;
+                            return Ok(true);
+                        }
+                        Err(_) => return Ok(false),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush all dirty pages.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.cache.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn temp_store(cache_pages: usize) -> (BTreeStore, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "aqf-btree-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.db");
+        (BTreeStore::create(&path, IoPolicy::default(), cache_pages).unwrap(), path)
+    }
+
+    #[test]
+    fn model_test_against_btreemap() {
+        let (mut t, path) = temp_store(64);
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..20_000u64 {
+            let key = rng.random_range(0..5000u64);
+            match rng.random_range(0..10u32) {
+                0..=6 => {
+                    let val = vec![(key & 0xFF) as u8; rng.random_range(0..80usize)];
+                    t.put(key, &val).unwrap();
+                    model.insert(key, val);
+                }
+                7..=8 => {
+                    assert_eq!(
+                        t.get(key).unwrap(),
+                        model.get(&key).cloned(),
+                        "step {step} get({key})"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        t.delete(key).unwrap(),
+                        model.remove(&key).is_some(),
+                        "step {step} delete({key})"
+                    );
+                }
+            }
+        }
+        assert_eq!(t.len(), model.len() as u64);
+        for (&k, v) in &model {
+            assert_eq!(t.get(k).unwrap().as_deref(), Some(v.as_slice()), "final {k}");
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn splits_under_sequential_load() {
+        let (mut t, path) = temp_store(256);
+        for k in 0..50_000u64 {
+            t.put(k, &k.to_le_bytes()).unwrap();
+        }
+        for k in (0..50_000u64).step_by(997) {
+            assert_eq!(t.get(k).unwrap().unwrap(), k.to_le_bytes());
+        }
+        assert!(t.get(50_001).unwrap().is_none());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn small_cache_thrashes_but_stays_correct() {
+        let (mut t, path) = temp_store(8);
+        for k in 0..5000u64 {
+            t.put(k * 3, &[1, 2, 3]).unwrap();
+        }
+        for k in 0..5000u64 {
+            assert!(t.get(k * 3).unwrap().is_some(), "{k}");
+        }
+        assert!(t.io_stats().reads > 0, "tiny cache must hit disk");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn large_values_split_correctly() {
+        let (mut t, path) = temp_store(64);
+        let big = vec![0xAB; 1000];
+        for k in 0..200u64 {
+            t.put(k, &big).unwrap();
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.get(k).unwrap().unwrap().len(), 1000);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,186 @@
+//! LRU page cache over the [`Pager`](crate::pager::Pager).
+//!
+//! Bounded number of in-memory frames; dirty pages are written back on
+//! eviction and on `flush`. Hit/miss counters feed the Fig. 6 experiment
+//! (query throughput vs cache size under adversarial queries).
+
+use std::collections::HashMap;
+
+use crate::pager::{IoStats, Page, Pager, PAGE_SIZE};
+
+/// Cache hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Page requests served from memory.
+    pub hits: u64,
+    /// Page requests that went to disk.
+    pub misses: u64,
+    /// Dirty pages written back on eviction.
+    pub evictions: u64,
+}
+
+struct Frame {
+    page_id: u32,
+    data: Page,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// A fixed-capacity LRU page cache.
+pub struct PageCache {
+    pager: Pager,
+    frames: Vec<Frame>,
+    map: HashMap<u32, usize>,
+    capacity: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl PageCache {
+    /// Wrap `pager` with an LRU cache of `capacity` pages (>= 8).
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        Self {
+            pager,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            capacity: capacity.max(8),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Pager (disk) counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.pager.stats()
+    }
+
+    /// Allocate a fresh page.
+    pub fn allocate(&mut self) -> std::io::Result<u32> {
+        self.pager.allocate()
+    }
+
+    /// Number of pages in the underlying file.
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    fn touch(&mut self, frame: usize) {
+        self.clock += 1;
+        self.frames[frame].last_used = self.clock;
+    }
+
+    fn frame_for(&mut self, page_id: u32) -> std::io::Result<usize> {
+        if let Some(&f) = self.map.get(&page_id) {
+            self.stats.hits += 1;
+            self.touch(f);
+            return Ok(f);
+        }
+        self.stats.misses += 1;
+        let data = self.pager.read_page(page_id)?;
+        let f = if self.frames.len() < self.capacity {
+            self.frames.push(Frame { page_id, data, dirty: false, last_used: 0 });
+            self.frames.len() - 1
+        } else {
+            // Evict the least-recently-used frame.
+            let victim = (0..self.frames.len())
+                .min_by_key(|&i| self.frames[i].last_used)
+                .expect("cache not empty");
+            let old = &mut self.frames[victim];
+            if old.dirty {
+                self.pager.write_page(old.page_id, &old.data)?;
+                self.stats.evictions += 1;
+            }
+            self.map.remove(&old.page_id);
+            old.page_id = page_id;
+            old.data = data;
+            old.dirty = false;
+            victim
+        };
+        self.map.insert(page_id, f);
+        self.touch(f);
+        Ok(f)
+    }
+
+    /// Read access to a page.
+    pub fn page(&mut self, page_id: u32) -> std::io::Result<&[u8; PAGE_SIZE]> {
+        let f = self.frame_for(page_id)?;
+        Ok(&self.frames[f].data)
+    }
+
+    /// Write access to a page (marks it dirty).
+    pub fn page_mut(&mut self, page_id: u32) -> std::io::Result<&mut [u8; PAGE_SIZE]> {
+        let f = self.frame_for(page_id)?;
+        self.frames[f].dirty = true;
+        Ok(&mut self.frames[f].data)
+    }
+
+    /// Write back every dirty page.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        for f in &mut self.frames {
+            if f.dirty {
+                self.pager.write_page(f.page_id, &f.data)?;
+                f.dirty = false;
+            }
+        }
+        self.pager.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::IoPolicy;
+
+    fn temp_cache(cap: usize) -> (PageCache, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "aqf-cache-{}-{cap}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pages");
+        let _ = std::fs::remove_file(&path);
+        let pager = Pager::open(&path, IoPolicy::default()).unwrap();
+        (PageCache::new(pager, cap), path)
+    }
+
+    #[test]
+    fn cached_reads_do_not_hit_disk() {
+        let (mut c, path) = temp_cache(16);
+        let p = c.allocate().unwrap();
+        c.page_mut(p).unwrap()[0] = 9;
+        let before = c.io_stats().reads;
+        for _ in 0..100 {
+            assert_eq!(c.page(p).unwrap()[0], 9);
+        }
+        assert_eq!(c.io_stats().reads, before, "reads must be cached");
+        assert!(c.stats().hits >= 100);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (mut c, path) = temp_cache(8);
+        let ids: Vec<u32> = (0..32).map(|_| c.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            c.page_mut(id).unwrap()[0] = i as u8;
+        }
+        // Re-read everything; evictions must have preserved the data.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(c.page(id).unwrap()[0], i as u8, "page {id}");
+        }
+        assert!(c.stats().evictions > 0);
+        c.flush().unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+}

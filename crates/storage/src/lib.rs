@@ -1,0 +1,33 @@
+//! Storage substrate for the AdaptiveQF evaluation: an on-disk B+tree
+//! key-value store with a bounded page cache, reverse-map key encoding,
+//! and the composed filter-fronted-database system of paper §6.4.
+//!
+//! ```no_run
+//! use aqf::AqfConfig;
+//! use aqf_storage::system::FilteredDb;
+//! use aqf_storage::pager::IoPolicy;
+//!
+//! let mut db = FilteredDb::with_aqf(
+//!     AqfConfig::new(16, 9),
+//!     std::path::Path::new("/tmp/aqf-demo"),
+//!     1024,                 // page-cache pages
+//!     IoPolicy::default(),  // optionally inject per-I/O latency
+//! ).unwrap();
+//! db.insert(42, b"answer").unwrap().unwrap();
+//! assert_eq!(db.query(42).unwrap().as_deref(), Some(&b"answer"[..]));
+//! assert_eq!(db.query(43).unwrap(), None); // false positives self-correct
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod cache;
+pub mod pager;
+pub mod revmap;
+pub mod system;
+
+pub use btree::BTreeStore;
+pub use cache::PageCache;
+pub use pager::{IoPolicy, IoStats, Pager, PAGE_SIZE};
+pub use system::{FilteredDb, RevMapMode, SystemFilter, SystemStats};

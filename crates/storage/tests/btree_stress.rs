@@ -1,0 +1,113 @@
+//! B-tree stress and property tests beyond the unit-level model test.
+
+use aqf_storage::btree::BTreeStore;
+use aqf_storage::pager::{IoPolicy, IoStats};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+fn temp_store(tag: &str, cache_pages: usize) -> (BTreeStore, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("aqf-btstress-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.db");
+    (BTreeStore::create(&path, IoPolicy::default(), cache_pages).unwrap(), path)
+}
+
+#[test]
+fn delete_heavy_churn_stays_consistent() {
+    let (mut t, path) = temp_store("churn", 32);
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    for round in 0..6 {
+        // Insert a wave.
+        for _ in 0..4000 {
+            let k = rng.random_range(0..20_000u64);
+            let v = vec![(k % 251) as u8; (k % 60) as usize];
+            t.put(k, &v).unwrap();
+            model.insert(k, v);
+        }
+        // Delete half of what exists.
+        let keys: Vec<u64> = model.keys().copied().collect();
+        for k in keys.iter().step_by(2) {
+            assert!(t.delete(*k).unwrap(), "round {round} delete {k}");
+            model.remove(k);
+        }
+        // Verify a sample.
+        for k in (0..20_000u64).step_by(37) {
+            assert_eq!(t.get(k).unwrap(), model.get(&k).cloned(), "round {round} key {k}");
+        }
+        assert_eq!(t.len(), model.len() as u64, "round {round}");
+    }
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn max_value_boundary() {
+    let (mut t, path) = temp_store("maxval", 64);
+    let big = vec![7u8; aqf_storage::btree::MAX_VALUE_LEN];
+    for k in 0..20u64 {
+        t.put(k, &big).unwrap();
+    }
+    for k in 0..20u64 {
+        assert_eq!(t.get(k).unwrap().unwrap(), big);
+    }
+    // Overwrite with a small value shrinks the entry in place.
+    t.put(5, b"tiny").unwrap();
+    let got = t.get(5).unwrap().unwrap();
+    assert_eq!(got, b"tiny");
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn io_counters_monotone_and_flush_persists() {
+    let (mut t, path) = temp_store("io", 16);
+    for k in 0..5000u64 {
+        t.put(k, &k.to_le_bytes()).unwrap();
+    }
+    let IoStats { reads, writes } = t.io_stats();
+    t.flush().unwrap();
+    let after = t.io_stats();
+    assert!(after.writes >= writes, "flush only adds writes");
+    assert_eq!(after.reads, reads, "flush must not read");
+    std::fs::remove_file(path).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn btree_random_ops_match_model(
+        ops in proptest::collection::vec((0u64..500, 0u8..3, 0usize..40), 1..300),
+        cache in 8usize..64,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "aqf-btprop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.db");
+        let mut t = BTreeStore::create(&path, IoPolicy::default(), cache).unwrap();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (key, op, vlen) in ops {
+            match op {
+                0 | 1 => {
+                    let v = vec![(key % 256) as u8; vlen];
+                    t.put(key, &v).unwrap();
+                    model.insert(key, v);
+                }
+                _ => {
+                    let got = t.delete(key).unwrap();
+                    prop_assert_eq!(got, model.remove(&key).is_some());
+                }
+            }
+        }
+        for (k, v) in &model {
+            let got = t.get(*k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        prop_assert_eq!(t.len(), model.len() as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+}

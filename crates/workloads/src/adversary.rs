@@ -1,0 +1,111 @@
+//! The Fig. 6 query-only adversary.
+//!
+//! The attacker can measure query latency, so it learns which of its
+//! queries hit the disk (filter positives — including false positives).
+//! It records them during a warmup phase and afterwards replays them at a
+//! chosen frequency, defeating any cache by cycling through more false
+//! positives than the cache holds. Non-adaptive filters re-pay the disk
+//! access every time; adaptive filters fixed each one on first sight.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A latency-observing adversary mixed into a query stream.
+pub struct Adversary {
+    /// Queries the adversary observed going to disk without a result.
+    collected: Vec<u64>,
+    /// Fraction of post-warmup queries the adversary controls.
+    frequency: f64,
+    /// Replay cursor (cycling defeats LRU caches).
+    cursor: usize,
+    rng: StdRng,
+}
+
+impl Adversary {
+    /// An adversary controlling `frequency` of the query stream.
+    pub fn new(frequency: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&frequency));
+        Self {
+            collected: Vec::new(),
+            frequency,
+            cursor: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Tell the adversary what it could observe about its own query:
+    /// `went_to_disk` (latency) and `found` (the application's response).
+    /// A slow "not found" is a false positive worth replaying.
+    pub fn observe(&mut self, key: u64, went_to_disk: bool, found: bool) {
+        if went_to_disk && !found {
+            self.collected.push(key);
+        }
+    }
+
+    /// Number of replayable false positives collected.
+    pub fn arsenal(&self) -> usize {
+        self.collected.len()
+    }
+
+    /// Next query: with probability `frequency` an adversarial replay,
+    /// otherwise a background query drawn by `background`.
+    pub fn next_query(&mut self, background: impl FnOnce(&mut StdRng) -> u64) -> u64 {
+        if !self.collected.is_empty() && self.rng.random::<f64>() < self.frequency {
+            let k = self.collected[self.cursor % self.collected.len()];
+            self.cursor += 1;
+            k
+        } else {
+            background(&mut self.rng)
+        }
+    }
+
+    /// Uniform background query helper over a key universe.
+    pub fn uniform_background(universe_salt: u64) -> impl Fn(&mut StdRng) -> u64 {
+        move |rng: &mut StdRng| crate::aqf_bits_mix(rng.random_range(0..u64::MAX), universe_salt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_only_slow_misses() {
+        let mut a = Adversary::new(0.5, 1);
+        a.observe(1, true, true); // slow hit: a real member
+        a.observe(2, false, false); // fast miss: filter negative
+        a.observe(3, true, false); // slow miss: false positive!
+        assert_eq!(a.arsenal(), 1);
+    }
+
+    #[test]
+    fn replays_at_roughly_configured_frequency() {
+        let mut a = Adversary::new(0.3, 2);
+        for k in 0..50u64 {
+            a.observe(k, true, false);
+        }
+        let mut adversarial = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let q = a.next_query(|rng| 1_000_000 + rng.random_range(0..1_000_000));
+            if q < 50 {
+                adversarial += 1;
+            }
+        }
+        let frac = adversarial as f64 / n as f64;
+        assert!((0.25..0.35).contains(&frac), "frequency {frac}");
+    }
+
+    #[test]
+    fn cycles_through_whole_arsenal() {
+        let mut a = Adversary::new(1.0, 3);
+        for k in 0..10u64 {
+            a.observe(k, true, false);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..10 {
+            seen.insert(a.next_query(|_| unreachable!()));
+        }
+        assert_eq!(seen.len(), 10, "round-robin replay defeats caches");
+    }
+}

@@ -1,0 +1,157 @@
+//! Synthetic datasets standing in for the paper's real-world traces
+//! (DESIGN.md §4 records the substitutions):
+//!
+//! - [`caida_like_trace`] — CAIDA passive traces: network flows with
+//!   heavy-tailed packet counts. We synthesize flow identifiers and a
+//!   query trace in which flow `f` appears `size(f)` times (Pareto-ish
+//!   sizes via Zipf), shuffled for temporal mixing. The filter-relevant
+//!   property — repeated queries to a hot subset of a large universe,
+//!   with mild skew — is preserved.
+//! - [`shalla_like_urls`] — the Shalla blocklist: ~3M malicious URLs. We
+//!   synthesize a URL corpus from a domain/path grammar; filters only see
+//!   64-bit hashes, so set size and query skew are what matter.
+//! - [`churn_schedule`] — the Fig. 8 dynamic workload: queries with
+//!   periodic bursts replacing 20% of the member set.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::zipf::ZipfGenerator;
+
+/// A CAIDA-like query trace: `trace_len` queries over `flows` distinct
+/// flow keys whose popularity follows Zipf(`alpha`). Returns
+/// `(distinct_flow_keys, query_trace)`.
+pub fn caida_like_trace(
+    flows: usize,
+    trace_len: usize,
+    alpha: f64,
+    seed: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = ZipfGenerator::new(flows as u64, alpha, seed ^ 0xCADA);
+    let flow_keys: Vec<u64> = (1..=flows as u64).map(|r| z.key_for_rank(r)).collect();
+    let mut trace: Vec<u64> = (0..trace_len).map(|_| z.sample_key(&mut rng)).collect();
+    trace.shuffle(&mut rng);
+    (flow_keys, trace)
+}
+
+/// A Shalla-like URL corpus: `n` synthetic URLs (blocklist) plus
+/// `extra` benign URLs for querying. Returns `(blocklist, benign)`.
+pub fn shalla_like_urls(n: usize, extra: usize, seed: u64) -> (Vec<String>, Vec<String>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    const TLDS: &[&str] = &["com", "net", "org", "io", "ru", "cn", "info", "biz"];
+    const WORDS: &[&str] = &[
+        "login", "update", "secure", "account", "free", "win", "bank", "verify", "promo",
+        "download", "media", "cdn", "static", "track", "click", "offer", "prize", "news",
+    ];
+    let mut make = |i: usize| -> String {
+        let d1 = WORDS[rng.random_range(0..WORDS.len())];
+        let d2 = WORDS[rng.random_range(0..WORDS.len())];
+        let tld = TLDS[rng.random_range(0..TLDS.len())];
+        let path = WORDS[rng.random_range(0..WORDS.len())];
+        let id: u32 = rng.random();
+        format!("http://{d1}-{d2}{}.{tld}/{path}/{id:x}", i % 997)
+    };
+    let blocklist: Vec<String> = (0..n).map(&mut make).collect();
+    let benign: Vec<String> = (n..n + extra).map(&mut make).collect();
+    (blocklist, benign)
+}
+
+/// Hash a URL (or any string) to the 64-bit key space filters operate on.
+pub fn url_key(url: &str) -> u64 {
+    aqf_bits::hash::murmur64a(url.as_bytes(), 0x5A11)
+}
+
+/// One step of the Fig. 8 dynamic workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// Query this key (adapt on false positives).
+    Query(u64),
+    /// Delete this member.
+    Delete(u64),
+    /// Insert this key as a new member.
+    Insert(u64),
+}
+
+/// Build the Fig. 8 schedule: `total_queries` Zipfian queries with a churn
+/// burst every `interval` queries replacing `churn_frac` of the `members`.
+/// Returns the op list and the final member set.
+pub fn churn_schedule(
+    members: &[u64],
+    total_queries: usize,
+    interval: usize,
+    churn_frac: f64,
+    universe: u64,
+    alpha: f64,
+    seed: u64,
+) -> (Vec<ChurnOp>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = ZipfGenerator::new(universe, alpha, seed ^ 0xC4A2);
+    let mut current: Vec<u64> = members.to_vec();
+    let mut next_fresh: u64 = 0xF00D_0000_0000_0000;
+    let mut ops = Vec::with_capacity(total_queries + total_queries / interval * members.len() / 2);
+    let mut q = 0usize;
+    while q < total_queries {
+        ops.push(ChurnOp::Query(z.sample_key(&mut rng)));
+        q += 1;
+        if q.is_multiple_of(interval) && q < total_queries {
+            let n_replace = (current.len() as f64 * churn_frac) as usize;
+            for _ in 0..n_replace {
+                let i = rng.random_range(0..current.len());
+                let victim = current.swap_remove(i);
+                ops.push(ChurnOp::Delete(victim));
+                next_fresh += 1;
+                ops.push(ChurnOp::Insert(next_fresh));
+                current.push(next_fresh);
+            }
+        }
+    }
+    (ops, current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caida_trace_is_skewed_and_bounded() {
+        let (flows, trace) = caida_like_trace(1000, 50_000, 1.2, 5);
+        assert_eq!(flows.len(), 1000);
+        assert_eq!(trace.len(), 50_000);
+        let set: std::collections::BTreeSet<u64> = flows.iter().copied().collect();
+        for &t in &trace {
+            assert!(set.contains(&t), "trace queries must be real flows");
+        }
+        // The hottest flow should dominate.
+        let mut counts = std::collections::HashMap::new();
+        for &t in &trace {
+            *counts.entry(t).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        assert!(*max > trace.len() / 100, "hot flow should be frequent");
+    }
+
+    #[test]
+    fn shalla_urls_unique_enough() {
+        let (block, benign) = shalla_like_urls(5000, 5000, 9);
+        assert_eq!(block.len(), 5000);
+        let mut keys: Vec<u64> = block.iter().map(|u| url_key(u)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert!(keys.len() > 4990, "hashed URLs should rarely collide");
+        assert!(benign.iter().all(|u| u.starts_with("http://")));
+    }
+
+    #[test]
+    fn churn_schedule_replaces_members() {
+        let members: Vec<u64> = (0..100).collect();
+        let (ops, final_members) =
+            churn_schedule(&members, 1000, 250, 0.2, 10_000, 1.5, 3);
+        let deletes = ops.iter().filter(|o| matches!(o, ChurnOp::Delete(_))).count();
+        let inserts = ops.iter().filter(|o| matches!(o, ChurnOp::Insert(_))).count();
+        assert_eq!(deletes, inserts);
+        assert_eq!(deletes, 3 * 20, "three bursts of 20%");
+        assert_eq!(final_members.len(), 100);
+    }
+}

@@ -1,0 +1,79 @@
+//! Workload and dataset generators for the AdaptiveQF evaluation (§6):
+//!
+//! - [`zipf`] — Zipfian sampling by rejection-inversion (no tables), the
+//!   paper's skewed query distribution (coefficient 1.5, universe 10M),
+//! - [`adversary`] — the Fig. 6 query-only adversary: collects observed
+//!   false positives during a warmup phase, then replays them at a chosen
+//!   frequency to force disk I/O,
+//! - [`datasets`] — synthetic stand-ins for the CAIDA passive traces and
+//!   the Shalla URL blocklist (substitutions documented in DESIGN.md §4),
+//!   plus the Fig. 8 churn schedule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod datasets;
+pub mod zipf;
+
+pub use adversary::Adversary;
+pub use datasets::{caida_like_trace, churn_schedule, shalla_like_urls, ChurnOp};
+pub use zipf::ZipfGenerator;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic RNG for experiments.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` uniform random 64-bit keys.
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.random()).collect()
+}
+
+/// `n` uniform keys drawn from a bounded universe `[0, universe)`,
+/// re-mapped through a mixer so they spread over the full 64-bit space.
+pub fn uniform_universe_keys(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| aqf_bits_mix(r.random_range(0..universe), seed))
+        .collect()
+}
+
+/// Key for universe element `i` (stable mapping shared by generators).
+#[inline]
+pub fn aqf_bits_mix(i: u64, salt: u64) -> u64 {
+    // splitmix-style finalizer; cheap and statistically adequate here.
+    let mut z = i.wrapping_add(salt).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_are_deterministic_and_distinct() {
+        let a = uniform_keys(1000, 7);
+        let b = uniform_keys(1000, 7);
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(c.len(), 1000, "64-bit keys should not collide");
+    }
+
+    #[test]
+    fn universe_keys_come_from_bounded_set() {
+        let ks = uniform_universe_keys(10_000, 100, 3);
+        let mut distinct = ks.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 100);
+    }
+}

@@ -1,0 +1,114 @@
+//! Zipfian sampling via rejection-inversion (Hörmann & Derflinger 1996),
+//! the standard table-free method: O(1) amortized per sample for any
+//! universe size, used by YCSB-style benchmarks.
+//!
+//! Rank 1 is the hottest element; [`ZipfGenerator::sample_key`] maps ranks
+//! through a mixer so hot elements are spread uniformly over the key
+//! space (their hotness must not correlate with filter slots).
+
+use rand::RngExt;
+
+/// A Zipf(α) sampler over ranks `1..=n`.
+#[derive(Clone, Debug)]
+pub struct ZipfGenerator {
+    n: u64,
+    alpha: f64,
+    // Precomputed constants of the rejection-inversion method.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+    salt: u64,
+}
+
+impl ZipfGenerator {
+    /// A Zipfian distribution over `n` elements with exponent `alpha`
+    /// (the paper uses `alpha = 1.5`, `n = 10M`).
+    pub fn new(n: u64, alpha: f64, salt: u64) -> Self {
+        assert!(n >= 1 && alpha > 0.0 && (alpha - 1.0).abs() > 1e-9);
+        let h = |x: f64| -> f64 { (x.powf(1.0 - alpha) - 1.0) / (1.0 - alpha) };
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n as f64 + 0.5);
+        let s = 2.0 - h_inv(h(2.5) - 2f64.powf(-alpha), alpha);
+        Self { n, alpha, h_x1, h_n, s, salt }
+    }
+
+    /// Number of elements.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample a rank in `1..=n` (rank 1 most popular).
+    pub fn sample_rank<R: RngExt + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_x1 + rng.random::<f64>() * (self.h_n - self.h_x1);
+            let x = h_inv(u, self.alpha);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            let h_k = |x: f64| -> f64 { (x.powf(1.0 - self.alpha) - 1.0) / (1.0 - self.alpha) };
+            if k - x <= self.s || u >= h_k(k + 0.5) - k.powf(-self.alpha) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Sample a key: the rank mapped through a mixer (stable per salt).
+    pub fn sample_key<R: RngExt + ?Sized>(&self, rng: &mut R) -> u64 {
+        crate::aqf_bits_mix(self.sample_rank(rng), self.salt)
+    }
+
+    /// The key for a given rank (to build ground-truth sets).
+    pub fn key_for_rank(&self, rank: u64) -> u64 {
+        crate::aqf_bits_mix(rank, self.salt)
+    }
+}
+
+fn h_inv(x: f64, alpha: f64) -> f64 {
+    (1.0 + x * (1.0 - alpha)).powf(1.0 / (1.0 - alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_in_bounds() {
+        let z = ZipfGenerator::new(1000, 1.5, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let r = z.sample_rank(&mut rng);
+            assert!((1..=1000).contains(&r));
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = ZipfGenerator::new(1_000_000, 1.5, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = 100_000;
+        let top10 = (0..samples)
+            .filter(|_| z.sample_rank(&mut rng) <= 10)
+            .count();
+        // For α=1.5 the top-10 mass is ≈ Σ_{k≤10} k^-1.5 / ζ(1.5) ≈ 0.76.
+        let frac = top10 as f64 / samples as f64;
+        assert!(frac > 0.6 && frac < 0.9, "top-10 mass {frac}");
+    }
+
+    #[test]
+    fn rank1_is_modal() {
+        let z = ZipfGenerator::new(100, 1.5, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 101];
+        for _ in 0..50_000 {
+            counts[z.sample_rank(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[2] && counts[2] > counts[5]);
+    }
+
+    #[test]
+    fn keys_are_stable_for_ranks() {
+        let z = ZipfGenerator::new(100, 1.5, 42);
+        assert_eq!(z.key_for_rank(1), z.key_for_rank(1));
+        assert_ne!(z.key_for_rank(1), z.key_for_rank(2));
+    }
+}

@@ -1,0 +1,105 @@
+//! Statistical validation of the workload generators.
+
+use aqf_workloads::datasets::{caida_like_trace, churn_schedule, shalla_like_urls, url_key, ChurnOp};
+use aqf_workloads::{rng, uniform_keys, Adversary, ZipfGenerator};
+use rand::RngExt;
+use std::collections::HashMap;
+
+/// Zipf(α) rank frequencies should decay like k^-α: check the ratio of
+/// rank-1 to rank-10 mass against theory within a loose band.
+#[test]
+fn zipf_follows_power_law() {
+    for alpha in [1.2f64, 1.5, 2.0] {
+        let z = ZipfGenerator::new(100_000, alpha, 1);
+        let mut r = rng(2);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let samples = 400_000;
+        for _ in 0..samples {
+            *counts.entry(z.sample_rank(&mut r)).or_insert(0) += 1;
+        }
+        let c1 = counts.get(&1).copied().unwrap_or(0) as f64;
+        let c10 = counts.get(&10).copied().unwrap_or(0) as f64;
+        let expect = 10f64.powf(alpha);
+        let got = c1 / c10.max(1.0);
+        assert!(
+            got > expect * 0.7 && got < expect * 1.4,
+            "alpha={alpha}: rank1/rank10 = {got:.1}, theory {expect:.1}"
+        );
+    }
+}
+
+#[test]
+fn zipf_key_mapping_is_injective_for_small_ranks() {
+    let z = ZipfGenerator::new(10_000, 1.5, 3);
+    let keys: Vec<u64> = (1..=1000).map(|r| z.key_for_rank(r)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 1000, "mixer must not collide on small ranks");
+}
+
+#[test]
+fn caida_trace_temporal_mixing() {
+    // After shuffling, the hottest flow should not be clustered: check its
+    // occurrences are spread over the trace (first and last quartile).
+    let (_, trace) = caida_like_trace(500, 20_000, 1.3, 4);
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &t in &trace {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    let (&hot, _) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+    let first = trace[..5000].iter().filter(|&&t| t == hot).count();
+    let last = trace[15_000..].iter().filter(|&&t| t == hot).count();
+    assert!(first > 0 && last > 0, "hot flow must appear throughout");
+}
+
+#[test]
+fn shalla_urls_hash_collision_free_at_scale() {
+    let (block, _) = shalla_like_urls(50_000, 0, 6);
+    let mut keys: Vec<u64> = block.iter().map(|u| url_key(u)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert!(keys.len() as f64 > 49_990.0, "64-bit URL keys must not collide");
+}
+
+#[test]
+fn churn_preserves_member_count_through_many_bursts() {
+    let members: Vec<u64> = (0..500).collect();
+    let (ops, final_members) = churn_schedule(&members, 10_000, 1000, 0.2, 100_000, 1.5, 7);
+    // Replay the schedule tracking membership.
+    let mut set: std::collections::HashSet<u64> = members.iter().copied().collect();
+    for op in &ops {
+        match op {
+            ChurnOp::Delete(k) => {
+                assert!(set.remove(k), "delete of non-member {k}");
+            }
+            ChurnOp::Insert(k) => {
+                assert!(set.insert(*k), "double insert {k}");
+            }
+            ChurnOp::Query(_) => {}
+        }
+    }
+    assert_eq!(set.len(), 500);
+    let final_set: std::collections::HashSet<u64> = final_members.into_iter().collect();
+    assert_eq!(set, final_set);
+}
+
+#[test]
+fn adversary_frequency_zero_never_replays() {
+    let mut a = Adversary::new(0.0, 1);
+    for k in 0..100u64 {
+        a.observe(k, true, false);
+    }
+    for _ in 0..1000 {
+        let q = a.next_query(|r| 10_000 + r.random_range(0..100u64));
+        assert!(q >= 10_000, "freq 0 must never replay");
+    }
+}
+
+#[test]
+fn uniform_universe_keys_cover_universe() {
+    let ks = aqf_workloads::uniform_universe_keys(50_000, 64, 9);
+    let distinct: std::collections::HashSet<u64> = ks.iter().copied().collect();
+    // 50K draws from 64 mapped values should hit every one.
+    assert_eq!(distinct.len(), 64);
+}

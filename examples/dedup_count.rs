@@ -1,0 +1,62 @@
+//! Counting mode: k-mer-style multiplicity counting (paper §4.2
+//! "Counters"; the CQF heritage the AQF keeps).
+//!
+//! ```text
+//! cargo run --release --example dedup_count
+//! ```
+//!
+//! Streams a skewed sequence of items through `insert_counting`, which
+//! stores one fingerprint per distinct item plus a variable-length counter
+//! in extra slots — singletons pay nothing extra, heavy hitters pay
+//! O(log count / r) slots.
+
+use adaptiveqf::aqf::{AdaptiveQf, AqfConfig};
+use adaptiveqf::workloads::ZipfGenerator;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn main() {
+    let mut filter = AdaptiveQf::new(AqfConfig::new(16, 9).with_seed(11)).unwrap();
+    let mut exact: HashMap<u64, u64> = HashMap::new();
+
+    // A Zipfian stream: a few items occur thousands of times, most once.
+    let z = ZipfGenerator::new(40_000, 1.3, 3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    for _ in 0..500_000 {
+        let item = z.sample_key(&mut rng);
+        filter.insert_counting(item).unwrap();
+        *exact.entry(item).or_insert(0) += 1;
+    }
+
+    println!(
+        "stream of 500K items: {} distinct fingerprints, {} slots, {} bytes",
+        filter.distinct_fingerprints(),
+        filter.slots_in_use(),
+        filter.size_in_bytes()
+    );
+    println!(
+        "counter slots used: {} (heavy hitters only)",
+        filter.stats().counter_slots
+    );
+
+    // Counts are never under-reported (collisions can only merge upward).
+    let mut checked = 0;
+    let mut exact_matches = 0;
+    for (&item, &count) in exact.iter().take(10_000) {
+        let got = filter.count(item);
+        assert!(got >= count, "undercount for {item}: {got} < {count}");
+        if got == count {
+            exact_matches += 1;
+        }
+        checked += 1;
+    }
+    println!("{exact_matches}/{checked} spot-checked counts exact (rest merged by rare fingerprint collisions)");
+
+    // Top-5 heavy hitters agree.
+    let mut top: Vec<(u64, u64)> = exact.iter().map(|(&k, &v)| (v, k)).map(|(v, k)| (k, v)).collect();
+    top.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+    println!("\ntop-5 heavy hitters (exact vs filter):");
+    for &(item, count) in top.iter().take(5) {
+        println!("  item {item:>20}  exact {count:>6}  filter {:>6}", filter.count(item));
+    }
+}

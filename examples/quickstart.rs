@@ -1,0 +1,82 @@
+//! Quickstart: the AdaptiveQF in five minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Shows the core loop every adaptive-filter deployment has: query the
+//! filter, verify positives against the backing store, and report false
+//! positives back so they never happen again.
+
+use adaptiveqf::aqf::{AdaptiveQf, AqfConfig, QueryResult};
+use std::collections::HashMap;
+
+fn main() {
+    // A filter with 2^21 slots and 9-bit remainders: ~0.2% false-positive
+    // rate, ~1.6 bits of metadata + 9 bits of remainder per key.
+    let mut filter = AdaptiveQf::new(AqfConfig::new(21, 9)).unwrap();
+
+    // The "database": here just a hash map. The reverse map from minirun
+    // coordinates to keys is what adaptation needs (paper §4.2).
+    let mut database: HashMap<u64, String> = HashMap::new();
+    let mut revmap: HashMap<(u64, u32), u64> = HashMap::new();
+
+    // Insert a million keys.
+    for key in 0..1_000_000u64 {
+        let out = filter.insert(key).expect("sized for this many keys");
+        revmap.insert((out.minirun_id, out.rank), key);
+        database.insert(key, format!("value-{key}"));
+    }
+    println!(
+        "inserted {} keys into {} bytes of filter ({:.2} bits/key)",
+        filter.len(),
+        filter.size_in_bytes(),
+        filter.bits_per_item()
+    );
+
+    // Query a mix of present and absent keys; count the false positives
+    // the database sees, then show that each one never repeats.
+    let absent = 5_000_000u64..5_200_000u64;
+    let mut first_pass_fps = 0u64;
+    let mut fixed: Vec<u64> = Vec::new();
+    for key in absent.clone() {
+        if let QueryResult::Positive(hit) = filter.query(key) {
+            // The filter said maybe; the database is consulted (this is
+            // the expensive step adaptive filters minimize).
+            if !database.contains_key(&key) {
+                first_pass_fps += 1;
+                // Tell the filter: extend the colliding fingerprint.
+                let stored = revmap[&(hit.minirun_id, hit.rank)];
+                filter.adapt(&hit, stored, key).unwrap();
+                fixed.push(key);
+            }
+        }
+    }
+    println!(
+        "first pass over {} absent keys: {} false positives (rate {:.5})",
+        absent.clone().count(),
+        first_pass_fps,
+        first_pass_fps as f64 / absent.clone().count() as f64
+    );
+
+    // Second pass: every fixed false positive must now be negative.
+    let mut repeats = 0;
+    for &key in &fixed {
+        while let QueryResult::Positive(hit) = filter.query(key) {
+            repeats += 1;
+            let stored = revmap[&(hit.minirun_id, hit.rank)];
+            filter.adapt(&hit, stored, key).unwrap();
+        }
+    }
+    println!("second pass over the {} fixed keys: {repeats} repeats", fixed.len());
+
+    // And no true member was harmed:
+    for key in (0..1_000_000u64).step_by(997) {
+        assert!(filter.contains(key), "member {key} lost");
+    }
+    println!(
+        "all members still present; adaptation used {} extension slots ({:.5} bits/key)",
+        filter.stats().extension_slots,
+        filter.stats().extension_slots as f64 * 13.0 / filter.len() as f64
+    );
+}

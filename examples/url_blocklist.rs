@@ -1,0 +1,60 @@
+//! Malicious-URL blocking with a dynamic yes/no-list filter (paper §2.4,
+//! §4.3): block everything on the blocklist, *never* block the protected
+//! allowlist (e.g. emergency or government pages), and keep both lists
+//! updatable in place.
+//!
+//! ```text
+//! cargo run --release --example url_blocklist
+//! ```
+
+use adaptiveqf::aqf::{YesNoFilter, YesNoResponse};
+use adaptiveqf::workloads::datasets::{shalla_like_urls, url_key};
+
+fn main() {
+    // A synthetic Shalla-style blocklist plus an allowlist of important
+    // pages that must never be blocked, not even by a false positive.
+    let (blocklist, benign) = shalla_like_urls(200_000, 50_000, 7);
+    let allowlist: Vec<String> = benign[..1000].to_vec();
+
+    let mut filter = YesNoFilter::new(19, 9).unwrap();
+    for url in &blocklist {
+        filter.insert_yes(url_key(url)).unwrap(); // yes = "block this"
+    }
+    for url in &allowlist {
+        filter.insert_no(url_key(url)).unwrap(); // no = "never block"
+    }
+    println!(
+        "{} blocked URLs + {} protected URLs in {} KiB",
+        filter.yes_len(),
+        filter.no_len(),
+        filter.filter_size_in_bytes() / 1024
+    );
+
+    // Every blocklisted URL is blocked; every protected URL sails through.
+    assert!(blocklist.iter().all(|u| filter.query(url_key(u)) == YesNoResponse::Yes));
+    assert!(allowlist.iter().all(|u| filter.query(url_key(u)) != YesNoResponse::Yes));
+
+    // Ordinary traffic: false positives are possible (and would trigger an
+    // expensive verification step), but each is rare.
+    let mut slow_path = 0;
+    for url in &benign[1000..] {
+        if filter.query(url_key(url)) == YesNoResponse::Yes {
+            slow_path += 1;
+        }
+    }
+    println!(
+        "{} of {} ordinary URLs took the verification slow path ({:.4}%)",
+        slow_path,
+        benign.len() - 1000,
+        100.0 * slow_path as f64 / (benign.len() - 1000) as f64
+    );
+
+    // Lists are dynamic: unblock a domain, protect another, on the fly.
+    let unblocked = &blocklist[0];
+    filter.remove(url_key(unblocked)).unwrap();
+    assert!(filter.query(url_key(unblocked)) != YesNoResponse::Yes);
+    let newly_protected = &benign[2000];
+    filter.insert_no(url_key(newly_protected)).unwrap();
+    assert_eq!(filter.query(url_key(newly_protected)), YesNoResponse::No);
+    println!("dynamic updates OK: unblocked one URL, protected another");
+}

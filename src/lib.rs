@@ -1,0 +1,42 @@
+//! # adaptiveqf — Adaptive Quotient Filters (SIGMOD 2024) in Rust
+//!
+//! A facade crate re-exporting the whole workspace:
+//!
+//! - [`aqf`] — the AdaptiveQF itself: a counting quotient filter that
+//!   *adapts* to reported false positives by extending fingerprints, with
+//!   strong (monotone) adaptivity guarantees.
+//! - [`filters`] — baseline filters from the paper's evaluation: quotient
+//!   filter, cuckoo filter, adaptive cuckoo filter, telescoping quotient
+//!   filter, Bloom and cascading Bloom filters.
+//! - [`storage`] — an on-disk B+tree key-value store with a page cache, the
+//!   reverse-map setups (merged / split), and the composed
+//!   filter-fronted-database system the paper benchmarks.
+//! - [`workloads`] — Zipfian / uniform / adversarial query generators and
+//!   synthetic CAIDA-like and Shalla-like datasets.
+//! - [`bits`] — bit-packed slot vectors, rank/select, and hashing.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaptiveqf::aqf::{AdaptiveQf, AqfConfig, QueryResult};
+//!
+//! // 2^10 slots, 9 remainder bits => ~0.2% false-positive rate.
+//! let mut filter = AdaptiveQf::new(AqfConfig::new(10, 9)).unwrap();
+//! filter.insert(42).unwrap();
+//!
+//! assert!(matches!(filter.query(42), QueryResult::Positive(_)));
+//!
+//! // Suppose key 7 queried positive but the database said "not present":
+//! // tell the filter, and it will never repeat that false positive.
+//! if let QueryResult::Positive(hit) = filter.query(7) {
+//!     filter.adapt(&hit, 42, 7).unwrap();
+//!     assert!(matches!(filter.query(7), QueryResult::Negative));
+//!     assert!(matches!(filter.query(42), QueryResult::Positive(_)));
+//! }
+//! ```
+
+pub use aqf;
+pub use aqf_bits as bits;
+pub use aqf_filters as filters;
+pub use aqf_storage as storage;
+pub use aqf_workloads as workloads;
