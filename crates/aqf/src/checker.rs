@@ -70,7 +70,9 @@ impl AdaptiveQf {
                 }
                 prev_q = Some(q);
                 if cursor < q {
-                    return err(format!("run of quotient {q} starts before its canonical slot"));
+                    return err(format!(
+                        "run of quotient {q} starts before its canonical slot"
+                    ));
                 }
                 // Decode this run's groups.
                 let mut prev_rem: Option<u64> = None;

@@ -245,7 +245,11 @@ impl AdaptiveQf {
             self.t.write_free_slot(hq, slot_val, false, true);
             self.t.occupieds.set(hq);
             self.note_new_group(1);
-            return Ok(InsertOutcome { minirun_id: id, rank: 0, duplicate: false });
+            return Ok(InsertOutcome {
+                minirun_id: id,
+                rank: 0,
+                duplicate: false,
+            });
         }
 
         // New run for a previously-unoccupied quotient.
@@ -254,7 +258,11 @@ impl AdaptiveQf {
             self.t.insert_slot_at(pos, slot_val, false, true)?;
             self.t.occupieds.set(hq);
             self.note_new_group(1);
-            return Ok(InsertOutcome { minirun_id: id, rank: 0, duplicate: false });
+            return Ok(InsertOutcome {
+                minirun_id: id,
+                rank: 0,
+                duplicate: false,
+            });
         }
 
         // Existing run: walk its groups (sorted by remainder).
@@ -268,7 +276,11 @@ impl AdaptiveQf {
                 if counting && self.group_matches_fp(&ext, &fp) {
                     self.bump_counter(ext)?;
                     self.total_count += 1;
-                    return Ok(InsertOutcome { minirun_id: id, rank, duplicate: true });
+                    return Ok(InsertOutcome {
+                        minirun_id: id,
+                        rank,
+                        duplicate: true,
+                    });
                 }
                 rank += 1;
             } else if grem > hr {
@@ -277,7 +289,11 @@ impl AdaptiveQf {
                 // remainders are contiguous).
                 self.t.insert_slot_at(g, slot_val, false, false)?;
                 self.note_new_group(1);
-                return Ok(InsertOutcome { minirun_id: id, rank, duplicate: false });
+                return Ok(InsertOutcome {
+                    minirun_id: id,
+                    rank,
+                    duplicate: false,
+                });
             }
             if g == re {
                 // Append after the run's last group; the new fingerprint
@@ -286,7 +302,11 @@ impl AdaptiveQf {
                 self.t.insert_slot_at(pos, slot_val, false, true)?;
                 self.t.runends.clear(re);
                 self.note_new_group(1);
-                return Ok(InsertOutcome { minirun_id: id, rank, duplicate: false });
+                return Ok(InsertOutcome {
+                    minirun_id: id,
+                    rank,
+                    duplicate: false,
+                });
             }
             g = ext.end;
         }
@@ -342,7 +362,9 @@ impl AdaptiveQf {
         let mut count: u64 = 1;
         for (k, s) in (ext.ext_end..ext.end).enumerate() {
             let d = self.t.slots.get(s);
-            count = count.saturating_add(d.saturating_mul(1u64.checked_shl(width * k as u32).unwrap_or(u64::MAX)));
+            count = count.saturating_add(
+                d.saturating_mul(1u64.checked_shl(width * k as u32).unwrap_or(u64::MAX)),
+            );
         }
         count
     }
@@ -464,7 +486,9 @@ impl AdaptiveQf {
         stored_key: u64,
         query_key: u64,
     ) -> Result<u32, FilterError> {
-        let ext = self.locate_group(hit.minirun_id, hit.rank).ok_or(FilterError::NotFound)?;
+        let ext = self
+            .locate_group(hit.minirun_id, hit.rank)
+            .ok_or(FilterError::NotFound)?;
         let sfp = self.fingerprint(stored_key);
         debug_assert_eq!(sfp.minirun_id(), hit.minirun_id, "stored key mismatch");
         debug_assert!(
@@ -509,7 +533,9 @@ impl AdaptiveQf {
     /// (yes/no-list mode: move a key between lists without reinserting).
     pub fn set_value(&mut self, hit: &Hit, value: u64) -> Result<(), FilterError> {
         debug_assert!(value <= bitmask(self.cfg.value_bits));
-        let ext = self.locate_group(hit.minirun_id, hit.rank).ok_or(FilterError::NotFound)?;
+        let ext = self
+            .locate_group(hit.minirun_id, hit.rank)
+            .ok_or(FilterError::NotFound)?;
         let rem = self.t.remainder_at(ext.start);
         self.t.slots.set(ext.start, (value << self.cfg.rbits) | rem);
         Ok(())

@@ -46,8 +46,8 @@
 
 mod checker;
 pub mod config;
-pub mod fingerprint;
 mod filter;
+pub mod fingerprint;
 mod merge;
 mod rebuild;
 mod sharded;

@@ -26,7 +26,12 @@ struct SequentialBuilder<'a> {
 
 impl<'a> SequentialBuilder<'a> {
     fn new(f: &'a mut AdaptiveQf) -> Self {
-        Self { f, cursor: 0, cur_q: None, last_rem_slot: 0 }
+        Self {
+            f,
+            cursor: 0,
+            cur_q: None,
+            last_rem_slot: 0,
+        }
     }
 
     fn push(
@@ -54,7 +59,9 @@ impl<'a> SequentialBuilder<'a> {
             return Err(FilterError::Full);
         }
         let mut p = self.cursor;
-        self.f.t.write_free_slot(p, (value << rbits) | rem, false, false);
+        self.f
+            .t
+            .write_free_slot(p, (value << rbits) | rem, false, false);
         self.last_rem_slot = p;
         p += 1;
         for &e in exts {
@@ -94,7 +101,13 @@ impl<'a> SequentialBuilder<'a> {
 /// Re-chunk an extension bit string from `old_r`-bit chunks to
 /// `new_r`-bit chunks (MSB-first), dropping any trailing partial chunk.
 /// Writes into `out`, returning the number of chunks produced.
-fn rechunk_into(chunk_at: impl Fn(usize) -> u64, n_old: usize, old_r: u32, new_r: u32, out: &mut Vec<u64>) -> usize {
+fn rechunk_into(
+    chunk_at: impl Fn(usize) -> u64,
+    n_old: usize,
+    old_r: u32,
+    new_r: u32,
+    out: &mut Vec<u64>,
+) -> usize {
     out.clear();
     let total_bits = n_old as u64 * old_r as u64;
     let n_new = (total_bits / new_r as u64) as usize;
@@ -145,7 +158,14 @@ struct GroupCursor<'a> {
 
 impl<'a> GroupCursor<'a> {
     fn new(f: &'a AdaptiveQf) -> Self {
-        Self { f, slot: 0, cluster_end: 0, qscan: 0, quotient: 0, in_run: false }
+        Self {
+            f,
+            slot: 0,
+            cluster_end: 0,
+            qscan: 0,
+            quotient: 0,
+            in_run: false,
+        }
     }
 
     fn next(&mut self) -> Option<GroupInfo> {
@@ -175,7 +195,8 @@ impl<'a> GroupCursor<'a> {
         for (k, s) in (ext.ext_end..ext.end).enumerate() {
             let d = t.slots.get(s);
             let shift = ((width as usize * k).min(63)) as u32;
-            count = count.saturating_add(d.saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX)));
+            count =
+                count.saturating_add(d.saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX)));
         }
         let info = GroupInfo {
             quotient: self.quotient,
@@ -191,8 +212,7 @@ impl<'a> GroupCursor<'a> {
 
     /// Old-geometry minirun id of a yielded group.
     fn old_id(&self, g: &GroupInfo) -> u64 {
-        ((g.quotient as u64) << self.f.cfg.rbits)
-            | (g.rem_raw & bitmask(self.f.cfg.rbits))
+        ((g.quotient as u64) << self.f.cfg.rbits) | (g.rem_raw & bitmask(self.f.cfg.rbits))
     }
 }
 
@@ -229,7 +249,10 @@ impl AdaptiveQf {
     /// inserts because nothing ever shifts.
     pub fn bulk_build(cfg: AqfConfig, keys: &[u64]) -> Result<Self, FilterError> {
         let mut f = Self::new(cfg)?;
-        let mut ids: Vec<u64> = keys.iter().map(|&k| f.fingerprint(k).minirun_id()).collect();
+        let mut ids: Vec<u64> = keys
+            .iter()
+            .map(|&k| f.fingerprint(k).minirun_id())
+            .collect();
         ids.sort_unstable();
         let rbits = cfg.rbits;
         let mut b = SequentialBuilder::new(&mut f);
@@ -247,7 +270,10 @@ impl AdaptiveQf {
     /// collide are stored as a single group with a counter.
     pub fn bulk_build_counting(cfg: AqfConfig, keys: &[u64]) -> Result<Self, FilterError> {
         let mut f = Self::new(cfg)?;
-        let mut ids: Vec<u64> = keys.iter().map(|&k| f.fingerprint(k).minirun_id()).collect();
+        let mut ids: Vec<u64> = keys
+            .iter()
+            .map(|&k| f.fingerprint(k).minirun_id())
+            .collect();
         ids.sort_unstable();
         let rbits = cfg.rbits;
         let mut b = SequentialBuilder::new(&mut f);
@@ -279,7 +305,9 @@ impl AdaptiveQf {
             || a.cfg.value_bits != b.cfg.value_bits
             || a.cfg.seed != b.cfg.seed
         {
-            return Err(FilterError::InvalidConfig("merge requires identical configs"));
+            return Err(FilterError::InvalidConfig(
+                "merge requires identical configs",
+            ));
         }
         if a.cfg.rbits < 2 {
             return Err(FilterError::InvalidConfig("merge needs rbits >= 2"));
@@ -313,7 +341,11 @@ impl AdaptiveQf {
                 (None, Some(y)) => (*y, false),
                 (None, None) => break,
             };
-            let (f_src, id) = if take_a { (a, ca.old_id(&src)) } else { (b, cb.old_id(&src)) };
+            let (f_src, id) = if take_a {
+                (a, ca.old_id(&src))
+            } else {
+                (b, cb.old_id(&src))
+            };
             push_regeometry(&mut builder, f_src, &src, id, &mut ext_buf)?;
             if take_a {
                 ga = ca.next();
@@ -344,7 +376,8 @@ impl AdaptiveQf {
         let mut builder = SequentialBuilder::new(&mut out);
         let mut ext_buf = Vec::with_capacity(8);
         while let Some(g) = cursor.next() {
-            let id = ((g.quotient as u64) << self.cfg.rbits) | (g.rem_raw & bitmask(self.cfg.rbits));
+            let id =
+                ((g.quotient as u64) << self.cfg.rbits) | (g.rem_raw & bitmask(self.cfg.rbits));
             push_regeometry(&mut builder, self, &g, id, &mut ext_buf)?;
         }
         builder.finish();

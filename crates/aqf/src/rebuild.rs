@@ -48,24 +48,32 @@ impl AdaptiveQf {
             loop {
                 let ext = self.t.group_extent(cursor);
                 let rem_slot = self.t.slots.get(cursor);
-                let exts: Vec<u64> =
-                    (ext.start + 1..ext.ext_end).map(|s| self.t.slots.get(s)).collect();
+                let exts: Vec<u64> = (ext.start + 1..ext.ext_end)
+                    .map(|s| self.t.slots.get(s))
+                    .collect();
                 let mut count: u64 = 1;
                 for (k, s) in (ext.ext_end..ext.end).enumerate() {
                     let d = self.t.slots.get(s);
                     let shift = (width as usize * k).min(63) as u32;
-                    count = count.saturating_add(d.saturating_mul(
-                        1u64.checked_shl(shift).unwrap_or(u64::MAX),
-                    ));
+                    count = count.saturating_add(
+                        d.saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX)),
+                    );
                 }
                 let was_runend = self.t.is_masked_runend(ext.start);
-                groups.push(GroupData { rem_slot, exts, count });
+                groups.push(GroupData {
+                    rem_slot,
+                    exts,
+                    count,
+                });
                 cursor = ext.end;
                 if was_runend {
                     break;
                 }
             }
-            runs.push(RunData { quotient: q, groups });
+            runs.push(RunData {
+                quotient: q,
+                groups,
+            });
             if cursor >= ce {
                 break;
             }

@@ -31,13 +31,20 @@ impl ShardedAqf {
         if shard_bits >= cfg.qbits {
             return Err(FilterError::InvalidConfig("shard_bits must be < qbits"));
         }
-        let shard_cfg = AqfConfig { qbits: cfg.qbits - shard_bits, ..cfg };
+        let shard_cfg = AqfConfig {
+            qbits: cfg.qbits - shard_bits,
+            ..cfg
+        };
         shard_cfg.validate()?;
         let n = 1usize << shard_bits;
         let shards = (0..n)
             .map(|_| AdaptiveQf::new(shard_cfg).map(Mutex::new))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { shards, shard_bits, seed: cfg.seed })
+        Ok(Self {
+            shards,
+            shard_bits,
+            seed: cfg.seed,
+        })
     }
 
     /// Number of shards.
@@ -70,7 +77,9 @@ impl ShardedAqf {
     /// (see [`AdaptiveQf::adapt`]). `hit` must come from a query for
     /// `query_key` on this filter.
     pub fn adapt(&self, hit: &Hit, stored_key: u64, query_key: u64) -> Result<u32, FilterError> {
-        self.shards[self.route(query_key)].lock().adapt(hit, stored_key, query_key)
+        self.shards[self.route(query_key)]
+            .lock()
+            .adapt(hit, stored_key, query_key)
     }
 
     /// Delete one copy of `key` (see [`AdaptiveQf::delete`]).

@@ -123,8 +123,8 @@ impl Table {
         if w >= nwords {
             return None;
         }
-        let mut word = (self.runends.word(w) & !self.extensions.word(w))
-            & !bitmask((from & 63) as u32);
+        let mut word =
+            (self.runends.word(w) & !self.extensions.word(w)) & !bitmask((from & 63) as u32);
         loop {
             let ones = word.count_ones() as usize;
             if k < ones {
@@ -146,7 +146,10 @@ impl Table {
     /// extension chunk, with `runends=1` a counter digit. Extensions always
     /// precede counters within a group.
     pub fn group_extent(&self, start: usize) -> GroupExtent {
-        debug_assert!(!self.extensions.get(start), "group must start at a remainder slot");
+        debug_assert!(
+            !self.extensions.get(start),
+            "group must start at a remainder slot"
+        );
         let mut j = start + 1;
         while j < self.total && self.extensions.get(j) && !self.runends.get(j) {
             j += 1;
@@ -155,7 +158,11 @@ impl Table {
         while j < self.total && self.extensions.get(j) && self.runends.get(j) {
             j += 1;
         }
-        GroupExtent { start, ext_end, end: j }
+        GroupExtent {
+            start,
+            ext_end,
+            end: j,
+        }
     }
 
     /// The run of occupied quotient `q`: `(first_slot, masked_runend_slot)`.

@@ -65,7 +65,10 @@ impl YesNoFilter {
 
     /// Create from a config (its `value_bits` is forced to 1).
     pub fn with_config(cfg: AqfConfig) -> Result<Self, FilterError> {
-        let cfg = AqfConfig { value_bits: 1, ..cfg };
+        let cfg = AqfConfig {
+            value_bits: 1,
+            ..cfg
+        };
         Ok(Self {
             f: AdaptiveQf::new(cfg)?,
             map: HashMap::new(),
@@ -134,7 +137,10 @@ impl YesNoFilter {
             return Ok(false);
         }
         let tag = self.f.query_value(key).expect("just matched").1;
-        let out = self.f.delete(key)?.expect("present fingerprint must delete");
+        let out = self
+            .f
+            .delete(key)?
+            .expect("present fingerprint must delete");
         debug_assert!(out.removed_group);
         let list = self.map.get_mut(&hit.minirun_id).expect("map entry exists");
         list.remove(out.rank as usize);
@@ -197,7 +203,9 @@ impl StaticYesNo {
         for &y in yes {
             let out = f.insert(y)?;
             if !out.duplicate {
-                map.entry(out.minirun_id).or_default().insert(out.rank as usize, y);
+                map.entry(out.minirun_id)
+                    .or_default()
+                    .insert(out.rank as usize, y);
             }
         }
         let mut s = Self { f, map };

@@ -97,7 +97,7 @@ fn adapt_then_count_still_finds_group() {
     let mut probe = 1_000_000u64;
     let hit = loop {
         probe += 1;
-        if probe % 1000 == 0 && !f.contains(probe) {
+        if probe.is_multiple_of(1000) && !f.contains(probe) {
             continue;
         }
         if let QueryResult::Positive(hit) = f.query(probe) {
@@ -240,8 +240,8 @@ fn stats_track_extensions_and_counters() {
     while adapted < 5 {
         probe += 1;
         if let QueryResult::Positive(hit) = f.query(probe) {
-            if let Some(stored) = (0..100u64)
-                .find(|&k| f.fingerprint(k).minirun_id() == hit.minirun_id)
+            if let Some(stored) =
+                (0..100u64).find(|&k| f.fingerprint(k).minirun_id() == hit.minirun_id)
             {
                 if stored != probe && f.adapt(&hit, stored, probe).is_ok() {
                     adapted += 1;

@@ -37,7 +37,12 @@ struct Model {
 
 impl Model {
     fn new(cfg: AqfConfig, counting: bool) -> Self {
-        Self { cfg, counting, miniruns: BTreeMap::new(), inserted: BTreeMap::new() }
+        Self {
+            cfg,
+            counting,
+            miniruns: BTreeMap::new(),
+            inserted: BTreeMap::new(),
+        }
     }
 
     fn fp(&self, key: u64) -> Fingerprint {
@@ -45,7 +50,10 @@ impl Model {
     }
 
     fn matches(fp: &Fingerprint, g: &MGroup) -> bool {
-        g.ext.iter().enumerate().all(|(i, &c)| fp.chunk(i as u64) == c)
+        g.ext
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| fp.chunk(i as u64) == c)
     }
 
     fn insert(&mut self, key: u64) -> (u64, u32, bool) {
@@ -62,7 +70,11 @@ impl Model {
                 }
             }
         }
-        groups.push(MGroup { repr: key, ext: Vec::new(), count: 1 });
+        groups.push(MGroup {
+            repr: key,
+            ext: Vec::new(),
+            count: 1,
+        });
         (id, groups.len() as u32 - 1, false)
     }
 
@@ -161,7 +173,11 @@ fn run_random_ops(seed: u64, qbits: u32, rbits: u32, key_space: u64, ops: usize,
         match rng.random_range(0..10u32) {
             // 50% inserts.
             0..=4 => {
-                let got = if counting { f.insert_counting(key) } else { f.insert(key) };
+                let got = if counting {
+                    f.insert_counting(key)
+                } else {
+                    f.insert(key)
+                };
                 match got {
                     Ok(out) => {
                         let (id, rank, dup) = m.insert(key);
@@ -431,7 +447,11 @@ fn rebuild_with_seed_drops_adaptations() {
     assert!(f.stats().extension_slots > 0);
     let rebuilt = f.rebuild_with_seed(999, &keys).unwrap();
     rebuilt.assert_valid();
-    assert_eq!(rebuilt.stats().extension_slots, 0, "rebuild drops adaptivity");
+    assert_eq!(
+        rebuilt.stats().extension_slots,
+        0,
+        "rebuild drops adaptivity"
+    );
     assert_eq!(rebuilt.len(), keys.len() as u64);
     for &k in &keys {
         assert!(rebuilt.contains(k));

@@ -41,7 +41,9 @@ fn adaptation_cost_is_about_one_chunk() {
     let mut map = std::collections::HashMap::new();
     for &k in &keys {
         let out = f.insert(k).unwrap();
-        map.entry(out.minirun_id).or_insert_with(Vec::new).insert(out.rank as usize, k);
+        map.entry(out.minirun_id)
+            .or_insert_with(Vec::new)
+            .insert(out.rank as usize, k);
     }
     let mut rng = StdRng::seed_from_u64(4);
     let mut total_chunks = 0u64;
@@ -59,7 +61,10 @@ fn adaptation_cost_is_about_one_chunk() {
     }
     let avg = total_chunks as f64 / fixes as f64;
     // Expected chunks per fix = 1/(1 - 2^-r) ≈ 1.07 at r=4.
-    assert!(avg < 1.35, "average {avg:.3} chunks per adaptation too high");
+    assert!(
+        avg < 1.35,
+        "average {avg:.3} chunks per adaptation too high"
+    );
     assert!(avg >= 1.0);
 }
 
@@ -74,11 +79,15 @@ fn strong_adaptivity_over_query_stream() {
     let mut map = std::collections::HashMap::new();
     for k in 0..n {
         let out = f.insert(k).unwrap();
-        map.entry(out.minirun_id).or_insert_with(Vec::new).insert(out.rank as usize, k);
+        map.entry(out.minirun_id)
+            .or_insert_with(Vec::new)
+            .insert(out.rank as usize, k);
     }
     let mut rng = StdRng::seed_from_u64(6);
     // Small probe universe so repeats are common.
-    let universe: Vec<u64> = (0..2000).map(|_| rng.random_range(1 << 40..u64::MAX)).collect();
+    let universe: Vec<u64> = (0..2000)
+        .map(|_| rng.random_range(1 << 40..u64::MAX))
+        .collect();
     let mut fp_count: std::collections::HashMap<u64, u32> = Default::default();
     for _ in 0..100_000 {
         let probe = universe[rng.random_range(0..universe.len())];
@@ -116,33 +125,34 @@ fn zipfian_observed_fpr_collapses() {
     let mut map = std::collections::HashMap::new();
     for k in 0..n {
         let out = f.insert(k).unwrap();
-        map.entry(out.minirun_id).or_insert_with(Vec::new).insert(out.rank as usize, k);
+        map.entry(out.minirun_id)
+            .or_insert_with(Vec::new)
+            .insert(out.rank as usize, k);
     }
     let mut rng = StdRng::seed_from_u64(9);
     // A skewed stream: 50 hot keys queried constantly plus a cold tail.
-    let hot: Vec<u64> = (0..50).map(|_| rng.random_range(1 << 40..u64::MAX)).collect();
-    let measure = |f: &AdaptiveQf, rng: &mut StdRng| -> u64 {
-        let mut fps = 0;
-        for _ in 0..20_000 {
-            let probe = if rng.random::<f64>() < 0.9 {
+    // The stream is sampled once and replayed, so `before` and `after`
+    // measure the exact same queries and the adaptation pass covers
+    // exactly the keys the measurement will replay. (Measuring on fresh
+    // samples instead would put an irreducible fresh-tail FP floor under
+    // `after`, making the collapse factor depend on hot-key luck.)
+    let hot: Vec<u64> = (0..50)
+        .map(|_| rng.random_range(1 << 40..u64::MAX))
+        .collect();
+    let stream: Vec<u64> = (0..20_000)
+        .map(|_| {
+            if rng.random::<f64>() < 0.9 {
                 hot[rng.random_range(0..hot.len())]
             } else {
                 rng.random_range(1 << 40..u64::MAX)
-            };
-            if f.contains(probe) {
-                fps += 1;
             }
-        }
-        fps
-    };
-    let before = measure(&f, &mut rng);
-    // Adapt through the same distribution.
-    for _ in 0..20_000 {
-        let probe = if rng.random::<f64>() < 0.9 {
-            hot[rng.random_range(0..hot.len())]
-        } else {
-            rng.random_range(1 << 40..u64::MAX)
-        };
+        })
+        .collect();
+    let measure =
+        |f: &AdaptiveQf| -> u64 { stream.iter().filter(|&&p| f.contains(p)).count() as u64 };
+    let before = measure(&f);
+    // Adapt through the same stream.
+    for &probe in &stream {
         while let QueryResult::Positive(hit) = f.query(probe) {
             let stored = map[&hit.minirun_id][hit.rank as usize];
             if stored == probe {
@@ -151,9 +161,14 @@ fn zipfian_observed_fpr_collapses() {
             f.adapt(&hit, stored, probe).unwrap();
         }
     }
-    let after = measure(&f, &mut rng);
-    // `before` is dominated by hot-key repeats; if any hot key was an FP
-    // it contributes thousands. After adaptation hot keys contribute zero.
+    let after = measure(&f);
+    // The stream has FPs before adapting (ε × 20K ≈ 530 expected), and
+    // monotone adaptivity says a fixed query can never be a false
+    // positive again — so the observed FPR on the stream collapses.
+    assert!(
+        before > 0,
+        "a 20K-query stream at ε≈2^-5 must hit false positives"
+    );
     assert!(
         after * 10 <= before.max(10),
         "observed FPR should collapse: before {before}, after {after}"
@@ -171,7 +186,9 @@ fn space_overhead_of_adaptation_is_negligible() {
     let mut map = std::collections::HashMap::new();
     for k in 0..n {
         let out = f.insert(k).unwrap();
-        map.entry(out.minirun_id).or_insert_with(Vec::new).insert(out.rank as usize, k);
+        map.entry(out.minirun_id)
+            .or_insert_with(Vec::new)
+            .insert(out.rank as usize, k);
     }
     let mut rng = StdRng::seed_from_u64(11);
     let mut fixes = 0;

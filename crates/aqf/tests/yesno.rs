@@ -57,7 +57,11 @@ fn dynamic_yesno_remove() {
     }
     assert!(!f.remove(7).unwrap(), "double remove must fail");
     for k in 50..100u64 {
-        let want = if k % 2 == 0 { YesNoResponse::Yes } else { YesNoResponse::No };
+        let want = if k % 2 == 0 {
+            YesNoResponse::Yes
+        } else {
+            YesNoResponse::No
+        };
         assert_eq!(f.query(k), want, "key {k}");
     }
     f.filter().assert_valid();

@@ -23,8 +23,7 @@ fn bench_chunk_width(c: &mut Criterion) {
         g.bench_function(format!("adapt_200_fps_r{rbits}"), |b| {
             b.iter_batched(
                 || {
-                    let mut f =
-                        AdaptiveQf::new(AqfConfig::new(QBITS, rbits).with_seed(3)).unwrap();
+                    let mut f = AdaptiveQf::new(AqfConfig::new(QBITS, rbits).with_seed(3)).unwrap();
                     let mut map = ShadowMap::default();
                     fill_aqf(&mut f, &mut map, &keys);
                     (f, map)
@@ -96,7 +95,9 @@ fn bench_bulk_vs_incremental(c: &mut Criterion) {
             f
         })
     });
-    g.bench_function("bulk", |b| b.iter(|| AdaptiveQf::bulk_build(cfg, &keys).unwrap()));
+    g.bench_function("bulk", |b| {
+        b.iter(|| AdaptiveQf::bulk_build(cfg, &keys).unwrap())
+    });
     g.finish();
 }
 

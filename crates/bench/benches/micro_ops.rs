@@ -163,5 +163,11 @@ fn bench_merge(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_inserts, bench_queries, bench_adapt_delete, bench_merge);
+criterion_group!(
+    benches,
+    bench_inserts,
+    bench_queries,
+    bench_adapt_delete,
+    bench_merge
+);
 criterion_main!(benches);

@@ -78,8 +78,9 @@ fn main() {
                     adv.observe(k, db.stats().filter_negatives == before, found);
                 }
                 // Measured phase: adversary-controlled mix.
-                let probes: Vec<u64> =
-                    (0..queries).map(|_| adv.next_query(|r| r.random())).collect();
+                let probes: Vec<u64> = (0..queries)
+                    .map(|_| adv.next_query(|r| r.random()))
+                    .collect();
                 let (_, secs) = timed(|| {
                     for &k in &probes {
                         let _ = db.query(k).unwrap();

@@ -64,8 +64,18 @@ fn main() {
     let caida_z = ZipfGenerator::new(caida_flows.len() as u64, 1.2, 19 ^ 0xCADA);
     type Dataset = (&'static str, Vec<u64>, Vec<u64>, Vec<u64>);
     let datasets: Vec<Dataset> = vec![
-        ("caida", caida_flows[..n].to_vec(), caida_trace, caida_flows.clone()),
-        ("shalla", shalla_members, shalla_trace, shalla_universe.clone()),
+        (
+            "caida",
+            caida_flows[..n].to_vec(),
+            caida_trace,
+            caida_flows.clone(),
+        ),
+        (
+            "shalla",
+            shalla_members,
+            shalla_trace,
+            shalla_universe.clone(),
+        ),
         ("zipfian", zipf_members, zipf_trace, Vec::new()),
     ];
 
@@ -79,9 +89,7 @@ fn main() {
                 (0..20_000)
                     .map(|_| match *name {
                         "zipfian" => zz.sample_key(&mut prng),
-                        "caida" => {
-                            universe[(caida_z.sample_rank(&mut prng) - 1) as usize]
-                        }
+                        "caida" => universe[(caida_z.sample_rank(&mut prng) - 1) as usize],
                         _ => universe[(zs.sample_rank(&mut prng) - 1) as usize],
                     })
                     .collect()

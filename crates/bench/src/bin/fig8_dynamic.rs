@@ -76,7 +76,12 @@ fn main() {
                     fps += 1;
                 }
             }
-            println!("{},{:.8},{}", qcount, fps as f64 / negs.max(1) as f64, churn_flag);
+            println!(
+                "{},{:.8},{}",
+                qcount,
+                fps as f64 / negs.max(1) as f64,
+                churn_flag
+            );
             churn_flag = 0;
         }
     }

@@ -35,7 +35,10 @@ fn main() {
             Err(_) => {
                 // Adaptivity space exhausted: grow once (the Thm 2 failure
                 // path) and retry.
-                let cfg2 = AqfConfig { qbits: cfg.qbits + 1, ..cfg };
+                let cfg2 = AqfConfig {
+                    qbits: cfg.qbits + 1,
+                    ..cfg
+                };
                 let f = aqf::StaticYesNo::build(cfg2, &yes, &no).expect("grown filter fits");
                 f.size_in_bytes()
             }
@@ -53,7 +56,14 @@ fn main() {
     }
     print_table(
         &format!("Fig 9: yes/no-list space vs no/yes ratio ({aggregate} aggregate items)"),
-        &["no/yes", "|Y|", "|N|", "AQF bytes", "CBF bytes", "CBF depth"],
+        &[
+            "no/yes",
+            "|Y|",
+            "|N|",
+            "AQF bytes",
+            "CBF bytes",
+            "CBF depth",
+        ],
         &rows,
     );
 }

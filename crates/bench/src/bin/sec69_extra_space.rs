@@ -21,7 +21,10 @@ fn main() {
     let io_us = flag_u64("io-us", 20);
     let n = ((1u64 << qbits) as f64 * 0.9) as usize;
     let keys = uniform_keys(n, 71);
-    let policy = IoPolicy { read_delay: Some(Duration::from_micros(io_us)), write_delay: None };
+    let policy = IoPolicy {
+        read_delay: Some(Duration::from_micros(io_us)),
+        write_delay: None,
+    };
     let base = std::env::temp_dir().join(format!("aqf-sec69-{}", std::process::id()));
 
     let z = ZipfGenerator::new(10_000_000, 1.5, 72);

@@ -21,7 +21,11 @@ fn main() {
         }
         let fps = probe_keys.iter().filter(|&&k| f.contains(k)).count();
         let fpr = fps as f64 / probes as f64;
-        let neg_log = if fpr > 0.0 { -fpr.log2() } else { f64::INFINITY };
+        let neg_log = if fpr > 0.0 {
+            -fpr.log2()
+        } else {
+            f64::INFINITY
+        };
         rows.push(vec![
             f.name().to_string(),
             format!("{:.2}", neg_log),

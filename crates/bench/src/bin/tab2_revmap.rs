@@ -22,7 +22,11 @@ fn run_one(qbits: u32) -> Vec<Vec<String>> {
         let st: MapStats = match &f {
             // The AQF's merged map sees exactly one insert per key and is
             // never updated or queried during inserts (paper §4.2).
-            AnyFilter::Aqf(..) => MapStats { inserts: n as u64, updates: 0, queries: 0 },
+            AnyFilter::Aqf(..) => MapStats {
+                inserts: n as u64,
+                updates: 0,
+                queries: 0,
+            },
             AnyFilter::Tqf(t) => t.map_stats(),
             AnyFilter::Acf(a) => a.map_stats(),
             _ => unreachable!(),
@@ -45,7 +49,13 @@ fn main() {
     rows.extend(run_one(q2));
     print_table(
         "Table 2: reverse-map accesses while filling to 90%",
-        &["Filter", "Size (log)", "Map inserts", "Map updates", "Map queries"],
+        &[
+            "Filter",
+            "Size (log)",
+            "Map inserts",
+            "Map updates",
+            "Map queries",
+        ],
         &rows,
     );
 }

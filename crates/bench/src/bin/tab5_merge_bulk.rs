@@ -40,16 +40,24 @@ fn main() {
         }
         (a, b)
     });
-    rows.push(vec!["Insert into half-size filters".into(), us_per_item(t_half, n)]);
+    rows.push(vec![
+        "Insert into half-size filters".into(),
+        us_per_item(t_half, n),
+    ]);
 
     let (merged, t_merge) = timed(|| a.merge(&b).unwrap());
     assert_eq!(merged.len(), n as u64);
-    rows.push(vec!["Merge two half-size filters".into(), us_per_item(t_merge, n)]);
+    rows.push(vec![
+        "Merge two half-size filters".into(),
+        us_per_item(t_merge, n),
+    ]);
 
     let (sorted, t_sort) = timed(|| {
         let probe = AdaptiveQf::new(full_cfg).unwrap();
-        let mut ids: Vec<(u64, u64)> =
-            keys.iter().map(|&k| (probe.fingerprint(k).minirun_id(), k)).collect();
+        let mut ids: Vec<(u64, u64)> = keys
+            .iter()
+            .map(|&k| (probe.fingerprint(k).minirun_id(), k))
+            .collect();
         ids.sort_unstable();
         ids
     });

@@ -59,7 +59,10 @@ pub fn ops_per_sec(n: u64, secs: f64) -> String {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for r in rows {
         println!("| {} |", r.join(" | "));
     }
@@ -115,7 +118,10 @@ impl AnyFilter {
 
     /// True if this filter adapts to false positives.
     pub fn is_adaptive(&self) -> bool {
-        matches!(self, AnyFilter::Aqf(..) | AnyFilter::Tqf(_) | AnyFilter::Acf(_))
+        matches!(
+            self,
+            AnyFilter::Aqf(..) | AnyFilter::Tqf(_) | AnyFilter::Acf(_)
+        )
     }
 
     /// Insert a key. Returns false when the filter reports Full.

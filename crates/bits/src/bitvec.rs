@@ -82,7 +82,10 @@ impl BitVec {
     pub fn rank(&self, i: usize) -> usize {
         debug_assert!(i <= self.len);
         let full = i >> 6;
-        let mut r: usize = self.words[..full].iter().map(|w| w.count_ones() as usize).sum();
+        let mut r: usize = self.words[..full]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         if i & 63 != 0 {
             r += rank_u64(self.words[full], (i & 63) as u32) as usize;
         }

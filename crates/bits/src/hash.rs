@@ -82,7 +82,11 @@ impl HashSeq {
     pub fn word(&self, i: u64) -> u64 {
         // Word 0 is the plain hash so that non-adaptive filters using
         // mix64(key, seed) agree with the first 64 bits seen here.
-        mix64(self.key, self.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        mix64(
+            self.key,
+            self.seed
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 
     /// Read `n` (1..=64) bits starting at bit offset `start`, LSB-first

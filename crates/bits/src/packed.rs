@@ -74,8 +74,7 @@ impl PackedVec {
         self.words[w] = (self.words[w] & !(mask << off)) | (value << off);
         if off + self.width > 64 {
             let spill = 64 - off;
-            self.words[w + 1] =
-                (self.words[w + 1] & !(mask >> spill)) | (value >> spill);
+            self.words[w + 1] = (self.words[w + 1] & !(mask >> spill)) | (value >> spill);
         }
     }
 
@@ -140,7 +139,11 @@ mod tests {
         }
         v.set(5, 0);
         for i in 0..10 {
-            let expect = if i == 5 { 0 } else { (i as u64 + 1) * 37 % (1 << 13) };
+            let expect = if i == 5 {
+                0
+            } else {
+                (i as u64 + 1) * 37 % (1 << 13)
+            };
             assert_eq!(v.get(i), expect);
         }
     }

@@ -22,7 +22,13 @@ fn bitop(len: usize) -> impl Strategy<Value = BitOp> {
             BitOp::ShiftRightInsert { pos, end, value }
         }),
         (0..len, 1..len).prop_map(|(a, b)| {
-            let (pos, end) = if a < b { (a, b) } else if a > b { (b, a) } else { (a, a + 1) };
+            let (pos, end) = if a < b {
+                (a, b)
+            } else if a > b {
+                (b, a)
+            } else {
+                (a, a + 1)
+            };
             BitOp::ShiftLeftRemove { pos, end }
         }),
     ]

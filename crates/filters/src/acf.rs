@@ -141,7 +141,8 @@ impl AdaptiveCuckooFilter {
     }
 
     fn write_slot(&mut self, b: usize, s: usize, sel: u64, tag: u64) {
-        self.table.set(self.slot_index(b, s), (sel << self.tag_bits) | tag);
+        self.table
+            .set(self.slot_index(b, s), (sel << self.tag_bits) | tag);
     }
 
     fn try_place(&mut self, b: usize, key: u64) -> bool {
@@ -222,7 +223,10 @@ impl Filter for AdaptiveCuckooFilter {
             self.write_slot(b, s, 0, tag);
             self.keys[idx] = cur_key;
             self.stats.updates += 1; // rewrite map entry at this location
-            self.record(MapEvent::Put { loc: idx, key: cur_key });
+            self.record(MapEvent::Put {
+                loc: idx,
+                key: cur_key,
+            });
             // Re-home the victim to its other bucket.
             let (v1, v2) = self.bucket_pair(victim_key);
             b = if b == v1 { v2 } else { v1 };

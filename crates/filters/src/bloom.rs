@@ -23,7 +23,13 @@ impl BloomFilter {
         if nbits == 0 || k == 0 || k > 32 {
             return Err(FilterError::InvalidConfig("bad bloom geometry"));
         }
-        Ok(Self { bits: BitVec::new(nbits), nbits, k, seed, items: 0 })
+        Ok(Self {
+            bits: BitVec::new(nbits),
+            nbits,
+            k,
+            seed,
+            items: 0,
+        })
     }
 
     /// Optimal geometry for `n` items at false-positive rate `fpr`:

@@ -31,8 +31,7 @@ impl CascadingBloomFilter {
         let fpr0 = if no.is_empty() {
             0.001
         } else {
-            (yes.len() as f64 / (no.len() as f64 * std::f64::consts::SQRT_2))
-                .clamp(1e-6, 0.5)
+            (yes.len() as f64 / (no.len() as f64 * std::f64::consts::SQRT_2)).clamp(1e-6, 0.5)
         };
         let mut include: Vec<u64> = yes.to_vec(); // keys this level stores
         let mut exclude: Vec<u64> = no.to_vec(); // keys it must reject
@@ -45,7 +44,11 @@ impl CascadingBloomFilter {
             }
             // Keys of the opposite list the new level falsely accepts form
             // the next level's include set.
-            let fps: Vec<u64> = exclude.iter().copied().filter(|&k| bf.contains(k)).collect();
+            let fps: Vec<u64> = exclude
+                .iter()
+                .copied()
+                .filter(|&k| bf.contains(k))
+                .collect();
             levels.push(bf);
             exclude = std::mem::take(&mut include);
             include = fps;

@@ -120,10 +120,15 @@ impl CuckooFilter {
             return Ok(());
         }
         // Kick loop.
-        let mut b = if (mix64(tag, 0xdead) & 1) == 0 { b1 } else { b2 };
+        let mut b = if (mix64(tag, 0xdead) & 1) == 0 {
+            b1
+        } else {
+            b2
+        };
         let mut cur = tag;
         for kick in 0..MAX_KICKS {
-            let victim_slot = (mix64(cur.wrapping_add(kick as u64), 0xbeef) as usize) % BUCKET_SLOTS;
+            let victim_slot =
+                (mix64(cur.wrapping_add(kick as u64), 0xbeef) as usize) % BUCKET_SLOTS;
             let victim = self.bucket_slot(b, victim_slot);
             self.set_bucket_slot(b, victim_slot, cur);
             on_kick(b, victim_slot);
@@ -241,6 +246,9 @@ mod tests {
             }
             n += 1;
         }
-        assert!(n as f64 / 1024.0 > 0.9, "cuckoo should reach >90% load, got {n}");
+        assert!(
+            n as f64 / 1024.0 > 0.9,
+            "cuckoo should reach >90% load, got {n}"
+        );
     }
 }

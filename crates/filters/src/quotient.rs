@@ -107,11 +107,15 @@ impl QuotientFilter {
     fn run_range(&self, q: usize) -> (usize, usize) {
         let c = self.cluster_start(q);
         let t = self.occupieds.count_range(c, q + 1);
-        let re = self.select_runend_from(c, t - 1).expect("occupied run exists");
+        let re = self
+            .select_runend_from(c, t - 1)
+            .expect("occupied run exists");
         let rs = if t == 1 {
             c
         } else {
-            self.select_runend_from(c, t - 2).expect("previous run exists") + 1
+            self.select_runend_from(c, t - 2)
+                .expect("previous run exists")
+                + 1
         };
         (rs, re)
     }
@@ -250,7 +254,10 @@ mod tests {
                 Err(e) => panic!("{e:?}"),
             }
         }
-        assert!(stored.len() >= 30, "should fit at least the canonical slots");
+        assert!(
+            stored.len() >= 30,
+            "should fit at least the canonical slots"
+        );
         for &k in &stored {
             assert!(f.contains(k), "false negative {k}");
         }

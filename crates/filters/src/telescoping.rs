@@ -135,8 +135,7 @@ impl TelescopingFilter {
     /// The `s`-th remainder window of `key`'s hash string.
     #[inline]
     fn window(&self, key: u64, s: u64) -> u64 {
-        HashSeq::new(key, self.seed)
-            .bits_msb(self.qbits as u64 + s * self.rbits as u64, self.rbits)
+        HashSeq::new(key, self.seed).bits_msb(self.qbits as u64 + s * self.rbits as u64, self.rbits)
     }
 
     #[inline]
@@ -199,7 +198,10 @@ impl TelescopingFilter {
             self.keys.copy_within(pos..fe, pos + 1);
             self.stats.queries += shifted;
             self.stats.updates += shifted;
-            self.record(MapEvent::ShiftRange { start: pos, end: fe });
+            self.record(MapEvent::ShiftRange {
+                start: pos,
+                end: fe,
+            });
         } else {
             self.slots.set(pos, value);
             self.runends.assign(pos, runend);

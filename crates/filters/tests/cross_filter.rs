@@ -2,8 +2,8 @@
 //! contracts, and capacity behaviour shared by all baselines.
 
 use aqf_filters::{
-    AdaptiveCuckooFilter, BloomFilter, CascadingBloomFilter, CuckooFilter, Filter,
-    QuotientFilter, TelescopingFilter,
+    AdaptiveCuckooFilter, BloomFilter, CascadingBloomFilter, CuckooFilter, Filter, QuotientFilter,
+    TelescopingFilter,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -13,7 +13,10 @@ fn fill_and_check(f: &mut dyn Filter, n: u64, tag: &str) {
         f.insert(k * 2654435761 % (1 << 40)).unwrap();
     }
     for k in 0..n {
-        assert!(f.contains(k * 2654435761 % (1 << 40)), "{tag}: false negative at {k}");
+        assert!(
+            f.contains(k * 2654435761 % (1 << 40)),
+            "{tag}: false negative at {k}"
+        );
     }
 }
 
@@ -24,7 +27,11 @@ fn all_filters_no_false_negatives_at_90pct() {
     fill_and_check(&mut CuckooFilter::new(10, 12, 1).unwrap(), n, "cf");
     fill_and_check(&mut AdaptiveCuckooFilter::new(10, 12, 1).unwrap(), n, "acf");
     fill_and_check(&mut TelescopingFilter::new(12, 9, 1).unwrap(), n, "tqf");
-    fill_and_check(&mut BloomFilter::for_capacity(3600, 0.002, 1).unwrap(), n, "bloom");
+    fill_and_check(
+        &mut BloomFilter::for_capacity(3600, 0.002, 1).unwrap(),
+        n,
+        "bloom",
+    );
 }
 
 #[test]
@@ -34,12 +41,17 @@ fn fpr_statistically_consistent_across_filters() {
     let n = 3600u64;
     let probes = 300_000u64;
     let mut rng = StdRng::seed_from_u64(5);
-    let probe_keys: Vec<u64> = (0..probes).map(|_| rng.random_range(1 << 41..u64::MAX)).collect();
+    let probe_keys: Vec<u64> = (0..probes)
+        .map(|_| rng.random_range(1 << 41..u64::MAX))
+        .collect();
 
     let mut filters: Vec<(&str, Box<dyn Filter>)> = vec![
         ("qf", Box::new(QuotientFilter::new(12, 9, 2).unwrap())),
         ("cf", Box::new(CuckooFilter::new(10, 12, 2).unwrap())),
-        ("acf", Box::new(AdaptiveCuckooFilter::new(10, 12, 2).unwrap())),
+        (
+            "acf",
+            Box::new(AdaptiveCuckooFilter::new(10, 12, 2).unwrap()),
+        ),
         ("tqf", Box::new(TelescopingFilter::new(12, 9, 2).unwrap())),
     ];
     for (name, f) in &mut filters {
@@ -104,7 +116,8 @@ fn cuckoo_delete_then_reinsert_cycles() {
     let keys: Vec<u64> = (0..1500).collect();
     for round in 0..5 {
         for &k in &keys {
-            f.insert(k).unwrap_or_else(|e| panic!("round {round}: {e:?}"));
+            f.insert(k)
+                .unwrap_or_else(|e| panic!("round {round}: {e:?}"));
         }
         for &k in &keys {
             assert!(f.contains(k));

@@ -118,8 +118,15 @@ impl BTreeStore {
         let mut cache = PageCache::new(pager, cache_pages);
         let root = cache.allocate()?;
         let root_page = cache.page_mut(root)?;
-        Node::Leaf { entries: Vec::new() }.serialize(root_page);
-        Ok(Self { cache, root, len: 0 })
+        Node::Leaf {
+            entries: Vec::new(),
+        }
+        .serialize(root_page);
+        Ok(Self {
+            cache,
+            root,
+            len: 0,
+        })
     }
 
     /// Number of key-value pairs.
@@ -196,14 +203,26 @@ impl BTreeStore {
                         return self.store_node(id, &node);
                     }
                     // Split the leaf and propagate.
-                    let Node::Leaf { entries } = node else { unreachable!() };
+                    let Node::Leaf { entries } = node else {
+                        unreachable!()
+                    };
                     let mid = entries.len() / 2;
                     let right_entries = entries[mid..].to_vec();
                     let left_entries = entries[..mid].to_vec();
                     let sep = right_entries[0].0;
                     let right_id = self.cache.allocate()?;
-                    self.store_node(id, &Node::Leaf { entries: left_entries })?;
-                    self.store_node(right_id, &Node::Leaf { entries: right_entries })?;
+                    self.store_node(
+                        id,
+                        &Node::Leaf {
+                            entries: left_entries,
+                        },
+                    )?;
+                    self.store_node(
+                        right_id,
+                        &Node::Leaf {
+                            entries: right_entries,
+                        },
+                    )?;
                     return self.insert_separator(path, id, sep, right_id);
                 }
             }
@@ -222,12 +241,19 @@ impl BTreeStore {
             let Some(parent_id) = path.pop() else {
                 // Split reached the root: grow the tree.
                 let new_root = self.cache.allocate()?;
-                let node = Node::Internal { keys: vec![sep], children: vec![left_id, right_id] };
+                let node = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![left_id, right_id],
+                };
                 self.store_node(new_root, &node)?;
                 self.root = new_root;
                 return Ok(());
             };
-            let Node::Internal { mut keys, mut children } = self.load(parent_id)? else {
+            let Node::Internal {
+                mut keys,
+                mut children,
+            } = self.load(parent_id)?
+            else {
                 panic!("parent must be internal");
             };
             let idx = children
@@ -241,7 +267,9 @@ impl BTreeStore {
                 return self.store_node(parent_id, &node);
             }
             // Split the internal node.
-            let Node::Internal { keys, children } = node else { unreachable!() };
+            let Node::Internal { keys, children } = node else {
+                unreachable!()
+            };
             let mid = keys.len() / 2;
             let promote = keys[mid];
             let right_keys = keys[mid + 1..].to_vec();
@@ -249,8 +277,20 @@ impl BTreeStore {
             let left_keys = keys[..mid].to_vec();
             let left_children = children[..=mid].to_vec();
             let new_right = self.cache.allocate()?;
-            self.store_node(parent_id, &Node::Internal { keys: left_keys, children: left_children })?;
-            self.store_node(new_right, &Node::Internal { keys: right_keys, children: right_children })?;
+            self.store_node(
+                parent_id,
+                &Node::Internal {
+                    keys: left_keys,
+                    children: left_children,
+                },
+            )?;
+            self.store_node(
+                new_right,
+                &Node::Internal {
+                    keys: right_keys,
+                    children: right_children,
+                },
+            )?;
             left_id = parent_id;
             sep = promote;
             right_id = new_right;
@@ -303,7 +343,10 @@ mod tests {
         ));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.db");
-        (BTreeStore::create(&path, IoPolicy::default(), cache_pages).unwrap(), path)
+        (
+            BTreeStore::create(&path, IoPolicy::default(), cache_pages).unwrap(),
+            path,
+        )
     }
 
     #[test]
@@ -337,7 +380,11 @@ mod tests {
         }
         assert_eq!(t.len(), model.len() as u64);
         for (&k, v) in &model {
-            assert_eq!(t.get(k).unwrap().as_deref(), Some(v.as_slice()), "final {k}");
+            assert_eq!(
+                t.get(k).unwrap().as_deref(),
+                Some(v.as_slice()),
+                "final {k}"
+            );
         }
         std::fs::remove_file(path).unwrap();
     }

@@ -1,4 +1,4 @@
-//! LRU page cache over the [`Pager`](crate::pager::Pager).
+//! LRU page cache over the [`crate::pager::Pager`].
 //!
 //! Bounded number of in-memory frames; dirty pages are written back on
 //! eviction and on `flush`. Hit/miss counters feed the Fig. 6 experiment
@@ -88,7 +88,12 @@ impl PageCache {
         self.stats.misses += 1;
         let data = self.pager.read_page(page_id)?;
         let f = if self.frames.len() < self.capacity {
-            self.frames.push(Frame { page_id, data, dirty: false, last_used: 0 });
+            self.frames.push(Frame {
+                page_id,
+                data,
+                dirty: false,
+                last_used: 0,
+            });
             self.frames.len() - 1
         } else {
             // Evict the least-recently-used frame.

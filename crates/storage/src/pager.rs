@@ -82,7 +82,8 @@ impl Pager {
             spin_sleep(d);
         }
         let mut buf = Box::new([0u8; PAGE_SIZE]);
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.read_exact(&mut buf[..])?;
         self.stats.reads += 1;
         Ok(buf)
@@ -93,7 +94,8 @@ impl Pager {
         if let Some(d) = self.policy.write_delay {
             spin_sleep(d);
         }
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.write_all(data)?;
         self.stats.writes += 1;
         Ok(())

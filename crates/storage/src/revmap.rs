@@ -19,7 +19,10 @@ pub const RANK_BITS: u32 = 8;
 /// Panics if the rank exceeds 8 bits or the id exceeds 56 bits.
 #[inline]
 pub fn pack_fingerprint_key(minirun_id: u64, rank: u32) -> u64 {
-    assert!(rank < (1 << RANK_BITS), "minirun rank {rank} exceeds 8 bits");
+    assert!(
+        rank < (1 << RANK_BITS),
+        "minirun rank {rank} exceeds 8 bits"
+    );
     assert!(
         minirun_id < (1u64 << (64 - RANK_BITS)),
         "minirun id needs qbits + rbits <= 56"
@@ -30,7 +33,10 @@ pub fn pack_fingerprint_key(minirun_id: u64, rank: u32) -> u64 {
 /// Unpack a packed fingerprint key.
 #[inline]
 pub fn unpack_fingerprint_key(packed: u64) -> (u64, u32) {
-    (packed >> RANK_BITS, (packed & ((1 << RANK_BITS) - 1)) as u32)
+    (
+        packed >> RANK_BITS,
+        (packed & ((1 << RANK_BITS) - 1)) as u32,
+    )
 }
 
 #[cfg(test)]

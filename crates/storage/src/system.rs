@@ -126,7 +126,12 @@ impl FilteredDb {
             SystemFilter::Tqf(f) => f.set_event_recording(true),
             _ => {}
         }
-        Ok(Self { filter, primary, split_db, stats: SystemStats::default() })
+        Ok(Self {
+            filter,
+            primary,
+            split_db,
+            stats: SystemStats::default(),
+        })
     }
 
     /// Convenience: an AdaptiveQF system in the merged setup.
@@ -137,7 +142,13 @@ impl FilteredDb {
         policy: IoPolicy,
     ) -> std::io::Result<Self> {
         let f = AdaptiveQf::new(cfg).expect("valid config");
-        Self::new(SystemFilter::Aqf(Box::new(f)), dir, cache_pages, policy, RevMapMode::Merged)
+        Self::new(
+            SystemFilter::Aqf(Box::new(f)),
+            dir,
+            cache_pages,
+            policy,
+            RevMapMode::Merged,
+        )
     }
 
     /// Operation counters.

@@ -11,7 +11,10 @@ fn temp_store(tag: &str, cache_pages: usize) -> (BTreeStore, std::path::PathBuf)
     let dir = std::env::temp_dir().join(format!("aqf-btstress-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("t.db");
-    (BTreeStore::create(&path, IoPolicy::default(), cache_pages).unwrap(), path)
+    (
+        BTreeStore::create(&path, IoPolicy::default(), cache_pages).unwrap(),
+        path,
+    )
 }
 
 #[test]
@@ -35,7 +38,11 @@ fn delete_heavy_churn_stays_consistent() {
         }
         // Verify a sample.
         for k in (0..20_000u64).step_by(37) {
-            assert_eq!(t.get(k).unwrap(), model.get(&k).cloned(), "round {round} key {k}");
+            assert_eq!(
+                t.get(k).unwrap(),
+                model.get(&k).cloned(),
+                "round {round} key {k}"
+            );
         }
         assert_eq!(t.len(), model.len() as u64, "round {round}");
     }

@@ -1,9 +1,7 @@
 //! End-to-end tests of the filter-fronted database (paper §6.4).
 
 use aqf::AqfConfig;
-use aqf_filters::{
-    AdaptiveCuckooFilter, CuckooFilter, QuotientFilter, TelescopingFilter,
-};
+use aqf_filters::{AdaptiveCuckooFilter, CuckooFilter, QuotientFilter, TelescopingFilter};
 use aqf_storage::pager::IoPolicy;
 use aqf_storage::system::{FilteredDb, RevMapMode, SystemFilter};
 use rand::rngs::StdRng;
@@ -18,7 +16,9 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 fn exercise(mut db: FilteredDb, n: u64, adaptive: bool) {
     // Insert n keys with derived values.
     for k in 0..n {
-        db.insert(k * 3 + 1, &(k * 7).to_le_bytes()).unwrap().unwrap();
+        db.insert(k * 3 + 1, &(k * 7).to_le_bytes())
+            .unwrap()
+            .unwrap();
     }
     // Every inserted key must be retrievable with its exact value.
     for k in 0..n {
@@ -53,15 +53,23 @@ fn exercise(mut db: FilteredDb, n: u64, adaptive: bool) {
     }
     // Members still intact after adaptation.
     for k in (0..n).step_by(13) {
-        assert!(db.query(k * 3 + 1).unwrap().is_some(), "member lost post-adapt");
+        assert!(
+            db.query(k * 3 + 1).unwrap().is_some(),
+            "member lost post-adapt"
+        );
     }
 }
 
 #[test]
 fn aqf_system_end_to_end() {
     let dir = temp_dir("aqf");
-    let db = FilteredDb::with_aqf(AqfConfig::new(12, 7).with_seed(1), &dir, 256, IoPolicy::default())
-        .unwrap();
+    let db = FilteredDb::with_aqf(
+        AqfConfig::new(12, 7).with_seed(1),
+        &dir,
+        256,
+        IoPolicy::default(),
+    )
+    .unwrap();
     exercise(db, 3000, true);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -151,9 +159,13 @@ fn tqf_system_end_to_end() {
 #[test]
 fn negative_queries_do_no_io() {
     let dir = temp_dir("negio");
-    let mut db =
-        FilteredDb::with_aqf(AqfConfig::new(10, 9).with_seed(9), &dir, 64, IoPolicy::default())
-            .unwrap();
+    let mut db = FilteredDb::with_aqf(
+        AqfConfig::new(10, 9).with_seed(9),
+        &dir,
+        64,
+        IoPolicy::default(),
+    )
+    .unwrap();
     for k in 0..500u64 {
         db.insert(k, b"v").unwrap().unwrap();
     }

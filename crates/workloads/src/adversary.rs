@@ -87,7 +87,7 @@ mod tests {
         let mut adversarial = 0;
         let n = 20_000;
         for _ in 0..n {
-            let q = a.next_query(|rng| 1_000_000 + rng.random_range(0..1_000_000));
+            let q = a.next_query(|rng| 1_000_000 + rng.random_range(0..1_000_000u64));
             if q < 50 {
                 adversarial += 1;
             }

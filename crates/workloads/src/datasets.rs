@@ -146,10 +146,15 @@ mod tests {
     #[test]
     fn churn_schedule_replaces_members() {
         let members: Vec<u64> = (0..100).collect();
-        let (ops, final_members) =
-            churn_schedule(&members, 1000, 250, 0.2, 10_000, 1.5, 3);
-        let deletes = ops.iter().filter(|o| matches!(o, ChurnOp::Delete(_))).count();
-        let inserts = ops.iter().filter(|o| matches!(o, ChurnOp::Insert(_))).count();
+        let (ops, final_members) = churn_schedule(&members, 1000, 250, 0.2, 10_000, 1.5, 3);
+        let deletes = ops
+            .iter()
+            .filter(|o| matches!(o, ChurnOp::Delete(_)))
+            .count();
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, ChurnOp::Insert(_)))
+            .count();
         assert_eq!(deletes, inserts);
         assert_eq!(deletes, 3 * 20, "three bursts of 20%");
         assert_eq!(final_members.len(), 100);

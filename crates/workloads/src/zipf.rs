@@ -29,7 +29,14 @@ impl ZipfGenerator {
         let h_x1 = h(1.5) - 1.0;
         let h_n = h(n as f64 + 0.5);
         let s = 2.0 - h_inv(h(2.5) - 2f64.powf(-alpha), alpha);
-        Self { n, alpha, h_x1, h_n, s, salt }
+        Self {
+            n,
+            alpha,
+            h_x1,
+            h_n,
+            s,
+            salt,
+        }
     }
 
     /// Number of elements.

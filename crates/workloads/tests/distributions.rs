@@ -1,7 +1,9 @@
 //! Statistical validation of the workload generators.
 
-use aqf_workloads::datasets::{caida_like_trace, churn_schedule, shalla_like_urls, url_key, ChurnOp};
-use aqf_workloads::{rng, uniform_keys, Adversary, ZipfGenerator};
+use aqf_workloads::datasets::{
+    caida_like_trace, churn_schedule, shalla_like_urls, url_key, ChurnOp,
+};
+use aqf_workloads::{rng, Adversary, ZipfGenerator};
 use rand::RngExt;
 use std::collections::HashMap;
 
@@ -59,7 +61,10 @@ fn shalla_urls_hash_collision_free_at_scale() {
     let mut keys: Vec<u64> = block.iter().map(|u| url_key(u)).collect();
     keys.sort_unstable();
     keys.dedup();
-    assert!(keys.len() as f64 > 49_990.0, "64-bit URL keys must not collide");
+    assert!(
+        keys.len() as f64 > 49_990.0,
+        "64-bit URL keys must not collide"
+    );
 }
 
 #[test]

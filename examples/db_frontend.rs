@@ -33,7 +33,9 @@ fn run(label: &str, mut db: FilteredDb, keys: &[u64]) {
         adv.observe(k, db.stats().filter_negatives == before, found);
     }
     // Phase 2: measured traffic with the adversary mixed in.
-    let probes: Vec<u64> = (0..50_000).map(|_| adv.next_query(|r| r.random())).collect();
+    let probes: Vec<u64> = (0..50_000)
+        .map(|_| adv.next_query(|r| r.random()))
+        .collect();
     let start = std::time::Instant::now();
     for &k in &probes {
         let _ = db.query(k).unwrap();
@@ -54,7 +56,10 @@ fn main() {
     let keys = uniform_keys(n, 5);
     let dir = std::env::temp_dir().join(format!("aqf-demo-{}", std::process::id()));
     // Simulate a disk: 50us per page read, tiny cache.
-    let policy = IoPolicy { read_delay: Some(Duration::from_micros(50)), write_delay: None };
+    let policy = IoPolicy {
+        read_delay: Some(Duration::from_micros(50)),
+        write_delay: None,
+    };
 
     println!("system: {n} keys on disk, 50us/page-read, adversary = 5% of queries\n");
     let aqf = FilteredDb::new(

@@ -53,10 +53,13 @@ fn main() {
     println!("{exact_matches}/{checked} spot-checked counts exact (rest merged by rare fingerprint collisions)");
 
     // Top-5 heavy hitters agree.
-    let mut top: Vec<(u64, u64)> = exact.iter().map(|(&k, &v)| (v, k)).map(|(v, k)| (k, v)).collect();
+    let mut top: Vec<(u64, u64)> = exact.iter().map(|(&k, &v)| (k, v)).collect();
     top.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
     println!("\ntop-5 heavy hitters (exact vs filter):");
     for &(item, count) in top.iter().take(5) {
-        println!("  item {item:>20}  exact {count:>6}  filter {:>6}", filter.count(item));
+        println!(
+            "  item {item:>20}  exact {count:>6}  filter {:>6}",
+            filter.count(item)
+        );
     }
 }

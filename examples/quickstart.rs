@@ -68,7 +68,10 @@ fn main() {
             filter.adapt(&hit, stored, key).unwrap();
         }
     }
-    println!("second pass over the {} fixed keys: {repeats} repeats", fixed.len());
+    println!(
+        "second pass over the {} fixed keys: {repeats} repeats",
+        fixed.len()
+    );
 
     // And no true member was harmed:
     for key in (0..1_000_000u64).step_by(997) {

@@ -31,8 +31,12 @@ fn main() {
     );
 
     // Every blocklisted URL is blocked; every protected URL sails through.
-    assert!(blocklist.iter().all(|u| filter.query(url_key(u)) == YesNoResponse::Yes));
-    assert!(allowlist.iter().all(|u| filter.query(url_key(u)) != YesNoResponse::Yes));
+    assert!(blocklist
+        .iter()
+        .all(|u| filter.query(url_key(u)) == YesNoResponse::Yes));
+    assert!(allowlist
+        .iter()
+        .all(|u| filter.query(url_key(u)) != YesNoResponse::Yes));
 
     // Ordinary traffic: false positives are possible (and would trigger an
     // expensive verification step), but each is rare.
