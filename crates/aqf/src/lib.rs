@@ -50,6 +50,8 @@ mod filter;
 pub mod fingerprint;
 mod merge;
 mod rebuild;
+pub mod revmap;
+pub mod shadow;
 mod sharded;
 mod table;
 mod yesno;
@@ -57,5 +59,6 @@ mod yesno;
 pub use config::{AqfConfig, FilterError};
 pub use filter::{AdaptiveQf, AqfStats, DeleteOutcome, Entry, Hit, InsertOutcome, QueryResult};
 
+pub use shadow::ShadowMap;
 pub use sharded::ShardedAqf;
 pub use yesno::{StaticYesNo, YesNoFilter, YesNoResponse};

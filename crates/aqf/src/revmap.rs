@@ -1,0 +1,69 @@
+//! Reverse-map key encoding (paper §4.2).
+//!
+//! The AdaptiveQF's reverse map is keyed by `(minirun id, minirun rank)` —
+//! the coordinates a query returns. Because the AQF only ever *appends* a
+//! new fingerprint at the end of its minirun, a fresh insert gets a fresh
+//! `(id, rank)` pair and **no existing entry ever moves**: the property
+//! that makes the AQF's map traffic one write per insert (Table 2).
+//!
+//! We pack the pair into a `u64` key space (usable directly as a B-tree
+//! key) as `id << RANK_BITS | rank`. Miniruns are tiny (expected length
+//! ~1 + Poisson tail), so [`RANK_BITS`] = 8 is generous; the packing
+//! demands `qbits + rbits <= 56`, which every practical configuration
+//! satisfies.
+
+/// Bits reserved for the minirun rank.
+pub const RANK_BITS: u32 = 8;
+
+/// Pack a `(minirun id, rank)` pair into a single store key.
+///
+/// Panics if the rank exceeds 8 bits or the id exceeds 56 bits.
+#[inline]
+pub fn pack_fingerprint_key(minirun_id: u64, rank: u32) -> u64 {
+    assert!(
+        rank < (1 << RANK_BITS),
+        "minirun rank {rank} exceeds 8 bits"
+    );
+    assert!(
+        minirun_id < (1u64 << (64 - RANK_BITS)),
+        "minirun id needs qbits + rbits <= 56"
+    );
+    (minirun_id << RANK_BITS) | rank as u64
+}
+
+/// Unpack a packed fingerprint key.
+#[inline]
+pub fn unpack_fingerprint_key(packed: u64) -> (u64, u32) {
+    (
+        packed >> RANK_BITS,
+        (packed & ((1 << RANK_BITS) - 1)) as u32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for id in [0u64, 1, 12345, (1u64 << 56) - 1] {
+            for rank in [0u32, 1, 17, 255] {
+                let p = pack_fingerprint_key(id, rank);
+                assert_eq!(unpack_fingerprint_key(p), (id, rank));
+            }
+        }
+    }
+
+    #[test]
+    fn packing_is_injective_and_ordered() {
+        let a = pack_fingerprint_key(5, 255);
+        let b = pack_fingerprint_key(6, 0);
+        assert!(a < b, "minirun order dominates rank order");
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_rank_panics() {
+        pack_fingerprint_key(1, 256);
+    }
+}

@@ -1,0 +1,110 @@
+//! An in-memory exact reverse map for microbenchmarks and standalone use.
+//!
+//! The AdaptiveQF's adaptation protocol needs the *original key* stored at
+//! `(minirun id, rank)` — in a deployed system that lookup is the backing
+//! database (see `aqf-storage`). For filter-only benchmarks the paper
+//! substitutes a cheap in-memory map ("we pick valid arbitrary keys that
+//! will suffice in order to simulate having the reverse map present");
+//! [`ShadowMap`] is that substitute.
+//!
+//! Inserts append to a flat log (a couple of ns, so timed insert loops
+//! aren't polluted by map maintenance, matching the paper's protocol);
+//! the first lookup folds the log into the hash map.
+
+use std::collections::HashMap;
+
+use crate::filter::{DeleteOutcome, InsertOutcome};
+
+/// Exact reverse map: minirun id -> keys in rank order, mirroring AQF
+/// insert outcomes.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowMap {
+    log: Vec<(u64, u32, u64)>,
+    map: HashMap<u64, Vec<u64>>,
+}
+
+impl ShadowMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an insert outcome (cheap append).
+    #[inline]
+    pub fn record(&mut self, out: &InsertOutcome, key: u64) {
+        self.log.push((out.minirun_id, out.rank, key));
+    }
+
+    /// Fold pending log entries into the lookup structure.
+    pub fn settle(&mut self) {
+        for (id, rank, key) in self.log.drain(..) {
+            let list = self.map.entry(id).or_default();
+            list.insert((rank as usize).min(list.len()), key);
+        }
+    }
+
+    /// Key stored at (id, rank). Call [`Self::settle`] after inserts.
+    pub fn get(&self, minirun_id: u64, rank: u32) -> Option<u64> {
+        debug_assert!(self.log.is_empty(), "call settle() after inserts");
+        self.map.get(&minirun_id)?.get(rank as usize).copied()
+    }
+
+    /// Remove the entry a successful delete vacated, keeping later ranks of
+    /// the same minirun aligned with the filter (they shift down by one,
+    /// exactly as the filter's ranks do when a whole group is removed).
+    pub fn remove(&mut self, out: &DeleteOutcome) {
+        if !out.removed_group {
+            return; // only a counter decrement: the entry is still live
+        }
+        self.settle();
+        if let Some(list) = self.map.get_mut(&out.minirun_id) {
+            if (out.rank as usize) < list.len() {
+                list.remove(out.rank as usize);
+            }
+            if list.is_empty() {
+                self.map.remove(&out.minirun_id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AqfConfig;
+    use crate::filter::AdaptiveQf;
+
+    #[test]
+    fn mirrors_insert_and_delete_ranks() {
+        let mut f = AdaptiveQf::new(AqfConfig::new(10, 9).with_seed(3)).unwrap();
+        let mut m = ShadowMap::new();
+        let keys: Vec<u64> = (0..800).map(|i| i * 37 + 5).collect();
+        for &k in &keys {
+            let out = f.insert(k).unwrap();
+            m.record(&out, k);
+        }
+        m.settle();
+        // Every key resolves through its own query coordinates.
+        for &k in &keys {
+            let crate::QueryResult::Positive(hit) = f.query(k) else {
+                panic!("member {k} lost");
+            };
+            // The first match for k's fingerprint may be an earlier
+            // colliding key; the map must agree with the filter either way.
+            let stored = m.get(hit.minirun_id, hit.rank).expect("map entry");
+            assert_eq!(f.fingerprint(stored).minirun_id(), hit.minirun_id);
+        }
+        // Delete half the keys and re-verify alignment.
+        for &k in keys.iter().step_by(2) {
+            let out = f.delete(k).unwrap().expect("member deletes");
+            m.remove(&out);
+        }
+        for &k in keys.iter().skip(1).step_by(2) {
+            let crate::QueryResult::Positive(hit) = f.query(k) else {
+                panic!("surviving member {k} lost");
+            };
+            let stored = m.get(hit.minirun_id, hit.rank).expect("map entry");
+            assert_eq!(f.fingerprint(stored).minirun_id(), hit.minirun_id);
+        }
+    }
+}

@@ -13,7 +13,7 @@ use aqf_bits::hash::mix64;
 use parking_lot::Mutex;
 
 use crate::config::{AqfConfig, FilterError};
-use crate::filter::{AdaptiveQf, Hit, InsertOutcome, QueryResult};
+use crate::filter::{AdaptiveQf, AqfStats, Hit, InsertOutcome, QueryResult};
 
 const ROUTE_SALT: u64 = 0x5bd1_e995_c6a4_a793;
 
@@ -21,6 +21,7 @@ const ROUTE_SALT: u64 = 0x5bd1_e995_c6a4_a793;
 pub struct ShardedAqf {
     shards: Vec<Mutex<AdaptiveQf>>,
     shard_bits: u32,
+    shard_cfg: AqfConfig,
     seed: u64,
 }
 
@@ -43,6 +44,7 @@ impl ShardedAqf {
         Ok(Self {
             shards,
             shard_bits,
+            shard_cfg,
             seed: cfg.seed,
         })
     }
@@ -51,6 +53,27 @@ impl ShardedAqf {
     #[inline]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// log2 of the shard count.
+    #[inline]
+    pub fn shard_bits(&self) -> u32 {
+        self.shard_bits
+    }
+
+    /// The per-shard configuration (each shard has `qbits - shard_bits`
+    /// quotient bits; seed and remainder width are shared).
+    #[inline]
+    pub fn shard_config(&self) -> &AqfConfig {
+        &self.shard_cfg
+    }
+
+    /// The shard `key` routes to. A [`Hit`] returned by [`Self::query`]
+    /// is local to this shard; pair them to address an external reverse
+    /// map unambiguously.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.route(key)
     }
 
     #[inline]
@@ -102,6 +125,49 @@ impl ShardedAqf {
         self.shards.iter().map(|s| s.lock().size_in_bytes()).sum()
     }
 
+    /// Aggregated operation statistics across shards
+    /// (see [`AdaptiveQf::stats`]).
+    pub fn stats(&self) -> AqfStats {
+        let mut total = AqfStats::default();
+        for s in &self.shards {
+            let st = s.lock().stats();
+            total.adaptations += st.adaptations;
+            total.extension_slots += st.extension_slots;
+            total.counter_slots += st.counter_slots;
+        }
+        total
+    }
+
+    /// Number of distinct fingerprint groups stored across shards.
+    pub fn distinct_fingerprints(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().distinct_fingerprints())
+            .sum()
+    }
+
+    /// Physical slots in use across shards.
+    pub fn slots_in_use(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().slots_in_use()).sum()
+    }
+
+    /// Used slots over canonical slots — the paper's load factor, computed
+    /// over the whole partitioned table.
+    pub fn load_factor(&self) -> f64 {
+        let canonical = (self.shards.len() * self.shard_cfg.canonical_slots()) as f64;
+        self.slots_in_use() as f64 / canonical
+    }
+
+    /// Bits of table space per stored fingerprint group
+    /// (see [`AdaptiveQf::bits_per_item`]).
+    pub fn bits_per_item(&self) -> f64 {
+        let groups = self.distinct_fingerprints();
+        if groups == 0 {
+            return 0.0;
+        }
+        (self.size_in_bytes() * 8) as f64 / groups as f64
+    }
+
     /// Run a closure against a specific shard (test/diagnostic hook).
     pub fn with_shard<T>(&self, i: usize, f: impl FnOnce(&AdaptiveQf) -> T) -> T {
         f(&self.shards[i].lock())
@@ -140,5 +206,36 @@ mod tests {
     #[test]
     fn shard_bits_must_fit() {
         assert!(ShardedAqf::new(AqfConfig::new(4, 9), 4).is_err());
+    }
+
+    #[test]
+    fn diagnostics_match_unsharded_semantics() {
+        let cfg = AqfConfig::new(12, 9).with_seed(5);
+        let sharded = ShardedAqf::new(cfg, 2).unwrap();
+        let mut flat = AdaptiveQf::new(cfg).unwrap();
+        for k in 0..3000u64 {
+            sharded.insert(k).unwrap();
+            flat.insert(k).unwrap();
+        }
+        assert_eq!(sharded.len(), flat.len());
+        // Distinct fingerprints and slot usage agree with per-shard sums
+        // and land in the same ballpark as the flat filter (hash routing
+        // differs, so only the totals' structure is comparable).
+        assert_eq!(
+            sharded.distinct_fingerprints(),
+            (0..sharded.shard_count())
+                .map(|i| sharded.with_shard(i, |f| f.distinct_fingerprints()))
+                .sum::<u64>()
+        );
+        assert!(sharded.slots_in_use() >= sharded.distinct_fingerprints());
+        let lf = sharded.load_factor();
+        assert!(lf > 0.5 && lf < 1.0, "load factor {lf} out of range");
+        assert!(sharded.bits_per_item() > 9.0);
+        // Routing is stable and in range.
+        for k in (0..3000u64).step_by(111) {
+            assert!(sharded.shard_of(k) < sharded.shard_count());
+            assert_eq!(sharded.shard_of(k), sharded.shard_of(k));
+        }
+        assert_eq!(sharded.stats().adaptations, 0);
     }
 }

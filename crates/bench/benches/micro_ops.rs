@@ -4,7 +4,7 @@
 
 use aqf::{AdaptiveQf, AqfConfig, QueryResult};
 use aqf_bench::{fill_aqf, ShadowMap};
-use aqf_filters::{CuckooFilter, Filter, QuotientFilter};
+use aqf_filters::{AmqFilter, CuckooFilter, QuotientFilter};
 use aqf_workloads::uniform_keys;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
@@ -42,7 +42,7 @@ fn bench_inserts(c: &mut Criterion) {
             || QuotientFilter::new(QBITS, 9, 1).unwrap(),
             |mut f| {
                 for &k in &keys {
-                    Filter::insert(&mut f, k).unwrap();
+                    AmqFilter::insert(&mut f, k).unwrap();
                 }
                 f
             },
@@ -54,7 +54,7 @@ fn bench_inserts(c: &mut Criterion) {
             || CuckooFilter::new(QBITS - 2, 12, 1).unwrap(),
             |mut f| {
                 for &k in &keys {
-                    Filter::insert(&mut f, k).unwrap();
+                    AmqFilter::insert(&mut f, k).unwrap();
                 }
                 f
             },
@@ -89,13 +89,13 @@ fn bench_queries(c: &mut Criterion) {
 
     let mut qf = QuotientFilter::new(QBITS, 9, 1).unwrap();
     for &k in &keys {
-        Filter::insert(&mut qf, k).unwrap();
+        AmqFilter::insert(&mut qf, k).unwrap();
     }
     g.bench_function("qf_hit", |b| {
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % keys.len();
-            std::hint::black_box(Filter::contains(&qf, keys[i]))
+            std::hint::black_box(AmqFilter::contains(&qf, keys[i]))
         })
     });
     g.finish();

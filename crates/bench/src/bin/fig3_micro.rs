@@ -1,9 +1,10 @@
 //! Figure 3: micro operation throughput of filters absent any system —
-//! (a) insertions, (b) uniform queries, (c) Zipfian queries — for
-//! AQF, TQF, ACF (adaptive) and QF, CF (non-adaptive baselines).
+//! (a) insertions, (b) uniform queries, (c) Zipfian queries — for any
+//! registry kind (default: the paper's AQF, TQF, ACF, QF, CF).
 //!
 //! Paper scale: 2^27 slots, 200M queries. Defaults here: 2^18 slots,
-//! 2M queries (`--qbits`, `--queries` to scale up).
+//! 2M queries (`--qbits`, `--queries` to scale up, `--filter=<kinds>` to
+//! choose filters).
 
 use aqf_bench::*;
 use aqf_workloads::{uniform_keys, ZipfGenerator};
@@ -19,13 +20,13 @@ fn main() {
     let zipf = ZipfGenerator::new(10_000_000, 1.5, 7);
 
     let mut rows = Vec::new();
-    for kind in AnyFilter::kinds() {
-        let mut f = AnyFilter::build(kind, qbits, 1);
+    for kind in filter_kinds(registry::paper_kinds()) {
+        let mut f = FilterSpec::new(kind, qbits).with_seed(1).build().unwrap();
         // (a) Insertions.
         let (inserted, ins_secs) = timed(|| {
             let mut ok = 0u64;
             for &k in &keys {
-                if f.insert(k) {
+                if f.insert(k).is_ok() {
                     ok += 1;
                 }
             }

@@ -39,7 +39,7 @@ fn main() {
             let sb = shard_bits;
             run_threads(threads, &keys, |k| {
                 let s = (aqf_bits::hash::mix64(k, 0xABCD) >> (64 - sb)) as usize;
-                let _ = aqf_filters::Filter::insert(&mut *shards[s].lock(), k);
+                let _ = aqf_filters::AmqFilter::insert(&mut *shards[s].lock(), k);
             })
         });
 

@@ -1,32 +1,16 @@
 //! Figure 5: system (filter + on-disk B-tree) insert throughput as the
-//! filter fills, for all five filters. The ACF and TQF collapse as load
-//! rises because kicks/shifts rewrite their location-keyed reverse maps.
+//! filter fills, for any registry kind (default: the paper's five). The
+//! ACF and TQF collapse as load rises because kicks/shifts rewrite their
+//! location-keyed reverse maps.
 //!
 //! Paper: 2^25-slot filters over a SplinterDB B-tree. Defaults: 2^15
-//! slots, 10% reporting buckets (`--qbits`, `--buckets`).
+//! slots, 10% reporting buckets (`--qbits`, `--buckets`,
+//! `--filter=<kinds>`).
 
-use aqf::AqfConfig;
 use aqf_bench::*;
-use aqf_filters::{AdaptiveCuckooFilter, CuckooFilter, QuotientFilter, TelescopingFilter};
 use aqf_storage::pager::IoPolicy;
-use aqf_storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use aqf_storage::system::{FilteredDb, RevMapMode};
 use aqf_workloads::uniform_keys;
-
-fn build_system(kind: &str, qbits: u32, dir: &std::path::Path, cache: usize) -> FilteredDb {
-    let f = match kind {
-        "aqf" => SystemFilter::Aqf(Box::new(
-            aqf::AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(1)).unwrap(),
-        )),
-        "tqf" => SystemFilter::Tqf(Box::new(TelescopingFilter::new(qbits, 9, 1).unwrap())),
-        "acf" => SystemFilter::Acf(Box::new(
-            AdaptiveCuckooFilter::new(qbits - 2, 12, 1).unwrap(),
-        )),
-        "qf" => SystemFilter::Qf(Box::new(QuotientFilter::new(qbits, 9, 1).unwrap())),
-        "cf" => SystemFilter::Cf(Box::new(CuckooFilter::new(qbits - 2, 12, 1).unwrap())),
-        _ => unreachable!(),
-    };
-    FilteredDb::new(f, dir, cache, IoPolicy::default(), RevMapMode::Merged).unwrap()
-}
 
 fn main() {
     let qbits = flag_u64("qbits", 15) as u32;
@@ -40,10 +24,12 @@ fn main() {
         .collect();
     let mut header = vec!["Load".to_string()];
 
-    for kind in AnyFilter::kinds() {
-        let dir = base.join(kind);
-        let mut db = build_system(kind, qbits, &dir, 4096);
-        header.push(format!("{} ins/s", kind.to_uppercase()));
+    for kind in filter_kinds(registry::paper_kinds()) {
+        let dir = base.join(&kind);
+        let filter = FilterSpec::new(&*kind, qbits).with_seed(1).build().unwrap();
+        header.push(format!("{} ins/s", filter.name()));
+        let mut db =
+            FilteredDb::new(filter, &dir, 4096, IoPolicy::default(), RevMapMode::Merged).unwrap();
         let per = n / buckets;
         for b in 0..buckets {
             let slice = &keys[b * per..((b + 1) * per).min(n)];
@@ -57,7 +43,7 @@ fn main() {
         let io = db.io_stats();
         println!(
             "{}: disk reads {} writes {}",
-            kind.to_uppercase(),
+            db.filter().name(),
             io.reads,
             io.writes
         );

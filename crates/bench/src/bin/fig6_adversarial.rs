@@ -1,66 +1,55 @@
 //! Figure 6: system query throughput under a query-only adversary, over a
-//! grid of cache sizes × adversary frequencies, AQF vs non-adaptive
-//! filters (+ ACF, TQF).
+//! grid of cache sizes × adversary frequencies, for any registry kind
+//! (default: the paper's five).
 //!
 //! The adversary collects observed false positives during a warmup phase
 //! and replays them round-robin, defeating the page cache. Paper: 100M
 //! warmup + 100M measured queries, caches 1.5%..25% of the dataset.
 //! Defaults: 2^14-slot filters, 60K+60K queries, caches {3,12,25}%, adv
-//! frequencies {0, 1, 5, 10}% (`--qbits`, `--queries`, `--io-us`).
+//! frequencies {0, 1, 5, 10}% (`--qbits`, `--queries`, `--io-us`,
+//! `--filter=<kinds>`).
 
-use aqf::AqfConfig;
 use aqf_bench::*;
-use aqf_filters::{AdaptiveCuckooFilter, CuckooFilter, QuotientFilter, TelescopingFilter};
 use aqf_storage::pager::IoPolicy;
-use aqf_storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use aqf_storage::system::{FilteredDb, RevMapMode};
 use aqf_workloads::{uniform_keys, Adversary};
 use rand::RngExt;
 use std::time::Duration;
-
-fn build_system(
-    kind: &str,
-    qbits: u32,
-    dir: &std::path::Path,
-    cache_pages: usize,
-    io_us: u64,
-) -> FilteredDb {
-    let policy = IoPolicy {
-        read_delay: Some(Duration::from_micros(io_us)),
-        write_delay: None,
-    };
-    let f = match kind {
-        "aqf" => SystemFilter::Aqf(Box::new(
-            aqf::AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(3)).unwrap(),
-        )),
-        "tqf" => SystemFilter::Tqf(Box::new(TelescopingFilter::new(qbits, 9, 3).unwrap())),
-        "acf" => SystemFilter::Acf(Box::new(
-            AdaptiveCuckooFilter::new(qbits - 2, 12, 3).unwrap(),
-        )),
-        "qf" => SystemFilter::Qf(Box::new(QuotientFilter::new(qbits, 9, 3).unwrap())),
-        "cf" => SystemFilter::Cf(Box::new(CuckooFilter::new(qbits - 2, 12, 3).unwrap())),
-        _ => unreachable!(),
-    };
-    FilteredDb::new(f, dir, cache_pages, policy, RevMapMode::Merged).unwrap()
-}
 
 fn main() {
     let qbits = flag_u64("qbits", 14) as u32;
     let queries = flag_u64("queries", 60_000) as usize;
     let io_us = flag_u64("io-us", 20);
+    let kinds = filter_kinds(registry::paper_kinds());
     let n = ((1u64 << qbits) as f64 * 0.9) as usize;
     let keys = uniform_keys(n, 21);
     // Dataset pages ≈ n * 24B / 4096; cache % of dataset.
     let data_pages = (n * 24 / 4096).max(16);
     let base = std::env::temp_dir().join(format!("aqf-fig6-{}", std::process::id()));
+    let policy = IoPolicy {
+        read_delay: Some(Duration::from_micros(io_us)),
+        write_delay: None,
+    };
+
+    let mut header = vec!["Adv freq".to_string()];
+    let mut names_done = false;
 
     for cache_pct in [3u64, 12, 25] {
         let cache_pages = (data_pages as u64 * cache_pct / 100).max(8) as usize;
         let mut rows = Vec::new();
         for adv_pct in [0u64, 1, 5, 10] {
             let mut row = vec![format!("{adv_pct}%")];
-            for kind in AnyFilter::kinds() {
+            for kind in &kinds {
                 let dir = base.join(format!("{kind}-{cache_pct}-{adv_pct}"));
-                let mut db = build_system(kind, qbits, &dir, cache_pages, io_us);
+                let filter = FilterSpec::new(&**kind, qbits)
+                    .with_seed(3)
+                    .build()
+                    .unwrap();
+                if !names_done {
+                    header.push(filter.name().to_string());
+                }
+                let mut db =
+                    FilteredDb::new(filter, &dir, cache_pages, policy, RevMapMode::Merged).unwrap();
                 for &k in &keys {
                     let _ = db.insert(k, &k.to_le_bytes());
                 }
@@ -89,13 +78,15 @@ fn main() {
                 row.push(ops_per_sec(queries as u64, secs));
                 let _ = std::fs::remove_dir_all(&dir);
             }
+            names_done = true;
             rows.push(row);
         }
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         print_table(
             &format!(
                 "Fig 6: query throughput, cache {cache_pct}% of data ({cache_pages} pages), {io_us}us/IO"
             ),
-            &["Adv freq", "AQF", "TQF", "ACF", "QF", "CF"],
+            &header_refs,
             &rows,
         );
     }

@@ -1,11 +1,12 @@
 //! Figure 7: instantaneous false-positive rate and added space (bits/item)
-//! over time for the adaptive filters (AQF, TQF, ACF) on CAIDA-like,
+//! over time for adaptive filters (default: AQF, TQF, ACF) on CAIDA-like,
 //! Shalla-like, and Zipfian query streams.
 //!
 //! Protocol (paper §6.5): fill to 90%; run the adapting query stream;
 //! every 1% of queries, freeze adaptation and measure FPR on independent
 //! Zipfian probe sets. Paper: 3M queries. Defaults: 2^14 slots, 300K
-//! queries, checkpoints every 10% (`--qbits`, `--queries`).
+//! queries, checkpoints every 10% (`--qbits`, `--queries`,
+//! `--filter=<kinds>`).
 //!
 //! Output: CSV `dataset,filter,queries,fpr,bits_per_item`.
 
@@ -15,7 +16,7 @@ use aqf_workloads::ZipfGenerator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn measure_fpr(f: &AnyFilter, probes: &[u64], members: &std::collections::HashSet<u64>) -> f64 {
+fn measure_fpr(f: &dyn DynFilter, probes: &[u64], members: &std::collections::HashSet<u64>) -> f64 {
     let mut fps = 0usize;
     let mut negs = 0usize;
     for &k in probes {
@@ -38,6 +39,7 @@ fn main() {
     let qbits = flag_u64("qbits", 14) as u32;
     let queries = flag_u64("queries", 300_000) as usize;
     let checkpoints = flag_u64("checkpoints", 10) as usize;
+    let kinds = filter_kinds(&["aqf", "tqf", "acf"]);
     let n = ((1u64 << qbits) as f64 * 0.9) as usize;
 
     // Build the three datasets: (name, member keys, adapting query trace).
@@ -95,11 +97,14 @@ fn main() {
                     .collect()
             })
             .collect();
-        for kind in ["aqf", "tqf", "acf"] {
-            let mut f = AnyFilter::build(kind, qbits, 7);
+        for kind in &kinds {
+            let mut f = FilterSpec::new(&**kind, qbits)
+                .with_seed(7)
+                .build()
+                .unwrap();
             let base_bytes = f.size_in_bytes();
             for &k in members.iter() {
-                f.insert(k);
+                let _ = f.insert(k);
             }
             let per = trace.len() / checkpoints;
             for c in 0..checkpoints {
@@ -108,18 +113,14 @@ fn main() {
                 }
                 let fpr: f64 = probe_sets
                     .iter()
-                    .map(|p| measure_fpr(&f, p, &member_set))
+                    .map(|p| measure_fpr(f.as_ref(), p, &member_set))
                     .sum::<f64>()
                     / probe_sets.len() as f64;
-                // Added space: extension slots (AQF) / 0 for selector-based
-                // filters whose space is pre-allocated.
-                let extra_bits = (f.size_in_bytes().saturating_sub(base_bytes)) as f64 * 8.0;
-                let added = match &f {
-                    AnyFilter::Aqf(a, _) => {
-                        (a.stats().extension_slots as f64 * (9 + 4) as f64) / members.len() as f64
-                    }
-                    _ => extra_bits / members.len() as f64,
-                };
+                // Added space: adaptation bits (extension slots for the
+                // AQF) plus any table growth — selector-based filters
+                // pre-allocate, so both terms are 0 for them.
+                let grown_bits = (f.size_in_bytes().saturating_sub(base_bytes)) as f64 * 8.0;
+                let added = (f.adapt_bits() + grown_bits) / members.len() as f64;
                 println!(
                     "{},{},{},{:.8},{:.6}",
                     name,

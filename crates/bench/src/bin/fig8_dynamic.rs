@@ -1,13 +1,13 @@
-//! Figure 8: AQF false-positive rate over time on a dynamic workload —
+//! Figure 8: false-positive rate over time on a dynamic workload —
 //! Zipfian queries with a churn burst every 10% of operations replacing
-//! 20% of the members (TQF/ACF are excluded: no deletes).
+//! 20% of the members. Runs any registry kind that supports deletion
+//! (default: AQF; TQF/ACF are excluded by construction — no deletes).
 //!
 //! Paper: 3M queries, 1M-probe instantaneous FPR. Defaults: 2^14 slots,
-//! 200K queries (`--qbits`, `--queries`).
+//! 200K queries (`--qbits`, `--queries`, `--filter=<kinds>`).
 //!
-//! Output: CSV `ops,fpr,churn` (churn=1 marks a burst checkpoint).
+//! Output: CSV `filter,ops,fpr,churn` (churn=1 marks a burst checkpoint).
 
-use aqf::{AdaptiveQf, AqfConfig, QueryResult};
 use aqf_bench::*;
 use aqf_workloads::datasets::{churn_schedule, ChurnOp};
 use aqf_workloads::ZipfGenerator;
@@ -17,6 +17,7 @@ use rand::SeedableRng;
 fn main() {
     let qbits = flag_u64("qbits", 14) as u32;
     let queries = flag_u64("queries", 200_000) as usize;
+    let kinds = filter_kinds(&["aqf"]);
     let n = ((1u64 << qbits) as f64 * 0.85) as usize;
     let universe = 1_000_000u64;
 
@@ -25,70 +26,77 @@ fn main() {
         .collect();
     let (ops, _) = churn_schedule(&members, queries, queries / 10, 0.2, universe, 1.5, 42);
 
-    let mut f = AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(5)).unwrap();
-    let mut map = ShadowMap::default();
-    let mut member_set: std::collections::HashSet<u64> = members.iter().copied().collect();
-    fill_aqf(&mut f, &mut map, &members);
-
     // Instantaneous-FPR probe set from the same Zipf distribution.
     let z = ZipfGenerator::new(universe, 1.5, 42 ^ 0xC4A2);
     let mut prng = StdRng::seed_from_u64(43);
     let probes: Vec<u64> = (0..50_000).map(|_| z.sample_key(&mut prng)).collect();
 
-    println!("ops,fpr,churn");
-    let checkpoint = (ops.len() / 40).max(1);
-    let mut qcount = 0usize;
-    let mut churn_flag = 0;
-    for (i, op) in ops.iter().enumerate() {
-        match *op {
-            ChurnOp::Query(k) => {
-                qcount += 1;
-                if let QueryResult::Positive(hit) = f.query(k) {
-                    if !member_set.contains(&k) {
-                        if let Some(stored) = map.get(hit.minirun_id, hit.rank) {
-                            let _ = f.adapt(&hit, stored, k);
-                        }
+    println!("filter,ops,fpr,churn");
+    for kind in &kinds {
+        let mut f = FilterSpec::new(&**kind, qbits)
+            .with_seed(5)
+            .build()
+            .unwrap();
+        if !f.supports_delete() {
+            eprintln!("{kind}: no deletion support, skipping (churn needs deletes)");
+            continue;
+        }
+        let mut member_set: std::collections::HashSet<u64> = members.iter().copied().collect();
+        for &k in &members {
+            f.insert(k).expect("sized for the member set");
+        }
+
+        let checkpoint = (ops.len() / 40).max(1);
+        let mut qcount = 0usize;
+        let mut churn_flag = 0;
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                ChurnOp::Query(k) => {
+                    qcount += 1;
+                    // Adapting query: the filter resolves the stored key
+                    // through its shadow reverse map and fixes any
+                    // reported false positive.
+                    let _ = f.query_adapting(k);
+                }
+                ChurnOp::Delete(k) => {
+                    churn_flag = 1;
+                    let _ = f.delete(k);
+                    member_set.remove(&k);
+                }
+                ChurnOp::Insert(k) => {
+                    if f.insert(k).is_ok() {
+                        member_set.insert(k);
                     }
                 }
             }
-            ChurnOp::Delete(k) => {
-                churn_flag = 1;
-                let _ = f.delete(k);
-                member_set.remove(&k);
-            }
-            ChurnOp::Insert(k) => {
-                if let Ok(out) = f.insert(k) {
-                    map.record(&out, k);
-                    member_set.insert(k);
+            if i % checkpoint == 0 {
+                // Adaptation off while measuring (plain contains()).
+                let mut fps = 0usize;
+                let mut negs = 0usize;
+                for &p in &probes {
+                    if member_set.contains(&p) {
+                        continue;
+                    }
+                    negs += 1;
+                    if f.contains(p) {
+                        fps += 1;
+                    }
                 }
+                println!(
+                    "{},{},{:.8},{}",
+                    f.name(),
+                    qcount,
+                    fps as f64 / negs.max(1) as f64,
+                    churn_flag
+                );
+                churn_flag = 0;
             }
         }
-        if i % checkpoint == 0 {
-            // Adaptation off while measuring (plain contains()).
-            let mut fps = 0usize;
-            let mut negs = 0usize;
-            for &p in &probes {
-                if member_set.contains(&p) {
-                    continue;
-                }
-                negs += 1;
-                if f.contains(p) {
-                    fps += 1;
-                }
-            }
-            println!(
-                "{},{:.8},{}",
-                qcount,
-                fps as f64 / negs.max(1) as f64,
-                churn_flag
-            );
-            churn_flag = 0;
-        }
+        eprintln!(
+            "{}: final {} members, {:.4} adaptation bits/item",
+            f.name(),
+            member_set.len(),
+            f.adapt_bits() / member_set.len().max(1) as f64
+        );
     }
-    eprintln!(
-        "final: {} members, {} adaptations, {} ext slots",
-        member_set.len(),
-        f.stats().adaptations,
-        f.stats().extension_slots
-    );
 }

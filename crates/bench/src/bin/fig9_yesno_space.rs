@@ -2,6 +2,11 @@
 //! the static cascading Bloom filter (CRLite) as the no/yes ratio varies,
 //! with a fixed aggregate list size.
 //!
+//! `--filter=yesno,cbf` selects which solutions to compare (registry
+//! kinds; both are batch-built here from explicit yes/no lists, which is
+//! what Fig. 9 measures — the registry's incremental constructions are
+//! exercised by the conformance suite instead).
+//!
 //! Paper: 1M aggregate items, ratios 2^-5..2^5. Defaults: 64K aggregate
 //! (`--aggregate`).
 
@@ -11,7 +16,27 @@ use aqf_filters::CascadingBloomFilter;
 
 fn main() {
     let aggregate = flag_u64("aggregate", 1 << 16) as usize;
+    let kinds = filter_kinds(&["yesno", "cbf"]);
+    let want_aqf = kinds.iter().any(|k| k == "yesno");
+    let want_cbf = kinds.iter().any(|k| k == "cbf");
+    for kind in &kinds {
+        if kind != "yesno" && kind != "cbf" {
+            eprintln!("{kind}: not a yes/no-list construction, skipping (fig9 compares yesno/cbf)");
+        }
+    }
+    if !want_aqf && !want_cbf {
+        eprintln!("nothing to measure: pass --filter=yesno,cbf (or a subset)");
+        std::process::exit(2);
+    }
     let mut rows = Vec::new();
+    let mut header = vec!["no/yes", "|Y|", "|N|"];
+    if want_aqf {
+        header.push("AQF bytes");
+    }
+    if want_cbf {
+        header.push("CBF bytes");
+        header.push("CBF depth");
+    }
     for e in -5i32..=5 {
         let ratio = 2f64.powi(e);
         // no = ratio * yes; yes + no = aggregate.
@@ -19,51 +44,46 @@ fn main() {
         let n_no = aggregate - n_yes;
         let yes: Vec<u64> = aqf_workloads::uniform_keys(n_yes, 51);
         let no: Vec<u64> = aqf_workloads::uniform_keys(n_no, 52);
+        let mut row = vec![format!("2^{e}"), n_yes.to_string(), n_no.to_string()];
 
-        // AQF static yes/no construction (paper §5.1). The optimal ε for
-        // the yes/no problem is n/m when m > n (space lower bound is
-        // n·log(max(1/ε, m/n))), so the remainder width tracks the ratio:
-        // rbits ≈ log2(m/n), clamped to at least 2.
-        let rbits = ((n_no.max(1) as f64 / n_yes as f64).log2().ceil() as i64).clamp(2, 16) as u32;
-        let cfg = AqfConfig::for_capacity(n_yes.max(64), 0.85, rbits).with_seed(6);
-        let aqf_bytes = match aqf::StaticYesNo::build(cfg, &yes, &no) {
-            Ok(f) => {
-                // Verify the guarantee before reporting space.
-                assert!(no.iter().all(|&z| !f.query(z)), "no-list FP escaped");
-                f.size_in_bytes()
-            }
-            Err(_) => {
-                // Adaptivity space exhausted: grow once (the Thm 2 failure
-                // path) and retry.
-                let cfg2 = AqfConfig {
-                    qbits: cfg.qbits + 1,
-                    ..cfg
-                };
-                let f = aqf::StaticYesNo::build(cfg2, &yes, &no).expect("grown filter fits");
-                f.size_in_bytes()
-            }
-        };
+        if want_aqf {
+            // AQF static yes/no construction (paper §5.1). The optimal ε
+            // for the yes/no problem is n/m when m > n (space lower bound
+            // is n·log(max(1/ε, m/n))), so the remainder width tracks the
+            // ratio: rbits ≈ log2(m/n), clamped to at least 2.
+            let rbits =
+                ((n_no.max(1) as f64 / n_yes as f64).log2().ceil() as i64).clamp(2, 16) as u32;
+            let cfg = AqfConfig::for_capacity(n_yes.max(64), 0.85, rbits).with_seed(6);
+            let aqf_bytes = match aqf::StaticYesNo::build(cfg, &yes, &no) {
+                Ok(f) => {
+                    // Verify the guarantee before reporting space.
+                    assert!(no.iter().all(|&z| !f.query(z)), "no-list FP escaped");
+                    f.size_in_bytes()
+                }
+                Err(_) => {
+                    // Adaptivity space exhausted: grow once (the Thm 2
+                    // failure path) and retry.
+                    let cfg2 = AqfConfig {
+                        qbits: cfg.qbits + 1,
+                        ..cfg
+                    };
+                    let f = aqf::StaticYesNo::build(cfg2, &yes, &no).expect("grown filter fits");
+                    f.size_in_bytes()
+                }
+            };
+            row.push(aqf_bytes.to_string());
+        }
 
-        let cbf = CascadingBloomFilter::build(&yes, &no, 7).unwrap();
-        rows.push(vec![
-            format!("2^{e}"),
-            n_yes.to_string(),
-            n_no.to_string(),
-            aqf_bytes.to_string(),
-            cbf.size_in_bytes().to_string(),
-            cbf.depth().to_string(),
-        ]);
+        if want_cbf {
+            let cbf = CascadingBloomFilter::build(&yes, &no, 7).unwrap();
+            row.push(cbf.size_in_bytes().to_string());
+            row.push(cbf.depth().to_string());
+        }
+        rows.push(row);
     }
     print_table(
         &format!("Fig 9: yes/no-list space vs no/yes ratio ({aggregate} aggregate items)"),
-        &[
-            "no/yes",
-            "|Y|",
-            "|N|",
-            "AQF bytes",
-            "CBF bytes",
-            "CBF depth",
-        ],
+        &header,
         &rows,
     );
 }

@@ -2,14 +2,16 @@
 //! close the gap — the AQF-fronted system still wins on skewed queries
 //! because it eliminates *repeated* false positives entirely.
 //!
-//! Defaults: 2^14 slots, 100K queries, QF/CF get 3 extra remainder/tag
-//! bits (`--qbits`, `--queries`, `--extra-bits`).
+//! The AQF runs at the paper geometry; every other kind named by
+//! `--filter` (default: QF, CF) gets `--extra-bits` additional
+//! remainder/tag bits.
+//!
+//! Defaults: 2^14 slots, 100K queries, 3 extra bits
+//! (`--qbits`, `--queries`, `--extra-bits`, `--filter=<kinds>`).
 
-use aqf::AqfConfig;
 use aqf_bench::*;
-use aqf_filters::{CuckooFilter, QuotientFilter};
 use aqf_storage::pager::IoPolicy;
-use aqf_storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use aqf_storage::system::{FilteredDb, RevMapMode};
 use aqf_workloads::{uniform_keys, ZipfGenerator};
 use rand::SeedableRng;
 use std::time::Duration;
@@ -19,6 +21,7 @@ fn main() {
     let queries = flag_u64("queries", 100_000) as usize;
     let extra = flag_u64("extra-bits", 3) as u32;
     let io_us = flag_u64("io-us", 20);
+    let baselines = filter_kinds(&["qf", "cf"]);
     let n = ((1u64 << qbits) as f64 * 0.9) as usize;
     let keys = uniform_keys(n, 71);
     let policy = IoPolicy {
@@ -31,29 +34,23 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(73);
     let probes: Vec<u64> = (0..queries).map(|_| z.sample_key(&mut rng)).collect();
 
-    let systems: Vec<(&str, SystemFilter)> = vec![
-        (
-            "AQF (9-bit)",
-            SystemFilter::Aqf(Box::new(
-                aqf::AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(8)).unwrap(),
-            )),
-        ),
-        (
-            "QF (+extra bits)",
-            SystemFilter::Qf(Box::new(QuotientFilter::new(qbits, 9 + extra, 8).unwrap())),
-        ),
-        (
-            "CF (+extra bits)",
-            SystemFilter::Cf(Box::new(
-                CuckooFilter::new(qbits - 2, 12 + extra, 8).unwrap(),
-            )),
-        ),
-    ];
+    let mut specs: Vec<(String, FilterSpec)> = vec![(
+        "AQF (9-bit)".to_string(),
+        FilterSpec::new("aqf", qbits).with_seed(8),
+    )];
+    for kind in &baselines {
+        let spec = FilterSpec::new(&**kind, qbits)
+            .with_seed(8)
+            .with_rbits(9 + extra)
+            .with_tag_bits(12 + extra);
+        specs.push((format!("{} (+{extra} bits)", kind.to_uppercase()), spec));
+    }
 
     let mut rows = Vec::new();
-    for (label, f) in systems {
+    for (label, spec) in specs {
         let dir = base.join(label.replace([' ', '(', ')', '+'], "_"));
-        let mut db = FilteredDb::new(f, &dir, 1024, policy, RevMapMode::Merged).unwrap();
+        let filter = spec.build().unwrap();
+        let mut db = FilteredDb::new(filter, &dir, 1024, policy, RevMapMode::Merged).unwrap();
         for &k in &keys {
             let _ = db.insert(k, &k.to_le_bytes());
         }
@@ -64,7 +61,7 @@ fn main() {
         });
         let st = db.stats();
         rows.push(vec![
-            label.to_string(),
+            label,
             format!("{}", db.filter().size_in_bytes()),
             ops_per_sec(queries as u64, secs),
             st.false_positives.to_string(),

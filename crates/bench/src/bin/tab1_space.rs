@@ -1,7 +1,9 @@
 //! Table 1: empirical space usage and false-positive rate of all filters
-//! at a common slot budget and 90% load (paper: 2^26 slots, target ε=2^-9).
+//! at a common slot budget and 90% load (paper: 2^26 slots, target
+//! ε=2^-9). Any registry kind runs (`--filter=all` for the full set).
 //!
-//! Defaults: 2^18 slots, 500K probes (`--qbits`, `--probes`).
+//! Defaults: 2^18 slots, 500K probes (`--qbits`, `--probes`,
+//! `--filter=<kinds>`).
 
 use aqf_bench::*;
 use aqf_workloads::uniform_keys;
@@ -14,10 +16,10 @@ fn main() {
     let probe_keys = uniform_keys(probes as usize, 1234);
 
     let mut rows = Vec::new();
-    for kind in AnyFilter::kinds() {
-        let mut f = AnyFilter::build(kind, qbits, 2);
+    for kind in filter_kinds(registry::paper_kinds()) {
+        let mut f = FilterSpec::new(kind, qbits).with_seed(2).build().unwrap();
         for &k in &keys {
-            f.insert(k);
+            let _ = f.insert(k);
         }
         let fps = probe_keys.iter().filter(|&&k| f.contains(k)).count();
         let fpr = fps as f64 / probes as f64;

@@ -1,43 +1,37 @@
 //! Table 2: reverse-map accesses during insertions. The AQF performs one
 //! map insert per key and never touches existing entries; the TQF's
 //! location-keyed map follows every Robin Hood shift; the ACF queries and
-//! updates the map on every kick.
+//! updates the map on every kick. Any registry kind that tracks map
+//! traffic can run (kinds without counters report "-").
 //!
 //! Paper sizes: 2^20 and 2^24 slots at 90% load. Defaults: 2^14 and 2^18
-//! (`--qbits1`, `--qbits2`).
+//! (`--qbits1`, `--qbits2`, `--filter=<kinds>`).
 
 use aqf_bench::*;
-use aqf_filters::MapStats;
 use aqf_workloads::uniform_keys;
 
-fn run_one(qbits: u32) -> Vec<Vec<String>> {
+fn run_one(qbits: u32, kinds: &[String]) -> Vec<Vec<String>> {
     let n = ((1u64 << qbits) as f64 * 0.9) as usize;
     let keys = uniform_keys(n, 31);
     let mut rows = Vec::new();
-    for kind in ["aqf", "tqf", "acf"] {
-        let mut f = AnyFilter::build(kind, qbits, 6);
+    for kind in kinds {
+        let mut f = FilterSpec::new(&**kind, qbits)
+            .with_seed(6)
+            .build()
+            .unwrap();
         for &k in &keys {
-            f.insert(k);
+            let _ = f.insert(k);
         }
-        let st: MapStats = match &f {
-            // The AQF's merged map sees exactly one insert per key and is
-            // never updated or queried during inserts (paper §4.2).
-            AnyFilter::Aqf(..) => MapStats {
-                inserts: n as u64,
-                updates: 0,
-                queries: 0,
-            },
-            AnyFilter::Tqf(t) => t.map_stats(),
-            AnyFilter::Acf(a) => a.map_stats(),
-            _ => unreachable!(),
-        };
-        rows.push(vec![
-            f.name().to_string(),
-            qbits.to_string(),
-            st.inserts.to_string(),
-            st.updates.to_string(),
-            st.queries.to_string(),
-        ]);
+        let mut row = vec![f.name().to_string(), qbits.to_string()];
+        match f.map_stats() {
+            Some(st) => {
+                row.push(st.inserts.to_string());
+                row.push(st.updates.to_string());
+                row.push(st.queries.to_string());
+            }
+            None => row.extend(["-".to_string(), "-".to_string(), "-".to_string()]),
+        }
+        rows.push(row);
     }
     rows
 }
@@ -45,8 +39,9 @@ fn run_one(qbits: u32) -> Vec<Vec<String>> {
 fn main() {
     let q1 = flag_u64("qbits1", 14) as u32;
     let q2 = flag_u64("qbits2", 18) as u32;
-    let mut rows = run_one(q1);
-    rows.extend(run_one(q2));
+    let kinds = filter_kinds(&["aqf", "tqf", "acf"]);
+    let mut rows = run_one(q1, &kinds);
+    rows.extend(run_one(q2, &kinds));
     print_table(
         "Table 2: reverse-map accesses while filling to 90%",
         &[

@@ -1,54 +1,58 @@
 //! Table 3: merged vs split reverse-map setups for the AQF system.
 //! Merged (map doubles as the database) pays one write per insert but
 //! cannot range-query; split pays two writes per insert and ~1-2% slower
-//! queries (false positives are rare).
+//! queries (false positives are rare). `--filter` accepts any registry
+//! kind that supports the split map (aqf, sharded-aqf).
 //!
 //! Paper: 2^25-slot filter, 200M queries. Defaults: 2^15, 200K
-//! (`--qbits`, `--queries`).
+//! (`--qbits`, `--queries`, `--filter=aqf`).
 
-use aqf::AqfConfig;
 use aqf_bench::*;
 use aqf_storage::pager::IoPolicy;
-use aqf_storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use aqf_storage::system::{FilteredDb, RevMapMode};
 use aqf_workloads::uniform_keys;
 
 fn main() {
     let qbits = flag_u64("qbits", 15) as u32;
     let queries = flag_u64("queries", 200_000) as usize;
+    let kinds = filter_kinds(&["aqf"]);
     let n = ((1u64 << qbits) as f64 * 0.9) as usize;
     let keys = uniform_keys(n, 3);
     let probes = uniform_keys(queries, 555);
     let base = std::env::temp_dir().join(format!("aqf-tab3-{}", std::process::id()));
 
     let mut rows = Vec::new();
-    for (label, mode) in [("Merged", RevMapMode::Merged), ("Split", RevMapMode::Split)] {
-        let dir = base.join(label);
-        let f = aqf::AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(2)).unwrap();
-        let mut db = FilteredDb::new(
-            SystemFilter::Aqf(Box::new(f)),
-            &dir,
-            4096,
-            IoPolicy::default(),
-            mode,
-        )
-        .unwrap();
-        let (_, ins_secs) = timed(|| {
-            for &k in &keys {
-                let _ = db.insert(k, &k.to_le_bytes());
+    for kind in &kinds {
+        for (label, mode) in [("Merged", RevMapMode::Merged), ("Split", RevMapMode::Split)] {
+            let dir = base.join(format!("{kind}-{label}"));
+            let filter = FilterSpec::new(&**kind, qbits)
+                .with_seed(2)
+                .build()
+                .unwrap();
+            if !filter.supports_split_map() {
+                eprintln!("{kind}: no split reverse-map support, skipping");
+                break;
             }
-        });
-        let (_, qry_secs) = timed(|| {
-            for &k in &probes {
-                let _ = db.query(k).unwrap();
-            }
-        });
-        rows.push(vec![
-            label.to_string(),
-            ops_per_sec(n as u64, ins_secs),
-            ops_per_sec(queries as u64, qry_secs),
-            db.io_stats().writes.to_string(),
-        ]);
-        let _ = std::fs::remove_dir_all(&dir);
+            let name = filter.name();
+            let mut db = FilteredDb::new(filter, &dir, 4096, IoPolicy::default(), mode).unwrap();
+            let (_, ins_secs) = timed(|| {
+                for &k in &keys {
+                    let _ = db.insert(k, &k.to_le_bytes());
+                }
+            });
+            let (_, qry_secs) = timed(|| {
+                for &k in &probes {
+                    let _ = db.query(k).unwrap();
+                }
+            });
+            rows.push(vec![
+                format!("{name} {label}"),
+                ops_per_sec(n as u64, ins_secs),
+                ops_per_sec(queries as u64, qry_secs),
+                db.io_stats().writes.to_string(),
+            ]);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
     print_table(
         &format!("Table 3: merged vs split reverse map (2^{qbits} slots)"),

@@ -1,34 +1,18 @@
 //! Table 4: query speed on (synthetic stand-ins for) real-world datasets —
 //! CAIDA-like network flows and Shalla-like URL keys — after filling each
-//! filter, including occasional database accesses.
+//! filter, including occasional database accesses. Any registry kind runs
+//! (default: the paper's five).
 //!
 //! Paper: 2^26 inserts, real traces. Defaults: 2^15 slots, 500K queries
-//! (`--qbits`, `--queries`). DESIGN.md §4 documents the substitution.
+//! (`--qbits`, `--queries`, `--filter=<kinds>`). DESIGN.md §4 documents
+//! the substitution.
 
-use aqf::AqfConfig;
 use aqf_bench::*;
-use aqf_filters::{AdaptiveCuckooFilter, CuckooFilter, QuotientFilter, TelescopingFilter};
 use aqf_storage::pager::IoPolicy;
-use aqf_storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use aqf_storage::system::{FilteredDb, RevMapMode};
 use aqf_workloads::datasets::{caida_like_trace, shalla_like_urls, url_key};
 use aqf_workloads::ZipfGenerator;
 use rand::SeedableRng;
-
-fn build_system(kind: &str, qbits: u32, dir: &std::path::Path) -> FilteredDb {
-    let f = match kind {
-        "aqf" => SystemFilter::Aqf(Box::new(
-            aqf::AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(4)).unwrap(),
-        )),
-        "tqf" => SystemFilter::Tqf(Box::new(TelescopingFilter::new(qbits, 9, 4).unwrap())),
-        "acf" => SystemFilter::Acf(Box::new(
-            AdaptiveCuckooFilter::new(qbits - 2, 12, 4).unwrap(),
-        )),
-        "qf" => SystemFilter::Qf(Box::new(QuotientFilter::new(qbits, 9, 4).unwrap())),
-        "cf" => SystemFilter::Cf(Box::new(CuckooFilter::new(qbits - 2, 12, 4).unwrap())),
-        _ => unreachable!(),
-    };
-    FilteredDb::new(f, dir, 4096, IoPolicy::default(), RevMapMode::Merged).unwrap()
-}
 
 fn main() {
     let qbits = flag_u64("qbits", 15) as u32;
@@ -57,14 +41,20 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
-    for kind in AnyFilter::kinds() {
-        let mut row = vec![kind.to_uppercase()];
+    for kind in filter_kinds(registry::paper_kinds()) {
+        let mut row = Vec::new();
         for (tag, members, probe_trace) in [
             ("caida", &caida_members, &trace),
             ("shalla", &shalla_members, &shalla_trace),
         ] {
             let dir = base.join(format!("{kind}-{tag}"));
-            let mut db = build_system(kind, qbits, &dir);
+            let filter = FilterSpec::new(&*kind, qbits).with_seed(4).build().unwrap();
+            if row.is_empty() {
+                row.push(filter.name().to_string());
+            }
+            let mut db =
+                FilteredDb::new(filter, &dir, 4096, IoPolicy::default(), RevMapMode::Merged)
+                    .unwrap();
             for &k in members {
                 let _ = db.insert(k, b"rec");
             }

@@ -4,14 +4,19 @@
 //! and defaults to a laptop-scale configuration; pass larger `--qbits` /
 //! `--queries` to approach the paper's scale. Results print as markdown
 //! tables (and CSV with `--csv`) so EXPERIMENTS.md can quote them.
+//!
+//! Filters are selected uniformly across binaries with
+//! `--filter=<kind>[,<kind>...]` (or `--filter=all`), resolved through
+//! [`aqf_filters::registry`]; each binary documents its default kind set.
 
 #![forbid(unsafe_code)]
 
 use std::time::Instant;
 
-pub use aqf::{AdaptiveQf, AqfConfig, QueryResult};
+pub use aqf::{AdaptiveQf, AqfConfig, QueryResult, ShadowMap};
+pub use aqf_filters::registry::{self, FilterSpec};
 pub use aqf_filters::{
-    AdaptiveCuckooFilter, CuckooFilter, Filter, QuotientFilter, TelescopingFilter,
+    AdaptiveCuckooFilter, AmqFilter, CuckooFilter, DynFilter, QuotientFilter, TelescopingFilter,
 };
 
 /// Parse `--name=value` from argv.
@@ -30,10 +35,48 @@ pub fn flag_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Parse `--name=value` as a string.
+pub fn flag_str(name: &str, default: &str) -> String {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+        .unwrap_or_else(|| default.to_string())
+}
+
 /// Presence of a bare `--name` flag.
 pub fn flag_bool(name: &str) -> bool {
     let want = format!("--{name}");
     std::env::args().any(|a| a == want)
+}
+
+/// The filter kinds this run targets: `--filter=<kind>[,<kind>...]`
+/// against the registry, `--filter=all` for every registered kind,
+/// default `default_kinds`. Unknown kinds abort with the valid set.
+pub fn filter_kinds(default_kinds: &[&str]) -> Vec<String> {
+    let raw = flag_str("filter", &default_kinds.join(","));
+    let kinds: Vec<String> = if raw == "all" {
+        registry::kinds().iter().map(|s| s.to_string()).collect()
+    } else {
+        raw.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    for k in &kinds {
+        if registry::describe(k).is_none() {
+            eprintln!(
+                "unknown --filter kind {k:?}; valid kinds: {}",
+                registry::kinds().join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    if kinds.is_empty() {
+        eprintln!("--filter must name at least one kind");
+        std::process::exit(2);
+    }
+    kinds
 }
 
 /// Time a closure, returning (result, seconds).
@@ -65,178 +108,6 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     );
     for r in rows {
         println!("| {} |", r.join(" | "));
-    }
-}
-
-/// The five evaluated filters at a common slot budget of `2^qbits` slots
-/// and ≈2^-9 false-positive rate (paper §6.2: QF-family 9-bit remainders,
-/// CF-family 12-bit tags in 4-slot buckets).
-pub enum AnyFilter {
-    /// AdaptiveQF with its shadow reverse map (simulated, like §6.3).
-    Aqf(AdaptiveQf, ShadowMap),
-    /// Telescoping quotient filter.
-    Tqf(TelescopingFilter),
-    /// Adaptive cuckoo filter.
-    Acf(AdaptiveCuckooFilter),
-    /// Plain quotient filter.
-    Qf(QuotientFilter),
-    /// Cuckoo filter.
-    Cf(CuckooFilter),
-}
-
-impl AnyFilter {
-    /// Instantiate by name ("aqf", "tqf", "acf", "qf", "cf").
-    pub fn build(kind: &str, qbits: u32, seed: u64) -> AnyFilter {
-        match kind {
-            "aqf" => AnyFilter::Aqf(
-                AdaptiveQf::new(AqfConfig::new(qbits, 9).with_seed(seed)).unwrap(),
-                ShadowMap::default(),
-            ),
-            "tqf" => AnyFilter::Tqf(TelescopingFilter::new(qbits, 9, seed).unwrap()),
-            "acf" => AnyFilter::Acf(AdaptiveCuckooFilter::new(qbits - 2, 12, seed).unwrap()),
-            "qf" => AnyFilter::Qf(QuotientFilter::new(qbits, 9, seed).unwrap()),
-            "cf" => AnyFilter::Cf(CuckooFilter::new(qbits - 2, 12, seed).unwrap()),
-            other => panic!("unknown filter kind {other}"),
-        }
-    }
-
-    /// All five kinds, adaptive first (paper figure order).
-    pub fn kinds() -> &'static [&'static str] {
-        &["aqf", "tqf", "acf", "qf", "cf"]
-    }
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            AnyFilter::Aqf(..) => "AQF",
-            AnyFilter::Tqf(_) => "TQF",
-            AnyFilter::Acf(_) => "ACF",
-            AnyFilter::Qf(_) => "QF",
-            AnyFilter::Cf(_) => "CF",
-        }
-    }
-
-    /// True if this filter adapts to false positives.
-    pub fn is_adaptive(&self) -> bool {
-        matches!(
-            self,
-            AnyFilter::Aqf(..) | AnyFilter::Tqf(_) | AnyFilter::Acf(_)
-        )
-    }
-
-    /// Insert a key. Returns false when the filter reports Full.
-    pub fn insert(&mut self, key: u64) -> bool {
-        match self {
-            AnyFilter::Aqf(f, map) => match f.insert(key) {
-                Ok(out) => {
-                    map.record(&out, key);
-                    true
-                }
-                Err(_) => false,
-            },
-            AnyFilter::Tqf(f) => Filter::insert(f, key).is_ok(),
-            AnyFilter::Acf(f) => Filter::insert(f, key).is_ok(),
-            AnyFilter::Qf(f) => Filter::insert(f, key).is_ok(),
-            AnyFilter::Cf(f) => Filter::insert(f, key).is_ok(),
-        }
-    }
-
-    /// Membership query without adaptation.
-    pub fn contains(&self, key: u64) -> bool {
-        match self {
-            AnyFilter::Aqf(f, _) => f.contains(key),
-            AnyFilter::Tqf(f) => Filter::contains(f, key),
-            AnyFilter::Acf(f) => Filter::contains(f, key),
-            AnyFilter::Qf(f) => Filter::contains(f, key),
-            AnyFilter::Cf(f) => Filter::contains(f, key),
-        }
-    }
-
-    /// Query with adaptation on false positives, resolving stored keys
-    /// through the shadow reverse map (the paper's §6.3 microbenchmark
-    /// setting). Returns true if the filter answered positive.
-    pub fn query_adapting(&mut self, key: u64) -> bool {
-        match self {
-            AnyFilter::Aqf(f, map) => match f.query(key) {
-                QueryResult::Negative => false,
-                QueryResult::Positive(hit) => {
-                    map.settle();
-                    if let Some(stored) = map.get(hit.minirun_id, hit.rank) {
-                        if stored != key {
-                            let _ = f.adapt(&hit, stored, key);
-                        }
-                    }
-                    true
-                }
-            },
-            AnyFilter::Tqf(f) => match f.query_slot(key) {
-                None => false,
-                Some(hit) => {
-                    if f.stored_key(&hit) != key {
-                        f.adapt(&hit);
-                    }
-                    true
-                }
-            },
-            AnyFilter::Acf(f) => match f.query_slot(key) {
-                None => false,
-                Some(hit) => {
-                    if f.stored_key(&hit) != key {
-                        f.adapt(&hit);
-                    }
-                    true
-                }
-            },
-            AnyFilter::Qf(f) => Filter::contains(f, key),
-            AnyFilter::Cf(f) => Filter::contains(f, key),
-        }
-    }
-
-    /// Filter table bytes.
-    pub fn size_in_bytes(&self) -> usize {
-        match self {
-            AnyFilter::Aqf(f, _) => f.size_in_bytes(),
-            AnyFilter::Tqf(f) => Filter::size_in_bytes(f),
-            AnyFilter::Acf(f) => Filter::size_in_bytes(f),
-            AnyFilter::Qf(f) => Filter::size_in_bytes(f),
-            AnyFilter::Cf(f) => Filter::size_in_bytes(f),
-        }
-    }
-}
-
-/// An auxiliary exact reverse map for microbenchmarks: minirun id -> keys
-/// by rank, mirroring AQF insert outcomes (cheap, in-memory — the paper
-/// does the same for filter-only benches: "we pick valid arbitrary keys
-/// ... to simulate having the reverse map present").
-///
-/// Inserts append to a flat log (a couple of ns, so timed insert loops
-/// aren't polluted by map maintenance, matching the paper's protocol);
-/// the first lookup folds the log into the hash map.
-#[derive(Default)]
-pub struct ShadowMap {
-    log: Vec<(u64, u32, u64)>,
-    map: std::collections::HashMap<u64, Vec<u64>>,
-}
-
-impl ShadowMap {
-    /// Record an insert outcome (cheap append).
-    #[inline]
-    pub fn record(&mut self, out: &aqf::InsertOutcome, key: u64) {
-        self.log.push((out.minirun_id, out.rank, key));
-    }
-
-    /// Fold pending log entries into the lookup structure.
-    pub fn settle(&mut self) {
-        for (id, rank, key) in self.log.drain(..) {
-            let list = self.map.entry(id).or_default();
-            list.insert((rank as usize).min(list.len()), key);
-        }
-    }
-
-    /// Key stored at (id, rank). Call [`Self::settle`] after inserts.
-    pub fn get(&self, minirun_id: u64, rank: u32) -> Option<u64> {
-        debug_assert!(self.log.is_empty(), "call settle() after inserts");
-        self.map.get(&minirun_id)?.get(rank as usize).copied()
     }
 }
 

@@ -19,7 +19,7 @@ use aqf_bits::hash::mix64;
 use aqf_bits::word::bitmask;
 use aqf_bits::PackedVec;
 
-use crate::common::{Filter, MapEvent, MapStats};
+use crate::common::{AdaptiveFilter, Adaptivity, AmqFilter, MapEvent, MapEventSource, MapStats};
 
 /// Slots per bucket.
 pub const BUCKET_SLOTS: usize = 4;
@@ -199,7 +199,7 @@ impl AdaptiveCuckooFilter {
     }
 }
 
-impl Filter for AdaptiveCuckooFilter {
+impl AmqFilter for AdaptiveCuckooFilter {
     fn insert(&mut self, key: u64) -> Result<(), FilterError> {
         self.stats.inserts += 1;
         let (b1, b2) = self.bucket_pair(key);
@@ -244,6 +244,10 @@ impl Filter for AdaptiveCuckooFilter {
         self.query_slot(key).is_some()
     }
 
+    fn len(&self) -> u64 {
+        self.items
+    }
+
     fn size_in_bytes(&self) -> usize {
         // Filter table only; the shadow key array models the reverse map,
         // which the paper accounts separately.
@@ -252,6 +256,61 @@ impl Filter for AdaptiveCuckooFilter {
 
     fn name(&self) -> &'static str {
         "ACF"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        // The 2-bit selector cycles: fixing one false positive can
+        // re-expose another.
+        Adaptivity::Weak
+    }
+}
+
+impl AdaptiveFilter for AdaptiveCuckooFilter {
+    type Hit = AcfHit;
+
+    fn query_hit(&self, key: u64) -> Option<AcfHit> {
+        self.query_slot(key)
+    }
+
+    fn store_key(&self, hit: &AcfHit) -> u64 {
+        self.slot_index(hit.bucket, hit.slot) as u64
+    }
+
+    fn hit_at(&self, store_key: u64) -> AcfHit {
+        AcfHit {
+            bucket: store_key as usize / BUCKET_SLOTS,
+            slot: store_key as usize % BUCKET_SLOTS,
+        }
+    }
+
+    fn stored_key(&self, hit: &AcfHit) -> Option<u64> {
+        Some(self.keys[self.slot_index(hit.bucket, hit.slot)])
+    }
+
+    fn adapt(
+        &mut self,
+        hit: &AcfHit,
+        _stored_key: u64,
+        _query_key: u64,
+    ) -> Result<u32, FilterError> {
+        // The ACF re-derives the tag from its internal shadow map; the
+        // caller-resolved keys are not needed.
+        AdaptiveCuckooFilter::adapt(self, hit);
+        Ok(1)
+    }
+}
+
+impl MapEventSource for AdaptiveCuckooFilter {
+    fn set_event_recording(&mut self, on: bool) {
+        AdaptiveCuckooFilter::set_event_recording(self, on);
+    }
+
+    fn take_events(&mut self) -> Vec<MapEvent> {
+        AdaptiveCuckooFilter::take_events(self)
+    }
+
+    fn map_stats(&self) -> MapStats {
+        AdaptiveCuckooFilter::map_stats(self)
     }
 }
 

@@ -1,0 +1,251 @@
+//! [`AmqFilter`] / [`AdaptiveFilter`] implementations for the `aqf`
+//! crate's filters ([`AdaptiveQf`], [`ShardedAqf`], [`YesNoFilter`]), so
+//! the paper's own filter is driven through exactly the same interface as
+//! the baselines it is evaluated against.
+//!
+//! The AdaptiveQF's reverse map is *external* (the backing database, or a
+//! [`aqf::ShadowMap`] in microbenchmarks), so
+//! [`AdaptiveFilter::stored_key`] returns `None` and callers resolve the
+//! [`AdaptiveFilter::store_key`] — `pack_fingerprint_key(minirun_id,
+//! rank)` — against their own map before calling
+//! [`AdaptiveFilter::adapt`].
+
+use aqf::revmap::{pack_fingerprint_key, unpack_fingerprint_key, RANK_BITS};
+use aqf::{AdaptiveQf, FilterError, Hit, QueryResult, ShardedAqf, YesNoFilter};
+
+use crate::common::{AdaptiveFilter, Adaptivity, AmqFilter};
+
+impl AmqFilter for AdaptiveQf {
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        AdaptiveQf::insert(self, key).map(|_| ())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        AdaptiveQf::contains(self, key)
+    }
+
+    fn len(&self) -> u64 {
+        AdaptiveQf::len(self)
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        AdaptiveQf::size_in_bytes(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "AQF"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::Strong
+    }
+
+    fn supports_delete(&self) -> bool {
+        true
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        AdaptiveQf::delete(self, key).map(|o| o.is_some())
+    }
+}
+
+impl AdaptiveFilter for AdaptiveQf {
+    type Hit = Hit;
+
+    fn query_hit(&self, key: u64) -> Option<Hit> {
+        match self.query(key) {
+            QueryResult::Positive(hit) => Some(hit),
+            QueryResult::Negative => None,
+        }
+    }
+
+    fn store_key(&self, hit: &Hit) -> u64 {
+        pack_fingerprint_key(hit.minirun_id, hit.rank)
+    }
+
+    fn hit_at(&self, store_key: u64) -> Hit {
+        let (minirun_id, rank) = unpack_fingerprint_key(store_key);
+        // `ext_chunks` is diagnostic only; `adapt` re-reads the group's
+        // current extent from the table.
+        Hit {
+            minirun_id,
+            rank,
+            ext_chunks: 0,
+        }
+    }
+
+    fn stored_key(&self, _hit: &Hit) -> Option<u64> {
+        None // the reverse map is external (database or ShadowMap)
+    }
+
+    fn adapt(&mut self, hit: &Hit, stored_key: u64, query_key: u64) -> Result<u32, FilterError> {
+        AdaptiveQf::adapt(self, hit, stored_key, query_key)
+    }
+}
+
+/// A positive [`ShardedAqf`] query: the shard it matched in, plus the
+/// shard-local hit. Both are needed to address an external reverse map
+/// unambiguously — shard-local minirun ids collide across shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardedHit {
+    /// Index of the shard the key routed to.
+    pub shard: usize,
+    /// Hit within that shard's filter.
+    pub hit: Hit,
+}
+
+/// Bits a shard-local packed fingerprint key occupies.
+fn sharded_local_bits(f: &ShardedAqf) -> u32 {
+    let cfg = f.shard_config();
+    cfg.qbits + cfg.rbits + RANK_BITS
+}
+
+impl AmqFilter for ShardedAqf {
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        ShardedAqf::insert(self, key).map(|_| ())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        ShardedAqf::contains(self, key)
+    }
+
+    fn len(&self) -> u64 {
+        ShardedAqf::len(self)
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        ShardedAqf::size_in_bytes(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "ShardedAQF"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::Strong
+    }
+
+    fn supports_delete(&self) -> bool {
+        true
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        ShardedAqf::delete(self, key).map(|o| o.is_some())
+    }
+}
+
+impl AdaptiveFilter for ShardedAqf {
+    type Hit = ShardedHit;
+
+    fn query_hit(&self, key: u64) -> Option<ShardedHit> {
+        match self.query(key) {
+            QueryResult::Positive(hit) => Some(ShardedHit {
+                shard: self.shard_of(key),
+                hit,
+            }),
+            QueryResult::Negative => None,
+        }
+    }
+
+    fn store_key(&self, hit: &ShardedHit) -> u64 {
+        let local_bits = sharded_local_bits(self);
+        debug_assert!(local_bits + self.shard_bits() <= 64, "store key overflow");
+        ((hit.shard as u64) << local_bits) | pack_fingerprint_key(hit.hit.minirun_id, hit.hit.rank)
+    }
+
+    fn hit_at(&self, store_key: u64) -> ShardedHit {
+        let local_bits = sharded_local_bits(self);
+        let (minirun_id, rank) = unpack_fingerprint_key(store_key & ((1u64 << local_bits) - 1));
+        ShardedHit {
+            shard: (store_key >> local_bits) as usize,
+            hit: Hit {
+                minirun_id,
+                rank,
+                ext_chunks: 0,
+            },
+        }
+    }
+
+    fn stored_key(&self, _hit: &ShardedHit) -> Option<u64> {
+        None // the reverse map is external, like the flat AQF's
+    }
+
+    fn adapt(
+        &mut self,
+        hit: &ShardedHit,
+        stored_key: u64,
+        query_key: u64,
+    ) -> Result<u32, FilterError> {
+        debug_assert_eq!(
+            self.shard_of(query_key),
+            hit.shard,
+            "hit must come from a query for query_key on this filter"
+        );
+        ShardedAqf::adapt(self, &hit.hit, stored_key, query_key)
+    }
+}
+
+impl AmqFilter for YesNoFilter {
+    /// Adds `key` to the **yes** list (use the inherent
+    /// [`YesNoFilter::insert_no`] for no-listing).
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        self.insert_yes(key)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.query(key).is_yes()
+    }
+
+    fn len(&self) -> u64 {
+        (self.yes_len() + self.no_len()) as u64
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.filter_size_in_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "YesNo"
+    }
+
+    /// The yes/no filter adapts *internally at insert time* (collisions
+    /// between the lists are separated eagerly); it exposes no query-side
+    /// adaptation hook, so to external callers it reports
+    /// [`Adaptivity::None`].
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::None
+    }
+
+    fn supports_delete(&self) -> bool {
+        true
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        self.remove(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqf::AqfConfig;
+
+    #[test]
+    fn sharded_store_keys_roundtrip_and_disambiguate_shards() {
+        let f = ShardedAqf::new(AqfConfig::new(12, 9).with_seed(3), 2).unwrap();
+        for k in 0..2000u64 {
+            ShardedAqf::insert(&f, k).unwrap();
+        }
+        let mut seen_shards = std::collections::HashSet::new();
+        for k in 0..2000u64 {
+            let hit = f.query_hit(k).expect("member");
+            let sk = f.store_key(&hit);
+            let back = f.hit_at(sk);
+            assert_eq!(back.shard, hit.shard);
+            assert_eq!(back.hit.minirun_id, hit.hit.minirun_id);
+            assert_eq!(back.hit.rank, hit.hit.rank);
+            seen_shards.insert(hit.shard);
+        }
+        assert!(seen_shards.len() > 1, "keys should spread across shards");
+    }
+}

@@ -5,7 +5,7 @@ use aqf::FilterError;
 use aqf_bits::hash::mix64;
 use aqf_bits::BitVec;
 
-use crate::common::Filter;
+use crate::common::AmqFilter;
 
 /// A standard Bloom filter with `k` hash functions.
 #[derive(Clone, Debug)]
@@ -60,7 +60,7 @@ impl BloomFilter {
     }
 }
 
-impl Filter for BloomFilter {
+impl AmqFilter for BloomFilter {
     fn insert(&mut self, key: u64) -> Result<(), FilterError> {
         for i in 0..self.k {
             let p = self.position(key, i);
@@ -72,6 +72,10 @@ impl Filter for BloomFilter {
 
     fn contains(&self, key: u64) -> bool {
         (0..self.k).all(|i| self.bits.get(self.position(key, i)))
+    }
+
+    fn len(&self) -> u64 {
+        self.items
     }
 
     fn size_in_bytes(&self) -> usize {

@@ -8,24 +8,72 @@
 //! acceptance by an even number of levels means "no", odd means "yes".
 //! Exact for all keys in `yes ∪ no`; other keys err with the usual Bloom
 //! probability.
+//!
+//! The construction is inherently batch-built, but the filter still
+//! implements [`AmqFilter`] so generic harnesses can drive it: inserted
+//! keys are buffered in an exact pending list (queried with no false
+//! negatives *or* positives) and folded into a rebuilt cascade once the
+//! buffer outgrows a fraction of the yes list — amortized O(log n)
+//! rebuilds over n inserts, each O(n). The input lists are retained for
+//! rebuilds; like the ACF/TQF shadow key arrays, they model the exact
+//! store a deployment would already have, and are excluded from
+//! [`AmqFilter::size_in_bytes`].
 
 use aqf::FilterError;
 
 use crate::bloom::BloomFilter;
-use crate::common::Filter;
+use crate::common::AmqFilter;
 
 /// A CRLite-style cascading Bloom filter.
 pub struct CascadingBloomFilter {
     levels: Vec<BloomFilter>,
+    yes: Vec<u64>,
+    no: Vec<u64>,
+    /// Yes-keys inserted since the last rebuild, answered exactly.
+    pending: std::collections::HashSet<u64>,
+    seed: u64,
 }
 
 impl CascadingBloomFilter {
+    /// An empty, incrementally-fillable cascade (see the module docs for
+    /// the amortized-rebuild semantics).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            levels: Vec::new(),
+            yes: Vec::new(),
+            no: Vec::new(),
+            pending: std::collections::HashSet::new(),
+            seed,
+        }
+    }
+
     /// Build from a yes list and a no list.
     ///
     /// `fpr0` is level 0's false-positive target (CRLite uses
     /// `n_yes / (sqrt(2) n_no)`-style sizing; we default each deeper level
     /// to 0.5 as in the original).
     pub fn build(yes: &[u64], no: &[u64], seed: u64) -> Result<Self, FilterError> {
+        let mut f = Self::new(seed);
+        f.yes = yes.to_vec();
+        f.no = no.to_vec();
+        f.rebuild()?;
+        Ok(f)
+    }
+
+    /// Rebuild the cascade over `yes ∪ pending`, committing the new
+    /// levels (and the merged yes list) only on success so a failed
+    /// convergence leaves the filter exactly as it was.
+    fn rebuild(&mut self) -> Result<(), FilterError> {
+        let mut yes = self.yes.clone();
+        yes.extend(self.pending.iter().copied());
+        let levels = Self::build_levels(&yes, &self.no, self.seed)?;
+        self.yes = yes;
+        self.pending.clear();
+        self.levels = levels;
+        Ok(())
+    }
+
+    fn build_levels(yes: &[u64], no: &[u64], seed: u64) -> Result<Vec<BloomFilter>, FilterError> {
         let mut levels = Vec::new();
         // CRLite level-0 sizing: r = n_no/n_yes, fpr0 = 1/(r·sqrt(2)) capped.
         let fpr0 = if no.is_empty() {
@@ -57,7 +105,7 @@ impl CascadingBloomFilter {
                 return Err(FilterError::InvalidConfig("cascade failed to converge"));
             }
         }
-        Ok(Self { levels })
+        Ok(levels)
     }
 
     /// True = "yes". Exact for keys in either input list.
@@ -70,7 +118,7 @@ impl CascadingBloomFilter {
                 break;
             }
         }
-        accepted % 2 == 1
+        accepted % 2 == 1 || self.pending.contains(&key)
     }
 
     /// Number of cascade levels.
@@ -81,6 +129,32 @@ impl CascadingBloomFilter {
     /// Total bytes across all levels.
     pub fn size_in_bytes(&self) -> usize {
         self.levels.iter().map(|b| b.size_in_bytes()).sum()
+    }
+}
+
+impl AmqFilter for CascadingBloomFilter {
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        self.pending.insert(key);
+        if self.pending.len() >= (self.yes.len() / 4).max(64) {
+            self.rebuild()?;
+        }
+        Ok(())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.query(key)
+    }
+
+    fn len(&self) -> u64 {
+        (self.yes.len() + self.pending.len()) as u64
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        CascadingBloomFilter::size_in_bytes(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "CBF"
     }
 }
 
@@ -135,6 +209,57 @@ mod tests {
             for &n in &no {
                 assert!(!c.query(n));
             }
+        }
+    }
+
+    #[test]
+    fn incremental_inserts_never_lose_keys() {
+        let mut c = CascadingBloomFilter::new(9);
+        // Grow from empty through several rebuild thresholds.
+        for k in 0..2000u64 {
+            c.insert(k * 13 + 1).unwrap();
+        }
+        assert_eq!(c.len(), 2000);
+        for k in 0..2000u64 {
+            assert!(c.contains(k * 13 + 1), "false negative {k}");
+        }
+        assert!(c.size_in_bytes() > 0, "rebuilds must have happened");
+    }
+
+    #[test]
+    fn failed_rebuild_leaves_filter_intact() {
+        // A key on both lists can never converge: it is a false positive
+        // of every level, so the cascade exceeds its depth bound.
+        let no: Vec<u64> = (0..100).collect();
+        let mut c = CascadingBloomFilter::build(&[], &no, 2).unwrap();
+        let mut failed = false;
+        for k in 0..200u64 {
+            // Key 0 is no-listed; inserting it poisons the next rebuild.
+            if c.insert(k).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "overlapping yes/no key must fail the rebuild");
+        // Every key inserted so far must still answer positive (the
+        // failed rebuild committed nothing).
+        for k in 0..64u64 {
+            assert!(c.contains(k), "key {k} lost after failed rebuild");
+        }
+    }
+
+    #[test]
+    fn incremental_inserts_preserve_no_list() {
+        let no: Vec<u64> = (500_000..501_000).collect();
+        let mut c = CascadingBloomFilter::build(&(0..300).collect::<Vec<_>>(), &no, 4).unwrap();
+        for k in 1000..1400u64 {
+            c.insert(k).unwrap();
+        }
+        for &n in &no {
+            assert!(!c.contains(n), "no-list key {n} leaked to yes");
+        }
+        for k in 1000..1400u64 {
+            assert!(c.contains(k));
         }
     }
 }

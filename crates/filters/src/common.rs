@@ -1,18 +1,179 @@
-//! Shared traits and instrumentation for the baseline filters.
+//! The filter trait hierarchy every filter in this workspace implements,
+//! plus shared reverse-map instrumentation.
+//!
+//! The paper's evaluation (§6) treats filters as interchangeable black
+//! boxes; this module is where that interchangeability lives in code:
+//!
+//! - [`AmqFilter`] — the base approximate-membership interface (insert,
+//!   contains, size, optional delete) implemented by **every** filter:
+//!   the six baselines, [`aqf::AdaptiveQf`], [`aqf::ShardedAqf`], and
+//!   [`aqf::YesNoFilter`].
+//! - [`AdaptiveFilter`] — the extra surface adaptive filters expose: a
+//!   positive query yields reverse-map coordinates (the associated
+//!   [`AdaptiveFilter::Hit`] type, unifying the former `AcfHit`, `TqfHit`,
+//!   and `aqf::Hit` shapes) that can be fed back into
+//!   [`AdaptiveFilter::adapt`] once the backing store refutes the match.
+//! - [`MapEventSource`] — recording of reverse-map traffic for filters
+//!   whose map is *location-keyed* (ACF, TQF), so the system layer can
+//!   replay kicks and shifts as real database I/O.
+//!
+//! The object-safe [`crate::DynFilter`] layer and the string-keyed
+//! [`crate::registry`] are built on top of these traits.
 
 pub use aqf::FilterError;
 
-/// Minimal interface common to all filters in the evaluation.
-pub trait Filter {
+/// How strongly a filter adapts to reported false positives (paper §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Adaptivity {
+    /// Never changes in response to false positives (QF, CF, Bloom).
+    None,
+    /// Fixing one false positive can re-expose a previously fixed one
+    /// (ACF and, once its fixed-width selectors wrap, TQF).
+    Weak,
+    /// Every reported false positive is fixed and stays fixed
+    /// (AdaptiveQF and its sharded variant).
+    Strong,
+}
+
+/// Minimal interface common to all approximate-membership filters in the
+/// evaluation.
+///
+/// `size_in_bytes` counts the filter table only — shadow-key arrays and
+/// other reverse-map stand-ins are accounted separately, as in the paper.
+///
+/// ```
+/// use aqf_filters::{AmqFilter, QuotientFilter};
+///
+/// let mut f = QuotientFilter::new(10, 9, 1).unwrap();
+/// f.insert(42).unwrap();
+/// assert!(f.contains(42)); // no false negatives, ever
+/// assert_eq!(f.len(), 1);
+/// assert!(f.size_in_bytes() > 0);
+/// ```
+pub trait AmqFilter {
     /// Insert a key.
     fn insert(&mut self, key: u64) -> Result<(), FilterError>;
-    /// Approximate membership query.
+
+    /// Approximate membership query: `false` is definitive, `true` may be
+    /// a false positive with probability ≈ ε.
     fn contains(&self, key: u64) -> bool;
+
+    /// Number of stored items (multiset count where applicable).
+    fn len(&self) -> u64;
+
+    /// True if nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Heap bytes used by the filter table (excluding any reverse-map /
     /// shadow-key storage, which the paper accounts separately).
     fn size_in_bytes(&self) -> usize;
+
     /// Display name for benchmark tables.
     fn name(&self) -> &'static str;
+
+    /// The filter's adaptivity class.
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::None
+    }
+
+    /// True if [`AmqFilter::delete`] is supported.
+    fn supports_delete(&self) -> bool {
+        false
+    }
+
+    /// Delete one copy of `key`, if deletion is supported. Returns
+    /// `Ok(true)` when an entry was removed, `Ok(false)` when no matching
+    /// entry existed.
+    fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        let _ = key;
+        Err(FilterError::InvalidConfig(
+            "this filter does not support deletion",
+        ))
+    }
+}
+
+/// An adaptive filter: positive queries come with reverse-map coordinates
+/// that the application can feed back after a confirmed false positive.
+///
+/// The associated [`AdaptiveFilter::Hit`] type unifies the per-filter hit
+/// shapes (the AQF's `(minirun id, rank)`, the ACF's `(bucket, slot)`,
+/// the TQF's slot index). Every hit maps to a stable `u64` *store key* —
+/// the key under which a reverse map (in-memory shadow or on-disk
+/// database) keeps the original key for that fingerprint — via
+/// [`AdaptiveFilter::store_key`] / [`AdaptiveFilter::hit_at`].
+///
+/// Filters whose reverse map is internal (ACF, TQF carry shadow key
+/// arrays) resolve [`AdaptiveFilter::stored_key`] themselves; filters
+/// with an external map (AdaptiveQF) return `None` and expect the caller
+/// to resolve the store key against its own map.
+///
+/// ```
+/// use aqf_filters::{AdaptiveFilter, AmqFilter, TelescopingFilter};
+///
+/// let mut f = TelescopingFilter::new(10, 7, 3).unwrap();
+/// for k in 0..900u64 {
+///     f.insert(k).unwrap();
+/// }
+/// // Probe until some absent key collides, then adapt it away.
+/// let mut probe = 1_000_000u64;
+/// let hit = loop {
+///     if let Some(h) = f.query_hit(probe) {
+///         break h;
+///     }
+///     probe += 1;
+/// };
+/// // Fully-qualified: the TQF also has inherent `stored_key`/`adapt`.
+/// let stored = AdaptiveFilter::stored_key(&f, &hit).expect("TQF's map is internal");
+/// assert_ne!(stored, probe, "a collision, not a member");
+/// AdaptiveFilter::adapt(&mut f, &hit, stored, probe).unwrap();
+/// ```
+pub trait AdaptiveFilter: AmqFilter {
+    /// Coordinates of a positive query, sufficient to adapt it later.
+    type Hit: Clone + std::fmt::Debug;
+
+    /// Membership query returning the matched fingerprint's coordinates
+    /// (`None` = definitely absent).
+    fn query_hit(&self, key: u64) -> Option<Self::Hit>;
+
+    /// The `u64` reverse-map key identifying `hit`'s fingerprint.
+    fn store_key(&self, hit: &Self::Hit) -> u64;
+
+    /// Reconstruct a hit from a store key previously produced by
+    /// [`AdaptiveFilter::store_key`]. The hit may be stale if the filter
+    /// changed in between; [`AdaptiveFilter::adapt`] reports that as
+    /// [`FilterError::NotFound`].
+    fn hit_at(&self, store_key: u64) -> Self::Hit;
+
+    /// The original key the filter's *internal* reverse map holds for
+    /// `hit`, or `None` if the map is external to the filter.
+    fn stored_key(&self, hit: &Self::Hit) -> Option<u64>;
+
+    /// Correct a reported false positive: `hit` matched `query_key`, but
+    /// the reverse map showed the fingerprint really belongs to
+    /// `stored_key`. Returns a filter-specific count of the work done
+    /// (extension chunks added, selectors advanced).
+    fn adapt(
+        &mut self,
+        hit: &Self::Hit,
+        stored_key: u64,
+        query_key: u64,
+    ) -> Result<u32, FilterError>;
+}
+
+/// Recording of the reverse-map operations a *location-keyed* adaptive
+/// filter (ACF, TQF) performs, for replay against a real database
+/// (paper §6.4) and for the Table 2 traffic counters.
+pub trait MapEventSource {
+    /// Enable recording of reverse-map operations for system-level replay.
+    fn set_event_recording(&mut self, on: bool);
+
+    /// Drain recorded reverse-map operations (in execution order).
+    fn take_events(&mut self) -> Vec<MapEvent>;
+
+    /// Reverse-map traffic counters (paper Table 2).
+    fn map_stats(&self) -> MapStats;
 }
 
 /// A reverse-map operation a location-keyed adaptive filter (ACF, TQF)

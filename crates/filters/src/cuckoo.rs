@@ -9,7 +9,7 @@ use aqf::FilterError;
 use aqf_bits::hash::mix64;
 use aqf_bits::PackedVec;
 
-use crate::common::Filter;
+use crate::common::AmqFilter;
 
 /// Slots per bucket (the paper's configuration).
 pub const BUCKET_SLOTS: usize = 4;
@@ -160,7 +160,7 @@ impl CuckooFilter {
     }
 }
 
-impl Filter for CuckooFilter {
+impl AmqFilter for CuckooFilter {
     fn insert(&mut self, key: u64) -> Result<(), FilterError> {
         let tag = self.tag(key);
         let b1 = self.bucket1(key);
@@ -181,12 +181,24 @@ impl Filter for CuckooFilter {
         false
     }
 
+    fn len(&self) -> u64 {
+        self.items
+    }
+
     fn size_in_bytes(&self) -> usize {
         self.table.heap_size_bytes()
     }
 
     fn name(&self) -> &'static str {
         "CF"
+    }
+
+    fn supports_delete(&self) -> bool {
+        true
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        Ok(CuckooFilter::delete(self, key))
     }
 }
 

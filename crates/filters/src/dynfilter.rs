@@ -1,0 +1,618 @@
+//! Object-safe filter layer: one `Box<dyn DynFilter>` type that any
+//! filter — adaptive or not, internal or external reverse map — hides
+//! behind, so benchmarks and the storage system dispatch dynamically
+//! instead of matching on closed enums.
+//!
+//! [`DynFilter`] folds the two trait levels ([`AmqFilter`],
+//! [`AdaptiveFilter`]) into one dynamic interface with two usage modes:
+//!
+//! - **Standalone** (benchmarks): [`DynFilter::query_adapting`] resolves
+//!   reported false positives through the filter's own shadow state (an
+//!   internal key array for ACF/TQF, a bundled [`aqf::ShadowMap`] for the
+//!   AQF wrappers) — the paper's §6.3 microbenchmark protocol.
+//! - **System** (`aqf-storage`'s `FilteredDb`): after
+//!   [`DynFilter::set_system_mode`], inserts return an [`InsertPlan`]
+//!   describing the database/reverse-map writes the filter requires, and
+//!   positive queries expose a store key ([`DynFilter::query_loc`]) the
+//!   system reads and, on a refuted match, feeds back via
+//!   [`DynFilter::adapt_loc`].
+//!
+//! Four wrappers cover every filter in the workspace: [`PlainDyn`] (any
+//! [`AmqFilter`]), [`LocDyn`] (internal-map adaptive filters: ACF, TQF),
+//! [`AqfDyn`], and [`ShardedAqfDyn`] (external-map AQF variants). Adding
+//! a new filter means implementing the traits and picking — or writing —
+//! a wrapper; no enum to extend.
+
+use aqf::{AdaptiveQf, AqfConfig, FilterError, Hit, QueryResult, ShadowMap, ShardedAqf};
+
+use crate::aqf_impls::ShardedHit;
+use crate::common::{AdaptiveFilter, Adaptivity, AmqFilter, MapEvent, MapEventSource, MapStats};
+
+/// How a filter keys the database records backing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keying {
+    /// Records live under the original key; positives are verified with
+    /// `get(key)` (non-adaptive baselines, yes/no filter).
+    Key,
+    /// Records live under a filter-issued store key (fingerprint
+    /// coordinates or physical location); positives are verified by
+    /// reading [`DynFilter::query_loc`]'s key and comparing the stored
+    /// original key.
+    Location,
+}
+
+/// The database / reverse-map writes a successful insert requires
+/// (system mode).
+#[derive(Clone, Debug)]
+pub enum InsertPlan {
+    /// Write the record under the original key.
+    AtKey,
+    /// Write the record under this store key. The AQF only ever appends,
+    /// so the key is fresh and no existing record moves (paper §4.2).
+    AtLoc(u64),
+    /// Replay these location-keyed operations in order, carrying the new
+    /// record through kick chains and shifts (ACF, TQF — paper §6.4).
+    Events(Vec<MapEvent>),
+}
+
+/// Object-safe filter interface; see the module docs.
+pub trait DynFilter {
+    /// Registry kind string this filter was built as (e.g. `"aqf"`).
+    fn kind(&self) -> &'static str;
+
+    /// Display name for benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// The filter's adaptivity class.
+    fn adaptivity(&self) -> Adaptivity;
+
+    /// Insert a key (standalone mode: shadow state is maintained).
+    fn insert(&mut self, key: u64) -> Result<(), FilterError>;
+
+    /// Approximate membership query without adaptation.
+    fn contains(&self, key: u64) -> bool;
+
+    /// Number of stored items.
+    fn len(&self) -> u64;
+
+    /// True if nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes used by the filter table (shadow state excluded).
+    fn size_in_bytes(&self) -> usize;
+
+    /// True if [`DynFilter::delete`] is supported.
+    fn supports_delete(&self) -> bool {
+        false
+    }
+
+    /// Delete one copy of `key` if supported; `Ok(true)` on removal.
+    fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        let _ = key;
+        Err(FilterError::InvalidConfig(
+            "this filter does not support deletion",
+        ))
+    }
+
+    /// Query with adaptation on false positives, resolving stored keys
+    /// through the filter's internal shadow state (the paper's §6.3
+    /// microbenchmark setting). Returns true if the filter answered
+    /// positive. Non-adaptive filters just answer.
+    fn query_adapting(&mut self, key: u64) -> bool {
+        self.contains(key)
+    }
+
+    // ------------------------------------------------------------------
+    // System integration (FilteredDb)
+    // ------------------------------------------------------------------
+
+    /// How this filter keys its database records.
+    fn keying(&self) -> Keying {
+        Keying::Key
+    }
+
+    /// Switch between standalone and system mode: in system mode the
+    /// backing database is the reverse map, so internal shadow upkeep is
+    /// disabled and (for location-keyed filters) event recording enabled.
+    fn set_system_mode(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Insert returning the database writes required (system mode).
+    fn insert_tracked(&mut self, key: u64) -> Result<InsertPlan, FilterError> {
+        self.insert(key).map(|()| InsertPlan::AtKey)
+    }
+
+    /// Store key of the record verifying a positive query (`None` =
+    /// filter negative). Only meaningful for [`Keying::Location`] filters.
+    fn query_loc(&self, key: u64) -> Option<u64> {
+        let _ = key;
+        None
+    }
+
+    /// Adapt after the database refuted the match at `loc`:
+    /// the record there belongs to `stored_key`, not `query_key`.
+    fn adapt_loc(&mut self, loc: u64, stored_key: u64, query_key: u64) -> Result<(), FilterError> {
+        let _ = (loc, stored_key, query_key);
+        Err(FilterError::NotFound)
+    }
+
+    /// True if the filter supports the paper's *split* reverse-map setup
+    /// (fingerprint→key map separate from the key→value database).
+    fn supports_split_map(&self) -> bool {
+        false
+    }
+
+    /// Reverse-map traffic counters, if the filter tracks them
+    /// (paper Table 2).
+    fn map_stats(&self) -> Option<MapStats> {
+        None
+    }
+
+    /// Bits consumed by adaptation so far (extension slots for the AQF;
+    /// 0 for selector-based filters whose space is pre-allocated) —
+    /// the paper's Fig. 7 "added space" metric.
+    fn adapt_bits(&self) -> f64 {
+        0.0
+    }
+}
+
+// ----------------------------------------------------------------------
+// PlainDyn: any AmqFilter, no adaptation surface
+// ----------------------------------------------------------------------
+
+/// Wraps any [`AmqFilter`] as a [`DynFilter`] with no query-side
+/// adaptation (QF, CF, Bloom, cascading Bloom, yes/no filter).
+pub struct PlainDyn<F: AmqFilter> {
+    f: F,
+    kind: &'static str,
+}
+
+impl<F: AmqFilter> PlainDyn<F> {
+    /// Wrap `f` under the registry kind string `kind`.
+    pub fn new(kind: &'static str, f: F) -> Self {
+        Self { f, kind }
+    }
+
+    /// The wrapped filter.
+    pub fn inner(&self) -> &F {
+        &self.f
+    }
+}
+
+impl<F: AmqFilter> DynFilter for PlainDyn<F> {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn name(&self) -> &'static str {
+        self.f.name()
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        self.f.adaptivity()
+    }
+
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        self.f.insert(key)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.f.contains(key)
+    }
+
+    fn len(&self) -> u64 {
+        self.f.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.f.size_in_bytes()
+    }
+
+    fn supports_delete(&self) -> bool {
+        self.f.supports_delete()
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        self.f.delete(key)
+    }
+}
+
+// ----------------------------------------------------------------------
+// LocDyn: adaptive filters with an internal (shadow) reverse map
+// ----------------------------------------------------------------------
+
+/// Wraps an adaptive filter whose reverse map is internal and
+/// location-keyed (ACF, TQF): stored keys resolve through the filter's
+/// own shadow array, and system mode records/replays [`MapEvent`]s.
+pub struct LocDyn<F: AdaptiveFilter + MapEventSource> {
+    f: F,
+    kind: &'static str,
+}
+
+impl<F: AdaptiveFilter + MapEventSource> LocDyn<F> {
+    /// Wrap `f` under the registry kind string `kind`.
+    pub fn new(kind: &'static str, f: F) -> Self {
+        Self { f, kind }
+    }
+
+    /// The wrapped filter.
+    pub fn inner(&self) -> &F {
+        &self.f
+    }
+}
+
+impl<F: AdaptiveFilter + MapEventSource> DynFilter for LocDyn<F> {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn name(&self) -> &'static str {
+        self.f.name()
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        self.f.adaptivity()
+    }
+
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        self.f.insert(key)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.f.contains(key)
+    }
+
+    fn len(&self) -> u64 {
+        self.f.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.f.size_in_bytes()
+    }
+
+    fn query_adapting(&mut self, key: u64) -> bool {
+        let Some(hit) = self.f.query_hit(key) else {
+            return false;
+        };
+        let stored = self
+            .f
+            .stored_key(&hit)
+            .expect("ACF/TQF-style filters resolve stored keys internally");
+        if stored != key {
+            let _ = self.f.adapt(&hit, stored, key);
+        }
+        true
+    }
+
+    fn keying(&self) -> Keying {
+        Keying::Location
+    }
+
+    fn set_system_mode(&mut self, on: bool) {
+        self.f.set_event_recording(on);
+    }
+
+    fn insert_tracked(&mut self, key: u64) -> Result<InsertPlan, FilterError> {
+        let r = self.f.insert(key);
+        // Drain even on failure so a failed insert's partial kick chain
+        // never leaks into the next operation's plan.
+        let events = self.f.take_events();
+        r.map(|()| InsertPlan::Events(events))
+    }
+
+    fn query_loc(&self, key: u64) -> Option<u64> {
+        self.f.query_hit(key).map(|h| self.f.store_key(&h))
+    }
+
+    fn adapt_loc(&mut self, loc: u64, stored_key: u64, query_key: u64) -> Result<(), FilterError> {
+        let hit = self.f.hit_at(loc);
+        self.f.adapt(&hit, stored_key, query_key)?;
+        // Adaptation records a map Get; the system just performed that
+        // read itself, so drop the event rather than replaying it.
+        let _ = self.f.take_events();
+        Ok(())
+    }
+
+    fn map_stats(&self) -> Option<MapStats> {
+        Some(self.f.map_stats())
+    }
+}
+
+// ----------------------------------------------------------------------
+// AqfDyn: the AdaptiveQF with a bundled shadow reverse map
+// ----------------------------------------------------------------------
+
+/// The [`AdaptiveQf`] behind [`DynFilter`]: standalone mode bundles a
+/// [`ShadowMap`] (the paper's simulated reverse map); system mode leaves
+/// map duty to the database and only reports fingerprint store keys.
+pub struct AqfDyn {
+    f: AdaptiveQf,
+    map: ShadowMap,
+    system_mode: bool,
+    map_inserts: u64,
+}
+
+impl AqfDyn {
+    /// Wrap an AdaptiveQF.
+    pub fn new(f: AdaptiveQf) -> Self {
+        Self {
+            f,
+            map: ShadowMap::new(),
+            system_mode: false,
+            map_inserts: 0,
+        }
+    }
+
+    /// Build from a config.
+    pub fn from_config(cfg: AqfConfig) -> Result<Self, FilterError> {
+        Ok(Self::new(AdaptiveQf::new(cfg)?))
+    }
+
+    /// The wrapped filter.
+    pub fn inner(&self) -> &AdaptiveQf {
+        &self.f
+    }
+}
+
+impl DynFilter for AqfDyn {
+    fn kind(&self) -> &'static str {
+        "aqf"
+    }
+
+    fn name(&self) -> &'static str {
+        AmqFilter::name(&self.f)
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::Strong
+    }
+
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        let out = AdaptiveQf::insert(&mut self.f, key)?;
+        self.map_inserts += 1;
+        if !self.system_mode {
+            self.map.record(&out, key);
+        }
+        Ok(())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        AdaptiveQf::contains(&self.f, key)
+    }
+
+    fn len(&self) -> u64 {
+        AdaptiveQf::len(&self.f)
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        AdaptiveQf::size_in_bytes(&self.f)
+    }
+
+    fn supports_delete(&self) -> bool {
+        true
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        match AdaptiveQf::delete(&mut self.f, key)? {
+            Some(out) => {
+                if !self.system_mode {
+                    self.map.remove(&out);
+                }
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn query_adapting(&mut self, key: u64) -> bool {
+        match self.f.query(key) {
+            QueryResult::Negative => false,
+            QueryResult::Positive(hit) => {
+                self.map.settle();
+                if let Some(stored) = self.map.get(hit.minirun_id, hit.rank) {
+                    if stored != key {
+                        let _ = AdaptiveQf::adapt(&mut self.f, &hit, stored, key);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn keying(&self) -> Keying {
+        Keying::Location
+    }
+
+    fn set_system_mode(&mut self, on: bool) {
+        self.system_mode = on;
+    }
+
+    fn insert_tracked(&mut self, key: u64) -> Result<InsertPlan, FilterError> {
+        let out = AdaptiveQf::insert(&mut self.f, key)?;
+        self.map_inserts += 1;
+        Ok(InsertPlan::AtLoc(aqf::revmap::pack_fingerprint_key(
+            out.minirun_id,
+            out.rank,
+        )))
+    }
+
+    fn query_loc(&self, key: u64) -> Option<u64> {
+        AdaptiveFilter::query_hit(&self.f, key).map(|h| AdaptiveFilter::store_key(&self.f, &h))
+    }
+
+    fn adapt_loc(&mut self, loc: u64, stored_key: u64, query_key: u64) -> Result<(), FilterError> {
+        let hit: Hit = AdaptiveFilter::hit_at(&self.f, loc);
+        AdaptiveQf::adapt(&mut self.f, &hit, stored_key, query_key).map(|_| ())
+    }
+
+    fn supports_split_map(&self) -> bool {
+        true
+    }
+
+    fn map_stats(&self) -> Option<MapStats> {
+        // The AQF's map sees exactly one insert per key and — because the
+        // filter only ever appends — is never updated or queried during
+        // inserts (paper §4.2).
+        Some(MapStats {
+            inserts: self.map_inserts,
+            updates: 0,
+            queries: 0,
+        })
+    }
+
+    fn adapt_bits(&self) -> f64 {
+        // Each extension slot holds rbits of hash chunk plus ~4 metadata
+        // bits (is_extension + used/runend bookkeeping).
+        self.f.stats().extension_slots as f64 * (self.f.config().rbits + 4) as f64
+    }
+}
+
+// ----------------------------------------------------------------------
+// ShardedAqfDyn: the partitioned AQF with per-shard shadow maps
+// ----------------------------------------------------------------------
+
+/// The [`ShardedAqf`] behind [`DynFilter`], with one [`ShadowMap`] per
+/// shard in standalone mode (shard-local minirun ids collide across
+/// shards, so one flat map would be ambiguous).
+pub struct ShardedAqfDyn {
+    f: ShardedAqf,
+    maps: Vec<ShadowMap>,
+    system_mode: bool,
+    map_inserts: u64,
+}
+
+impl ShardedAqfDyn {
+    /// Wrap a sharded AQF.
+    pub fn new(f: ShardedAqf) -> Self {
+        let maps = (0..f.shard_count()).map(|_| ShadowMap::new()).collect();
+        Self {
+            f,
+            maps,
+            system_mode: false,
+            map_inserts: 0,
+        }
+    }
+
+    /// The wrapped filter.
+    pub fn inner(&self) -> &ShardedAqf {
+        &self.f
+    }
+}
+
+impl DynFilter for ShardedAqfDyn {
+    fn kind(&self) -> &'static str {
+        "sharded-aqf"
+    }
+
+    fn name(&self) -> &'static str {
+        AmqFilter::name(&self.f)
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        Adaptivity::Strong
+    }
+
+    fn insert(&mut self, key: u64) -> Result<(), FilterError> {
+        let out = ShardedAqf::insert(&self.f, key)?;
+        self.map_inserts += 1;
+        if !self.system_mode {
+            self.maps[self.f.shard_of(key)].record(&out, key);
+        }
+        Ok(())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        ShardedAqf::contains(&self.f, key)
+    }
+
+    fn len(&self) -> u64 {
+        ShardedAqf::len(&self.f)
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        ShardedAqf::size_in_bytes(&self.f)
+    }
+
+    fn supports_delete(&self) -> bool {
+        true
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        match ShardedAqf::delete(&self.f, key)? {
+            Some(out) => {
+                if !self.system_mode {
+                    self.maps[self.f.shard_of(key)].remove(&out);
+                }
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn query_adapting(&mut self, key: u64) -> bool {
+        match self.f.query(key) {
+            QueryResult::Negative => false,
+            QueryResult::Positive(hit) => {
+                let map = &mut self.maps[self.f.shard_of(key)];
+                map.settle();
+                if let Some(stored) = map.get(hit.minirun_id, hit.rank) {
+                    if stored != key {
+                        let _ = ShardedAqf::adapt(&self.f, &hit, stored, key);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn keying(&self) -> Keying {
+        Keying::Location
+    }
+
+    fn set_system_mode(&mut self, on: bool) {
+        self.system_mode = on;
+    }
+
+    fn insert_tracked(&mut self, key: u64) -> Result<InsertPlan, FilterError> {
+        let out = ShardedAqf::insert(&self.f, key)?;
+        self.map_inserts += 1;
+        let hit = ShardedHit {
+            shard: self.f.shard_of(key),
+            hit: Hit {
+                minirun_id: out.minirun_id,
+                rank: out.rank,
+                ext_chunks: 0,
+            },
+        };
+        Ok(InsertPlan::AtLoc(AdaptiveFilter::store_key(&self.f, &hit)))
+    }
+
+    fn query_loc(&self, key: u64) -> Option<u64> {
+        AdaptiveFilter::query_hit(&self.f, key).map(|h| AdaptiveFilter::store_key(&self.f, &h))
+    }
+
+    fn adapt_loc(&mut self, loc: u64, stored_key: u64, query_key: u64) -> Result<(), FilterError> {
+        let hit: ShardedHit = AdaptiveFilter::hit_at(&self.f, loc);
+        AdaptiveFilter::adapt(&mut self.f, &hit, stored_key, query_key).map(|_| ())
+    }
+
+    fn supports_split_map(&self) -> bool {
+        true
+    }
+
+    fn map_stats(&self) -> Option<MapStats> {
+        Some(MapStats {
+            inserts: self.map_inserts,
+            updates: 0,
+            queries: 0,
+        })
+    }
+
+    fn adapt_bits(&self) -> f64 {
+        let cfg = *self.f.shard_config();
+        self.f.stats().extension_slots as f64 * (cfg.rbits + 4) as f64
+    }
+}

@@ -1,11 +1,24 @@
-//! Baseline filters for the AdaptiveQF evaluation (paper §6):
+//! Filters for the AdaptiveQF evaluation (paper §6), unified behind one
+//! trait hierarchy:
+//!
+//! - [`AmqFilter`] — base approximate-membership interface, implemented
+//!   by **every** filter here and by the `aqf` crate's
+//!   [`AdaptiveQf`](aqf::AdaptiveQf), [`ShardedAqf`](aqf::ShardedAqf),
+//!   and [`YesNoFilter`](aqf::YesNoFilter) (see [`mod@aqf_impls`]).
+//! - [`AdaptiveFilter`] — query-side adaptation: positive queries yield a
+//!   typed hit that can be fed back after the store refutes the match.
+//! - [`DynFilter`] — the object-safe layer over both, with a system-mode
+//!   protocol `aqf-storage`'s `FilteredDb` drives.
+//! - [`registry`] — string-keyed construction
+//!   ([`FilterSpec`] → `Box<dyn DynFilter>`) behind every benchmark
+//!   binary's `--filter=<kind>` flag.
 //!
 //! | Type | Paper role | Adaptive? |
 //! |------|-----------|-----------|
 //! | [`QuotientFilter`] | QF baseline (Pandey et al.) | no |
 //! | [`CuckooFilter`] | CF baseline (Fan et al.) | no |
 //! | [`AdaptiveCuckooFilter`] | ACF (Mitzenmacher et al.) | weakly |
-//! | [`TelescopingFilter`] | TQF (Lee et al.) | strongly |
+//! | [`TelescopingFilter`] | TQF (Lee et al.) | weakly |
 //! | [`BloomFilter`] | classic baseline | no |
 //! | [`CascadingBloomFilter`] | CRLite-style yes/no lists | static |
 //!
@@ -21,17 +34,25 @@
 #![warn(missing_docs)]
 
 pub mod acf;
+pub mod aqf_impls;
 pub mod bloom;
 pub mod cascading;
 pub mod common;
 pub mod cuckoo;
+pub mod dynfilter;
 pub mod quotient;
+pub mod registry;
 pub mod telescoping;
 
 pub use acf::AdaptiveCuckooFilter;
+pub use aqf_impls::ShardedHit;
 pub use bloom::BloomFilter;
 pub use cascading::CascadingBloomFilter;
-pub use common::{Filter, MapEvent, MapStats};
+pub use common::{
+    AdaptiveFilter, Adaptivity, AmqFilter, FilterError, MapEvent, MapEventSource, MapStats,
+};
 pub use cuckoo::CuckooFilter;
+pub use dynfilter::{AqfDyn, DynFilter, InsertPlan, Keying, LocDyn, PlainDyn, ShardedAqfDyn};
 pub use quotient::QuotientFilter;
+pub use registry::FilterSpec;
 pub use telescoping::TelescopingFilter;

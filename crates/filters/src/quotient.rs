@@ -10,7 +10,7 @@ use aqf_bits::hash::HashSeq;
 use aqf_bits::word::{bitmask, select_u64};
 use aqf_bits::{BitVec, PackedVec};
 
-use crate::common::Filter;
+use crate::common::AmqFilter;
 
 /// A plain (non-adaptive) quotient filter.
 #[derive(Clone, Debug)]
@@ -134,7 +134,7 @@ impl QuotientFilter {
     }
 }
 
-impl Filter for QuotientFilter {
+impl AmqFilter for QuotientFilter {
     fn insert(&mut self, key: u64) -> Result<(), FilterError> {
         let (hq, hr) = self.split(key);
         if !self.used.get(hq) {
@@ -188,6 +188,10 @@ impl Filter for QuotientFilter {
             }
         }
         false
+    }
+
+    fn len(&self) -> u64 {
+        self.items
     }
 
     fn size_in_bytes(&self) -> usize {

@@ -1,0 +1,264 @@
+//! String-keyed filter registry: a [`FilterSpec`] names a filter kind and
+//! its geometry; [`build`] turns it into a ready [`DynFilter`].
+//!
+//! This is the single place a new filter has to be added for every
+//! benchmark binary's `--filter=<kind>` flag, the conformance test
+//! suite, and `aqf-storage`'s `FilteredDb` to pick it up.
+//!
+//! All kinds share one slot budget convention (the paper's §6.2 setup):
+//! `2^qbits` slots at ≈`2^-rbits` false-positive rate. QF-family filters
+//! take `rbits`-bit remainders; CF-family filters take `tag_bits`-bit
+//! tags in 4-slot buckets (so `2^(qbits-2)` buckets); the Bloom baseline
+//! is sized for 90% of the slot budget at the same ε.
+//!
+//! ```
+//! use aqf_filters::registry::{self, FilterSpec};
+//!
+//! for kind in ["aqf", "qf", "tqf"] {
+//!     let mut f = registry::build(&FilterSpec::new(kind, 10)).unwrap();
+//!     for k in 0..500u64 {
+//!         f.insert(k).unwrap();
+//!     }
+//!     assert!((0..500u64).all(|k| f.contains(k)), "{kind} lost a key");
+//! }
+//! ```
+
+use aqf::{AdaptiveQf, AqfConfig, FilterError, ShardedAqf, YesNoFilter};
+
+use crate::acf::AdaptiveCuckooFilter;
+use crate::bloom::BloomFilter;
+use crate::cascading::CascadingBloomFilter;
+use crate::cuckoo::CuckooFilter;
+use crate::dynfilter::{AqfDyn, DynFilter, LocDyn, PlainDyn, ShardedAqfDyn};
+use crate::quotient::QuotientFilter;
+use crate::telescoping::TelescopingFilter;
+
+/// A buildable filter description: kind string plus shared geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilterSpec {
+    /// Registry kind (see [`kinds`]): `"aqf"`, `"sharded-aqf"`,
+    /// `"yesno"`, `"tqf"`, `"acf"`, `"qf"`, `"cf"`, `"bloom"`, `"cbf"`.
+    pub kind: String,
+    /// log2 of the common slot budget.
+    pub qbits: u32,
+    /// Remainder bits for QF-family kinds; also sets the Bloom baseline's
+    /// ε = `2^-rbits`. Default 9 (the paper's ε ≈ 2^-9).
+    pub rbits: u32,
+    /// Tag bits for CF-family kinds (CF, ACF). Default 12 (the paper's
+    /// 12-bit tags: ε ≈ 8·2^-12 ≈ 2^-9).
+    pub tag_bits: u32,
+    /// Hash seed.
+    pub seed: u64,
+    /// log2 shard count for `"sharded-aqf"` (must be < `qbits`).
+    /// Default 3.
+    pub shard_bits: u32,
+}
+
+impl FilterSpec {
+    /// A spec with the paper's default geometry at `2^qbits` slots.
+    pub fn new(kind: impl Into<String>, qbits: u32) -> Self {
+        Self {
+            kind: kind.into(),
+            qbits,
+            rbits: 9,
+            tag_bits: 12,
+            seed: 1,
+            shard_bits: 3,
+        }
+    }
+
+    /// Set the remainder width (QF-family ε = `2^-rbits`).
+    pub fn with_rbits(mut self, rbits: u32) -> Self {
+        self.rbits = rbits;
+        self
+    }
+
+    /// Set the tag width (CF-family).
+    pub fn with_tag_bits(mut self, tag_bits: u32) -> Self {
+        self.tag_bits = tag_bits;
+        self
+    }
+
+    /// Set the hash seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the shard count (log2) for `"sharded-aqf"`.
+    pub fn with_shard_bits(mut self, shard_bits: u32) -> Self {
+        self.shard_bits = shard_bits;
+        self
+    }
+
+    /// The [`AqfConfig`] equivalent of this spec (AQF-family kinds).
+    pub fn aqf_config(&self) -> AqfConfig {
+        AqfConfig::new(self.qbits, self.rbits).with_seed(self.seed)
+    }
+
+    /// Build the filter ([`build`]).
+    pub fn build(&self) -> Result<Box<dyn DynFilter>, FilterError> {
+        build(self)
+    }
+}
+
+/// One registered filter kind.
+struct KindEntry {
+    name: &'static str,
+    summary: &'static str,
+    build: fn(&FilterSpec) -> Result<Box<dyn DynFilter>, FilterError>,
+}
+
+/// CF-family bucket count: 4-slot buckets over the same slot budget.
+fn bucket_bits(spec: &FilterSpec) -> Result<u32, FilterError> {
+    spec.qbits
+        .checked_sub(2)
+        .filter(|&b| b > 0)
+        .ok_or(FilterError::InvalidConfig(
+            "cuckoo-family kinds need qbits >= 3",
+        ))
+}
+
+static KINDS: &[KindEntry] = &[
+    KindEntry {
+        name: "aqf",
+        summary: "AdaptiveQF (paper §4): strongly, monotonically adaptive",
+        build: |s| Ok(Box::new(AqfDyn::new(AdaptiveQf::new(s.aqf_config())?))),
+    },
+    KindEntry {
+        name: "sharded-aqf",
+        summary: "Partitioned thread-safe AdaptiveQF (paper §6.3, Fig. 4)",
+        build: |s| {
+            Ok(Box::new(ShardedAqfDyn::new(ShardedAqf::new(
+                s.aqf_config(),
+                s.shard_bits,
+            )?)))
+        },
+    },
+    KindEntry {
+        name: "yesno",
+        summary: "Dynamic yes/no-list AQF (paper §4.3); insert = yes-list",
+        build: |s| {
+            Ok(Box::new(PlainDyn::new(
+                "yesno",
+                YesNoFilter::with_config(s.aqf_config())?,
+            )))
+        },
+    },
+    KindEntry {
+        name: "tqf",
+        summary: "Telescoping QF (Lee et al.): selector-based, weakly adaptive",
+        build: |s| {
+            Ok(Box::new(LocDyn::new(
+                "tqf",
+                TelescopingFilter::new(s.qbits, s.rbits, s.seed)?,
+            )))
+        },
+    },
+    KindEntry {
+        name: "acf",
+        summary: "Adaptive cuckoo filter (Mitzenmacher et al.): weakly adaptive",
+        build: |s| {
+            Ok(Box::new(LocDyn::new(
+                "acf",
+                AdaptiveCuckooFilter::new(bucket_bits(s)?, s.tag_bits, s.seed)?,
+            )))
+        },
+    },
+    KindEntry {
+        name: "qf",
+        summary: "Plain quotient filter (Pandey et al.): non-adaptive baseline",
+        build: |s| {
+            Ok(Box::new(PlainDyn::new(
+                "qf",
+                QuotientFilter::new(s.qbits, s.rbits, s.seed)?,
+            )))
+        },
+    },
+    KindEntry {
+        name: "cf",
+        summary: "Cuckoo filter (Fan et al.): non-adaptive baseline",
+        build: |s| {
+            Ok(Box::new(PlainDyn::new(
+                "cf",
+                CuckooFilter::new(bucket_bits(s)?, s.tag_bits, s.seed)?,
+            )))
+        },
+    },
+    KindEntry {
+        name: "bloom",
+        summary: "Classic Bloom filter sized for 90% of the slot budget",
+        build: |s| {
+            let n = ((1u64 << s.qbits) as f64 * 0.9) as usize;
+            Ok(Box::new(PlainDyn::new(
+                "bloom",
+                BloomFilter::for_capacity(n, 0.5f64.powi(s.rbits as i32), s.seed)?,
+            )))
+        },
+    },
+    KindEntry {
+        name: "cbf",
+        summary: "Cascading Bloom filter (CRLite): static yes/no baseline",
+        build: |s| {
+            Ok(Box::new(PlainDyn::new(
+                "cbf",
+                CascadingBloomFilter::new(s.seed),
+            )))
+        },
+    },
+];
+
+/// All registered kind strings, in display order.
+pub fn kinds() -> Vec<&'static str> {
+    KINDS.iter().map(|k| k.name).collect()
+}
+
+/// The five kinds the paper's main figures compare, adaptive first.
+pub fn paper_kinds() -> &'static [&'static str] {
+    &["aqf", "tqf", "acf", "qf", "cf"]
+}
+
+/// One-line description of a kind, if registered.
+pub fn describe(kind: &str) -> Option<&'static str> {
+    KINDS.iter().find(|k| k.name == kind).map(|k| k.summary)
+}
+
+/// Build a filter from a spec. Unknown kinds are
+/// [`FilterError::InvalidConfig`]; see [`kinds`] for the valid set.
+pub fn build(spec: &FilterSpec) -> Result<Box<dyn DynFilter>, FilterError> {
+    let entry = KINDS
+        .iter()
+        .find(|k| k.name == spec.kind)
+        .ok_or(FilterError::InvalidConfig(
+            "unknown filter kind (see aqf_filters::registry::kinds())",
+        ))?;
+    (entry.build)(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_reports_its_kind() {
+        for kind in kinds() {
+            let f = build(&FilterSpec::new(kind, 10)).unwrap_or_else(|e| {
+                panic!("kind {kind} failed to build: {e}");
+            });
+            assert_eq!(f.kind(), kind);
+            assert!(!f.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        assert!(build(&FilterSpec::new("nope", 10)).is_err());
+    }
+
+    #[test]
+    fn paper_kinds_are_registered() {
+        for kind in paper_kinds() {
+            assert!(kinds().contains(kind), "{kind} missing from registry");
+        }
+    }
+}

@@ -24,7 +24,7 @@ use aqf_bits::hash::HashSeq;
 use aqf_bits::word::{bitmask, select_u64};
 use aqf_bits::{BitVec, PackedVec};
 
-use crate::common::{Filter, MapEvent, MapStats};
+use crate::common::{AdaptiveFilter, Adaptivity, AmqFilter, MapEvent, MapEventSource, MapStats};
 
 const SELECTOR_BITS: u32 = 2;
 
@@ -252,7 +252,7 @@ impl TelescopingFilter {
     }
 }
 
-impl Filter for TelescopingFilter {
+impl AmqFilter for TelescopingFilter {
     fn insert(&mut self, key: u64) -> Result<(), FilterError> {
         let hq = self.quotient(key);
         let rem = self.window(key, 0);
@@ -288,6 +288,10 @@ impl Filter for TelescopingFilter {
         self.query_slot(key).is_some()
     }
 
+    fn len(&self) -> u64 {
+        self.items
+    }
+
     fn size_in_bytes(&self) -> usize {
         self.occupieds.heap_size_bytes()
             + self.runends.heap_size_bytes()
@@ -297,6 +301,60 @@ impl Filter for TelescopingFilter {
 
     fn name(&self) -> &'static str {
         "TQF"
+    }
+
+    fn adaptivity(&self) -> Adaptivity {
+        // Strongly adaptive while selectors last, but the fixed 2-bit
+        // selector wraps, so fixes are not permanent in general.
+        Adaptivity::Weak
+    }
+}
+
+impl AdaptiveFilter for TelescopingFilter {
+    type Hit = TqfHit;
+
+    fn query_hit(&self, key: u64) -> Option<TqfHit> {
+        self.query_slot(key)
+    }
+
+    fn store_key(&self, hit: &TqfHit) -> u64 {
+        hit.slot as u64
+    }
+
+    fn hit_at(&self, store_key: u64) -> TqfHit {
+        TqfHit {
+            slot: store_key as usize,
+        }
+    }
+
+    fn stored_key(&self, hit: &TqfHit) -> Option<u64> {
+        Some(self.keys[hit.slot])
+    }
+
+    fn adapt(
+        &mut self,
+        hit: &TqfHit,
+        _stored_key: u64,
+        _query_key: u64,
+    ) -> Result<u32, FilterError> {
+        // The TQF swaps in the stored key's next hash window from its
+        // internal shadow map; the caller-resolved keys are not needed.
+        TelescopingFilter::adapt(self, hit);
+        Ok(1)
+    }
+}
+
+impl MapEventSource for TelescopingFilter {
+    fn set_event_recording(&mut self, on: bool) {
+        TelescopingFilter::set_event_recording(self, on);
+    }
+
+    fn take_events(&mut self) -> Vec<MapEvent> {
+        TelescopingFilter::take_events(self)
+    }
+
+    fn map_stats(&self) -> MapStats {
+        TelescopingFilter::map_stats(self)
     }
 }
 

@@ -1,0 +1,154 @@
+//! Generic trait-conformance suite, run over every registry kind: the
+//! contracts any filter must honor to be interchangeable in the paper's
+//! evaluation harness, regardless of implementation.
+//!
+//! - no false negatives after insert,
+//! - `len()` tracks inserts (and deletes, where supported),
+//! - `size_in_bytes() > 0` once built,
+//! - standalone `query_adapting` never disturbs members,
+//! - strongly adaptive kinds: an adapted query **never fires again**
+//!   (monotonicity),
+//! - kind metadata (registry string, adaptivity class) is consistent.
+
+use aqf_filters::registry::{self, FilterSpec};
+use aqf_filters::{Adaptivity, DynFilter};
+
+const QBITS: u32 = 12;
+const N: u64 = 2000;
+
+fn build(kind: &str) -> Box<dyn DynFilter> {
+    FilterSpec::new(kind, QBITS)
+        .with_seed(21)
+        .build()
+        .unwrap_or_else(|e| panic!("{kind}: build failed: {e}"))
+}
+
+fn member(i: u64) -> u64 {
+    i * 2654435761 % (1 << 40)
+}
+
+fn fill(f: &mut dyn DynFilter) {
+    for i in 0..N {
+        f.insert(member(i))
+            .unwrap_or_else(|e| panic!("{}: insert {i} failed: {e}", f.kind()));
+    }
+}
+
+#[test]
+fn no_false_negatives_after_insert() {
+    for kind in registry::kinds() {
+        let mut f = build(kind);
+        fill(f.as_mut());
+        for i in 0..N {
+            assert!(f.contains(member(i)), "{kind}: false negative at {i}");
+        }
+    }
+}
+
+#[test]
+fn len_tracks_inserts_and_size_is_positive() {
+    for kind in registry::kinds() {
+        let mut f = build(kind);
+        assert!(f.is_empty(), "{kind}: fresh filter not empty");
+        fill(f.as_mut());
+        assert_eq!(f.len(), N, "{kind}: len after {N} inserts");
+        assert!(f.size_in_bytes() > 0, "{kind}: zero-size table");
+    }
+}
+
+#[test]
+fn delete_where_supported_updates_len_and_membership_survives() {
+    for kind in registry::kinds() {
+        let mut f = build(kind);
+        fill(f.as_mut());
+        if !f.supports_delete() {
+            assert!(
+                f.delete(member(0)).is_err(),
+                "{kind}: delete must error when unsupported"
+            );
+            continue;
+        }
+        for i in 0..N / 2 {
+            let removed = f
+                .delete(member(i))
+                .unwrap_or_else(|e| panic!("{kind}: delete {i} failed: {e}"));
+            assert!(removed, "{kind}: member {i} not found for delete");
+        }
+        assert_eq!(f.len(), N / 2, "{kind}: len after deletes");
+        // Remaining members must still answer positive.
+        for i in N / 2..N {
+            assert!(f.contains(member(i)), "{kind}: lost member {i} on delete");
+        }
+    }
+}
+
+#[test]
+fn query_adapting_never_disturbs_members() {
+    for kind in registry::kinds() {
+        let mut f = build(kind);
+        fill(f.as_mut());
+        // Hammer with absent keys, adapting all the way.
+        for p in 0..200_000u64 {
+            let _ = f.query_adapting((1 << 41) + p * 7919);
+        }
+        for i in 0..N {
+            assert!(
+                f.contains(member(i)),
+                "{kind}: member {i} lost to adaptation"
+            );
+        }
+    }
+}
+
+#[test]
+fn strong_adaptivity_is_monotone() {
+    // For strongly adaptive kinds: once query_adapting reported (and
+    // fixed) a false positive, the same query must never fire again.
+    for kind in registry::kinds() {
+        let f = build(kind);
+        if f.adaptivity() != Adaptivity::Strong {
+            continue;
+        }
+        let mut f = build(kind);
+        fill(f.as_mut());
+        let mut fixed = Vec::new();
+        for p in 0..500_000u64 {
+            let probe = (1 << 41) + p * 104_729;
+            // Each adapting round fixes the *first* matching fingerprint;
+            // a minirun can hold several, so drive the query negative the
+            // way a deployed system would (one verification per round).
+            let mut rounds = 0;
+            while f.query_adapting(probe) {
+                rounds += 1;
+                assert!(rounds < 64, "{kind}: query {probe} failed to separate");
+            }
+            if rounds > 0 {
+                fixed.push(probe);
+            }
+        }
+        assert!(
+            !fixed.is_empty(),
+            "{kind}: no false positives in 500K probes — test is vacuous"
+        );
+        for &probe in &fixed {
+            assert!(
+                !f.contains(probe),
+                "{kind}: adapted query {probe} fired again"
+            );
+        }
+    }
+}
+
+#[test]
+fn kind_and_adaptivity_metadata_consistent() {
+    for kind in registry::kinds() {
+        let f = build(kind);
+        assert_eq!(f.kind(), kind);
+        assert!(registry::describe(kind).is_some());
+        match kind {
+            "aqf" | "sharded-aqf" => assert_eq!(f.adaptivity(), Adaptivity::Strong, "{kind}"),
+            "tqf" | "acf" => assert_eq!(f.adaptivity(), Adaptivity::Weak, "{kind}"),
+            _ => assert_eq!(f.adaptivity(), Adaptivity::None, "{kind}"),
+        }
+    }
+}

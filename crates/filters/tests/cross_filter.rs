@@ -2,13 +2,13 @@
 //! contracts, and capacity behaviour shared by all baselines.
 
 use aqf_filters::{
-    AdaptiveCuckooFilter, BloomFilter, CascadingBloomFilter, CuckooFilter, Filter, QuotientFilter,
-    TelescopingFilter,
+    AdaptiveCuckooFilter, AmqFilter, BloomFilter, CascadingBloomFilter, CuckooFilter,
+    QuotientFilter, TelescopingFilter,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-fn fill_and_check(f: &mut dyn Filter, n: u64, tag: &str) {
+fn fill_and_check(f: &mut dyn AmqFilter, n: u64, tag: &str) {
     for k in 0..n {
         f.insert(k * 2654435761 % (1 << 40)).unwrap();
     }
@@ -45,7 +45,7 @@ fn fpr_statistically_consistent_across_filters() {
         .map(|_| rng.random_range(1 << 41..u64::MAX))
         .collect();
 
-    let mut filters: Vec<(&str, Box<dyn Filter>)> = vec![
+    let mut filters: Vec<(&str, Box<dyn AmqFilter>)> = vec![
         ("qf", Box::new(QuotientFilter::new(12, 9, 2).unwrap())),
         ("cf", Box::new(CuckooFilter::new(10, 12, 2).unwrap())),
         (
@@ -72,8 +72,8 @@ fn acf_and_tqf_fix_and_refind_members_under_heavy_adaptation() {
     let mut tqf = TelescopingFilter::new(11, 8, 3).unwrap();
     let members: Vec<u64> = (0..1500).collect();
     for &k in &members {
-        Filter::insert(&mut acf, k).unwrap();
-        Filter::insert(&mut tqf, k).unwrap();
+        AmqFilter::insert(&mut acf, k).unwrap();
+        AmqFilter::insert(&mut tqf, k).unwrap();
     }
     let mut rng = StdRng::seed_from_u64(9);
     // Hammer both with false-positive fixes.
@@ -143,7 +143,7 @@ fn map_stats_zero_until_pressure() {
     // At low load neither kicks nor shifts should be needed.
     let mut acf = AdaptiveCuckooFilter::new(10, 12, 6).unwrap();
     for k in 0..100u64 {
-        Filter::insert(&mut acf, k).unwrap();
+        AmqFilter::insert(&mut acf, k).unwrap();
     }
     assert_eq!(acf.map_stats().queries, 0, "no kicks at 2% load");
     assert_eq!(acf.map_stats().updates, 0);

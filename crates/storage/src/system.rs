@@ -1,67 +1,42 @@
 //! The composed system the paper benchmarks (§6.4): an in-memory filter in
 //! front of an on-disk B-tree database.
 //!
-//! - **Non-adaptive filters (QF, CF)**: the database maps original keys to
-//!   values. A positive filter query triggers one database lookup; a miss
-//!   there is a false positive that *cannot be fixed*.
-//! - **AdaptiveQF**: the database doubles as the reverse map (*merged*
-//!   setup, §4.2): it maps `(minirun id, rank)` to `(original key, value)`.
-//!   Because the AQF adapts by appending — never moving fingerprints or
-//!   re-deriving them — no map entry is ever touched after its insert.
-//!   The *split* setup keeps a separate key→value database (preserving
-//!   range queries) at the cost of a second write per insert (Table 3).
-//! - **ACF / TQF**: their reverse maps are location-keyed; kicks and Robin
-//!   Hood shifts physically relocate map entries. The filters record those
-//!   operations as [`MapEvent`]s, which the system replays against the
+//! [`FilteredDb`] consumes any [`DynFilter`] (built directly or via
+//! `aqf_filters::registry`) and drives it through the trait's system-mode
+//! protocol, with no per-filter dispatch:
+//!
+//! - **Key-keyed filters** (QF, CF, Bloom, yes/no): the database maps
+//!   original keys to values. A positive filter query triggers one
+//!   database lookup; a miss there is a false positive that — for
+//!   non-adaptive filters — *cannot be fixed*.
+//! - **AdaptiveQF (and its sharded variant)**: inserts return an
+//!   [`InsertPlan::AtLoc`] fingerprint key, and the database doubles as
+//!   the reverse map (*merged* setup, §4.2). Because the AQF adapts by
+//!   appending — never moving fingerprints or re-deriving them — no map
+//!   entry is ever touched after its insert. The *split* setup keeps a
+//!   separate key→value database (preserving range queries) at the cost
+//!   of a second write per insert (Table 3).
+//! - **ACF / TQF**: their reverse maps are location-keyed; kicks and
+//!   Robin Hood shifts physically relocate map entries. Inserts return an
+//!   [`InsertPlan::Events`] trace, which the system replays against the
 //!   B-tree — reproducing the insert-time collapse of paper Fig. 5.
+//!
+//! On a refuted positive, adaptive filters get the stored/query key pair
+//! back through [`DynFilter::adapt_loc`]; strongly adaptive filters loop
+//! until the query is verified either way (adaptation guarantees
+//! progress), weakly adaptive ones for a bounded number of rounds (their
+//! selectors cycle, so separation is not guaranteed).
 
-use aqf::{AdaptiveQf, AqfConfig, FilterError, QueryResult};
-use aqf_filters::{
-    AdaptiveCuckooFilter, CuckooFilter, Filter, MapEvent, QuotientFilter, TelescopingFilter,
-};
+use aqf::{AdaptiveQf, AqfConfig, FilterError};
+use aqf_filters::{Adaptivity, AqfDyn, DynFilter, InsertPlan, Keying, MapEvent};
 use std::path::Path;
 
 use crate::btree::BTreeStore;
 use crate::pager::{IoPolicy, IoStats};
-use crate::revmap::pack_fingerprint_key;
 
-/// Which filter fronts the database.
-pub enum SystemFilter {
-    /// AdaptiveQF (strongly adaptive).
-    Aqf(Box<AdaptiveQf>),
-    /// Plain quotient filter.
-    Qf(Box<QuotientFilter>),
-    /// Cuckoo filter.
-    Cf(Box<CuckooFilter>),
-    /// Adaptive cuckoo filter.
-    Acf(Box<AdaptiveCuckooFilter>),
-    /// Telescoping quotient filter.
-    Tqf(Box<TelescopingFilter>),
-}
-
-impl SystemFilter {
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            SystemFilter::Aqf(_) => "AQF",
-            SystemFilter::Qf(_) => "QF",
-            SystemFilter::Cf(_) => "CF",
-            SystemFilter::Acf(_) => "ACF",
-            SystemFilter::Tqf(_) => "TQF",
-        }
-    }
-
-    /// Filter table bytes.
-    pub fn size_in_bytes(&self) -> usize {
-        match self {
-            SystemFilter::Aqf(f) => f.size_in_bytes(),
-            SystemFilter::Qf(f) => f.size_in_bytes(),
-            SystemFilter::Cf(f) => f.size_in_bytes(),
-            SystemFilter::Acf(f) => f.size_in_bytes(),
-            SystemFilter::Tqf(f) => f.size_in_bytes(),
-        }
-    }
-}
+/// Bounded adapt-and-retry rounds for weakly adaptive filters (their
+/// selectors cycle, so a query may never fully separate).
+const WEAK_ADAPT_ROUNDS: usize = 16;
 
 /// Reverse-map layout for the AdaptiveQF system (paper §4.2, Table 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,8 +66,9 @@ pub struct SystemStats {
 
 /// A filter-fronted on-disk key-value store.
 pub struct FilteredDb {
-    filter: SystemFilter,
-    /// Merged reverse map (adaptive) or key->value database (non-adaptive).
+    filter: Box<dyn DynFilter>,
+    /// Merged reverse map (location-keyed filters) or key->value database
+    /// (key-keyed filters).
     primary: BTreeStore,
     /// Key->value database in the split setup.
     split_db: Option<BTreeStore>,
@@ -102,9 +78,12 @@ pub struct FilteredDb {
 impl FilteredDb {
     /// Build a system around the given filter. `dir` holds the database
     /// files; `cache_pages` bounds the B-tree page cache; `policy` injects
-    /// artificial disk latency if desired.
+    /// artificial disk latency if desired. `revmap_mode` selects the
+    /// paper's merged vs split reverse-map setup; split is honored only
+    /// for filters that support it ([`DynFilter::supports_split_map`])
+    /// and silently degrades to merged otherwise.
     pub fn new(
-        filter: SystemFilter,
+        mut filter: Box<dyn DynFilter>,
         dir: &Path,
         cache_pages: usize,
         policy: IoPolicy,
@@ -112,20 +91,16 @@ impl FilteredDb {
     ) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let primary = BTreeStore::create(&dir.join("primary.db"), policy, cache_pages)?;
-        let split_db = match (&filter, revmap_mode) {
-            (SystemFilter::Aqf(_), RevMapMode::Split) => Some(BTreeStore::create(
+        let split_db = if revmap_mode == RevMapMode::Split && filter.supports_split_map() {
+            Some(BTreeStore::create(
                 &dir.join("values.db"),
                 policy,
                 cache_pages,
-            )?),
-            _ => None,
+            )?)
+        } else {
+            None
         };
-        let mut filter = filter;
-        match &mut filter {
-            SystemFilter::Acf(f) => f.set_event_recording(true),
-            SystemFilter::Tqf(f) => f.set_event_recording(true),
-            _ => {}
-        }
+        filter.set_system_mode(true);
         Ok(Self {
             filter,
             primary,
@@ -143,7 +118,7 @@ impl FilteredDb {
     ) -> std::io::Result<Self> {
         let f = AdaptiveQf::new(cfg).expect("valid config");
         Self::new(
-            SystemFilter::Aqf(Box::new(f)),
+            Box::new(AqfDyn::new(f)),
             dir,
             cache_pages,
             policy,
@@ -168,8 +143,8 @@ impl FilteredDb {
     }
 
     /// The filter.
-    pub fn filter(&self) -> &SystemFilter {
-        &self.filter
+    pub fn filter(&self) -> &dyn DynFilter {
+        self.filter.as_ref()
     }
 
     fn value_record(key: u64, value: &[u8]) -> Vec<u8> {
@@ -213,49 +188,24 @@ impl FilteredDb {
     /// Insert `key -> value`.
     pub fn insert(&mut self, key: u64, value: &[u8]) -> std::io::Result<Result<(), FilterError>> {
         self.stats.inserts += 1;
-        match &mut self.filter {
-            SystemFilter::Aqf(f) => {
-                let out = match f.insert(key) {
-                    Ok(o) => o,
-                    Err(e) => return Ok(Err(e)),
-                };
-                let fp_key = pack_fingerprint_key(out.minirun_id, out.rank);
-                match &mut self.split_db {
-                    None => {
-                        self.primary.put(fp_key, &Self::value_record(key, value))?;
-                    }
-                    Some(db) => {
-                        self.primary.put(fp_key, &key.to_le_bytes())?;
-                        db.put(key, value)?;
-                    }
-                }
-            }
-            SystemFilter::Qf(f) => {
-                if let Err(e) = f.insert(key) {
-                    return Ok(Err(e));
-                }
+        let plan = match self.filter.insert_tracked(key) {
+            Ok(p) => p,
+            Err(e) => return Ok(Err(e)),
+        };
+        match plan {
+            InsertPlan::AtKey => {
                 self.primary.put(key, value)?;
             }
-            SystemFilter::Cf(f) => {
-                if let Err(e) = f.insert(key) {
-                    return Ok(Err(e));
+            InsertPlan::AtLoc(fp_key) => match &mut self.split_db {
+                None => {
+                    self.primary.put(fp_key, &Self::value_record(key, value))?;
                 }
-                self.primary.put(key, value)?;
-            }
-            SystemFilter::Acf(f) => {
-                let r = f.insert(key);
-                let events = f.take_events();
-                if let Err(e) = r {
-                    return Ok(Err(e));
+                Some(db) => {
+                    self.primary.put(fp_key, &key.to_le_bytes())?;
+                    db.put(key, value)?;
                 }
-                Self::replay_events(&mut self.primary, &events, Self::value_record(key, value))?;
-            }
-            SystemFilter::Tqf(f) => {
-                let r = f.insert(key);
-                let events = f.take_events();
-                if let Err(e) = r {
-                    return Ok(Err(e));
-                }
+            },
+            InsertPlan::Events(events) => {
                 Self::replay_events(&mut self.primary, &events, Self::value_record(key, value))?;
             }
         }
@@ -264,131 +214,72 @@ impl FilteredDb {
 
     /// Query `key`, returning its value if (verified) present. False
     /// positives cost a database read and, for adaptive filters, trigger
-    /// adaptation so the same query never pays again.
+    /// adaptation so the same query never pays again (strong adaptivity)
+    /// or pays bounded retries (weak adaptivity).
     pub fn query(&mut self, key: u64) -> std::io::Result<Option<Vec<u8>>> {
         self.stats.queries += 1;
-        match &mut self.filter {
-            SystemFilter::Aqf(f) => {
-                // When miniruns hold several keys, the first matching
-                // fingerprint may belong to a *different* key; adapt it and
-                // re-query until the answer is verified either way. Each
-                // round costs one database read (a true false positive),
-                // and adaptation guarantees progress.
-                let mut first = true;
+        match self.filter.keying() {
+            Keying::Key => {
+                if !self.filter.contains(key) {
+                    self.stats.filter_negatives += 1;
+                    return Ok(None);
+                }
+                let got = self.primary.get(key)?;
+                if got.is_some() {
+                    self.stats.true_positives += 1;
+                } else {
+                    self.stats.false_positives += 1;
+                }
+                Ok(got)
+            }
+            Keying::Location => {
+                // Adapt-and-retry: when miniruns hold several keys, the
+                // first matching fingerprint may belong to a *different*
+                // key; adapt it and re-query until the answer is verified
+                // either way. Each round costs one database read (a true
+                // false positive). Strong adaptivity guarantees progress;
+                // weak adaptivity gets a bounded number of rounds.
+                let max_rounds = match self.filter.adaptivity() {
+                    Adaptivity::Strong => usize::MAX,
+                    Adaptivity::Weak => WEAK_ADAPT_ROUNDS,
+                    Adaptivity::None => 1,
+                };
+                let mut round = 0usize;
                 loop {
-                    match f.query(key) {
-                        QueryResult::Negative => {
-                            // Only a *first* negative means the query never
-                            // touched the store; post-adapt negatives ended
-                            // a false-positive round that already paid.
-                            if first {
-                                self.stats.filter_negatives += 1;
-                            }
-                            return Ok(None);
-                        }
-                        QueryResult::Positive(hit) => {
-                            let fp_key = pack_fingerprint_key(hit.minirun_id, hit.rank);
-                            let Some(rec) = self.primary.get(fp_key)? else {
-                                // Filter/DB divergence (should not happen).
-                                self.stats.false_positives += 1;
-                                return Ok(None);
-                            };
-                            let stored = u64::from_le_bytes(rec[..8].try_into().unwrap());
-                            if stored == key {
-                                self.stats.true_positives += 1;
-                                return match &mut self.split_db {
-                                    None => Ok(Some(rec[8..].to_vec())),
-                                    Some(db) => Ok(db.get(key)?),
-                                };
-                            }
-                            self.stats.false_positives += 1;
-                            match f.adapt(&hit, stored, key) {
-                                Ok(_) => self.stats.adapts += 1,
-                                // Full table or inseparable hashes: stop
-                                // trying; the query stays a false positive.
-                                Err(_) => return Ok(None),
-                            }
-                            first = false;
-                        }
-                    }
-                }
-            }
-            SystemFilter::Qf(f) => {
-                if !f.contains(key) {
-                    self.stats.filter_negatives += 1;
-                    return Ok(None);
-                }
-                let got = self.primary.get(key)?;
-                if got.is_some() {
-                    self.stats.true_positives += 1;
-                } else {
-                    self.stats.false_positives += 1;
-                }
-                Ok(got)
-            }
-            SystemFilter::Cf(f) => {
-                if !f.contains(key) {
-                    self.stats.filter_negatives += 1;
-                    return Ok(None);
-                }
-                let got = self.primary.get(key)?;
-                if got.is_some() {
-                    self.stats.true_positives += 1;
-                } else {
-                    self.stats.false_positives += 1;
-                }
-                Ok(got)
-            }
-            SystemFilter::Acf(f) => {
-                // Same adapt-and-retry loop, but bounded: the ACF's 2-bit
-                // selectors cycle, so separation is not guaranteed.
-                for round in 0..16 {
-                    let Some(hit) = f.query_slot(key) else {
+                    let Some(loc) = self.filter.query_loc(key) else {
+                        // Only a *first* negative means the query never
+                        // touched the store; post-adapt negatives ended a
+                        // false-positive round that already paid.
                         if round == 0 {
                             self.stats.filter_negatives += 1;
                         }
                         return Ok(None);
                     };
-                    let loc = hit.bucket * aqf_filters::acf::BUCKET_SLOTS + hit.slot;
-                    let Some(rec) = self.primary.get(loc as u64)? else {
+                    let Some(rec) = self.primary.get(loc)? else {
+                        // Filter/DB divergence (should not happen).
                         self.stats.false_positives += 1;
                         return Ok(None);
                     };
                     let stored = u64::from_le_bytes(rec[..8].try_into().unwrap());
                     if stored == key {
                         self.stats.true_positives += 1;
-                        return Ok(Some(rec[8..].to_vec()));
+                        return match &mut self.split_db {
+                            None => Ok(Some(rec[8..].to_vec())),
+                            Some(db) => Ok(db.get(key)?),
+                        };
                     }
                     self.stats.false_positives += 1;
-                    f.adapt(&hit);
-                    let _ = f.take_events();
-                    self.stats.adapts += 1;
-                }
-                Ok(None)
-            }
-            SystemFilter::Tqf(f) => {
-                for round in 0..16 {
-                    let Some(hit) = f.query_slot(key) else {
-                        if round == 0 {
-                            self.stats.filter_negatives += 1;
-                        }
+                    round += 1;
+                    if round >= max_rounds {
                         return Ok(None);
-                    };
-                    let Some(rec) = self.primary.get(hit.slot as u64)? else {
-                        self.stats.false_positives += 1;
-                        return Ok(None);
-                    };
-                    let stored = u64::from_le_bytes(rec[..8].try_into().unwrap());
-                    if stored == key {
-                        self.stats.true_positives += 1;
-                        return Ok(Some(rec[8..].to_vec()));
                     }
-                    self.stats.false_positives += 1;
-                    f.adapt(&hit);
-                    let _ = f.take_events();
-                    self.stats.adapts += 1;
+                    match self.filter.adapt_loc(loc, stored, key) {
+                        Ok(()) => self.stats.adapts += 1,
+                        // Full table or inseparable hashes: stop trying;
+                        // the query stays a false positive.
+                        Err(_) => return Ok(None),
+                    }
                 }
-                Ok(None)
             }
         }
     }

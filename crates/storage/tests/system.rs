@@ -1,9 +1,11 @@
-//! End-to-end tests of the filter-fronted database (paper §6.4).
+//! End-to-end tests of the filter-fronted database (paper §6.4), driven
+//! through the filter registry so every kind exercises the same
+//! trait-dispatch path the benchmarks use.
 
 use aqf::AqfConfig;
-use aqf_filters::{AdaptiveCuckooFilter, CuckooFilter, QuotientFilter, TelescopingFilter};
+use aqf_filters::registry::FilterSpec;
 use aqf_storage::pager::IoPolicy;
-use aqf_storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use aqf_storage::system::{FilteredDb, RevMapMode};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -11,6 +13,17 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
     let d = std::env::temp_dir().join(format!("aqf-sys-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     d
+}
+
+fn registry_db(spec: &FilterSpec, dir: &std::path::Path, mode: RevMapMode) -> FilteredDb {
+    FilteredDb::new(
+        spec.build().expect("registry kind builds"),
+        dir,
+        256,
+        IoPolicy::default(),
+        mode,
+    )
+    .unwrap()
 }
 
 fn exercise(mut db: FilteredDb, n: u64, adaptive: bool) {
@@ -77,15 +90,22 @@ fn aqf_system_end_to_end() {
 #[test]
 fn aqf_split_system_end_to_end() {
     let dir = temp_dir("aqf-split");
-    let f = aqf::AdaptiveQf::new(AqfConfig::new(12, 7).with_seed(2)).unwrap();
-    let db = FilteredDb::new(
-        SystemFilter::Aqf(Box::new(f)),
-        &dir,
-        256,
-        IoPolicy::default(),
-        RevMapMode::Split,
-    )
-    .unwrap();
+    let spec = FilterSpec::new("aqf", 12).with_rbits(7).with_seed(2);
+    let db = registry_db(&spec, &dir, RevMapMode::Split);
+    exercise(db, 3000, true);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_aqf_system_end_to_end() {
+    let dir = temp_dir("sharded");
+    let spec = FilterSpec::new("sharded-aqf", 12)
+        .with_rbits(7)
+        .with_seed(7)
+        .with_shard_bits(2);
+    let db = registry_db(&spec, &dir, RevMapMode::Merged);
+    // The sharded AQF is a drop-in strongly adaptive filter: same
+    // no-repeat guarantee as the flat AQF.
     exercise(db, 3000, true);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -93,15 +113,8 @@ fn aqf_split_system_end_to_end() {
 #[test]
 fn qf_system_end_to_end() {
     let dir = temp_dir("qf");
-    let f = QuotientFilter::new(12, 7, 3).unwrap();
-    let db = FilteredDb::new(
-        SystemFilter::Qf(Box::new(f)),
-        &dir,
-        256,
-        IoPolicy::default(),
-        RevMapMode::Merged,
-    )
-    .unwrap();
+    let spec = FilterSpec::new("qf", 12).with_rbits(7).with_seed(3);
+    let db = registry_db(&spec, &dir, RevMapMode::Merged);
     exercise(db, 3000, false);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -109,15 +122,8 @@ fn qf_system_end_to_end() {
 #[test]
 fn cf_system_end_to_end() {
     let dir = temp_dir("cf");
-    let f = CuckooFilter::new(10, 10, 4).unwrap();
-    let db = FilteredDb::new(
-        SystemFilter::Cf(Box::new(f)),
-        &dir,
-        256,
-        IoPolicy::default(),
-        RevMapMode::Merged,
-    )
-    .unwrap();
+    let spec = FilterSpec::new("cf", 12).with_tag_bits(10).with_seed(4);
+    let db = registry_db(&spec, &dir, RevMapMode::Merged);
     exercise(db, 3000, false);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -125,15 +131,8 @@ fn cf_system_end_to_end() {
 #[test]
 fn acf_system_end_to_end() {
     let dir = temp_dir("acf");
-    let f = AdaptiveCuckooFilter::new(10, 10, 5).unwrap();
-    let db = FilteredDb::new(
-        SystemFilter::Acf(Box::new(f)),
-        &dir,
-        256,
-        IoPolicy::default(),
-        RevMapMode::Merged,
-    )
-    .unwrap();
+    let spec = FilterSpec::new("acf", 12).with_tag_bits(10).with_seed(5);
+    let db = registry_db(&spec, &dir, RevMapMode::Merged);
     // ACF is only weakly adaptive — a fixed FP can resurface when other
     // slots adapt — so run the shared harness without the no-repeat check.
     exercise(db, 3000, false);
@@ -143,16 +142,40 @@ fn acf_system_end_to_end() {
 #[test]
 fn tqf_system_end_to_end() {
     let dir = temp_dir("tqf");
-    let f = TelescopingFilter::new(12, 7, 6).unwrap();
-    let db = FilteredDb::new(
-        SystemFilter::Tqf(Box::new(f)),
-        &dir,
-        256,
-        IoPolicy::default(),
-        RevMapMode::Merged,
-    )
-    .unwrap();
+    let spec = FilterSpec::new("tqf", 12).with_rbits(7).with_seed(6);
+    let db = registry_db(&spec, &dir, RevMapMode::Merged);
     exercise(db, 3000, false);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn yesno_system_end_to_end() {
+    let dir = temp_dir("yesno");
+    let spec = FilterSpec::new("yesno", 12).with_rbits(7).with_seed(8);
+    let db = registry_db(&spec, &dir, RevMapMode::Merged);
+    // Key-keyed, internally adaptive at insert time; no query-side
+    // no-repeat guarantee to assert.
+    exercise(db, 3000, false);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bloom_system_end_to_end() {
+    let dir = temp_dir("bloom");
+    let spec = FilterSpec::new("bloom", 12).with_rbits(9).with_seed(9);
+    let db = registry_db(&spec, &dir, RevMapMode::Merged);
+    exercise(db, 3000, false);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn split_mode_degrades_to_merged_for_key_keyed_filters() {
+    let dir = temp_dir("split-degrade");
+    let spec = FilterSpec::new("qf", 12).with_rbits(7).with_seed(10);
+    // Split is only meaningful for location-keyed maps; a QF system must
+    // still work (merged behavior) when asked for it.
+    let db = registry_db(&spec, &dir, RevMapMode::Split);
+    exercise(db, 2000, false);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -2,21 +2,25 @@
 //! paper's headline system experiment (§6.4, Fig. 6) as a runnable demo.
 //!
 //! ```text
-//! cargo run --release --example db_frontend
+//! cargo run --release --example db_frontend [-- --filter=aqf,qf]
 //! ```
 //!
 //! An attacker that can time queries learns which keys cause disk reads
 //! and replays them. A non-adaptive filter lets the attacker tank the
 //! system; the AdaptiveQF fixes each discovered false positive on first
 //! use, so the attack arsenal goes stale immediately.
+//!
+//! Any filter registry kind works: the system consumes the `DynFilter`
+//! trait, so `--filter=sharded-aqf,tqf,cf` compares those instead.
 
-use adaptiveqf::aqf::AqfConfig;
+use adaptiveqf::filters::registry::{self, FilterSpec};
 use adaptiveqf::storage::pager::IoPolicy;
-use adaptiveqf::storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use adaptiveqf::storage::system::{FilteredDb, RevMapMode};
 use adaptiveqf::workloads::{uniform_keys, Adversary};
 use std::time::Duration;
 
-fn run(label: &str, mut db: FilteredDb, keys: &[u64]) {
+fn run(mut db: FilteredDb, keys: &[u64]) {
+    let label = db.filter().name().to_string();
     for &k in keys {
         db.insert(k, &k.to_le_bytes()).unwrap().unwrap();
     }
@@ -43,7 +47,7 @@ fn run(label: &str, mut db: FilteredDb, keys: &[u64]) {
     let secs = start.elapsed().as_secs_f64();
     let st = db.stats();
     println!(
-        "{label:>4}: {:>8.0} queries/s | adversary arsenal {} | false positives {} | disk reads {}",
+        "{label:>10}: {:>8.0} queries/s | adversary arsenal {} | false positives {} | disk reads {}",
         probes.len() as f64 / secs,
         adv.arsenal(),
         st.false_positives,
@@ -61,32 +65,29 @@ fn main() {
         write_delay: None,
     };
 
+    // Uniform filter selection, like the bench binaries.
+    let kinds: Vec<String> = std::env::args()
+        .find_map(|a| a.strip_prefix("--filter=").map(str::to_string))
+        .unwrap_or_else(|| "aqf,qf".to_string())
+        .split(',')
+        .map(str::to_string)
+        .collect();
+
     println!("system: {n} keys on disk, 50us/page-read, adversary = 5% of queries\n");
-    let aqf = FilteredDb::new(
-        SystemFilter::Aqf(Box::new(
-            adaptiveqf::aqf::AdaptiveQf::new(AqfConfig::new(17, 9).with_seed(3)).unwrap(),
-        )),
-        &dir.join("aqf"),
-        64,
-        policy,
-        RevMapMode::Merged,
-    )
-    .unwrap();
-    run("AQF", aqf, &keys);
+    for kind in &kinds {
+        if registry::describe(kind).is_none() {
+            eprintln!(
+                "unknown filter kind {kind:?}; valid: {}",
+                registry::kinds().join(", ")
+            );
+            std::process::exit(2);
+        }
+        let filter = FilterSpec::new(&**kind, 17).with_seed(3).build().unwrap();
+        let db = FilteredDb::new(filter, &dir.join(kind), 64, policy, RevMapMode::Merged).unwrap();
+        run(db, &keys);
+    }
 
-    let qf = FilteredDb::new(
-        SystemFilter::Qf(Box::new(
-            adaptiveqf::filters::QuotientFilter::new(17, 9, 3).unwrap(),
-        )),
-        &dir.join("qf"),
-        64,
-        policy,
-        RevMapMode::Merged,
-    )
-    .unwrap();
-    run("QF", qf, &keys);
-
-    println!("\nThe QF keeps paying the disk penalty for every replayed false");
-    println!("positive; the AQF paid each once, during the adversary's scan.");
+    println!("\nNon-adaptive filters keep paying the disk penalty for every replayed");
+    println!("false positive; adaptive ones paid each once, during the adversary's scan.");
     let _ = std::fs::remove_dir_all(&dir);
 }

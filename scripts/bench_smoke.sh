@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Smoke-test every figure/table bench binary at tiny scale, driving at
+# least two registry kinds through each `--filter`-aware binary so
+# registry/dispatch regressions fail fast. Total runtime: a few seconds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN="cargo run --release --locked -p aqf-bench --bin"
+
+$RUN fig3_micro -- --qbits=8 --queries=1000 --filter=aqf,cf
+$RUN fig4_parallel -- --qbits=8 --shard-bits=2 --max-threads=2
+$RUN fig5_system_insert -- --qbits=8 --filter=aqf,tqf
+$RUN fig6_adversarial -- --qbits=8 --queries=500 --io-us=1 --filter=aqf,qf
+$RUN fig7_adaptivity -- --qbits=8 --queries=2000 --filter=aqf,acf
+$RUN fig8_dynamic -- --qbits=8 --queries=2000 --filter=aqf,sharded-aqf
+$RUN fig9_yesno_space -- --aggregate=1024 --filter=yesno,cbf
+$RUN sec69_extra_space -- --qbits=8 --queries=1000 --io-us=1 --filter=qf,cf
+$RUN tab1_space -- --qbits=8 --probes=1000 --filter=all
+$RUN tab2_revmap -- --qbits1=8 --qbits2=9 --filter=aqf,tqf,acf
+$RUN tab3_revmap_setup -- --qbits=8 --queries=1000 --filter=aqf,sharded-aqf
+$RUN tab4_realworld -- --qbits=8 --queries=1000 --filter=aqf,cf
+$RUN tab5_merge_bulk -- --qbits=8
+
+echo "bench smoke: all binaries OK"

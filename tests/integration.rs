@@ -2,9 +2,10 @@
 //! the paper's deployed system.
 
 use adaptiveqf::aqf::{AdaptiveQf, AqfConfig, QueryResult, StaticYesNo};
-use adaptiveqf::filters::{CascadingBloomFilter, Filter, QuotientFilter};
+use adaptiveqf::filters::registry::{self, FilterSpec};
+use adaptiveqf::filters::{AmqFilter, CascadingBloomFilter, DynFilter, QuotientFilter};
 use adaptiveqf::storage::pager::IoPolicy;
-use adaptiveqf::storage::system::{FilteredDb, RevMapMode, SystemFilter};
+use adaptiveqf::storage::system::{FilteredDb, RevMapMode};
 use adaptiveqf::workloads::{uniform_keys, Adversary, ZipfGenerator};
 use rand::RngExt;
 
@@ -30,9 +31,9 @@ fn zipfian_stream_false_positive_advantage() {
         IoPolicy::default(),
     )
     .unwrap();
-    let qf = QuotientFilter::new(14, 7, 1).unwrap();
+    let qf = FilterSpec::new("qf", 14).with_rbits(7).with_seed(1);
     let mut qf_db = FilteredDb::new(
-        SystemFilter::Qf(Box::new(qf)),
+        qf.build().unwrap(),
         &dir.join("qf"),
         512,
         IoPolicy::default(),
@@ -173,13 +174,16 @@ fn merge_then_query_members() {
     m.assert_valid();
 }
 
-/// The quotient filter trait object path works for generic call sites.
+/// Both trait-object layers work for generic call sites: `dyn AmqFilter`
+/// over concrete filters, and `dyn DynFilter` over the whole registry —
+/// including the AdaptiveQF family that used to need bespoke enums.
 #[test]
 fn trait_object_usage() {
-    let mut filters: Vec<Box<dyn Filter>> = vec![
+    let mut filters: Vec<Box<dyn AmqFilter>> = vec![
         Box::new(QuotientFilter::new(10, 8, 1).unwrap()),
         Box::new(adaptiveqf::filters::CuckooFilter::new(8, 12, 1).unwrap()),
         Box::new(adaptiveqf::filters::BloomFilter::for_capacity(900, 0.01, 1).unwrap()),
+        Box::new(AdaptiveQf::new(AqfConfig::new(10, 8).with_seed(1)).unwrap()),
     ];
     for f in &mut filters {
         for k in 0..900u64 {
@@ -187,6 +191,19 @@ fn trait_object_usage() {
         }
         for k in 0..900u64 {
             assert!(f.contains(k), "{} lost {k}", f.name());
+        }
+    }
+
+    let mut dyns: Vec<Box<dyn DynFilter>> = registry::kinds()
+        .into_iter()
+        .map(|kind| FilterSpec::new(kind, 10).build().unwrap())
+        .collect();
+    for f in &mut dyns {
+        for k in 0..900u64 {
+            f.insert(k).unwrap();
+        }
+        for k in 0..900u64 {
+            assert!(f.contains(k), "{} lost {k}", f.kind());
         }
     }
 }
