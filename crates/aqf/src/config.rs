@@ -7,6 +7,17 @@ pub enum FilterError {
     Full,
     /// Configuration parameters are out of range.
     InvalidConfig(&'static str),
+    /// Sharding parameters leave no valid per-shard table
+    /// (`ShardedAqf::new`): either `shard_bits >= qbits`, or the derived
+    /// per-shard config (`qbits - shard_bits` quotient bits) fails
+    /// [`AqfConfig::validate`]. Carries the offending numbers so registry
+    /// misconfigurations are diagnosable from the message alone.
+    InvalidShardConfig {
+        /// Total quotient bits requested for the whole filter.
+        qbits: u32,
+        /// Requested log2 shard count.
+        shard_bits: u32,
+    },
     /// The referenced fingerprint no longer exists (e.g. stale hit handle).
     NotFound,
     /// `adapt` was asked to separate two keys with identical hash strings
@@ -20,6 +31,13 @@ impl std::fmt::Display for FilterError {
         match self {
             FilterError::Full => write!(f, "filter is full"),
             FilterError::InvalidConfig(m) => write!(f, "invalid filter config: {m}"),
+            FilterError::InvalidShardConfig { qbits, shard_bits } => write!(
+                f,
+                "invalid shard config: shard_bits={shard_bits} over qbits={qbits} \
+                 leaves {} quotient bits per shard, which fails per-shard \
+                 validation (need shard_bits < qbits and a valid per-shard config)",
+                qbits.saturating_sub(*shard_bits)
+            ),
             FilterError::NotFound => write!(f, "fingerprint not found"),
             FilterError::CannotSeparate => {
                 write!(f, "cannot separate identical hash strings")

@@ -1,0 +1,190 @@
+//! Batch-vs-sequential equivalence for the AQF batch subsystem, plus a
+//! multi-thread contention stress of `ShardedAqf::insert_batch`.
+//!
+//! The batch design (stable quotient-range partition per filter, stable
+//! shard grouping for the sharded variant) promises *element-wise
+//! identical* results to sequential calls; these tests pin that promise
+//! exactly — outcomes, hits, and membership bits, not just aggregates.
+
+use aqf::{AdaptiveQf, AqfConfig, QueryResult, ShardedAqf};
+use std::sync::Arc;
+
+fn keys_mixed(n: u64, salt: u64) -> Vec<u64> {
+    // A deliberately collision-rich stream: mostly distinct keys with
+    // every 7th a repeat, so miniruns hold multiple fingerprints and
+    // ranks matter.
+    (0..n)
+        .map(|i| {
+            if i % 7 == 3 {
+                ((i / 7) * 2654435761) ^ salt
+            } else {
+                i.wrapping_mul(0x9E3779B97F4A7C15) ^ salt
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn insert_batch_outcomes_match_sequential_exactly() {
+    let cfg = AqfConfig::new(12, 9).with_seed(7);
+    let keys = keys_mixed(3000, 5);
+    let mut seq = AdaptiveQf::new(cfg).unwrap();
+    let seq_outs: Vec<_> = keys.iter().map(|&k| seq.insert(k).unwrap()).collect();
+
+    let mut bat = AdaptiveQf::new(cfg).unwrap();
+    let mut bat_outs = Vec::new();
+    for chunk in keys.chunks(97) {
+        bat_outs.extend(bat.insert_batch(chunk).unwrap());
+    }
+    assert_eq!(seq_outs, bat_outs, "insert outcomes diverge");
+    assert_eq!(seq.len(), bat.len());
+    assert_eq!(seq.distinct_fingerprints(), bat.distinct_fingerprints());
+    assert_eq!(seq.slots_in_use(), bat.slots_in_use());
+}
+
+#[test]
+fn query_batch_matches_per_key_exactly() {
+    let cfg = AqfConfig::new(12, 9).with_seed(9);
+    let keys = keys_mixed(3000, 1);
+    let mut f = AdaptiveQf::new(cfg).unwrap();
+    f.insert_batch(&keys).unwrap();
+
+    // Members + absent probes interleaved.
+    let probes: Vec<u64> = keys
+        .iter()
+        .copied()
+        .chain((0..3000u64).map(|i| (1 << 41) + i * 7919))
+        .collect();
+    let batch = f.query_batch(&probes);
+    for (j, &p) in probes.iter().enumerate() {
+        assert_eq!(batch[j], f.query(p), "query {p} diverges");
+    }
+    let bits = f.contains_batch(&probes);
+    for (j, &p) in probes.iter().enumerate() {
+        assert_eq!(bits[j], f.contains(p), "contains {p} diverges");
+    }
+    // No false negatives through the batch path.
+    for (j, r) in batch.iter().take(keys.len()).enumerate() {
+        assert!(
+            matches!(r, QueryResult::Positive(_)),
+            "member {j} lost in batch query"
+        );
+    }
+}
+
+#[test]
+fn empty_and_single_batches() {
+    let cfg = AqfConfig::new(10, 9).with_seed(3);
+    let mut f = AdaptiveQf::new(cfg).unwrap();
+    assert!(f.insert_batch(&[]).unwrap().is_empty());
+    assert!(f.query_batch(&[]).is_empty());
+    assert!(f.contains_batch(&[]).is_empty());
+    let out = f.insert_batch(&[42]).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].rank, 0);
+    assert!(f.contains_batch(&[42, 43])[0]);
+}
+
+#[test]
+fn sharded_batch_matches_per_key_exactly() {
+    let cfg = AqfConfig::new(13, 9).with_seed(11);
+    let keys = keys_mixed(4000, 2);
+
+    let seq = ShardedAqf::new(cfg, 3).unwrap();
+    let seq_outs: Vec<_> = keys.iter().map(|&k| seq.insert(k).unwrap()).collect();
+
+    let bat = ShardedAqf::new(cfg, 3).unwrap();
+    let mut bat_outs = Vec::new();
+    for chunk in keys.chunks(113) {
+        bat_outs.extend(bat.insert_batch(chunk).unwrap());
+    }
+    assert_eq!(seq_outs, bat_outs, "sharded insert outcomes diverge");
+    assert_eq!(seq.len(), bat.len());
+
+    let probes: Vec<u64> = keys
+        .iter()
+        .copied()
+        .chain((0..4000u64).map(|i| (1 << 42) + i * 104729))
+        .collect();
+    let batch = bat.query_batch(&probes);
+    for (j, &p) in probes.iter().enumerate() {
+        assert_eq!(batch[j], bat.query(p), "sharded query {p} diverges");
+    }
+    let bits = bat.contains_batch(&probes);
+    for (j, &p) in probes.iter().enumerate() {
+        assert_eq!(bits[j], bat.contains(p), "sharded contains {p} diverges");
+    }
+}
+
+#[test]
+fn insert_batch_with_reports_exactly_the_landed_prefix_on_error() {
+    // A filter far too small for the batch: the batch must fail midway,
+    // and the sink must have fired exactly once per key that actually
+    // landed — the contract external shadow/reverse maps rely on.
+    let mut f = AdaptiveQf::new(AqfConfig::new(6, 9).with_seed(1)).unwrap();
+    let keys: Vec<u64> = (0..1000u64).collect();
+    let mut landed = 0u64;
+    let r = f.insert_batch_with(&keys, |_, _| landed += 1);
+    assert!(r.is_err(), "1000 keys cannot fit 2^6 slots");
+    assert!(landed > 0, "some prefix must have landed");
+    assert_eq!(f.len(), landed, "sink calls must equal landed keys");
+
+    let f = ShardedAqf::new(AqfConfig::new(8, 9).with_seed(1), 2).unwrap();
+    let keys: Vec<u64> = (0..4000u64).collect();
+    let mut landed = 0u64;
+    let r = f.insert_batch_with(&keys, |i, shard, _| {
+        assert_eq!(shard, f.shard_of(keys[i]), "sink shard must match route");
+        landed += 1;
+    });
+    assert!(r.is_err(), "4000 keys cannot fit 2^8 slots");
+    assert_eq!(f.len(), landed, "sharded sink calls must equal landed keys");
+}
+
+#[test]
+fn sharded_insert_batch_under_contention() {
+    // 4 writer threads hammer disjoint key ranges in small batches while
+    // 2 reader threads run query batches over already-inserted prefixes.
+    // Afterwards: exact multiset size, full membership, and per-shard
+    // diagnostics that add up.
+    let f = Arc::new(ShardedAqf::new(AqfConfig::new(14, 9).with_seed(13), 3).unwrap());
+    const PER_THREAD: u64 = 2500;
+    const WRITERS: u64 = 4;
+
+    std::thread::scope(|scope| {
+        for t in 0..WRITERS {
+            let f = Arc::clone(&f);
+            scope.spawn(move || {
+                let keys: Vec<u64> = (0..PER_THREAD).map(|i| t * 10_000_000 + i).collect();
+                for chunk in keys.chunks(61) {
+                    f.insert_batch(chunk).unwrap();
+                }
+            });
+        }
+        for r in 0..2u64 {
+            let f = Arc::clone(&f);
+            scope.spawn(move || {
+                // Readers interleave with writers; answers must be
+                // well-formed (no panics, no false negatives for the
+                // prefix each reader re-checks after the fact).
+                let probes: Vec<u64> = (0..1000u64).map(|i| r * 10_000_000 + i).collect();
+                for _ in 0..50 {
+                    let _ = f.contains_batch(&probes);
+                }
+            });
+        }
+    });
+
+    assert_eq!(f.len(), WRITERS * PER_THREAD);
+    for t in 0..WRITERS {
+        let keys: Vec<u64> = (0..PER_THREAD).map(|i| t * 10_000_000 + i).collect();
+        let bits = f.contains_batch(&keys);
+        assert!(
+            bits.iter().all(|&b| b),
+            "thread {t} lost members under contention"
+        );
+    }
+    let per_shard_sum: u64 = (0..f.shard_count())
+        .map(|i| f.with_shard(i, |s| s.len()))
+        .sum();
+    assert_eq!(per_shard_sum, f.len(), "shard sums disagree with total");
+}

@@ -1,0 +1,150 @@
+//! Criterion group: per-key vs batched throughput for the batch
+//! subsystem — the regression-tracking companion to the `fig10_batch`
+//! harness binary. Single-thread AQF insert/query, then the sharded AQF
+//! at 1–12 threads (lock-once-per-batch vs lock-per-key).
+//!
+//! Geometry matches `fig10_batch`'s defaults: the batch win comes from
+//! lock amortization plus cache-resident quotient-region walks, so the
+//! table must not fit in cache whole — benchmark at 2^20 slots with
+//! 16K-key batches, not at smoke scale.
+
+use aqf::{AdaptiveQf, AqfConfig, ShardedAqf};
+use aqf_bench::run_threads;
+use aqf_workloads::uniform_keys;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+const QBITS: u32 = 20;
+const SHARD_BITS: u32 = 5;
+const BATCH: usize = 16384;
+
+fn cfg() -> AqfConfig {
+    AqfConfig::new(QBITS, 9).with_seed(1)
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_single");
+    g.sample_size(10);
+    let n = ((1u64 << QBITS) as f64 * 0.85) as usize;
+    let keys = uniform_keys(n, 3);
+    let probes = uniform_keys(n, 4);
+
+    g.bench_function("aqf_insert_perkey", |b| {
+        b.iter_batched(
+            || AdaptiveQf::new(cfg()).unwrap(),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("aqf_insert_batch", |b| {
+        b.iter_batched(
+            || AdaptiveQf::new(cfg()).unwrap(),
+            |mut f| {
+                for ch in keys.chunks(BATCH) {
+                    f.insert_batch(ch).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let mut f = AdaptiveQf::new(cfg()).unwrap();
+    f.insert_batch(&keys).unwrap();
+    g.bench_function("aqf_query_perkey", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &probes {
+                hits += f.contains(k) as u64;
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("aqf_query_batch", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for ch in probes.chunks(BATCH) {
+                hits += f.contains_batch(ch).iter().filter(|&&x| x).count();
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sharded_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_sharded");
+    g.sample_size(8);
+    let n = ((1u64 << QBITS) as f64 * 0.85) as usize;
+    let keys = uniform_keys(n, 5);
+    let probes = uniform_keys(n, 6);
+
+    for &t in &[1usize, 4, 8, 12] {
+        g.bench_function(format!("insert_perkey_t{t}"), |b| {
+            b.iter_batched(
+                || Arc::new(ShardedAqf::new(cfg(), SHARD_BITS).unwrap()),
+                |f| {
+                    run_threads(t, &keys, |ks| {
+                        for &k in ks {
+                            let _ = f.insert(k);
+                        }
+                    });
+                    f
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("insert_batch_t{t}"), |b| {
+            b.iter_batched(
+                || Arc::new(ShardedAqf::new(cfg(), SHARD_BITS).unwrap()),
+                |f| {
+                    run_threads(t, &keys, |ks| {
+                        // Discard outcomes through the sink, mirroring the
+                        // per-key cell (which also drops its outcomes).
+                        for ch in ks.chunks(BATCH) {
+                            let _ = f.insert_batch_with(ch, |_, _, _| {});
+                        }
+                    });
+                    f
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    let f = ShardedAqf::new(cfg(), SHARD_BITS).unwrap();
+    f.insert_batch(&keys).unwrap();
+    for &t in &[1usize, 4, 8, 12] {
+        g.bench_function(format!("query_perkey_t{t}"), |b| {
+            b.iter(|| {
+                run_threads(t, &probes, |ks| {
+                    let mut hits = 0u64;
+                    for &k in ks {
+                        hits += f.contains(k) as u64;
+                    }
+                    black_box(hits);
+                })
+            })
+        });
+        g.bench_function(format!("query_batch_t{t}"), |b| {
+            b.iter(|| {
+                run_threads(t, &probes, |ks| {
+                    let mut hits = 0usize;
+                    for ch in ks.chunks(BATCH) {
+                        hits += f.contains_batch(ch).iter().filter(|&&x| x).count();
+                    }
+                    black_box(hits);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_sharded_threads);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! "Figure 10" (beyond the paper): batched vs per-key throughput.
+//!
+//! The paper's throughput figures (Figs. 3–5) drive every key through its
+//! own hash → route → lock → probe trip. This harness measures what the
+//! batch subsystem buys on the same workloads:
+//!
+//! 1. **Single-thread, any registry kind** — `DynFilter::insert_batch` /
+//!    `contains_batch` (quotient-range-partitioned table walks for the
+//!    AQF family, correct per-key fallback for everything else) against
+//!    the per-key loop.
+//! 2. **Multi-thread, sharded AQF** — `ShardedAqf::insert_batch` /
+//!    `contains_batch` take each shard's lock once per batch instead of
+//!    once per key; threads 1,2,4,..,`--max-threads`.
+//!
+//! Each cell reports the best of `--reps` runs (min over repetitions is
+//! the standard noise floor for short timed sections). The batch win
+//! comes from lock amortization plus cache-resident region walks, so it
+//! needs tables larger than the last-level cache slice per shard —
+//! measure at the default 2^20 slots or above, not at smoke scale.
+//!
+//! Defaults: 2^20 slots, 9-bit remainders, 2^5 shards, 16384-key
+//! batches, threads up to 8, 3 reps (`--qbits`, `--rbits`,
+//! `--shard-bits`, `--batch`, `--max-threads`, `--reps`); filters
+//! `aqf,sharded-aqf,qf` (`--filter`).
+
+use aqf_bench::*;
+use aqf_workloads::uniform_keys;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn main() {
+    let qbits = flag_u64("qbits", 20) as u32;
+    let rbits = flag_u64("rbits", 9) as u32;
+    let shard_bits = (flag_u64("shard-bits", 5) as u32).min(qbits.saturating_sub(1));
+    let batch = (flag_u64("batch", 16384) as usize).max(1);
+    let max_threads = flag_u64("max-threads", 8) as usize;
+    let reps = (flag_u64("reps", 3) as usize).max(1);
+    let kinds = filter_kinds(&["aqf", "sharded-aqf", "qf"]);
+
+    let n = ((1u64 << qbits) as f64 * 0.85) as usize;
+    let keys = Arc::new(uniform_keys(n, 11));
+    // A fresh uniform draw: almost all probes miss, like Fig. 3's
+    // uniform-query protocol.
+    let probes = Arc::new(uniform_keys(n, 12));
+
+    // ---- Section 1: single-thread, per registry kind -------------------
+    let mut rows = Vec::new();
+    for kind in &kinds {
+        let spec = FilterSpec::new(kind.clone(), qbits)
+            .with_rbits(rbits)
+            .with_shard_bits(shard_bits)
+            .with_seed(1);
+
+        let mut ins_seq = f64::INFINITY;
+        for _ in 0..reps {
+            let mut f = spec.build().expect("spec validated by filter_kinds");
+            let (_, s) = timed(|| {
+                for &k in keys.iter() {
+                    f.insert(k).expect("sized to fit");
+                }
+            });
+            ins_seq = ins_seq.min(s);
+        }
+        let mut ins_bat = f64::INFINITY;
+        let mut built = None;
+        for _ in 0..reps {
+            let mut f = spec.build().expect("spec validated by filter_kinds");
+            let (_, s) = timed(|| {
+                for c in keys.chunks(batch) {
+                    f.insert_batch(c).expect("sized to fit");
+                }
+            });
+            ins_bat = ins_bat.min(s);
+            built = Some(f);
+        }
+        let f = built.expect("reps >= 1");
+
+        let mut qry_seq = f64::INFINITY;
+        let mut qry_bat = f64::INFINITY;
+        for _ in 0..reps {
+            let (_, s) = timed(|| {
+                let mut hits = 0u64;
+                for &k in probes.iter() {
+                    hits += f.contains(k) as u64;
+                }
+                black_box(hits)
+            });
+            qry_seq = qry_seq.min(s);
+            let (_, s) = timed(|| {
+                let mut hits = 0u64;
+                for c in probes.chunks(batch) {
+                    hits += f.contains_batch(c).iter().filter(|&&b| b).count() as u64;
+                }
+                black_box(hits)
+            });
+            qry_bat = qry_bat.min(s);
+        }
+
+        rows.push(vec![
+            kind.clone(),
+            ops_per_sec(n as u64, ins_seq),
+            ops_per_sec(n as u64, ins_bat),
+            ops_per_sec(n as u64, qry_seq),
+            ops_per_sec(n as u64, qry_bat),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Fig 10a: per-key vs batched, single thread \
+             (2^{qbits} slots, batch={batch}, best of {reps})"
+        ),
+        &[
+            "Filter",
+            "Insert/s per-key",
+            "Insert/s batched",
+            "Query/s per-key",
+            "Query/s batched",
+        ],
+        &rows,
+    );
+
+    // ---- Section 2: sharded AQF across threads -------------------------
+    let cfg = aqf::AqfConfig::new(qbits, rbits).with_seed(1);
+    let mut rows = Vec::new();
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let mut ins_seq = f64::INFINITY;
+        for _ in 0..reps {
+            let f = Arc::new(aqf::ShardedAqf::new(cfg, shard_bits).unwrap());
+            let (_, s) = timed(|| {
+                run_threads(threads, &keys, |ks| {
+                    for &k in ks {
+                        let _ = f.insert(k);
+                    }
+                })
+            });
+            ins_seq = ins_seq.min(s);
+        }
+
+        let mut ins_bat = f64::INFINITY;
+        let mut built = None;
+        for _ in 0..reps {
+            let f = Arc::new(aqf::ShardedAqf::new(cfg, shard_bits).unwrap());
+            let (_, s) = timed(|| {
+                run_threads(threads, &keys, |ks| {
+                    for c in ks.chunks(batch) {
+                        insert_chunk_fair(&f, c);
+                    }
+                })
+            });
+            ins_bat = ins_bat.min(s);
+            built = Some(f);
+        }
+        let f = built.expect("reps >= 1");
+
+        let mut qry_seq = f64::INFINITY;
+        let mut qry_bat = f64::INFINITY;
+        for _ in 0..reps {
+            let (_, s) = timed(|| {
+                run_threads(threads, &probes, |ks| {
+                    let mut hits = 0u64;
+                    for &k in ks {
+                        hits += f.contains(k) as u64;
+                    }
+                    black_box(hits);
+                })
+            });
+            qry_seq = qry_seq.min(s);
+            let (_, s) = timed(|| {
+                run_threads(threads, &probes, |ks| {
+                    let mut hits = 0u64;
+                    for c in ks.chunks(batch) {
+                        hits += f.contains_batch(c).iter().filter(|&&b| b).count() as u64;
+                    }
+                    black_box(hits);
+                })
+            });
+            qry_bat = qry_bat.min(s);
+        }
+
+        rows.push(vec![
+            threads.to_string(),
+            ops_per_sec(n as u64, ins_seq),
+            ops_per_sec(n as u64, ins_bat),
+            ops_per_sec(n as u64, qry_seq),
+            ops_per_sec(n as u64, qry_bat),
+        ]);
+        threads = if threads == 1 { 2 } else { threads + 2 };
+    }
+    print_table(
+        &format!(
+            "Fig 10b: sharded AQF per-key vs batched (2^{qbits} slots, 2^{shard_bits} shards, \
+             batch={batch}, best of {reps})"
+        ),
+        &[
+            "Threads",
+            "Insert/s per-key",
+            "Insert/s batched",
+            "Query/s per-key",
+            "Query/s batched",
+        ],
+        &rows,
+    );
+}
+
+/// Batch-insert one chunk, degrading fairly on overflow: if the batch
+/// aborts (a shard filled), attempt each key that had not landed yet
+/// individually — exactly the work the per-key side does — so the
+/// comparison never measures skipped work.
+fn insert_chunk_fair(f: &aqf::ShardedAqf, chunk: &[u64]) {
+    let mut landed = vec![false; chunk.len()];
+    if f.insert_batch_with(chunk, |i, _, _| landed[i] = true)
+        .is_ok()
+    {
+        return;
+    }
+    for (j, &k) in chunk.iter().enumerate() {
+        if !landed[j] {
+            let _ = f.insert(k);
+        }
+    }
+}

@@ -1,8 +1,9 @@
 //! Figure 4: parallel insertion throughput of the AQF vs the QF as thread
 //! count grows (paper: 2^26 slots, 2^16-slot lock regions, 1..12 threads).
 //!
-//! Defaults: 2^20 slots, 2^6 shards, threads 1,2,4,..,12
-//! (`--qbits`, `--shard-bits`, `--max-threads`).
+//! Defaults: 2^20 slots, 9-bit remainders, 2^6 shards, threads
+//! 1,2,4,..,12 (`--qbits`, `--rbits`, `--shard-bits`, `--max-threads`).
+//! Both sides share `--rbits` so the comparison stays apples-to-apples.
 
 use aqf_bench::*;
 use aqf_workloads::uniform_keys;
@@ -11,6 +12,7 @@ use std::sync::Arc;
 
 fn main() {
     let qbits = flag_u64("qbits", 20) as u32;
+    let rbits = flag_u64("rbits", 9) as u32;
     let shard_bits = flag_u64("shard-bits", 6) as u32;
     let max_threads = flag_u64("max-threads", 12) as usize;
     let n = ((1u64 << qbits) as f64 * 0.85) as usize;
@@ -21,25 +23,31 @@ fn main() {
     while threads <= max_threads {
         // AQF: sharded adaptive filter.
         let aqf = Arc::new(
-            aqf::ShardedAqf::new(aqf::AqfConfig::new(qbits, 9).with_seed(1), shard_bits).unwrap(),
+            aqf::ShardedAqf::new(aqf::AqfConfig::new(qbits, rbits).with_seed(1), shard_bits)
+                .unwrap(),
         );
         let (_, aqf_secs) = timed(|| {
-            run_threads(threads, &keys, |k| {
-                let _ = aqf.insert(k);
+            run_threads(threads, &keys, |ks| {
+                for &k in ks {
+                    let _ = aqf.insert(k);
+                }
             })
         });
 
-        // QF baseline: same sharding scheme around the plain filter.
+        // QF baseline: same sharding scheme around the plain filter, at
+        // the same remainder width as the AQF above.
         let shards: Arc<Vec<Mutex<QuotientFilter>>> = Arc::new(
             (0..(1usize << shard_bits))
-                .map(|_| Mutex::new(QuotientFilter::new(qbits - shard_bits, 9, 1).unwrap()))
+                .map(|_| Mutex::new(QuotientFilter::new(qbits - shard_bits, rbits, 1).unwrap()))
                 .collect(),
         );
         let (_, qf_secs) = timed(|| {
             let sb = shard_bits;
-            run_threads(threads, &keys, |k| {
-                let s = (aqf_bits::hash::mix64(k, 0xABCD) >> (64 - sb)) as usize;
-                let _ = aqf_filters::AmqFilter::insert(&mut *shards[s].lock(), k);
+            run_threads(threads, &keys, |ks| {
+                for &k in ks {
+                    let s = (aqf_bits::hash::mix64(k, 0xABCD) >> (64 - sb)) as usize;
+                    let _ = aqf_filters::AmqFilter::insert(&mut *shards[s].lock(), k);
+                }
             })
         });
 
@@ -55,22 +63,4 @@ fn main() {
         &["Threads", "AQF inserts/s", "QF inserts/s"],
         &rows,
     );
-}
-
-/// Run `f` over `keys` partitioned across `n` threads.
-fn run_threads(n: usize, keys: &Arc<Vec<u64>>, f: impl Fn(u64) + Sync) {
-    std::thread::scope(|scope| {
-        let chunk = keys.len().div_ceil(n);
-        for t in 0..n {
-            let keys = Arc::clone(keys);
-            let f = &f;
-            scope.spawn(move || {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(keys.len());
-                for &k in &keys[start..end] {
-                    f(k);
-                }
-            });
-        }
-    });
 }

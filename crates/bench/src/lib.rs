@@ -86,6 +86,21 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (r, start.elapsed().as_secs_f64())
 }
 
+/// Run `f` over contiguous partitions of `keys` across `n` scoped
+/// threads; returns when every partition has been processed.
+pub fn run_threads(n: usize, keys: &[u64], f: impl Fn(&[u64]) + Sync) {
+    std::thread::scope(|scope| {
+        let chunk = keys.len().div_ceil(n).max(1);
+        for t in 0..n {
+            let f = &f;
+            let start = (t * chunk).min(keys.len());
+            let end = ((t + 1) * chunk).min(keys.len());
+            let part = &keys[start..end];
+            scope.spawn(move || f(part));
+        }
+    });
+}
+
 /// Format an ops/second figure compactly.
 pub fn ops_per_sec(n: u64, secs: f64) -> String {
     let v = n as f64 / secs;

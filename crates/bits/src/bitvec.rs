@@ -6,7 +6,7 @@
 //! [`BitVec::shift_right_insert`] / [`BitVec::shift_left_remove`] over an
 //! arbitrary bit range, implemented with word-level operations.
 
-use crate::word::{bitmask, rank_u64, select_u64};
+use crate::word::{bitmask, select_u64};
 
 /// Fixed-capacity bit vector.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -79,17 +79,18 @@ impl BitVec {
     }
 
     /// Number of set bits strictly below bit `i` (`i` may equal `len`).
+    ///
+    /// Full-prefix rank is inherently O(i/64): it must popcount every
+    /// word below `i`. Hot paths that only need a *local* window — run
+    /// and cluster navigation in the quotient filters — must use
+    /// [`Self::count_range`] with both endpoints instead; every in-tree
+    /// hot path (the AQF's `Table::run_range`, the QF/TQF run scans)
+    /// does. `rank` itself delegates to `count_range(0, i)` so there is
+    /// exactly one windowed popcount implementation to keep correct, and
+    /// remains for diagnostics, tests, and genuine whole-prefix queries.
     pub fn rank(&self, i: usize) -> usize {
         debug_assert!(i <= self.len);
-        let full = i >> 6;
-        let mut r: usize = self.words[..full]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum();
-        if i & 63 != 0 {
-            r += rank_u64(self.words[full], (i & 63) as u32) as usize;
-        }
-        r
+        self.count_range(0, i)
     }
 
     /// Position of the set bit with rank `k`, scanning from bit `from`.
@@ -340,6 +341,33 @@ mod tests {
             }
             bits[end - 1] = false;
             assert_eq!(to_bits(&v), bits, "pos={pos} end={end}");
+        }
+    }
+
+    #[test]
+    fn rank_equals_windowed_prefix_count() {
+        // Regression pin for the rank -> count_range(0, i) delegation:
+        // both must agree with a naive bit count on irregular patterns,
+        // including word boundaries and i == len.
+        for len in [1usize, 63, 64, 65, 130, 256, 517] {
+            let mut v = BitVec::new(len);
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for i in 0..len {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if x >> 61 & 1 == 1 {
+                    v.set(i);
+                }
+            }
+            let mut naive = 0usize;
+            for i in 0..=len {
+                assert_eq!(v.rank(i), naive, "len={len} rank({i})");
+                assert_eq!(v.count_range(0, i), naive, "len={len} count_range(0,{i})");
+                if i < len && v.get(i) {
+                    naive += 1;
+                }
+            }
         }
     }
 

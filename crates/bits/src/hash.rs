@@ -68,20 +68,33 @@ pub fn mix64(key: u64, seed: u64) -> u64 {
 pub struct HashSeq {
     key: u64,
     seed: u64,
+    /// Word 0, computed eagerly: every fingerprint read (quotient,
+    /// remainder, minirun id) starts in word 0, so one insert or query
+    /// touches it several times; memoizing it turns those repeat mixes
+    /// into a field load. Words past 0 only matter for long extension
+    /// chains and stay lazy.
+    word0: u64,
 }
 
 impl HashSeq {
     /// Hash string of `key` under `seed`.
     #[inline]
     pub fn new(key: u64, seed: u64) -> Self {
-        Self { key, seed }
+        Self {
+            key,
+            seed,
+            // Word 0 is the plain hash so that non-adaptive filters using
+            // mix64(key, seed) agree with the first 64 bits seen here.
+            word0: mix64(key, seed),
+        }
     }
 
     /// The i-th 64-bit word of the infinite hash string.
     #[inline]
     pub fn word(&self, i: u64) -> u64 {
-        // Word 0 is the plain hash so that non-adaptive filters using
-        // mix64(key, seed) agree with the first 64 bits seen here.
+        if i == 0 {
+            return self.word0;
+        }
         mix64(
             self.key,
             self.seed

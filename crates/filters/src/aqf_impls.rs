@@ -47,6 +47,14 @@ impl AmqFilter for AdaptiveQf {
     fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
         AdaptiveQf::delete(self, key).map(|o| o.is_some())
     }
+
+    fn insert_batch(&mut self, keys: &[u64]) -> Result<(), FilterError> {
+        AdaptiveQf::insert_batch(self, keys).map(|_| ())
+    }
+
+    fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        AdaptiveQf::contains_batch(self, keys)
+    }
 }
 
 impl AdaptiveFilter for AdaptiveQf {
@@ -57,6 +65,16 @@ impl AdaptiveFilter for AdaptiveQf {
             QueryResult::Positive(hit) => Some(hit),
             QueryResult::Negative => None,
         }
+    }
+
+    fn query_hit_batch(&self, keys: &[u64]) -> Vec<Option<Hit>> {
+        self.query_batch(keys)
+            .into_iter()
+            .map(|r| match r {
+                QueryResult::Positive(hit) => Some(hit),
+                QueryResult::Negative => None,
+            })
+            .collect()
     }
 
     fn store_key(&self, hit: &Hit) -> u64 {
@@ -132,6 +150,14 @@ impl AmqFilter for ShardedAqf {
     fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
         ShardedAqf::delete(self, key).map(|o| o.is_some())
     }
+
+    fn insert_batch(&mut self, keys: &[u64]) -> Result<(), FilterError> {
+        ShardedAqf::insert_batch(self, keys).map(|_| ())
+    }
+
+    fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        ShardedAqf::contains_batch(self, keys)
+    }
 }
 
 impl AdaptiveFilter for ShardedAqf {
@@ -145,6 +171,20 @@ impl AdaptiveFilter for ShardedAqf {
             }),
             QueryResult::Negative => None,
         }
+    }
+
+    fn query_hit_batch(&self, keys: &[u64]) -> Vec<Option<ShardedHit>> {
+        self.query_batch(keys)
+            .into_iter()
+            .zip(keys)
+            .map(|(r, &k)| match r {
+                QueryResult::Positive(hit) => Some(ShardedHit {
+                    shard: self.shard_of(k),
+                    hit,
+                }),
+                QueryResult::Negative => None,
+            })
+            .collect()
     }
 
     fn store_key(&self, hit: &ShardedHit) -> u64 {

@@ -92,6 +92,27 @@ pub trait AmqFilter {
             "this filter does not support deletion",
         ))
     }
+
+    /// Insert every key of `keys` in order.
+    ///
+    /// The default is the per-key loop, so every implementor is batch-
+    /// correct for free; filters with a cheaper bulk path (the AQF family
+    /// sorts by quotient; the sharded AQF locks each shard once per
+    /// batch) override it. On error a prefix of the batch (in an
+    /// implementation-chosen order) has been inserted.
+    fn insert_batch(&mut self, keys: &[u64]) -> Result<(), FilterError> {
+        for &k in keys {
+            self.insert(k)?;
+        }
+        Ok(())
+    }
+
+    /// Batched [`AmqFilter::contains`]: membership bits in input order,
+    /// element-wise identical to per-key calls. Default is the per-key
+    /// loop.
+    fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        keys.iter().map(|&k| self.contains(k)).collect()
+    }
 }
 
 /// An adaptive filter: positive queries come with reverse-map coordinates
@@ -160,6 +181,14 @@ pub trait AdaptiveFilter: AmqFilter {
         stored_key: u64,
         query_key: u64,
     ) -> Result<u32, FilterError>;
+
+    /// Batched [`AdaptiveFilter::query_hit`]: per-key hits in input
+    /// order, element-wise identical to per-key calls. Default is the
+    /// per-key loop; the AQF family overrides it with quotient-sorted /
+    /// shard-grouped table walks.
+    fn query_hit_batch(&self, keys: &[u64]) -> Vec<Option<Self::Hit>> {
+        keys.iter().map(|&k| self.query_hit(k)).collect()
+    }
 }
 
 /// Recording of the reverse-map operations a *location-keyed* adaptive

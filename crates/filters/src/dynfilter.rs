@@ -22,6 +22,12 @@
 //! [`AqfDyn`], and [`ShardedAqfDyn`] (external-map AQF variants). Adding
 //! a new filter means implementing the traits and picking — or writing —
 //! a wrapper; no enum to extend.
+//!
+//! Both modes come in batched form ([`DynFilter::insert_batch`],
+//! [`DynFilter::contains_batch`], [`DynFilter::insert_tracked_batch`],
+//! [`DynFilter::query_loc_batch`]) with correct per-key defaults, so
+//! every registry kind is batch-callable; the AQF wrappers override them
+//! with quotient-sorted, lock-once-per-shard bulk paths.
 
 use aqf::{AdaptiveQf, AqfConfig, FilterError, Hit, QueryResult, ShadowMap, ShardedAqf};
 
@@ -105,6 +111,33 @@ pub trait DynFilter {
     }
 
     // ------------------------------------------------------------------
+    // Batch operations
+    //
+    // Every method has a correct per-key default, so all registry kinds
+    // are batch-callable; the AQF wrappers override with real bulk paths
+    // (quotient-sorted table walks, one lock per shard per batch).
+    // ------------------------------------------------------------------
+
+    /// Insert every key of `keys` in order (standalone mode: shadow
+    /// state is maintained). Default is the per-key loop. On error a
+    /// prefix of the batch (in an implementation-chosen order) has been
+    /// inserted; implementations must keep any shadow state consistent
+    /// with exactly that prefix, as the per-key path does.
+    fn insert_batch(&mut self, keys: &[u64]) -> Result<(), FilterError> {
+        for &k in keys {
+            self.insert(k)?;
+        }
+        Ok(())
+    }
+
+    /// Batched [`DynFilter::contains`]: membership bits in input order,
+    /// element-wise identical to per-key calls. Default is the per-key
+    /// loop.
+    fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        keys.iter().map(|&k| self.contains(k)).collect()
+    }
+
+    // ------------------------------------------------------------------
     // System integration (FilteredDb)
     // ------------------------------------------------------------------
 
@@ -125,11 +158,26 @@ pub trait DynFilter {
         self.insert(key).map(|()| InsertPlan::AtKey)
     }
 
+    /// Batched [`DynFilter::insert_tracked`] (system mode): one
+    /// [`InsertPlan`] per key, in input order. Default is the per-key
+    /// loop; on error a prefix of the batch has been inserted and its
+    /// plans are lost, so callers should treat the batch as failed.
+    fn insert_tracked_batch(&mut self, keys: &[u64]) -> Result<Vec<InsertPlan>, FilterError> {
+        keys.iter().map(|&k| self.insert_tracked(k)).collect()
+    }
+
     /// Store key of the record verifying a positive query (`None` =
     /// filter negative). Only meaningful for [`Keying::Location`] filters.
     fn query_loc(&self, key: u64) -> Option<u64> {
         let _ = key;
         None
+    }
+
+    /// Batched [`DynFilter::query_loc`]: per-key store keys in input
+    /// order, letting the system layer pipeline all filter probes ahead
+    /// of its backing-store reads. Default is the per-key loop.
+    fn query_loc_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        keys.iter().map(|&k| self.query_loc(k)).collect()
     }
 
     /// Adapt after the database refuted the match at `loc`:
@@ -218,11 +266,22 @@ impl<F: AmqFilter> DynFilter for PlainDyn<F> {
     fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
         self.f.delete(key)
     }
+
+    fn insert_batch(&mut self, keys: &[u64]) -> Result<(), FilterError> {
+        self.f.insert_batch(keys)
+    }
+
+    fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        self.f.contains_batch(keys)
+    }
 }
 
 // ----------------------------------------------------------------------
 // LocDyn: adaptive filters with an internal (shadow) reverse map
 // ----------------------------------------------------------------------
+// (LocDyn keeps the per-key batch defaults: ACF/TQF inserts emit ordered
+// reverse-map event traces, which a bulk path would have to interleave
+// per key anyway.)
 
 /// Wraps an adaptive filter whose reverse map is internal and
 /// location-keyed (ACF, TQF): stored keys resolve through the filter's
@@ -422,6 +481,26 @@ impl DynFilter for AqfDyn {
         }
     }
 
+    fn insert_batch(&mut self, keys: &[u64]) -> Result<(), FilterError> {
+        // The sink fires per key as it lands, so on a mid-batch error the
+        // shadow map still mirrors the filter exactly (per-key parity).
+        let map = &mut self.map;
+        let system_mode = self.system_mode;
+        let mut landed = 0u64;
+        let r = self.f.insert_batch_with(keys, |i, out| {
+            landed += 1;
+            if !system_mode {
+                map.record(&out, keys[i]);
+            }
+        });
+        self.map_inserts += landed;
+        r
+    }
+
+    fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        AdaptiveQf::contains_batch(&self.f, keys)
+    }
+
     fn keying(&self) -> Keying {
         Keying::Location
     }
@@ -439,8 +518,27 @@ impl DynFilter for AqfDyn {
         )))
     }
 
+    fn insert_tracked_batch(&mut self, keys: &[u64]) -> Result<Vec<InsertPlan>, FilterError> {
+        let mut plans = vec![InsertPlan::AtKey; keys.len()];
+        let mut landed = 0u64;
+        let r = self.f.insert_batch_with(keys, |i, out| {
+            landed += 1;
+            plans[i] =
+                InsertPlan::AtLoc(aqf::revmap::pack_fingerprint_key(out.minirun_id, out.rank));
+        });
+        self.map_inserts += landed;
+        r.map(|()| plans)
+    }
+
     fn query_loc(&self, key: u64) -> Option<u64> {
         AdaptiveFilter::query_hit(&self.f, key).map(|h| AdaptiveFilter::store_key(&self.f, &h))
+    }
+
+    fn query_loc_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        AdaptiveFilter::query_hit_batch(&self.f, keys)
+            .into_iter()
+            .map(|h| h.map(|h| AdaptiveFilter::store_key(&self.f, &h)))
+            .collect()
     }
 
     fn adapt_loc(&mut self, loc: u64, stored_key: u64, query_key: u64) -> Result<(), FilterError> {
@@ -568,6 +666,27 @@ impl DynFilter for ShardedAqfDyn {
         }
     }
 
+    fn insert_batch(&mut self, keys: &[u64]) -> Result<(), FilterError> {
+        // The sink fires per key as it lands with the shard it routed to
+        // (no re-hash), so on a mid-batch error the per-shard shadow maps
+        // still mirror the filter exactly (per-key parity).
+        let maps = &mut self.maps;
+        let system_mode = self.system_mode;
+        let mut landed = 0u64;
+        let r = self.f.insert_batch_with(keys, |i, shard, out| {
+            landed += 1;
+            if !system_mode {
+                maps[shard].record(&out, keys[i]);
+            }
+        });
+        self.map_inserts += landed;
+        r
+    }
+
+    fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        ShardedAqf::contains_batch(&self.f, keys)
+    }
+
     fn keying(&self) -> Keying {
         Keying::Location
     }
@@ -590,8 +709,35 @@ impl DynFilter for ShardedAqfDyn {
         Ok(InsertPlan::AtLoc(AdaptiveFilter::store_key(&self.f, &hit)))
     }
 
+    fn insert_tracked_batch(&mut self, keys: &[u64]) -> Result<Vec<InsertPlan>, FilterError> {
+        let f = &self.f;
+        let mut plans = vec![InsertPlan::AtKey; keys.len()];
+        let mut landed = 0u64;
+        let r = f.insert_batch_with(keys, |i, shard, out| {
+            landed += 1;
+            let hit = ShardedHit {
+                shard,
+                hit: Hit {
+                    minirun_id: out.minirun_id,
+                    rank: out.rank,
+                    ext_chunks: 0,
+                },
+            };
+            plans[i] = InsertPlan::AtLoc(AdaptiveFilter::store_key(f, &hit));
+        });
+        self.map_inserts += landed;
+        r.map(|()| plans)
+    }
+
     fn query_loc(&self, key: u64) -> Option<u64> {
         AdaptiveFilter::query_hit(&self.f, key).map(|h| AdaptiveFilter::store_key(&self.f, &h))
+    }
+
+    fn query_loc_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        AdaptiveFilter::query_hit_batch(&self.f, keys)
+            .into_iter()
+            .map(|h| h.map(|h| AdaptiveFilter::store_key(&self.f, &h)))
+            .collect()
     }
 
     fn adapt_loc(&mut self, loc: u64, stored_key: u64, query_key: u64) -> Result<(), FilterError> {

@@ -1,0 +1,79 @@
+//! Batch-vs-sequential conformance over **every** registry kind: the
+//! `DynFilter` batch methods (real bulk paths for the AQF family,
+//! per-key default fallbacks for everything else) must produce
+//! element-wise identical filters and answers to sequential calls.
+
+use aqf_filters::registry::{self, FilterSpec};
+use aqf_filters::DynFilter;
+
+const QBITS: u32 = 12;
+const N: u64 = 2000;
+
+fn build(kind: &str) -> Box<dyn DynFilter> {
+    FilterSpec::new(kind, QBITS)
+        .with_seed(21)
+        .build()
+        .unwrap_or_else(|e| panic!("{kind}: build failed: {e}"))
+}
+
+fn member(i: u64) -> u64 {
+    i * 2654435761 % (1 << 40)
+}
+
+#[test]
+fn batch_insert_and_contains_match_sequential_for_every_kind() {
+    for kind in registry::kinds() {
+        let mut seq = build(kind);
+        let mut bat = build(kind);
+        let keys: Vec<u64> = (0..N).map(member).collect();
+        for &k in &keys {
+            seq.insert(k)
+                .unwrap_or_else(|e| panic!("{kind}: sequential insert failed: {e}"));
+        }
+        for chunk in keys.chunks(89) {
+            bat.insert_batch(chunk)
+                .unwrap_or_else(|e| panic!("{kind}: batch insert failed: {e}"));
+        }
+        assert_eq!(seq.len(), bat.len(), "{kind}: len diverges");
+
+        // Element-wise: members plus a stream of (mostly absent) probes.
+        let probes: Vec<u64> = keys
+            .iter()
+            .copied()
+            .chain((0..N).map(|i| (1 << 41) + i * 7919))
+            .collect();
+        let got = bat.contains_batch(&probes);
+        assert_eq!(got.len(), probes.len(), "{kind}: result length");
+        for (j, &p) in probes.iter().enumerate() {
+            assert_eq!(
+                got[j],
+                seq.contains(p),
+                "{kind}: batch-built filter diverges from sequential twin at probe {p}"
+            );
+            assert_eq!(
+                got[j],
+                bat.contains(p),
+                "{kind}: batch answers diverge from the same filter's per-key answers at {p}"
+            );
+        }
+        // No false negatives through the batch path.
+        assert!(
+            got[..keys.len()].iter().all(|&b| b),
+            "{kind}: batch lost a member"
+        );
+    }
+}
+
+#[test]
+fn batch_methods_handle_empty_input() {
+    for kind in registry::kinds() {
+        let mut f = build(kind);
+        f.insert_batch(&[])
+            .unwrap_or_else(|e| panic!("{kind}: empty insert_batch failed: {e}"));
+        assert!(
+            f.contains_batch(&[]).is_empty(),
+            "{kind}: empty contains_batch"
+        );
+        assert!(f.is_empty(), "{kind}: empty batch inserted something");
+    }
+}

@@ -26,6 +26,13 @@
 //! until the query is verified either way (adaptation guarantees
 //! progress), weakly adaptive ones for a bounded number of rounds (their
 //! selectors cycle, so separation is not guaranteed).
+//!
+//! Bulk traffic should use [`FilteredDb::insert_batch`] and
+//! [`FilteredDb::query_batch`]: the filter absorbs the whole batch first
+//! (quotient-sorted walks, one lock per shard per batch for the AQF
+//! family), then database I/O runs over the filter's answers — filter
+//! probes are pipelined ahead of backing-store reads instead of
+//! interleaved with them.
 
 use aqf::{AdaptiveQf, AqfConfig, FilterError};
 use aqf_filters::{Adaptivity, AqfDyn, DynFilter, InsertPlan, Keying, MapEvent};
@@ -220,67 +227,167 @@ impl FilteredDb {
         self.stats.queries += 1;
         match self.filter.keying() {
             Keying::Key => {
-                if !self.filter.contains(key) {
-                    self.stats.filter_negatives += 1;
-                    return Ok(None);
-                }
-                let got = self.primary.get(key)?;
-                if got.is_some() {
-                    self.stats.true_positives += 1;
-                } else {
-                    self.stats.false_positives += 1;
-                }
-                Ok(got)
+                let positive = self.filter.contains(key);
+                self.verify_key_keyed(key, positive)
             }
             Keying::Location => {
-                // Adapt-and-retry: when miniruns hold several keys, the
-                // first matching fingerprint may belong to a *different*
-                // key; adapt it and re-query until the answer is verified
-                // either way. Each round costs one database read (a true
-                // false positive). Strong adaptivity guarantees progress;
-                // weak adaptivity gets a bounded number of rounds.
-                let max_rounds = match self.filter.adaptivity() {
-                    Adaptivity::Strong => usize::MAX,
-                    Adaptivity::Weak => WEAK_ADAPT_ROUNDS,
-                    Adaptivity::None => 1,
+                let loc = self.filter.query_loc(key);
+                self.verify_at_loc(key, loc)
+            }
+        }
+    }
+
+    /// Key-keyed verification: the filter answered `positive`; a positive
+    /// costs one database read under the original key.
+    fn verify_key_keyed(&mut self, key: u64, positive: bool) -> std::io::Result<Option<Vec<u8>>> {
+        if !positive {
+            self.stats.filter_negatives += 1;
+            return Ok(None);
+        }
+        let got = self.primary.get(key)?;
+        if got.is_some() {
+            self.stats.true_positives += 1;
+        } else {
+            self.stats.false_positives += 1;
+        }
+        Ok(got)
+    }
+
+    /// Location-keyed verification, seeded with a pre-computed first
+    /// probe (`loc`) so batch queries can pipeline all filter probes
+    /// ahead of the database reads.
+    ///
+    /// Adapt-and-retry: when miniruns hold several keys, the first
+    /// matching fingerprint may belong to a *different* key; adapt it and
+    /// re-query until the answer is verified either way. Each round costs
+    /// one database read (a true false positive). Strong adaptivity
+    /// guarantees progress; weak adaptivity gets a bounded number of
+    /// rounds.
+    fn verify_at_loc(
+        &mut self,
+        key: u64,
+        mut loc: Option<u64>,
+    ) -> std::io::Result<Option<Vec<u8>>> {
+        let max_rounds = match self.filter.adaptivity() {
+            Adaptivity::Strong => usize::MAX,
+            Adaptivity::Weak => WEAK_ADAPT_ROUNDS,
+            Adaptivity::None => 1,
+        };
+        let mut round = 0usize;
+        loop {
+            let Some(l) = loc else {
+                // Only a *first* negative means the query never
+                // touched the store; post-adapt negatives ended a
+                // false-positive round that already paid.
+                if round == 0 {
+                    self.stats.filter_negatives += 1;
+                }
+                return Ok(None);
+            };
+            let Some(rec) = self.primary.get(l)? else {
+                // Filter/DB divergence (should not happen).
+                self.stats.false_positives += 1;
+                return Ok(None);
+            };
+            let stored = u64::from_le_bytes(rec[..8].try_into().unwrap());
+            if stored == key {
+                self.stats.true_positives += 1;
+                return match &mut self.split_db {
+                    None => Ok(Some(rec[8..].to_vec())),
+                    Some(db) => Ok(db.get(key)?),
                 };
-                let mut round = 0usize;
-                loop {
-                    let Some(loc) = self.filter.query_loc(key) else {
-                        // Only a *first* negative means the query never
-                        // touched the store; post-adapt negatives ended a
-                        // false-positive round that already paid.
-                        if round == 0 {
-                            self.stats.filter_negatives += 1;
-                        }
-                        return Ok(None);
-                    };
-                    let Some(rec) = self.primary.get(loc)? else {
-                        // Filter/DB divergence (should not happen).
-                        self.stats.false_positives += 1;
-                        return Ok(None);
-                    };
-                    let stored = u64::from_le_bytes(rec[..8].try_into().unwrap());
-                    if stored == key {
-                        self.stats.true_positives += 1;
-                        return match &mut self.split_db {
-                            None => Ok(Some(rec[8..].to_vec())),
-                            Some(db) => Ok(db.get(key)?),
-                        };
+            }
+            self.stats.false_positives += 1;
+            round += 1;
+            if round >= max_rounds {
+                return Ok(None);
+            }
+            match self.filter.adapt_loc(l, stored, key) {
+                Ok(()) => self.stats.adapts += 1,
+                // Full table or inseparable hashes: stop trying;
+                // the query stays a false positive.
+                Err(_) => return Ok(None),
+            }
+            loc = self.filter.query_loc(key);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batch operations
+    // ------------------------------------------------------------------
+
+    /// Insert a batch of `key -> value` records.
+    ///
+    /// The filter absorbs the whole batch first through
+    /// [`DynFilter::insert_tracked_batch`] (sorted-by-quotient walks, one
+    /// lock per shard per batch for the AQF family), then the resulting
+    /// plans are applied to the database in input order. On a filter
+    /// error the batch stops with no database writes; a prefix of the
+    /// batch may occupy filter slots, so callers should treat the whole
+    /// batch as failed and not retry it blindly.
+    pub fn insert_batch(
+        &mut self,
+        items: &[(u64, &[u8])],
+    ) -> std::io::Result<Result<(), FilterError>> {
+        self.stats.inserts += items.len() as u64;
+        let keys: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+        let plans = match self.filter.insert_tracked_batch(&keys) {
+            Ok(p) => p,
+            Err(e) => return Ok(Err(e)),
+        };
+        for (&(key, value), plan) in items.iter().zip(plans) {
+            match plan {
+                InsertPlan::AtKey => {
+                    self.primary.put(key, value)?;
+                }
+                InsertPlan::AtLoc(fp_key) => match &mut self.split_db {
+                    None => {
+                        self.primary.put(fp_key, &Self::value_record(key, value))?;
                     }
-                    self.stats.false_positives += 1;
-                    round += 1;
-                    if round >= max_rounds {
-                        return Ok(None);
+                    Some(db) => {
+                        self.primary.put(fp_key, &key.to_le_bytes())?;
+                        db.put(key, value)?;
                     }
-                    match self.filter.adapt_loc(loc, stored, key) {
-                        Ok(()) => self.stats.adapts += 1,
-                        // Full table or inseparable hashes: stop trying;
-                        // the query stays a false positive.
-                        Err(_) => return Ok(None),
-                    }
+                },
+                InsertPlan::Events(events) => {
+                    Self::replay_events(
+                        &mut self.primary,
+                        &events,
+                        Self::value_record(key, value),
+                    )?;
                 }
             }
         }
+        Ok(Ok(()))
+    }
+
+    /// Query a batch of keys, returning per-key values in input order.
+    ///
+    /// All filter probes run first ([`DynFilter::contains_batch`] /
+    /// [`DynFilter::query_loc_batch`]: cache-coherent table walks, one
+    /// lock per shard per batch), then only the filter-positive keys pay
+    /// database reads. Verification and adaptation per key are identical
+    /// to [`Self::query`]; in the rare case where adapting an earlier key
+    /// of the batch also separates a later key's fingerprint, the later
+    /// key still verifies correctly (its pre-computed probe is refuted by
+    /// the database like any false positive).
+    pub fn query_batch(&mut self, keys: &[u64]) -> std::io::Result<Vec<Option<Vec<u8>>>> {
+        self.stats.queries += keys.len() as u64;
+        let mut out = Vec::with_capacity(keys.len());
+        match self.filter.keying() {
+            Keying::Key => {
+                let positives = self.filter.contains_batch(keys);
+                for (&key, positive) in keys.iter().zip(positives) {
+                    out.push(self.verify_key_keyed(key, positive)?);
+                }
+            }
+            Keying::Location => {
+                let locs = self.filter.query_loc_batch(keys);
+                for (&key, loc) in keys.iter().zip(locs) {
+                    out.push(self.verify_at_loc(key, loc)?);
+                }
+            }
+        }
+        Ok(out)
     }
 }
