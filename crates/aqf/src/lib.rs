@@ -53,12 +53,14 @@ mod rebuild;
 pub mod revmap;
 pub mod shadow;
 mod sharded;
+pub mod snapshot;
 mod table;
 mod yesno;
 
 pub use config::{AqfConfig, FilterError};
 pub use filter::{AdaptiveQf, AqfStats, DeleteOutcome, Entry, Hit, InsertOutcome, QueryResult};
 
+pub use aqf_bits::snapshot::SnapError;
 pub use shadow::ShadowMap;
 pub use sharded::ShardedAqf;
 pub use yesno::{StaticYesNo, YesNoFilter, YesNoResponse};

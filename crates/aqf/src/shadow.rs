@@ -19,8 +19,8 @@ use crate::filter::{DeleteOutcome, InsertOutcome};
 /// insert outcomes.
 #[derive(Clone, Debug, Default)]
 pub struct ShadowMap {
-    log: Vec<(u64, u32, u64)>,
-    map: HashMap<u64, Vec<u64>>,
+    pub(crate) log: Vec<(u64, u32, u64)>,
+    pub(crate) map: HashMap<u64, Vec<u64>>,
 }
 
 impl ShadowMap {

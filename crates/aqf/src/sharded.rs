@@ -26,10 +26,10 @@ const ROUTE_SALT: u64 = 0x5bd1_e995_c6a4_a793;
 
 /// A partitioned, thread-safe AdaptiveQF.
 pub struct ShardedAqf {
-    shards: Vec<Mutex<AdaptiveQf>>,
-    shard_bits: u32,
-    shard_cfg: AqfConfig,
-    seed: u64,
+    pub(crate) shards: Vec<Mutex<AdaptiveQf>>,
+    pub(crate) shard_bits: u32,
+    pub(crate) shard_cfg: AqfConfig,
+    pub(crate) seed: u64,
 }
 
 impl ShardedAqf {

@@ -1,0 +1,596 @@
+//! Snapshot persistence for the AQF family (crate-level save/load).
+//!
+//! Adaptation state — the extension chunks accumulated against reported
+//! false positives (paper §4.2) — is exactly the state a restart must not
+//! lose, so every filter here serializes its *entire* table: metadata bit
+//! vectors, packed slots, cached statistics, and (where bundled) the
+//! in-memory reverse map. The framing is `aqf_bits::snapshot`'s versioned
+//! sections + content checksum; see that module for the byte layout.
+//!
+//! Loading re-validates everything it can cheaply afford: the frame
+//! checksum first (any flipped byte is caught before decoding), then
+//! geometry/length consistency per section, then the full structural
+//! invariant sweep of [`AdaptiveQf::validate`] — so a snapshot that
+//! decodes but describes an impossible table is rejected with a typed
+//! [`SnapError`] instead of corrupting later operations.
+//!
+//! [`ShardedAqf`] snapshots store one independently-framed blob per shard
+//! and decode them **in parallel** across `std::thread::available_parallelism`
+//! workers — load time for the big per-shard tables scales with core
+//! count, which is what makes load-at-serve-time beat rebuild-from-keys
+//! (see the `fig11_persist` benchmark).
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use aqf_bits::snapshot::{read_file, write_atomic, SnapError, SnapshotReader, SnapshotWriter};
+use parking_lot::Mutex;
+
+use crate::config::AqfConfig;
+use crate::filter::{AdaptiveQf, AqfStats};
+use crate::shadow::ShadowMap;
+use crate::sharded::ShardedAqf;
+use crate::table::Table;
+use crate::yesno::YesNoFilter;
+
+/// Snapshot kind string for a standalone [`AdaptiveQf`] frame.
+pub const AQF_SNAPSHOT_KIND: &str = "aqf-table";
+/// Snapshot kind string for a [`ShardedAqf`] frame.
+pub const SHARDED_SNAPSHOT_KIND: &str = "sharded-aqf-table";
+/// Snapshot kind string for a [`YesNoFilter`] frame.
+pub const YESNO_SNAPSHOT_KIND: &str = "yesno-filter";
+
+impl AdaptiveQf {
+    /// Write this filter's body (config, stats, table sections) into an
+    /// open snapshot. Composable: wrappers embed the body inside their own
+    /// frames; use [`AdaptiveQf::to_snapshot_bytes`] for a standalone one.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.section(*b"QCFG");
+        w.u32(self.cfg.qbits);
+        w.u32(self.cfg.rbits);
+        w.u32(self.cfg.value_bits);
+        w.u64(self.cfg.seed);
+        w.u64(self.t.canonical as u64);
+        w.u64(self.t.total as u64);
+        w.section(*b"QSTA");
+        w.u64(self.groups);
+        w.u64(self.total_count);
+        w.u64(self.slots_used);
+        w.u64(self.stats.adaptations);
+        w.u64(self.stats.extension_slots);
+        w.u64(self.stats.counter_slots);
+        w.section(*b"QTAB");
+        w.bitvec(&self.t.occupieds);
+        w.bitvec(&self.t.runends);
+        w.bitvec(&self.t.extensions);
+        w.bitvec(&self.t.used);
+        w.packed(&self.t.slots);
+    }
+
+    /// Read a filter body written by [`AdaptiveQf::write_snapshot`],
+    /// re-validating geometry, section lengths, and the full structural
+    /// invariants of the decoded table.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        r.section(*b"QCFG")?;
+        let qbits = r.u32()?;
+        let rbits = r.u32()?;
+        let value_bits = r.u32()?;
+        let seed = r.u64()?;
+        let canonical = r.len_u64()?;
+        let total = r.len_u64()?;
+        if total <= canonical {
+            return Err(SnapError::corrupt(format!(
+                "total slots {total} must exceed canonical slots {canonical}"
+            )));
+        }
+        let cfg = AqfConfig {
+            qbits,
+            rbits,
+            value_bits,
+            seed,
+            overflow_slots: Some(total - canonical),
+        };
+        cfg.validate().map_err(SnapError::corrupt)?;
+        if canonical != cfg.canonical_slots() {
+            return Err(SnapError::corrupt(format!(
+                "canonical slots {canonical} disagree with qbits {qbits}"
+            )));
+        }
+        r.section(*b"QSTA")?;
+        let groups = r.u64()?;
+        let total_count = r.u64()?;
+        let slots_used = r.u64()?;
+        let stats = AqfStats {
+            adaptations: r.u64()?,
+            extension_slots: r.u64()?,
+            counter_slots: r.u64()?,
+        };
+        r.section(*b"QTAB")?;
+        let occupieds = r.bitvec()?;
+        let runends = r.bitvec()?;
+        let extensions = r.bitvec()?;
+        let used = r.bitvec()?;
+        let slots = r.packed()?;
+        for (name, bv) in [
+            ("occupieds", &occupieds),
+            ("runends", &runends),
+            ("extensions", &extensions),
+            ("used", &used),
+        ] {
+            if bv.len() != total {
+                return Err(SnapError::corrupt(format!(
+                    "{name} bit vector holds {} bits, table has {total} slots",
+                    bv.len()
+                )));
+            }
+        }
+        if slots.len() != total || slots.width() != rbits + value_bits {
+            return Err(SnapError::corrupt(format!(
+                "slot vector {}x{} bits, table wants {total}x{} bits",
+                slots.len(),
+                slots.width(),
+                rbits + value_bits
+            )));
+        }
+        let f = Self {
+            cfg,
+            t: Table {
+                occupieds,
+                runends,
+                extensions,
+                used,
+                slots,
+                total,
+                canonical,
+                rbits,
+                value_bits,
+            },
+            groups,
+            total_count,
+            slots_used,
+            stats,
+        };
+        // Full structural sweep: a snapshot that decodes but describes an
+        // impossible table (phantom runends, stat drift, out-of-order
+        // remainders) must be rejected here, not corrupt operations later.
+        f.validate().map_err(SnapError::corrupt)?;
+        Ok(f)
+    }
+
+    /// Serialize to a standalone snapshot frame.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(AQF_SNAPSHOT_KIND);
+        self.write_snapshot(&mut w);
+        w.finish()
+    }
+
+    /// Decode a standalone snapshot frame.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        r.expect_kind(AQF_SNAPSHOT_KIND)?;
+        Self::read_snapshot(&mut r)
+    }
+
+    /// Save atomically to `path` (write-temp-then-rename).
+    pub fn save(&self, path: &Path) -> Result<(), SnapError> {
+        Ok(write_atomic(path, &self.to_snapshot_bytes())?)
+    }
+
+    /// Load a filter saved by [`AdaptiveQf::save`].
+    pub fn load(path: &Path) -> Result<Self, SnapError> {
+        Self::from_snapshot_bytes(&read_file(path)?)
+    }
+}
+
+impl ShardedAqf {
+    /// Write this filter's body: sharding config, then one
+    /// independently-framed blob per shard (decoded in parallel on load).
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.section(*b"SCFG");
+        w.u32(self.shard_bits);
+        w.u64(self.seed);
+        for shard in &self.shards {
+            w.section(*b"SHRD");
+            w.bytes(&shard.lock().to_snapshot_bytes());
+        }
+    }
+
+    /// Read a body written by [`ShardedAqf::write_snapshot`]; shard blobs
+    /// are decoded across all available cores.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        r.section(*b"SCFG")?;
+        let shard_bits = r.u32()?;
+        if shard_bits >= 32 {
+            return Err(SnapError::corrupt(format!(
+                "shard_bits {shard_bits} out of range"
+            )));
+        }
+        let seed = r.u64()?;
+        let n = 1usize << shard_bits;
+        // Capacity is a hint only: a tiny crafted frame must not be able
+        // to force a huge up-front allocation before the first missing
+        // SHRD section returns its typed error.
+        let mut blobs: Vec<&[u8]> = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            r.section(*b"SHRD")?;
+            blobs.push(r.bytes()?);
+        }
+        let shards = decode_shards_parallel(&blobs)?;
+        let shard_cfg = *shards[0].config();
+        for (i, s) in shards.iter().enumerate() {
+            if *s.config() != shard_cfg {
+                return Err(SnapError::corrupt(format!(
+                    "shard {i} config {:?} disagrees with shard 0's {shard_cfg:?}",
+                    s.config()
+                )));
+            }
+        }
+        if shard_cfg.seed != seed {
+            return Err(SnapError::corrupt(format!(
+                "shard seed {} disagrees with routing seed {seed}",
+                shard_cfg.seed
+            )));
+        }
+        Ok(Self {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            shard_bits,
+            shard_cfg,
+            seed,
+        })
+    }
+
+    /// Serialize to a standalone snapshot frame.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SHARDED_SNAPSHOT_KIND);
+        self.write_snapshot(&mut w);
+        w.finish()
+    }
+
+    /// Decode a standalone snapshot frame (parallel shard decode).
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        r.expect_kind(SHARDED_SNAPSHOT_KIND)?;
+        Self::read_snapshot(&mut r)
+    }
+
+    /// Save atomically to `path` (write-temp-then-rename).
+    pub fn save(&self, path: &Path) -> Result<(), SnapError> {
+        Ok(write_atomic(path, &self.to_snapshot_bytes())?)
+    }
+
+    /// Load a filter saved by [`ShardedAqf::save`].
+    pub fn load(path: &Path) -> Result<Self, SnapError> {
+        Self::from_snapshot_bytes(&read_file(path)?)
+    }
+}
+
+/// Decode shard blobs across up to `available_parallelism` scoped threads,
+/// preserving shard order. Returns the first error encountered (by shard
+/// index) so failures are deterministic.
+fn decode_shards_parallel(blobs: &[&[u8]]) -> Result<Vec<AdaptiveQf>, SnapError> {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(blobs.len().max(1));
+    if workers <= 1 || blobs.len() <= 1 {
+        return blobs
+            .iter()
+            .map(|b| AdaptiveQf::from_snapshot_bytes(b))
+            .collect();
+    }
+    let chunk = blobs.len().div_ceil(workers);
+    let mut decoded: Vec<Vec<Result<AdaptiveQf, SnapError>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blobs
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|b| AdaptiveQf::from_snapshot_bytes(b))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            decoded.push(h.join().expect("shard decode worker panicked"));
+        }
+    });
+    decoded.into_iter().flatten().collect()
+}
+
+impl ShadowMap {
+    /// Write the map's exact state (settled entries plus the pending log)
+    /// as sections of an open snapshot.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.section(*b"SMAP");
+        w.u64(self.map.len() as u64);
+        for (&id, keys) in &self.map {
+            w.u64(id);
+            w.u64_slice(keys);
+        }
+        w.section(*b"SLOG");
+        w.u64(self.log.len() as u64);
+        for &(id, rank, key) in &self.log {
+            w.u64(id);
+            w.u32(rank);
+            w.u64(key);
+        }
+    }
+
+    /// Read a map written by [`ShadowMap::write_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        r.section(*b"SMAP")?;
+        let n = r.len_u64()?;
+        let mut map = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let id = r.u64()?;
+            let keys = r.u64_vec()?;
+            if map.insert(id, keys).is_some() {
+                return Err(SnapError::corrupt(format!(
+                    "duplicate shadow-map entry for minirun {id}"
+                )));
+            }
+        }
+        r.section(*b"SLOG")?;
+        let n = r.len_u64()?;
+        let mut log = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            log.push((r.u64()?, r.u32()?, r.u64()?));
+        }
+        Ok(Self { log, map })
+    }
+}
+
+impl YesNoFilter {
+    /// Write the filter body plus its bundled reverse map and list sizes.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        self.f.write_snapshot(w);
+        w.section(*b"YMAP");
+        w.u64(self.map.len() as u64);
+        for (&id, keys) in &self.map {
+            w.u64(id);
+            w.u64_slice(keys);
+        }
+        w.section(*b"YLEN");
+        w.u64(self.yes_len as u64);
+        w.u64(self.no_len as u64);
+    }
+
+    /// Read a body written by [`YesNoFilter::write_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        let f = AdaptiveQf::read_snapshot(r)?;
+        if f.config().value_bits != 1 {
+            return Err(SnapError::corrupt("yes/no filter requires value_bits = 1"));
+        }
+        r.section(*b"YMAP")?;
+        let n = r.len_u64()?;
+        let mut map = HashMap::with_capacity(n.min(1 << 20));
+        let mut mapped_keys = 0u64;
+        for _ in 0..n {
+            let id = r.u64()?;
+            let keys = r.u64_vec()?;
+            mapped_keys += keys.len() as u64;
+            if map.insert(id, keys).is_some() {
+                return Err(SnapError::corrupt(format!(
+                    "duplicate yes/no map entry for minirun {id}"
+                )));
+            }
+        }
+        if mapped_keys != f.distinct_fingerprints() {
+            return Err(SnapError::corrupt(format!(
+                "reverse map holds {mapped_keys} keys, filter stores {} fingerprints",
+                f.distinct_fingerprints()
+            )));
+        }
+        r.section(*b"YLEN")?;
+        let yes_len = r.len_u64()?;
+        let no_len = r.len_u64()?;
+        // u128: file-supplied sizes must not be able to overflow the sum.
+        if (yes_len as u128) + (no_len as u128) != f.len() as u128 {
+            return Err(SnapError::corrupt(format!(
+                "list sizes {yes_len}+{no_len} disagree with filter count {}",
+                f.len()
+            )));
+        }
+        Ok(Self {
+            f,
+            map,
+            yes_len,
+            no_len,
+        })
+    }
+
+    /// Serialize to a standalone snapshot frame.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(YESNO_SNAPSHOT_KIND);
+        self.write_snapshot(&mut w);
+        w.finish()
+    }
+
+    /// Decode a standalone snapshot frame.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        r.expect_kind(YESNO_SNAPSHOT_KIND)?;
+        Self::read_snapshot(&mut r)
+    }
+
+    /// Save atomically to `path` (write-temp-then-rename).
+    pub fn save(&self, path: &Path) -> Result<(), SnapError> {
+        Ok(write_atomic(path, &self.to_snapshot_bytes())?)
+    }
+
+    /// Load a filter saved by [`YesNoFilter::save`].
+    pub fn load(path: &Path) -> Result<Self, SnapError> {
+        Self::from_snapshot_bytes(&read_file(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::QueryResult;
+
+    fn filled(seed: u64, n: u64) -> AdaptiveQf {
+        let mut f = AdaptiveQf::new(AqfConfig::new(12, 9).with_seed(seed)).unwrap();
+        for k in 0..n {
+            f.insert(k * 31 + 7).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn aqf_roundtrips_with_adaptation_state() {
+        let mut f = filled(3, 3000);
+        let mut m = ShadowMap::new();
+        // Rebuild the map from scratch so adaptation has stored keys.
+        let mut f2 = AdaptiveQf::new(*f.config()).unwrap();
+        for k in 0..3000u64 {
+            let out = f2.insert(k * 31 + 7).unwrap();
+            m.record(&out, k * 31 + 7);
+        }
+        m.settle();
+        f = f2;
+        // Adapt a few hundred false positives.
+        let mut adapted = 0;
+        let mut probe = 1u64 << 40;
+        while adapted < 200 {
+            probe += 1;
+            if let QueryResult::Positive(hit) = f.query(probe) {
+                if let Some(stored) = m.get(hit.minirun_id, hit.rank) {
+                    if stored != probe && f.adapt(&hit, stored, probe).is_ok() {
+                        adapted += 1;
+                    }
+                }
+            }
+        }
+        assert!(f.stats().extension_slots > 0);
+
+        let bytes = f.to_snapshot_bytes();
+        let g = AdaptiveQf::from_snapshot_bytes(&bytes).unwrap();
+        g.assert_valid();
+        assert_eq!(g.len(), f.len());
+        assert_eq!(g.stats(), f.stats());
+        assert_eq!(g.slots_in_use(), f.slots_in_use());
+        // Element-wise identical query outcomes, members and probes alike.
+        for k in 0..3000u64 {
+            assert_eq!(f.query(k * 31 + 7), g.query(k * 31 + 7));
+        }
+        for p in 0..5000u64 {
+            let probe = (1u64 << 40) + p;
+            assert_eq!(f.query(probe), g.query(probe), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn sharded_roundtrips_across_parallel_decode() {
+        let f = ShardedAqf::new(AqfConfig::new(14, 9).with_seed(5), 3).unwrap();
+        for k in 0..10_000u64 {
+            f.insert(k).unwrap();
+        }
+        let bytes = f.to_snapshot_bytes();
+        let g = ShardedAqf::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(g.len(), f.len());
+        assert_eq!(g.shard_count(), f.shard_count());
+        assert_eq!(g.stats(), f.stats());
+        for k in 0..10_000u64 {
+            assert_eq!(f.query(k), g.query(k));
+            assert_eq!(f.shard_of(k), g.shard_of(k));
+        }
+        for p in 0..10_000u64 {
+            let probe = (1u64 << 41) + p * 97;
+            assert_eq!(f.query(probe), g.query(probe));
+        }
+    }
+
+    #[test]
+    fn shadow_map_roundtrips_pending_log_exactly() {
+        let mut f = filled(9, 500);
+        let mut m = ShadowMap::new();
+        let mut f2 = AdaptiveQf::new(*f.config()).unwrap();
+        for k in 0..500u64 {
+            let out = f2.insert(k * 31 + 7).unwrap();
+            m.record(&out, k * 31 + 7);
+        }
+        f = f2;
+        // Half settled, half still in the log.
+        m.settle();
+        for k in 500..700u64 {
+            let out = f.insert(k * 31 + 7).unwrap();
+            m.record(&out, k * 31 + 7);
+        }
+        let mut w = SnapshotWriter::new("shadow-test");
+        m.write_snapshot(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        let mut m2 = ShadowMap::read_snapshot(&mut r).unwrap();
+        m.settle();
+        m2.settle();
+        for k in 0..700u64 {
+            let QueryResult::Positive(hit) = f.query(k * 31 + 7) else {
+                panic!("member lost");
+            };
+            assert_eq!(
+                m.get(hit.minirun_id, hit.rank),
+                m2.get(hit.minirun_id, hit.rank)
+            );
+        }
+    }
+
+    #[test]
+    fn yesno_roundtrips_both_lists() {
+        let mut f = YesNoFilter::new(12, 8).unwrap();
+        for k in 0..1200u64 {
+            f.insert_yes(k * 3).unwrap();
+        }
+        for k in 0..1200u64 {
+            f.insert_no(k * 3 + 1).unwrap();
+        }
+        let bytes = f.to_snapshot_bytes();
+        let g = YesNoFilter::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(g.yes_len(), f.yes_len());
+        assert_eq!(g.no_len(), f.no_len());
+        for k in 0..1200u64 {
+            assert_eq!(f.query(k * 3), g.query(k * 3));
+            assert_eq!(f.query(k * 3 + 1), g.query(k * 3 + 1));
+            assert_eq!(f.query(k * 3 + 2), g.query(k * 3 + 2));
+        }
+    }
+
+    #[test]
+    fn wrong_kind_and_flips_are_typed_errors() {
+        let f = filled(1, 800);
+        let bytes = f.to_snapshot_bytes();
+        // An AQF frame fed to the sharded loader.
+        assert!(matches!(
+            ShardedAqf::from_snapshot_bytes(&bytes),
+            Err(SnapError::WrongKind { .. })
+        ));
+        // Truncations and flips never panic.
+        for n in (0..bytes.len()).step_by(97) {
+            assert!(AdaptiveQf::from_snapshot_bytes(&bytes[..n]).is_err());
+        }
+        for i in (0..bytes.len()).step_by(31) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(AdaptiveQf::from_snapshot_bytes(&bad).is_err(), "flip {i}");
+        }
+    }
+
+    #[test]
+    fn save_load_via_file_is_atomic() {
+        let dir = std::env::temp_dir().join(format!(
+            "aqf-snapshot-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.aqf");
+        let f = filled(4, 2000);
+        f.save(&path).unwrap();
+        let g = AdaptiveQf::load(&path).unwrap();
+        assert_eq!(g.len(), f.len());
+        // No stale temp left behind.
+        assert!(!aqf_bits::snapshot::stale_temp_path(&path).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

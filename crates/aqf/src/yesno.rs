@@ -46,11 +46,11 @@ impl YesNoResponse {
 
 /// Dynamic yes/no-list filter (paper §4.3).
 pub struct YesNoFilter {
-    f: AdaptiveQf,
+    pub(crate) f: AdaptiveQf,
     /// minirun id -> keys in rank order (the reverse map).
-    map: HashMap<u64, Vec<u64>>,
-    yes_len: usize,
-    no_len: usize,
+    pub(crate) map: HashMap<u64, Vec<u64>>,
+    pub(crate) yes_len: usize,
+    pub(crate) no_len: usize,
 }
 
 const YES: u64 = 1;

@@ -1,0 +1,173 @@
+//! "Figure 11" (beyond the paper): snapshot persistence vs rebuild.
+//!
+//! A restartable serving system has two ways to get its filter back after
+//! a restart: **load** a binary snapshot (table + adaptation state +
+//! reverse-map state, one checksummed file) or **rebuild** from the
+//! original keys — which replays every insert and, crucially, *loses all
+//! accumulated adaptations* (the false positives fixed over the filter's
+//! lifetime fire again). This harness quantifies the trade on every
+//! `--filter` kind:
+//!
+//! 1. build a filter at 85% load and feed it adaptation traffic,
+//! 2. time `snapshot` (serialize + atomic write), report the file size,
+//! 3. time `load` (read + checksum + decode + structural re-validation;
+//!    the sharded AQF decodes shards in parallel),
+//! 4. time the rebuild-from-keys alternative, and report load's speedup.
+//!
+//! A second section times the composed system: `FilteredDb::snapshot` /
+//! `FilteredDb::open` on the restart workload (filter + B-tree page
+//! images + reverse map in one atomically committed manifest).
+//!
+//! Defaults: 2^18 slots, 9-bit remainders, 2^5 shards, 3 reps
+//! (`--qbits`, `--rbits`, `--shard-bits`, `--reps`); filters
+//! `aqf,sharded-aqf,qf` (`--filter`); system section at 2^14 slots
+//! (`--db-qbits`).
+
+use aqf_bench::*;
+use aqf_storage::pager::IoPolicy;
+use aqf_storage::system::{FilteredDb, RevMapMode};
+use aqf_workloads::{uniform_keys, unique_temp_dir, RestartSchedule};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = unique_temp_dir(&format!("aqf-fig11-{tag}"));
+    std::fs::create_dir_all(&d).expect("create bench tempdir");
+    d
+}
+
+fn main() {
+    let qbits = flag_u64("qbits", 18) as u32;
+    let rbits = flag_u64("rbits", 9) as u32;
+    let shard_bits = (flag_u64("shard-bits", 5) as u32).min(qbits.saturating_sub(1));
+    let reps = (flag_u64("reps", 3) as usize).max(1);
+    let db_qbits = flag_u64("db-qbits", 14) as u32;
+    let kinds = filter_kinds(&["aqf", "sharded-aqf", "qf"]);
+
+    let n = ((1u64 << qbits) as f64 * 0.85) as usize;
+    let keys = uniform_keys(n, 21);
+    let probes = uniform_keys(n.min(20_000), 22);
+    let dir = temp_dir("filters");
+
+    // ---- Section 1: filter-level snapshot / load / rebuild -------------
+    let mut rows = Vec::new();
+    for kind in &kinds {
+        let spec = FilterSpec::new(kind.clone(), qbits)
+            .with_rbits(rbits)
+            .with_shard_bits(shard_bits)
+            .with_seed(1);
+        let mut f = spec.build().expect("spec validated by filter_kinds");
+        for c in keys.chunks(16 * 1024) {
+            f.insert_batch(c).expect("sized to fit");
+        }
+        // Adaptation traffic so snapshots carry non-trivial state.
+        for &p in &probes {
+            let _ = f.query_adapting(p | (1 << 63));
+        }
+        let path = dir.join(format!("{kind}.snap"));
+
+        let mut save_s = f64::INFINITY;
+        for _ in 0..reps {
+            let (_, s) = timed(|| registry::save_snapshot(f.as_ref(), &path).expect("save"));
+            save_s = save_s.min(s);
+        }
+        let bytes = std::fs::metadata(&path).expect("snapshot written").len();
+
+        let mut load_s = f64::INFINITY;
+        let mut loaded = None;
+        for _ in 0..reps {
+            let (g, s) = timed(|| registry::load_snapshot_file(&path).expect("load"));
+            load_s = load_s.min(s);
+            loaded = Some(g);
+        }
+        let g = loaded.expect("reps >= 1");
+        assert_eq!(g.len(), f.len(), "{kind}: load must reproduce the filter");
+
+        let mut rebuild_s = f64::INFINITY;
+        for _ in 0..reps {
+            let (_, s) = timed(|| {
+                let mut r = spec.build().expect("spec validated");
+                for c in keys.chunks(16 * 1024) {
+                    r.insert_batch(c).expect("sized to fit");
+                }
+                r
+            });
+            rebuild_s = rebuild_s.min(s);
+        }
+
+        rows.push(vec![
+            kind.clone(),
+            format!("{:.1}", bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.1}", bytes as f64 / save_s / (1024.0 * 1024.0)),
+            ops_per_sec(n as u64, load_s),
+            ops_per_sec(n as u64, rebuild_s),
+            format!("{:.1}x", rebuild_s / load_s),
+        ]);
+    }
+    print_table(
+        &format!("Fig 11a: snapshot vs rebuild, per filter (2^{qbits} slots, best of {reps})"),
+        &[
+            "Filter",
+            "Snapshot MB",
+            "Save MB/s",
+            "Load keys/s",
+            "Rebuild keys/s",
+            "Load speedup",
+        ],
+        &rows,
+    );
+
+    // ---- Section 2: the composed FilteredDb on the restart workload ----
+    let sched = RestartSchedule::generate(((1u64 << db_qbits) as f64 * 0.6) as usize, 0.2, 0.0, 7);
+    let mut rows = Vec::new();
+    for kind in &kinds {
+        let spec = FilterSpec::new(kind.clone(), db_qbits)
+            .with_rbits(rbits)
+            .with_shard_bits(shard_bits.min(db_qbits.saturating_sub(1)))
+            .with_seed(1);
+        let dbdir = temp_dir(&format!("db-{kind}"));
+        let mut db = FilteredDb::new(
+            spec.build().expect("spec validated"),
+            &dbdir,
+            1024,
+            IoPolicy::default(),
+            RevMapMode::Merged,
+        )
+        .expect("create db");
+        for &k in &sched.committed {
+            db.insert(k, &k.to_le_bytes()).expect("io").expect("fits");
+        }
+        let (_, snap_s) = timed(|| db.snapshot().expect("snapshot"));
+        // Post-snapshot tail, then the kill.
+        for &k in &sched.lost {
+            db.insert(k, &k.to_le_bytes()).expect("io").expect("fits");
+        }
+        drop(db);
+        let (mut db, open_s) =
+            timed(|| FilteredDb::open(&dbdir, 1024, IoPolicy::default()).expect("open"));
+        // Recovery correctness, then replay the lost tail.
+        assert!(db.query(sched.committed[0]).expect("io").is_some());
+        let (_, replay_s) = timed(|| {
+            for &k in &sched.lost {
+                db.insert(k, &k.to_le_bytes()).expect("io").expect("fits");
+            }
+        });
+        rows.push(vec![
+            kind.clone(),
+            format!("{:.1}", snap_s * 1e3),
+            format!("{:.1}", open_s * 1e3),
+            format!("{:.1}", replay_s * 1e3),
+        ]);
+        let _ = std::fs::remove_dir_all(&dbdir);
+    }
+    print_table(
+        &format!(
+            "Fig 11b: FilteredDb snapshot / recover / replay \
+             (2^{db_qbits} slots, {} committed + {} lost keys)",
+            sched.committed.len(),
+            sched.lost.len()
+        ),
+        &["Filter", "Snapshot ms", "Recover ms", "Replay ms"],
+        &rows,
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

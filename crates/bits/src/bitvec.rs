@@ -73,6 +73,18 @@ impl BitVec {
         self.words[w]
     }
 
+    /// All backing words (for the snapshot codec).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from backing words; the caller (the snapshot codec)
+    /// guarantees `words.len() == len.div_ceil(64)`.
+    pub(crate) fn from_raw(words: Vec<u64>, len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        Self { words, len }
+    }
+
     /// Total number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

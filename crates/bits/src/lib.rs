@@ -10,7 +10,10 @@
 //!   shifting operations, used to store remainders,
 //! - [`hash`]: the MurmurHash2-style 64-bit finalizer the paper uses, plus a
 //!   seeded *chunk deriver* that treats a key's hash as an infinite bit
-//!   string (required for unbounded fingerprint extension).
+//!   string (required for unbounded fingerprint extension),
+//! - [`snapshot`]: the hand-rolled versioned binary codec (magic, sections,
+//!   content checksum, atomic write-temp-then-rename) every persistent
+//!   filter snapshot in the workspace shares.
 //!
 //! Everything here is `no_unsafe`, allocation-free on the hot paths, and
 //! model-tested against naive reference implementations.
@@ -21,6 +24,7 @@
 pub mod bitvec;
 pub mod hash;
 pub mod packed;
+pub mod snapshot;
 pub mod word;
 
 pub use bitvec::BitVec;

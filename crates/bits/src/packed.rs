@@ -46,6 +46,21 @@ impl PackedVec {
         self.width
     }
 
+    /// All backing words (for the snapshot codec).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from backing words; the caller (the snapshot codec)
+    /// guarantees the word count matches [`PackedVec::new`]'s layout.
+    pub(crate) fn from_raw(words: Vec<u64>, len: usize, width: u32) -> Self {
+        debug_assert_eq!(
+            words.len(),
+            len.checked_mul(width as usize).unwrap().div_ceil(64) + 1
+        );
+        Self { words, width, len }
+    }
+
     /// Read slot `i`.
     #[inline]
     pub fn get(&self, i: usize) -> u64 {

@@ -1,0 +1,711 @@
+//! Versioned binary snapshot codec for filter persistence.
+//!
+//! Adaptive filters only pay off in a long-lived system: the adaptations
+//! accumulated against false positives are exactly the state that must
+//! survive a restart. This module is the hand-rolled (the build
+//! environment is offline — no serde) on-disk framing every snapshot in
+//! the workspace shares:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "AQFSNAP\0"
+//! 8       2     format version (LE; currently 1)
+//! 10      2     kind-string length (LE)
+//! 12      k     kind string (UTF-8; e.g. "aqf", "sharded-aqf", "filtered-db")
+//! 12+k    ...   sections: { tag [u8;4], payload length u64 LE, payload }
+//! end-8   8     content checksum: murmur64a over every preceding byte
+//! ```
+//!
+//! Sections are length-prefixed so readers can skip or bound-check them;
+//! payloads are written/read through the little-endian primitive helpers
+//! on [`SnapshotWriter`] / [`SnapshotReader`]. The trailing checksum is
+//! verified *before* any payload is interpreted, so a flipped byte
+//! anywhere in the file surfaces as [`SnapError::ChecksumMismatch`], never
+//! as a mis-loaded structure. All decode paths return typed [`SnapError`]s
+//! — corruption must never panic.
+//!
+//! [`write_atomic`] is the shared commit protocol: write to `<path>.tmp`,
+//! fsync, then rename over `<path>`, so a crash at any point leaves either
+//! the old snapshot or the new one, never a torn file. A leftover `.tmp`
+//! (crash between write and rename) is detected with [`stale_temp_path`]
+//! and simply discarded by openers.
+
+use std::path::{Path, PathBuf};
+
+use crate::hash::murmur64a;
+use crate::word::bitmask;
+use crate::{BitVec, PackedVec};
+
+/// Snapshot file magic.
+pub const MAGIC: [u8; 8] = *b"AQFSNAP\0";
+
+/// Current snapshot format version.
+pub const VERSION: u16 = 1;
+
+/// Seed for the content checksum.
+const CHECKSUM_SEED: u64 = 0x5eed_c0de_ca1c_50b3;
+
+/// Typed snapshot errors. Decoding never panics and never silently
+/// mis-loads: every failure mode maps to one of these.
+#[derive(Debug)]
+pub enum SnapError {
+    /// The byte stream ended before the structure it promised.
+    Truncated {
+        /// Bytes the decoder needed at this point.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The leading magic bytes are not a snapshot's.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u16,
+        /// Highest version this build supports.
+        supported: u16,
+    },
+    /// The content checksum does not match — the file was corrupted.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the content.
+        computed: u64,
+    },
+    /// The snapshot holds a different kind of object than requested
+    /// (e.g. a `"cf"` snapshot fed to the `"aqf"` loader).
+    WrongKind {
+        /// Kind the caller expected.
+        expected: String,
+        /// Kind string the snapshot header carries.
+        found: String,
+    },
+    /// A section tag other than the expected one came next.
+    WrongSection {
+        /// Tag the decoder expected.
+        expected: [u8; 4],
+        /// Tag actually found.
+        found: [u8; 4],
+    },
+    /// The bytes decoded but describe an invalid structure (bad geometry,
+    /// inconsistent lengths, violated filter invariants).
+    Corrupt(String),
+    /// This object does not support snapshotting.
+    Unsupported(String),
+    /// An underlying file operation failed.
+    Io(std::io::Error),
+}
+
+impl SnapError {
+    /// A [`SnapError::Corrupt`] with formatted detail — the one
+    /// construction point every decoder in the workspace shares.
+    pub fn corrupt(detail: impl std::fmt::Display) -> Self {
+        SnapError::Corrupt(detail.to_string())
+    }
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Truncated { needed, available } => write!(
+                f,
+                "snapshot truncated: needed {needed} bytes, {available} available"
+            ),
+            SnapError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} not supported (this build reads <= {supported})"
+            ),
+            SnapError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapError::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "snapshot kind mismatch: expected {expected:?}, found {found:?}"
+                )
+            }
+            SnapError::WrongSection { expected, found } => write!(
+                f,
+                "snapshot section mismatch: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found),
+            ),
+            SnapError::Corrupt(detail) => write!(f, "snapshot corrupt: {detail}"),
+            SnapError::Unsupported(what) => {
+                write!(f, "snapshotting is not supported for {what}")
+            }
+            SnapError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Writer
+// ----------------------------------------------------------------------
+
+/// Streaming snapshot encoder; see the module docs for the layout.
+///
+/// ```
+/// use aqf_bits::snapshot::{SnapshotReader, SnapshotWriter};
+///
+/// let mut w = SnapshotWriter::new("example");
+/// w.section(*b"NUMS");
+/// w.u64(42);
+/// w.u64_slice(&[1, 2, 3]);
+/// let bytes = w.finish();
+///
+/// let mut r = SnapshotReader::new(&bytes).unwrap();
+/// assert_eq!(r.kind(), "example");
+/// r.section(*b"NUMS").unwrap();
+/// assert_eq!(r.u64().unwrap(), 42);
+/// assert_eq!(r.u64_vec().unwrap(), vec![1, 2, 3]);
+/// ```
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+    /// Offset of the open section's length field, if a section is open.
+    open_len_at: Option<usize>,
+}
+
+impl SnapshotWriter {
+    /// Start a snapshot for an object of the given kind.
+    pub fn new(kind: &str) -> Self {
+        assert!(kind.len() <= u16::MAX as usize, "kind string too long");
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(kind.len() as u16).to_le_bytes());
+        buf.extend_from_slice(kind.as_bytes());
+        Self {
+            buf,
+            open_len_at: None,
+        }
+    }
+
+    fn close_section(&mut self) {
+        if let Some(at) = self.open_len_at.take() {
+            let len = (self.buf.len() - at - 8) as u64;
+            self.buf[at..at + 8].copy_from_slice(&len.to_le_bytes());
+        }
+    }
+
+    /// Begin a new length-prefixed section (closing any open one).
+    pub fn section(&mut self, tag: [u8; 4]) {
+        self.close_section();
+        self.buf.extend_from_slice(&tag);
+        self.open_len_at = Some(self.buf.len());
+        self.buf.extend_from_slice(&0u64.to_le_bytes());
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append raw bytes with no length prefix — for streaming a large
+    /// payload in pieces after writing its total length with
+    /// [`SnapshotWriter::u64`] yourself (the pieces must add up exactly,
+    /// or readers of the following fields will misparse). Avoids
+    /// materializing the payload in a second buffer first.
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed `u64` sequence.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Append a [`BitVec`]: bit length, then its backing words.
+    pub fn bitvec(&mut self, b: &BitVec) {
+        self.u64(b.len() as u64);
+        self.u64_slice(b.as_words());
+    }
+
+    /// Append a [`PackedVec`]: slot count and width, then backing words.
+    pub fn packed(&mut self, p: &PackedVec) {
+        self.u64(p.len() as u64);
+        self.u32(p.width());
+        self.u64_slice(p.as_words());
+    }
+
+    /// Close the open section and seal the snapshot with its checksum.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.close_section();
+        let sum = content_checksum(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// The checksum [`SnapshotWriter::finish`] seals a frame with — exposed
+/// so corruption-test harnesses can craft frames whose checksum is valid
+/// but whose content is not (forcing the typed per-structure errors).
+pub fn content_checksum(content: &[u8]) -> u64 {
+    murmur64a(content, CHECKSUM_SEED)
+}
+
+// ----------------------------------------------------------------------
+// Reader
+// ----------------------------------------------------------------------
+
+/// Sequential snapshot decoder. [`SnapshotReader::new`] verifies magic,
+/// version, and the content checksum up front; the typed getters then
+/// bound-check every read.
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    kind_end: usize,
+    /// One past the last content byte (start of the checksum).
+    content_end: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validate the frame (magic, version, checksum) and position the
+    /// reader at the first section.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, SnapError> {
+        let min = MAGIC.len() + 2 + 2 + 8;
+        if bytes.len() < min {
+            return Err(SnapError::Truncated {
+                needed: min,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let content_end = bytes.len() - 8;
+        let stored = u64::from_le_bytes(bytes[content_end..].try_into().unwrap());
+        let computed = murmur64a(&bytes[..content_end], CHECKSUM_SEED);
+        if stored != computed {
+            return Err(SnapError::ChecksumMismatch { stored, computed });
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version == 0 || version > VERSION {
+            return Err(SnapError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let kind_len = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+        let kind_end = 12 + kind_len;
+        if kind_end > content_end {
+            return Err(SnapError::Truncated {
+                needed: kind_end + 8,
+                available: bytes.len(),
+            });
+        }
+        std::str::from_utf8(&bytes[12..kind_end])
+            .map_err(|_| SnapError::Corrupt("kind string is not UTF-8".into()))?;
+        Ok(Self {
+            buf: bytes,
+            pos: kind_end,
+            kind_end,
+            content_end,
+        })
+    }
+
+    /// The kind string the snapshot was written for.
+    pub fn kind(&self) -> &'a str {
+        // Validated UTF-8 in `new`.
+        std::str::from_utf8(&self.buf[12..self.kind_end]).unwrap()
+    }
+
+    /// Error unless the snapshot's kind is exactly `expected`.
+    pub fn expect_kind(&self, expected: &str) -> Result<(), SnapError> {
+        if self.kind() != expected {
+            return Err(SnapError::WrongKind {
+                expected: expected.to_string(),
+                found: self.kind().to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        // checked_add: a checksum-valid but hostile frame can carry any
+        // length; overflow must be a typed error, never a panic.
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.content_end)
+            .ok_or(SnapError::Truncated {
+                needed: self.pos.saturating_add(n).saturating_add(8),
+                available: self.buf.len(),
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Enter the next section, which must carry `tag`. The declared length
+    /// is bound-checked against the remaining content.
+    pub fn section(&mut self, tag: [u8; 4]) -> Result<(), SnapError> {
+        let found: [u8; 4] = self.take(4)?.try_into().unwrap();
+        if found != tag {
+            return Err(SnapError::WrongSection {
+                expected: tag,
+                found,
+            });
+        }
+        let len = self.len_u64()?;
+        if self
+            .pos
+            .checked_add(len)
+            .is_none_or(|e| e > self.content_end)
+        {
+            return Err(SnapError::Truncated {
+                needed: self.pos.saturating_add(len).saturating_add(8),
+                available: self.buf.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` and check it fits in `usize`.
+    pub fn len_u64(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::Corrupt(format!("length {v} overflows usize")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.len_u64()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed `u64` sequence.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, SnapError> {
+        let n = self.len_u64()?;
+        // Bound before allocating so a corrupted length cannot OOM.
+        let raw = self
+            .take(n.checked_mul(8).ok_or_else(|| {
+                SnapError::Corrupt(format!("u64 sequence length {n} overflows"))
+            })?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read a [`BitVec`] written by [`SnapshotWriter::bitvec`].
+    pub fn bitvec(&mut self) -> Result<BitVec, SnapError> {
+        let len = self.len_u64()?;
+        let words = self.u64_vec()?;
+        BitVec::from_words(words, len)
+            .ok_or_else(|| SnapError::Corrupt(format!("bit vector of {len} bits: bad word count")))
+    }
+
+    /// Read a [`PackedVec`] written by [`SnapshotWriter::packed`].
+    pub fn packed(&mut self) -> Result<PackedVec, SnapError> {
+        let len = self.len_u64()?;
+        let width = self.u32()?;
+        if !(1..=64).contains(&width) {
+            return Err(SnapError::Corrupt(format!(
+                "packed slot width {width} out of 1..=64"
+            )));
+        }
+        let words = self.u64_vec()?;
+        PackedVec::from_words(words, len, width).ok_or_else(|| {
+            SnapError::Corrupt(format!(
+                "packed vector of {len}x{width}-bit slots: bad word count"
+            ))
+        })
+    }
+
+    /// Bytes of content left to read (excluding the checksum).
+    pub fn remaining(&self) -> usize {
+        self.content_end - self.pos
+    }
+}
+
+// ----------------------------------------------------------------------
+// Word-level accessors used by the codec
+// ----------------------------------------------------------------------
+
+impl BitVec {
+    /// The backing words (64 bits each, LSB-first).
+    pub fn as_words(&self) -> &[u64] {
+        self.words()
+    }
+
+    /// Rebuild from backing words; `None` if the word count does not match
+    /// `len` bits. Bits beyond `len` in the last word are masked off so a
+    /// reconstructed vector can never report phantom set bits.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= bitmask((len % 64) as u32);
+            }
+        }
+        Some(Self::from_raw(words, len))
+    }
+}
+
+impl PackedVec {
+    /// The backing words.
+    pub fn as_words(&self) -> &[u64] {
+        self.words()
+    }
+
+    /// Rebuild from backing words; `None` if the word count does not match
+    /// `len` slots of `width` bits (the layout [`PackedVec::new`] uses).
+    pub fn from_words(words: Vec<u64>, len: usize, width: u32) -> Option<Self> {
+        if !(1..=64).contains(&width) {
+            return None;
+        }
+        let total_bits = len.checked_mul(width as usize)?;
+        if words.len() != total_bits.div_ceil(64) + 1 {
+            return None;
+        }
+        Some(Self::from_raw(words, len, width))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Atomic file I/O
+// ----------------------------------------------------------------------
+
+/// The temp path `write_atomic` stages `path`'s new content at.
+pub fn stale_temp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Atomically replace `path` with `bytes`: write to `<path>.tmp`, fsync,
+/// rename over `path`, fsync the parent directory. A crash at any point
+/// leaves either the previous file or the complete new one — never a
+/// torn mix — and once this returns `Ok` the rename itself is durable
+/// (without the directory fsync, a power loss after `Ok` could roll the
+/// commit back to the previous file).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = stale_temp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Read a snapshot file fully into memory. Missing files surface as
+/// [`SnapError::Io`] with [`std::io::ErrorKind::NotFound`].
+pub fn read_file(path: &Path) -> Result<Vec<u8>, SnapError> {
+    Ok(std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives_and_vectors() {
+        let mut bv = BitVec::new(130);
+        bv.set(0);
+        bv.set(64);
+        bv.set(129);
+        let mut pv = PackedVec::new(77, 13);
+        for i in 0..77 {
+            pv.set(i, (i as u64 * 131) & bitmask(13));
+        }
+        let mut w = SnapshotWriter::new("test-kind");
+        w.section(*b"HEAD");
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.bytes(b"payload");
+        w.section(*b"VECS");
+        w.u64_slice(&[9, 8, 7]);
+        w.bitvec(&bv);
+        w.packed(&pv);
+        let bytes = w.finish();
+
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(r.kind(), "test-kind");
+        r.expect_kind("test-kind").unwrap();
+        r.section(*b"HEAD").unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.bytes().unwrap(), b"payload");
+        r.section(*b"VECS").unwrap();
+        assert_eq!(r.u64_vec().unwrap(), vec![9, 8, 7]);
+        let bv2 = r.bitvec().unwrap();
+        assert_eq!(bv2, bv);
+        let pv2 = r.packed().unwrap();
+        assert_eq!(pv2, pv);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let mut w = SnapshotWriter::new("flip");
+        w.section(*b"DATA");
+        w.u64_slice(&[1, 2, 3, 4, 5]);
+        let bytes = w.finish();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                SnapshotReader::new(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncations_are_typed_errors() {
+        let mut w = SnapshotWriter::new("trunc");
+        w.section(*b"DATA");
+        w.u64_slice(&[1, 2, 3]);
+        let bytes = w.finish();
+        for n in 0..bytes.len() {
+            match SnapshotReader::new(&bytes[..n]) {
+                Err(SnapError::Truncated { .. } | SnapError::ChecksumMismatch { .. }) => {}
+                Err(e) => panic!("truncation to {n} gave unexpected error {e}"),
+                Ok(_) => panic!("truncation to {n} parsed"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_kind_and_section_are_typed() {
+        let mut w = SnapshotWriter::new("alpha");
+        w.section(*b"AAAA");
+        w.u64(1);
+        let bytes = w.finish();
+        let r = SnapshotReader::new(&bytes).unwrap();
+        assert!(matches!(
+            r.expect_kind("beta"),
+            Err(SnapError::WrongKind { .. })
+        ));
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        assert!(matches!(
+            r.section(*b"BBBB"),
+            Err(SnapError::WrongSection { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected_with_typed_error() {
+        let mut w = SnapshotWriter::new("v");
+        w.section(*b"DATA");
+        w.u64(1);
+        let mut bytes = w.finish();
+        // Bump the version and re-seal so only the version differs.
+        bytes[8] = (VERSION + 1) as u8;
+        let end = bytes.len() - 8;
+        let sum = content_checksum(&bytes[..end]);
+        bytes[end..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            SnapshotReader::new(&bytes),
+            Err(SnapError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_lengths_with_valid_checksums_are_typed_errors() {
+        // A checksum-valid frame whose section length field is u64::MAX:
+        // must be a typed Truncated error, not an overflow panic or OOM.
+        let mut w = SnapshotWriter::new("hostile");
+        w.section(*b"DATA");
+        w.u64(0);
+        let mut bytes = w.finish();
+        let len_at = 12 + "hostile".len() + 4;
+        bytes[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let end = bytes.len() - 8;
+        let sum = content_checksum(&bytes[..end]);
+        bytes[end..].copy_from_slice(&sum.to_le_bytes());
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        assert!(matches!(
+            r.section(*b"DATA"),
+            Err(SnapError::Truncated { .. })
+        ));
+        // Same for an in-payload byte-string length.
+        let mut w = SnapshotWriter::new("hostile");
+        w.section(*b"DATA");
+        w.u64(u64::MAX); // will be read back as a bytes() length
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        r.section(*b"DATA").unwrap();
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn atomic_write_and_stale_temp() {
+        let dir = std::env::temp_dir().join(format!(
+            "aqf-snap-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.snap");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        assert!(
+            !stale_temp_path(&path).exists(),
+            "temp must be renamed away"
+        );
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

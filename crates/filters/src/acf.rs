@@ -20,6 +20,7 @@ use aqf_bits::word::bitmask;
 use aqf_bits::PackedVec;
 
 use crate::common::{AdaptiveFilter, Adaptivity, AmqFilter, MapEvent, MapEventSource, MapStats};
+use crate::snapshot::{SnapError, SnapshotBody, SnapshotReader, SnapshotWriter};
 
 /// Slots per bucket.
 pub const BUCKET_SLOTS: usize = 4;
@@ -196,6 +197,79 @@ impl AdaptiveCuckooFilter {
         let new_tag = self.tag_hash(key, new_sel);
         self.write_slot(hit.bucket, hit.slot, new_sel, new_tag);
         self.adaptations += 1;
+    }
+}
+
+impl SnapshotBody for AdaptiveCuckooFilter {
+    /// Serializes the filter table **and** the shadow key array: the
+    /// selectors stored per slot are only meaningful together with the
+    /// original keys they are re-derived from, so adaptation state
+    /// survives the round trip. Pending event traces are not persisted
+    /// (the system layer drains them per operation).
+    fn write_snapshot_body(&self, w: &mut SnapshotWriter) -> Result<(), SnapError> {
+        w.section(*b"ACCF");
+        w.u32(self.bucket_bits);
+        w.u32(self.tag_bits);
+        w.u64(self.seed);
+        w.u64(self.items);
+        w.u64(self.adaptations);
+        w.u64(self.stats.inserts);
+        w.u64(self.stats.updates);
+        w.u64(self.stats.queries);
+        w.section(*b"ACTB");
+        w.packed(&self.table);
+        w.u64_slice(&self.keys);
+        Ok(())
+    }
+
+    fn read_snapshot_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        r.section(*b"ACCF")?;
+        let bucket_bits = r.u32()?;
+        let tag_bits = r.u32()?;
+        let seed = r.u64()?;
+        let items = r.u64()?;
+        let adaptations = r.u64()?;
+        let stats = MapStats {
+            inserts: r.u64()?,
+            updates: r.u64()?,
+            queries: r.u64()?,
+        };
+        if bucket_bits == 0 || bucket_bits > 32 || tag_bits < 4 || tag_bits + SELECTOR_BITS > 40 {
+            return Err(SnapError::corrupt("bad ACF geometry"));
+        }
+        let buckets = 1usize << bucket_bits;
+        r.section(*b"ACTB")?;
+        let table = r.packed()?;
+        let keys = r.u64_vec()?;
+        if table.len() != buckets * BUCKET_SLOTS || table.width() != tag_bits + SELECTOR_BITS {
+            return Err(SnapError::corrupt("ACF table disagrees with geometry"));
+        }
+        if keys.len() != table.len() {
+            return Err(SnapError::corrupt(format!(
+                "shadow key array holds {} slots, table has {}",
+                keys.len(),
+                table.len()
+            )));
+        }
+        let occupied = (0..table.len()).filter(|&i| table.get(i) != 0).count() as u64;
+        if occupied != items {
+            return Err(SnapError::corrupt(format!(
+                "item count {items} disagrees with {occupied} occupied slots"
+            )));
+        }
+        Ok(Self {
+            table,
+            keys,
+            buckets,
+            bucket_bits,
+            tag_bits,
+            seed,
+            items,
+            stats,
+            adaptations,
+            record_events: false,
+            events: Vec::new(),
+        })
     }
 }
 

@@ -6,6 +6,7 @@ use aqf_bits::hash::mix64;
 use aqf_bits::BitVec;
 
 use crate::common::AmqFilter;
+use crate::snapshot::{SnapError, SnapshotBody, SnapshotReader, SnapshotWriter};
 
 /// A standard Bloom filter with `k` hash functions.
 #[derive(Clone, Debug)]
@@ -57,6 +58,45 @@ impl BloomFilter {
         let h1 = mix64(key, self.seed);
         let h2 = mix64(key, self.seed ^ 0x5bd1_e995) | 1;
         (h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.nbits as u64) as usize
+    }
+}
+
+impl SnapshotBody for BloomFilter {
+    fn write_snapshot_body(&self, w: &mut SnapshotWriter) -> Result<(), SnapError> {
+        w.section(*b"BFCF");
+        w.u64(self.nbits as u64);
+        w.u32(self.k);
+        w.u64(self.seed);
+        w.u64(self.items);
+        w.section(*b"BFBT");
+        w.bitvec(&self.bits);
+        Ok(())
+    }
+
+    fn read_snapshot_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        r.section(*b"BFCF")?;
+        let nbits = r.len_u64()?;
+        let k = r.u32()?;
+        let seed = r.u64()?;
+        let items = r.u64()?;
+        if nbits == 0 || k == 0 || k > 32 {
+            return Err(SnapError::corrupt("bad bloom geometry"));
+        }
+        r.section(*b"BFBT")?;
+        let bits = r.bitvec()?;
+        if bits.len() != nbits {
+            return Err(SnapError::corrupt(format!(
+                "bit array holds {} bits, header says {nbits}",
+                bits.len()
+            )));
+        }
+        Ok(Self {
+            bits,
+            nbits,
+            k,
+            seed,
+            items,
+        })
     }
 }
 

@@ -23,6 +23,7 @@ use aqf::FilterError;
 
 use crate::bloom::BloomFilter;
 use crate::common::AmqFilter;
+use crate::snapshot::{SnapError, SnapshotBody, SnapshotReader, SnapshotWriter};
 
 /// A CRLite-style cascading Bloom filter.
 pub struct CascadingBloomFilter {
@@ -129,6 +130,52 @@ impl CascadingBloomFilter {
     /// Total bytes across all levels.
     pub fn size_in_bytes(&self) -> usize {
         self.levels.iter().map(|b| b.size_in_bytes()).sum()
+    }
+}
+
+impl SnapshotBody for CascadingBloomFilter {
+    fn write_snapshot_body(&self, w: &mut SnapshotWriter) -> Result<(), SnapError> {
+        w.section(*b"CBCF");
+        w.u64(self.seed);
+        w.u64_slice(&self.yes);
+        w.u64_slice(&self.no);
+        let pending: Vec<u64> = self.pending.iter().copied().collect();
+        w.u64_slice(&pending);
+        w.u32(self.levels.len() as u32);
+        for bf in &self.levels {
+            bf.write_snapshot_body(w)?;
+        }
+        Ok(())
+    }
+
+    fn read_snapshot_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        r.section(*b"CBCF")?;
+        let seed = r.u64()?;
+        let yes = r.u64_vec()?;
+        let no = r.u64_vec()?;
+        let pending: std::collections::HashSet<u64> = r.u64_vec()?.into_iter().collect();
+        let n_levels = r.u32()? as usize;
+        if n_levels > 64 {
+            return Err(SnapError::corrupt(format!(
+                "cascade depth {n_levels} exceeds bound"
+            )));
+        }
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            levels.push(BloomFilter::read_snapshot_body(r)?);
+        }
+        if levels.is_empty() && !yes.is_empty() {
+            return Err(SnapError::corrupt(
+                "non-empty yes list but no cascade levels",
+            ));
+        }
+        Ok(Self {
+            levels,
+            yes,
+            no,
+            pending,
+            seed,
+        })
     }
 }
 

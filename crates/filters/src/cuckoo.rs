@@ -10,6 +10,7 @@ use aqf_bits::hash::mix64;
 use aqf_bits::PackedVec;
 
 use crate::common::AmqFilter;
+use crate::snapshot::{SnapError, SnapshotBody, SnapshotReader, SnapshotWriter};
 
 /// Slots per bucket (the paper's configuration).
 pub const BUCKET_SLOTS: usize = 4;
@@ -157,6 +158,50 @@ impl CuckooFilter {
             }
         }
         false
+    }
+}
+
+impl SnapshotBody for CuckooFilter {
+    fn write_snapshot_body(&self, w: &mut SnapshotWriter) -> Result<(), SnapError> {
+        w.section(*b"CFCF");
+        w.u32(self.bucket_bits);
+        w.u32(self.tag_bits);
+        w.u64(self.seed);
+        w.u64(self.items);
+        w.section(*b"CFTB");
+        w.packed(&self.table);
+        Ok(())
+    }
+
+    fn read_snapshot_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        r.section(*b"CFCF")?;
+        let bucket_bits = r.u32()?;
+        let tag_bits = r.u32()?;
+        let seed = r.u64()?;
+        let items = r.u64()?;
+        if bucket_bits == 0 || bucket_bits > 32 || !(4..=32).contains(&tag_bits) {
+            return Err(SnapError::corrupt("bad cuckoo filter geometry"));
+        }
+        let buckets = 1usize << bucket_bits;
+        r.section(*b"CFTB")?;
+        let table = r.packed()?;
+        if table.len() != buckets * BUCKET_SLOTS || table.width() != tag_bits {
+            return Err(SnapError::corrupt("cuckoo table disagrees with geometry"));
+        }
+        let occupied = (0..table.len()).filter(|&i| table.get(i) != 0).count() as u64;
+        if occupied != items {
+            return Err(SnapError::corrupt(format!(
+                "item count {items} disagrees with {occupied} occupied slots"
+            )));
+        }
+        Ok(Self {
+            table,
+            buckets,
+            bucket_bits,
+            tag_bits,
+            seed,
+            items,
+        })
     }
 }
 

@@ -33,6 +33,7 @@ use aqf::{AdaptiveQf, AqfConfig, FilterError, Hit, QueryResult, ShadowMap, Shard
 
 use crate::aqf_impls::ShardedHit;
 use crate::common::{AdaptiveFilter, Adaptivity, AmqFilter, MapEvent, MapEventSource, MapStats};
+use crate::snapshot::{SnapError, SnapshotBody, SnapshotReader, SnapshotWriter};
 
 /// How a filter keys the database records backing it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -205,6 +206,31 @@ pub trait DynFilter {
     fn adapt_bits(&self) -> f64 {
         0.0
     }
+
+    /// Bits of filter table per stored item (0 when empty).
+    fn bits_per_item(&self) -> f64 {
+        if self.len() == 0 {
+            return 0.0;
+        }
+        (self.size_in_bytes() * 8) as f64 / self.len() as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot persistence
+    // ------------------------------------------------------------------
+
+    /// Serialize the filter — table, adaptation state, and any bundled
+    /// shadow reverse map — into a registry-kind-keyed snapshot frame
+    /// that [`crate::registry::load_snapshot`] turns back into a
+    /// `Box<dyn DynFilter>`. Every registry kind supports this; the
+    /// default is an [`SnapError::Unsupported`] escape hatch for
+    /// third-party filters.
+    fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapError> {
+        Err(SnapError::Unsupported(format!(
+            "filter kind {:?}",
+            self.kind()
+        )))
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -230,7 +256,18 @@ impl<F: AmqFilter> PlainDyn<F> {
     }
 }
 
-impl<F: AmqFilter> DynFilter for PlainDyn<F> {
+impl<F: AmqFilter + SnapshotBody> PlainDyn<F> {
+    /// Rebuild a wrapper from the body sections of an open snapshot frame
+    /// whose header named `kind`.
+    pub fn read_snapshot(
+        kind: &'static str,
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<Self, SnapError> {
+        Ok(Self::new(kind, F::read_snapshot_body(r)?))
+    }
+}
+
+impl<F: AmqFilter + SnapshotBody> DynFilter for PlainDyn<F> {
     fn kind(&self) -> &'static str {
         self.kind
     }
@@ -274,6 +311,12 @@ impl<F: AmqFilter> DynFilter for PlainDyn<F> {
     fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
         self.f.contains_batch(keys)
     }
+
+    fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapError> {
+        let mut w = SnapshotWriter::new(self.kind);
+        self.f.write_snapshot_body(&mut w)?;
+        Ok(w.finish())
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -303,7 +346,18 @@ impl<F: AdaptiveFilter + MapEventSource> LocDyn<F> {
     }
 }
 
-impl<F: AdaptiveFilter + MapEventSource> DynFilter for LocDyn<F> {
+impl<F: AdaptiveFilter + MapEventSource + SnapshotBody> LocDyn<F> {
+    /// Rebuild a wrapper from the body sections of an open snapshot frame
+    /// whose header named `kind`.
+    pub fn read_snapshot(
+        kind: &'static str,
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<Self, SnapError> {
+        Ok(Self::new(kind, F::read_snapshot_body(r)?))
+    }
+}
+
+impl<F: AdaptiveFilter + MapEventSource + SnapshotBody> DynFilter for LocDyn<F> {
     fn kind(&self) -> &'static str {
         self.kind
     }
@@ -378,6 +432,12 @@ impl<F: AdaptiveFilter + MapEventSource> DynFilter for LocDyn<F> {
     fn map_stats(&self) -> Option<MapStats> {
         Some(self.f.map_stats())
     }
+
+    fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapError> {
+        let mut w = SnapshotWriter::new(self.kind);
+        self.f.write_snapshot_body(&mut w)?;
+        Ok(w.finish())
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -413,6 +473,21 @@ impl AqfDyn {
     /// The wrapped filter.
     pub fn inner(&self) -> &AdaptiveQf {
         &self.f
+    }
+
+    /// Rebuild a wrapper (filter + shadow map + map counters) from the
+    /// body sections of an open snapshot frame.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        let f = AdaptiveQf::read_snapshot(r)?;
+        let map = ShadowMap::read_snapshot(r)?;
+        r.section(*b"ADYN")?;
+        let map_inserts = r.u64()?;
+        Ok(Self {
+            f,
+            map,
+            system_mode: false,
+            map_inserts,
+        })
     }
 }
 
@@ -566,6 +641,19 @@ impl DynFilter for AqfDyn {
         // bits (is_extension + used/runend bookkeeping).
         self.f.stats().extension_slots as f64 * (self.f.config().rbits + 4) as f64
     }
+
+    fn bits_per_item(&self) -> f64 {
+        self.f.bits_per_item()
+    }
+
+    fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapError> {
+        let mut w = SnapshotWriter::new("aqf");
+        self.f.write_snapshot(&mut w);
+        self.map.write_snapshot(&mut w);
+        w.section(*b"ADYN");
+        w.u64(self.map_inserts);
+        Ok(w.finish())
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -597,6 +685,24 @@ impl ShardedAqfDyn {
     /// The wrapped filter.
     pub fn inner(&self) -> &ShardedAqf {
         &self.f
+    }
+
+    /// Rebuild a wrapper (sharded filter + per-shard shadow maps + map
+    /// counters) from the body sections of an open snapshot frame.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        let f = ShardedAqf::read_snapshot(r)?;
+        let mut maps = Vec::with_capacity(f.shard_count());
+        for _ in 0..f.shard_count() {
+            maps.push(ShadowMap::read_snapshot(r)?);
+        }
+        r.section(*b"ADYN")?;
+        let map_inserts = r.u64()?;
+        Ok(Self {
+            f,
+            maps,
+            system_mode: false,
+            map_inserts,
+        })
     }
 }
 
@@ -760,5 +866,20 @@ impl DynFilter for ShardedAqfDyn {
     fn adapt_bits(&self) -> f64 {
         let cfg = *self.f.shard_config();
         self.f.stats().extension_slots as f64 * (cfg.rbits + 4) as f64
+    }
+
+    fn bits_per_item(&self) -> f64 {
+        self.f.bits_per_item()
+    }
+
+    fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapError> {
+        let mut w = SnapshotWriter::new("sharded-aqf");
+        self.f.write_snapshot(&mut w);
+        for m in &self.maps {
+            m.write_snapshot(&mut w);
+        }
+        w.section(*b"ADYN");
+        w.u64(self.map_inserts);
+        Ok(w.finish())
     }
 }

@@ -42,6 +42,7 @@ pub mod cuckoo;
 pub mod dynfilter;
 pub mod quotient;
 pub mod registry;
+pub mod snapshot;
 pub mod telescoping;
 
 pub use acf::AdaptiveCuckooFilter;
@@ -55,4 +56,5 @@ pub use cuckoo::CuckooFilter;
 pub use dynfilter::{AqfDyn, DynFilter, InsertPlan, Keying, LocDyn, PlainDyn, ShardedAqfDyn};
 pub use quotient::QuotientFilter;
 pub use registry::FilterSpec;
+pub use snapshot::{SnapError, SnapshotBody};
 pub use telescoping::TelescopingFilter;

@@ -11,6 +11,7 @@ use aqf_bits::word::{bitmask, select_u64};
 use aqf_bits::{BitVec, PackedVec};
 
 use crate::common::AmqFilter;
+use crate::snapshot::{SnapError, SnapshotBody, SnapshotReader, SnapshotWriter};
 
 /// A plain (non-adaptive) quotient filter.
 #[derive(Clone, Debug)]
@@ -131,6 +132,78 @@ impl QuotientFilter {
         }
         self.used.set(fe);
         Ok(())
+    }
+}
+
+impl SnapshotBody for QuotientFilter {
+    fn write_snapshot_body(&self, w: &mut SnapshotWriter) -> Result<(), SnapError> {
+        w.section(*b"QFCF");
+        w.u32(self.qbits);
+        w.u32(self.rbits);
+        w.u64(self.seed);
+        w.u64(self.canonical as u64);
+        w.u64(self.total as u64);
+        w.u64(self.items);
+        w.section(*b"QFTB");
+        w.bitvec(&self.occupieds);
+        w.bitvec(&self.runends);
+        w.bitvec(&self.used);
+        w.packed(&self.slots);
+        Ok(())
+    }
+
+    fn read_snapshot_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        r.section(*b"QFCF")?;
+        let qbits = r.u32()?;
+        let rbits = r.u32()?;
+        let seed = r.u64()?;
+        let canonical = r.len_u64()?;
+        let total = r.len_u64()?;
+        let items = r.u64()?;
+        if qbits == 0 || qbits > 40 || rbits == 0 || qbits + rbits > 64 {
+            return Err(SnapError::corrupt("bad quotient filter geometry"));
+        }
+        if canonical != 1usize << qbits || total <= canonical {
+            return Err(SnapError::corrupt(format!(
+                "slot counts {canonical}/{total} disagree with qbits {qbits}"
+            )));
+        }
+        r.section(*b"QFTB")?;
+        let occupieds = r.bitvec()?;
+        let runends = r.bitvec()?;
+        let used = r.bitvec()?;
+        let slots = r.packed()?;
+        if occupieds.len() != total || runends.len() != total || used.len() != total {
+            return Err(SnapError::corrupt(
+                "metadata bit vectors disagree with slot count",
+            ));
+        }
+        if slots.len() != total || slots.width() != rbits {
+            return Err(SnapError::corrupt("slot vector disagrees with geometry"));
+        }
+        if used.count_ones() as u64 != items {
+            return Err(SnapError::corrupt(format!(
+                "item count {items} disagrees with {} used slots",
+                used.count_ones()
+            )));
+        }
+        if occupieds.count_ones() != runends.count_ones() {
+            return Err(SnapError::corrupt(
+                "occupied quotients and runends disagree",
+            ));
+        }
+        Ok(Self {
+            occupieds,
+            runends,
+            used,
+            slots,
+            qbits,
+            rbits,
+            seed,
+            canonical,
+            total,
+            items,
+        })
     }
 }
 

@@ -23,7 +23,10 @@
 //! }
 //! ```
 
+use std::path::Path;
+
 use aqf::{AdaptiveQf, AqfConfig, FilterError, ShardedAqf, YesNoFilter};
+use aqf_bits::snapshot::{read_file, write_atomic};
 
 use crate::acf::AdaptiveCuckooFilter;
 use crate::bloom::BloomFilter;
@@ -31,6 +34,7 @@ use crate::cascading::CascadingBloomFilter;
 use crate::cuckoo::CuckooFilter;
 use crate::dynfilter::{AqfDyn, DynFilter, LocDyn, PlainDyn, ShardedAqfDyn};
 use crate::quotient::QuotientFilter;
+use crate::snapshot::{SnapError, SnapshotReader};
 use crate::telescoping::TelescopingFilter;
 
 /// A buildable filter description: kind string plus shared geometry.
@@ -107,6 +111,9 @@ struct KindEntry {
     name: &'static str,
     summary: &'static str,
     build: fn(&FilterSpec) -> Result<Box<dyn DynFilter>, FilterError>,
+    /// Rebuild this kind from the body sections of a snapshot frame whose
+    /// header named it (see [`load_snapshot`]).
+    load: fn(&mut SnapshotReader<'_>) -> Result<Box<dyn DynFilter>, SnapError>,
 }
 
 /// CF-family bucket count: 4-slot buckets over the same slot budget.
@@ -124,6 +131,7 @@ static KINDS: &[KindEntry] = &[
         name: "aqf",
         summary: "AdaptiveQF (paper §4): strongly, monotonically adaptive",
         build: |s| Ok(Box::new(AqfDyn::new(AdaptiveQf::new(s.aqf_config())?))),
+        load: |r| Ok(Box::new(AqfDyn::read_snapshot(r)?)),
     },
     KindEntry {
         name: "sharded-aqf",
@@ -134,6 +142,7 @@ static KINDS: &[KindEntry] = &[
                 s.shard_bits,
             )?)))
         },
+        load: |r| Ok(Box::new(ShardedAqfDyn::read_snapshot(r)?)),
     },
     KindEntry {
         name: "yesno",
@@ -143,6 +152,11 @@ static KINDS: &[KindEntry] = &[
                 "yesno",
                 YesNoFilter::with_config(s.aqf_config())?,
             )))
+        },
+        load: |r| {
+            Ok(Box::new(PlainDyn::<YesNoFilter>::read_snapshot(
+                "yesno", r,
+            )?))
         },
     },
     KindEntry {
@@ -154,6 +168,11 @@ static KINDS: &[KindEntry] = &[
                 TelescopingFilter::new(s.qbits, s.rbits, s.seed)?,
             )))
         },
+        load: |r| {
+            Ok(Box::new(LocDyn::<TelescopingFilter>::read_snapshot(
+                "tqf", r,
+            )?))
+        },
     },
     KindEntry {
         name: "acf",
@@ -163,6 +182,11 @@ static KINDS: &[KindEntry] = &[
                 "acf",
                 AdaptiveCuckooFilter::new(bucket_bits(s)?, s.tag_bits, s.seed)?,
             )))
+        },
+        load: |r| {
+            Ok(Box::new(LocDyn::<AdaptiveCuckooFilter>::read_snapshot(
+                "acf", r,
+            )?))
         },
     },
     KindEntry {
@@ -174,6 +198,11 @@ static KINDS: &[KindEntry] = &[
                 QuotientFilter::new(s.qbits, s.rbits, s.seed)?,
             )))
         },
+        load: |r| {
+            Ok(Box::new(PlainDyn::<QuotientFilter>::read_snapshot(
+                "qf", r,
+            )?))
+        },
     },
     KindEntry {
         name: "cf",
@@ -184,6 +213,7 @@ static KINDS: &[KindEntry] = &[
                 CuckooFilter::new(bucket_bits(s)?, s.tag_bits, s.seed)?,
             )))
         },
+        load: |r| Ok(Box::new(PlainDyn::<CuckooFilter>::read_snapshot("cf", r)?)),
     },
     KindEntry {
         name: "bloom",
@@ -195,6 +225,11 @@ static KINDS: &[KindEntry] = &[
                 BloomFilter::for_capacity(n, 0.5f64.powi(s.rbits as i32), s.seed)?,
             )))
         },
+        load: |r| {
+            Ok(Box::new(PlainDyn::<BloomFilter>::read_snapshot(
+                "bloom", r,
+            )?))
+        },
     },
     KindEntry {
         name: "cbf",
@@ -204,6 +239,11 @@ static KINDS: &[KindEntry] = &[
                 "cbf",
                 CascadingBloomFilter::new(s.seed),
             )))
+        },
+        load: |r| {
+            Ok(Box::new(PlainDyn::<CascadingBloomFilter>::read_snapshot(
+                "cbf", r,
+            )?))
         },
     },
 ];
@@ -233,6 +273,68 @@ pub fn build(spec: &FilterSpec) -> Result<Box<dyn DynFilter>, FilterError> {
             "unknown filter kind (see aqf_filters::registry::kinds())",
         ))?;
     (entry.build)(spec)
+}
+
+/// The registry kind string a snapshot frame was written for, without
+/// decoding its body. Verifies the frame (magic, version, checksum) first.
+pub fn snapshot_kind(bytes: &[u8]) -> Result<String, SnapError> {
+    Ok(SnapshotReader::new(bytes)?.kind().to_string())
+}
+
+/// Rebuild a `Box<dyn DynFilter>` from a snapshot produced by
+/// [`DynFilter::snapshot_bytes`], dispatching on the frame's header kind
+/// string. All 9 registry kinds round-trip through this path; frames
+/// carrying an unregistered kind are [`SnapError::WrongKind`].
+///
+/// ```
+/// use aqf_filters::registry::{self, FilterSpec};
+///
+/// let mut f = registry::build(&FilterSpec::new("qf", 10)).unwrap();
+/// for k in 0..500u64 {
+///     f.insert(k).unwrap();
+/// }
+/// let bytes = f.snapshot_bytes().unwrap();
+/// let g = registry::load_snapshot(&bytes).unwrap();
+/// assert_eq!(g.kind(), "qf");
+/// assert!((0..500u64).all(|k| g.contains(k)));
+/// ```
+pub fn load_snapshot(bytes: &[u8]) -> Result<Box<dyn DynFilter>, SnapError> {
+    let mut r = SnapshotReader::new(bytes)?;
+    load_from_reader(&mut r)
+}
+
+/// [`load_snapshot`], but error with [`SnapError::WrongKind`] unless the
+/// frame's kind is exactly `kind` — for callers that know what they
+/// persisted and must not silently accept a different filter. The frame
+/// is parsed and checksummed once.
+pub fn load_snapshot_as(kind: &str, bytes: &[u8]) -> Result<Box<dyn DynFilter>, SnapError> {
+    let mut r = SnapshotReader::new(bytes)?;
+    r.expect_kind(kind)?;
+    load_from_reader(&mut r)
+}
+
+/// Dispatch an already-verified frame to its kind's loader.
+fn load_from_reader(r: &mut SnapshotReader<'_>) -> Result<Box<dyn DynFilter>, SnapError> {
+    let kind = r.kind();
+    let entry = KINDS
+        .iter()
+        .find(|k| k.name == kind)
+        .ok_or_else(|| SnapError::WrongKind {
+            expected: "a registered filter kind".to_string(),
+            found: kind.to_string(),
+        })?;
+    (entry.load)(r)
+}
+
+/// Save a filter's snapshot atomically to `path`
+/// (write-temp-then-rename; see `aqf_bits::snapshot::write_atomic`).
+pub fn save_snapshot(filter: &dyn DynFilter, path: &Path) -> Result<(), SnapError> {
+    Ok(write_atomic(path, &filter.snapshot_bytes()?)?)
+}
+
+/// Load a filter saved by [`save_snapshot`].
+pub fn load_snapshot_file(path: &Path) -> Result<Box<dyn DynFilter>, SnapError> {
+    load_snapshot(&read_file(path)?)
 }
 
 #[cfg(test)]

@@ -1,0 +1,52 @@
+//! Snapshot persistence plumbing for the filter layer.
+//!
+//! [`SnapshotBody`] is the per-filter codec hook: a filter writes its
+//! state as sections of an open [`SnapshotWriter`] frame and rebuilds
+//! itself from a [`SnapshotReader`]. The [`crate::DynFilter`] wrappers
+//! compose these bodies into registry-kind-keyed frames
+//! ([`crate::DynFilter::snapshot_bytes`]), and
+//! [`crate::registry::load_snapshot`] dispatches a frame back to the
+//! right loader by its header kind string — so all 9 registry kinds
+//! round-trip through `Box<dyn DynFilter>` with no per-kind code at the
+//! call site.
+//!
+//! Every method has a default that returns [`SnapError::Unsupported`], so
+//! third-party filters can opt in with an empty `impl SnapshotBody for
+//! MyFilter {}` and gain snapshot support later without breaking.
+
+pub use aqf_bits::snapshot::{SnapError, SnapshotReader, SnapshotWriter};
+
+/// Per-filter snapshot codec: serialize into / rebuild from the sections
+/// of an open snapshot frame. See the module docs.
+pub trait SnapshotBody {
+    /// Append this filter's state as sections of the open frame.
+    fn write_snapshot_body(&self, w: &mut SnapshotWriter) -> Result<(), SnapError> {
+        let _ = w;
+        Err(SnapError::Unsupported(
+            std::any::type_name::<Self>().to_string(),
+        ))
+    }
+
+    /// Rebuild a filter from sections written by
+    /// [`SnapshotBody::write_snapshot_body`].
+    fn read_snapshot_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError>
+    where
+        Self: Sized,
+    {
+        let _ = r;
+        Err(SnapError::Unsupported(
+            std::any::type_name::<Self>().to_string(),
+        ))
+    }
+}
+
+impl SnapshotBody for aqf::YesNoFilter {
+    fn write_snapshot_body(&self, w: &mut SnapshotWriter) -> Result<(), SnapError> {
+        self.write_snapshot(w);
+        Ok(())
+    }
+
+    fn read_snapshot_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        aqf::YesNoFilter::read_snapshot(r)
+    }
+}

@@ -25,6 +25,7 @@ use aqf_bits::word::{bitmask, select_u64};
 use aqf_bits::{BitVec, PackedVec};
 
 use crate::common::{AdaptiveFilter, Adaptivity, AmqFilter, MapEvent, MapEventSource, MapStats};
+use crate::snapshot::{SnapError, SnapshotBody, SnapshotReader, SnapshotWriter};
 
 const SELECTOR_BITS: u32 = 2;
 
@@ -249,6 +250,99 @@ impl TelescopingFilter {
         let new_rem = self.window(key, new_sel);
         self.slots.set(hit.slot, (new_sel << self.rbits) | new_rem);
         self.adaptations += 1;
+    }
+}
+
+impl SnapshotBody for TelescopingFilter {
+    /// Serializes the table (selectors included) **and** the shadow key
+    /// array its location-keyed reverse map lives in, so adaptation state
+    /// survives the round trip. Pending event traces are not persisted.
+    fn write_snapshot_body(&self, w: &mut SnapshotWriter) -> Result<(), SnapError> {
+        w.section(*b"TQCF");
+        w.u32(self.qbits);
+        w.u32(self.rbits);
+        w.u64(self.seed);
+        w.u64(self.canonical as u64);
+        w.u64(self.total as u64);
+        w.u64(self.items);
+        w.u64(self.adaptations);
+        w.u64(self.stats.inserts);
+        w.u64(self.stats.updates);
+        w.u64(self.stats.queries);
+        w.section(*b"TQTB");
+        w.bitvec(&self.occupieds);
+        w.bitvec(&self.runends);
+        w.bitvec(&self.used);
+        w.packed(&self.slots);
+        w.u64_slice(&self.keys);
+        Ok(())
+    }
+
+    fn read_snapshot_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        r.section(*b"TQCF")?;
+        let qbits = r.u32()?;
+        let rbits = r.u32()?;
+        let seed = r.u64()?;
+        let canonical = r.len_u64()?;
+        let total = r.len_u64()?;
+        let items = r.u64()?;
+        let adaptations = r.u64()?;
+        let stats = MapStats {
+            inserts: r.u64()?,
+            updates: r.u64()?,
+            queries: r.u64()?,
+        };
+        if qbits == 0 || qbits > 40 || rbits == 0 || qbits + rbits > 60 {
+            return Err(SnapError::corrupt("bad TQF geometry"));
+        }
+        if canonical != 1usize << qbits || total <= canonical {
+            return Err(SnapError::corrupt(format!(
+                "slot counts {canonical}/{total} disagree with qbits {qbits}"
+            )));
+        }
+        r.section(*b"TQTB")?;
+        let occupieds = r.bitvec()?;
+        let runends = r.bitvec()?;
+        let used = r.bitvec()?;
+        let slots = r.packed()?;
+        let keys = r.u64_vec()?;
+        if occupieds.len() != total || runends.len() != total || used.len() != total {
+            return Err(SnapError::corrupt(
+                "metadata bit vectors disagree with slot count",
+            ));
+        }
+        if slots.len() != total || slots.width() != rbits + SELECTOR_BITS {
+            return Err(SnapError::corrupt("slot vector disagrees with geometry"));
+        }
+        if keys.len() != total {
+            return Err(SnapError::corrupt(format!(
+                "shadow key array holds {} slots, table has {total}",
+                keys.len()
+            )));
+        }
+        if used.count_ones() as u64 != items {
+            return Err(SnapError::corrupt(format!(
+                "item count {items} disagrees with {} used slots",
+                used.count_ones()
+            )));
+        }
+        Ok(Self {
+            occupieds,
+            runends,
+            used,
+            slots,
+            keys,
+            qbits,
+            rbits,
+            seed,
+            canonical,
+            total,
+            items,
+            stats,
+            adaptations,
+            record_events: false,
+            events: Vec::new(),
+        })
     }
 }
 

@@ -1,0 +1,158 @@
+//! Snapshot conformance over every registry kind: the contracts the
+//! persistence subsystem must honor regardless of filter implementation.
+//!
+//! Positive: every kind round-trips through the registry-keyed
+//! `Box<dyn DynFilter>` path with its kind string intact. Negative
+//! (corruption robustness): truncated files, flipped bytes anywhere —
+//! header, body, checksum — and wrong-kind snapshots must surface as
+//! *typed* `SnapError`s; decoding never panics and never silently loads
+//! a wrong filter.
+
+use aqf_filters::registry::{self, FilterSpec};
+use aqf_filters::snapshot::{SnapError, SnapshotWriter};
+
+const QBITS: u32 = 10;
+const N: u64 = 700;
+
+fn member(i: u64) -> u64 {
+    i * 2654435761 % (1 << 40)
+}
+
+fn snapshot_of(kind: &str) -> Vec<u8> {
+    let mut f = FilterSpec::new(kind, QBITS)
+        .with_seed(17)
+        .build()
+        .unwrap_or_else(|e| panic!("{kind}: build failed: {e}"));
+    for i in 0..N {
+        f.insert(member(i))
+            .unwrap_or_else(|e| panic!("{kind}: insert failed: {e}"));
+    }
+    // Some adaptation traffic so adaptive kinds persist non-trivial state.
+    for p in 0..2000u64 {
+        let _ = f.query_adapting((1 << 41) + p * 7919);
+    }
+    f.snapshot_bytes()
+        .unwrap_or_else(|e| panic!("{kind}: snapshot failed: {e}"))
+}
+
+#[test]
+fn every_kind_roundtrips_through_the_registry() {
+    for kind in registry::kinds() {
+        let bytes = snapshot_of(kind);
+        assert_eq!(registry::snapshot_kind(&bytes).unwrap(), kind);
+        let g =
+            registry::load_snapshot(&bytes).unwrap_or_else(|e| panic!("{kind}: load failed: {e}"));
+        assert_eq!(g.kind(), kind);
+        assert_eq!(g.len(), N);
+        for i in 0..N {
+            assert!(g.contains(member(i)), "{kind}: lost member {i}");
+        }
+    }
+}
+
+#[test]
+fn truncated_files_are_typed_errors_for_every_kind() {
+    for kind in registry::kinds() {
+        let bytes = snapshot_of(kind);
+        // Every prefix, sampled densely near the interesting boundaries
+        // (header, first section) and sparsely through the body.
+        let cuts: Vec<usize> = (0..64.min(bytes.len()))
+            .chain((64..bytes.len()).step_by(211))
+            .chain(bytes.len().saturating_sub(9)..bytes.len())
+            .collect();
+        for n in cuts {
+            match registry::load_snapshot(&bytes[..n]) {
+                Err(SnapError::Truncated { .. } | SnapError::ChecksumMismatch { .. }) => {}
+                Err(e) => panic!("{kind}: truncation to {n} gave unexpected error {e}"),
+                Ok(_) => panic!("{kind}: truncation to {n} loaded successfully"),
+            }
+        }
+    }
+}
+
+#[test]
+fn flipped_bytes_are_typed_errors_for_every_kind() {
+    for kind in registry::kinds() {
+        let bytes = snapshot_of(kind);
+        // Header bytes, a sample of body bytes, and the trailing checksum.
+        let positions: Vec<usize> = (0..32.min(bytes.len()))
+            .chain((32..bytes.len()).step_by(97))
+            .chain(bytes.len() - 8..bytes.len())
+            .collect();
+        for i in positions {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            match registry::load_snapshot(&bad) {
+                Err(_) => {}
+                Ok(_) => panic!("{kind}: flip at byte {i} loaded successfully"),
+            }
+        }
+    }
+}
+
+#[test]
+fn wrong_kind_snapshots_are_rejected_not_misloaded() {
+    let qf_bytes = snapshot_of("qf");
+    // Typed loader: a qf frame fed to the cf loader must be WrongKind.
+    for other in registry::kinds() {
+        if other == "qf" {
+            continue;
+        }
+        match registry::load_snapshot_as(other, &qf_bytes) {
+            Err(SnapError::WrongKind { expected, found }) => {
+                assert_eq!(expected, other);
+                assert_eq!(found, "qf");
+            }
+            Err(e) => panic!("{other}: unexpected error {e}"),
+            Ok(_) => panic!("{other}: loaded a qf snapshot"),
+        }
+    }
+    // A well-formed frame for a kind the registry does not know.
+    let mut w = SnapshotWriter::new("definitely-not-a-filter");
+    w.section(*b"XXXX");
+    w.u64(1);
+    let alien = w.finish();
+    assert!(matches!(
+        registry::load_snapshot(&alien),
+        Err(SnapError::WrongKind { .. })
+    ));
+}
+
+#[test]
+fn garbage_and_empty_inputs_are_typed_errors() {
+    assert!(matches!(
+        registry::load_snapshot(&[]),
+        Err(SnapError::Truncated { .. })
+    ));
+    let garbage: Vec<u8> = (0..256u32).map(|i| (i * 37 + 11) as u8).collect();
+    assert!(matches!(
+        registry::load_snapshot(&garbage),
+        Err(SnapError::BadMagic)
+    ));
+    // Right magic, garbage after it: checksum catches it.
+    let mut half = b"AQFSNAP\0".to_vec();
+    half.extend_from_slice(&garbage);
+    assert!(registry::load_snapshot(&half).is_err());
+}
+
+/// Cross-kind body splice: take kind A's frame header but kind B's body
+/// sections, re-sealed with a fresh checksum. The per-kind decoders must
+/// reject the mismatched sections as typed errors (section tags and
+/// geometry checks), never panic or mis-load.
+#[test]
+fn spliced_bodies_are_rejected() {
+    let a = snapshot_of("qf");
+    let b = snapshot_of("bloom");
+    // Both kinds' headers are 12 bytes + kind string.
+    let header_a = 12 + "qf".len();
+    let header_b = 12 + "bloom".len();
+    let mut spliced = a[..header_a].to_vec();
+    spliced.extend_from_slice(&b[header_b..b.len() - 8]);
+    let sum = aqf_bits::snapshot::content_checksum(&spliced);
+    spliced.extend_from_slice(&sum.to_le_bytes());
+    match registry::load_snapshot(&spliced) {
+        Err(SnapError::WrongSection { .. } | SnapError::Corrupt(_)) => {}
+        Err(e) => panic!("splice gave unexpected error {e}"),
+        Ok(_) => panic!("spliced snapshot loaded successfully"),
+    }
+}

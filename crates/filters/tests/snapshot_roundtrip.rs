@@ -1,0 +1,112 @@
+//! Property-based snapshot round-trip suite over **every** registry kind:
+//! random key sets plus adaptation traffic, snapshot, load, and assert the
+//! loaded filter is element-wise indistinguishable — `query`/`query_loc`
+//! outcomes, `len`, `size_in_bytes`, `bits_per_item`, `adapt_bits`,
+//! `map_stats` — and stays indistinguishable under *continued* adapting
+//! use (the reverse-map state must round-trip too, not just the table).
+
+use aqf_filters::registry::{self, FilterSpec};
+use proptest::prelude::*;
+
+const QBITS: u32 = 11;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn every_kind_roundtrips_element_wise(
+        keys in proptest::collection::vec(0u64..(1u64 << 40), 1..500),
+        probes in proptest::collection::vec((1u64 << 41)..(1u64 << 41) + (1u64 << 40), 1..500),
+        seed in 1u64..6,
+    ) {
+        for kind in registry::kinds() {
+            let mut f = FilterSpec::new(kind, QBITS)
+                .with_seed(seed)
+                .build()
+                .unwrap();
+            for &k in &keys {
+                f.insert(k).unwrap();
+            }
+            // Adaptation traffic: absent-key probes, resolved through each
+            // filter's own shadow state (no-ops for non-adaptive kinds).
+            for &p in &probes {
+                let _ = f.query_adapting(p);
+            }
+
+            let bytes = f.snapshot_bytes().unwrap();
+            let mut g = registry::load_snapshot(&bytes).unwrap();
+
+            prop_assert_eq!(g.kind(), kind, "{} kind", kind);
+            prop_assert_eq!(g.len(), f.len(), "{} len", kind);
+            prop_assert_eq!(g.size_in_bytes(), f.size_in_bytes(), "{} size", kind);
+            prop_assert_eq!(g.adaptivity(), f.adaptivity(), "{} adaptivity", kind);
+            prop_assert!(
+                (g.bits_per_item() - f.bits_per_item()).abs() < 1e-9,
+                "{kind} bits_per_item {} vs {}",
+                g.bits_per_item(),
+                f.bits_per_item()
+            );
+            prop_assert!(
+                (g.adapt_bits() - f.adapt_bits()).abs() < 1e-9,
+                "{kind} adapt_bits {} vs {}",
+                g.adapt_bits(),
+                f.adapt_bits()
+            );
+            prop_assert_eq!(g.map_stats(), f.map_stats(), "{} map_stats", kind);
+
+            // Element-wise identical outcomes on members and probes alike.
+            for &k in keys.iter().chain(probes.iter()) {
+                prop_assert_eq!(f.contains(k), g.contains(k), "{} contains({})", kind, k);
+                prop_assert_eq!(f.query_loc(k), g.query_loc(k), "{} query_loc({})", kind, k);
+            }
+
+            // Continued adapting use must diverge nowhere: the snapshot
+            // carried the reverse-map state, not just the table.
+            for &p in &probes {
+                prop_assert_eq!(
+                    f.query_adapting(p),
+                    g.query_adapting(p),
+                    "{} post-load adapt({})", kind, p
+                );
+            }
+            for &k in &keys {
+                prop_assert_eq!(f.contains(k), g.contains(k), "{} member {} after adapt", kind, k);
+            }
+        }
+    }
+}
+
+/// Deletes (where supported) after a round trip behave identically: the
+/// loaded filter's internal bookkeeping supports every mutation path.
+#[test]
+fn deletes_after_roundtrip_match() {
+    for kind in registry::kinds() {
+        let mut f = FilterSpec::new(kind, QBITS).with_seed(9).build().unwrap();
+        let keys: Vec<u64> = (0..800u64).map(|i| i * 2654435761 % (1 << 40)).collect();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let mut g = registry::load_snapshot(&f.snapshot_bytes().unwrap()).unwrap();
+        if !f.supports_delete() {
+            assert!(
+                g.delete(keys[0]).is_err(),
+                "{kind}: delete support diverged"
+            );
+            continue;
+        }
+        for &k in keys.iter().step_by(3) {
+            assert_eq!(
+                f.delete(k).unwrap(),
+                g.delete(k).unwrap(),
+                "{kind}: delete({k}) diverged"
+            );
+        }
+        assert_eq!(f.len(), g.len(), "{kind}: len after deletes");
+        for &k in &keys {
+            assert_eq!(
+                f.contains(k),
+                g.contains(k),
+                "{kind}: contains({k}) after deletes"
+            );
+        }
+    }
+}

@@ -326,6 +326,63 @@ impl BTreeStore {
     pub fn flush(&mut self) -> std::io::Result<()> {
         self.cache.flush()
     }
+
+    /// Root page id (for snapshot manifests).
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Flush, then stream the tree's complete on-disk image — root page
+    /// id, entry count, and a length-prefixed page-image byte string —
+    /// into the open snapshot writer, page by page (no store-sized
+    /// intermediate buffer). Together with [`BTreeStore::restore`] this
+    /// is the B-tree half of the `FilteredDb` snapshot protocol.
+    pub fn snapshot_into(
+        &mut self,
+        w: &mut aqf_bits::snapshot::SnapshotWriter,
+    ) -> std::io::Result<()> {
+        self.flush()?;
+        let n = self.cache.page_count();
+        w.u32(self.root);
+        w.u64(self.len);
+        w.u64(n as u64 * PAGE_SIZE as u64);
+        for id in 0..n {
+            w.raw(&self.cache.page(id)?[..]);
+        }
+        Ok(())
+    }
+
+    /// Recreate a store at `path` from a page image produced by
+    /// [`BTreeStore::snapshot_into`], replacing any existing file.
+    pub fn restore(
+        path: &Path,
+        policy: IoPolicy,
+        cache_pages: usize,
+        root: u32,
+        len: u64,
+        pages: &[u8],
+    ) -> std::io::Result<Self> {
+        if pages.is_empty() || !pages.len().is_multiple_of(PAGE_SIZE) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("page image of {} bytes is not page-aligned", pages.len()),
+            ));
+        }
+        let n = (pages.len() / PAGE_SIZE) as u32;
+        if root >= n {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("root page {root} outside {n}-page image"),
+            ));
+        }
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, pages)?;
+        let pager = Pager::open(path, policy)?;
+        let cache = PageCache::new(pager, cache_pages);
+        Ok(Self { cache, root, len })
+    }
 }
 
 #[cfg(test)]

@@ -35,8 +35,11 @@
 //! interleaved with them.
 
 use aqf::{AdaptiveQf, AqfConfig, FilterError};
-use aqf_filters::{Adaptivity, AqfDyn, DynFilter, InsertPlan, Keying, MapEvent};
-use std::path::Path;
+use aqf_bits::snapshot::{
+    read_file, stale_temp_path, write_atomic, SnapError, SnapshotReader, SnapshotWriter,
+};
+use aqf_filters::{registry, Adaptivity, AqfDyn, DynFilter, InsertPlan, Keying, MapEvent};
+use std::path::{Path, PathBuf};
 
 use crate::btree::BTreeStore;
 use crate::pager::{IoPolicy, IoStats};
@@ -71,6 +74,12 @@ pub struct SystemStats {
     pub adapts: u64,
 }
 
+/// Name of the snapshot manifest inside a [`FilteredDb`]'s directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.aqfdb";
+
+/// Snapshot kind string of a [`FilteredDb`] manifest frame.
+const DB_SNAPSHOT_KIND: &str = "filtered-db";
+
 /// A filter-fronted on-disk key-value store.
 pub struct FilteredDb {
     filter: Box<dyn DynFilter>,
@@ -80,6 +89,8 @@ pub struct FilteredDb {
     /// Key->value database in the split setup.
     split_db: Option<BTreeStore>,
     stats: SystemStats,
+    /// Directory holding the database files and snapshot manifest.
+    dir: PathBuf,
 }
 
 impl FilteredDb {
@@ -113,6 +124,7 @@ impl FilteredDb {
             primary,
             split_db,
             stats: SystemStats::default(),
+            dir: dir.to_path_buf(),
         })
     }
 
@@ -152,6 +164,121 @@ impl FilteredDb {
     /// The filter.
     pub fn filter(&self) -> &dyn DynFilter {
         self.filter.as_ref()
+    }
+
+    /// The directory holding the database files and snapshot manifest.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot persistence
+    // ------------------------------------------------------------------
+
+    /// Persist the whole system — filter (table + adaptation state),
+    /// B-tree page images, and operation counters — as one atomically
+    /// committed snapshot manifest in the database directory.
+    ///
+    /// The manifest is staged at `snapshot.aqfdb.tmp`, fsynced, then
+    /// renamed over `snapshot.aqfdb`: a crash at any point (including
+    /// between the temp write and the rename) leaves the previous
+    /// committed snapshot intact, and [`FilteredDb::open`] recovers from
+    /// it, discarding the stale temp.
+    pub fn snapshot(&mut self) -> Result<(), SnapError> {
+        let filter_bytes = self.filter.snapshot_bytes()?;
+        let mut w = SnapshotWriter::new(DB_SNAPSHOT_KIND);
+        w.section(*b"FLTR");
+        w.bytes(&filter_bytes);
+        drop(filter_bytes);
+        w.section(*b"STAT");
+        w.u64(self.stats.inserts);
+        w.u64(self.stats.queries);
+        w.u64(self.stats.filter_negatives);
+        w.u64(self.stats.true_positives);
+        w.u64(self.stats.false_positives);
+        w.u64(self.stats.adapts);
+        w.u8(self.split_db.is_some() as u8);
+        // B-tree pages stream straight into the manifest buffer — no
+        // store-sized intermediate copy (the store dwarfs the filter).
+        w.section(*b"PRIM");
+        self.primary.snapshot_into(&mut w)?;
+        if let Some(db) = &mut self.split_db {
+            w.section(*b"SPLT");
+            db.snapshot_into(&mut w)?;
+        }
+        Ok(write_atomic(&self.dir.join(SNAPSHOT_FILE), &w.finish())?)
+    }
+
+    /// Reopen a system from the last committed snapshot in `dir`.
+    ///
+    /// Recovery semantics: operations performed after the last
+    /// [`FilteredDb::snapshot`] are discarded (the database files are
+    /// rebuilt from the snapshot's page images), a stale
+    /// `snapshot.aqfdb.tmp` left by a crash mid-snapshot is removed —
+    /// but only once the committed manifest has opened successfully, so
+    /// a never-committed-but-complete temp is preserved for manual
+    /// recovery if the committed copy itself turns out damaged — and
+    /// every decode failure — truncation, flipped bytes, a manifest of
+    /// the wrong kind — is a typed [`SnapError`], never a panic or a
+    /// silently inconsistent system.
+    pub fn open(dir: &Path, cache_pages: usize, policy: IoPolicy) -> Result<Self, SnapError> {
+        let manifest = dir.join(SNAPSHOT_FILE);
+        let bytes = read_file(&manifest)?;
+        let mut r = SnapshotReader::new(&bytes)?;
+        r.expect_kind(DB_SNAPSHOT_KIND)?;
+        r.section(*b"FLTR")?;
+        let mut filter = registry::load_snapshot(r.bytes()?)?;
+        filter.set_system_mode(true);
+        r.section(*b"STAT")?;
+        let stats = SystemStats {
+            inserts: r.u64()?,
+            queries: r.u64()?,
+            filter_negatives: r.u64()?,
+            true_positives: r.u64()?,
+            false_positives: r.u64()?,
+            adapts: r.u64()?,
+        };
+        let has_split = r.u8()? != 0;
+        r.section(*b"PRIM")?;
+        let proot = r.u32()?;
+        let plen = r.u64()?;
+        let primary = BTreeStore::restore(
+            &dir.join("primary.db"),
+            policy,
+            cache_pages,
+            proot,
+            plen,
+            r.bytes()?,
+        )?;
+        let split_db = if has_split {
+            r.section(*b"SPLT")?;
+            let sroot = r.u32()?;
+            let slen = r.u64()?;
+            Some(BTreeStore::restore(
+                &dir.join("values.db"),
+                policy,
+                cache_pages,
+                sroot,
+                slen,
+                r.bytes()?,
+            )?)
+        } else {
+            None
+        };
+        // Crash recovery: a leftover temp means a snapshot died between
+        // its temp write and the rename. The committed file — which just
+        // opened successfully — is the consistent state, so the temp is
+        // discarded now (and only now: if the committed manifest had
+        // failed to open, the temp would survive as recovery evidence).
+        // Best-effort: an undeletable temp must not fail a good open.
+        let _ = std::fs::remove_file(stale_temp_path(&manifest));
+        Ok(Self {
+            filter,
+            primary,
+            split_db,
+            stats,
+            dir: dir.to_path_buf(),
+        })
     }
 
     fn value_record(key: u64, value: &[u8]) -> Vec<u8> {

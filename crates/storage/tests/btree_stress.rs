@@ -8,7 +8,7 @@ use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
 
 fn temp_store(tag: &str, cache_pages: usize) -> (BTreeStore, std::path::PathBuf) {
-    let dir = std::env::temp_dir().join(format!("aqf-btstress-{tag}-{}", std::process::id()));
+    let dir = aqf_workloads::unique_temp_dir(&format!("aqf-btstress-{tag}"));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("t.db");
     (

@@ -1,0 +1,296 @@
+//! End-to-end snapshot persistence and crash recovery for `FilteredDb`:
+//! round-trips across registry kinds, the restart workload (snapshot,
+//! keep writing, kill, recover, replay), and crash consistency of the
+//! write-temp-then-rename commit protocol.
+
+use std::path::PathBuf;
+
+use aqf_bits::snapshot::{stale_temp_path, SnapError};
+use aqf_filters::registry::FilterSpec;
+use aqf_storage::pager::IoPolicy;
+use aqf_storage::system::{FilteredDb, RevMapMode, SNAPSHOT_FILE};
+use aqf_workloads::{unique_temp_dir, RestartSchedule};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    unique_temp_dir(&format!("aqf-persist-{tag}"))
+}
+
+fn db_with(kind: &str, dir: &std::path::Path, mode: RevMapMode) -> FilteredDb {
+    FilteredDb::new(
+        FilterSpec::new(kind, 12).with_seed(5).build().unwrap(),
+        dir,
+        128,
+        IoPolicy::default(),
+        mode,
+    )
+    .unwrap()
+}
+
+fn value_of(k: u64) -> [u8; 8] {
+    (k.wrapping_mul(0x9E37_79B9_7F4A_7C15)).to_le_bytes()
+}
+
+/// Snapshot + reopen round-trips data, stats, and adaptation state for a
+/// representative filter of every keying/adaptivity class.
+#[test]
+fn snapshot_reopen_roundtrips_every_filter_class() {
+    for kind in ["aqf", "sharded-aqf", "qf", "acf", "tqf", "yesno", "bloom"] {
+        let dir = temp_dir(&format!("rt-{kind}"));
+        let mut db = db_with(kind, &dir, RevMapMode::Merged);
+        for k in 0..2000u64 {
+            db.insert(k * 3 + 1, &value_of(k)).unwrap().unwrap();
+        }
+        // Adaptation traffic before the snapshot; record which absent
+        // keys cost a false positive so we can verify fixes persist.
+        let mut fp_keys = Vec::new();
+        for p in 0..4000u64 {
+            let probe = (1 << 42) + p * 104_729;
+            let before = db.stats().false_positives;
+            assert_eq!(db.query(probe).unwrap(), None, "{kind}: absent {probe}");
+            if db.stats().false_positives > before {
+                fp_keys.push(probe);
+            }
+        }
+        let stats_before = db.stats();
+        db.snapshot()
+            .unwrap_or_else(|e| panic!("{kind}: snapshot failed: {e}"));
+        drop(db);
+
+        let mut db = FilteredDb::open(&dir, 128, IoPolicy::default())
+            .unwrap_or_else(|e| panic!("{kind}: open failed: {e}"));
+        assert_eq!(db.filter().kind(), kind, "{kind}: filter kind survived");
+        let s = db.stats();
+        assert_eq!(s.inserts, stats_before.inserts, "{kind}: insert counter");
+        assert_eq!(
+            s.false_positives, stats_before.false_positives,
+            "{kind}: fp counter"
+        );
+        for k in 0..2000u64 {
+            assert_eq!(
+                db.query(k * 3 + 1).unwrap().as_deref(),
+                Some(&value_of(k)[..]),
+                "{kind}: key {k} lost or wrong value after reopen"
+            );
+        }
+        // Strongly adaptive kinds: fixes persist — refuted probes must
+        // not cost a second false positive after the restart.
+        if kind == "aqf" || kind == "sharded-aqf" {
+            let before = db.stats().false_positives;
+            for &probe in &fp_keys {
+                assert_eq!(db.query(probe).unwrap(), None);
+            }
+            assert_eq!(
+                db.stats().false_positives,
+                before,
+                "{kind}: adaptation state lost across restart"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The split reverse-map setup persists both stores.
+#[test]
+fn split_mode_snapshot_roundtrips_both_stores() {
+    let dir = temp_dir("split");
+    let mut db = db_with("aqf", &dir, RevMapMode::Split);
+    for k in 0..1500u64 {
+        db.insert(k * 7 + 3, &value_of(k)).unwrap().unwrap();
+    }
+    db.snapshot().unwrap();
+    drop(db);
+    let mut db = FilteredDb::open(&dir, 128, IoPolicy::default()).unwrap();
+    for k in 0..1500u64 {
+        assert_eq!(
+            db.query(k * 7 + 3).unwrap().as_deref(),
+            Some(&value_of(k)[..]),
+            "split key {k}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The restart workload end to end: snapshot mid-stream, keep inserting,
+/// kill (drop without snapshotting), recover, assert the committed prefix
+/// survived and the doomed tail vanished, then replay it and finish.
+#[test]
+fn restart_workload_recovers_committed_prefix_and_replays() {
+    let sched = RestartSchedule::generate(4000, 0.25, 0.15, 11);
+    let dir = temp_dir("restart");
+    let mut db = db_with("aqf", &dir, RevMapMode::Merged);
+    for &k in &sched.committed {
+        db.insert(k, &value_of(k)).unwrap().unwrap();
+    }
+    for &p in &sched.probes[..1000] {
+        assert_eq!(db.query(p).unwrap(), None);
+    }
+    db.snapshot().unwrap();
+    // Post-snapshot inserts: doomed by the kill.
+    for &k in &sched.lost {
+        db.insert(k, &value_of(k)).unwrap().unwrap();
+    }
+    for &k in &sched.lost {
+        assert!(db.query(k).unwrap().is_some(), "pre-kill sanity");
+    }
+    drop(db); // the kill: nothing since the snapshot survives
+
+    let mut db = FilteredDb::open(&dir, 128, IoPolicy::default()).unwrap();
+    for &k in &sched.committed {
+        assert_eq!(
+            db.query(k).unwrap().as_deref(),
+            Some(&value_of(k)[..]),
+            "committed key {k} lost in the crash"
+        );
+    }
+    for &k in &sched.lost {
+        assert_eq!(
+            db.query(k).unwrap(),
+            None,
+            "doomed key {k} survived the crash"
+        );
+    }
+    // Replay the lost tail and continue the stream.
+    for &k in sched.lost.iter().chain(&sched.post) {
+        db.insert(k, &value_of(k)).unwrap().unwrap();
+    }
+    for &k in sched.committed.iter().chain(&sched.lost).chain(&sched.post) {
+        assert!(db.query(k).unwrap().is_some(), "key {k} after replay");
+    }
+    for &p in &sched.probes[1000..2000] {
+        assert_eq!(db.query(p).unwrap(), None);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash between the temp write and the rename: the stale temp (whether
+/// garbage or a complete newer snapshot that never committed) must be
+/// ignored and removed; the previous committed snapshot opens cleanly.
+#[test]
+fn kill_between_temp_write_and_rename_recovers_previous_snapshot() {
+    let dir = temp_dir("crash");
+    let mut db = db_with("aqf", &dir, RevMapMode::Merged);
+    for k in 0..1000u64 {
+        db.insert(k, &value_of(k)).unwrap().unwrap();
+    }
+    db.snapshot().unwrap();
+    // More inserts the next snapshot would have captured.
+    for k in 1000..1500u64 {
+        db.insert(k, &value_of(k)).unwrap().unwrap();
+    }
+    drop(db);
+
+    let manifest = dir.join(SNAPSHOT_FILE);
+    let committed = std::fs::read(&manifest).unwrap();
+    let tmp = stale_temp_path(&manifest);
+
+    // Case 1: the kill left a torn, partially written temp.
+    std::fs::write(&tmp, &committed[..committed.len() / 3]).unwrap();
+    let mut db = FilteredDb::open(&dir, 128, IoPolicy::default()).unwrap();
+    assert!(!tmp.exists(), "stale temp must be cleaned up");
+    for k in 0..1000u64 {
+        assert!(db.query(k).unwrap().is_some(), "committed key {k}");
+    }
+    for k in 1000..1500u64 {
+        assert_eq!(
+            db.query(k).unwrap(),
+            None,
+            "uncommitted key {k} resurrected"
+        );
+    }
+    drop(db);
+
+    // Case 2: the kill hit after a *complete* temp write but before the
+    // rename — the temp is a valid snapshot, yet it never committed, so
+    // it must still be discarded in favor of the previous one.
+    std::fs::write(&tmp, &committed).unwrap();
+    let mut db = FilteredDb::open(&dir, 128, IoPolicy::default()).unwrap();
+    assert!(!tmp.exists());
+    for k in 0..1000u64 {
+        assert!(db.query(k).unwrap().is_some());
+    }
+    // The manifest itself is untouched.
+    assert_eq!(std::fs::read(&manifest).unwrap(), committed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Opening damaged or absent state is a typed error, never a panic and
+/// never a silently empty database.
+#[test]
+fn open_failures_are_typed() {
+    // No snapshot ever taken.
+    let dir = temp_dir("missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    match FilteredDb::open(&dir, 64, IoPolicy::default()) {
+        Err(SnapError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+        Err(e) => panic!("unexpected error {e}"),
+        Ok(_) => panic!("opened a directory with no snapshot"),
+    }
+    // A corrupted manifest.
+    let dir = temp_dir("corrupt");
+    let mut db = db_with("qf", &dir, RevMapMode::Merged);
+    for k in 0..500u64 {
+        db.insert(k, b"v").unwrap().unwrap();
+    }
+    db.snapshot().unwrap();
+    drop(db);
+    let manifest = dir.join(SNAPSHOT_FILE);
+    let good = std::fs::read(&manifest).unwrap();
+    let mut bytes = good.clone();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&manifest, &bytes).unwrap();
+    // A complete temp from a killed snapshot sits next to the damaged
+    // manifest: the failed open must NOT destroy it (it is the only
+    // recoverable copy left on disk).
+    let tmp = stale_temp_path(&manifest);
+    std::fs::write(&tmp, &good).unwrap();
+    match FilteredDb::open(&dir, 64, IoPolicy::default()) {
+        Err(SnapError::ChecksumMismatch { .. }) => {}
+        Err(e) => panic!("unexpected error {e}"),
+        Ok(_) => panic!("opened a corrupted snapshot"),
+    }
+    assert!(
+        tmp.exists(),
+        "failed open must preserve the stale temp as recovery evidence"
+    );
+    // A snapshot of something that is not a FilteredDb.
+    let dir = temp_dir("wrongkind");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut f = FilterSpec::new("qf", 10).build().unwrap();
+    for k in 0..100u64 {
+        f.insert(k).unwrap();
+    }
+    aqf_bits::snapshot::write_atomic(&dir.join(SNAPSHOT_FILE), &f.snapshot_bytes().unwrap())
+        .unwrap();
+    match FilteredDb::open(&dir, 64, IoPolicy::default()) {
+        Err(SnapError::WrongKind { found, .. }) => assert_eq!(found, "qf"),
+        Err(e) => panic!("unexpected error {e}"),
+        Ok(_) => panic!("opened a bare filter snapshot as a database"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Snapshots are re-takeable: snapshot, keep writing, snapshot again;
+/// the newest commit wins and holds the full state.
+#[test]
+fn successive_snapshots_commit_the_latest_state() {
+    let dir = temp_dir("succ");
+    let mut db = db_with("sharded-aqf", &dir, RevMapMode::Merged);
+    for k in 0..800u64 {
+        db.insert(k, &value_of(k)).unwrap().unwrap();
+    }
+    db.snapshot().unwrap();
+    for k in 800..1600u64 {
+        db.insert(k, &value_of(k)).unwrap().unwrap();
+    }
+    db.snapshot().unwrap();
+    drop(db);
+    let mut db = FilteredDb::open(&dir, 128, IoPolicy::default()).unwrap();
+    for k in 0..1600u64 {
+        assert!(
+            db.query(k).unwrap().is_some(),
+            "key {k} after second snapshot"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,9 +10,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!("aqf-sys-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    d
+    aqf_workloads::unique_temp_dir(&format!("aqf-sys-{tag}"))
 }
 
 fn registry_db(spec: &FilterSpec, dir: &std::path::Path, mode: RevMapMode) -> FilteredDb {

@@ -7,17 +7,21 @@
 //!   frequency to force disk I/O,
 //! - [`datasets`] — synthetic stand-ins for the CAIDA passive traces and
 //!   the Shalla URL blocklist (substitutions documented in DESIGN.md §4),
-//!   plus the Fig. 8 churn schedule.
+//!   plus the Fig. 8 churn schedule,
+//! - [`restart`] — the snapshot/kill/recover phase schedule driving the
+//!   crash-recovery tests and the `fig11_persist` benchmark.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
 pub mod datasets;
+pub mod restart;
 pub mod zipf;
 
 pub use adversary::Adversary;
 pub use datasets::{caida_like_trace, churn_schedule, shalla_like_urls, ChurnOp};
+pub use restart::RestartSchedule;
 pub use zipf::ZipfGenerator;
 
 use rand::rngs::StdRng;
@@ -26,6 +30,24 @@ use rand::{RngExt, SeedableRng};
 /// Deterministic RNG for experiments.
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
+}
+
+/// A unique scratch-directory path for test and bench harnesses:
+/// `<tmpdir>/<prefix>-<pid>-<thread id>-<seq>`. Unique per call (the
+/// sequence number is process-wide), so parallel `cargo test` threads and
+/// leftovers of killed runs can never collide. Any existing directory at
+/// the path is removed; the directory itself is NOT created.
+pub fn unique_temp_dir(prefix: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "{prefix}-{}-{:?}-{}",
+        std::process::id(),
+        std::thread::current().id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
 }
 
 /// `n` uniform random 64-bit keys.

@@ -1,0 +1,109 @@
+//! Restart/recovery workload (beyond the paper): a keyed stream with a
+//! kill point.
+//!
+//! Persistence turns the paper's long-lived-system argument into a
+//! testable scenario: a serving process inserts a stream, snapshots
+//! mid-way, keeps inserting, and is then killed before it can snapshot
+//! again. On restart it recovers the snapshot, loses the post-snapshot
+//! tail, and replays it. [`RestartSchedule`] generates the disjoint key
+//! phases of that scenario deterministically so the storage tests and the
+//! `fig11_persist` benchmark drive exactly the same shape:
+//!
+//! 1. insert [`RestartSchedule::committed`], then snapshot,
+//! 2. insert [`RestartSchedule::lost`] — wiped by the simulated kill,
+//! 3. recover, assert `committed` present and `lost` absent,
+//! 4. replay `lost`, then insert [`RestartSchedule::post`],
+//! 5. throughout, probe with [`RestartSchedule::probes`] (absent keys —
+//!    adaptation traffic that must also survive the restart).
+
+use crate::uniform_keys;
+
+/// Key phases of one kill-and-recover run; see the module docs.
+#[derive(Clone, Debug)]
+pub struct RestartSchedule {
+    /// Keys inserted before the snapshot (must survive recovery).
+    pub committed: Vec<u64>,
+    /// Keys inserted after the snapshot and lost to the kill.
+    pub lost: Vec<u64>,
+    /// Fresh keys inserted after recovery.
+    pub post: Vec<u64>,
+    /// Absent-key probes, replayed in every phase (disjoint from all
+    /// inserted keys by construction).
+    pub probes: Vec<u64>,
+}
+
+impl RestartSchedule {
+    /// A schedule of `n` total inserts: `lost_frac` of them after the
+    /// snapshot, `post_frac` after recovery, the rest committed before
+    /// the snapshot. All four phases are pairwise disjoint.
+    pub fn generate(n: usize, lost_frac: f64, post_frac: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lost_frac)
+                && (0.0..=1.0).contains(&post_frac)
+                && lost_frac + post_frac < 1.0,
+            "phase fractions must leave a committed prefix"
+        );
+        let n_lost = (n as f64 * lost_frac) as usize;
+        let n_post = (n as f64 * post_frac) as usize;
+        let n_committed = n - n_lost - n_post;
+        // One draw, split into phases: uniform 64-bit keys are distinct
+        // w.h.p., and phase tags make disjointness deterministic.
+        let keys = uniform_keys(n, seed);
+        let tag = |k: u64, t: u64| (k >> 3) | (t << 61);
+        Self {
+            committed: keys[..n_committed].iter().map(|&k| tag(k, 0)).collect(),
+            lost: keys[n_committed..n_committed + n_lost]
+                .iter()
+                .map(|&k| tag(k, 1))
+                .collect(),
+            post: keys[n_committed + n_lost..]
+                .iter()
+                .map(|&k| tag(k, 2))
+                .collect(),
+            probes: uniform_keys(n, seed ^ 0x9E37_79B9)
+                .iter()
+                .map(|&k| tag(k, 3))
+                .collect(),
+        }
+    }
+
+    /// Total keys the fully recovered system must hold
+    /// (`committed` + replayed `lost` + `post`).
+    pub fn final_count(&self) -> usize {
+        self.committed.len() + self.lost.len() + self.post.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn phases_are_disjoint_and_deterministic() {
+        let a = RestartSchedule::generate(10_000, 0.2, 0.1, 7);
+        let b = RestartSchedule::generate(10_000, 0.2, 0.1, 7);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.lost, b.lost);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.committed.len(), 7000);
+        assert_eq!(a.lost.len(), 2000);
+        assert_eq!(a.post.len(), 1000);
+        let mut all: HashSet<u64> = HashSet::new();
+        for k in a
+            .committed
+            .iter()
+            .chain(&a.lost)
+            .chain(&a.post)
+            .chain(&a.probes)
+        {
+            assert!(all.insert(*k), "phases overlap at key {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn fractions_must_leave_a_committed_prefix() {
+        let _ = RestartSchedule::generate(100, 0.6, 0.5, 1);
+    }
+}

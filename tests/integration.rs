@@ -10,9 +10,7 @@ use adaptiveqf::workloads::{uniform_keys, Adversary, ZipfGenerator};
 use rand::RngExt;
 
 fn tmp(tag: &str) -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!("aqf-it-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    d
+    adaptiveqf::workloads::unique_temp_dir(&format!("aqf-it-{tag}"))
 }
 
 /// The headline guarantee, end to end: on a Zipfian stream, the system's
