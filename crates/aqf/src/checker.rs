@@ -12,24 +12,24 @@ impl AdaptiveQf {
 
         // 1. Unused slots carry no metadata.
         for i in 0..t.total {
-            if !t.used.get(i) {
-                if t.runends.get(i) {
+            if !t.is_used(i) {
+                if t.is_runend(i) {
                     return err(format!("slot {i}: unused but runend set"));
                 }
-                if t.extensions.get(i) {
+                if t.is_extension(i) {
                     return err(format!("slot {i}: unused but extension set"));
                 }
             }
         }
         // 2. Occupied bits only on canonical slots, and imply a used slot.
         for i in t.canonical..t.total {
-            if t.occupieds.get(i) {
+            if t.occupied(i) {
                 return err(format!("slot {i}: occupied bit beyond canonical range"));
             }
         }
 
         // 3. Global counts: one masked runend per occupied quotient.
-        let occupied_count = t.occupieds.count_ones();
+        let occupied_count = t.b.count_ones(crate::table::OCC);
         let masked_runends = (0..t.total).filter(|&i| t.is_masked_runend(i)).count();
         if occupied_count != masked_runends {
             return err(format!(
@@ -37,29 +37,31 @@ impl AdaptiveQf {
             ));
         }
 
-        // 4. Walk clusters and check run structure.
+        // 4. Walk clusters and check run structure, collecting every run's
+        //    (quotient, physical end) for the offset validation below.
         let mut decoded_groups: u64 = 0;
         let mut decoded_count: u64 = 0;
         let mut i = 0usize;
         let mut seen_occupied = 0usize;
+        let mut run_ends: Vec<(usize, usize)> = Vec::new();
         while i < t.total {
-            if !t.used.get(i) {
+            if !t.is_used(i) {
                 i += 1;
                 continue;
             }
             let c = i;
-            let ce = t.used.next_zero(c).unwrap_or(t.total);
+            let ce = t.next_free(c).unwrap_or(t.total);
             // Cluster starts must be canonical: first run's quotient == c.
             if c >= t.canonical {
                 return err(format!("cluster start {c} beyond canonical slots"));
             }
-            if !t.occupieds.get(c) {
+            if !t.occupied(c) {
                 return err(format!("cluster start {c} is not an occupied quotient"));
             }
             let mut cursor = c;
             let mut prev_q: Option<usize> = None;
             for q in c..ce {
-                if !t.occupieds.get(q) {
+                if !t.occupied(q) {
                     continue;
                 }
                 seen_occupied += 1;
@@ -80,7 +82,7 @@ impl AdaptiveQf {
                     if cursor >= ce {
                         return err(format!("run of quotient {q} overruns its cluster"));
                     }
-                    if t.extensions.get(cursor) {
+                    if t.is_extension(cursor) {
                         return err(format!("group start {cursor} has extension bit"));
                     }
                     let ext = t.group_extent(cursor);
@@ -97,7 +99,7 @@ impl AdaptiveQf {
                     }
                     prev_rem = Some(rem);
                     // Counter digits: most significant digit nonzero.
-                    if ext.ctr_len() > 0 && t.slots.get(ext.end - 1) == 0 {
+                    if ext.ctr_len() > 0 && t.slot(ext.end - 1) == 0 {
                         return err(format!("group at {cursor}: zero top counter digit"));
                     }
                     decoded_groups += 1;
@@ -108,6 +110,7 @@ impl AdaptiveQf {
                         break;
                     }
                 }
+                run_ends.push((q, cursor));
             }
             if cursor != ce {
                 return err(format!(
@@ -142,6 +145,31 @@ impl AdaptiveQf {
                 self.slots_used, used_count
             ));
         }
+
+        // 6. Every cached block offset equals its definition: the distance
+        //    from the block base B to one past the physical end of the run
+        //    of the last occupied quotient <= B-1 (clamped at 0). One
+        //    pointer sweep over the runs collected in step 4.
+        let mut idx = 0usize;
+        let mut last_end = 0usize;
+        for blk in 0..t.b.blocks() {
+            let base = blk << 6;
+            while idx < run_ends.len() && run_ends[idx].0 < base {
+                last_end = run_ends[idx].1;
+                idx += 1;
+            }
+            let expect = if blk == 0 || idx == 0 {
+                0
+            } else {
+                last_end.saturating_sub(base)
+            };
+            if t.b.offset(blk) != expect {
+                return err(format!(
+                    "block {blk} (base {base}): cached offset {} != structural {expect}",
+                    t.b.offset(blk)
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -150,5 +178,41 @@ impl AdaptiveQf {
         if let Err(m) = self.validate() {
             panic!("AdaptiveQf invariant violated: {m}");
         }
+    }
+
+    /// Element-wise equivalence of the O(1) offset-based navigation
+    /// against the retained scan-based reference, across every occupied
+    /// quotient (`run_range`), every shifted unoccupied quotient
+    /// (`new_run_pos`), and every block offset (`offset_ref`).
+    ///
+    /// Test/debug instrumentation for the layout-equivalence proptests;
+    /// O(total × cluster length).
+    #[doc(hidden)]
+    pub fn check_nav_equivalence(&self) -> Result<(), String> {
+        let t = &self.t;
+        for blk in 0..t.b.blocks() {
+            let (got, want) = (t.b.offset(blk), t.offset_ref(blk));
+            if got != want {
+                return Err(format!("block {blk}: offset {got} != reference {want}"));
+            }
+        }
+        for q in 0..t.canonical {
+            if t.occupied(q) {
+                let (fast, slow) = (t.run_range(q), t.run_range_ref(q));
+                if fast != slow {
+                    return Err(format!(
+                        "run_range({q}): offset-based {fast:?} != scan-based {slow:?}"
+                    ));
+                }
+            } else if t.is_used(q) {
+                let (fast, slow) = (t.new_run_pos(q), t.new_run_pos_ref(q));
+                if fast != slow {
+                    return Err(format!(
+                        "new_run_pos({q}): offset-based {fast} != scan-based {slow}"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }

@@ -250,9 +250,9 @@ impl AdaptiveQf {
         let id = fp.minirun_id();
 
         // Fast path: the canonical slot is free.
-        if !self.t.used.get(hq) {
+        if !self.t.is_used(hq) {
             self.t.write_free_slot(hq, slot_val, false, true);
-            self.t.occupieds.set(hq);
+            self.t.set_occupied(hq);
             self.note_new_group(1);
             return Ok(InsertOutcome {
                 minirun_id: id,
@@ -262,10 +262,10 @@ impl AdaptiveQf {
         }
 
         // New run for a previously-unoccupied quotient.
-        if !self.t.occupieds.get(hq) {
+        if !self.t.occupied(hq) {
             let pos = self.t.new_run_pos(hq);
-            self.t.insert_slot_at(pos, slot_val, false, true)?;
-            self.t.occupieds.set(hq);
+            self.t.insert_slot_at(hq, pos, slot_val, false, true)?;
+            self.t.set_occupied(hq);
             self.note_new_group(1);
             return Ok(InsertOutcome {
                 minirun_id: id,
@@ -283,7 +283,7 @@ impl AdaptiveQf {
             let grem = self.t.remainder_at(g);
             if grem == hr {
                 if counting && self.group_matches_fp(&ext, fp) {
-                    self.bump_counter(ext)?;
+                    self.bump_counter(hq, ext)?;
                     self.total_count += 1;
                     return Ok(InsertOutcome {
                         minirun_id: id,
@@ -296,7 +296,7 @@ impl AdaptiveQf {
                 // Insert directly before g (covers both "new smallest
                 // minirun" and "append after my minirun" because equal
                 // remainders are contiguous).
-                self.t.insert_slot_at(g, slot_val, false, false)?;
+                self.t.insert_slot_at(hq, g, slot_val, false, false)?;
                 self.note_new_group(1);
                 return Ok(InsertOutcome {
                     minirun_id: id,
@@ -308,8 +308,8 @@ impl AdaptiveQf {
                 // Append after the run's last group; the new fingerprint
                 // becomes the run's new masked runend.
                 let pos = ext.end;
-                self.t.insert_slot_at(pos, slot_val, false, true)?;
-                self.t.runends.clear(re);
+                self.t.insert_slot_at(hq, pos, slot_val, false, true)?;
+                self.t.clear_runend(re);
                 self.note_new_group(1);
                 return Ok(InsertOutcome {
                     minirun_id: id,
@@ -340,26 +340,26 @@ impl AdaptiveQf {
     }
 
     /// Increment the group's counter by one, carrying across digit slots.
-    fn bump_counter(&mut self, ext: GroupExtent) -> Result<(), FilterError> {
+    fn bump_counter(&mut self, hq: usize, ext: GroupExtent) -> Result<(), FilterError> {
         let digit_max = bitmask(self.cfg.rbits + self.cfg.value_bits);
         let mut i = ext.ext_end;
-        while i < ext.end && self.t.slots.get(i) == digit_max {
+        while i < ext.end && self.t.slot(i) == digit_max {
             i += 1;
         }
         if i == ext.end {
             // All existing digits saturated (or none): append a new most
             // significant digit of 1, then zero the lower digits.
-            self.t.insert_slot_at(ext.end, 1, true, true)?;
+            self.t.insert_slot_at(hq, ext.end, 1, true, true)?;
             self.slots_used += 1;
             self.stats.counter_slots += 1;
             for j in ext.ext_end..ext.end {
-                self.t.slots.set(j, 0);
+                self.t.set_slot(j, 0);
             }
         } else {
-            let d = self.t.slots.get(i);
-            self.t.slots.set(i, d + 1);
+            let d = self.t.slot(i);
+            self.t.set_slot(i, d + 1);
             for j in ext.ext_end..i {
-                self.t.slots.set(j, 0);
+                self.t.set_slot(j, 0);
             }
         }
         Ok(())
@@ -370,7 +370,7 @@ impl AdaptiveQf {
         let width = self.cfg.rbits + self.cfg.value_bits;
         let mut count: u64 = 1;
         for (k, s) in (ext.ext_end..ext.end).enumerate() {
-            let d = self.t.slots.get(s);
+            let d = self.t.slot(s);
             count = count.saturating_add(
                 d.saturating_mul(1u64.checked_shl(width * k as u32).unwrap_or(u64::MAX)),
             );
@@ -419,11 +419,53 @@ impl AdaptiveQf {
     /// is a prefix of `fp`'s hash string.
     pub(crate) fn find_first_match(&self, fp: &Fingerprint) -> Option<(GroupExtent, Hit)> {
         let hq = fp.quotient();
-        if !self.t.occupieds.get(hq) {
+        if !self.t.occupied(hq) {
             return None;
         }
         let hr = fp.remainder();
         let (rs, re) = self.t.run_range(hq);
+        // Single-group run (the common case even at 0.95 load): one slot
+        // and one extension bit decide the query.
+        if rs == re {
+            if self.t.remainder_at(rs) != hr {
+                return None;
+            }
+            if rs + 1 >= self.t.total || !self.t.is_extension(rs + 1) {
+                return Some((
+                    GroupExtent {
+                        start: rs,
+                        ext_end: rs + 1,
+                        end: rs + 1,
+                    },
+                    Hit {
+                        minirun_id: fp.minirun_id(),
+                        rank: 0,
+                        ext_chunks: 0,
+                    },
+                ));
+            }
+        }
+        // Fast path: a run with no extras anywhere (including trailing
+        // extras of its last group, at re+1..) is a plain sorted remainder
+        // array — compare word-parallel, up to 64/rbits slots per step.
+        // Every group trivially "matches" its own remainder, so the first
+        // equal slot is the first match, at rank 0 within its minirun.
+        else if self.t.ext_count_range(rs + 1, (re + 2).min(self.t.total)) == 0 {
+            return self.t.find_remainder_eq(rs, re, hr).map(|pos| {
+                (
+                    GroupExtent {
+                        start: pos,
+                        ext_end: pos + 1,
+                        end: pos + 1,
+                    },
+                    Hit {
+                        minirun_id: fp.minirun_id(),
+                        rank: 0,
+                        ext_chunks: 0,
+                    },
+                )
+            });
+        }
         let mut g = rs;
         let mut rank: u32 = 0;
         loop {
@@ -452,7 +494,7 @@ impl AdaptiveQf {
     /// Locate the `rank`-th group of a minirun by its ID.
     pub(crate) fn locate_group(&self, minirun_id: u64, rank: u32) -> Option<GroupExtent> {
         let (hq, hr) = split_minirun_id(minirun_id, self.cfg.rbits);
-        if hq >= self.t.canonical || !self.t.occupieds.get(hq) {
+        if hq >= self.t.canonical || !self.t.occupied(hq) {
             return None;
         }
         let (rs, re) = self.t.run_range(hq);
@@ -643,6 +685,7 @@ impl AdaptiveQf {
         let ext = self
             .locate_group(hit.minirun_id, hit.rank)
             .ok_or(FilterError::NotFound)?;
+        let (hq, _) = split_minirun_id(hit.minirun_id, self.cfg.rbits);
         let sfp = self.fingerprint(stored_key);
         debug_assert_eq!(sfp.minirun_id(), hit.minirun_id, "stored key mismatch");
         debug_assert!(
@@ -667,14 +710,14 @@ impl AdaptiveQf {
                 break;
             }
         }
-        let free_after = (self.t.total - start) - self.t.used.count_range(start, self.t.total);
+        let free_after = (self.t.total - start) - self.t.used_count_range(start, self.t.total);
         if free_after < needed {
             return Err(FilterError::Full);
         }
         for k in 0..needed {
             let i = len + k as u64;
             self.t
-                .insert_slot_at(start + 1 + i as usize, sfp.chunk(i), true, false)
+                .insert_slot_at(hq, start + 1 + i as usize, sfp.chunk(i), true, false)
                 .expect("capacity was checked above");
         }
         self.slots_used += needed as u64;
@@ -691,7 +734,7 @@ impl AdaptiveQf {
             .locate_group(hit.minirun_id, hit.rank)
             .ok_or(FilterError::NotFound)?;
         let rem = self.t.remainder_at(ext.start);
-        self.t.slots.set(ext.start, (value << self.cfg.rbits) | rem);
+        self.t.set_slot(ext.start, (value << self.cfg.rbits) | rem);
         Ok(())
     }
 

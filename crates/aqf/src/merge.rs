@@ -51,7 +51,7 @@ impl<'a> SequentialBuilder<'a> {
             self.close_run();
             self.cur_q = Some(q);
             self.cursor = self.cursor.max(q);
-            self.f.t.occupieds.set(q);
+            self.f.t.set_occupied(q);
         }
         let digits = crate::rebuild::digits_len(count, width);
         let needed = 1 + exts.len() + digits;
@@ -89,12 +89,15 @@ impl<'a> SequentialBuilder<'a> {
 
     fn close_run(&mut self) {
         if self.cur_q.is_some() {
-            self.f.t.runends.set(self.last_rem_slot);
+            self.f.t.set_runend(self.last_rem_slot);
         }
     }
 
     fn finish(mut self) {
         self.close_run();
+        // Sequential building writes the whole table without incremental
+        // offset maintenance; derive every block offset in one sweep.
+        self.f.t.rebuild_offsets();
     }
 }
 
@@ -173,16 +176,15 @@ impl<'a> GroupCursor<'a> {
         if !self.in_run {
             if self.slot >= self.cluster_end {
                 // Advance to the next cluster.
-                let c = t.used.next_one(self.slot)?;
+                let c = t.b.next_one(crate::table::USED, self.slot)?;
                 self.slot = c;
-                self.cluster_end = t.used.next_zero(c).unwrap_or(t.total);
+                self.cluster_end = t.next_free(c).unwrap_or(t.total);
                 self.qscan = c;
             }
             // Next occupied quotient owning the run at `slot`.
-            let q = t
-                .occupieds
-                .next_one(self.qscan)
-                .expect("used slots imply a further occupied quotient");
+            let q =
+                t.b.next_one(crate::table::OCC, self.qscan)
+                    .expect("used slots imply a further occupied quotient");
             debug_assert!(q < self.cluster_end);
             self.quotient = q;
             self.qscan = q + 1;
@@ -193,14 +195,14 @@ impl<'a> GroupCursor<'a> {
         let width = self.f.cfg.rbits + self.f.cfg.value_bits;
         let mut count: u64 = 1;
         for (k, s) in (ext.ext_end..ext.end).enumerate() {
-            let d = t.slots.get(s);
+            let d = t.slot(s);
             let shift = ((width as usize * k).min(63)) as u32;
             count =
                 count.saturating_add(d.saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX)));
         }
         let info = GroupInfo {
             quotient: self.quotient,
-            rem_raw: t.slots.get(start),
+            rem_raw: t.slot(start),
             ext_start: start + 1,
             ext_len: ext.ext_len(),
             count,

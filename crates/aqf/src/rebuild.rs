@@ -34,26 +34,26 @@ impl AdaptiveQf {
     /// Decode the cluster starting at `c` (a cluster start). Returns the
     /// runs and the cluster's end slot (exclusive).
     pub(crate) fn decode_cluster(&self, c: usize) -> (Vec<RunData>, usize) {
-        debug_assert!(self.t.used.get(c));
-        debug_assert!(c == 0 || !self.t.used.get(c - 1));
-        let ce = self.t.used.next_zero(c).unwrap_or(self.t.total);
+        debug_assert!(self.t.is_used(c));
+        debug_assert!(c == 0 || !self.t.is_used(c - 1));
+        let ce = self.t.next_free(c).unwrap_or(self.t.total);
         let width = self.cfg.rbits + self.cfg.value_bits;
         let mut runs = Vec::new();
         let mut cursor = c;
         for q in c..ce {
-            if !self.t.occupieds.get(q) {
+            if !self.t.occupied(q) {
                 continue;
             }
             let mut groups = Vec::new();
             loop {
                 let ext = self.t.group_extent(cursor);
-                let rem_slot = self.t.slots.get(cursor);
+                let rem_slot = self.t.slot(cursor);
                 let exts: Vec<u64> = (ext.start + 1..ext.ext_end)
-                    .map(|s| self.t.slots.get(s))
+                    .map(|s| self.t.slot(s))
                     .collect();
                 let mut count: u64 = 1;
                 for (k, s) in (ext.ext_end..ext.end).enumerate() {
-                    let d = self.t.slots.get(s);
+                    let d = self.t.slot(s);
                     let shift = (width as usize * k).min(63) as u32;
                     count = count.saturating_add(
                         d.saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX)),
@@ -91,9 +91,10 @@ impl AdaptiveQf {
             self.t.clear_slot(i);
         }
         let mut cursor = c;
+        let mut placed: Vec<(usize, usize)> = Vec::with_capacity(runs.len());
         for run in runs {
             if run.groups.is_empty() {
-                self.t.occupieds.clear(run.quotient);
+                self.t.clear_occupied(run.quotient);
                 continue;
             }
             let start = run.quotient.max(cursor);
@@ -116,10 +117,14 @@ impl AdaptiveQf {
                     }
                 }
             }
-            self.t.occupieds.set(run.quotient);
+            self.t.set_occupied(run.quotient);
+            placed.push((run.quotient, p));
             cursor = p;
         }
         debug_assert!(cursor <= ce, "rebuild must not grow the cluster");
+        // The region's run structure was rewritten wholesale; refresh the
+        // cached offset of every block whose base lies inside it.
+        self.t.recompute_offsets_from_runs(c, ce, &placed);
     }
 
     // ------------------------------------------------------------------
@@ -272,10 +277,10 @@ impl AdaptiveQf {
         let mask = aqf_bits::word::bitmask(rbits);
         let mut i = 0usize;
         while i < self.t.total {
-            if !self.t.used.get(i) {
+            if !self.t.is_used(i) {
                 // Jump to the next used slot (a cluster start).
                 let mut j = i;
-                while j < self.t.total && !self.t.used.get(j) {
+                while j < self.t.total && !self.t.is_used(j) {
                     j += 1;
                 }
                 if j >= self.t.total {

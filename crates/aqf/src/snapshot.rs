@@ -24,13 +24,14 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use aqf_bits::snapshot::{read_file, write_atomic, SnapError, SnapshotReader, SnapshotWriter};
+use aqf_bits::BlockedTable;
 use parking_lot::Mutex;
 
 use crate::config::AqfConfig;
 use crate::filter::{AdaptiveQf, AqfStats};
 use crate::shadow::ShadowMap;
 use crate::sharded::ShardedAqf;
-use crate::table::Table;
+use crate::table::{Table, LANES};
 use crate::yesno::YesNoFilter;
 
 /// Snapshot kind string for a standalone [`AdaptiveQf`] frame.
@@ -45,6 +46,14 @@ impl AdaptiveQf {
     /// open snapshot. Composable: wrappers embed the body inside their own
     /// frames; use [`AdaptiveQf::to_snapshot_bytes`] for a standalone one.
     pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        self.write_config_and_stats(w);
+        // v2: the blocked table arena is serialized natively — offsets,
+        // metadata lanes, and packed slots in one contiguous section.
+        w.section(*b"QTB2");
+        w.blocked(&self.t.b);
+    }
+
+    fn write_config_and_stats(&self, w: &mut SnapshotWriter) {
         w.section(*b"QCFG");
         w.u32(self.cfg.qbits);
         w.u32(self.cfg.rbits);
@@ -59,12 +68,21 @@ impl AdaptiveQf {
         w.u64(self.stats.adaptations);
         w.u64(self.stats.extension_slots);
         w.u64(self.stats.counter_slots);
+    }
+
+    /// Write this filter's body in the legacy v1 layout (split bit
+    /// vectors, no offsets). For compatibility tooling and the v1-frame
+    /// regression tests; pair with
+    /// [`SnapshotWriter::new_versioned`]`(kind, 1)`.
+    #[doc(hidden)]
+    pub fn write_snapshot_legacy_v1(&self, w: &mut SnapshotWriter) {
+        self.write_config_and_stats(w);
         w.section(*b"QTAB");
-        w.bitvec(&self.t.occupieds);
-        w.bitvec(&self.t.runends);
-        w.bitvec(&self.t.extensions);
-        w.bitvec(&self.t.used);
-        w.packed(&self.t.slots);
+        w.bitvec(&self.t.b.lane_to_bitvec(crate::table::OCC));
+        w.bitvec(&self.t.b.lane_to_bitvec(crate::table::RUN));
+        w.bitvec(&self.t.b.lane_to_bitvec(crate::table::EXT));
+        w.bitvec(&self.t.b.lane_to_bitvec(crate::table::USED));
+        w.packed(&self.t.b.slots_to_packed());
     }
 
     /// Read a filter body written by [`AdaptiveQf::write_snapshot`],
@@ -105,46 +123,78 @@ impl AdaptiveQf {
             extension_slots: r.u64()?,
             counter_slots: r.u64()?,
         };
-        r.section(*b"QTAB")?;
-        let occupieds = r.bitvec()?;
-        let runends = r.bitvec()?;
-        let extensions = r.bitvec()?;
-        let used = r.bitvec()?;
-        let slots = r.packed()?;
-        for (name, bv) in [
-            ("occupieds", &occupieds),
-            ("runends", &runends),
-            ("extensions", &extensions),
-            ("used", &used),
-        ] {
-            if bv.len() != total {
+        let t = if r.version() >= 2 {
+            // Native blocked arena. The file's cached offsets are *not*
+            // trusted: `validate()` below re-derives every one.
+            r.section(*b"QTB2")?;
+            let b = r.blocked()?;
+            if b.len() != total || b.lanes() != LANES || b.width() != rbits + value_bits {
                 return Err(SnapError::corrupt(format!(
-                    "{name} bit vector holds {} bits, table has {total} slots",
-                    bv.len()
+                    "blocked table {}x{}-bit ({} lanes) disagrees with geometry \
+                     {total}x{}-bit ({LANES} lanes)",
+                    b.len(),
+                    b.width(),
+                    b.lanes(),
+                    rbits + value_bits
                 )));
             }
-        }
-        if slots.len() != total || slots.width() != rbits + value_bits {
-            return Err(SnapError::corrupt(format!(
-                "slot vector {}x{} bits, table wants {total}x{} bits",
-                slots.len(),
-                slots.width(),
-                rbits + value_bits
-            )));
-        }
-        let f = Self {
-            cfg,
-            t: Table {
-                occupieds,
-                runends,
-                extensions,
-                used,
-                slots,
+            Table {
+                b,
                 total,
                 canonical,
                 rbits,
                 value_bits,
-            },
+            }
+        } else {
+            // v1: split bit vectors + packed slots; interleave into the
+            // blocked layout and rebuild the offsets the old format never
+            // stored.
+            r.section(*b"QTAB")?;
+            let occupieds = r.bitvec()?;
+            let runends = r.bitvec()?;
+            let extensions = r.bitvec()?;
+            let used = r.bitvec()?;
+            let slots = r.packed()?;
+            for (name, bv) in [
+                ("occupieds", &occupieds),
+                ("runends", &runends),
+                ("extensions", &extensions),
+                ("used", &used),
+            ] {
+                if bv.len() != total {
+                    return Err(SnapError::corrupt(format!(
+                        "{name} bit vector holds {} bits, table has {total} slots",
+                        bv.len()
+                    )));
+                }
+            }
+            if slots.len() != total || slots.width() != rbits + value_bits {
+                return Err(SnapError::corrupt(format!(
+                    "slot vector {}x{} bits, table wants {total}x{} bits",
+                    slots.len(),
+                    slots.width(),
+                    rbits + value_bits
+                )));
+            }
+            let b = BlockedTable::from_parts(
+                &[&occupieds, &runends, &extensions, &used],
+                &slots,
+                total,
+            )
+            .expect("lengths checked above");
+            let mut t = Table {
+                b,
+                total,
+                canonical,
+                rbits,
+                value_bits,
+            };
+            t.rebuild_offsets();
+            t
+        };
+        let f = Self {
+            cfg,
+            t,
             groups,
             total_count,
             slots_used,
@@ -152,9 +202,19 @@ impl AdaptiveQf {
         };
         // Full structural sweep: a snapshot that decodes but describes an
         // impossible table (phantom runends, stat drift, out-of-order
-        // remainders) must be rejected here, not corrupt operations later.
+        // remainders, wrong block offsets) must be rejected here, not
+        // corrupt operations later.
         f.validate().map_err(SnapError::corrupt)?;
         Ok(f)
+    }
+
+    /// Serialize to a standalone frame in the legacy v1 format
+    /// (compatibility tooling / tests).
+    #[doc(hidden)]
+    pub fn to_snapshot_bytes_legacy_v1(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new_versioned(AQF_SNAPSHOT_KIND, 1);
+        self.write_snapshot_legacy_v1(&mut w);
+        w.finish()
     }
 
     /// Serialize to a standalone snapshot frame.

@@ -1,7 +1,9 @@
-//! The physical slot table of the AdaptiveQF.
+//! The physical slot table of the AdaptiveQF — blocked, offset-indexed.
 //!
-//! Layout (paper §3.2/§4.2): an array of `2^q + overflow` slots, each
-//! `rbits + value_bits` wide, with per-slot metadata bits:
+//! Layout (paper §3.2/§4.2 metadata on the CQF block layout, Pandey et
+//! al., SIGMOD 2017): slots live in 64-slot blocks, each block one
+//! contiguous region holding a cached `offset` word, four metadata words,
+//! and the block's packed remainders (see [`aqf_bits::block`]):
 //!
 //! - `occupieds[i]` — some key's canonical slot is `i` (never shifts),
 //! - `runends[i]` — on a *remainder* slot: this is the last fingerprint of
@@ -10,20 +12,36 @@
 //!   preceding fingerprint,
 //! - `used[i]` — the slot physically holds data.
 //!
-//! The `used` bit vector is an implementation deviation from the paper's
-//! per-block offsets (see DESIGN.md §5): it costs one extra bit per slot and
-//! in exchange makes empty-slot search and cluster-start search direct bit
-//! scans, with no offset-maintenance edge cases around extension slots that
-//! trail a run's masked runend.
-//!
 //! *Masked runends* (`runends & !extensions`) are the true run terminators;
 //! a run's physical extent continues past its masked runend through the
 //! trailing extras of its final fingerprint.
+//!
+//! **Offset semantics.** For block `b` with base slot `B = 64b`,
+//! `offset[b]` is the distance from `B` to one past the *physical* end
+//! (including trailing extras) of the run owned by the last occupied
+//! quotient `<= B-1`, clamped at 0 when that run ends before `B`
+//! (`offset[0] = 0`). Locating the run of quotient `q` is then O(1)
+//! metadata arithmetic: one in-word rank of `occupieds` below `q` inside
+//! `q`'s block plus one select of masked runends starting at `B +
+//! offset[b]` — no scan back to the cluster start. The scan-based
+//! navigation the pre-PR5 table used is retained as the `*_ref` methods
+//! so equivalence is provable (checker + proptests), not assumed.
 
 use aqf_bits::word::{bitmask, select_u64};
-use aqf_bits::{BitVec, PackedVec};
+use aqf_bits::BlockedTable;
 
 use crate::config::FilterError;
+
+/// `occupieds` lane index.
+pub(crate) const OCC: u32 = 0;
+/// `runends` lane index.
+pub(crate) const RUN: u32 = 1;
+/// `extensions` lane index.
+pub(crate) const EXT: u32 = 2;
+/// `used` lane index.
+pub(crate) const USED: u32 = 3;
+/// Number of metadata lanes.
+pub(crate) const LANES: u32 = 4;
 
 /// Physical extent of one fingerprint group:
 /// `[start]` remainder slot, `[start+1, ext_end)` extension slots,
@@ -59,28 +77,20 @@ impl GroupExtent {
 /// The raw slotted table.
 #[derive(Clone, Debug)]
 pub(crate) struct Table {
-    pub occupieds: BitVec,
-    pub runends: BitVec,
-    pub extensions: BitVec,
-    pub used: BitVec,
-    pub slots: PackedVec,
+    pub b: BlockedTable,
     /// Total physical slots (canonical + overflow).
     pub total: usize,
     /// Number of canonical slots (`2^qbits`).
     pub canonical: usize,
     pub rbits: u32,
-    #[allow(dead_code)] // geometry record; width lives in `slots`
+    #[allow(dead_code)] // geometry record; width lives in `b`
     pub value_bits: u32,
 }
 
 impl Table {
     pub fn new(canonical: usize, total: usize, rbits: u32, value_bits: u32) -> Self {
         Self {
-            occupieds: BitVec::new(total),
-            runends: BitVec::new(total),
-            extensions: BitVec::new(total),
-            used: BitVec::new(total),
-            slots: PackedVec::new(total, rbits + value_bits),
+            b: BlockedTable::new(total, LANES, rbits + value_bits),
             total,
             canonical,
             rbits,
@@ -88,55 +98,154 @@ impl Table {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Bit accessors
+    // ------------------------------------------------------------------
+
+    #[inline(always)]
+    pub fn occupied(&self, i: usize) -> bool {
+        self.b.get(OCC, i)
+    }
+
+    #[inline(always)]
+    pub fn set_occupied(&mut self, i: usize) {
+        self.b.set(OCC, i)
+    }
+
+    #[inline(always)]
+    pub fn clear_occupied(&mut self, i: usize) {
+        self.b.clear(OCC, i)
+    }
+
+    #[inline(always)]
+    pub fn is_runend(&self, i: usize) -> bool {
+        self.b.get(RUN, i)
+    }
+
+    #[inline(always)]
+    pub fn set_runend(&mut self, i: usize) {
+        self.b.set(RUN, i)
+    }
+
+    #[inline(always)]
+    pub fn clear_runend(&mut self, i: usize) {
+        self.b.clear(RUN, i)
+    }
+
+    #[inline(always)]
+    pub fn is_extension(&self, i: usize) -> bool {
+        self.b.get(EXT, i)
+    }
+
+    #[inline(always)]
+    pub fn is_used(&self, i: usize) -> bool {
+        self.b.get(USED, i)
+    }
+
+    #[inline(always)]
+    pub fn slot(&self, i: usize) -> u64 {
+        self.b.slot(i)
+    }
+
+    #[inline(always)]
+    pub fn set_slot(&mut self, i: usize, v: u64) {
+        self.b.set_slot(i, v)
+    }
+
     /// Remainder stored in slot `i` (low `rbits` of the slot).
     #[inline]
     pub fn remainder_at(&self, i: usize) -> u64 {
-        self.slots.get(i) & bitmask(self.rbits)
+        self.slot(i) & bitmask(self.rbits)
     }
 
     /// Payload value stored in slot `i` (high `value_bits` of the slot).
     #[inline]
     pub fn value_at(&self, i: usize) -> u64 {
-        self.slots.get(i) >> self.rbits
+        self.slot(i) >> self.rbits
     }
 
     /// True if `i` holds a masked runend: a remainder slot terminating a run.
     #[inline]
     pub fn is_masked_runend(&self, i: usize) -> bool {
-        self.runends.get(i) && !self.extensions.get(i)
+        self.b.get(RUN, i) && !self.b.get(EXT, i)
     }
 
-    /// First slot of the cluster containing used slot `x`.
+    /// First free slot at or after `pos`.
+    #[inline]
+    pub fn next_free(&self, pos: usize) -> Option<usize> {
+        self.b.next_zero(USED, pos)
+    }
+
+    /// Used slots in `[a, b)`.
+    #[inline]
+    pub fn used_count_range(&self, a: usize, b: usize) -> usize {
+        self.b.count_range(USED, a, b)
+    }
+
+    /// First slot of the cluster containing used slot `x` (word-wise
+    /// backward scan over the `used` lane; delete/rebuild path only — the
+    /// query path resolves runs through block offsets instead).
     #[inline]
     pub fn cluster_start(&self, x: usize) -> usize {
-        debug_assert!(self.used.get(x));
-        match self.used.prev_zero(x) {
+        debug_assert!(self.is_used(x));
+        match self.b.prev_zero(USED, x) {
             Some(z) => z + 1,
             None => 0,
         }
     }
 
     /// Position of the `k`-th (0-indexed) masked runend at or after `from`.
-    pub fn select_masked_runend_from(&self, from: usize, mut k: usize) -> Option<usize> {
-        let nwords = self.total.div_ceil(64);
-        let mut w = from >> 6;
-        if w >= nwords {
+    #[inline]
+    pub fn select_masked_runend_from(&self, from: usize, k: usize) -> Option<usize> {
+        self.b
+            .select_lane_from(RUN, from, k, |t, w, run| run & !t.lane_word(EXT, w))
+    }
+
+    /// Positions of the `k`-th and `k+1`-th masked runends at or after
+    /// `from`, in a single word walk (both usually land in the same
+    /// metadata word). `run_range` needs exactly this pair: the previous
+    /// run's end and this run's end.
+    fn select_masked_runend_pair(&self, from: usize, mut k: usize) -> Option<(usize, usize)> {
+        if from >= self.total {
             return None;
         }
-        let mut word =
-            (self.runends.word(w) & !self.extensions.word(w)) & !bitmask((from & 63) as u32);
+        let nwords = self.total.div_ceil(64);
+        let mword = |w: usize| self.b.lane_word(RUN, w) & !self.b.lane_word(EXT, w);
+        let mut w = from >> 6;
+        let mut word = mword(w) & !bitmask((from & 63) as u32);
+        let mut first: Option<usize> = None;
         loop {
             let ones = word.count_ones() as usize;
-            if k < ones {
-                let pos = (w << 6) + select_u64(word, k as u32).unwrap() as usize;
-                return (pos < self.total).then_some(pos);
+            if first.is_none() && k < ones {
+                let b1 = select_u64(word, k as u32).unwrap();
+                let p1 = (w << 6) + b1 as usize;
+                if p1 >= self.total {
+                    return None;
+                }
+                // The successor is just the next set bit — a shift and a
+                // tzcnt, never a second full select.
+                let rest = if b1 == 63 {
+                    0
+                } else {
+                    word >> (b1 + 1) << (b1 + 1)
+                };
+                if rest != 0 {
+                    let p2 = (w << 6) + rest.trailing_zeros() as usize;
+                    return (p2 < self.total).then_some((p1, p2));
+                }
+                first = Some(p1);
+            } else if first.is_some() && word != 0 {
+                let p2 = (w << 6) + word.trailing_zeros() as usize;
+                return (p2 < self.total).then_some((first.unwrap(), p2));
             }
-            k -= ones;
+            if first.is_none() {
+                k -= ones;
+            }
             w += 1;
             if w >= nwords {
                 return None;
             }
-            word = self.runends.word(w) & !self.extensions.word(w);
+            word = mword(w);
         }
     }
 
@@ -144,35 +253,97 @@ impl Table {
     ///
     /// Extras carry `extensions=1`; an extra with `runends=0` is an
     /// extension chunk, with `runends=1` a counter digit. Extensions always
-    /// precede counters within a group.
+    /// precede counters within a group, so both sub-ranges are word-wise
+    /// trailing-ones counts: `extensions & !runends` then `extensions &
+    /// runends`.
     pub fn group_extent(&self, start: usize) -> GroupExtent {
         debug_assert!(
-            !self.extensions.get(start),
+            !self.is_extension(start),
             "group must start at a remainder slot"
         );
-        let mut j = start + 1;
-        while j < self.total && self.extensions.get(j) && !self.runends.get(j) {
-            j += 1;
-        }
-        let ext_end = j;
-        while j < self.total && self.extensions.get(j) && self.runends.get(j) {
-            j += 1;
-        }
+        let ext_end = start
+            + 1
+            + self
+                .b
+                .ones_run_len(start + 1, |t, w| t.lane_word(EXT, w) & !t.lane_word(RUN, w));
+        let end = ext_end
+            + self
+                .b
+                .ones_run_len(ext_end, |t, w| t.lane_word(EXT, w) & t.lane_word(RUN, w));
         GroupExtent {
             start,
             ext_end,
-            end: j,
+            end,
         }
     }
+
+    /// One past the last physical slot of the group starting at `start`:
+    /// since extensions precede counters and both carry `extensions=1`,
+    /// this is a single trailing-ones count of the `extensions` lane.
+    #[inline]
+    pub fn group_end(&self, start: usize) -> usize {
+        start + 1 + self.b.ones_run_len(start + 1, |t, w| t.lane_word(EXT, w))
+    }
+
+    // ------------------------------------------------------------------
+    // O(1) offset-based navigation (the query/insert hot path)
+    // ------------------------------------------------------------------
 
     /// The run of occupied quotient `q`: `(first_slot, masked_runend_slot)`.
     ///
     /// The run's physical extent is `first_slot ..= group_extent(masked
-    /// runend).end - 1`.
+    /// runend).end - 1`. One block read (offset + occupieds word), one
+    /// in-word rank, and one select bounded by the run's own extent — no
+    /// scan back to the cluster start.
     pub fn run_range(&self, q: usize) -> (usize, usize) {
-        debug_assert!(self.occupieds.get(q));
+        debug_assert!(self.occupied(q));
+        // Occupied quotients in [base, q): their runends all sit at or
+        // after `from`, in order, so q's is the d-th.
+        let (from, d) = self.b.run_nav_start(OCC, q);
+        if d == 0 {
+            let re = self
+                .select_masked_runend_from(from, 0)
+                .expect("every occupied quotient has a masked runend");
+            let rs = from.max(q);
+            debug_assert!(rs <= re);
+            return (rs, re);
+        }
+        let (pe, re) = self
+            .select_masked_runend_pair(from, d - 1)
+            .expect("every occupied quotient has a masked runend");
+        let rs = self.group_end(pe).max(q);
+        debug_assert!(rs <= re);
+        (rs, re)
+    }
+
+    /// Where a *new* run for currently-unoccupied quotient `q` would begin,
+    /// given `used[q]` is true (otherwise it trivially begins at `q`).
+    pub fn new_run_pos(&self, q: usize) -> usize {
+        debug_assert!(self.is_used(q) && !self.occupied(q));
+        let (from, d) = self.b.run_nav_start(OCC, q);
+        let pos = if d == 0 {
+            from
+        } else {
+            let pe = self
+                .select_masked_runend_from(from, d - 1)
+                .expect("cluster has runs");
+            self.group_end(pe)
+        };
+        debug_assert!(pos > q, "used slot {q} must be covered by a prior run");
+        pos
+    }
+
+    // ------------------------------------------------------------------
+    // Scan-based reference navigation (pre-PR5 behaviour, kept for the
+    // checker and the equivalence proptests)
+    // ------------------------------------------------------------------
+
+    /// Reference [`Self::run_range`]: scan back to the cluster start, rank
+    /// occupieds across the cluster, select from the cluster start.
+    pub fn run_range_ref(&self, q: usize) -> (usize, usize) {
+        debug_assert!(self.occupied(q));
         let c = self.cluster_start(q);
-        let t = self.occupieds.count_range(c, q + 1);
+        let t = self.b.count_range(OCC, c, q + 1);
         debug_assert!(t >= 1, "cluster start must be occupied");
         let re = self
             .select_masked_runend_from(c, t - 1)
@@ -183,79 +354,204 @@ impl Table {
             let pe = self
                 .select_masked_runend_from(c, t - 2)
                 .expect("preceding run must have a masked runend");
-            self.group_extent(pe).end
+            self.group_end(pe)
         };
         debug_assert!(rs <= re);
         (rs, re)
     }
 
-    /// Where a *new* run for currently-unoccupied quotient `q` would begin,
-    /// given `used[q]` is true (otherwise it trivially begins at `q`).
-    pub fn new_run_pos(&self, q: usize) -> usize {
-        debug_assert!(self.used.get(q) && !self.occupieds.get(q));
+    /// Reference [`Self::new_run_pos`] via the cluster scan.
+    pub fn new_run_pos_ref(&self, q: usize) -> usize {
+        debug_assert!(self.is_used(q) && !self.occupied(q));
         let c = self.cluster_start(q);
-        let t = self.occupieds.count_range(c, q + 1);
+        let t = self.b.count_range(OCC, c, q + 1);
         debug_assert!(t >= 1);
         let pe = self
             .select_masked_runend_from(c, t - 1)
             .expect("cluster has runs");
-        let pos = self.group_extent(pe).end;
+        let pos = self.group_end(pe);
         debug_assert!(pos > q);
         pos
     }
 
-    /// Insert one slot at `pos`, shifting `[pos, first_free)` right by one.
+    /// Reference value of block `b`'s offset, derived from scratch by
+    /// scan-based navigation (checker / proptests).
+    pub fn offset_ref(&self, blk: usize) -> usize {
+        let base = blk << 6;
+        if base == 0 || !self.is_used(base - 1) {
+            // No run can extend past B-1 into this block.
+            return 0;
+        }
+        let j = base - 1;
+        // Physical end of the run of the last occupied quotient <= j: walk
+        // the cluster containing j like the pre-PR5 navigation did.
+        let c = self.cluster_start(j);
+        let t = self.b.count_range(OCC, c, j + 1);
+        debug_assert!(t >= 1, "used slot implies an occupied quotient before it");
+        let re = self
+            .select_masked_runend_from(c, t - 1)
+            .expect("cluster has runs");
+        let end = self.group_end(re);
+        end.saturating_sub(base)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Insert one slot at `pos` on behalf of the run owned by quotient
+    /// `q`, shifting `[pos, first_free)` right by one.
     ///
     /// `occupieds` never shifts (it indexes quotients, not slot contents).
+    /// Block offsets are maintained by the CQF rule: the physical end of
+    /// the pending run at every block base in `(q, first_free]` moves
+    /// right by exactly one, so those offsets each increment by one.
     pub fn insert_slot_at(
         &mut self,
+        q: usize,
         pos: usize,
         value: u64,
         ext: bool,
         runend: bool,
     ) -> Result<(), FilterError> {
-        let fe = self.used.next_zero(pos).ok_or(FilterError::Full)?;
+        debug_assert!(q <= pos);
+        let fe = self.next_free(pos).ok_or(FilterError::Full)?;
         if fe > pos {
-            self.slots.shift_right_insert(pos, fe, value);
-            self.runends.shift_right_insert(pos, fe, runend);
-            self.extensions.shift_right_insert(pos, fe, ext);
+            self.b.shift_right_insert_slot(pos, fe, value);
+            self.b.shift_right_insert(RUN, pos, fe, runend);
+            self.b.shift_right_insert(EXT, pos, fe, ext);
         } else {
-            self.slots.set(pos, value);
-            self.runends.assign(pos, runend);
-            self.extensions.assign(pos, ext);
+            self.b.set_slot(pos, value);
+            self.b.assign(RUN, pos, runend);
+            self.b.assign(EXT, pos, ext);
         }
-        self.used.set(fe);
+        self.b.set(USED, fe);
+        if fe >> 6 > q >> 6 {
+            self.b.inc_offsets((q >> 6) + 1, fe >> 6);
+        }
         Ok(())
     }
 
-    /// Write a fresh group into a free slot (no shifting).
+    /// Write a fresh group into a free slot (no shifting, no offset
+    /// changes — a write at `pos` only ever ends a run *at* `pos`, which
+    /// no block base in range sees as pending).
     pub fn write_free_slot(&mut self, pos: usize, value: u64, ext: bool, runend: bool) {
-        debug_assert!(!self.used.get(pos));
-        self.slots.set(pos, value);
-        self.runends.assign(pos, runend);
-        self.extensions.assign(pos, ext);
-        self.used.set(pos);
+        debug_assert!(!self.is_used(pos));
+        self.b.set_slot(pos, value);
+        self.b.assign(RUN, pos, runend);
+        self.b.assign(EXT, pos, ext);
+        self.b.set(USED, pos);
     }
 
     /// Number of used slots (O(total/64); cached by the filter for stats).
     pub fn count_used(&self) -> usize {
-        self.used.count_ones()
+        self.b.count_ones(USED)
     }
 
     /// Bytes of heap memory for the table proper.
     pub fn heap_size_bytes(&self) -> usize {
-        self.occupieds.heap_size_bytes()
-            + self.runends.heap_size_bytes()
-            + self.extensions.heap_size_bytes()
-            + self.used.heap_size_bytes()
-            + self.slots.heap_size_bytes()
+        self.b.heap_size_bytes()
     }
 
-    /// Clear a slot's metadata and contents (used during cluster rebuilds).
+    /// Clear a slot's metadata and contents (used during cluster rebuilds;
+    /// the rebuild recomputes the affected block offsets afterwards).
     pub fn clear_slot(&mut self, i: usize) {
-        self.runends.clear(i);
-        self.extensions.clear(i);
-        self.used.clear(i);
-        self.slots.set(i, 0);
+        self.b.clear(RUN, i);
+        self.b.clear(EXT, i);
+        self.b.clear(USED, i);
+        self.b.set_slot(i, 0);
+    }
+
+    /// Recompute the offsets of every block whose base lies in `(lo, hi]`
+    /// from `runs`: the `(quotient, physical end exclusive)` pairs of every
+    /// run placed in that region, in quotient order. Used after cluster
+    /// rebuilds (deletes), where the region's run structure was rewritten
+    /// wholesale.
+    pub fn recompute_offsets_from_runs(&mut self, lo: usize, hi: usize, runs: &[(usize, usize)]) {
+        let b_lo = (lo >> 6) + 1;
+        let b_hi = (hi >> 6).min(self.b.blocks().saturating_sub(1));
+        let mut idx = 0usize; // runs[..idx] have quotient <= base-1
+        let mut last_end = 0usize;
+        for blk in b_lo..=b_hi {
+            let base = blk << 6;
+            while idx < runs.len() && runs[idx].0 < base {
+                last_end = runs[idx].1;
+                idx += 1;
+            }
+            let off = if idx == 0 {
+                // No run in the region starts at or before base-1; any
+                // pending run would have to come from before `lo`, but
+                // `lo` is a cluster start, so nothing spills past it.
+                0
+            } else {
+                last_end.saturating_sub(base)
+            };
+            self.b.set_offset(blk, off);
+        }
+    }
+
+    /// Recompute every block offset in one left-to-right sweep — used by
+    /// bulk builders and legacy-snapshot decoding, where the whole table
+    /// was written without incremental maintenance.
+    pub fn rebuild_offsets(&mut self) {
+        self.b.clear_offsets();
+        // Enumerate runs (quotient, physical end exclusive) in table
+        // order, filling offsets for block bases as we pass them.
+        let mut blk = 1usize;
+        let nblocks = self.b.blocks();
+        let mut last: Option<(usize, usize)> = None;
+        let mut i = 0usize;
+        while i < self.total {
+            let Some(c) = self.b.next_one(USED, i) else {
+                break;
+            };
+            let ce = self.next_free(c).unwrap_or(self.total);
+            let mut cursor = c;
+            let mut q = c;
+            while cursor < ce {
+                q = self
+                    .b
+                    .next_one(OCC, q)
+                    .expect("used slots imply a further occupied quotient");
+                // Walk this run's groups to its physical end.
+                loop {
+                    let was_end = self.is_masked_runend(cursor);
+                    cursor = self.group_end(cursor);
+                    if was_end {
+                        break;
+                    }
+                }
+                while blk < nblocks && (blk << 6) <= q {
+                    let base = blk << 6;
+                    let off = last.map_or(0, |(_, e)| e.saturating_sub(base));
+                    self.b.set_offset(blk, off);
+                    blk += 1;
+                }
+                last = Some((q, cursor));
+                q += 1;
+            }
+            i = ce;
+        }
+        while blk < nblocks {
+            let base = blk << 6;
+            let off = last.map_or(0, |(_, e)| e.saturating_sub(base));
+            self.b.set_offset(blk, off);
+            blk += 1;
+        }
+    }
+
+    /// First slot in `[rs, re]` whose stored remainder equals `hr`
+    /// (ignoring payload value bits) — the word-parallel compare behind
+    /// the extension-free query fast path.
+    #[inline]
+    pub fn find_remainder_eq(&self, rs: usize, re: usize, hr: u64) -> Option<usize> {
+        self.b.find_slot_eq_masked(rs, re, hr, bitmask(self.rbits))
+    }
+
+    /// Count of `extensions` bits in `[a, b)` — zero means every slot in
+    /// the range is a plain remainder slot.
+    #[inline]
+    pub fn ext_count_range(&self, a: usize, b: usize) -> usize {
+        self.b.count_range(EXT, a, b)
     }
 }

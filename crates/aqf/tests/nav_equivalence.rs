@@ -1,0 +1,217 @@
+//! Layout-equivalence suite for the blocked, offset-indexed table (PR 5).
+//!
+//! The O(1) block-offset navigation (`run_range`, `new_run_pos`, cached
+//! offsets) is pinned element-wise against the retained scan-based
+//! reference implementation after *every* operation of random
+//! insert/adapt/delete/shift histories — equivalence is proven per state,
+//! not sampled per run. `AdaptiveQf::check_nav_equivalence` compares, for
+//! the current table state, every occupied quotient's `run_range` against
+//! `run_range_ref`, every shifted unoccupied quotient's `new_run_pos`
+//! against `new_run_pos_ref`, and every cached block offset against its
+//! from-scratch derivation. CI runs this suite with the workspace's
+//! deterministic proptest harness (inputs are seeded from the test path),
+//! so layout regressions fail fast and reproducibly.
+
+use aqf::{AdaptiveQf, AqfConfig, FilterError, QueryResult};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64),
+    InsertCounting(u64),
+    Delete(u64),
+    DeleteShortening(u64),
+    QueryAdapt(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..key_space).prop_map(Op::Insert),
+        1 => (0..key_space).prop_map(Op::InsertCounting),
+        2 => (0..key_space).prop_map(Op::Delete),
+        1 => (0..key_space).prop_map(Op::DeleteShortening),
+        2 => (0..key_space).prop_map(Op::QueryAdapt),
+    ]
+}
+
+/// Drive one op against the filter, maintaining a faithful reverse map so
+/// adapts target genuine false positives.
+fn apply(
+    f: &mut AdaptiveQf,
+    revmap: &mut std::collections::BTreeMap<u64, Vec<u64>>,
+    op: &Op,
+) -> Result<(), TestCaseError> {
+    match *op {
+        Op::Insert(k) | Op::InsertCounting(k) => {
+            let counting = matches!(op, Op::InsertCounting(_));
+            let r = if counting {
+                f.insert_counting(k)
+            } else {
+                f.insert(k)
+            };
+            match r {
+                Ok(out) => {
+                    if !out.duplicate {
+                        revmap
+                            .entry(out.minirun_id)
+                            .or_default()
+                            .insert(out.rank as usize, k);
+                    }
+                }
+                Err(FilterError::Full) => {}
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        Op::Delete(k) | Op::DeleteShortening(k) => {
+            let shorten = matches!(op, Op::DeleteShortening(_));
+            let r = if shorten {
+                f.delete_shortening(k)
+            } else {
+                f.delete(k)
+            };
+            if let Some(out) = r.unwrap() {
+                if out.removed_group {
+                    let list = revmap.get_mut(&out.minirun_id).unwrap();
+                    list.remove(out.rank as usize);
+                    if list.is_empty() {
+                        revmap.remove(&out.minirun_id);
+                    }
+                }
+            }
+        }
+        Op::QueryAdapt(k) => {
+            if let QueryResult::Positive(hit) = f.query(k) {
+                let stored = revmap[&hit.minirun_id][hit.rank as usize];
+                if stored != k {
+                    match f.adapt(&hit, stored, k) {
+                        Ok(_) | Err(FilterError::Full) => {}
+                        Err(e) => panic!("{e:?}"),
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked navigation equals the scan-based reference after every
+    /// mutation of a random operation history (tiny geometry: maximal
+    /// collisions, long clusters, frequent counters).
+    #[test]
+    fn blocked_nav_equals_reference_small_geometry(
+        ops in proptest::collection::vec(op_strategy(300), 1..350),
+        seed in 0u64..500,
+    ) {
+        let cfg = AqfConfig::new(6, 3).with_seed(seed);
+        let mut f = AdaptiveQf::new(cfg).unwrap();
+        let mut revmap = Default::default();
+        for op in &ops {
+            apply(&mut f, &mut revmap, op)?;
+            f.validate().map_err(TestCaseError::fail)?;
+            f.check_nav_equivalence().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// Same pinning at a multi-block geometry (clusters span block
+    /// boundaries, offsets exercise the cross-block increments) with a
+    /// payload-carrying slot layout.
+    #[test]
+    fn blocked_nav_equals_reference_multi_block(
+        ops in proptest::collection::vec(op_strategy(4000), 1..300),
+        seed in 0u64..200,
+    ) {
+        let cfg = AqfConfig::new(8, 4).with_seed(seed).with_value_bits(1);
+        let mut f = AdaptiveQf::new(cfg).unwrap();
+        let mut revmap = Default::default();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut f, &mut revmap, op)?;
+            // The full sweep is O(total·cluster); at this geometry check
+            // every few ops plus always at the end.
+            if i % 7 == 0 || i + 1 == ops.len() {
+                f.validate().map_err(TestCaseError::fail)?;
+                f.check_nav_equivalence().map_err(TestCaseError::fail)?;
+            }
+        }
+    }
+
+    /// Bulk building and merging produce tables whose rebuilt offsets are
+    /// also navigation-equivalent.
+    #[test]
+    fn bulk_and_merge_offsets_are_equivalent(
+        ka in proptest::collection::vec(0u64..100_000, 0..120),
+        kb in proptest::collection::vec(100_000u64..200_000, 0..120),
+        seed in 0u64..50,
+    ) {
+        let cfg = AqfConfig::new(7, 8).with_seed(seed);
+        let bulk = AdaptiveQf::bulk_build(cfg, &ka).unwrap();
+        bulk.validate().map_err(TestCaseError::fail)?;
+        bulk.check_nav_equivalence().map_err(TestCaseError::fail)?;
+
+        let mut a = AdaptiveQf::new(cfg).unwrap();
+        let mut b = AdaptiveQf::new(cfg).unwrap();
+        for &k in &ka { a.insert(k).unwrap(); }
+        for &k in &kb { b.insert(k).unwrap(); }
+        let m = a.merge(&b).unwrap();
+        m.validate().map_err(TestCaseError::fail)?;
+        m.check_nav_equivalence().map_err(TestCaseError::fail)?;
+        let g = a.grow().unwrap();
+        g.validate().map_err(TestCaseError::fail)?;
+        g.check_nav_equivalence().map_err(TestCaseError::fail)?;
+    }
+
+    /// A v1 (split bit vector) snapshot frame loads into the blocked
+    /// layout with identical element-wise behaviour: same queries, same
+    /// hit coordinates, same stats, and structurally valid offsets.
+    #[test]
+    fn v1_snapshot_frame_loads_into_blocked_layout(
+        keys in proptest::collection::vec(0u64..50_000, 1..400),
+        probes in proptest::collection::vec(0u64..100_000, 0..200),
+        seed in 0u64..100,
+    ) {
+        let cfg = AqfConfig::new(9, 6).with_seed(seed);
+        let mut f = AdaptiveQf::new(cfg).unwrap();
+        let mut revmap: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        for &k in &keys {
+            match f.insert(k) {
+                Ok(out) => {
+                    revmap.entry(out.minirun_id).or_default().insert(out.rank as usize, k);
+                }
+                Err(FilterError::Full) => break,
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        // Adapt a few false positives so the frame carries extensions.
+        for &p in &probes {
+            if let QueryResult::Positive(hit) = f.query(p) {
+                let stored = revmap[&hit.minirun_id][hit.rank as usize];
+                if stored != p {
+                    let _ = f.adapt(&hit, stored, p);
+                }
+            }
+        }
+
+        let v1 = f.to_snapshot_bytes_legacy_v1();
+        // Header must really claim version 1.
+        prop_assert_eq!(u16::from_le_bytes([v1[8], v1[9]]), 1);
+        let g = AdaptiveQf::from_snapshot_bytes(&v1).unwrap();
+        g.validate().map_err(TestCaseError::fail)?;
+        g.check_nav_equivalence().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(g.len(), f.len());
+        prop_assert_eq!(g.stats(), f.stats());
+        for &k in keys.iter().chain(probes.iter()) {
+            prop_assert_eq!(f.query(k), g.query(k), "key {}", k);
+            prop_assert_eq!(f.count(k), g.count(k), "count {}", k);
+        }
+
+        // And the v2 frame of the loaded filter round-trips back.
+        let v2 = g.to_snapshot_bytes();
+        prop_assert!(u16::from_le_bytes([v2[8], v2[9]]) >= 2);
+        let h = AdaptiveQf::from_snapshot_bytes(&v2).unwrap();
+        for &k in keys.iter().chain(probes.iter()) {
+            prop_assert_eq!(g.query(k), h.query(k));
+        }
+    }
+}

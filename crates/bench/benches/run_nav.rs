@@ -1,0 +1,95 @@
+//! Criterion group for run-location navigation (PR 5): the operations the
+//! blocked, offset-indexed layout turned into O(1) metadata arithmetic —
+//! hit/miss lookups and inserts across load factors, AQF and QF, single
+//! and batched. This is the regression tripwire for the table layout; the
+//! before/after story lives in `fig12_layout` + BENCHMARKS.md.
+
+use aqf::{AdaptiveQf, AqfConfig};
+use aqf_filters::{AmqFilter, QuotientFilter};
+use aqf_workloads::uniform_keys;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+const QBITS: u32 = 16;
+
+fn loaded_aqf(load: f64) -> (AdaptiveQf, Vec<u64>) {
+    let n = ((1u64 << QBITS) as f64 * load) as usize;
+    let keys = uniform_keys(n, 7);
+    let mut f = AdaptiveQf::new(AqfConfig::new(QBITS, 9).with_seed(1)).unwrap();
+    for &k in &keys {
+        f.insert(k).unwrap();
+    }
+    (f, keys)
+}
+
+fn loaded_qf(load: f64) -> (QuotientFilter, Vec<u64>) {
+    let n = ((1u64 << QBITS) as f64 * load) as usize;
+    let keys = uniform_keys(n, 7);
+    let mut f = QuotientFilter::new(QBITS, 9, 1).unwrap();
+    for &k in &keys {
+        AmqFilter::insert(&mut f, k).unwrap();
+    }
+    (f, keys)
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_nav");
+    for &load in &[0.5f64, 0.9, 0.95] {
+        let tag = (load * 100.0) as u32;
+        let (f, keys) = loaded_aqf(load);
+        let misses = uniform_keys(10_000, 99);
+        g.bench_function(format!("aqf_lookup_hit_{tag}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(f.contains(keys[i]))
+            })
+        });
+        g.bench_function(format!("aqf_lookup_miss_{tag}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % misses.len();
+                black_box(f.contains(misses[i]))
+            })
+        });
+        g.bench_function(format!("aqf_batch_lookup_hit_{tag}"), |b| {
+            let batch = &keys[..keys.len().min(1024)];
+            b.iter(|| black_box(f.contains_batch(batch)))
+        });
+
+        let (qf, qkeys) = loaded_qf(load);
+        g.bench_function(format!("qf_lookup_hit_{tag}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % qkeys.len();
+                black_box(qf.contains(qkeys[i]))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_nav_insert");
+    g.sample_size(20);
+    for &load in &[0.9f64, 0.95] {
+        let tag = (load * 100.0) as u32;
+        let n = ((1u64 << QBITS) as f64 * load) as usize;
+        let keys = uniform_keys(n, 3);
+        g.bench_function(format!("aqf_fill_{tag}"), |b| {
+            b.iter_batched(
+                || AdaptiveQf::new(AqfConfig::new(QBITS, 9).with_seed(1)).unwrap(),
+                |mut f| {
+                    for &k in &keys {
+                        f.insert(k).unwrap();
+                    }
+                    f
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_inserts);
+criterion_main!(benches);

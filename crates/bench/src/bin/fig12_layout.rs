@@ -1,0 +1,170 @@
+//! Figure 12 (repo extension): table-layout throughput — query and insert
+//! ops/s versus load factor for the quotient-filter family.
+//!
+//! This is the before/after instrument for the blocked, offset-indexed
+//! table layout: run it at git tag `pre-PR5` for the scan-based numbers
+//! and on current HEAD for the blocked numbers (both are recorded in
+//! BENCHMARKS.md). Lookups are split into *hit* probes (members: every
+//! probe walks a run) and *uniform* probes (mostly negative), because run
+//! location is exactly what the blocked layout makes O(1).
+//!
+//! `--json=PATH` additionally writes the rows as machine-readable JSON
+//! (see `scripts/bench_json.sh`, which emits `BENCH_PR5.json`).
+
+use std::fmt::Write as _;
+
+use aqf_bench::*;
+use aqf_workloads::uniform_keys;
+
+struct Row {
+    kind: String,
+    load: f64,
+    insert_mops: f64,
+    hit_mops: f64,
+    uniform_mops: f64,
+    batch_hit_mops: f64,
+}
+
+fn mops(n: usize, secs: f64) -> f64 {
+    n as f64 / secs / 1e6
+}
+
+fn main() {
+    let qbits = flag_u64("qbits", 20) as u32;
+    let queries = flag_u64("queries", 2_000_000) as usize;
+    let batch = flag_u64("batch", 1024) as usize;
+    let reps = flag_u64("reps", 3) as usize;
+    let loads_raw = flag_str("loads", "0.5,0.6,0.7,0.8,0.85,0.9,0.95");
+    let json_path = flag_str("json", "");
+    let loads: Vec<f64> = loads_raw
+        .split(',')
+        .map(|s| s.trim().parse().expect("--loads takes comma-separated f64"))
+        .collect();
+    let kinds = filter_kinds(&["aqf", "qf"]);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in &kinds {
+        for &load in &loads {
+            let n = ((1u64 << qbits) as f64 * load) as usize;
+            let keys = uniform_keys(n, 42);
+            let mut f = FilterSpec::new(kind.clone(), qbits)
+                .with_seed(1)
+                .build()
+                .unwrap();
+            let (inserted, ins_secs) = timed(|| {
+                let mut ok = 0usize;
+                for &k in &keys {
+                    if f.insert(k).is_ok() {
+                        ok += 1;
+                    }
+                }
+                ok
+            });
+
+            // Probe arrays are precomputed so the timed loops measure
+            // lookups, not index arithmetic; every timing is best-of-reps.
+            let hit_probes: Vec<u64> = (0..queries).map(|i| keys[i % n]).collect();
+            let best = |work: &mut dyn FnMut() -> usize| -> (usize, f64) {
+                let mut out = (0usize, f64::INFINITY);
+                for _ in 0..reps.max(1) {
+                    let (r, secs) = timed(&mut *work);
+                    if secs < out.1 {
+                        out = (r, secs);
+                    }
+                }
+                out
+            };
+
+            // Hit probes: members in a key-order pass distinct from the
+            // insertion pass (uniform keys are already in random order).
+            let (hits, hit_secs) = best(&mut || {
+                let mut pos = 0usize;
+                for &k in &hit_probes {
+                    if f.contains(k) {
+                        pos += 1;
+                    }
+                }
+                pos
+            });
+            assert!(hits * 2 >= queries, "members must stay positive");
+
+            // Uniform probes: fresh keys, overwhelmingly negative.
+            let probes = uniform_keys(queries, 99);
+            let (_, uni_secs) = best(&mut || {
+                let mut pos = 0usize;
+                for &k in &probes {
+                    if f.contains(k) {
+                        pos += 1;
+                    }
+                }
+                pos
+            });
+
+            // Batched hit probes (the PR 3 pipeline).
+            let (_, batch_secs) = best(&mut || {
+                let mut pos = 0usize;
+                for chunk in hit_probes.chunks(batch) {
+                    pos += f.contains_batch(chunk).iter().filter(|&&b| b).count();
+                }
+                pos
+            });
+
+            rows.push(Row {
+                kind: kind.clone(),
+                load,
+                insert_mops: mops(inserted, ins_secs),
+                hit_mops: mops(queries, hit_secs),
+                uniform_mops: mops(queries, uni_secs),
+                batch_hit_mops: mops(queries, batch_secs),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.clone(),
+                format!("{:.2}", r.load),
+                format!("{:.2}", r.insert_mops),
+                format!("{:.2}", r.hit_mops),
+                format!("{:.2}", r.uniform_mops),
+                format!("{:.2}", r.batch_hit_mops),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig 12: layout throughput vs load (2^{qbits} slots, {queries} probes, Mops/s)"),
+        &[
+            "Filter",
+            "Load",
+            "Insert",
+            "Lookup (hit)",
+            "Lookup (uniform)",
+            "Batch lookup (hit)",
+        ],
+        &table,
+    );
+
+    if !json_path.is_empty() {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"fig12_layout\",");
+        let _ = writeln!(out, "  \"qbits\": {qbits},");
+        let _ = writeln!(out, "  \"queries\": {queries},");
+        let _ = writeln!(out, "  \"batch\": {batch},");
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"filter\": \"{}\", \"load\": {:.2}, \"insert_mops\": {:.3}, \
+                 \"lookup_hit_mops\": {:.3}, \"lookup_uniform_mops\": {:.3}, \
+                 \"batch_lookup_hit_mops\": {:.3}}}",
+                r.kind, r.load, r.insert_mops, r.hit_mops, r.uniform_mops, r.batch_hit_mops
+            );
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&json_path, out).expect("write --json file");
+        eprintln!("wrote {json_path}");
+    }
+}

@@ -6,7 +6,7 @@
 //! [`BitVec::shift_right_insert`] / [`BitVec::shift_left_remove`] over an
 //! arbitrary bit range, implemented with word-level operations.
 
-use crate::word::{bitmask, select_u64};
+use crate::word::{bitmask, select_from_words};
 
 /// Fixed-capacity bit vector.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -106,25 +106,8 @@ impl BitVec {
     }
 
     /// Position of the set bit with rank `k`, scanning from bit `from`.
-    pub fn select_from(&self, mut k: usize, from: usize) -> Option<usize> {
-        if from >= self.len {
-            return None;
-        }
-        let mut w = from >> 6;
-        let mut word = self.words[w] & !bitmask((from & 63) as u32);
-        loop {
-            let ones = word.count_ones() as usize;
-            if k < ones {
-                let pos = (w << 6) + select_u64(word, k as u32).unwrap() as usize;
-                return (pos < self.len).then_some(pos);
-            }
-            k -= ones;
-            w += 1;
-            if w >= self.words.len() {
-                return None;
-            }
-            word = self.words[w];
-        }
+    pub fn select_from(&self, k: usize, from: usize) -> Option<usize> {
+        select_from_words(self.len, from, k, |w| self.words[w])
     }
 
     /// Number of set bits in `[a, b)`, touching only the words that overlap

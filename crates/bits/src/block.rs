@@ -1,0 +1,740 @@
+//! Blocked, offset-indexed slot tables (the CQF block layout, Pandey et
+//! al., SIGMOD 2017, generalized to a configurable set of metadata lanes).
+//!
+//! Slots are grouped into blocks of [`BLOCK_SLOTS`] = 64. Each block is one
+//! contiguous run of `u64` words:
+//!
+//! ```text
+//! word 0            : offset  — distance from this block's base slot B to
+//!                     one past the physical end of the run owned by the
+//!                     last occupied quotient <= B-1 (0 if that run ends
+//!                     before B). Makes run location O(1): no scan back to
+//!                     the cluster start.
+//! words 1..=L       : one 64-bit metadata word per lane (occupieds,
+//!                     runends, ..., one bit per slot, LSB = slot B)
+//! words L+1..L+width: the block's 64 packed `width`-bit slots
+//! ```
+//!
+//! A block of `L` lanes and `width`-bit slots is `1 + L + width` words, so
+//! the metadata a query touches sits on the same cache line(s) as the
+//! remainders it guards — one block read answers "which run, where, and
+//! does any remainder match" for 64 quotients.
+//!
+//! Bit-lane operations mirror [`crate::BitVec`] (rank, zero/one scans, the
+//! Robin Hood insert-shift); slot operations mirror [`crate::PackedVec`].
+//! Offsets are *maintained*, not derived: [`BlockedTable::inc_offsets`] is
+//! the one-increment-per-block rule shifts apply, and
+//! [`BlockedTable::set_offset`] lets rebuilders write recomputed values.
+
+use crate::word::{bitmask, select_from_words};
+use crate::{BitVec, PackedVec};
+
+/// Slots per block: one metadata word's worth.
+pub const BLOCK_SLOTS: usize = 64;
+
+/// A blocked slot table: per-block offset word, metadata bit lanes, and
+/// packed `width`-bit slots, interleaved block by block in one contiguous
+/// allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockedTable {
+    words: Vec<u64>,
+    /// Logical slot count; physical capacity is `nblocks * 64` and the
+    /// tail slots beyond `len` must never carry metadata bits.
+    len: usize,
+    nblocks: usize,
+    lanes: u32,
+    width: u32,
+    /// Words per block: `1 + lanes + width`.
+    stride: usize,
+    /// `1 << (i * width)` for each whole field in a word (SWAR constant).
+    rep_lo: u64,
+    /// `1 << (i * width + width - 1)` for each whole field (SWAR constant).
+    rep_hi: u64,
+}
+
+impl BlockedTable {
+    /// A table of `len` zeroed slots with `lanes` metadata bit lanes and
+    /// `width`-bit slots (1..=64).
+    pub fn new(len: usize, lanes: u32, width: u32) -> Self {
+        assert!((1..=64).contains(&width), "slot width must be 1..=64");
+        assert!(lanes >= 1, "need at least one metadata lane");
+        let nblocks = len.div_ceil(BLOCK_SLOTS);
+        let stride = 1 + lanes as usize + width as usize;
+        let total_words = nblocks
+            .checked_mul(stride)
+            .and_then(|w| w.checked_add(1)) // +1: gather over-read padding
+            .expect("blocked table size overflow");
+        let mut rep_lo = 0u64;
+        let mut bit = 0u32;
+        while bit + width <= 64 {
+            rep_lo |= 1 << bit;
+            bit += width;
+        }
+        Self {
+            words: vec![0; total_words],
+            len,
+            nblocks,
+            lanes,
+            width,
+            stride,
+            rep_lo,
+            rep_hi: rep_lo << (width - 1),
+        }
+    }
+
+    /// Logical slot count.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the table holds zero slots.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 64-slot blocks.
+    #[inline(always)]
+    pub fn blocks(&self) -> usize {
+        self.nblocks
+    }
+
+    /// Metadata lanes per block.
+    #[inline(always)]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Slot width in bits.
+    #[inline(always)]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    #[inline(always)]
+    fn lane_idx(&self, lane: u32, b: usize) -> usize {
+        debug_assert!(lane < self.lanes && b < self.nblocks);
+        b * self.stride + 1 + lane as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Offsets
+    // ------------------------------------------------------------------
+
+    /// The cached offset of block `b`.
+    #[inline(always)]
+    pub fn offset(&self, b: usize) -> usize {
+        self.words[b * self.stride] as usize
+    }
+
+    /// Overwrite block `b`'s offset (rebuild paths).
+    #[inline(always)]
+    pub fn set_offset(&mut self, b: usize, v: usize) {
+        self.words[b * self.stride] = v as u64;
+    }
+
+    /// Increment the offsets of blocks `lo..=hi` by one — the maintenance
+    /// rule for an insert-shift on behalf of quotient `q` that consumed
+    /// free slot `fe`: every block base in `(q, fe]` sees the physical end
+    /// of its pending run move right by exactly one slot.
+    #[inline]
+    pub fn inc_offsets(&mut self, lo: usize, hi: usize) {
+        let hi = hi.min(self.nblocks.saturating_sub(1));
+        for b in lo..=hi {
+            self.words[b * self.stride] += 1;
+        }
+    }
+
+    /// Zero every block offset (rebuild paths).
+    pub fn clear_offsets(&mut self) {
+        for b in 0..self.nblocks {
+            self.words[b * self.stride] = 0;
+        }
+    }
+
+    /// Starting point for offset-based run navigation at quotient `q`,
+    /// with occupancy bits in lane `occ`: `(from, d)` where `from` is the
+    /// block base plus its cached offset (the first position this block's
+    /// runends can occupy) and `d` is the number of occupied quotients in
+    /// `[block base, q)` — `q`'s runend is then the `d`-th one at or
+    /// after `from`.
+    #[inline]
+    pub fn run_nav_start(&self, occ: u32, q: usize) -> (usize, usize) {
+        let blk = q >> 6;
+        let from = (blk << 6) + self.offset(blk);
+        let d = (self.lane_word(occ, blk) & bitmask((q & 63) as u32)).count_ones() as usize;
+        (from, d)
+    }
+
+    // ------------------------------------------------------------------
+    // Lane bit operations
+    // ------------------------------------------------------------------
+
+    /// Read bit `i` of `lane`.
+    #[inline(always)]
+    pub fn get(&self, lane: u32, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[self.lane_idx(lane, i >> 6)] >> (i & 63) & 1 == 1
+    }
+
+    /// Set bit `i` of `lane`.
+    #[inline(always)]
+    pub fn set(&mut self, lane: u32, i: usize) {
+        debug_assert!(i < self.len);
+        let w = self.lane_idx(lane, i >> 6);
+        self.words[w] |= 1 << (i & 63);
+    }
+
+    /// Clear bit `i` of `lane`.
+    #[inline(always)]
+    pub fn clear(&mut self, lane: u32, i: usize) {
+        debug_assert!(i < self.len);
+        let w = self.lane_idx(lane, i >> 6);
+        self.words[w] &= !(1 << (i & 63));
+    }
+
+    /// Set bit `i` of `lane` to `value`.
+    #[inline(always)]
+    pub fn assign(&mut self, lane: u32, i: usize, value: bool) {
+        if value {
+            self.set(lane, i)
+        } else {
+            self.clear(lane, i)
+        }
+    }
+
+    /// The metadata word of `lane` for block `b` (bits `[64b, 64b+64)`).
+    #[inline(always)]
+    pub fn lane_word(&self, lane: u32, b: usize) -> u64 {
+        self.words[self.lane_idx(lane, b)]
+    }
+
+    /// Total set bits in `lane`.
+    pub fn count_ones(&self, lane: u32) -> usize {
+        (0..self.nblocks)
+            .map(|b| self.lane_word(lane, b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Set bits of `lane` in `[a, b)`.
+    pub fn count_range(&self, lane: u32, a: usize, b: usize) -> usize {
+        debug_assert!(a <= b && b <= self.len);
+        if a == b {
+            return 0;
+        }
+        let (wa, wb) = (a >> 6, (b - 1) >> 6);
+        if wa == wb {
+            let mask = bitmask((b - a) as u32) << (a & 63);
+            return (self.lane_word(lane, wa) & mask).count_ones() as usize;
+        }
+        let mut r = (self.lane_word(lane, wa) & !bitmask((a & 63) as u32)).count_ones() as usize;
+        for w in wa + 1..wb {
+            r += self.lane_word(lane, w).count_ones() as usize;
+        }
+        let tail_bits = (b - (wb << 6)) as u32;
+        r += (self.lane_word(lane, wb) & bitmask(tail_bits)).count_ones() as usize;
+        r
+    }
+
+    /// First position `>= from` with a zero bit in `lane`, or `None`.
+    pub fn next_zero(&self, lane: u32, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from >> 6;
+        let mut word = !self.lane_word(lane, w) & !bitmask((from & 63) as u32);
+        loop {
+            if word != 0 {
+                let pos = (w << 6) + word.trailing_zeros() as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            w += 1;
+            if w >= self.nblocks {
+                return None;
+            }
+            word = !self.lane_word(lane, w);
+        }
+    }
+
+    /// First position `>= from` with a one bit in `lane`, or `None`.
+    pub fn next_one(&self, lane: u32, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from >> 6;
+        let mut word = self.lane_word(lane, w) & !bitmask((from & 63) as u32);
+        loop {
+            if word != 0 {
+                let pos = (w << 6) + word.trailing_zeros() as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            w += 1;
+            if w >= self.nblocks {
+                return None;
+            }
+            word = self.lane_word(lane, w);
+        }
+    }
+
+    /// Last position `<= from` with a zero bit in `lane`, or `None`.
+    pub fn prev_zero(&self, lane: u32, from: usize) -> Option<usize> {
+        debug_assert!(from < self.len);
+        let mut w = from >> 6;
+        let mut word = !self.lane_word(lane, w) & bitmask((from & 63) as u32 + 1);
+        loop {
+            if word != 0 {
+                return Some((w << 6) + 63 - word.leading_zeros() as usize);
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            word = !self.lane_word(lane, w);
+        }
+    }
+
+    /// Position of the `k`-th (0-indexed) set bit at or after `from` in the
+    /// word sequence produced by masking `lane` bits through `f(word)`.
+    #[inline]
+    pub fn select_lane_from(
+        &self,
+        lane: u32,
+        from: usize,
+        k: usize,
+        f: impl Fn(&Self, usize, u64) -> u64,
+    ) -> Option<usize> {
+        select_from_words(self.len, from, k, |w| f(self, w, self.lane_word(lane, w)))
+    }
+
+    /// Number of consecutive one bits at `from` (stopping at the first
+    /// zero or the end of the table) in the per-block word sequence
+    /// `word_at(block)` — the word-wise "trailing ones" walk behind group
+    /// extent decoding.
+    #[inline]
+    pub fn ones_run_len(&self, mut from: usize, word_at: impl Fn(&Self, usize) -> u64) -> usize {
+        let mut n = 0usize;
+        while from < self.len {
+            let w = from >> 6;
+            let word = word_at(self, w) >> (from & 63);
+            let t = word.trailing_ones() as usize;
+            let avail = 64 - (from & 63);
+            n += t.min(avail);
+            if t < avail {
+                return n;
+            }
+            from += avail;
+        }
+        n
+    }
+
+    /// Shift `lane` bits in `[pos, end)` one position right so they occupy
+    /// `[pos+1, end+1)`, then write `value` into bit `pos`. Bit `end` is
+    /// overwritten (callers guarantee slot `end` was free).
+    pub fn shift_right_insert(&mut self, lane: u32, pos: usize, end: usize, value: bool) {
+        debug_assert!(pos <= end && end < self.len);
+        let mut i = end;
+        while i > pos {
+            let w = i >> 6;
+            let lo_bit = w << 6;
+            let seg_start = pos.max(lo_bit);
+            let wi = self.lane_idx(lane, w);
+            let word = self.words[wi];
+            let keep_lo = word & bitmask((seg_start - lo_bit) as u32);
+            let move_mask = bitmask((i - lo_bit) as u32) & !bitmask((seg_start - lo_bit) as u32);
+            let moved = (word & move_mask) << 1;
+            let keep_hi = word & !bitmask((i - lo_bit + 1) as u32);
+            self.words[wi] = keep_lo | moved | keep_hi;
+            if seg_start == pos {
+                break;
+            }
+            // Bit seg_start (just vacated) receives the previous block's
+            // top bit; the next pass overwrites that carry source.
+            let prev = self.lane_word(lane, w - 1) >> 63 & 1 == 1;
+            self.assign(lane, seg_start, prev);
+            i = seg_start - 1;
+        }
+        self.assign(lane, pos, value);
+    }
+
+    // ------------------------------------------------------------------
+    // Slot operations
+    // ------------------------------------------------------------------
+
+    #[inline(always)]
+    fn slot_word_bit(&self, i: usize) -> (usize, u32) {
+        debug_assert!(i < self.len);
+        let b = i >> 6;
+        let bit = (i & 63) * self.width as usize;
+        (
+            b * self.stride + 1 + self.lanes as usize + (bit >> 6),
+            (bit & 63) as u32,
+        )
+    }
+
+    /// Read slot `i`.
+    #[inline]
+    pub fn slot(&self, i: usize) -> u64 {
+        let (w, off) = self.slot_word_bit(i);
+        let lo = self.words[w] >> off;
+        let val = if off + self.width > 64 {
+            // Never leaves the block's slot region: 64 slots fill exactly
+            // `width` words.
+            lo | (self.words[w + 1] << (64 - off))
+        } else {
+            lo
+        };
+        val & bitmask(self.width)
+    }
+
+    /// Write slot `i`.
+    #[inline]
+    pub fn set_slot(&mut self, i: usize, value: u64) {
+        debug_assert!(value <= bitmask(self.width), "value wider than slot");
+        let (w, off) = self.slot_word_bit(i);
+        let mask = bitmask(self.width);
+        self.words[w] = (self.words[w] & !(mask << off)) | (value << off);
+        if off + self.width > 64 {
+            let spill = 64 - off;
+            self.words[w + 1] = (self.words[w + 1] & !(mask >> spill)) | (value >> spill);
+        }
+    }
+
+    /// Shift slots `[pos, end)` right by one so they occupy `[pos+1,
+    /// end+1)`, then write `value` into slot `pos`. Slot `end` must be
+    /// dead space.
+    pub fn shift_right_insert_slot(&mut self, pos: usize, end: usize, value: u64) {
+        debug_assert!(pos <= end && end < self.len);
+        for i in (pos..end).rev() {
+            let v = self.slot(i);
+            self.set_slot(i + 1, v);
+        }
+        self.set_slot(pos, value);
+    }
+
+    /// 64 raw bits of packed slot data starting at slot `i`'s first bit:
+    /// slot `i` occupies bits `[0, width)`, slot `i+1` bits `[width,
+    /// 2*width)`, and so on — valid through the end of `i`'s block (the
+    /// tail bits beyond the block's slot region are unspecified).
+    #[inline]
+    pub fn slot_bits_from(&self, i: usize) -> u64 {
+        let (w, off) = self.slot_word_bit(i);
+        if off == 0 {
+            self.words[w]
+        } else {
+            // w+1 may be the next block's offset word or the trailing
+            // padding word; those bits are beyond the valid range and the
+            // caller masks them.
+            (self.words[w] >> off) | (self.words[w + 1] << (64 - off))
+        }
+    }
+
+    /// First slot in `[rs, re]` whose value ANDed with `mask` equals
+    /// `needle` (which must be pre-masked). Compares up to `64/width`
+    /// slots per step with a branchless SWAR zero-field search.
+    pub fn find_slot_eq_masked(
+        &self,
+        rs: usize,
+        re: usize,
+        needle: u64,
+        mask: u64,
+    ) -> Option<usize> {
+        debug_assert!(rs <= re && re < self.len);
+        debug_assert_eq!(needle & mask, needle);
+        let w = self.width as usize;
+        let kmax = 64 / w;
+        if kmax < 2 {
+            // Fields wider than 32 bits: plain scan.
+            return (rs..=re).find(|&i| self.slot(i) & mask == needle);
+        }
+        let rep_needle = needle.wrapping_mul(self.rep_lo);
+        let rep_mask = mask.wrapping_mul(self.rep_lo);
+        let mut s = rs;
+        while s <= re {
+            let n = kmax.min(64 - (s & 63)).min(re - s + 1);
+            let g = self.slot_bits_from(s);
+            // Zero-field detection on the masked XOR: the lowest set flag
+            // marks the first equal slot (higher flags may be borrows).
+            let diff = (g ^ rep_needle) & rep_mask;
+            let flags = diff.wrapping_sub(self.rep_lo) & !diff & self.rep_hi;
+            let valid = flags & bitmask((n * w) as u32);
+            if valid != 0 {
+                return Some(s + valid.trailing_zeros() as usize / w);
+            }
+            s += n;
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk / conversion
+    // ------------------------------------------------------------------
+
+    /// Bytes of heap memory used.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    /// Zero every lane bit, slot, and offset.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The backing words (for the snapshot codec).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from backing words written by a snapshot of the same
+    /// geometry; `None` if the word count does not match.
+    pub fn from_words(words: Vec<u64>, len: usize, lanes: u32, width: u32) -> Option<Self> {
+        if !(1..=64).contains(&width) || lanes == 0 {
+            return None;
+        }
+        let nblocks = len.div_ceil(BLOCK_SLOTS);
+        let stride = 1 + lanes as usize + width as usize;
+        if words.len() != nblocks.checked_mul(stride)?.checked_add(1)? {
+            return None;
+        }
+        let mut t = Self::new(len, lanes, width);
+        t.words = words;
+        Some(t)
+    }
+
+    /// Copy one metadata lane out as a [`BitVec`] (legacy snapshot format).
+    pub fn lane_to_bitvec(&self, lane: u32) -> BitVec {
+        let mut words = Vec::with_capacity(self.len.div_ceil(64));
+        for b in 0..self.len.div_ceil(64) {
+            words.push(self.lane_word(lane, b));
+        }
+        if !self.len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= bitmask((self.len % 64) as u32);
+            }
+        }
+        BitVec::from_words(words, self.len).expect("word count matches by construction")
+    }
+
+    /// Copy the slot data out as a [`PackedVec`] (legacy snapshot format).
+    pub fn slots_to_packed(&self) -> PackedVec {
+        let mut p = PackedVec::new(self.len, self.width);
+        for i in 0..self.len {
+            p.set(i, self.slot(i));
+        }
+        p
+    }
+
+    /// Build a blocked table from per-lane [`BitVec`]s and a [`PackedVec`]
+    /// of slots (legacy snapshot format). All offsets are left at zero —
+    /// the caller must recompute them. `None` on any length/width
+    /// disagreement.
+    pub fn from_parts(lanes: &[&BitVec], slots: &PackedVec, len: usize) -> Option<Self> {
+        if lanes.is_empty() || lanes.iter().any(|l| l.len() != len) || slots.len() != len {
+            return None;
+        }
+        let mut t = Self::new(len, lanes.len() as u32, slots.width());
+        for (lane, bv) in lanes.iter().enumerate() {
+            for b in 0..len.div_ceil(64) {
+                let wi = t.lane_idx(lane as u32, b);
+                t.words[wi] = bv.as_words()[b];
+            }
+        }
+        for i in 0..len {
+            t.set_slot(i, slots.get(i));
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_bits_roundtrip_and_counts() {
+        let mut t = BlockedTable::new(200, 3, 9);
+        for i in (0..200).step_by(5) {
+            t.set(1, i);
+        }
+        t.set(0, 64);
+        t.set(2, 199);
+        assert!(t.get(1, 0) && t.get(1, 195) && !t.get(1, 7));
+        assert!(t.get(0, 64) && !t.get(0, 65));
+        assert_eq!(t.count_ones(1), 40);
+        assert_eq!(t.count_range(1, 0, 200), 40);
+        assert_eq!(t.count_range(1, 3, 11), 2);
+        assert_eq!(t.count_range(1, 60, 130), 14);
+        t.clear(1, 0);
+        assert!(!t.get(1, 0));
+        assert_eq!(t.next_one(1, 0), Some(5));
+        assert_eq!(t.next_zero(0, 64), Some(65));
+        assert_eq!(t.prev_zero(0, 64), Some(63));
+    }
+
+    #[test]
+    fn scans_match_bitvec_reference() {
+        let len = 300usize;
+        let mut t = BlockedTable::new(len, 2, 4);
+        let mut bv = BitVec::new(len);
+        let mut x = 7u64;
+        for i in 0..len {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x >> 60 & 1 == 1 {
+                t.set(0, i);
+                bv.set(i);
+            }
+        }
+        for from in [0usize, 1, 63, 64, 100, 255, 299] {
+            assert_eq!(t.next_one(0, from), bv.next_one(from), "next_one {from}");
+            assert_eq!(t.next_zero(0, from), bv.next_zero(from), "next_zero {from}");
+            assert_eq!(t.prev_zero(0, from), bv.prev_zero(from), "prev_zero {from}");
+            for k in [0usize, 1, 5, 40] {
+                assert_eq!(
+                    t.select_lane_from(0, from, k, |_, _, w| w),
+                    bv.select_from(k, from),
+                    "select {from} {k}"
+                );
+            }
+        }
+        for a in (0..len).step_by(37) {
+            for b in (a..=len).step_by(41) {
+                assert_eq!(t.count_range(0, a, b), bv.count_range(a, b), "[{a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn slots_roundtrip_all_widths() {
+        for width in [1u32, 3, 9, 13, 17, 31, 33, 64] {
+            let mut t = BlockedTable::new(150, 4, width);
+            let mask = bitmask(width);
+            for i in 0..150usize {
+                t.set_slot(i, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask);
+            }
+            for i in 0..150usize {
+                assert_eq!(
+                    t.slot(i),
+                    (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask,
+                    "width={width} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_shift_matches_bitvec() {
+        let len = 256usize;
+        let cases = [(0usize, 0usize), (3, 10), (62, 66), (10, 200), (63, 64)];
+        for &(pos, end) in &cases {
+            let mut t = BlockedTable::new(len, 2, 5);
+            let mut bv = BitVec::new(len);
+            for i in 0..len {
+                if (i * 7 + 3) % 5 < 2 {
+                    t.set(1, i);
+                    bv.set(i);
+                }
+            }
+            t.shift_right_insert(1, pos, end, true);
+            bv.shift_right_insert(pos, end, true);
+            for i in 0..len {
+                assert_eq!(t.get(1, i), bv.get(i), "pos={pos} end={end} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn slot_shift_matches_packed() {
+        for width in [3u32, 9, 17] {
+            let mask = bitmask(width);
+            let mut t = BlockedTable::new(200, 1, width);
+            let mut p = PackedVec::new(200, width);
+            for i in 0..200usize {
+                let v = ((i as u64) * 0xABCD + 7) & mask;
+                t.set_slot(i, v);
+                p.set(i, v);
+            }
+            t.shift_right_insert_slot(10, 130, 42 & mask);
+            p.shift_right_insert(10, 130, 42 & mask);
+            for i in 0..200 {
+                assert_eq!(t.slot(i), p.get(i), "width={width} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_slot_eq_masked_matches_scan() {
+        for width in [3u32, 9, 12, 20, 33] {
+            let mask = bitmask(width.min(8)); // compare only low bits
+            let mut t = BlockedTable::new(300, 2, width);
+            let mut x = 3u64;
+            for i in 0..300usize {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037);
+                t.set_slot(i, x & bitmask(width));
+            }
+            for rs in [0usize, 1, 60, 63, 64, 120, 250] {
+                for re in [rs, rs + 1, rs + 40, 299] {
+                    let re = re.min(299);
+                    if re < rs {
+                        continue;
+                    }
+                    for needle in 0..8u64 {
+                        let naive = (rs..=re).find(|&i| t.slot(i) & mask == needle & mask);
+                        assert_eq!(
+                            t.find_slot_eq_masked(rs, re, needle & mask, mask),
+                            naive,
+                            "width={width} [{rs},{re}] needle={needle}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_and_conversions() {
+        let mut t = BlockedTable::new(130, 2, 7);
+        t.set_offset(1, 9);
+        t.inc_offsets(0, 2);
+        assert_eq!(t.offset(0), 1);
+        assert_eq!(t.offset(1), 10);
+        assert_eq!(t.offset(2), 1);
+        // inc_offsets clamps past the last block.
+        t.inc_offsets(2, 50);
+        assert_eq!(t.offset(2), 2);
+        t.clear_offsets();
+        assert_eq!(t.offset(1), 0);
+
+        for i in (0..130).step_by(3) {
+            t.set(0, i);
+            t.set_slot(i, (i as u64) & bitmask(7));
+        }
+        let bv = t.lane_to_bitvec(0);
+        let pv = t.slots_to_packed();
+        let empty = BitVec::new(130);
+        let back = BlockedTable::from_parts(&[&bv, &empty], &pv, 130).unwrap();
+        for i in 0..130 {
+            assert_eq!(back.get(0, i), t.get(0, i));
+            assert!(!back.get(1, i));
+            assert_eq!(back.slot(i), t.slot(i));
+        }
+        // Word-level snapshot roundtrip.
+        let again =
+            BlockedTable::from_words(t.as_words().to_vec(), t.len(), t.lanes(), t.width()).unwrap();
+        assert_eq!(again, t);
+        assert!(BlockedTable::from_words(vec![0; 3], 130, 2, 7).is_none());
+    }
+
+    #[test]
+    fn ones_run_len_counts_trailing_ones() {
+        let mut t = BlockedTable::new(200, 1, 4);
+        for i in 10..80 {
+            t.set(0, i);
+        }
+        t.set(0, 199);
+        assert_eq!(t.ones_run_len(10, |t, b| t.lane_word(0, b)), 70);
+        assert_eq!(t.ones_run_len(12, |t, b| t.lane_word(0, b)), 68);
+        assert_eq!(t.ones_run_len(80, |t, b| t.lane_word(0, b)), 0);
+        assert_eq!(t.ones_run_len(199, |t, b| t.lane_word(0, b)), 1);
+        assert_eq!(t.ones_run_len(200, |t, b| t.lane_word(0, b)), 0);
+    }
+}

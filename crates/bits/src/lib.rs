@@ -3,9 +3,13 @@
 //! This crate provides the low-level building blocks shared by the
 //! AdaptiveQF and the baseline filters in this workspace:
 //!
-//! - [`word`]: branch-light rank/select primitives on single `u64` words,
+//! - [`word`]: branch-light rank/select primitives on single `u64` words
+//!   (plus the shared multi-word masked select every navigation loop uses),
 //! - [`bitvec`]: a fixed-capacity bit vector with rank/select and the
 //!   *insert-shift* / *remove-shift* operations Robin Hood hashing needs,
+//! - [`block`]: the blocked, offset-indexed slot table (CQF-style 64-slot
+//!   blocks interleaving metadata lanes with packed remainders, plus the
+//!   per-block offsets that make run location O(1)),
 //! - [`packed`]: a vector of fixed-width (1..=64 bit) slots with the same
 //!   shifting operations, used to store remainders,
 //! - [`hash`]: the MurmurHash2-style 64-bit finalizer the paper uses, plus a
@@ -15,17 +19,21 @@
 //!   content checksum, atomic write-temp-then-rename) every persistent
 //!   filter snapshot in the workspace shares.
 //!
-//! Everything here is `no_unsafe`, allocation-free on the hot paths, and
-//! model-tested against naive reference implementations.
+//! Everything here is allocation-free on the hot paths and model-tested
+//! against naive reference implementations. The only `unsafe` in the crate
+//! is the single BMI2 `pdep` intrinsic behind `word::select_u64`'s
+//! compile-time feature gate (portable broadword code everywhere else).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitvec;
+pub mod block;
 pub mod hash;
 pub mod packed;
 pub mod snapshot;
 pub mod word;
 
 pub use bitvec::BitVec;
+pub use block::{BlockedTable, BLOCK_SLOTS};
 pub use packed::PackedVec;

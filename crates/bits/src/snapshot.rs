@@ -9,7 +9,10 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  "AQFSNAP\0"
-//! 8       2     format version (LE; currently 1)
+//! 8       2     format version (LE; currently 2 — v2 serializes quotient
+//!               filter tables as native block arenas, v1 as split bit
+//!               vectors; readers accept both and decoders branch on
+//!               [`SnapshotReader::version`])
 //! 10      2     kind-string length (LE)
 //! 12      k     kind string (UTF-8; e.g. "aqf", "sharded-aqf", "filtered-db")
 //! 12+k    ...   sections: { tag [u8;4], payload length u64 LE, payload }
@@ -34,13 +37,16 @@ use std::path::{Path, PathBuf};
 
 use crate::hash::murmur64a;
 use crate::word::bitmask;
-use crate::{BitVec, PackedVec};
+use crate::{BitVec, BlockedTable, PackedVec};
 
 /// Snapshot file magic.
 pub const MAGIC: [u8; 8] = *b"AQFSNAP\0";
 
-/// Current snapshot format version.
-pub const VERSION: u16 = 1;
+/// Current snapshot format version. Version 2 introduced the blocked,
+/// offset-indexed table arena ([`crate::BlockedTable`]); version 1 frames
+/// (split bit-vector tables) are still read, with block offsets rebuilt on
+/// decode.
+pub const VERSION: u16 = 2;
 
 /// Seed for the content checksum.
 const CHECKSUM_SEED: u64 = 0x5eed_c0de_ca1c_50b3;
@@ -186,10 +192,22 @@ pub struct SnapshotWriter {
 impl SnapshotWriter {
     /// Start a snapshot for an object of the given kind.
     pub fn new(kind: &str) -> Self {
+        Self::new_versioned(kind, VERSION)
+    }
+
+    /// Start a snapshot claiming an older format version — for writers
+    /// that must emit a legacy frame (compatibility tests, downgrade
+    /// tooling). The caller is responsible for writing sections in that
+    /// version's layout.
+    pub fn new_versioned(kind: &str, version: u16) -> Self {
         assert!(kind.len() <= u16::MAX as usize, "kind string too long");
+        assert!(
+            (1..=VERSION).contains(&version),
+            "snapshot version {version} out of supported range"
+        );
         let mut buf = Vec::with_capacity(256);
         buf.extend_from_slice(&MAGIC);
-        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&version.to_le_bytes());
         buf.extend_from_slice(&(kind.len() as u16).to_le_bytes());
         buf.extend_from_slice(kind.as_bytes());
         Self {
@@ -264,6 +282,16 @@ impl SnapshotWriter {
         self.u64_slice(p.as_words());
     }
 
+    /// Append a [`BlockedTable`] natively: geometry, then the raw block
+    /// arena (offset words, metadata lanes, and packed slots interleaved
+    /// exactly as in memory).
+    pub fn blocked(&mut self, t: &BlockedTable) {
+        self.u64(t.len() as u64);
+        self.u32(t.lanes());
+        self.u32(t.width());
+        self.u64_slice(t.as_words());
+    }
+
     /// Close the open section and seal the snapshot with its checksum.
     pub fn finish(mut self) -> Vec<u8> {
         self.close_section();
@@ -293,6 +321,7 @@ pub struct SnapshotReader<'a> {
     kind_end: usize,
     /// One past the last content byte (start of the checksum).
     content_end: usize,
+    version: u16,
 }
 
 impl<'a> SnapshotReader<'a> {
@@ -337,7 +366,15 @@ impl<'a> SnapshotReader<'a> {
             pos: kind_end,
             kind_end,
             content_end,
+            version,
         })
+    }
+
+    /// The format version the frame was written with (1..=[`VERSION`]).
+    /// Decoders branch on this when a structure's section layout changed
+    /// across versions.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// The kind string the snapshot was written for.
@@ -459,6 +496,27 @@ impl<'a> SnapshotReader<'a> {
         PackedVec::from_words(words, len, width).ok_or_else(|| {
             SnapError::Corrupt(format!(
                 "packed vector of {len}x{width}-bit slots: bad word count"
+            ))
+        })
+    }
+
+    /// Read a [`BlockedTable`] written by [`SnapshotWriter::blocked`].
+    /// The cached per-block offsets come straight from the file; callers
+    /// must structurally validate the decoded table (offsets included)
+    /// before trusting navigation.
+    pub fn blocked(&mut self) -> Result<BlockedTable, SnapError> {
+        let len = self.len_u64()?;
+        let lanes = self.u32()?;
+        let width = self.u32()?;
+        if !(1..=64).contains(&width) || lanes == 0 || lanes > 16 {
+            return Err(SnapError::Corrupt(format!(
+                "blocked table geometry {lanes} lanes x {width}-bit slots out of range"
+            )));
+        }
+        let words = self.u64_vec()?;
+        BlockedTable::from_words(words, len, lanes, width).ok_or_else(|| {
+            SnapError::Corrupt(format!(
+                "blocked table of {len} slots ({lanes} lanes, {width}-bit): bad word count"
             ))
         })
     }

@@ -1,25 +1,34 @@
 //! Non-adaptive quotient filter baseline (paper's "QF", Pandey et al.).
 //!
-//! Same Robin Hood layout as the AdaptiveQF minus adaptivity: one slot per
-//! fingerprint, metadata bits `occupieds`/`runends`/`used`, remainders
+//! Same Robin Hood semantics as the AdaptiveQF minus adaptivity: one slot
+//! per fingerprint, metadata bits `occupieds`/`runends`/`used`, remainders
 //! sorted within runs. No extensions, no counters — the baseline the paper
 //! measures adaptivity overhead against.
+//!
+//! Storage uses the same blocked, offset-indexed layout as the AQF
+//! (`aqf_bits::BlockedTable`, PR 5) so figure-level comparisons stay
+//! apples-to-apples: run location is O(1) block-offset arithmetic here
+//! too, and lookups use the word-parallel remainder compare. Snapshots
+//! keep the original v1 section format (split bit vectors); offsets are
+//! rebuilt on load.
 
 use aqf::FilterError;
 use aqf_bits::hash::HashSeq;
-use aqf_bits::word::{bitmask, select_u64};
-use aqf_bits::{BitVec, PackedVec};
+use aqf_bits::word::bitmask;
+use aqf_bits::BlockedTable;
 
 use crate::common::AmqFilter;
 use crate::snapshot::{SnapError, SnapshotBody, SnapshotReader, SnapshotWriter};
 
+const OCC: u32 = 0;
+const RUN: u32 = 1;
+const USED: u32 = 2;
+const LANES: u32 = 3;
+
 /// A plain (non-adaptive) quotient filter.
 #[derive(Clone, Debug)]
 pub struct QuotientFilter {
-    occupieds: BitVec,
-    runends: BitVec,
-    used: BitVec,
-    slots: PackedVec,
+    t: BlockedTable,
     qbits: u32,
     rbits: u32,
     seed: u64,
@@ -38,10 +47,7 @@ impl QuotientFilter {
         let overflow = ((10.0 * (canonical as f64).sqrt()) as usize).max(64);
         let total = canonical + overflow;
         Ok(Self {
-            occupieds: BitVec::new(total),
-            runends: BitVec::new(total),
-            used: BitVec::new(total),
-            slots: PackedVec::new(total, rbits),
+            t: BlockedTable::new(total, LANES, rbits),
             qbits,
             rbits,
             seed,
@@ -75,63 +81,92 @@ impl QuotientFilter {
     }
 
     #[inline]
-    fn cluster_start(&self, x: usize) -> usize {
-        match self.used.prev_zero(x) {
-            Some(z) => z + 1,
-            None => 0,
-        }
+    fn select_runend_from(&self, from: usize, k: usize) -> Option<usize> {
+        self.t.select_lane_from(RUN, from, k, |_, _, w| w)
     }
 
-    fn select_runend_from(&self, from: usize, mut k: usize) -> Option<usize> {
-        let nwords = self.total.div_ceil(64);
-        let mut w = from >> 6;
-        if w >= nwords {
-            return None;
-        }
-        let mut word = self.runends.word(w) & !bitmask((from & 63) as u32);
-        loop {
-            let ones = word.count_ones() as usize;
-            if k < ones {
-                let pos = (w << 6) + select_u64(word, k as u32).unwrap() as usize;
-                return (pos < self.total).then_some(pos);
-            }
-            k -= ones;
-            w += 1;
-            if w >= nwords {
-                return None;
-            }
-            word = self.runends.word(w);
-        }
-    }
-
-    /// Run of occupied quotient `q` as `(start, end)` inclusive.
+    /// Run of occupied quotient `q` as `(start, end)` inclusive — O(1)
+    /// through the block offset, exactly like `aqf`'s `Table::run_range`
+    /// (runends need no extension masking here).
     fn run_range(&self, q: usize) -> (usize, usize) {
-        let c = self.cluster_start(q);
-        let t = self.occupieds.count_range(c, q + 1);
+        let (from, d) = self.t.run_nav_start(OCC, q);
         let re = self
-            .select_runend_from(c, t - 1)
+            .select_runend_from(from, d)
             .expect("occupied run exists");
-        let rs = if t == 1 {
-            c
+        let rs = if d == 0 {
+            from.max(q)
         } else {
-            self.select_runend_from(c, t - 2)
-                .expect("previous run exists")
-                + 1
+            let pe = self
+                .select_runend_from(from, d - 1)
+                .expect("previous run exists");
+            (pe + 1).max(q)
         };
         (rs, re)
     }
 
-    fn insert_slot_at(&mut self, pos: usize, rem: u64, runend: bool) -> Result<(), FilterError> {
-        let fe = self.used.next_zero(pos).ok_or(FilterError::Full)?;
+    fn insert_slot_at(
+        &mut self,
+        q: usize,
+        pos: usize,
+        rem: u64,
+        runend: bool,
+    ) -> Result<(), FilterError> {
+        let fe = self.t.next_zero(USED, pos).ok_or(FilterError::Full)?;
         if fe > pos {
-            self.slots.shift_right_insert(pos, fe, rem);
-            self.runends.shift_right_insert(pos, fe, runend);
+            self.t.shift_right_insert_slot(pos, fe, rem);
+            self.t.shift_right_insert(RUN, pos, fe, runend);
         } else {
-            self.slots.set(pos, rem);
-            self.runends.assign(pos, runend);
+            self.t.set_slot(pos, rem);
+            self.t.assign(RUN, pos, runend);
         }
-        self.used.set(fe);
+        self.t.set(USED, fe);
+        if fe >> 6 > q >> 6 {
+            self.t.inc_offsets((q >> 6) + 1, fe >> 6);
+        }
         Ok(())
+    }
+
+    /// Rebuild every block offset in one sweep (snapshot decode).
+    fn rebuild_offsets(&mut self) {
+        self.t.clear_offsets();
+        let mut blk = 1usize;
+        let nblocks = self.t.blocks();
+        let mut last: Option<(usize, usize)> = None;
+        let mut i = 0usize;
+        while i < self.total {
+            let Some(c) = self.t.next_one(USED, i) else {
+                break;
+            };
+            let ce = self.t.next_zero(USED, c).unwrap_or(self.total);
+            let mut q = c;
+            let mut cursor = c;
+            while cursor < ce {
+                q = self
+                    .t
+                    .next_one(OCC, q)
+                    .expect("used slots imply a further occupied quotient");
+                cursor = self
+                    .t
+                    .select_lane_from(RUN, cursor, 0, |_, _, w| w)
+                    .expect("every run has a runend")
+                    + 1;
+                while blk < nblocks && (blk << 6) <= q {
+                    let base = blk << 6;
+                    self.t
+                        .set_offset(blk, last.map_or(0, |(_, e)| e.saturating_sub(base)));
+                    blk += 1;
+                }
+                last = Some((q, cursor));
+                q += 1;
+            }
+            i = ce;
+        }
+        while blk < nblocks {
+            let base = blk << 6;
+            self.t
+                .set_offset(blk, last.map_or(0, |(_, e)| e.saturating_sub(base)));
+            blk += 1;
+        }
     }
 }
 
@@ -144,11 +179,13 @@ impl SnapshotBody for QuotientFilter {
         w.u64(self.canonical as u64);
         w.u64(self.total as u64);
         w.u64(self.items);
+        // The v1 split-bit-vector section layout, independent of the
+        // in-memory block interleaving, so old QF frames keep loading.
         w.section(*b"QFTB");
-        w.bitvec(&self.occupieds);
-        w.bitvec(&self.runends);
-        w.bitvec(&self.used);
-        w.packed(&self.slots);
+        w.bitvec(&self.t.lane_to_bitvec(OCC));
+        w.bitvec(&self.t.lane_to_bitvec(RUN));
+        w.bitvec(&self.t.lane_to_bitvec(USED));
+        w.packed(&self.t.slots_to_packed());
         Ok(())
     }
 
@@ -192,54 +229,61 @@ impl SnapshotBody for QuotientFilter {
                 "occupied quotients and runends disagree",
             ));
         }
-        Ok(Self {
-            occupieds,
-            runends,
-            used,
-            slots,
+        let t = BlockedTable::from_parts(&[&occupieds, &runends, &used], &slots, total)
+            .expect("lengths checked above");
+        let mut f = Self {
+            t,
             qbits,
             rbits,
             seed,
             canonical,
             total,
             items,
-        })
+        };
+        f.rebuild_offsets();
+        Ok(f)
     }
 }
 
 impl AmqFilter for QuotientFilter {
     fn insert(&mut self, key: u64) -> Result<(), FilterError> {
         let (hq, hr) = self.split(key);
-        if !self.used.get(hq) {
-            self.slots.set(hq, hr);
-            self.runends.set(hq);
-            self.used.set(hq);
-            self.occupieds.set(hq);
+        if !self.t.get(USED, hq) {
+            self.t.set_slot(hq, hr);
+            self.t.set(RUN, hq);
+            self.t.set(USED, hq);
+            self.t.set(OCC, hq);
             self.items += 1;
             return Ok(());
         }
-        if !self.occupieds.get(hq) {
-            // New run after the previous quotient's runend.
-            let c = self.cluster_start(hq);
-            let t = self.occupieds.count_range(c, hq + 1);
-            let pe = self.select_runend_from(c, t - 1).expect("cluster has runs");
-            self.insert_slot_at(pe + 1, hr, true)?;
-            self.occupieds.set(hq);
+        if !self.t.get(OCC, hq) {
+            // New run one past the pending run's end (O(1) via offsets).
+            let (from, d) = self.t.run_nav_start(OCC, hq);
+            let pos = if d == 0 {
+                from
+            } else {
+                self.select_runend_from(from, d - 1)
+                    .expect("cluster has runs")
+                    + 1
+            };
+            debug_assert!(pos > hq);
+            self.insert_slot_at(hq, pos, hr, true)?;
+            self.t.set(OCC, hq);
             self.items += 1;
             return Ok(());
         }
         let (rs, re) = self.run_range(hq);
         // Keep remainders sorted within the run.
         let mut pos = rs;
-        while pos <= re && self.slots.get(pos) < hr {
+        while pos <= re && self.t.slot(pos) < hr {
             pos += 1;
         }
         if pos > re {
             // New largest: append, moving the runend bit.
-            self.insert_slot_at(re + 1, hr, true)?;
-            self.runends.clear(re);
+            self.insert_slot_at(hq, re + 1, hr, true)?;
+            self.t.clear(RUN, re);
         } else {
-            self.insert_slot_at(pos, hr, false)?;
+            self.insert_slot_at(hq, pos, hr, false)?;
         }
         self.items += 1;
         Ok(())
@@ -247,20 +291,14 @@ impl AmqFilter for QuotientFilter {
 
     fn contains(&self, key: u64) -> bool {
         let (hq, hr) = self.split(key);
-        if !self.occupieds.get(hq) {
+        if !self.t.get(OCC, hq) {
             return false;
         }
         let (rs, re) = self.run_range(hq);
-        for i in rs..=re {
-            let r = self.slots.get(i);
-            if r == hr {
-                return true;
-            }
-            if r > hr {
-                return false;
-            }
-        }
-        false
+        // Word-parallel compare: every slot of a QF run is a remainder.
+        self.t
+            .find_slot_eq_masked(rs, re, hr, bitmask(self.rbits))
+            .is_some()
     }
 
     fn len(&self) -> u64 {
@@ -268,10 +306,7 @@ impl AmqFilter for QuotientFilter {
     }
 
     fn size_in_bytes(&self) -> usize {
-        self.occupieds.heap_size_bytes()
-            + self.runends.heap_size_bytes()
-            + self.used.heap_size_bytes()
-            + self.slots.heap_size_bytes()
+        self.t.heap_size_bytes()
     }
 
     fn name(&self) -> &'static str {
@@ -351,5 +386,67 @@ mod tests {
             }
         }
         assert!(full_seen);
+    }
+
+    /// Offsets must equal their structural definition after arbitrary
+    /// insert histories (mirrors the AQF checker's offset sweep).
+    #[test]
+    fn offsets_match_structural_definition() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut f = QuotientFilter::new(8, 5, 4).unwrap();
+        for step in 0..230u64 {
+            let k: u64 = rng.random_range(0..u64::MAX);
+            if f.insert(k).is_err() {
+                break;
+            }
+            if step % 16 != 0 {
+                continue;
+            }
+            // Structural offsets via a scan, like the pre-PR5 navigation.
+            for blk in 0..f.t.blocks() {
+                let base = blk << 6;
+                let expect = if base == 0 || !f.t.get(USED, base - 1) {
+                    0
+                } else {
+                    let c = match f.t.prev_zero(USED, base - 1) {
+                        Some(z) => z + 1,
+                        None => 0,
+                    };
+                    let t = f.t.count_range(OCC, c, base);
+                    let re = f
+                        .select_runend_from(c, t - 1)
+                        .expect("cluster has a runend");
+                    (re + 1).saturating_sub(base)
+                };
+                assert_eq!(f.t.offset(blk), expect, "step {step} block {blk}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_rebuilds_offsets() {
+        let mut f = QuotientFilter::new(9, 7, 5).unwrap();
+        for k in 0..400u64 {
+            f.insert(k * 2654435761).unwrap();
+        }
+        let mut w = SnapshotWriter::new("qf-test");
+        f.write_snapshot_body(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        let g = QuotientFilter::read_snapshot_body(&mut r).unwrap();
+        assert_eq!(g.len(), f.len());
+        for blk in 0..f.t.blocks() {
+            assert_eq!(g.t.offset(blk), f.t.offset(blk), "block {blk}");
+        }
+        for k in 0..400u64 {
+            assert!(g.contains(k * 2654435761));
+        }
+        for k in 0..4000u64 {
+            assert_eq!(
+                f.contains(k * 7919 + 13),
+                g.contains(k * 7919 + 13),
+                "probe {k}"
+            );
+        }
     }
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Emit the machine-readable perf trajectory point for the current tree:
+# BENCH_PR5.json, produced by the fig12_layout harness (query/insert
+# throughput vs load factor for the blocked, offset-indexed table layout).
+#
+# Usage: scripts/bench_json.sh [outfile] [extra fig12_layout flags...]
+# Defaults: outfile=BENCH_PR5.json, 2^24 slots, 2M probes, best of 5 —
+# the exact protocol of the recorded table in BENCHMARKS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR5.json}"
+shift || true
+
+cargo build --release --locked -p aqf-bench --bin fig12_layout
+./target/release/fig12_layout \
+  --qbits=24 --queries=2000000 --loads=0.5,0.8,0.9,0.95 --reps=5 \
+  --filter=aqf,qf --json="$OUT" "$@"
+echo "perf point written to $OUT"
