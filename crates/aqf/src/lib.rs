@@ -49,18 +49,22 @@ pub mod config;
 mod filter;
 pub mod fingerprint;
 mod merge;
+pub mod probe;
 mod rebuild;
 pub mod revmap;
 pub mod shadow;
 mod sharded;
 pub mod snapshot;
 mod table;
+#[doc(hidden)]
+pub mod testhooks;
 mod yesno;
 
 pub use config::{AqfConfig, FilterError};
 pub use filter::{AdaptiveQf, AqfStats, DeleteOutcome, Entry, Hit, InsertOutcome, QueryResult};
+pub use probe::{AqfReader, Torn};
 
 pub use aqf_bits::snapshot::SnapError;
 pub use shadow::ShadowMap;
-pub use sharded::ShardedAqf;
+pub use sharded::{ShardedAqf, OPTIMISTIC_RETRIES};
 pub use yesno::{StaticYesNo, YesNoFilter, YesNoResponse};

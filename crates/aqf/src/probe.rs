@@ -1,0 +1,234 @@
+//! Optimistic, panic-free query probes over a shared table view.
+//!
+//! An [`AqfReader`] aliases a filter's block arena (via
+//! [`aqf_bits::BlockedTable::share`]) and re-implements the query path of
+//! [`AdaptiveQf::query`] under one extra constraint: it may observe a
+//! **torn** state — a writer's half-finished shift or cluster rebuild —
+//! so it must never panic, never index out of bounds, and never loop
+//! unboundedly, no matter what combination of whole words it reads.
+//!
+//! The probe is *detection-best-effort*: structurally impossible states
+//! (an offset past the table, a runend select that comes back empty, a
+//! group walk overrunning its run) surface as [`Torn`], but a torn state
+//! can also look plausible and produce a wrong answer. Callers therefore
+//! MUST wrap every probe in seqlock validation
+//! ([`aqf_bits::SeqLock::read_begin`] / `read_validate`) and discard the
+//! result — `Ok` and `Err` alike — when validation fails. `ShardedAqf`
+//! does exactly this; [`Torn`] only short-circuits the doomed attempt
+//! early.
+
+use aqf_bits::word::bitmask;
+
+use crate::config::AqfConfig;
+use crate::filter::{AdaptiveQf, Hit, QueryResult};
+use crate::fingerprint::Fingerprint;
+use crate::table::{GroupExtent, Table, EXT, OCC, RUN};
+
+/// The probe observed a structurally impossible state: a writer is (or
+/// was) mid-mutation. Retry after the writer's seqlock goes even, or
+/// fall back to the locked path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torn;
+
+/// An unsynchronized optimistic reader over a filter's table.
+///
+/// Obtained from [`AdaptiveQf::reader`]; shares the arena, copies the
+/// geometry. Geometry (qbits/rbits/value bits, slot counts) is immutable
+/// after construction, so only slot *contents* can tear.
+#[derive(Debug)]
+pub struct AqfReader {
+    t: Table,
+    cfg: AqfConfig,
+}
+
+impl AdaptiveQf {
+    /// An optimistic reader aliasing this filter's table. Every probe
+    /// through it must be validated against a version counter the
+    /// filter's writers bump (see module docs) — an unvalidated answer
+    /// may be silently wrong if a writer ran concurrently.
+    pub fn reader(&self) -> AqfReader {
+        AqfReader {
+            t: self.t.share(),
+            cfg: *self.config(),
+        }
+    }
+}
+
+impl AqfReader {
+    /// The fingerprint this reader's filter derives for `key`.
+    #[inline]
+    pub fn fingerprint(&self, key: u64) -> Fingerprint {
+        Fingerprint::new(key, self.cfg.seed, self.cfg.qbits, self.cfg.rbits)
+    }
+
+    /// Optimistic membership query for `key`.
+    #[inline]
+    pub fn query(&self, key: u64) -> Result<QueryResult, Torn> {
+        self.query_fp(&self.fingerprint(key))
+    }
+
+    /// Optimistic membership query for a precomputed fingerprint.
+    pub fn query_fp(&self, fp: &Fingerprint) -> Result<QueryResult, Torn> {
+        match self.probe_first_match(fp)? {
+            Some(hit) => Ok(QueryResult::Positive(hit)),
+            None => Ok(QueryResult::Negative),
+        }
+    }
+
+    /// Torn-tolerant [`Table::run_range`]: every quantity read from the
+    /// arena is bounds-checked before use, and structural contradictions
+    /// return [`Torn`] instead of panicking.
+    fn run_range_opt(&self, q: usize) -> Result<(usize, usize), Torn> {
+        let t = &self.t;
+        let blk = q >> 6;
+        let off = t.b.offset(blk);
+        if off > t.total {
+            return Err(Torn); // torn offset word
+        }
+        let from = (blk << 6) + off;
+        let d = (t.b.lane_word(OCC, blk) & bitmask((q & 63) as u32)).count_ones() as usize;
+        let (rs, re) = if d == 0 {
+            let re = t.select_masked_runend_from(from, 0).ok_or(Torn)?;
+            (from.max(q), re)
+        } else {
+            let (pe, re) = t.select_masked_runend_pair(from, d - 1).ok_or(Torn)?;
+            (t.group_end(pe).max(q), re)
+        };
+        if rs > re || re >= t.total {
+            return Err(Torn);
+        }
+        Ok((rs, re))
+    }
+
+    /// [`Table::group_extent`] without the remainder-slot debug
+    /// assertion (a torn `start` may carry an extension bit). Both
+    /// trailing-ones counts are bounded by the table length.
+    fn group_extent_opt(&self, start: usize) -> GroupExtent {
+        let t = &self.t;
+        let ext_end = start
+            + 1
+            + t.b
+                .ones_run_len(start + 1, |b, w| b.lane_word(EXT, w) & !b.lane_word(RUN, w));
+        let end = ext_end
+            + t.b
+                .ones_run_len(ext_end, |b, w| b.lane_word(EXT, w) & b.lane_word(RUN, w));
+        GroupExtent {
+            start,
+            ext_end,
+            end,
+        }
+    }
+
+    /// True if every stored extension chunk of the group equals the
+    /// corresponding chunk of `fp`'s hash string (bounds-checked).
+    fn group_matches_fp_opt(&self, ext: &GroupExtent, fp: &Fingerprint) -> bool {
+        for (i, s) in (ext.start + 1..ext.ext_end.min(self.t.total)).enumerate() {
+            if self.t.remainder_at(s) != fp.chunk(i as u64) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Torn-tolerant [`AdaptiveQf::find_first_match`], returning only the
+    /// hit (the extent is meaningless to a reader that cannot hold it
+    /// stable).
+    fn probe_first_match(&self, fp: &Fingerprint) -> Result<Option<Hit>, Torn> {
+        let t = &self.t;
+        let hq = fp.quotient();
+        if hq >= t.total {
+            return Err(Torn); // geometry mismatch; cannot happen in-process
+        }
+        if !t.occupied(hq) {
+            return Ok(None);
+        }
+        let hr = fp.remainder();
+        let (rs, re) = self.run_range_opt(hq)?;
+        if rs == re {
+            // Single-group run: one slot and one extension bit decide.
+            if t.remainder_at(rs) != hr {
+                return Ok(None);
+            }
+            if rs + 1 >= t.total || !t.is_extension(rs + 1) {
+                return Ok(Some(Hit {
+                    minirun_id: fp.minirun_id(),
+                    rank: 0,
+                    ext_chunks: 0,
+                }));
+            }
+        } else if t.ext_count_range(rs + 1, (re + 2).min(t.total)) == 0 {
+            // Extras-free run: word-parallel remainder compare.
+            return Ok(t.find_remainder_eq(rs, re, hr).map(|_| Hit {
+                minirun_id: fp.minirun_id(),
+                rank: 0,
+                ext_chunks: 0,
+            }));
+        }
+        // Group walk. A consistent run of extent [rs, re] holds at most
+        // re - rs + 1 groups; a walk still going past that bound is
+        // chasing torn extension bits.
+        let mut g = rs;
+        let mut rank: u32 = 0;
+        for _ in 0..=(re - rs) {
+            if g >= t.total {
+                return Err(Torn);
+            }
+            let ext = self.group_extent_opt(g);
+            let grem = t.remainder_at(g);
+            if grem == hr {
+                if self.group_matches_fp_opt(&ext, fp) {
+                    return Ok(Some(Hit {
+                        minirun_id: fp.minirun_id(),
+                        rank,
+                        ext_chunks: ext.ext_len() as u32,
+                    }));
+                }
+                rank += 1;
+            } else if grem > hr {
+                return Ok(None);
+            }
+            if g == re {
+                return Ok(None);
+            }
+            g = ext.end;
+        }
+        Err(Torn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AqfConfig;
+
+    #[test]
+    fn quiescent_probe_agrees_with_query() {
+        let cfg = AqfConfig::new(8, 7).with_seed(41);
+        let mut f = AdaptiveQf::new(cfg).unwrap();
+        for k in 0..180u64 {
+            f.insert(k * 7).unwrap();
+        }
+        // Some adaptation traffic so extensions exist.
+        for p in 0..400u64 {
+            let _ = f.query(1_000_000 + p);
+        }
+        let r = f.reader();
+        for k in 0..3000u64 {
+            assert_eq!(
+                r.query(k).expect("quiescent probe can't tear"),
+                f.query(k),
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_sees_later_writes() {
+        let cfg = AqfConfig::new(6, 6).with_seed(3);
+        let mut f = AdaptiveQf::new(cfg).unwrap();
+        let r = f.reader();
+        assert_eq!(r.query(99).unwrap(), QueryResult::Negative);
+        f.insert(99).unwrap();
+        assert!(r.query(99).unwrap().is_positive());
+    }
+}

@@ -90,6 +90,8 @@ impl AdaptiveQf {
         for i in c..ce {
             self.t.clear_slot(i);
         }
+        // Torn window: the cluster is cleared, survivors not yet placed.
+        crate::testhooks::fire(crate::testhooks::TornPoint::MidClusterRebuild);
         let mut cursor = c;
         let mut placed: Vec<(usize, usize)> = Vec::with_capacity(runs.len());
         for run in runs {

@@ -15,18 +15,59 @@
 //! shard and each shard's lock is taken once per batch instead of once
 //! per key, with the per-shard sub-batch processed in quotient-sorted
 //! order (see the batch section below and `AdaptiveQf`'s batch docs).
+//!
+//! **Lock-free reads.** Since PR 6, reads don't take the shard mutex at
+//! all on the common path. Each shard pairs its mutex with an
+//! [`aqf_bits::SeqLock`] and an [`AqfReader`] aliasing the shard's block
+//! arena: [`ShardedAqf::query`] reads the version counter, probes the
+//! arena optimistically, and re-checks the counter — retrying on a torn
+//! read and falling back to the mutex after [`OPTIMISTIC_RETRIES`]
+//! failures (a writer convoy). Writers take the mutex as before plus a
+//! seqlock write section around the mutation. The memory-ordering
+//! contract lives in [`aqf_bits::seqlock`].
 
 use aqf_bits::hash::mix64;
+use aqf_bits::SeqLock;
 use parking_lot::Mutex;
 
 use crate::config::{AqfConfig, FilterError};
 use crate::filter::{AdaptiveQf, AqfStats, Hit, InsertOutcome, QueryResult};
+use crate::probe::AqfReader;
 
 const ROUTE_SALT: u64 = 0x5bd1_e995_c6a4_a793;
 
+/// Optimistic attempts per point read before falling back to the mutex.
+pub const OPTIMISTIC_RETRIES: usize = 8;
+
+/// Optimistic attempts per *batch group* before falling back: a whole
+/// group re-probes on failure, so give up sooner than the point path.
+const BATCH_OPTIMISTIC_RETRIES: usize = 2;
+
+/// One shard: the filter under its writer mutex, plus the seqlock and
+/// arena-aliasing reader that let queries skip the mutex entirely.
+pub(crate) struct Shard {
+    /// Even/odd version counter; writers (serialized by `qf`'s mutex)
+    /// hold a write section for the duration of every mutation.
+    pub(crate) seq: SeqLock,
+    /// Optimistic reader sharing `qf`'s table arena. Never mutates;
+    /// every probe is validated against `seq`.
+    reader: AqfReader,
+    pub(crate) qf: Mutex<AdaptiveQf>,
+}
+
+impl Shard {
+    pub(crate) fn new(qf: AdaptiveQf) -> Self {
+        Self {
+            seq: SeqLock::new(),
+            reader: qf.reader(),
+            qf: Mutex::new(qf),
+        }
+    }
+}
+
 /// A partitioned, thread-safe AdaptiveQF.
 pub struct ShardedAqf {
-    pub(crate) shards: Vec<Mutex<AdaptiveQf>>,
+    pub(crate) shards: Vec<Shard>,
     pub(crate) shard_bits: u32,
     pub(crate) shard_cfg: AqfConfig,
     pub(crate) seed: u64,
@@ -56,7 +97,7 @@ impl ShardedAqf {
         })?;
         let n = 1usize << shard_bits;
         let shards = (0..n)
-            .map(|_| AdaptiveQf::new(shard_cfg).map(Mutex::new))
+            .map(|_| AdaptiveQf::new(shard_cfg).map(Shard::new))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
             shards,
@@ -98,14 +139,72 @@ impl ShardedAqf {
         (mix64(key, self.seed ^ ROUTE_SALT) >> (64 - self.shard_bits)) as usize
     }
 
-    /// Insert `key` (see [`AdaptiveQf::insert`]).
-    pub fn insert(&self, key: u64) -> Result<InsertOutcome, FilterError> {
-        self.shards[self.route(key)].lock().insert(key)
+    /// Run a mutation against shard `i` with both the writer mutex and a
+    /// seqlock write section held — the one entry point every write path
+    /// funnels through, so no mutation can escape the version counter.
+    #[inline]
+    fn with_write<T>(&self, i: usize, f: impl FnOnce(&mut AdaptiveQf) -> T) -> T {
+        let sh = &self.shards[i];
+        let mut qf = sh.qf.lock();
+        let _section = sh.seq.write_guard();
+        f(&mut qf)
     }
 
-    /// Query `key` (see [`AdaptiveQf::query`]).
+    /// Insert `key` (see [`AdaptiveQf::insert`]).
+    pub fn insert(&self, key: u64) -> Result<InsertOutcome, FilterError> {
+        self.with_write(self.route(key), |f| f.insert(key))
+    }
+
+    /// Query `key` (see [`AdaptiveQf::query`]). Lock-free on the common
+    /// path: probes the shard's arena under seqlock validation and only
+    /// takes the shard mutex after [`OPTIMISTIC_RETRIES`] torn reads.
     pub fn query(&self, key: u64) -> QueryResult {
-        self.shards[self.route(key)].lock().query(key)
+        let shard = self.route(key);
+        match self.query_optimistic_in(shard, key) {
+            Some(r) => r,
+            None => self.shards[shard].qf.lock().query(key),
+        }
+    }
+
+    /// The optimistic half of [`Self::query`]: `None` means every retry
+    /// saw a writer mid-mutation and the caller must fall back to the
+    /// locked path. Public (hidden) so tests and benches can observe the
+    /// fallback boundary directly.
+    #[doc(hidden)]
+    pub fn query_optimistic_only(&self, key: u64) -> Option<QueryResult> {
+        self.query_optimistic_in(self.route(key), key)
+    }
+
+    fn query_optimistic_in(&self, shard: usize, key: u64) -> Option<QueryResult> {
+        let sh = &self.shards[shard];
+        let fp = sh.reader.fingerprint(key);
+        for _ in 0..OPTIMISTIC_RETRIES {
+            let Some(stamp) = sh.seq.read_begin() else {
+                std::hint::spin_loop();
+                continue;
+            };
+            let probe = sh.reader.query_fp(&fp);
+            if sh.seq.read_validate(stamp) {
+                match probe {
+                    Ok(r) => return Some(r),
+                    // A validated probe saw one consistent state; `Torn`
+                    // here would be a probe bug. Fall back defensively in
+                    // release, fail loudly under test.
+                    Err(torn) => {
+                        debug_assert!(false, "validated probe reported {torn:?}");
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The pre-PR6 read path: route, lock the shard, query. Kept public
+    /// for contention benchmarking (lock-free vs locked reads) and as a
+    /// correctness oracle in the concurrency suites.
+    pub fn query_locked(&self, key: u64) -> QueryResult {
+        self.shards[self.route(key)].qf.lock().query(key)
     }
 
     /// True if `key` possibly present.
@@ -117,14 +216,28 @@ impl ShardedAqf {
     /// (see [`AdaptiveQf::adapt`]). `hit` must come from a query for
     /// `query_key` on this filter.
     pub fn adapt(&self, hit: &Hit, stored_key: u64, query_key: u64) -> Result<u32, FilterError> {
-        self.shards[self.route(query_key)]
-            .lock()
-            .adapt(hit, stored_key, query_key)
+        self.with_write(self.route(query_key), |f| {
+            f.adapt(hit, stored_key, query_key)
+        })
     }
 
     /// Delete one copy of `key` (see [`AdaptiveQf::delete`]).
     pub fn delete(&self, key: u64) -> Result<Option<crate::DeleteOutcome>, FilterError> {
-        self.shards[self.route(key)].lock().delete(key)
+        self.with_write(self.route(key), |f| f.delete(key))
+    }
+
+    /// Force shard `i`'s version counter odd (as if a writer were parked
+    /// mid-mutation forever), so every optimistic read exhausts its
+    /// retries and exercises the locked fallback. Test-only by contract.
+    #[doc(hidden)]
+    pub fn debug_poison_shard(&self, i: usize) {
+        self.shards[i].seq.test_poison();
+    }
+
+    /// Undo [`Self::debug_poison_shard`].
+    #[doc(hidden)]
+    pub fn debug_unpoison_shard(&self, i: usize) {
+        self.shards[i].seq.test_unpoison();
     }
 
     // ------------------------------------------------------------------
@@ -165,9 +278,10 @@ impl ShardedAqf {
         (starts, idxs)
     }
 
-    /// Shared batch dispatch: group the batch by shard, and run `f` once
-    /// per non-empty shard with that shard locked, the shard's keys
-    /// (input order), and their whole-batch indices.
+    /// Shared *writer* batch dispatch: group the batch by shard, and run
+    /// `f` once per non-empty shard with that shard's mutex and a seqlock
+    /// write section held, the shard's keys (input order), and their
+    /// whole-batch indices.
     fn for_each_shard_group(
         &self,
         keys: &[u64],
@@ -182,9 +296,51 @@ impl ShardedAqf {
             }
             shard_keys.clear();
             shard_keys.extend(group.iter().map(|&i| keys[i as usize]));
-            f(shard, &mut self.shards[shard].lock(), &shard_keys, group)?;
+            self.with_write(shard, |qf| f(shard, qf, &shard_keys, group))?;
         }
         Ok(())
+    }
+
+    /// Shared *reader* batch dispatch: like [`Self::for_each_shard_group`]
+    /// but each group first tries `BATCH_OPTIMISTIC_RETRIES` seqlock-
+    /// validated passes over the shard's arena via `probe` (writing
+    /// scratch results that are only committed if validation succeeds),
+    /// and locks the shard for `locked` only when every pass tore.
+    fn for_each_shard_group_read<T>(
+        &self,
+        keys: &[u64],
+        out: &mut [T],
+        mut probe: impl FnMut(&AqfReader, &[u64], &[u32], &mut [T]) -> Result<(), crate::probe::Torn>,
+        mut locked: impl FnMut(&AdaptiveQf, &[u64], &[u32], &mut [T]),
+    ) {
+        let (starts, idxs) = self.group_by_shard(keys);
+        let mut shard_keys = Vec::new();
+        'shards: for shard in 0..self.shards.len() {
+            let group = &idxs[starts[shard] as usize..starts[shard + 1] as usize];
+            if group.is_empty() {
+                continue;
+            }
+            shard_keys.clear();
+            shard_keys.extend(group.iter().map(|&i| keys[i as usize]));
+            let sh = &self.shards[shard];
+            for _ in 0..BATCH_OPTIMISTIC_RETRIES {
+                let Some(stamp) = sh.seq.read_begin() else {
+                    std::hint::spin_loop();
+                    continue;
+                };
+                let r = probe(&sh.reader, &shard_keys, group, out);
+                if sh.seq.read_validate(stamp) {
+                    match r {
+                        Ok(()) => continue 'shards,
+                        Err(torn) => {
+                            debug_assert!(false, "validated batch probe reported {torn:?}");
+                            break;
+                        }
+                    }
+                }
+            }
+            locked(&sh.qf.lock(), &shard_keys, group, out);
+        }
     }
 
     /// Insert every key of `keys`, locking each destination shard once
@@ -223,33 +379,48 @@ impl ShardedAqf {
         Ok(out)
     }
 
-    /// Query every key of `keys`, locking each destination shard once.
-    /// Results are in input order; each [`Hit`] is local to the shard
-    /// [`Self::shard_of`] maps its key to, exactly as with [`Self::query`].
+    /// Query every key of `keys` in input order; each [`Hit`] is local
+    /// to the shard [`Self::shard_of`] maps its key to, exactly as with
+    /// [`Self::query`]. Lock-free on the common path: each shard group
+    /// probes under one seqlock read section, and only a shard whose
+    /// probes keep tearing is read under its mutex.
     pub fn query_batch(&self, keys: &[u64]) -> Vec<QueryResult> {
         let mut out = vec![QueryResult::Negative; keys.len()];
-        self.for_each_shard_group(keys, |_, f, shard_keys, group| {
-            f.query_batch_scatter(shard_keys, group, &mut out);
-            Ok(())
-        })
-        .expect("query dispatch is infallible");
+        self.for_each_shard_group_read(
+            keys,
+            &mut out,
+            |reader, shard_keys, group, out| {
+                for (j, &k) in shard_keys.iter().enumerate() {
+                    out[group[j] as usize] = reader.query(k)?;
+                }
+                Ok(())
+            },
+            |qf, shard_keys, group, out| qf.query_batch_scatter(shard_keys, group, out),
+        );
         out
     }
 
     /// Batched [`Self::contains`]: membership bits in input order.
+    /// Lock-free on the common path, like [`Self::query_batch`].
     pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
         let mut out = vec![false; keys.len()];
-        self.for_each_shard_group(keys, |_, f, shard_keys, group| {
-            f.contains_batch_scatter(shard_keys, group, &mut out);
-            Ok(())
-        })
-        .expect("membership dispatch is infallible");
+        self.for_each_shard_group_read(
+            keys,
+            &mut out,
+            |reader, shard_keys, group, out| {
+                for (j, &k) in shard_keys.iter().enumerate() {
+                    out[group[j] as usize] = reader.query(k)?.is_positive();
+                }
+                Ok(())
+            },
+            |qf, shard_keys, group, out| qf.contains_batch_scatter(shard_keys, group, out),
+        );
         out
     }
 
     /// Total multiset size across shards.
     pub fn len(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.qf.lock().len()).sum()
     }
 
     /// True if no shard holds anything.
@@ -259,7 +430,10 @@ impl ShardedAqf {
 
     /// Total heap bytes across shards.
     pub fn size_in_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().size_in_bytes()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.qf.lock().size_in_bytes())
+            .sum()
     }
 
     /// Aggregated operation statistics across shards
@@ -267,7 +441,7 @@ impl ShardedAqf {
     pub fn stats(&self) -> AqfStats {
         let mut total = AqfStats::default();
         for s in &self.shards {
-            let st = s.lock().stats();
+            let st = s.qf.lock().stats();
             total.adaptations += st.adaptations;
             total.extension_slots += st.extension_slots;
             total.counter_slots += st.counter_slots;
@@ -279,13 +453,13 @@ impl ShardedAqf {
     pub fn distinct_fingerprints(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().distinct_fingerprints())
+            .map(|s| s.qf.lock().distinct_fingerprints())
             .sum()
     }
 
     /// Physical slots in use across shards.
     pub fn slots_in_use(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().slots_in_use()).sum()
+        self.shards.iter().map(|s| s.qf.lock().slots_in_use()).sum()
     }
 
     /// Used slots over canonical slots — the paper's load factor, computed
@@ -307,7 +481,7 @@ impl ShardedAqf {
 
     /// Run a closure against a specific shard (test/diagnostic hook).
     pub fn with_shard<T>(&self, i: usize, f: impl FnOnce(&AdaptiveQf) -> T) -> T {
-        f(&self.shards[i].lock())
+        f(&self.shards[i].qf.lock())
     }
 }
 

@@ -25,7 +25,6 @@ use std::path::Path;
 
 use aqf_bits::snapshot::{read_file, write_atomic, SnapError, SnapshotReader, SnapshotWriter};
 use aqf_bits::BlockedTable;
-use parking_lot::Mutex;
 
 use crate::config::AqfConfig;
 use crate::filter::{AdaptiveQf, AqfStats};
@@ -251,7 +250,7 @@ impl ShardedAqf {
         w.u64(self.seed);
         for shard in &self.shards {
             w.section(*b"SHRD");
-            w.bytes(&shard.lock().to_snapshot_bytes());
+            w.bytes(&shard.qf.lock().to_snapshot_bytes());
         }
     }
 
@@ -292,7 +291,7 @@ impl ShardedAqf {
             )));
         }
         Ok(Self {
-            shards: shards.into_iter().map(Mutex::new).collect(),
+            shards: shards.into_iter().map(crate::sharded::Shard::new).collect(),
             shard_bits,
             shard_cfg,
             seed,

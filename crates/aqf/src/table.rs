@@ -98,6 +98,16 @@ impl Table {
         }
     }
 
+    /// An aliasing read-only handle over the same arena (geometry copied,
+    /// words shared) for seqlock-validated optimistic readers. `Clone`
+    /// remains a deep copy.
+    pub fn share(&self) -> Self {
+        Self {
+            b: self.b.share(),
+            ..*self
+        }
+    }
+
     // ------------------------------------------------------------------
     // Bit accessors
     // ------------------------------------------------------------------
@@ -205,7 +215,11 @@ impl Table {
     /// `from`, in a single word walk (both usually land in the same
     /// metadata word). `run_range` needs exactly this pair: the previous
     /// run's end and this run's end.
-    fn select_masked_runend_pair(&self, from: usize, mut k: usize) -> Option<(usize, usize)> {
+    pub(crate) fn select_masked_runend_pair(
+        &self,
+        from: usize,
+        mut k: usize,
+    ) -> Option<(usize, usize)> {
         if from >= self.total {
             return None;
         }
@@ -418,6 +432,8 @@ impl Table {
         let fe = self.next_free(pos).ok_or(FilterError::Full)?;
         if fe > pos {
             self.b.shift_right_insert_slot(pos, fe, value);
+            // Torn window: slots have moved, metadata lanes have not.
+            crate::testhooks::fire(crate::testhooks::TornPoint::MidInsertShift);
             self.b.shift_right_insert(RUN, pos, fe, runend);
             self.b.shift_right_insert(EXT, pos, fe, ext);
         } else {

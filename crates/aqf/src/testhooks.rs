@@ -1,0 +1,71 @@
+//! Deterministic interleaving hooks for the concurrency test suites.
+//!
+//! A test installs a thread-local callback; writer paths fire it at the
+//! points where the table is *structurally torn* — slots already
+//! shifted, metadata lanes not yet, or a cluster cleared but not yet
+//! rewritten. The callback can then drive an optimistic reader through
+//! an [`crate::AqfReader`] against the half-mutated arena, turning a
+//! nondeterministic race window into a single-threaded, perfectly
+//! reproducible schedule.
+//!
+//! Cost when disarmed: one relaxed atomic load on the affected writer
+//! paths. The hook registry is thread-local, so concurrent production
+//! threads in the same test process are unaffected even while a test
+//! thread has a hook armed (the global flag is only an optimization
+//! gate).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+/// Where in a writer's critical section the table is torn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TornPoint {
+    /// Inside [`insert_slot_at`](crate::AdaptiveQf): the packed slots of
+    /// `[pos, free)` have shifted right but the `runends`/`extensions`
+    /// lanes have not — remainders and metadata disagree by one slot.
+    MidInsertShift,
+    /// Inside a delete's cluster rebuild: the cluster's slots have been
+    /// cleared but the surviving runs are not yet re-placed.
+    MidClusterRebuild,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The installed callback type.
+pub type Hook = Box<dyn FnMut(TornPoint)>;
+
+thread_local! {
+    static HOOK: RefCell<Option<Hook>> = const { RefCell::new(None) };
+}
+
+/// Install `f` as this thread's torn-point callback. Replaces any
+/// previous hook; pair with [`clear`].
+pub fn install(f: Hook) {
+    HOOK.with(|h| *h.borrow_mut() = Some(f));
+    ARMED.store(true, Relaxed);
+}
+
+/// Remove this thread's hook (other threads' hooks, if any, stay).
+pub fn clear() {
+    HOOK.with(|h| *h.borrow_mut() = None);
+}
+
+#[inline(always)]
+pub(crate) fn fire(p: TornPoint) {
+    if ARMED.load(Relaxed) {
+        fire_slow(p);
+    }
+}
+
+#[cold]
+fn fire_slow(p: TornPoint) {
+    HOOK.with(|h| {
+        // try_borrow: a hook that itself mutates a filter would re-enter;
+        // the inner firing is silently skipped rather than panicking.
+        if let Ok(mut slot) = h.try_borrow_mut() {
+            if let Some(f) = slot.as_mut() {
+                f(p);
+            }
+        }
+    });
+}

@@ -1,0 +1,422 @@
+//! Concurrency interleaving suite for the optimistic (seqlock) read path
+//! (PR 6).
+//!
+//! Real races are nondeterministic, so this suite turns the dangerous
+//! interleavings into *single-threaded, perfectly reproducible
+//! schedules*: the `aqf::testhooks` torn-point hook pauses every writer
+//! at the exact moments the table is structurally torn (slots shifted
+//! but metadata lanes not; a cluster cleared but not yet rewritten), and
+//! the test probes the half-mutated arena through an [`AqfReader`] from
+//! inside the pause — exactly what a concurrent lock-free reader could
+//! observe.
+//!
+//! Properties pinned here:
+//!
+//! 1. **Safety**: probing a torn state never panics, never loops
+//!    unboundedly (it returns an answer or `Torn`; bounds are the
+//!    probe's own).
+//! 2. **Protocol rejection**: every torn window lies inside a seqlock
+//!    write section, so a protocol-following reader's `read_begin` is
+//!    refused (forced retry) for the whole window — torn answers are
+//!    never *accepted*.
+//! 3. **Sensitivity** (the mutation check): on the same schedules, a
+//!    deliberately-broken fencing variant — a reader that skips version
+//!    validation — accepts fabricated answers (false negatives for
+//!    settled keys). The suite fails if the windows stop being
+//!    detectable, so breaking `SeqLock::write_guard` (e.g. removing the
+//!    odd bump) or unhooking a writer path is caught, not silent.
+//! 4. **Linearizability at op boundaries**: between operations, a
+//!    validated optimistic read equals the single-threaded
+//!    `AdaptiveQf::query` answer, while blocked-vs-reference navigation
+//!    equivalence (`check_nav_equivalence`) continues to hold.
+//! 5. **Fallback**: when optimistic reads cannot win (a shard's counter
+//!    parked odd), `ShardedAqf::query` still answers correctly through
+//!    the locked path.
+//!
+//! Case counts scale with `AQF_PROPTEST_CASES` (CI's deep profile).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aqf::probe::AqfReader;
+use aqf::testhooks::{self, TornPoint};
+use aqf::{AdaptiveQf, AqfConfig, FilterError, QueryResult, ShardedAqf};
+use aqf_bits::SeqLock;
+use proptest::prelude::*;
+
+/// Proptest case count: default, or `AQF_PROPTEST_CASES` (deep profile).
+fn cases(default: u32) -> u32 {
+    std::env::var("AQF_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// What the torn-point hook observed over a schedule.
+#[derive(Default, Debug)]
+struct Tally {
+    /// Torn windows entered (hook firings).
+    windows: u64,
+    /// Windows where a protocol reader's `read_begin` was refused.
+    rejected: u64,
+    /// Probes (within windows) that returned `Err(Torn)`.
+    torn_probes: u64,
+    /// Probes an **unfenced** reader would have accepted with a wrong
+    /// answer: `Ok(Negative)` for a key settled both before and after
+    /// the op — a fabricated false negative.
+    fabricated_if_unfenced: u64,
+}
+
+/// A single shard's concurrency regime, reproduced at `AdaptiveQf` level
+/// so schedules stay single-threaded: mutex-serialized writers (here:
+/// the one test thread) wrap every mutation in a seqlock write section;
+/// readers probe a shared arena view under version validation.
+struct Harness {
+    seq: Rc<SeqLock>,
+    reader: Rc<AqfReader>,
+    f: AdaptiveQf,
+}
+
+/// Clears the thread's torn-point hook even on panic/early return.
+struct HookGuard;
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        testhooks::clear();
+    }
+}
+
+impl Harness {
+    fn new(cfg: AqfConfig) -> Self {
+        let f = AdaptiveQf::new(cfg).unwrap();
+        Self {
+            seq: Rc::new(SeqLock::new()),
+            reader: Rc::new(f.reader()),
+            f,
+        }
+    }
+
+    /// Apply a mutation under the writer protocol.
+    fn write<T>(&mut self, op: impl FnOnce(&mut AdaptiveQf) -> T) -> T {
+        let _section = self.seq.write_guard();
+        op(&mut self.f)
+    }
+
+    /// A protocol-following optimistic read: `None` after max retries
+    /// (callers would fall back to the locked path).
+    fn read(&self, key: u64) -> Option<QueryResult> {
+        for _ in 0..8 {
+            let Some(stamp) = self.seq.read_begin() else {
+                continue;
+            };
+            let probe = self.reader.query(key);
+            if self.seq.read_validate(stamp) {
+                return Some(probe.expect("validated probe cannot be torn"));
+            }
+        }
+        None
+    }
+
+    /// Arm the torn-point hook: on every window, check protocol
+    /// rejection and score what an unfenced reader would accept for
+    /// `settled` keys (present before and after the current op).
+    fn arm_hook(&self, settled: Rc<RefCell<Vec<u64>>>, tally: Rc<RefCell<Tally>>) -> HookGuard {
+        let seq = Rc::clone(&self.seq);
+        let reader = Rc::clone(&self.reader);
+        testhooks::install(Box::new(move |_point: TornPoint| {
+            let mut t = tally.borrow_mut();
+            t.windows += 1;
+            // (2) Protocol rejection: the window lies inside a seqlock
+            // write section, so a fenced reader is refused outright. If
+            // this fails, a writer path mutates outside its write
+            // section (or the seqlock's odd bump was broken).
+            assert!(
+                seq.read_begin().is_none(),
+                "torn window observable outside a seqlock write section"
+            );
+            t.rejected += 1;
+            // (1) Safety + (3) sensitivity: probe the torn arena the way
+            // an unfenced reader would, for keys whose pre- and
+            // post-state answer is identically Positive.
+            for &k in settled.borrow().iter() {
+                match reader.query(k) {
+                    Err(_) => t.torn_probes += 1,
+                    Ok(QueryResult::Negative) => t.fabricated_if_unfenced += 1,
+                    Ok(QueryResult::Positive(_)) => {}
+                }
+            }
+        }));
+        HookGuard
+    }
+}
+
+/// Dense sequential fill on a tiny geometry: long clusters, so almost
+/// every insert shifts and every delete rebuilds a multi-run cluster.
+fn dense_keys(n: u64) -> Vec<u64> {
+    (0..n).map(|i| i.wrapping_mul(0x9E37_79B9)).collect()
+}
+
+/// Drive a dense insert schedule with the hook armed, probing all
+/// already-settled keys during every torn window.
+fn run_dense_insert_schedule() -> Tally {
+    let mut h = Harness::new(AqfConfig::new(6, 4).with_seed(11));
+    let settled: Rc<RefCell<Vec<u64>>> = Rc::default();
+    let tally: Rc<RefCell<Tally>> = Rc::default();
+    let _guard = h.arm_hook(Rc::clone(&settled), Rc::clone(&tally));
+    for k in dense_keys(58) {
+        match h.write(|f| f.insert(k)) {
+            Ok(_) => settled.borrow_mut().push(k),
+            Err(FilterError::Full) => break,
+            Err(e) => panic!("{e:?}"),
+        }
+        // (4) At the op boundary the filter is consistent again: a
+        // validated optimistic read exists (no writer) and agrees with
+        // the ground-truth query for every settled key.
+        for &s in settled.borrow().iter() {
+            let r = h.read(s).expect("no writer active between ops");
+            assert_eq!(r, h.f.query(s), "settled key {s}");
+            assert!(r.is_positive(), "false negative for settled key {s}");
+        }
+    }
+    drop(_guard); // releases the hook's Rc clones
+    Rc::try_unwrap(tally).unwrap().into_inner()
+}
+
+/// Insert-shift torn windows: rejected by the protocol, fabricated
+/// without it. This is the PR's documented mutation check — see the
+/// module docs (property 3) for what breaking the fencing does here.
+#[test]
+fn torn_insert_windows_rejected_fenced_fabricated_unfenced() {
+    let t = run_dense_insert_schedule();
+    assert!(t.windows > 0, "dense fill must shift: {t:?}");
+    assert_eq!(t.windows, t.rejected, "every window must be refused");
+    // The windows are real: an unfenced reader accepts wrong answers.
+    assert!(
+        t.fabricated_if_unfenced > 0,
+        "no fabricated answer without fencing — windows not dangerous? {t:?}"
+    );
+}
+
+/// Delete-side torn windows (cluster clear + rebuild), same contract.
+#[test]
+fn torn_delete_rebuild_windows_rejected() {
+    let mut h = Harness::new(AqfConfig::new(6, 4).with_seed(11));
+    let keys = dense_keys(58);
+    let mut inserted = Vec::new();
+    for &k in &keys {
+        match h.write(|f| f.insert(k)) {
+            Ok(_) => inserted.push(k),
+            Err(FilterError::Full) => break,
+            Err(e) => panic!("{e:?}"),
+        }
+    }
+    // Delete every other key; during each delete, survivors (keys not
+    // yet deleted, minus the victim) are the settled set.
+    let settled: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(inserted.clone()));
+    let tally: Rc<RefCell<Tally>> = Rc::default();
+    let _guard = h.arm_hook(Rc::clone(&settled), Rc::clone(&tally));
+    let mut remaining = inserted.clone();
+    for k in inserted.iter().step_by(2) {
+        remaining.retain(|&x| x != *k);
+        *settled.borrow_mut() = remaining.clone();
+        h.write(|f| f.delete(*k)).unwrap();
+        for &s in remaining.iter() {
+            let r = h.read(s).expect("no writer active between ops");
+            assert!(r.is_positive(), "false negative for surviving key {s}");
+        }
+    }
+    drop(_guard); // releases the hook's Rc clones
+    let t = Rc::try_unwrap(tally).unwrap().into_inner();
+    assert!(t.windows > 0, "dense deletes must rebuild clusters: {t:?}");
+    assert_eq!(t.windows, t.rejected);
+    assert!(
+        t.fabricated_if_unfenced + t.torn_probes > 0,
+        "rebuild windows should be observable in probes: {t:?}"
+    );
+}
+
+/// Max-retry fallback at the harness level: while a writer is parked
+/// inside a torn window, a protocol read exhausts its retries and
+/// reports `None` — the signal to take the locked path.
+#[test]
+fn reads_inside_window_exhaust_retries() {
+    let mut h = Harness::new(AqfConfig::new(6, 4).with_seed(7));
+    for k in dense_keys(40) {
+        let _ = h.write(|f| f.insert(k));
+    }
+    let seq = Rc::clone(&h.seq);
+    let reader = Rc::clone(&h.reader);
+    let reads: Rc<RefCell<Vec<Option<QueryResult>>>> = Rc::default();
+    let reads_in_hook = Rc::clone(&reads);
+    testhooks::install(Box::new(move |_| {
+        // The full protocol loop, run *inside* the window.
+        let attempt = || {
+            for _ in 0..8 {
+                let Some(stamp) = seq.read_begin() else {
+                    continue;
+                };
+                let probe = reader.query(1234);
+                if seq.read_validate(stamp) {
+                    return Some(probe.expect("validated probe cannot be torn"));
+                }
+            }
+            None
+        };
+        reads_in_hook.borrow_mut().push(attempt());
+    }));
+    let _guard = HookGuard;
+    for k in dense_keys(58).into_iter().skip(40) {
+        let _ = h.write(|f| f.insert(k));
+    }
+    let reads = reads.borrow();
+    assert!(!reads.is_empty(), "late dense inserts must shift");
+    assert!(
+        reads.iter().all(|r| r.is_none()),
+        "an optimistic read validated inside a write section"
+    );
+}
+
+/// `ShardedAqf` end-to-end: a shard whose version counter is parked odd
+/// (writer stuck mid-mutation forever) forces every read through the
+/// locked fallback — with correct answers — and recovers afterwards.
+#[test]
+fn poisoned_shard_falls_back_to_locked_reads() {
+    let f = ShardedAqf::new(AqfConfig::new(12, 9).with_seed(3), 2).unwrap();
+    let keys: Vec<u64> = (0..2000u64).map(|i| i * 31 + 7).collect();
+    for &k in &keys {
+        f.insert(k).unwrap();
+    }
+    for shard in 0..f.shard_count() {
+        f.debug_poison_shard(shard);
+        let mut routed = 0;
+        for &k in keys.iter().step_by(17) {
+            if f.shard_of(k) == shard {
+                routed += 1;
+                assert_eq!(
+                    f.query_optimistic_only(k),
+                    None,
+                    "optimistic read won against a parked writer"
+                );
+            }
+            // The public paths still answer, poisoned or not.
+            assert!(f.contains(k), "false negative for {k}");
+        }
+        assert!(routed > 0, "no sampled key routed to shard {shard}");
+        // Batch reads cross the poisoned shard too.
+        let sample: Vec<u64> = keys.iter().copied().step_by(13).collect();
+        assert!(f.contains_batch(&sample).into_iter().all(|b| b));
+        f.debug_unpoison_shard(shard);
+        let k = keys
+            .iter()
+            .copied()
+            .find(|&k| f.shard_of(k) == shard)
+            .unwrap();
+        assert!(
+            f.query_optimistic_only(k).is_some(),
+            "optimistic path did not recover after unpoison"
+        );
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64),
+    Delete(u64),
+    QueryAdapt(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..key_space).prop_map(Op::Insert),
+        2 => (0..key_space).prop_map(Op::Delete),
+        3 => (0..key_space).prop_map(Op::QueryAdapt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+
+    /// Random insert/delete/adapt schedules with the torn-point hook
+    /// armed throughout: every torn window (insert-shift, adapt/extend,
+    /// cluster rebuild) is protocol-rejected and probe-safe, and at
+    /// every op boundary a validated optimistic read is linearizable
+    /// against the single-threaded answer while blocked-vs-reference
+    /// navigation equivalence holds.
+    #[test]
+    fn schedules_reject_torn_windows_and_linearize(
+        ops in proptest::collection::vec(op_strategy(400), 1..250),
+        seed in 0u64..300,
+    ) {
+        let mut h = Harness::new(AqfConfig::new(6, 3).with_seed(seed));
+        let mut revmap: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        let settled: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let tally: Rc<RefCell<Tally>> = Rc::default();
+        let _guard = h.arm_hook(Rc::clone(&settled), Rc::clone(&tally));
+        // Keys probed at op boundaries: every key the schedule mentions.
+        let mentioned: Vec<u64> = ops.iter().map(|op| match *op {
+            Op::Insert(k) | Op::Delete(k) | Op::QueryAdapt(k) => k,
+        }).collect();
+        for (i, op) in ops.iter().enumerate() {
+            // During this op, in-window probes check keys the op cannot
+            // affect's membership: adaptation may legitimately flip other
+            // keys' *query* answers, so restrict the settled set to
+            // member keys during inserts/deletes only.
+            match *op {
+                Op::Insert(k) | Op::Delete(k) => {
+                    let members: Vec<u64> = revmap.values().flatten().copied()
+                        .filter(|&m| m != k)
+                        .collect();
+                    *settled.borrow_mut() = members;
+                }
+                Op::QueryAdapt(_) => settled.borrow_mut().clear(),
+            }
+            match *op {
+                Op::Insert(k) => {
+                    match h.write(|f| f.insert(k)) {
+                        Ok(out) => {
+                            if !out.duplicate {
+                                revmap.entry(out.minirun_id).or_default()
+                                    .insert(out.rank as usize, k);
+                            }
+                        }
+                        Err(FilterError::Full) => {}
+                        Err(e) => panic!("{e:?}"),
+                    }
+                }
+                Op::Delete(k) => {
+                    if let Some(out) = h.write(|f| f.delete(k)).unwrap() {
+                        if out.removed_group {
+                            let list = revmap.get_mut(&out.minirun_id).unwrap();
+                            list.remove(out.rank as usize);
+                            if list.is_empty() {
+                                revmap.remove(&out.minirun_id);
+                            }
+                        }
+                    }
+                }
+                Op::QueryAdapt(k) => {
+                    if let QueryResult::Positive(hit) = h.f.query(k) {
+                        let stored = revmap[&hit.minirun_id][hit.rank as usize];
+                        if stored != k {
+                            match h.write(|f| f.adapt(&hit, stored, k)) {
+                                Ok(_) | Err(FilterError::Full) => {}
+                                Err(e) => panic!("{e:?}"),
+                            }
+                        }
+                    }
+                }
+            }
+            // Op boundary: validated reads linearize against the
+            // single-threaded answer for every mentioned key.
+            for &k in &mentioned {
+                let r = h.read(k).expect("no writer active between ops");
+                prop_assert_eq!(r, h.f.query(k), "key {} after op {}", k, i);
+            }
+            if i % 11 == 0 || i + 1 == ops.len() {
+                h.f.validate().map_err(TestCaseError::fail)?;
+                h.f.check_nav_equivalence().map_err(TestCaseError::fail)?;
+            }
+        }
+        let t = tally.borrow();
+        prop_assert_eq!(t.windows, t.rejected, "unrejected torn window");
+    }
+}

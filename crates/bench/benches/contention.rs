@@ -1,0 +1,96 @@
+//! Criterion contention benchmarks for the seqlock read path (PR 6):
+//! reader threads × writer threads over one `ShardedAqf`, lock-free
+//! (`query`) vs locked (`query_locked`) point reads.
+//!
+//! The grid (1–12 readers × 0–4 writers) is the regression-tracking
+//! companion to `fig4_parallel --mode=mixed`, which sweeps the same axes
+//! at larger scale and emits `BENCH_PR6.json` (see
+//! `scripts/bench_json.sh`). Wall-clock speedups compress on small CI
+//! machines — the interesting signal here is the *trend* of lock-free
+//! vs locked as reader count grows.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+use aqf::{AqfConfig, ShardedAqf};
+use aqf_workloads::uniform_keys;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const QBITS: u32 = 16;
+const SHARD_BITS: u32 = 3;
+const READS_PER_READER: usize = 4000;
+
+fn loaded_filter() -> (ShardedAqf, Vec<u64>, Vec<u64>) {
+    let n = ((1u64 << QBITS) as f64 * 0.7) as usize;
+    let settled = uniform_keys(n, 5);
+    let churn = uniform_keys(1 << 12, 99);
+    let f = ShardedAqf::new(AqfConfig::new(QBITS, 9).with_seed(1), SHARD_BITS).unwrap();
+    for &k in &settled {
+        let _ = f.insert(k);
+    }
+    (f, settled, churn)
+}
+
+/// One contention round; readers verify every settled answer.
+fn round(
+    f: &ShardedAqf,
+    settled: &[u64],
+    churn: &[u64],
+    readers: usize,
+    writers: usize,
+    locked: bool,
+) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let stop = &stop;
+            let part = &churn[w * (churn.len() / writers.max(1))..];
+            s.spawn(move || 'outer: loop {
+                for &k in part.iter().take(1024) {
+                    if stop.load(Relaxed) {
+                        break 'outer;
+                    }
+                    let _ = f.insert(k);
+                    let _ = f.delete(k);
+                }
+            });
+        }
+        std::thread::scope(|rs| {
+            for r in 0..readers {
+                rs.spawn(move || {
+                    let mut hits = 0usize;
+                    for j in 0..READS_PER_READER {
+                        let k = settled[(r * 29 + j) % settled.len()];
+                        let pos = if locked {
+                            f.query_locked(k).is_positive()
+                        } else {
+                            f.query(k).is_positive()
+                        };
+                        hits += pos as usize;
+                    }
+                    assert_eq!(hits, READS_PER_READER, "false negative for settled key");
+                });
+            }
+        });
+        stop.store(true, Relaxed);
+    });
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let (f, settled, churn) = loaded_filter();
+    let mut g = c.benchmark_group("contention");
+    g.sample_size(10);
+    for &writers in &[0usize, 1, 4] {
+        for &readers in &[1usize, 4, 8, 12] {
+            g.bench_function(format!("lockfree/r{readers}_w{writers}"), |b| {
+                b.iter(|| round(&f, &settled, &churn, readers, writers, false))
+            });
+            g.bench_function(format!("locked/r{readers}_w{writers}"), |b| {
+                b.iter(|| round(&f, &settled, &churn, readers, writers, true))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

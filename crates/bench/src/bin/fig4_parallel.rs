@@ -1,16 +1,45 @@
-//! Figure 4: parallel insertion throughput of the AQF vs the QF as thread
-//! count grows (paper: 2^26 slots, 2^16-slot lock regions, 1..12 threads).
+//! Figure 4: parallel throughput of the AQF vs the QF as thread count
+//! grows (paper: 2^26 slots, 2^16-slot lock regions, 1..12 threads).
 //!
-//! Defaults: 2^20 slots, 9-bit remainders, 2^6 shards, threads
-//! 1,2,4,..,12 (`--qbits`, `--rbits`, `--shard-bits`, `--max-threads`).
+//! Two modes (`--mode`):
+//!
+//! - `insert` (default): the paper's parallel-fill comparison — sharded
+//!   AQF vs an equivalently sharded, mutex-per-shard QF baseline.
+//! - `mixed`: PR 6's read/write contention sweep — reader threads hammer
+//!   point queries on settled keys while `--writers` writer threads
+//!   churn inserts/deletes, comparing the seqlock **lock-free** read
+//!   path (`ShardedAqf::query`) against the **locked** read path
+//!   (`ShardedAqf::query_locked`, one mutex acquisition per query).
+//!   Readers verify every settled answer, so a correctness drift fails
+//!   the run. `--json=PATH` writes the rows as machine-readable JSON
+//!   (see `scripts/bench_json.sh`, which emits `BENCH_PR6.json`).
+//!
+//! Defaults: 2^20 slots, 9-bit remainders, 2^6 shards (`insert`) or 2^3
+//! (`mixed`: fewer shards = more mutex contention for the locked
+//! baseline to suffer), threads 1,2,4,..,12 (`--qbits`, `--rbits`,
+//! `--shard-bits`, `--max-threads`, `--writers`, `--reads`, `--load`).
 //! Both sides share `--rbits` so the comparison stays apples-to-apples.
 
 use aqf_bench::*;
 use aqf_workloads::uniform_keys;
 use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 fn main() {
+    let mode = flag_str("mode", "insert");
+    match mode.as_str() {
+        "insert" => insert_mode(),
+        "mixed" => mixed_mode(),
+        other => {
+            eprintln!("unknown --mode={other} (expected insert|mixed)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn insert_mode() {
     let qbits = flag_u64("qbits", 20) as u32;
     let rbits = flag_u64("rbits", 9) as u32;
     let shard_bits = flag_u64("shard-bits", 6) as u32;
@@ -63,4 +92,175 @@ fn main() {
         &["Threads", "AQF inserts/s", "QF inserts/s"],
         &rows,
     );
+}
+
+struct MixedRow {
+    readers: usize,
+    writers: usize,
+    lockfree_mops: f64,
+    locked_mops: f64,
+    write_ops: u64,
+}
+
+/// One timed round: `readers` threads each perform `reads` verified
+/// point queries on settled keys while `writers` threads churn
+/// insert/delete on a disjoint key range until the readers finish.
+/// Returns (read seconds, writer ops completed).
+fn mixed_round(
+    f: &aqf::ShardedAqf,
+    settled: &[u64],
+    churn: &[u64],
+    readers: usize,
+    writers: usize,
+    reads: usize,
+    locked: bool,
+) -> (f64, u64) {
+    let stop = AtomicBool::new(false);
+    let write_ops = std::sync::atomic::AtomicU64::new(0);
+    let mut secs = 0.0;
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let (stop, write_ops) = (&stop, &write_ops);
+            let part = &churn[w * (churn.len() / writers.max(1))..];
+            s.spawn(move || {
+                let mut ops = 0u64;
+                'outer: loop {
+                    for &k in part.iter().take(4096) {
+                        if stop.load(Relaxed) {
+                            break 'outer;
+                        }
+                        let _ = f.insert(k);
+                        let _ = f.delete(k);
+                        ops += 2;
+                    }
+                }
+                write_ops.fetch_add(ops, Relaxed);
+            });
+        }
+        let (_, t) = timed(|| {
+            std::thread::scope(|rs| {
+                for r in 0..readers {
+                    rs.spawn(move || {
+                        let mut hits = 0usize;
+                        for j in 0..reads {
+                            let k = settled[(r * 17 + j) % settled.len()];
+                            let pos = if locked {
+                                f.query_locked(k).is_positive()
+                            } else {
+                                f.query(k).is_positive()
+                            };
+                            hits += pos as usize;
+                        }
+                        assert_eq!(hits, reads, "false negative for a settled key");
+                    });
+                }
+            })
+        });
+        secs = t;
+        stop.store(true, Relaxed);
+    });
+    (secs, write_ops.load(Relaxed))
+}
+
+fn mixed_mode() {
+    let qbits = flag_u64("qbits", 20) as u32;
+    let rbits = flag_u64("rbits", 9) as u32;
+    let shard_bits = flag_u64("shard-bits", 3) as u32;
+    let max_threads = flag_u64("max-threads", 12) as usize;
+    let writers = flag_u64("writers", 1) as usize;
+    let reads = flag_u64("reads", 200_000) as usize;
+    let reps = flag_u64("reps", 3).max(1);
+    let load = flag_f64("load", 0.7);
+    let json_path = flag_str("json", "");
+
+    let n = ((1u64 << qbits) as f64 * load) as usize;
+    let settled = uniform_keys(n, 5);
+    let churn = uniform_keys(1 << 14, 99);
+    let f =
+        aqf::ShardedAqf::new(aqf::AqfConfig::new(qbits, rbits).with_seed(1), shard_bits).unwrap();
+    for &k in &settled {
+        let _ = f.insert(k);
+    }
+
+    let mut rows: Vec<MixedRow> = Vec::new();
+    let mut readers = 1usize;
+    while readers <= max_threads {
+        let total_reads = (readers * reads) as u64;
+        // Best-of-`reps`: thread scheduling dominates the variance on
+        // small machines, and the fastest round is the least disturbed.
+        let (mut lf_secs, mut lk_secs) = (f64::MAX, f64::MAX);
+        let (mut lf_wops, mut lk_wops) = (0, 0);
+        for _ in 0..reps {
+            let (s, w) = mixed_round(&f, &settled, &churn, readers, writers, reads, false);
+            if s < lf_secs {
+                (lf_secs, lf_wops) = (s, w);
+            }
+            let (s, w) = mixed_round(&f, &settled, &churn, readers, writers, reads, true);
+            if s < lk_secs {
+                (lk_secs, lk_wops) = (s, w);
+            }
+        }
+        rows.push(MixedRow {
+            readers,
+            writers,
+            lockfree_mops: total_reads as f64 / lf_secs / 1e6,
+            locked_mops: total_reads as f64 / lk_secs / 1e6,
+            write_ops: lf_wops + lk_wops,
+        });
+        readers = if readers == 1 { 2 } else { readers + 2 };
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.readers.to_string(),
+                r.writers.to_string(),
+                format!("{:.2}", r.lockfree_mops),
+                format!("{:.2}", r.locked_mops),
+                format!("{:.2}x", r.lockfree_mops / r.locked_mops),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig 4 (mixed): read throughput under write load \
+             (2^{qbits} slots, 2^{shard_bits} shards, {writers} writers, Mops/s)"
+        ),
+        &[
+            "Readers",
+            "Writers",
+            "Lock-free reads",
+            "Locked reads",
+            "Speedup",
+        ],
+        &table,
+    );
+
+    if !json_path.is_empty() {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"fig4_mixed\",");
+        let _ = writeln!(out, "  \"qbits\": {qbits},");
+        let _ = writeln!(out, "  \"shard_bits\": {shard_bits},");
+        let _ = writeln!(out, "  \"load\": {load},");
+        let _ = writeln!(out, "  \"reads_per_reader\": {reads},");
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"readers\": {}, \"writers\": {}, \"lockfree_mops\": {:.3}, \
+                 \"locked_mops\": {:.3}, \"speedup\": {:.3}, \"write_ops\": {}}}",
+                r.readers,
+                r.writers,
+                r.lockfree_mops,
+                r.locked_mops,
+                r.lockfree_mops / r.locked_mops,
+                r.write_ops
+            );
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&json_path, out).expect("write --json file");
+        eprintln!("wrote {json_path}");
+    }
 }

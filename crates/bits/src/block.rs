@@ -28,6 +28,8 @@
 
 use crate::word::{bitmask, select_from_words};
 use crate::{BitVec, PackedVec};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 
 /// Slots per block: one metadata word's worth.
 pub const BLOCK_SLOTS: usize = 64;
@@ -35,9 +37,18 @@ pub const BLOCK_SLOTS: usize = 64;
 /// A blocked slot table: per-block offset word, metadata bit lanes, and
 /// packed `width`-bit slots, interleaved block by block in one contiguous
 /// allocation.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The arena is a shared `Arc<[AtomicU64]>` accessed with `Relaxed`
+/// atomics (plain loads/stores on x86-64, so the single-threaded paths
+/// cost nothing), which makes [`BlockedTable::share`] possible: an
+/// aliasing read handle over the same arena that optimistic seqlock
+/// readers can probe while an exclusive writer mutates through `&mut
+/// self`. Torn *values* are impossible (every access is a whole-word
+/// atomic); torn *states* (a reader observing a half-finished shift) are
+/// possible by design and must be rejected by the caller's version
+/// validation — see `aqf_bits::SeqLock`.
 pub struct BlockedTable {
-    words: Vec<u64>,
+    words: Arc<[AtomicU64]>,
     /// Logical slot count; physical capacity is `nblocks * 64` and the
     /// tail slots beyond `len` must never carry metadata bits.
     len: usize,
@@ -71,7 +82,7 @@ impl BlockedTable {
             bit += width;
         }
         Self {
-            words: vec![0; total_words],
+            words: (0..total_words).map(|_| AtomicU64::new(0)).collect(),
             len,
             nblocks,
             lanes,
@@ -80,6 +91,38 @@ impl BlockedTable {
             rep_lo,
             rep_hi: rep_lo << (width - 1),
         }
+    }
+
+    /// Load arena word `i` (`Relaxed`: a plain load on x86-64).
+    #[inline(always)]
+    fn w(&self, i: usize) -> u64 {
+        self.words[i].load(Relaxed)
+    }
+
+    /// Store arena word `i`. Takes `&mut self` so every mutation still
+    /// requires exclusive access at the type level — sharing is read-only
+    /// by construction (see [`BlockedTable::share`]).
+    #[inline(always)]
+    fn store_w(&mut self, i: usize, v: u64) {
+        self.words[i].store(v, Relaxed);
+    }
+
+    /// An aliasing handle over the **same** arena, for optimistic
+    /// (seqlock-validated) readers. The handle never mutates: it exposes
+    /// only `&self` accessors, and all `&mut self` methods on it would
+    /// write through the shared arena — callers must treat a shared
+    /// handle as read-only and pair every probe with version validation.
+    /// Use [`Clone`] for an independent deep copy.
+    pub fn share(&self) -> Self {
+        Self {
+            words: Arc::clone(&self.words),
+            ..*self
+        }
+    }
+
+    /// True if `self` and `other` alias the same arena (share handles).
+    pub fn shares_arena(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.words, &other.words)
     }
 
     /// Logical slot count.
@@ -125,13 +168,13 @@ impl BlockedTable {
     /// The cached offset of block `b`.
     #[inline(always)]
     pub fn offset(&self, b: usize) -> usize {
-        self.words[b * self.stride] as usize
+        self.w(b * self.stride) as usize
     }
 
     /// Overwrite block `b`'s offset (rebuild paths).
     #[inline(always)]
     pub fn set_offset(&mut self, b: usize, v: usize) {
-        self.words[b * self.stride] = v as u64;
+        self.store_w(b * self.stride, v as u64);
     }
 
     /// Increment the offsets of blocks `lo..=hi` by one — the maintenance
@@ -142,14 +185,16 @@ impl BlockedTable {
     pub fn inc_offsets(&mut self, lo: usize, hi: usize) {
         let hi = hi.min(self.nblocks.saturating_sub(1));
         for b in lo..=hi {
-            self.words[b * self.stride] += 1;
+            let i = b * self.stride;
+            let v = self.w(i) + 1;
+            self.store_w(i, v);
         }
     }
 
     /// Zero every block offset (rebuild paths).
     pub fn clear_offsets(&mut self) {
         for b in 0..self.nblocks {
-            self.words[b * self.stride] = 0;
+            self.store_w(b * self.stride, 0);
         }
     }
 
@@ -175,7 +220,7 @@ impl BlockedTable {
     #[inline(always)]
     pub fn get(&self, lane: u32, i: usize) -> bool {
         debug_assert!(i < self.len);
-        self.words[self.lane_idx(lane, i >> 6)] >> (i & 63) & 1 == 1
+        self.w(self.lane_idx(lane, i >> 6)) >> (i & 63) & 1 == 1
     }
 
     /// Set bit `i` of `lane`.
@@ -183,7 +228,8 @@ impl BlockedTable {
     pub fn set(&mut self, lane: u32, i: usize) {
         debug_assert!(i < self.len);
         let w = self.lane_idx(lane, i >> 6);
-        self.words[w] |= 1 << (i & 63);
+        let v = self.w(w) | 1 << (i & 63);
+        self.store_w(w, v);
     }
 
     /// Clear bit `i` of `lane`.
@@ -191,7 +237,8 @@ impl BlockedTable {
     pub fn clear(&mut self, lane: u32, i: usize) {
         debug_assert!(i < self.len);
         let w = self.lane_idx(lane, i >> 6);
-        self.words[w] &= !(1 << (i & 63));
+        let v = self.w(w) & !(1 << (i & 63));
+        self.store_w(w, v);
     }
 
     /// Set bit `i` of `lane` to `value`.
@@ -207,7 +254,7 @@ impl BlockedTable {
     /// The metadata word of `lane` for block `b` (bits `[64b, 64b+64)`).
     #[inline(always)]
     pub fn lane_word(&self, lane: u32, b: usize) -> u64 {
-        self.words[self.lane_idx(lane, b)]
+        self.w(self.lane_idx(lane, b))
     }
 
     /// Total set bits in `lane`.
@@ -339,12 +386,12 @@ impl BlockedTable {
             let lo_bit = w << 6;
             let seg_start = pos.max(lo_bit);
             let wi = self.lane_idx(lane, w);
-            let word = self.words[wi];
+            let word = self.w(wi);
             let keep_lo = word & bitmask((seg_start - lo_bit) as u32);
             let move_mask = bitmask((i - lo_bit) as u32) & !bitmask((seg_start - lo_bit) as u32);
             let moved = (word & move_mask) << 1;
             let keep_hi = word & !bitmask((i - lo_bit + 1) as u32);
-            self.words[wi] = keep_lo | moved | keep_hi;
+            self.store_w(wi, keep_lo | moved | keep_hi);
             if seg_start == pos {
                 break;
             }
@@ -376,11 +423,11 @@ impl BlockedTable {
     #[inline]
     pub fn slot(&self, i: usize) -> u64 {
         let (w, off) = self.slot_word_bit(i);
-        let lo = self.words[w] >> off;
+        let lo = self.w(w) >> off;
         let val = if off + self.width > 64 {
             // Never leaves the block's slot region: 64 slots fill exactly
             // `width` words.
-            lo | (self.words[w + 1] << (64 - off))
+            lo | (self.w(w + 1) << (64 - off))
         } else {
             lo
         };
@@ -393,10 +440,12 @@ impl BlockedTable {
         debug_assert!(value <= bitmask(self.width), "value wider than slot");
         let (w, off) = self.slot_word_bit(i);
         let mask = bitmask(self.width);
-        self.words[w] = (self.words[w] & !(mask << off)) | (value << off);
+        let v = (self.w(w) & !(mask << off)) | (value << off);
+        self.store_w(w, v);
         if off + self.width > 64 {
             let spill = 64 - off;
-            self.words[w + 1] = (self.words[w + 1] & !(mask >> spill)) | (value >> spill);
+            let v = (self.w(w + 1) & !(mask >> spill)) | (value >> spill);
+            self.store_w(w + 1, v);
         }
     }
 
@@ -420,12 +469,12 @@ impl BlockedTable {
     pub fn slot_bits_from(&self, i: usize) -> u64 {
         let (w, off) = self.slot_word_bit(i);
         if off == 0 {
-            self.words[w]
+            self.w(w)
         } else {
             // w+1 may be the next block's offset word or the trailing
             // padding word; those bits are beyond the valid range and the
             // caller masks them.
-            (self.words[w] >> off) | (self.words[w + 1] << (64 - off))
+            (self.w(w) >> off) | (self.w(w + 1) << (64 - off))
         }
     }
 
@@ -472,17 +521,21 @@ impl BlockedTable {
 
     /// Bytes of heap memory used.
     pub fn heap_size_bytes(&self) -> usize {
-        self.words.capacity() * 8
+        self.words.len() * 8
     }
 
     /// Zero every lane bit, slot, and offset.
     pub fn reset(&mut self) {
-        self.words.fill(0);
+        for i in 0..self.words.len() {
+            self.store_w(i, 0);
+        }
     }
 
-    /// The backing words (for the snapshot codec).
-    pub fn as_words(&self) -> &[u64] {
-        &self.words
+    /// A copy of the backing words (for the snapshot codec). A copy
+    /// rather than a borrow: the arena is atomic, so a `&[u64]` view
+    /// cannot exist.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        (0..self.words.len()).map(|i| self.w(i)).collect()
     }
 
     /// Rebuild from backing words written by a snapshot of the same
@@ -497,7 +550,9 @@ impl BlockedTable {
             return None;
         }
         let mut t = Self::new(len, lanes, width);
-        t.words = words;
+        for (i, v) in words.into_iter().enumerate() {
+            t.store_w(i, v);
+        }
         Some(t)
     }
 
@@ -536,13 +591,49 @@ impl BlockedTable {
         for (lane, bv) in lanes.iter().enumerate() {
             for b in 0..len.div_ceil(64) {
                 let wi = t.lane_idx(lane as u32, b);
-                t.words[wi] = bv.as_words()[b];
+                t.store_w(wi, bv.as_words()[b]);
             }
         }
         for i in 0..len {
             t.set_slot(i, slots.get(i));
         }
         Some(t)
+    }
+}
+
+/// Deep copy: the clone gets its own independent arena. Use
+/// [`BlockedTable::share`] for an aliasing read handle instead.
+impl Clone for BlockedTable {
+    fn clone(&self) -> Self {
+        Self {
+            words: (0..self.words.len())
+                .map(|i| AtomicU64::new(self.w(i)))
+                .collect(),
+            ..*self
+        }
+    }
+}
+
+impl PartialEq for BlockedTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.lanes == other.lanes
+            && self.width == other.width
+            && (0..self.words.len()).all(|i| self.w(i) == other.w(i))
+    }
+}
+
+impl Eq for BlockedTable {}
+
+impl std::fmt::Debug for BlockedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockedTable")
+            .field("len", &self.len)
+            .field("nblocks", &self.nblocks)
+            .field("lanes", &self.lanes)
+            .field("width", &self.width)
+            .field("words", &self.snapshot_words())
+            .finish()
     }
 }
 
@@ -719,9 +810,31 @@ mod tests {
         }
         // Word-level snapshot roundtrip.
         let again =
-            BlockedTable::from_words(t.as_words().to_vec(), t.len(), t.lanes(), t.width()).unwrap();
+            BlockedTable::from_words(t.snapshot_words(), t.len(), t.lanes(), t.width()).unwrap();
         assert_eq!(again, t);
         assert!(BlockedTable::from_words(vec![0; 3], 130, 2, 7).is_none());
+    }
+
+    #[test]
+    fn share_aliases_clone_copies() {
+        let mut t = BlockedTable::new(128, 2, 7);
+        t.set(0, 5);
+        t.set_slot(5, 99);
+        let view = t.share();
+        let copy = t.clone();
+        assert!(t.shares_arena(&view));
+        assert!(!t.shares_arena(&copy));
+        assert_eq!(view, t);
+        assert_eq!(copy, t);
+        // Mutations through the owner are visible to the share, not the
+        // clone.
+        t.set_slot(6, 42);
+        t.set(1, 6);
+        assert_eq!(view.slot(6), 42);
+        assert!(view.get(1, 6));
+        assert_eq!(copy.slot(6), 0);
+        assert!(!copy.get(1, 6));
+        assert_ne!(copy, t);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   string (required for unbounded fingerprint extension),
 //! - [`snapshot`]: the hand-rolled versioned binary codec (magic, sections,
 //!   content checksum, atomic write-temp-then-rename) every persistent
-//!   filter snapshot in the workspace shares.
+//!   filter snapshot in the workspace shares,
+//! - [`seqlock`]: the even/odd version counter behind the optimistic
+//!   lock-free read path ([`BlockedTable::share`] hands seqlock-validated
+//!   readers an aliasing view of the atomic block arena).
 //!
 //! Everything here is allocation-free on the hot paths and model-tested
 //! against naive reference implementations. The only `unsafe` in the crate
@@ -31,9 +34,11 @@ pub mod bitvec;
 pub mod block;
 pub mod hash;
 pub mod packed;
+pub mod seqlock;
 pub mod snapshot;
 pub mod word;
 
 pub use bitvec::BitVec;
 pub use block::{BlockedTable, BLOCK_SLOTS};
 pub use packed::PackedVec;
+pub use seqlock::{SeqLock, SeqWriteGuard};

@@ -289,7 +289,7 @@ impl SnapshotWriter {
         self.u64(t.len() as u64);
         self.u32(t.lanes());
         self.u32(t.width());
-        self.u64_slice(t.as_words());
+        self.u64_slice(&t.snapshot_words());
     }
 
     /// Close the open section and seal the snapshot with its checksum.

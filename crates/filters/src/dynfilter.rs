@@ -63,7 +63,12 @@ pub enum InsertPlan {
 }
 
 /// Object-safe filter interface; see the module docs.
-pub trait DynFilter {
+///
+/// `Send + Sync` is a supertrait so a `Box<dyn DynFilter>` can be shared
+/// across threads (e.g. behind an `RwLock`, or handed to scoped reader
+/// threads): every filter in the workspace is plain owned data, and the
+/// sharded AQF's interior mutability is `Mutex`/seqlock-synchronized.
+pub trait DynFilter: Send + Sync {
     /// Registry kind string this filter was built as (e.g. `"aqf"`).
     fn kind(&self) -> &'static str;
 
@@ -267,7 +272,7 @@ impl<F: AmqFilter + SnapshotBody> PlainDyn<F> {
     }
 }
 
-impl<F: AmqFilter + SnapshotBody> DynFilter for PlainDyn<F> {
+impl<F: AmqFilter + SnapshotBody + Send + Sync> DynFilter for PlainDyn<F> {
     fn kind(&self) -> &'static str {
         self.kind
     }
@@ -357,7 +362,7 @@ impl<F: AdaptiveFilter + MapEventSource + SnapshotBody> LocDyn<F> {
     }
 }
 
-impl<F: AdaptiveFilter + MapEventSource + SnapshotBody> DynFilter for LocDyn<F> {
+impl<F: AdaptiveFilter + MapEventSource + SnapshotBody + Send + Sync> DynFilter for LocDyn<F> {
     fn kind(&self) -> &'static str {
         self.kind
     }

@@ -156,3 +156,67 @@ fn spliced_bodies_are_rejected() {
         Ok(_) => panic!("spliced snapshot loaded successfully"),
     }
 }
+
+/// Split a frame into (header, section byte-ranges, checksum-less end).
+/// Sections are framed as a 4-byte tag + u64 LE length + payload.
+fn section_ranges(bytes: &[u8], kind: &str) -> (usize, Vec<std::ops::Range<usize>>) {
+    let header = 12 + kind.len();
+    let content_end = bytes.len() - 8;
+    let mut ranges = Vec::new();
+    let mut pos = header;
+    while pos < content_end {
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        let end = pos + 12 + len;
+        assert!(end <= content_end, "section overruns frame");
+        ranges.push(pos..end);
+        pos = end;
+    }
+    (header, ranges)
+}
+
+/// In-frame section reordering with a **valid checksum**: swapping two
+/// well-formed sections and re-sealing the frame produces bytes that
+/// pass the integrity check, so only the decoders' section-tag
+/// discipline stands between the reordering and a mis-loaded filter.
+/// Every multi-section kind must reject it as a typed error.
+#[test]
+fn reordered_sections_with_valid_checksum_are_rejected() {
+    let mut covered = 0;
+    for kind in registry::kinds() {
+        let bytes = snapshot_of(kind);
+        let (_, ranges) = section_ranges(&bytes, kind);
+        if ranges.len() < 2 {
+            continue;
+        }
+        covered += 1;
+        // Swap every adjacent pair once; each swap is a separate frame.
+        for w in ranges.windows(2) {
+            let (a, b) = (w[0].clone(), w[1].clone());
+            if bytes[a.start..a.start + 4] == bytes[b.start..b.start + 4] {
+                // Identical tags (repeated sections, e.g. per-shard
+                // frames): a swap is not detectable by tag discipline
+                // alone and may legitimately decode.
+                continue;
+            }
+            let mut swapped = bytes[..a.start].to_vec();
+            swapped.extend_from_slice(&bytes[b.clone()]);
+            swapped.extend_from_slice(&bytes[a.clone()]);
+            swapped.extend_from_slice(&bytes[b.end..bytes.len() - 8]);
+            let sum = aqf_bits::snapshot::content_checksum(&swapped);
+            swapped.extend_from_slice(&sum.to_le_bytes());
+            match registry::load_snapshot(&swapped) {
+                Err(SnapError::WrongSection { .. } | SnapError::Corrupt(_)) => {}
+                Err(SnapError::Truncated { .. }) => {
+                    // A moved variable-length section can also surface as
+                    // an out-of-bounds read — typed, never a panic.
+                }
+                Err(e) => panic!(
+                    "{kind}: swap at {}..{} gave unexpected error {e}",
+                    a.start, b.end
+                ),
+                Ok(_) => panic!("{kind}: reordered snapshot loaded successfully"),
+            }
+        }
+    }
+    assert!(covered >= 2, "too few multi-section kinds exercised");
+}

@@ -1,19 +1,34 @@
 #!/usr/bin/env bash
-# Emit the machine-readable perf trajectory point for the current tree:
-# BENCH_PR5.json, produced by the fig12_layout harness (query/insert
-# throughput vs load factor for the blocked, offset-indexed table layout).
+# Emit the machine-readable perf trajectory points for the current tree:
 #
-# Usage: scripts/bench_json.sh [outfile] [extra fig12_layout flags...]
-# Defaults: outfile=BENCH_PR5.json, 2^24 slots, 2M probes, best of 5 —
-# the exact protocol of the recorded table in BENCHMARKS.md.
+# - BENCH_PR5.json — fig12_layout: query/insert throughput vs load factor
+#   for the blocked, offset-indexed table layout.
+# - BENCH_PR6.json — fig4_parallel --mode=mixed: lock-free (seqlock) vs
+#   locked read throughput under concurrent write load, sweeping reader
+#   count at 1 writer.
+#
+# Usage: scripts/bench_json.sh [pr5_outfile] [pr6_outfile]
+# Defaults: BENCH_PR5.json / BENCH_PR6.json, with the exact protocols of
+# the recorded tables in BENCHMARKS.md. Set SKIP_PR5=1 or SKIP_PR6=1 to
+# emit only one point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
-shift || true
+PR5_OUT="${1:-BENCH_PR5.json}"
+PR6_OUT="${2:-BENCH_PR6.json}"
 
-cargo build --release --locked -p aqf-bench --bin fig12_layout
-./target/release/fig12_layout \
-  --qbits=24 --queries=2000000 --loads=0.5,0.8,0.9,0.95 --reps=5 \
-  --filter=aqf,qf --json="$OUT" "$@"
-echo "perf point written to $OUT"
+if [[ -z "${SKIP_PR5:-}" ]]; then
+  cargo build --release --locked -p aqf-bench --bin fig12_layout
+  ./target/release/fig12_layout \
+    --qbits=24 --queries=2000000 --loads=0.5,0.8,0.9,0.95 --reps=5 \
+    --filter=aqf,qf --json="$PR5_OUT"
+  echo "perf point written to $PR5_OUT"
+fi
+
+if [[ -z "${SKIP_PR6:-}" ]]; then
+  cargo build --release --locked -p aqf-bench --bin fig4_parallel
+  ./target/release/fig4_parallel \
+    --mode=mixed --qbits=20 --shard-bits=3 --load=0.7 \
+    --max-threads=8 --writers=1 --reads=200000 --reps=5 --json="$PR6_OUT"
+  echo "perf point written to $PR6_OUT"
+fi
