@@ -1,0 +1,199 @@
+//! Figure 13 (beyond the paper): loopback server throughput vs client
+//! connections — per-op framing against batched framing.
+//!
+//! For each filter kind, an in-process `aqf_server::Server` is started
+//! on an ephemeral loopback port and prefilled; then, for each
+//! connection count, every connection thread issues `--ops` point
+//! queries two ways:
+//!
+//! - **per-op**: one `QUERY` frame per key, pipelined `--pipeline` deep
+//!   (the server's burst coalescer folds buffered runs into
+//!   `query_batch` calls),
+//! - **batched**: explicit `QUERY_BATCH` frames of `--batch` keys.
+//!
+//! Batched framing amortizes both framing overhead and the server's
+//! per-request lock acquisitions, so it should win from a few
+//! connections up — that crossover is the figure. Query keys are the
+//! shared Zipf stream (`aqf_workloads::KeyStream`) over the prefilled
+//! universe. `--json=PATH` writes machine-readable rows (see
+//! `scripts/bench_json.sh`, which emits `BENCH_PR7.json`).
+//!
+//! Defaults: 2^16 slots, 60%-load prefill, connections 1,2,4,8,
+//! 30k queries per connection, batch 64, pipeline 32
+//! (`--qbits`, `--load`, `--max-conns`, `--ops`, `--batch`,
+//! `--pipeline`, `--filter=<kind>[,...]`).
+//!
+//! Single-core caveat: in a 1-core container the client threads and the
+//! server workers timeshare one CPU, so absolute QPS is depressed and
+//! connection scaling flattens early; the per-op vs batched *ratio*
+//! remains meaningful (framing overhead is CPU work on both sides).
+
+use aqf_bench::{filter_kinds, flag_f64, flag_str, flag_u64, print_table, timed};
+use aqf_server::proto::Request;
+use aqf_server::{Client, Server, ServerConfig};
+use aqf_storage::pager::IoPolicy;
+use aqf_storage::system::{FilteredDb, RevMapMode};
+use aqf_workloads::KeyStream;
+use std::fmt::Write as _;
+
+struct Row {
+    kind: String,
+    conns: usize,
+    perop_qps: f64,
+    batched_qps: f64,
+}
+
+fn run_clients(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    ops: usize,
+    universe: u64,
+    batched: Option<usize>,
+    pipeline: usize,
+) -> f64 {
+    let (_, secs) = timed(|| {
+        std::thread::scope(|s| {
+            for c in 0..conns {
+                s.spawn(move || {
+                    let mut cl = Client::connect(addr).expect("connect");
+                    let mut stream = KeyStream::zipf(universe, 1.5, 7, 42 + c as u64);
+                    match batched {
+                        Some(batch) => {
+                            let mut done = 0usize;
+                            while done < ops {
+                                let n = batch.min(ops - done);
+                                let keys: Vec<u64> = (0..n).map(|_| stream.next_key()).collect();
+                                cl.query_batch(&keys).expect("query_batch");
+                                done += n;
+                            }
+                        }
+                        None => {
+                            // Pipelined per-op frames: keep `pipeline`
+                            // requests in flight so the wire stays busy.
+                            let mut sent = 0usize;
+                            let mut recvd = 0usize;
+                            while recvd < ops {
+                                while sent < ops && sent - recvd < pipeline {
+                                    let k = stream.next_key();
+                                    cl.send(&Request::Query { key: k }).expect("send");
+                                    sent += 1;
+                                }
+                                cl.recv().expect("recv");
+                                recvd += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+    });
+    (conns * ops) as f64 / secs
+}
+
+fn main() {
+    let qbits = flag_u64("qbits", 16) as u32;
+    let load = flag_f64("load", 0.6);
+    let max_conns = flag_u64("max-conns", 8) as usize;
+    let ops = flag_u64("ops", 30_000) as usize;
+    let batch = flag_u64("batch", 64) as usize;
+    let pipeline = flag_u64("pipeline", 32) as usize;
+    let json_path = flag_str("json", "");
+    let kinds = filter_kinds(&["aqf", "sharded-aqf", "qf"]);
+
+    let universe = ((1u64 << qbits) as f64 * load) as u64;
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in &kinds {
+        let dir = aqf_workloads::unique_temp_dir(&format!("fig13-{kind}"));
+        let db = FilteredDb::new(
+            aqf_bench::FilterSpec::new(kind, qbits)
+                .with_seed(1)
+                .build()
+                .expect("registry kind builds"),
+            &dir,
+            512,
+            IoPolicy::default(),
+            RevMapMode::Merged,
+        )
+        .expect("create db");
+        let server = Server::start(db, "127.0.0.1:0", ServerConfig::default()).expect("start");
+        let addr = server.local_addr();
+
+        // Prefill the member universe through the wire (batched).
+        let probe = KeyStream::zipf(universe, 1.5, 7, 0);
+        let mut cl = Client::connect(addr).expect("connect");
+        let mut buf = Vec::with_capacity(4096);
+        for i in 0..universe {
+            buf.push((probe.key_for_element(i), i.to_le_bytes().to_vec()));
+            if buf.len() == 4096 {
+                cl.insert_batch(&buf).expect("prefill");
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            cl.insert_batch(&buf).expect("prefill");
+        }
+
+        let mut conns = 1usize;
+        while conns <= max_conns {
+            let perop_qps = run_clients(addr, conns, ops, universe, None, pipeline);
+            let batched_qps = run_clients(addr, conns, ops, universe, Some(batch), pipeline);
+            rows.push(Row {
+                kind: kind.clone(),
+                conns,
+                perop_qps,
+                batched_qps,
+            });
+            conns *= 2;
+        }
+        cl.shutdown().expect("shutdown");
+        drop(server.wait().expect("drain"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.clone(),
+                r.conns.to_string(),
+                format!("{:.0}", r.perop_qps),
+                format!("{:.0}", r.batched_qps),
+                format!("{:.2}x", r.batched_qps / r.perop_qps),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig 13: loopback server query throughput \
+             (2^{qbits} slots, {ops} queries/conn, batch={batch})"
+        ),
+        &["Filter", "Conns", "Per-op QPS", "Batched QPS", "Batch gain"],
+        &table,
+    );
+
+    if !json_path.is_empty() {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"fig13_server\",");
+        let _ = writeln!(out, "  \"qbits\": {qbits},");
+        let _ = writeln!(out, "  \"ops_per_conn\": {ops},");
+        let _ = writeln!(out, "  \"batch\": {batch},");
+        let _ = writeln!(out, "  \"pipeline\": {pipeline},");
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"filter\": \"{}\", \"conns\": {}, \"perop_qps\": {:.0}, \
+                 \"batched_qps\": {:.0}, \"batch_gain\": {:.3}}}",
+                r.kind,
+                r.conns,
+                r.perop_qps,
+                r.batched_qps,
+                r.batched_qps / r.perop_qps
+            );
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&json_path, out).expect("write --json file");
+        eprintln!("wrote {json_path}");
+    }
+}

@@ -21,7 +21,7 @@
 //! Both sides share `--rbits` so the comparison stays apples-to-apples.
 
 use aqf_bench::*;
-use aqf_workloads::uniform_keys;
+use aqf_workloads::{uniform_keys, SettledCycle};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
@@ -103,9 +103,11 @@ struct MixedRow {
 }
 
 /// One timed round: `readers` threads each perform `reads` verified
-/// point queries on settled keys while `writers` threads churn
-/// insert/delete on a disjoint key range until the readers finish.
-/// Returns (read seconds, writer ops completed).
+/// point queries on settled keys (the shared [`SettledCycle`] probe
+/// stream, also driven by `aqf-loadgen`'s verified-read connections)
+/// while `writers` threads churn insert/delete on a disjoint key range
+/// until the readers finish. Returns (read seconds, writer ops
+/// completed).
 fn mixed_round(
     f: &aqf::ShardedAqf,
     settled: &[u64],
@@ -142,8 +144,7 @@ fn mixed_round(
                 for r in 0..readers {
                     rs.spawn(move || {
                         let mut hits = 0usize;
-                        for j in 0..reads {
-                            let k = settled[(r * 17 + j) % settled.len()];
+                        for k in SettledCycle::new(settled, r).take(reads) {
                             let pos = if locked {
                                 f.query_locked(k).is_positive()
                             } else {

@@ -62,6 +62,24 @@ pub enum InsertPlan {
     Events(Vec<MapEvent>),
 }
 
+/// The database / reverse-map writes a delete requires (system mode) —
+/// the removal-side counterpart of [`InsertPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeletePlan {
+    /// The key was not present in the filter; nothing to remove.
+    Missing,
+    /// Remove the record stored under the original key.
+    AtKey,
+    /// A duplicate's count was decremented; the fingerprint group — and
+    /// its record — stay live.
+    Decremented,
+    /// The fingerprint group at this store key vanished: remove its
+    /// record, then shift the records of every later rank in the same
+    /// minirun down one store key (their filter-side ranks shifted the
+    /// same way, exactly as [`aqf::ShadowMap::remove`] mirrors).
+    ShiftFrom(u64),
+}
+
 /// Object-safe filter interface; see the module docs.
 ///
 /// `Send + Sync` is a supertrait so a `Box<dyn DynFilter>` can be shared
@@ -162,6 +180,20 @@ pub trait DynFilter: Send + Sync {
     /// Insert returning the database writes required (system mode).
     fn insert_tracked(&mut self, key: u64) -> Result<InsertPlan, FilterError> {
         self.insert(key).map(|()| InsertPlan::AtKey)
+    }
+
+    /// Delete returning the database writes required (system mode).
+    /// Unsupported kinds error like [`DynFilter::delete`]. The default
+    /// maps the plain delete onto key-keyed records; location-keyed
+    /// filters override it to report the vacated store key.
+    fn delete_tracked(&mut self, key: u64) -> Result<DeletePlan, FilterError> {
+        self.delete(key).map(|removed| {
+            if removed {
+                DeletePlan::AtKey
+            } else {
+                DeletePlan::Missing
+            }
+        })
     }
 
     /// Batched [`DynFilter::insert_tracked`] (system mode): one
@@ -598,6 +630,17 @@ impl DynFilter for AqfDyn {
         )))
     }
 
+    fn delete_tracked(&mut self, key: u64) -> Result<DeletePlan, FilterError> {
+        match AdaptiveQf::delete(&mut self.f, key)? {
+            None => Ok(DeletePlan::Missing),
+            Some(out) if !out.removed_group => Ok(DeletePlan::Decremented),
+            Some(out) => Ok(DeletePlan::ShiftFrom(aqf::revmap::pack_fingerprint_key(
+                out.minirun_id,
+                out.rank,
+            ))),
+        }
+    }
+
     fn insert_tracked_batch(&mut self, keys: &[u64]) -> Result<Vec<InsertPlan>, FilterError> {
         let mut plans = vec![InsertPlan::AtKey; keys.len()];
         let mut landed = 0u64;
@@ -818,6 +861,27 @@ impl DynFilter for ShardedAqfDyn {
             },
         };
         Ok(InsertPlan::AtLoc(AdaptiveFilter::store_key(&self.f, &hit)))
+    }
+
+    fn delete_tracked(&mut self, key: u64) -> Result<DeletePlan, FilterError> {
+        let shard = self.f.shard_of(key);
+        match ShardedAqf::delete(&self.f, key)? {
+            None => Ok(DeletePlan::Missing),
+            Some(out) if !out.removed_group => Ok(DeletePlan::Decremented),
+            Some(out) => {
+                let hit = ShardedHit {
+                    shard,
+                    hit: Hit {
+                        minirun_id: out.minirun_id,
+                        rank: out.rank,
+                        ext_chunks: 0,
+                    },
+                };
+                Ok(DeletePlan::ShiftFrom(AdaptiveFilter::store_key(
+                    &self.f, &hit,
+                )))
+            }
+        }
     }
 
     fn insert_tracked_batch(&mut self, keys: &[u64]) -> Result<Vec<InsertPlan>, FilterError> {

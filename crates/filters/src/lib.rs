@@ -53,7 +53,9 @@ pub use common::{
     AdaptiveFilter, Adaptivity, AmqFilter, FilterError, MapEvent, MapEventSource, MapStats,
 };
 pub use cuckoo::CuckooFilter;
-pub use dynfilter::{AqfDyn, DynFilter, InsertPlan, Keying, LocDyn, PlainDyn, ShardedAqfDyn};
+pub use dynfilter::{
+    AqfDyn, DeletePlan, DynFilter, InsertPlan, Keying, LocDyn, PlainDyn, ShardedAqfDyn,
+};
 pub use quotient::QuotientFilter;
 pub use registry::FilterSpec;
 pub use snapshot::{SnapError, SnapshotBody};

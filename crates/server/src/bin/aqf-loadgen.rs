@@ -1,0 +1,250 @@
+//! `aqf-loadgen`: multi-connection load generator for `aqf-serverd`.
+//!
+//! ```text
+//! aqf-loadgen [--addr=127.0.0.1:4477] [--connections=4] [--ops=100000]
+//!             [--stream=zipf|uniform|adversarial] [--batch=0]
+//!             [--write-pct=10] [--zipf-alpha=1.5] [--universe=1048576]
+//!             [--value-bytes=8] [--salt=7] [--seed=42] [--prefill=0]
+//!             [--warmup=2000]
+//! ```
+//!
+//! Each connection runs `--ops` operations: `--write-pct`% inserts, the
+//! rest queries, with query keys drawn from the chosen stream shape
+//! (`aqf_workloads::KeyStream` — the same generator the in-process
+//! benchmarks use). `--batch=N` groups consecutive same-kind ops into
+//! `QUERY_BATCH`/`INSERT_BATCH` frames of up to N (0 = one frame per
+//! op, which exercises the server's burst-coalescing path instead);
+//! batched latencies are amortized per op. The adversarial stream is
+//! always per-op: it needs each response's store-accessed flag (its
+//! disk-latency oracle) to pick replay keys, exactly like the paper's
+//! Fig. 6 adversary. Reports per-op latency percentiles (reads and
+//! writes separately) and aggregate throughput.
+
+use aqf_server::cli::{flag_f64, flag_str, flag_u64};
+use aqf_server::{Client, Histogram};
+use aqf_workloads::{KeyStream, StreamShape};
+use std::time::Instant;
+
+struct ConnReport {
+    reads: Histogram,
+    writes: Histogram,
+    ops: u64,
+    secs: f64,
+}
+
+fn make_stream(shape: &str, universe: u64, salt: u64, seed: u64) -> KeyStream {
+    match shape {
+        "uniform" => KeyStream::uniform(universe, salt, seed),
+        "zipf" => KeyStream::zipf(universe, flag_f64("zipf-alpha", 1.5), salt, seed),
+        "adversarial" => {
+            KeyStream::adversarial(flag_f64("adv-frequency", 0.8), universe, salt, seed)
+        }
+        other => {
+            eprintln!("unknown --stream={other} (expected zipf|uniform|adversarial)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Per-run knobs shared by every connection thread.
+#[derive(Clone)]
+struct RunSpec {
+    ops: u64,
+    batch: usize,
+    write_pct: u64,
+    value_bytes: usize,
+    warmup: u64,
+    shape: String,
+    universe: u64,
+    salt: u64,
+    seed: u64,
+}
+
+fn run_connection(addr: &str, conn_id: u64, spec: &RunSpec) -> ConnReport {
+    let RunSpec {
+        ops,
+        batch,
+        write_pct,
+        value_bytes,
+        warmup,
+        universe,
+        salt,
+        seed,
+        ..
+    } = *spec;
+    let shape = spec.shape.as_str();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut stream = make_stream(shape, universe, salt, seed ^ ((conn_id + 1) * 0x9E37));
+    let mut decide = aqf_workloads::rng(seed.wrapping_add(conn_id * 77));
+    use rand::RngExt;
+
+    let adversarial = matches!(stream.shape(), StreamShape::Adversarial { .. });
+    // Adversarial warmup: observe responses (hits, fast misses, slow
+    // misses) so the arsenal holds real false positives before measuring.
+    for _ in 0..if adversarial { warmup } else { 0 } {
+        let k = stream.next_key();
+        let (v, disk) = client.query_observed(k).expect("warmup query");
+        stream.observe(k, disk, v.is_some());
+    }
+
+    let mut reads = Histogram::new();
+    let mut writes = Histogram::new();
+    let mut write_element = conn_id * ops; // disjoint insert ranges
+    let mut pending_q: Vec<u64> = Vec::new();
+    let mut pending_i: Vec<(u64, Vec<u8>)> = Vec::new();
+    let value_of = |k: u64| -> Vec<u8> {
+        k.to_le_bytes()
+            .iter()
+            .copied()
+            .cycle()
+            .take(value_bytes)
+            .collect()
+    };
+
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let is_write = decide.random_range(0..100u64) < write_pct;
+        if is_write {
+            let k = stream.key_for_element(write_element);
+            write_element += 1;
+            if batch > 1 {
+                pending_i.push((k, value_of(k)));
+                if pending_i.len() >= batch {
+                    let t = Instant::now();
+                    client.insert_batch(&pending_i).expect("insert_batch");
+                    let ns = t.elapsed().as_nanos() as u64 / pending_i.len() as u64;
+                    for _ in 0..pending_i.len() {
+                        writes.record(ns);
+                    }
+                    pending_i.clear();
+                }
+            } else {
+                let t = Instant::now();
+                client.insert(k, &value_of(k)).expect("insert");
+                writes.record(t.elapsed().as_nanos() as u64);
+            }
+        } else {
+            let k = stream.next_key();
+            if adversarial {
+                let t = Instant::now();
+                let (v, disk) = client.query_observed(k).expect("query");
+                reads.record(t.elapsed().as_nanos() as u64);
+                stream.observe(k, disk, v.is_some());
+            } else if batch > 1 {
+                pending_q.push(k);
+                if pending_q.len() >= batch {
+                    let t = Instant::now();
+                    client.query_batch(&pending_q).expect("query_batch");
+                    let ns = t.elapsed().as_nanos() as u64 / pending_q.len() as u64;
+                    for _ in 0..pending_q.len() {
+                        reads.record(ns);
+                    }
+                    pending_q.clear();
+                }
+            } else {
+                let t = Instant::now();
+                client.query(k).expect("query");
+                reads.record(t.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    // Flush partial batches.
+    if !pending_i.is_empty() {
+        client.insert_batch(&pending_i).expect("insert_batch");
+    }
+    if !pending_q.is_empty() {
+        client.query_batch(&pending_q).expect("query_batch");
+    }
+    ConnReport {
+        reads,
+        writes,
+        ops,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let addr = flag_str("addr", "127.0.0.1:4477");
+    let connections = flag_u64("connections", 4);
+    let prefill = flag_u64("prefill", 0);
+    let spec = RunSpec {
+        ops: flag_u64("ops", 100_000),
+        batch: flag_u64("batch", 0) as usize,
+        write_pct: flag_u64("write-pct", 10).min(100),
+        value_bytes: (flag_u64("value-bytes", 8) as usize).max(1),
+        warmup: flag_u64("warmup", 2000),
+        shape: flag_str("stream", "zipf"),
+        universe: flag_u64("universe", 1 << 20),
+        salt: flag_u64("salt", 7),
+        seed: flag_u64("seed", 42),
+    };
+
+    // Prefill over one connection so query streams hit real members.
+    if prefill > 0 {
+        let mut c = Client::connect(&addr).expect("connect for prefill");
+        let probe = make_stream(&spec.shape, spec.universe, spec.salt, spec.seed);
+        let mut batch_buf = Vec::with_capacity(4096);
+        for i in 0..prefill {
+            let k = probe.key_for_element(i);
+            batch_buf.push((k, k.to_le_bytes().to_vec()));
+            if batch_buf.len() == 4096 {
+                c.insert_batch(&batch_buf).expect("prefill insert");
+                batch_buf.clear();
+            }
+        }
+        if !batch_buf.is_empty() {
+            c.insert_batch(&batch_buf).expect("prefill insert");
+        }
+        eprintln!("prefilled {prefill} keys");
+    }
+
+    let t0 = Instant::now();
+    let reports: Vec<ConnReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let (addr, spec) = (addr.clone(), spec.clone());
+                s.spawn(move || run_connection(&addr, c, &spec))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut reads = Histogram::new();
+    let mut writes = Histogram::new();
+    let mut total_ops = 0u64;
+    for r in &reports {
+        reads.merge(&r.reads);
+        writes.merge(&r.writes);
+        total_ops += r.ops;
+    }
+    let us = |ns: u64| ns as f64 / 1000.0;
+    println!(
+        "## aqf-loadgen: {} stream, {connections} connections, batch={}",
+        spec.shape, spec.batch
+    );
+    println!();
+    println!("| Op | Count | p50 (us) | p90 (us) | p99 (us) | max (us) |");
+    println!("|---|---|---|---|---|---|");
+    for (name, h) in [("query", &reads), ("insert", &writes)] {
+        println!(
+            "| {name} | {} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            h.count(),
+            us(h.percentile(0.5)),
+            us(h.percentile(0.9)),
+            us(h.percentile(0.99)),
+            us(h.max()),
+        );
+    }
+    println!();
+    println!(
+        "total: {total_ops} ops over {} connections in {wall:.2}s = {:.0} ops/s \
+         (per-conn mean {:.2}s)",
+        connections,
+        total_ops as f64 / wall,
+        reports.iter().map(|r| r.secs).sum::<f64>() / reports.len().max(1) as f64,
+    );
+}

@@ -1,0 +1,97 @@
+//! `aqf-serverd`: serve a filter-fronted database over TCP (AQFP
+//! protocol).
+//!
+//! ```text
+//! aqf-serverd [--addr=127.0.0.1:4477] [--dir=PATH] [--filter=KIND]
+//!             [--qbits=16] [--rbits=9] [--shard-bits=4] [--seed=1]
+//!             [--cache-pages=256] [--workers=8] [--burst=256]
+//!             [--revmap=merged|split] [--fresh] [--no-final-snapshot]
+//! ```
+//!
+//! If `--dir` holds a snapshot manifest (and `--fresh` is absent), the
+//! database — filter state included — is recovered from it and the
+//! filter-shape flags are ignored; otherwise a fresh filter of
+//! `--filter` kind is built through the registry. On graceful shutdown
+//! (a SHUTDOWN frame — the SIGTERM stand-in) the server drains, takes an
+//! atomic snapshot (unless `--no-final-snapshot`), and exits.
+
+use aqf_filters::registry::FilterSpec;
+use aqf_server::cli::{flag_bool, flag_str, flag_u64};
+use aqf_server::{Server, ServerConfig};
+use aqf_storage::pager::IoPolicy;
+use aqf_storage::system::{FilteredDb, RevMapMode, SNAPSHOT_FILE};
+use std::path::Path;
+
+fn main() {
+    let addr = flag_str("addr", "127.0.0.1:4477");
+    let dir = flag_str("dir", "aqf-server-data");
+    let cache_pages = flag_u64("cache-pages", 256) as usize;
+    let fresh = flag_bool("fresh");
+
+    let dir_path = Path::new(&dir);
+    let db = if !fresh && dir_path.join(SNAPSHOT_FILE).is_file() {
+        eprintln!("recovering database from {dir}/{SNAPSHOT_FILE}");
+        match FilteredDb::open(dir_path, cache_pages, IoPolicy::default()) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("recovery failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        if fresh {
+            let _ = std::fs::remove_dir_all(dir_path);
+        }
+        let kind = flag_str("filter", "sharded-aqf");
+        let qbits = flag_u64("qbits", 16) as u32;
+        let spec = FilterSpec::new(&kind, qbits)
+            .with_rbits(flag_u64("rbits", 9) as u32)
+            .with_seed(flag_u64("seed", 1))
+            .with_shard_bits(flag_u64("shard-bits", 4) as u32);
+        let filter = match spec.build() {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot build filter kind {kind:?}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let revmap = match flag_str("revmap", "merged").as_str() {
+            "merged" => RevMapMode::Merged,
+            "split" => RevMapMode::Split,
+            other => {
+                eprintln!("unknown --revmap={other} (expected merged|split)");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("fresh {kind} filter (2^{qbits} slots) in {dir}");
+        match FilteredDb::new(filter, dir_path, cache_pages, IoPolicy::default(), revmap) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot create database: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let cfg = ServerConfig {
+        worker_cap: flag_u64("workers", 8) as usize,
+        burst_max: flag_u64("burst", 256) as usize,
+        snapshot_on_shutdown: !flag_bool("no-final-snapshot"),
+    };
+    let server = match Server::start(db, &addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Parsed by scripts and tests that need the resolved ephemeral port.
+    println!("listening on {}", server.local_addr());
+    match server.wait() {
+        Ok(_db) => eprintln!("shutdown complete"),
+        Err(e) => {
+            eprintln!("shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

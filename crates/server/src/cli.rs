@@ -1,0 +1,34 @@
+//! `--name=value` argv parsing for the `aqf-serverd` / `aqf-loadgen`
+//! binaries. Mirrors `aqf-bench`'s helpers; duplicated here because the
+//! bench crate depends on this one (for `fig13_server`), so the server
+//! binaries cannot use it without a cycle.
+
+/// Parse `--name=value` as u64.
+pub fn flag_u64(name: &str, default: u64) -> u64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Parse `--name=value` as f64.
+pub fn flag_f64(name: &str, default: f64) -> f64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Parse `--name=value` as a string.
+pub fn flag_str(name: &str, default: &str) -> String {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Presence of a bare `--name` flag.
+pub fn flag_bool(name: &str) -> bool {
+    let want = format!("--{name}");
+    std::env::args().any(|a| a == want)
+}

@@ -1,0 +1,152 @@
+//! Blocking client for the AQFP protocol.
+//!
+//! One [`Client`] wraps one TCP connection. The request methods are
+//! strictly synchronous (send, then wait for the response); the
+//! [`Client::send`] / [`Client::recv`] split lets load generators
+//! pipeline many frames before collecting answers — which is what
+//! triggers the server's burst-coalescing batch path.
+
+use crate::proto::{Frame, FrameReader, ProtoError, Request, Response, Result, StatsReport};
+use std::io::Write;
+use std::net::TcpStream;
+
+/// A connected protocol client.
+pub struct Client {
+    reader: FrameReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (anything `TcpStream::connect` accepts).
+    pub fn connect<A: std::net::ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true).ok();
+        let writer = conn.try_clone()?;
+        Ok(Self {
+            reader: FrameReader::new(conn),
+            writer,
+        })
+    }
+
+    /// Fire a request without waiting for its response (pipelining).
+    /// Responses arrive in request order; collect them with [`Client::recv`].
+    pub fn send(&mut self, req: &Request) -> Result<()> {
+        self.writer.write_all(&req.encode()).map_err(ProtoError::Io)
+    }
+
+    /// Receive the next response frame, decoded.
+    pub fn recv(&mut self) -> Result<Response> {
+        let frame: Frame = self.reader.read_frame()?;
+        Response::decode(&frame)
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Error { code, message } => Err(ProtoError::Remote { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Insert one key/value pair.
+    pub fn insert(&mut self, key: u64, value: &[u8]) -> Result<()> {
+        match self.call(&Request::Insert {
+            key,
+            value: value.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Point query; `None` on a miss.
+    pub fn query(&mut self, key: u64) -> Result<Option<Vec<u8>>> {
+        Ok(self.query_observed(key)?.0)
+    }
+
+    /// Point query plus the server's store-accessed flag — the Fig. 6
+    /// adversary's replacement for timing the disk.
+    pub fn query_observed(&mut self, key: u64) -> Result<(Option<Vec<u8>>, bool)> {
+        match self.call(&Request::Query { key })? {
+            Response::Value {
+                value,
+                store_accessed,
+            } => Ok((Some(value), store_accessed)),
+            Response::NotFound { store_accessed } => Ok((None, store_accessed)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Delete a key; `true` if it was present.
+    pub fn delete(&mut self, key: u64) -> Result<bool> {
+        match self.call(&Request::Delete { key })? {
+            Response::Deleted { removed } => Ok(removed),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Report a suspected false positive; `true` if the server adapted.
+    pub fn adapt_report(&mut self, key: u64) -> Result<bool> {
+        match self.call(&Request::AdaptReport { key })? {
+            Response::Adapted { adapted } => Ok(adapted),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Batched point queries (answers in request order).
+    pub fn query_batch(&mut self, keys: &[u64]) -> Result<Vec<Option<Vec<u8>>>> {
+        match self.call(&Request::QueryBatch {
+            keys: keys.to_vec(),
+        })? {
+            Response::BatchValues { values } => {
+                if values.len() != keys.len() {
+                    return Err(ProtoError::Corrupt(format!(
+                        "batch answered {} of {} keys",
+                        values.len(),
+                        keys.len()
+                    )));
+                }
+                Ok(values)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Batched inserts.
+    pub fn insert_batch(&mut self, items: &[(u64, Vec<u8>)]) -> Result<u64> {
+        match self.call(&Request::InsertBatch {
+            items: items.to_vec(),
+        })? {
+            Response::BatchOk { inserted } => Ok(inserted),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Server + filter statistics.
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Force an atomic snapshot on the server.
+    pub fn snapshot(&mut self) -> Result<()> {
+        match self.call(&Request::Snapshot)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ProtoError {
+    ProtoError::Corrupt(format!("unexpected response op {:#04x}", resp.op_tag()))
+}

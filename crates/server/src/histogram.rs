@@ -1,0 +1,153 @@
+//! A fixed-footprint latency histogram (HDR-style): logarithmic major
+//! buckets with linear sub-buckets, so relative error is bounded (~1/16)
+//! across nanoseconds-to-seconds without storing samples.
+
+/// Linear sub-buckets per power-of-two major bucket.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Major buckets: values up to 2^47 ns (~1.6 days) before clamping.
+const MAJORS: usize = 48;
+
+/// Latency histogram over `u64` nanosecond samples.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; MAJORS * SUB],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let major = 63 - v.leading_zeros();
+        let sub = (v >> (major - SUB_BITS)) as usize & (SUB - 1);
+        let idx = ((major - SUB_BITS + 1) as usize) * SUB + sub;
+        idx.min(MAJORS * SUB - 1)
+    }
+
+    /// Midpoint value represented by bucket `idx` (inverse of `index`).
+    fn value(idx: usize) -> u64 {
+        let (major, sub) = (idx / SUB, idx % SUB);
+        if major == 0 {
+            return sub as u64;
+        }
+        let shift = (major - 1) as u32;
+        ((SUB + sub) as u64) << shift
+    }
+
+    /// Record one sample (nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in [0, 1], approximated to bucket
+    /// resolution; exact for the maximum.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100_000);
+        assert_eq!(h.max(), 100_000);
+        for (q, want) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.percentile(q) as f64;
+            assert!(
+                (got - want).abs() / want < 0.08,
+                "p{q}: got {got}, want ~{want}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), 100_000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let (mut a, mut b, mut c) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 0..5000u64 {
+            let x = v.wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            c.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.max(), c.max());
+        for q in [0.1, 0.5, 0.9, 0.999] {
+            assert_eq!(a.percentile(q), c.percentile(q));
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..(SUB as u64) {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0), SUB as u64 - 1);
+        assert_eq!(h.percentile(1.0 / SUB as f64), 0);
+    }
+}

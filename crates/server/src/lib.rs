@@ -1,0 +1,30 @@
+//! A TCP filter server and load-generation client over the
+//! filter-fronted database (`aqf_storage::system::FilteredDb`).
+//!
+//! Three layers:
+//!
+//! - [`proto`] — the AQFP wire protocol: versioned, length-prefixed,
+//!   murmur-checksummed frames with typed errors on every corruption
+//!   mode (same validate-before-decode discipline as
+//!   `aqf_bits::snapshot`),
+//! - [`server`] — the `aqf-serverd` runtime: capped worker pool over a
+//!   shared accept queue, per-connection burst coalescing into the
+//!   database's batch entry points, drain-snapshot-exit lifecycle,
+//! - [`client`] — the blocking client (with a send/recv split for
+//!   pipelining) used by `aqf-loadgen`, the system tests, and the
+//!   `fig13_server` benchmark; [`histogram`] carries its latency
+//!   percentiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod client;
+pub mod histogram;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use histogram::Histogram;
+pub use proto::{ErrorCode, ProtoError, Request, Response, StatsReport};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,985 @@
+//! The AQFP wire protocol: versioned, length-prefixed, checksummed binary
+//! frames carrying filter-server requests and responses.
+//!
+//! Every frame — request or response — has the same envelope:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "AQFP"
+//! 4       2     version (LE; currently 1)
+//! 6       1     op tag
+//! 7       1     flags
+//! 8       4     payload length (LE; at most MAX_PAYLOAD)
+//! 12      n     payload
+//! 12+n    8     murmur64a checksum over bytes [0, 12+n) (LE)
+//! ```
+//!
+//! The discipline mirrors `aqf_bits::snapshot`: validate the cheap
+//! structural fields first (magic, version, declared length *before*
+//! allocating), then the checksum over the whole frame, and only then
+//! decode the payload — so a corrupt frame can never be half-applied, and
+//! every failure mode maps to a typed [`ProtoError`] instead of a panic.
+//!
+//! Payload encodings are fixed-width little-endian integers plus
+//! length-prefixed byte strings; [`PayloadReader`] rejects truncated
+//! reads *and* trailing garbage, so two ends that disagree about a
+//! payload layout fail loudly.
+
+use std::io::{self, Read};
+
+/// Frame magic: "AQFP".
+pub const MAGIC: [u8; 4] = *b"AQFP";
+/// Protocol version encoded in every frame.
+pub const VERSION: u16 = 1;
+/// Frame header size (magic + version + op + flags + payload length).
+pub const HEADER_LEN: usize = 12;
+/// Trailing checksum size.
+pub const CHECKSUM_LEN: usize = 8;
+/// Upper bound on a declared payload length. A frame claiming more is
+/// rejected *before* any allocation, so a corrupt length field cannot
+/// drive the peer out of memory.
+pub const MAX_PAYLOAD: u32 = 1 << 24;
+/// Seed for the frame checksum (distinct from the snapshot codec's so a
+/// snapshot file spliced onto a socket never checksums as a frame).
+const CHECKSUM_SEED: u64 = 0x4151_4650_5746_524D; // "AQFPWFRM"
+
+/// Request op tags (client -> server).
+pub mod op {
+    /// Insert one key/value pair.
+    pub const INSERT: u8 = 0x01;
+    /// Point query for one key.
+    pub const QUERY: u8 = 0x02;
+    /// Delete one key.
+    pub const DELETE: u8 = 0x03;
+    /// Report a suspected false positive; server re-queries (adapting).
+    pub const ADAPT_REPORT: u8 = 0x04;
+    /// Batched point queries.
+    pub const QUERY_BATCH: u8 = 0x05;
+    /// Batched inserts.
+    pub const INSERT_BATCH: u8 = 0x06;
+    /// Server + filter statistics.
+    pub const STATS: u8 = 0x07;
+    /// Force an atomic snapshot to disk.
+    pub const SNAPSHOT: u8 = 0x08;
+    /// Graceful shutdown: drain, snapshot (if configured), exit.
+    pub const SHUTDOWN: u8 = 0x09;
+
+    /// Response op tags (server -> client) share the tag space with the
+    /// high bit set.
+    pub const RESP_OK: u8 = 0x80;
+    /// Query hit: payload carries the value.
+    pub const RESP_VALUE: u8 = 0x81;
+    /// Query miss.
+    pub const RESP_NOT_FOUND: u8 = 0x82;
+    /// Delete outcome (payload: removed flag).
+    pub const RESP_DELETED: u8 = 0x83;
+    /// Adapt-report outcome (payload: adapted flag).
+    pub const RESP_ADAPTED: u8 = 0x84;
+    /// Batched query results.
+    pub const RESP_BATCH_VALUES: u8 = 0x85;
+    /// Batched insert acknowledgement (payload: count).
+    pub const RESP_BATCH_OK: u8 = 0x86;
+    /// Statistics report.
+    pub const RESP_STATS: u8 = 0x87;
+    /// Typed remote failure (payload: code + message).
+    pub const RESP_ERROR: u8 = 0xFF;
+}
+
+/// Response flag bit: the backing store was read while answering (i.e.
+/// the filter did not reject the query outright). The Fig. 6 adversary
+/// uses this as its disk-latency oracle.
+pub const FLAG_STORE_ACCESSED: u8 = 0x01;
+
+/// Remote error codes carried by `RESP_ERROR` frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The filter refused the operation (full, unsupported, ...).
+    Filter = 1,
+    /// Snapshot write/recovery failed.
+    Snapshot = 2,
+    /// Operation not supported by this filter kind.
+    Unsupported = 3,
+    /// Malformed or out-of-protocol request.
+    BadRequest = 4,
+    /// Server is draining; retry against a restarted instance.
+    ShuttingDown = 5,
+    /// Internal I/O or invariant failure.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => Self::Filter,
+            2 => Self::Snapshot,
+            3 => Self::Unsupported,
+            4 => Self::BadRequest,
+            5 => Self::ShuttingDown,
+            6 => Self::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything that can go wrong on the wire, typed. Both ends surface
+/// these instead of panicking; a connection that produced one is closed,
+/// but the peer process (and its other connections) keep running.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The stream ended inside a frame.
+    Truncated {
+        /// Bytes the frame still needed.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// First four bytes were not "AQFP".
+    BadMagic([u8; 4]),
+    /// Frame version this build does not speak.
+    UnsupportedVersion {
+        /// Version found in the frame.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Length the frame declared.
+        declared: u32,
+        /// The enforced bound.
+        max: u32,
+    },
+    /// Frame checksum did not match its contents.
+    ChecksumMismatch {
+        /// Checksum stored in the frame.
+        stored: u64,
+        /// Checksum computed over the received bytes.
+        computed: u64,
+    },
+    /// Structurally valid frame with an op tag this build does not know.
+    UnknownOp(u8),
+    /// Checksum-valid frame whose payload does not decode (wrong length,
+    /// trailing garbage, out-of-range field).
+    Corrupt(String),
+    /// Peer closed the connection cleanly (at a frame boundary).
+    Closed,
+    /// Transport-level failure.
+    Io(io::Error),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// Remote error class.
+        code: ErrorCode,
+        /// Remote description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {available}")
+            }
+            Self::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            Self::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (supported: {supported})"
+                )
+            }
+            Self::Oversized { declared, max } => {
+                write!(f, "declared payload length {declared} exceeds cap {max}")
+            }
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            Self::UnknownOp(op) => write!(f, "unknown op tag {op:#04x}"),
+            Self::Corrupt(why) => write!(f, "corrupt payload: {why}"),
+            Self::Closed => write!(f, "connection closed"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Remote { code, message } => {
+                write!(f, "remote error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// `Result` alias for protocol operations.
+pub type Result<T> = std::result::Result<T, ProtoError>;
+
+/// Compute the trailing checksum for `header ++ payload` bytes.
+pub fn frame_checksum(frame_without_checksum: &[u8]) -> u64 {
+    aqf_bits::hash::murmur64a(frame_without_checksum, CHECKSUM_SEED)
+}
+
+/// Encode one frame: envelope around `payload` with the given op/flags.
+pub fn encode_frame(op_tag: u8, flags: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() as u64 <= MAX_PAYLOAD as u64,
+        "payload over cap"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(op_tag);
+    out.push(flags);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = frame_checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// A decoded frame envelope: op tag, flags, and owned payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Op tag (see [`op`]).
+    pub op_tag: u8,
+    /// Flags byte (see [`FLAG_STORE_ACCESSED`]).
+    pub flags: u8,
+    /// Payload bytes (validated by checksum, not yet decoded).
+    pub payload: Vec<u8>,
+}
+
+/// Validate the 12-byte header. Returns the declared payload length.
+/// Order matters: magic, version, then length — so a peer speaking a
+/// different protocol fails on magic, not on a nonsense length.
+fn validate_header(h: &[u8; HEADER_LEN]) -> Result<u32> {
+    if h[0..4] != MAGIC {
+        return Err(ProtoError::BadMagic([h[0], h[1], h[2], h[3]]));
+    }
+    let version = u16::from_le_bytes([h[4], h[5]]);
+    if version != VERSION {
+        return Err(ProtoError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized {
+            declared: len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    Ok(len)
+}
+
+/// Decode one complete frame from `buf`. Returns the frame and the
+/// number of bytes consumed. `buf` may hold more than one frame.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize)> {
+    if buf.len() < HEADER_LEN {
+        return Err(ProtoError::Truncated {
+            needed: HEADER_LEN,
+            available: buf.len(),
+        });
+    }
+    let mut h = [0u8; HEADER_LEN];
+    h.copy_from_slice(&buf[..HEADER_LEN]);
+    let payload_len = validate_header(&h)? as usize;
+    let total = HEADER_LEN + payload_len + CHECKSUM_LEN;
+    if buf.len() < total {
+        return Err(ProtoError::Truncated {
+            needed: total,
+            available: buf.len(),
+        });
+    }
+    let body = &buf[..HEADER_LEN + payload_len];
+    let stored = u64::from_le_bytes(buf[HEADER_LEN + payload_len..total].try_into().unwrap());
+    let computed = frame_checksum(body);
+    if stored != computed {
+        return Err(ProtoError::ChecksumMismatch { stored, computed });
+    }
+    Ok((
+        Frame {
+            op_tag: h[6],
+            flags: h[7],
+            payload: body[HEADER_LEN..].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Buffered frame reader over any byte stream.
+///
+/// [`FrameReader::read_frame`] blocks until a whole frame (or a protocol
+/// error) arrives; [`FrameReader::buffered_frame`] decodes only from
+/// bytes already buffered — the server uses it to coalesce a burst of
+/// pipelined frames into one batched database operation without waiting
+/// on the socket.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` that are valid (front-compacted lazily).
+    start: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a byte stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::with_capacity(4096),
+            start: 0,
+        }
+    }
+
+    /// The wrapped stream (e.g. to clone a `TcpStream` for writing).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// True if buffered bytes are pending (a partial or complete frame).
+    pub fn has_buffered(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Decode a frame from already-buffered bytes only. `Ok(None)` means
+    /// the buffer holds no complete frame (empty or mid-frame); protocol
+    /// errors (bad magic, checksum, ...) surface as errors.
+    pub fn buffered_frame(&mut self) -> Result<Option<Frame>> {
+        match decode_frame(self.pending()) {
+            Ok((frame, used)) => {
+                self.start += used;
+                Ok(Some(frame))
+            }
+            Err(ProtoError::Truncated { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read one frame, blocking until it is complete. Clean EOF at a
+    /// frame boundary is [`ProtoError::Closed`]; EOF mid-frame is
+    /// [`ProtoError::Truncated`]. `io::ErrorKind::WouldBlock` /
+    /// `TimedOut` pass through as `Io` so callers with read timeouts can
+    /// poll shutdown flags between attempts (buffered partial bytes are
+    /// kept — the retry resumes mid-frame).
+    pub fn read_frame(&mut self) -> Result<Frame> {
+        loop {
+            if let Some(f) = self.buffered_frame()? {
+                return Ok(f);
+            }
+            self.compact();
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Err(ProtoError::Closed)
+                    } else {
+                        Err(ProtoError::Truncated {
+                            needed: HEADER_LEN.max(self.buf.len() + 1),
+                            available: self.buf.len(),
+                        })
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ProtoError::Io(e)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codec: bound-checked little-endian primitives.
+// ---------------------------------------------------------------------
+
+/// Append-only payload encoder.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// Fresh empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finish and take the encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bound-checked payload decoder. Every read is validated against the
+/// remaining length; [`PayloadReader::done`] rejects trailing garbage.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtoError::Corrupt(format!(
+                "payload needs {n} more bytes at offset {}, has {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`-length-prefixed byte string. The declared length is
+    /// validated against the remaining payload before any copy.
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Assert the payload is fully consumed.
+    pub fn done(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(ProtoError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------
+
+/// A decoded client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Insert `key -> value`.
+    Insert {
+        /// Key to insert.
+        key: u64,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Point query.
+    Query {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Delete a key.
+    Delete {
+        /// Key to delete.
+        key: u64,
+    },
+    /// Client-observed false positive; server re-queries under the lock
+    /// so adaptive filters repair the colliding fingerprint.
+    AdaptReport {
+        /// The offending key.
+        key: u64,
+    },
+    /// Batched point queries (answers keep request order).
+    QueryBatch {
+        /// Keys to look up.
+        keys: Vec<u64>,
+    },
+    /// Batched inserts.
+    InsertBatch {
+        /// Key/value pairs to insert.
+        items: Vec<(u64, Vec<u8>)>,
+    },
+    /// Server + filter statistics.
+    Stats,
+    /// Force an atomic snapshot now.
+    Snapshot,
+    /// Drain and exit (final snapshot governed by server config).
+    Shutdown,
+}
+
+impl Request {
+    /// This request's op tag.
+    pub fn op_tag(&self) -> u8 {
+        match self {
+            Self::Insert { .. } => op::INSERT,
+            Self::Query { .. } => op::QUERY,
+            Self::Delete { .. } => op::DELETE,
+            Self::AdaptReport { .. } => op::ADAPT_REPORT,
+            Self::QueryBatch { .. } => op::QUERY_BATCH,
+            Self::InsertBatch { .. } => op::INSERT_BATCH,
+            Self::Stats => op::STATS,
+            Self::Snapshot => op::SNAPSHOT,
+            Self::Shutdown => op::SHUTDOWN,
+        }
+    }
+
+    /// Encode to a complete wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        match self {
+            Self::Insert { key, value } => {
+                w.u64(*key).bytes(value);
+            }
+            Self::Query { key } | Self::Delete { key } | Self::AdaptReport { key } => {
+                w.u64(*key);
+            }
+            Self::QueryBatch { keys } => {
+                w.u32(keys.len() as u32);
+                for &k in keys {
+                    w.u64(k);
+                }
+            }
+            Self::InsertBatch { items } => {
+                w.u32(items.len() as u32);
+                for (k, v) in items {
+                    w.u64(*k).bytes(v);
+                }
+            }
+            Self::Stats | Self::Snapshot | Self::Shutdown => {}
+        }
+        encode_frame(self.op_tag(), 0, &w.finish())
+    }
+
+    /// Decode from a validated frame.
+    pub fn decode(frame: &Frame) -> Result<Self> {
+        let mut r = PayloadReader::new(&frame.payload);
+        let req = match frame.op_tag {
+            op::INSERT => Self::Insert {
+                key: r.u64()?,
+                value: r.bytes()?,
+            },
+            op::QUERY => Self::Query { key: r.u64()? },
+            op::DELETE => Self::Delete { key: r.u64()? },
+            op::ADAPT_REPORT => Self::AdaptReport { key: r.u64()? },
+            op::QUERY_BATCH => {
+                let n = r.u32()? as usize;
+                let mut keys = Vec::new();
+                for _ in 0..n {
+                    keys.push(r.u64()?);
+                }
+                Self::QueryBatch { keys }
+            }
+            op::INSERT_BATCH => {
+                let n = r.u32()? as usize;
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    items.push((r.u64()?, r.bytes()?));
+                }
+                Self::InsertBatch { items }
+            }
+            op::STATS => Self::Stats,
+            op::SNAPSHOT => Self::Snapshot,
+            op::SHUTDOWN => Self::Shutdown,
+            other => return Err(ProtoError::UnknownOp(other)),
+        };
+        r.done()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------
+
+/// Server + filter statistics, as carried by a `RESP_STATS` frame.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Registry kind of the serving filter.
+    pub filter_kind: String,
+    /// Fingerprints resident in the filter.
+    pub filter_len: u64,
+    /// Filter size in bytes.
+    pub filter_bytes: u64,
+    /// Keys inserted (database counter).
+    pub inserts: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Deletes processed.
+    pub deletes: u64,
+    /// Queries the filter rejected without disk access.
+    pub filter_negatives: u64,
+    /// Filter positives the database refuted.
+    pub false_positives: u64,
+    /// Adaptations performed.
+    pub adapts: u64,
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Request frames served since startup.
+    pub requests: u64,
+}
+
+/// A decoded server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Generic success.
+    Ok,
+    /// Query hit.
+    Value {
+        /// Stored value.
+        value: Vec<u8>,
+        /// Whether the backing store was read (see [`FLAG_STORE_ACCESSED`]).
+        store_accessed: bool,
+    },
+    /// Query miss.
+    NotFound {
+        /// Whether the backing store was read.
+        store_accessed: bool,
+    },
+    /// Delete outcome.
+    Deleted {
+        /// True if the key was present.
+        removed: bool,
+    },
+    /// Adapt-report outcome.
+    Adapted {
+        /// True if the re-query adapted the filter.
+        adapted: bool,
+    },
+    /// Batched query results, in request order.
+    BatchValues {
+        /// `None` per missing key.
+        values: Vec<Option<Vec<u8>>>,
+    },
+    /// Batched insert acknowledgement.
+    BatchOk {
+        /// Pairs inserted.
+        inserted: u64,
+    },
+    /// Statistics report.
+    Stats(StatsReport),
+    /// Typed failure.
+    Error {
+        /// Error class.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// This response's op tag.
+    pub fn op_tag(&self) -> u8 {
+        match self {
+            Self::Ok => op::RESP_OK,
+            Self::Value { .. } => op::RESP_VALUE,
+            Self::NotFound { .. } => op::RESP_NOT_FOUND,
+            Self::Deleted { .. } => op::RESP_DELETED,
+            Self::Adapted { .. } => op::RESP_ADAPTED,
+            Self::BatchValues { .. } => op::RESP_BATCH_VALUES,
+            Self::BatchOk { .. } => op::RESP_BATCH_OK,
+            Self::Stats(_) => op::RESP_STATS,
+            Self::Error { .. } => op::RESP_ERROR,
+        }
+    }
+
+    /// Encode to a complete wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        let mut flags = 0u8;
+        match self {
+            Self::Ok => {}
+            Self::Value {
+                value,
+                store_accessed,
+            } => {
+                flags |= if *store_accessed {
+                    FLAG_STORE_ACCESSED
+                } else {
+                    0
+                };
+                w.bytes(value);
+            }
+            Self::NotFound { store_accessed } => {
+                flags |= if *store_accessed {
+                    FLAG_STORE_ACCESSED
+                } else {
+                    0
+                };
+            }
+            Self::Deleted { removed } => {
+                w.u8(*removed as u8);
+            }
+            Self::Adapted { adapted } => {
+                w.u8(*adapted as u8);
+            }
+            Self::BatchValues { values } => {
+                w.u32(values.len() as u32);
+                for v in values {
+                    match v {
+                        Some(v) => {
+                            w.u8(1).bytes(v);
+                        }
+                        None => {
+                            w.u8(0);
+                        }
+                    }
+                }
+            }
+            Self::BatchOk { inserted } => {
+                w.u64(*inserted);
+            }
+            Self::Stats(s) => {
+                w.bytes(s.filter_kind.as_bytes());
+                w.u64(s.filter_len)
+                    .u64(s.filter_bytes)
+                    .u64(s.inserts)
+                    .u64(s.queries)
+                    .u64(s.deletes)
+                    .u64(s.filter_negatives)
+                    .u64(s.false_positives)
+                    .u64(s.adapts)
+                    .u64(s.connections)
+                    .u64(s.requests);
+            }
+            Self::Error { code, message } => {
+                w.u16(*code as u16).bytes(message.as_bytes());
+            }
+        }
+        encode_frame(self.op_tag(), flags, &w.finish())
+    }
+
+    /// Decode from a validated frame.
+    pub fn decode(frame: &Frame) -> Result<Self> {
+        let mut r = PayloadReader::new(&frame.payload);
+        let store_accessed = frame.flags & FLAG_STORE_ACCESSED != 0;
+        let resp = match frame.op_tag {
+            op::RESP_OK => Self::Ok,
+            op::RESP_VALUE => Self::Value {
+                value: r.bytes()?,
+                store_accessed,
+            },
+            op::RESP_NOT_FOUND => Self::NotFound { store_accessed },
+            op::RESP_DELETED => Self::Deleted {
+                removed: r.u8()? != 0,
+            },
+            op::RESP_ADAPTED => Self::Adapted {
+                adapted: r.u8()? != 0,
+            },
+            op::RESP_BATCH_VALUES => {
+                let n = r.u32()? as usize;
+                let mut values = Vec::new();
+                for _ in 0..n {
+                    values.push(if r.u8()? != 0 { Some(r.bytes()?) } else { None });
+                }
+                Self::BatchValues { values }
+            }
+            op::RESP_BATCH_OK => Self::BatchOk { inserted: r.u64()? },
+            op::RESP_STATS => {
+                let kind_bytes = r.bytes()?;
+                let filter_kind = String::from_utf8(kind_bytes)
+                    .map_err(|_| ProtoError::Corrupt("stats kind is not UTF-8".into()))?;
+                Self::Stats(StatsReport {
+                    filter_kind,
+                    filter_len: r.u64()?,
+                    filter_bytes: r.u64()?,
+                    inserts: r.u64()?,
+                    queries: r.u64()?,
+                    deletes: r.u64()?,
+                    filter_negatives: r.u64()?,
+                    false_positives: r.u64()?,
+                    adapts: r.u64()?,
+                    connections: r.u64()?,
+                    requests: r.u64()?,
+                })
+            }
+            op::RESP_ERROR => {
+                let code_raw = r.u16()?;
+                let code = ErrorCode::from_u16(code_raw)
+                    .ok_or_else(|| ProtoError::Corrupt(format!("unknown error code {code_raw}")))?;
+                let msg = r.bytes()?;
+                let message = String::from_utf8(msg)
+                    .map_err(|_| ProtoError::Corrupt("error message is not UTF-8".into()))?;
+                Self::Error { code, message }
+            }
+            other => return Err(ProtoError::UnknownOp(other)),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let wire = req.encode();
+        let (frame, used) = decode_frame(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(Request::decode(&frame).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let wire = resp.encode();
+        let (frame, used) = decode_frame(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(Response::decode(&frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        roundtrip_req(Request::Insert {
+            key: 7,
+            value: b"hello".to_vec(),
+        });
+        roundtrip_req(Request::Query { key: u64::MAX });
+        roundtrip_req(Request::Delete { key: 0 });
+        roundtrip_req(Request::AdaptReport { key: 12345 });
+        roundtrip_req(Request::QueryBatch {
+            keys: (0..100).collect(),
+        });
+        roundtrip_req(Request::InsertBatch {
+            items: (0..50u64).map(|k| (k, vec![k as u8; 9])).collect(),
+        });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Snapshot);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Value {
+            value: b"v".to_vec(),
+            store_accessed: true,
+        });
+        roundtrip_resp(Response::Value {
+            value: vec![],
+            store_accessed: false,
+        });
+        roundtrip_resp(Response::NotFound {
+            store_accessed: false,
+        });
+        roundtrip_resp(Response::Deleted { removed: true });
+        roundtrip_resp(Response::Adapted { adapted: false });
+        roundtrip_resp(Response::BatchValues {
+            values: vec![Some(b"a".to_vec()), None, Some(vec![])],
+        });
+        roundtrip_resp(Response::BatchOk { inserted: 42 });
+        roundtrip_resp(Response::Stats(StatsReport {
+            filter_kind: "sharded-aqf".into(),
+            filter_len: 1,
+            filter_bytes: 2,
+            inserts: 3,
+            queries: 4,
+            deletes: 5,
+            filter_negatives: 6,
+            false_positives: 7,
+            adapts: 8,
+            connections: 9,
+            requests: 10,
+        }));
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Filter,
+            message: "full".into(),
+        });
+    }
+
+    #[test]
+    fn reader_coalesces_back_to_back_frames() {
+        let mut wire = Request::Query { key: 1 }.encode();
+        wire.extend(Request::Query { key: 2 }.encode());
+        wire.extend(
+            Request::Insert {
+                key: 3,
+                value: b"x".to_vec(),
+            }
+            .encode(),
+        );
+        let mut r = FrameReader::new(&wire[..]);
+        let mut got = Vec::new();
+        loop {
+            match r.read_frame() {
+                Ok(f) => got.push(Request::decode(&f).unwrap()),
+                Err(ProtoError::Closed) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1], Request::Query { key: 2 });
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_is_corrupt() {
+        // A checksum-valid frame whose payload is one byte too long for
+        // its op must fail decode, not silently ignore the tail.
+        let mut payload = PayloadWriter::new();
+        payload.u64(9).u8(0xEE);
+        let wire = encode_frame(op::QUERY, 0, &payload.finish());
+        let (frame, _) = decode_frame(&wire).unwrap();
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(ProtoError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,500 @@
+//! The filter server runtime: a `std::net` TCP acceptor, a capped worker
+//! pool fed by a shared accept queue, and per-connection request loops
+//! that funnel pipelined bursts into the database's batch entry points.
+//!
+//! Concurrency model: one `FilteredDb` behind one mutex. Single-op
+//! traffic pays one lock acquisition per request; pipelined clients are
+//! coalesced — consecutive already-buffered `QUERY` (or `INSERT`) frames
+//! on a connection are folded into a single `query_batch`
+//! (`insert_batch`) call under one lock hold, which also lets the filter
+//! run its quotient-sorted batch walks (and, for the sharded AQF, its
+//! lock-free optimistic reads) instead of per-key probes. Worker threads
+//! are spawned lazily up to a cap; beyond that, accepted connections
+//! wait in the queue until a worker frees up.
+//!
+//! Lifecycle: a `SHUTDOWN` frame (the container-friendly stand-in for
+//! SIGTERM — no signal-handling dependency exists in this environment)
+//! flips the shutdown flag; workers finish their current request, drain
+//! cleanly, and [`Server::wait`] takes an atomic final snapshot (unless
+//! configured off, which is how the crash tests simulate `kill -9`).
+//! Startup recovery is the caller's job via [`FilteredDb::open`].
+
+use crate::proto::{op, ErrorCode, Frame, FrameReader, ProtoError, Request, Response, StatsReport};
+use aqf_storage::system::FilteredDb;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tunables for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum worker threads (thread-per-connection up to this cap;
+    /// further connections queue).
+    pub worker_cap: usize,
+    /// Maximum frames folded into one batched database call.
+    pub burst_max: usize,
+    /// Take an atomic snapshot during graceful shutdown. Disabled by the
+    /// crash tests to simulate a hard kill.
+    pub snapshot_on_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            worker_cap: 8,
+            burst_max: 256,
+            snapshot_on_shutdown: true,
+        }
+    }
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    db: Mutex<FilteredDb>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    workers: AtomicU64,
+    connections: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// A running filter server. Dropping the handle does NOT stop it; send a
+/// `SHUTDOWN` frame or call [`Server::shutdown_now`], then [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_handle: std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// `db` until shutdown.
+    pub fn start(db: FilteredDb, addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db: Mutex::new(db),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            workers: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(Server {
+            shared,
+            addr: local,
+            accept_handle,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flip the shutdown flag and unblock the acceptor, as a `SHUTDOWN`
+    /// frame would.
+    pub fn shutdown_now(&self) {
+        request_shutdown(&self.shared, self.addr);
+    }
+
+    /// Join every thread, take the final snapshot if configured, and
+    /// hand the database back.
+    pub fn wait(self) -> std::io::Result<FilteredDb> {
+        let workers = self.accept_handle.join().expect("acceptor must not panic");
+        for w in workers {
+            let _ = w.join();
+        }
+        let shared = Arc::into_inner(self.shared).expect("all worker references dropped");
+        let mut db = shared
+            .db
+            .into_inner()
+            .expect("db mutex cannot be poisoned after join");
+        if shared.cfg.snapshot_on_shutdown {
+            db.snapshot()
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        Ok(db)
+    }
+}
+
+fn request_shutdown(shared: &Arc<Shared>, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Relaxed) {
+        return;
+    }
+    // Wake queued workers so they observe the flag...
+    shared.queue_cv.notify_all();
+    // ...and poke the blocking accept() with a throwaway connection.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<std::thread::JoinHandle<()>> {
+    let mut workers = Vec::new();
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    loop {
+        if shared.shutdown.load(Relaxed) {
+            break;
+        }
+        let conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Relaxed) {
+            break; // the shutdown poke, or a late client; either way: drain.
+        }
+        shared.connections.fetch_add(1, Relaxed);
+        shared.queue.lock().expect("queue lock").push_back(conn);
+        shared.queue_cv.notify_one();
+        // Lazily grow the pool: one worker per connection up to the cap.
+        let live = shared.workers.load(Relaxed);
+        if (live as usize) < shared.cfg.worker_cap {
+            shared.workers.fetch_add(1, Relaxed);
+            let ws = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(ws, addr)));
+        }
+    }
+    shared.queue_cv.notify_all();
+    workers
+}
+
+fn worker_loop(shared: Arc<Shared>, addr: SocketAddr) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if shared.shutdown.load(Relaxed) {
+                    break None;
+                }
+                q = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("queue lock")
+                    .0;
+            }
+        };
+        let Some(conn) = conn else { return };
+        // Serve to completion; protocol errors kill only this connection.
+        let _ = serve_conn(&shared, conn, addr);
+        if shared.shutdown.load(Relaxed) {
+            return;
+        }
+    }
+}
+
+/// Read timeout used to poll the shutdown flag while idle.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+fn serve_conn(shared: &Arc<Shared>, conn: TcpStream, addr: SocketAddr) -> Result<(), ProtoError> {
+    conn.set_nodelay(true).ok();
+    conn.set_read_timeout(Some(IDLE_TICK)).ok();
+    let mut writer = conn.try_clone().map_err(ProtoError::Io)?;
+    let mut reader = FrameReader::new(conn);
+    loop {
+        let frame = match reader.read_frame() {
+            Ok(f) => f,
+            Err(ProtoError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Relaxed) {
+                    return Ok(()); // drained: no request in flight.
+                }
+                continue;
+            }
+            Err(ProtoError::Closed) => return Ok(()),
+            Err(e) => {
+                // Corrupt or alien traffic: answer with a typed error if
+                // the transport still works, then drop this connection.
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                };
+                let _ = writer.write_all(&resp.encode());
+                return Err(e);
+            }
+        };
+        shared.requests.fetch_add(1, Relaxed);
+        match frame.op_tag {
+            // Burst-coalescing fast paths: fold already-buffered frames
+            // of the same op into one batched call under one lock hold.
+            op::QUERY => {
+                let (mut keys, mut tail) = (Vec::new(), None);
+                let first = Request::decode(&frame)?;
+                if let Request::Query { key } = first {
+                    keys.push(key);
+                }
+                while keys.len() < shared.cfg.burst_max {
+                    match peek_same_op(&mut reader, op::QUERY)? {
+                        Peek::Same(f) => {
+                            shared.requests.fetch_add(1, Relaxed);
+                            if let Request::Query { key } = Request::decode(&f)? {
+                                keys.push(key);
+                            }
+                        }
+                        Peek::Other(f) => {
+                            tail = Some(f);
+                            break;
+                        }
+                        Peek::Empty => break,
+                    }
+                }
+                let out = if keys.len() == 1 {
+                    // Single query: report whether the backing store was
+                    // touched (stats delta) — the adversary's oracle.
+                    let mut db = shared.db.lock().expect("db lock");
+                    let negs_before = db.stats().filter_negatives;
+                    let got = db.query(keys[0]).map_err(ProtoError::Io)?;
+                    let accessed = db.stats().filter_negatives == negs_before;
+                    match got {
+                        Some(value) => Response::Value {
+                            value,
+                            store_accessed: accessed,
+                        },
+                        None => Response::NotFound {
+                            store_accessed: accessed,
+                        },
+                    }
+                    .encode()
+                } else {
+                    let values = {
+                        let mut db = shared.db.lock().expect("db lock");
+                        db.query_batch(&keys).map_err(ProtoError::Io)?
+                    };
+                    // One response frame per request frame, in order.
+                    let mut out = Vec::new();
+                    for value in values {
+                        out.extend(
+                            match value {
+                                Some(value) => Response::Value {
+                                    value,
+                                    store_accessed: false,
+                                },
+                                None => Response::NotFound {
+                                    store_accessed: false,
+                                },
+                            }
+                            .encode(),
+                        );
+                    }
+                    out
+                };
+                writer.write_all(&out).map_err(ProtoError::Io)?;
+                if let Some(f) = tail {
+                    handle_one(shared, &f, &mut writer)?;
+                    if f.op_tag == op::SHUTDOWN {
+                        request_shutdown(shared, addr);
+                        return Ok(());
+                    }
+                }
+            }
+            op::INSERT => {
+                let mut items = Vec::new();
+                if let Request::Insert { key, value } = Request::decode(&frame)? {
+                    items.push((key, value));
+                }
+                let mut tail = None;
+                while items.len() < shared.cfg.burst_max {
+                    match peek_same_op(&mut reader, op::INSERT)? {
+                        Peek::Same(f) => {
+                            shared.requests.fetch_add(1, Relaxed);
+                            if let Request::Insert { key, value } = Request::decode(&f)? {
+                                items.push((key, value));
+                            }
+                        }
+                        Peek::Other(f) => {
+                            tail = Some(f);
+                            break;
+                        }
+                        Peek::Empty => break,
+                    }
+                }
+                let n = items.len();
+                let result = {
+                    let refs: Vec<(u64, &[u8])> =
+                        items.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+                    let mut db = shared.db.lock().expect("db lock");
+                    db.insert_batch(&refs).map_err(ProtoError::Io)?
+                };
+                let one = match result {
+                    Ok(()) => Response::Ok.encode(),
+                    Err(e) => Response::Error {
+                        code: ErrorCode::Filter,
+                        message: e.to_string(),
+                    }
+                    .encode(),
+                };
+                let mut out = Vec::with_capacity(one.len() * n);
+                for _ in 0..n {
+                    out.extend_from_slice(&one);
+                }
+                writer.write_all(&out).map_err(ProtoError::Io)?;
+                if let Some(f) = tail {
+                    handle_one(shared, &f, &mut writer)?;
+                    if f.op_tag == op::SHUTDOWN {
+                        request_shutdown(shared, addr);
+                        return Ok(());
+                    }
+                }
+            }
+            op::SHUTDOWN => {
+                writer
+                    .write_all(&Response::Ok.encode())
+                    .map_err(ProtoError::Io)?;
+                request_shutdown(shared, addr);
+                return Ok(());
+            }
+            _ => handle_one(shared, &frame, &mut writer)?,
+        }
+    }
+}
+
+/// Result of a non-blocking look at the next buffered frame.
+enum Peek {
+    /// Next frame has the wanted op.
+    Same(Frame),
+    /// Next frame is a different op (returned for ordered handling).
+    Other(Frame),
+    /// No complete frame is buffered.
+    Empty,
+}
+
+/// Pop the next *already-buffered* frame if any — never blocks on the
+/// socket, so burst coalescing adds no latency to solo requests.
+fn peek_same_op(reader: &mut FrameReader<TcpStream>, want: u8) -> Result<Peek, ProtoError> {
+    match reader.buffered_frame()? {
+        Some(f) if f.op_tag == want => Ok(Peek::Same(f)),
+        Some(f) => Ok(Peek::Other(f)),
+        None => Ok(Peek::Empty),
+    }
+}
+
+/// Serve one non-coalesced request frame.
+fn handle_one(
+    shared: &Arc<Shared>,
+    frame: &Frame,
+    writer: &mut TcpStream,
+) -> Result<(), ProtoError> {
+    let req = match Request::decode(frame) {
+        Ok(r) => r,
+        Err(e) => {
+            let resp = Response::Error {
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+            };
+            writer.write_all(&resp.encode()).map_err(ProtoError::Io)?;
+            return Err(e);
+        }
+    };
+    let resp = match req {
+        Request::Insert { key, value } => {
+            let mut db = shared.db.lock().expect("db lock");
+            match db.insert(key, &value).map_err(ProtoError::Io)? {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error {
+                    code: ErrorCode::Filter,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Query { key } => {
+            let mut db = shared.db.lock().expect("db lock");
+            let negs_before = db.stats().filter_negatives;
+            let got = db.query(key).map_err(ProtoError::Io)?;
+            let accessed = db.stats().filter_negatives == negs_before;
+            match got {
+                Some(value) => Response::Value {
+                    value,
+                    store_accessed: accessed,
+                },
+                None => Response::NotFound {
+                    store_accessed: accessed,
+                },
+            }
+        }
+        Request::Delete { key } => {
+            let mut db = shared.db.lock().expect("db lock");
+            match db.delete(key).map_err(ProtoError::Io)? {
+                Ok(removed) => Response::Deleted { removed },
+                Err(e) => Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::AdaptReport { key } => {
+            // Re-run the query under the lock: FilteredDb's verify path
+            // adapts the filter on a refuted positive as a side effect.
+            let mut db = shared.db.lock().expect("db lock");
+            let adapts_before = db.stats().adapts;
+            let _ = db.query(key).map_err(ProtoError::Io)?;
+            Response::Adapted {
+                adapted: db.stats().adapts > adapts_before,
+            }
+        }
+        Request::QueryBatch { keys } => {
+            let mut db = shared.db.lock().expect("db lock");
+            Response::BatchValues {
+                values: db.query_batch(&keys).map_err(ProtoError::Io)?,
+            }
+        }
+        Request::InsertBatch { items } => {
+            let refs: Vec<(u64, &[u8])> = items.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+            let mut db = shared.db.lock().expect("db lock");
+            match db.insert_batch(&refs).map_err(ProtoError::Io)? {
+                Ok(()) => Response::BatchOk {
+                    inserted: items.len() as u64,
+                },
+                Err(e) => Response::Error {
+                    code: ErrorCode::Filter,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Stats => {
+            let db = shared.db.lock().expect("db lock");
+            let s = db.stats();
+            let f = db.filter();
+            Response::Stats(StatsReport {
+                filter_kind: f.kind().to_string(),
+                filter_len: f.len(),
+                filter_bytes: f.size_in_bytes() as u64,
+                inserts: s.inserts,
+                queries: s.queries,
+                deletes: s.deletes,
+                filter_negatives: s.filter_negatives,
+                false_positives: s.false_positives,
+                adapts: s.adapts,
+                connections: shared.connections.load(Relaxed),
+                requests: shared.requests.load(Relaxed),
+            })
+        }
+        Request::Snapshot => {
+            let mut db = shared.db.lock().expect("db lock");
+            match db.snapshot() {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error {
+                    code: ErrorCode::Snapshot,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Shutdown => Response::Ok, // tag handled by the caller
+    };
+    writer.write_all(&resp.encode()).map_err(ProtoError::Io)
+}

@@ -1,0 +1,330 @@
+//! End-to-end system tests: a loopback server under concurrent client
+//! traffic, for every registry filter kind; graceful-shutdown snapshots;
+//! and proptest-driven hard-kill crash points with restart recovery.
+
+use aqf_filters::registry::{self, FilterSpec};
+use aqf_server::proto::ErrorCode;
+use aqf_server::{Client, ProtoError, Server, ServerConfig};
+use aqf_storage::pager::IoPolicy;
+use aqf_storage::system::{FilteredDb, RevMapMode, SNAPSHOT_FILE};
+use aqf_workloads::RestartSchedule;
+use proptest::prelude::*;
+use std::path::Path;
+
+fn fresh_db(kind: &str, qbits: u32, dir: &Path) -> FilteredDb {
+    FilteredDb::new(
+        FilterSpec::new(kind, qbits).with_seed(5).build().unwrap(),
+        dir,
+        128,
+        IoPolicy::default(),
+        RevMapMode::Merged,
+    )
+    .unwrap()
+}
+
+fn start(db: FilteredDb, cfg: ServerConfig) -> Server {
+    Server::start(db, "127.0.0.1:0", cfg).unwrap()
+}
+
+fn value_of(k: u64) -> Vec<u8> {
+    (k ^ 0xA5A5_A5A5).to_le_bytes().to_vec()
+}
+
+/// Mixed insert/query/adapt workload from N concurrent client threads,
+/// for every registry kind, with element-wise verification throughout.
+#[test]
+fn loopback_mixed_workload_every_kind() {
+    for kind in registry::kinds() {
+        let dir = aqf_workloads::unique_temp_dir(&format!("aqf-e2e-{kind}"));
+        let srv = start(fresh_db(kind, 12, &dir), ServerConfig::default());
+        let addr = srv.local_addr();
+
+        const CLIENTS: u64 = 3;
+        const PER: u64 = 600;
+        std::thread::scope(|s| {
+            for c in 0..CLIENTS {
+                s.spawn(move || {
+                    let mut cl = Client::connect(addr).unwrap();
+                    // Disjoint member range per client.
+                    let base = 1 + c * PER * 2;
+                    let members: Vec<u64> = (0..PER).map(|i| base + i * 2).collect();
+                    // Half per-op (exercises burst coalescing), half batched.
+                    for &k in &members[..members.len() / 2] {
+                        cl.insert(k, &value_of(k)).unwrap();
+                    }
+                    let rest: Vec<(u64, Vec<u8>)> = members[members.len() / 2..]
+                        .iter()
+                        .map(|&k| (k, value_of(k)))
+                        .collect();
+                    cl.insert_batch(&rest).unwrap();
+
+                    // Every member answers with its exact value, per-op
+                    // and batched.
+                    for &k in &members {
+                        assert_eq!(
+                            cl.query(k).unwrap().as_deref(),
+                            Some(&value_of(k)[..]),
+                            "{kind}: member {k}"
+                        );
+                    }
+                    let got = cl.query_batch(&members).unwrap();
+                    for (i, &k) in members.iter().enumerate() {
+                        assert_eq!(
+                            got[i].as_deref(),
+                            Some(&value_of(k)[..]),
+                            "{kind}: batched member {k}"
+                        );
+                    }
+
+                    // Absent keys answer NotFound (the server's verify
+                    // path refutes false positives); report one back as
+                    // adapt traffic.
+                    let absent_base = (1 << 45) + c * PER * 16;
+                    for i in 0..PER {
+                        let k = absent_base + i * 13;
+                        assert_eq!(cl.query(k).unwrap(), None, "{kind}: absent {k}");
+                        if i % 64 == 0 {
+                            let _ = cl.adapt_report(k).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut cl = Client::connect(addr).unwrap();
+        let stats = cl.stats().unwrap();
+        assert_eq!(stats.inserts, CLIENTS * PER, "{kind}: insert count");
+        assert!(stats.queries >= CLIENTS * PER * 3, "{kind}: query count");
+        assert!(stats.connections >= CLIENTS, "{kind}: connections");
+        assert_eq!(stats.filter_kind, kind.to_string(), "{kind}: kind in stats");
+
+        // On-demand snapshot, then graceful shutdown (second snapshot).
+        cl.snapshot().unwrap();
+        assert!(dir.join(SNAPSHOT_FILE).is_file(), "{kind}: snapshot file");
+        cl.shutdown().unwrap();
+        drop(srv.wait().unwrap());
+
+        // Recover and spot-check through a fresh server.
+        let db = FilteredDb::open(&dir, 128, IoPolicy::default()).unwrap();
+        let srv = start(db, ServerConfig::default());
+        let mut cl = Client::connect(srv.local_addr()).unwrap();
+        for c in 0..CLIENTS {
+            let base = 1 + c * PER * 2;
+            for i in (0..PER).step_by(29) {
+                let k = base + i * 2;
+                assert_eq!(
+                    cl.query(k).unwrap().as_deref(),
+                    Some(&value_of(k)[..]),
+                    "{kind}: member {k} lost across restart"
+                );
+            }
+        }
+        cl.shutdown().unwrap();
+        srv.wait().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Deletes over the wire: supported kinds remove records; unsupported
+/// kinds answer a typed remote error and the server stays up.
+#[test]
+fn delete_over_the_wire() {
+    for (kind, supported) in [("sharded-aqf", true), ("cf", true), ("qf", false)] {
+        let dir = aqf_workloads::unique_temp_dir(&format!("aqf-e2e-del-{kind}"));
+        let srv = start(fresh_db(kind, 12, &dir), ServerConfig::default());
+        let mut cl = Client::connect(srv.local_addr()).unwrap();
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 5 + 2).collect();
+        let items: Vec<(u64, Vec<u8>)> = keys.iter().map(|&k| (k, value_of(k))).collect();
+        cl.insert_batch(&items).unwrap();
+        if supported {
+            for &k in keys.iter().step_by(2) {
+                assert!(cl.delete(k).unwrap(), "{kind}: delete of member {k}");
+            }
+            for (i, &k) in keys.iter().enumerate() {
+                let got = cl.query(k).unwrap();
+                if i % 2 == 1 {
+                    assert_eq!(
+                        got.as_deref(),
+                        Some(&value_of(k)[..]),
+                        "{kind}: survivor {k}"
+                    );
+                }
+            }
+        } else {
+            match cl.delete(keys[0]) {
+                Err(ProtoError::Remote { code, .. }) => {
+                    assert_eq!(code, ErrorCode::Unsupported, "{kind}: error code")
+                }
+                other => panic!("{kind}: expected remote error, got {other:?}"),
+            }
+            // Same connection still serves after the typed error.
+            assert_eq!(
+                cl.query(keys[0]).unwrap().as_deref(),
+                Some(&value_of(keys[0])[..])
+            );
+        }
+        cl.shutdown().unwrap();
+        srv.wait().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The full SIGTERM-shaped lifecycle against a hard kill: commit a
+/// prefix, snapshot, keep writing, kill without the final snapshot,
+/// restart, verify committed-present / lost-absent element-wise, replay
+/// the tail, and verify the rebuilt world.
+#[test]
+fn restart_recovers_snapshot_and_replays_tail() {
+    let dir = aqf_workloads::unique_temp_dir("aqf-e2e-restart");
+    let sched = RestartSchedule::generate(1200, 0.3, 0.2, 21);
+
+    // Phase 1: serve, commit, snapshot, then doomed writes; hard kill.
+    let srv = start(
+        fresh_db("sharded-aqf", 13, &dir),
+        ServerConfig {
+            snapshot_on_shutdown: false, // the "kill -9"
+            ..ServerConfig::default()
+        },
+    );
+    let mut cl = Client::connect(srv.local_addr()).unwrap();
+    let batch =
+        |ks: &[u64]| -> Vec<(u64, Vec<u8>)> { ks.iter().map(|&k| (k, value_of(k))).collect() };
+    cl.insert_batch(&batch(&sched.committed)).unwrap();
+    cl.snapshot().unwrap();
+    cl.insert_batch(&batch(&sched.lost)).unwrap();
+    for &p in &sched.probes[..200] {
+        assert_eq!(cl.query(p).unwrap(), None, "probe {p} pre-kill");
+    }
+    // Doomed writes visible before the kill.
+    assert_eq!(
+        cl.query(sched.lost[0]).unwrap().as_deref(),
+        Some(&value_of(sched.lost[0])[..])
+    );
+    cl.shutdown().unwrap();
+    drop(srv.wait().unwrap()); // no snapshot taken: post-snapshot state dies
+
+    // Phase 2: restart from the snapshot.
+    let db = FilteredDb::open(&dir, 128, IoPolicy::default()).unwrap();
+    let srv = start(db, ServerConfig::default());
+    let mut cl = Client::connect(srv.local_addr()).unwrap();
+    for &k in &sched.committed {
+        assert_eq!(
+            cl.query(k).unwrap().as_deref(),
+            Some(&value_of(k)[..]),
+            "committed key {k} lost in the crash"
+        );
+    }
+    let mut ghosts = 0usize;
+    for &k in &sched.lost {
+        ghosts += cl.query(k).unwrap().is_some() as usize;
+    }
+    assert_eq!(ghosts, 0, "{ghosts} doomed keys survived the crash");
+
+    // Phase 3: replay the tail, add the post phase, verify the world.
+    cl.insert_batch(&batch(&sched.lost)).unwrap();
+    cl.insert_batch(&batch(&sched.post)).unwrap();
+    for ks in [&sched.committed, &sched.lost, &sched.post] {
+        for &k in ks.iter() {
+            assert_eq!(
+                cl.query(k).unwrap().as_deref(),
+                Some(&value_of(k)[..]),
+                "key {k} wrong after replay"
+            );
+        }
+    }
+    for &p in &sched.probes[..200] {
+        assert_eq!(cl.query(p).unwrap(), None, "probe {p} post-replay");
+    }
+    let stats = cl.stats().unwrap();
+    assert_eq!(stats.filter_len as usize, sched.final_count());
+    cl.shutdown().unwrap();
+    srv.wait().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Proptest case count: default, or `AQF_PROPTEST_CASES` (deep profile).
+fn cases(default: u32) -> u32 {
+    std::env::var("AQF_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(50)))]
+
+    /// Randomized crash points: random filter kind, phase split, kill
+    /// position (including mid-snapshot kills that leave a stale temp
+    /// file), restart every time with zero corruption — every committed
+    /// key answers its exact value, every doomed key is gone.
+    #[test]
+    fn crash_points_recover_with_zero_corruption(
+        kind_idx in 0usize..3,
+        n in 120usize..320,
+        lost_pct in 5u32..45,
+        seed in any::<u64>(),
+        torn in 0u8..3,
+    ) {
+        let kind = ["sharded-aqf", "aqf", "qf"][kind_idx];
+        let dir = aqf_workloads::unique_temp_dir("aqf-e2e-crash");
+        let sched = RestartSchedule::generate(n, lost_pct as f64 / 100.0, 0.1, seed);
+
+        let srv = start(
+            fresh_db(kind, 12, &dir),
+            ServerConfig { snapshot_on_shutdown: false, ..ServerConfig::default() },
+        );
+        let mut cl = Client::connect(srv.local_addr()).unwrap();
+        let items: Vec<(u64, Vec<u8>)> =
+            sched.committed.iter().map(|&k| (k, value_of(k))).collect();
+        cl.insert_batch(&items).unwrap();
+        cl.snapshot().unwrap();
+        if !sched.lost.is_empty() {
+            let doomed: Vec<(u64, Vec<u8>)> =
+                sched.lost.iter().map(|&k| (k, value_of(k))).collect();
+            cl.insert_batch(&doomed).unwrap();
+        }
+        cl.shutdown().unwrap();
+        drop(srv.wait().unwrap()); // hard kill: no final snapshot
+
+        // A mid-snapshot kill leaves a stale temp next to the manifest:
+        // torn garbage (1) or a full-length impostor (2). Recovery must
+        // ignore and remove it.
+        let manifest = dir.join(SNAPSHOT_FILE);
+        let tmp = aqf_bits::snapshot::stale_temp_path(&manifest);
+        match torn {
+            1 => std::fs::write(&tmp, b"torn mid-write").unwrap(),
+            2 => {
+                let full = std::fs::read(&manifest).unwrap();
+                let mut garbage = full.clone();
+                for b in garbage.iter_mut() {
+                    *b ^= 0x5A;
+                }
+                std::fs::write(&tmp, &garbage).unwrap();
+            }
+            _ => {}
+        }
+
+        let db = FilteredDb::open(&dir, 64, IoPolicy::default())
+            .expect("recovery must succeed at every crash point");
+        prop_assert!(!tmp.exists(), "stale temp must be cleaned up");
+        let srv = start(db, ServerConfig { snapshot_on_shutdown: false, ..ServerConfig::default() });
+        let mut cl = Client::connect(srv.local_addr()).unwrap();
+        for &k in &sched.committed {
+            let got = cl.query(k).unwrap();
+            prop_assert_eq!(
+                got.as_deref(),
+                Some(&value_of(k)[..]),
+                "{}: committed key {} corrupted", kind, k
+            );
+        }
+        for &k in &sched.lost {
+            prop_assert!(
+                cl.query(k).unwrap().is_none(),
+                "{}: doomed key {} survived", kind, k
+            );
+        }
+        cl.shutdown().unwrap();
+        srv.wait().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

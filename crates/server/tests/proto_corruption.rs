@@ -1,0 +1,345 @@
+//! Protocol corruption conformance, mirroring the snapshot codec's
+//! `snapshot_conformance` suite: every way a frame can be damaged in
+//! flight must surface as a *typed* [`ProtoError`] — never a panic,
+//! never a silently mis-decoded request — and a server fed garbage must
+//! keep serving its other connections.
+
+use aqf_filters::registry::FilterSpec;
+use aqf_server::proto::{self, decode_frame, encode_frame, op, ProtoError, Request, Response};
+use aqf_server::{Client, Server, ServerConfig};
+use aqf_storage::pager::IoPolicy;
+use aqf_storage::system::{FilteredDb, RevMapMode};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn sample_frames() -> Vec<Vec<u8>> {
+    vec![
+        Request::Query { key: 0xDEAD_BEEF }.encode(),
+        Request::Insert {
+            key: 7,
+            value: b"some value bytes".to_vec(),
+        }
+        .encode(),
+        Request::QueryBatch {
+            keys: (0..40).collect(),
+        }
+        .encode(),
+        Request::Stats.encode(),
+        Response::Value {
+            value: b"v".to_vec(),
+            store_accessed: true,
+        }
+        .encode(),
+        Response::BatchValues {
+            values: vec![Some(b"a".to_vec()), None],
+        }
+        .encode(),
+        Response::Error {
+            code: proto::ErrorCode::Internal,
+            message: "boom".into(),
+        }
+        .encode(),
+    ]
+}
+
+#[test]
+fn every_truncation_is_a_typed_truncated_error() {
+    for wire in sample_frames() {
+        for n in 0..wire.len() {
+            match decode_frame(&wire[..n]) {
+                Err(ProtoError::Truncated { needed, available }) => {
+                    assert_eq!(available, n);
+                    assert!(needed > n, "needed {needed} must exceed available {n}");
+                }
+                Err(e) => panic!("truncation to {n} gave unexpected error {e}"),
+                Ok(_) => panic!("truncation to {n} of a {}-byte frame decoded", wire.len()),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_flipped_byte_is_a_typed_error() {
+    for wire in sample_frames() {
+        for i in 0..wire.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut bad = wire.clone();
+                bad[i] ^= bit;
+                match decode_frame(&bad) {
+                    // Magic/version/length corruption fails structurally;
+                    // anything else must trip the checksum. A flipped
+                    // length byte may also read as Truncated (declared
+                    // length grew past the buffer).
+                    Err(
+                        ProtoError::BadMagic(_)
+                        | ProtoError::UnsupportedVersion { .. }
+                        | ProtoError::Oversized { .. }
+                        | ProtoError::ChecksumMismatch { .. }
+                        | ProtoError::Truncated { .. },
+                    ) => {}
+                    Err(e) => panic!("flip at byte {i} gave unexpected error {e}"),
+                    Ok(_) => panic!("flip at byte {i} still decoded"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_and_version_are_identified_before_the_checksum() {
+    let wire = Request::Query { key: 1 }.encode();
+    let mut bad = wire.clone();
+    bad[0..4].copy_from_slice(b"HTTP");
+    assert!(matches!(
+        decode_frame(&bad),
+        Err(ProtoError::BadMagic(m)) if &m == b"HTTP"
+    ));
+    let mut bad = wire.clone();
+    bad[4..6].copy_from_slice(&9u16.to_le_bytes());
+    assert!(matches!(
+        decode_frame(&bad),
+        Err(ProtoError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        })
+    ));
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_before_allocation() {
+    // A frame whose header claims a payload beyond MAX_PAYLOAD must be
+    // rejected from the 12 header bytes alone, before any allocation.
+    let wire = Request::Query { key: 1 }.encode();
+    for declared in [proto::MAX_PAYLOAD + 1, u32::MAX, 1 << 30] {
+        let mut bad = wire.clone();
+        bad[8..12].copy_from_slice(&declared.to_le_bytes());
+        match decode_frame(&bad) {
+            Err(ProtoError::Oversized { declared: d, max }) => {
+                assert_eq!(d, declared);
+                assert_eq!(max, proto::MAX_PAYLOAD);
+            }
+            other => panic!("declared={declared}: expected Oversized, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn checksum_valid_splices_fail_payload_decode_not_checksum() {
+    // An attacker (or a buggy proxy) can re-seal a frame after tampering:
+    // shuffle payload bytes, recompute the checksum. The envelope then
+    // validates — the payload decoder must still reject structurally
+    // broken contents with Corrupt/UnknownOp, not accept them.
+    let assemble = |op_tag: u8, payload: &[u8]| encode_frame(op_tag, 0, payload);
+
+    // (a) Query payload one byte short (7-byte key).
+    let spliced = assemble(op::QUERY, &[1, 2, 3, 4, 5, 6, 7]);
+    let (frame, _) = decode_frame(&spliced).expect("envelope is checksum-valid");
+    assert!(matches!(
+        Request::decode(&frame),
+        Err(ProtoError::Corrupt(_))
+    ));
+
+    // (b) Batch declaring more keys than the payload carries.
+    let mut p = Vec::new();
+    p.extend_from_slice(&100u32.to_le_bytes());
+    p.extend_from_slice(&7u64.to_le_bytes()); // only one key present
+    let spliced = assemble(op::QUERY_BATCH, &p);
+    let (frame, _) = decode_frame(&spliced).unwrap();
+    assert!(matches!(
+        Request::decode(&frame),
+        Err(ProtoError::Corrupt(_))
+    ));
+
+    // (c) Insert whose value length field runs past the payload.
+    let mut p = Vec::new();
+    p.extend_from_slice(&7u64.to_le_bytes());
+    p.extend_from_slice(&1000u32.to_le_bytes()); // value "length"
+    p.extend_from_slice(b"short");
+    let spliced = assemble(op::INSERT, &p);
+    let (frame, _) = decode_frame(&spliced).unwrap();
+    assert!(matches!(
+        Request::decode(&frame),
+        Err(ProtoError::Corrupt(_))
+    ));
+
+    // (d) Unknown op tag in a perfectly sealed envelope.
+    let spliced = assemble(0x7F, &[]);
+    let (frame, _) = decode_frame(&spliced).unwrap();
+    assert!(matches!(
+        Request::decode(&frame),
+        Err(ProtoError::UnknownOp(0x7F))
+    ));
+
+    // (e) Response error frame with an out-of-range error code.
+    let mut p = Vec::new();
+    p.extend_from_slice(&999u16.to_le_bytes());
+    p.extend_from_slice(&0u32.to_le_bytes());
+    let spliced = assemble(op::RESP_ERROR, &p);
+    let (frame, _) = decode_frame(&spliced).unwrap();
+    assert!(matches!(
+        Response::decode(&frame),
+        Err(ProtoError::Corrupt(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Live-server resilience: garbage on one connection never disturbs
+// another, and the server never dies.
+// ---------------------------------------------------------------------
+
+fn start_server(tag: &str) -> (Server, std::net::SocketAddr, std::path::PathBuf) {
+    let dir = aqf_workloads::unique_temp_dir(&format!("aqf-proto-{tag}"));
+    let db = FilteredDb::new(
+        FilterSpec::new("sharded-aqf", 12)
+            .with_seed(5)
+            .build()
+            .unwrap(),
+        &dir,
+        128,
+        IoPolicy::default(),
+        RevMapMode::Merged,
+    )
+    .unwrap();
+    let srv = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = srv.local_addr();
+    (srv, addr, dir)
+}
+
+#[test]
+fn garbage_connections_do_not_disturb_healthy_ones() {
+    let (srv, addr, dir) = start_server("garbage");
+    let mut healthy = Client::connect(addr).unwrap();
+    healthy.insert(42, b"answer").unwrap();
+
+    // A rotation of hostile peers, mid-conversation with the healthy one.
+    for (i, garbage) in [
+        b"GET / HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(), // alien protocol
+        vec![0u8; 64],                                 // zero noise
+        {
+            let mut g = Request::Query { key: 1 }.encode(); // corrupted frame
+            g[20] ^= 0xFF;
+            g
+        },
+        {
+            let mut g = b"AQFP".to_vec(); // oversized header
+            g.extend_from_slice(&1u16.to_le_bytes());
+            g.extend_from_slice(&[op::QUERY, 0]);
+            g.extend_from_slice(&u32::MAX.to_le_bytes());
+            g
+        },
+        Request::Query { key: 5 }.encode()[..10].to_vec(), // truncated, then close
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut evil = TcpStream::connect(addr).unwrap();
+        evil.write_all(&garbage).unwrap();
+        // The server answers structural garbage with a typed error frame
+        // (when the transport allows) and closes; we only require the
+        // connection to die without taking the server with it.
+        let mut sink = Vec::new();
+        evil.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let _ = evil.read_to_end(&mut sink);
+        drop(evil);
+
+        // The healthy connection keeps working after every attack...
+        assert_eq!(
+            healthy.query(42).unwrap().as_deref(),
+            Some(&b"answer"[..]),
+            "attack {i} broke an unrelated connection"
+        );
+        // ...and fresh connections are still accepted.
+        let mut fresh = Client::connect(addr).unwrap();
+        assert_eq!(fresh.query(42).unwrap().as_deref(), Some(&b"answer"[..]));
+    }
+
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown().unwrap();
+    srv.wait().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn client_surfaces_typed_errors_from_a_lying_server() {
+    // A fake "server" that answers every connection with hostile bytes:
+    // the client must produce typed errors, never panic or misparse.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hostile: Vec<Vec<u8>> = vec![
+        b"not a frame at all".to_vec(),
+        {
+            let mut f = Response::Ok.encode();
+            let last = f.len() - 1;
+            f[last] ^= 1; // checksum off by one bit
+            f
+        },
+        Response::Ok.encode()[..5].to_vec(), // truncated then EOF
+        encode_frame(0x13, 0, &[]),          // sealed frame, unknown resp op
+    ];
+    let n = hostile.len();
+    let server = std::thread::spawn(move || {
+        for payload in hostile {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.write_all(&payload).unwrap();
+        }
+    });
+    let mut kinds = Vec::new();
+    for _ in 0..n {
+        let mut c = Client::connect(addr).unwrap();
+        let err = c.stats().unwrap_err();
+        kinds.push(std::mem::discriminant(&err));
+    }
+    server.join().unwrap();
+    assert_eq!(
+        kinds.iter().collect::<std::collections::HashSet<_>>().len(),
+        4,
+        "each corruption class must map to its own typed error"
+    );
+}
+
+use proptest::prelude::*;
+
+/// Proptest case count: default, or `AQF_PROPTEST_CASES` (deep profile).
+fn cases(default: u32) -> u32 {
+    std::env::var("AQF_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    /// Random single-byte mutations of a sealed frame either fail with a
+    /// typed structural error or — impossible in practice, but asserted
+    /// anyway — decode to a byte-identical request. The checksum covers
+    /// every header and payload byte, so nothing in between exists.
+    #[test]
+    fn random_mutations_never_decode_to_a_different_request(
+        key in any::<u64>(),
+        pos in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let req = Request::Query { key };
+        let mut wire = req.encode();
+        let i = pos % wire.len();
+        wire[i] ^= mask;
+        match decode_frame(&wire) {
+            Ok((frame, _)) => {
+                let got = Request::decode(&frame).unwrap();
+                prop_assert_eq!(got, req);
+            }
+            Err(
+                ProtoError::BadMagic(_)
+                | ProtoError::UnsupportedVersion { .. }
+                | ProtoError::Oversized { .. }
+                | ProtoError::ChecksumMismatch { .. }
+                | ProtoError::Truncated { .. },
+            ) => {}
+            Err(e) => {
+                return Err(TestCaseError::fail(format!("untyped failure: {e}")));
+            }
+        }
+    }
+}

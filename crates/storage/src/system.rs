@@ -38,7 +38,9 @@ use aqf::{AdaptiveQf, AqfConfig, FilterError};
 use aqf_bits::snapshot::{
     read_file, stale_temp_path, write_atomic, SnapError, SnapshotReader, SnapshotWriter,
 };
-use aqf_filters::{registry, Adaptivity, AqfDyn, DynFilter, InsertPlan, Keying, MapEvent};
+use aqf_filters::{
+    registry, Adaptivity, AqfDyn, DeletePlan, DynFilter, InsertPlan, Keying, MapEvent,
+};
 use std::path::{Path, PathBuf};
 
 use crate::btree::BTreeStore;
@@ -72,6 +74,8 @@ pub struct SystemStats {
     pub false_positives: u64,
     /// Adaptations performed.
     pub adapts: u64,
+    /// Delete requests processed (whether or not a record was removed).
+    pub deletes: u64,
 }
 
 /// Name of the snapshot manifest inside a [`FilteredDb`]'s directory.
@@ -197,6 +201,7 @@ impl FilteredDb {
         w.u64(self.stats.true_positives);
         w.u64(self.stats.false_positives);
         w.u64(self.stats.adapts);
+        w.u64(self.stats.deletes);
         w.u8(self.split_db.is_some() as u8);
         // B-tree pages stream straight into the manifest buffer — no
         // store-sized intermediate copy (the store dwarfs the filter).
@@ -237,6 +242,7 @@ impl FilteredDb {
             true_positives: r.u64()?,
             false_positives: r.u64()?,
             adapts: r.u64()?,
+            deletes: r.u64()?,
         };
         let has_split = r.u8()? != 0;
         r.section(*b"PRIM")?;
@@ -362,6 +368,74 @@ impl FilteredDb {
                 self.verify_at_loc(key, loc)
             }
         }
+    }
+
+    /// Delete `key` end to end: remove its fingerprint from the filter
+    /// and its record(s) from the database. `Ok(Ok(true))` means the key
+    /// was present in the filter (a record was removed or a duplicate
+    /// count decremented); `Ok(Ok(false))` means the filter never held it.
+    /// Filters without deletion support return their typed
+    /// [`FilterError`] and touch nothing.
+    ///
+    /// Location-keyed filters (the AQF family) key records by
+    /// `(minirun id, rank)`; removing a fingerprint group shifts the
+    /// ranks of later groups in its minirun down by one, so the database
+    /// replays the same shift — records of later ranks move down one
+    /// store key, mirroring exactly what `aqf::ShadowMap::remove` does to
+    /// the in-memory map (see [`DeletePlan::ShiftFrom`]).
+    ///
+    /// Caveat shared with every approximate-membership delete: the filter
+    /// removes *a* fingerprint matching `key`'s, so deleting a key whose
+    /// fingerprint collides with another stored key's can remove the
+    /// colliding entry instead. Callers that cannot tolerate this should
+    /// only delete keys they previously inserted (the collision
+    /// probability is then the filter's ε).
+    pub fn delete(&mut self, key: u64) -> std::io::Result<Result<bool, FilterError>> {
+        self.stats.deletes += 1;
+        let plan = match self.filter.delete_tracked(key) {
+            Ok(p) => p,
+            Err(e) => return Ok(Err(e)),
+        };
+        match plan {
+            DeletePlan::Missing => return Ok(Ok(false)),
+            DeletePlan::Decremented => return Ok(Ok(true)),
+            DeletePlan::AtKey => {
+                self.primary.delete(key)?;
+            }
+            DeletePlan::ShiftFrom(loc) => {
+                // The vacated rank's record goes away and later ranks of
+                // the same minirun slide down one store key. The packed
+                // key layout (`minirun << RANK_BITS | rank`) makes them
+                // adjacent; the minirun guard stops the walk at the first
+                // gap or minirun boundary, so a full rank-255 minirun can
+                // never pull the next minirun's rank-0 record in.
+                let mut l = loc;
+                loop {
+                    let next = l + 1;
+                    let same_minirun =
+                        (next >> aqf::revmap::RANK_BITS) == (l >> aqf::revmap::RANK_BITS);
+                    let moved = if same_minirun {
+                        self.primary.get(next)?
+                    } else {
+                        None
+                    };
+                    match moved {
+                        Some(v) => {
+                            self.primary.put(l, &v)?;
+                            l = next;
+                        }
+                        None => {
+                            self.primary.delete(l)?;
+                            break;
+                        }
+                    }
+                }
+                if let Some(db) = &mut self.split_db {
+                    db.delete(key)?;
+                }
+            }
+        }
+        Ok(Ok(true))
     }
 
     /// Key-keyed verification: the filter answered `positive`; a positive

@@ -262,3 +262,74 @@ fn batch_insert_and_query_match_per_key_system() {
         std::fs::remove_dir_all(&dir_b).unwrap();
     }
 }
+
+#[test]
+fn delete_removes_keys_and_preserves_survivors() {
+    // Every deletion-capable kind: insert many keys, delete every third,
+    // then verify element-wise that deleted keys are gone and survivors
+    // still resolve to their exact values. For the AQF family this
+    // exercises the rank-shift replay in the merged reverse map (deleting
+    // a fingerprint group slides later ranks of its minirun down one
+    // store key, and the B-tree must follow).
+    for kind in ["aqf", "sharded-aqf", "cf", "yesno"] {
+        let dir = temp_dir(&format!("delete-{kind}"));
+        let spec = FilterSpec::new(kind, 12).with_seed(5);
+        let mut db = registry_db(&spec, &dir, RevMapMode::Merged);
+
+        let n = 2000u64;
+        let keys: Vec<u64> = (0..n).map(|k| k * 3 + 1).collect();
+        for &k in &keys {
+            db.insert(k, &(k * 7).to_le_bytes()).unwrap().unwrap();
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(
+                    db.delete(k).unwrap(),
+                    Ok(true),
+                    "{kind}: delete of member {k} must report presence"
+                );
+            }
+        }
+        assert_eq!(db.stats().deletes, (n as usize).div_ceil(3) as u64);
+        let mut ghost_hits = 0usize;
+        for (i, &k) in keys.iter().enumerate() {
+            let got = db.query(k).unwrap();
+            if i % 3 == 0 {
+                // Deleted. A residual fingerprint collision may still
+                // return a *wrong-key* record only for non-exact kinds;
+                // exact-map kinds must answer None.
+                ghost_hits += got.is_some() as usize;
+            } else {
+                assert_eq!(
+                    got.as_deref(),
+                    Some(&(k * 7).to_le_bytes()[..]),
+                    "{kind}: survivor {k} lost its value"
+                );
+            }
+        }
+        assert!(
+            ghost_hits <= n as usize / 100,
+            "{kind}: {ghost_hits} deleted keys still resolve"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn delete_unsupported_kinds_report_typed_error() {
+    // Location-keyed non-AQF kinds (ACF, TQF) and the plain QF-family
+    // wrappers that lack deletion must surface FilterError, not panic,
+    // and must leave the database untouched.
+    for kind in ["acf", "tqf", "qf", "bloom", "cbf"] {
+        let dir = temp_dir(&format!("delete-unsup-{kind}"));
+        let spec = FilterSpec::new(kind, 12).with_seed(5);
+        let mut db = registry_db(&spec, &dir, RevMapMode::Merged);
+        db.insert(77, b"payload").unwrap().unwrap();
+        assert!(
+            db.delete(77).unwrap().is_err(),
+            "{kind}: delete must be a typed error"
+        );
+        assert_eq!(db.query(77).unwrap().as_deref(), Some(&b"payload"[..]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -9,7 +9,11 @@
 //!   the Shalla URL blocklist (substitutions documented in DESIGN.md §4),
 //!   plus the Fig. 8 churn schedule,
 //! - [`restart`] — the snapshot/kill/recover phase schedule driving the
-//!   crash-recovery tests and the `fig11_persist` benchmark.
+//!   crash-recovery tests and the `fig11_persist` benchmark,
+//! - [`stream`] — the shared query-key stream shapes (uniform / Zipf /
+//!   adversarial, plus the strided settled-key verification cycle) that
+//!   `fig4_parallel --mode=mixed`, `aqf-loadgen`, and `fig13_server` all
+//!   construct through one code path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,11 +21,13 @@
 pub mod adversary;
 pub mod datasets;
 pub mod restart;
+pub mod stream;
 pub mod zipf;
 
 pub use adversary::Adversary;
 pub use datasets::{caida_like_trace, churn_schedule, shalla_like_urls, ChurnOp};
 pub use restart::RestartSchedule;
+pub use stream::{KeyStream, SettledCycle, StreamShape};
 pub use zipf::ZipfGenerator;
 
 use rand::rngs::StdRng;

@@ -1,0 +1,180 @@
+//! Shared key-stream construction for multi-client workloads.
+//!
+//! Several harnesses drive the same three traffic shapes — uniform
+//! background probes, Zipf-skewed queries, and the Fig. 6
+//! repeat-false-positive adversary — against a filter or a filter
+//! server: the `fig4_parallel --mode=mixed` contention bench, the
+//! `aqf-loadgen` network load generator, and the `fig13_server`
+//! end-to-end bench. This module is the one construction point they all
+//! share, so a workload tweak (or bug fix) lands everywhere at once and
+//! the streams stay comparable across harnesses:
+//!
+//! - [`KeyStream`] — a seeded, self-contained query-key source in one of
+//!   the three shapes. The adversarial shape wraps [`Adversary`] and is
+//!   fed observations through [`KeyStream::observe`].
+//! - [`SettledCycle`] — the strided verified-read probe sequence reader
+//!   threads use to hammer settled (known-present) keys; each reader
+//!   starts at its own offset so concurrent readers spread over the
+//!   keyset instead of marching in lockstep.
+//!
+//! `distributions.rs` pins [`KeyStream`]'s output element-wise to the
+//! underlying generators and [`SettledCycle`] to the original inline
+//! formula, so refactoring a harness onto these helpers cannot silently
+//! change its workload.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::adversary::Adversary;
+use crate::zipf::ZipfGenerator;
+
+/// Stride between successive probes of a [`SettledCycle`]. Coprime to
+/// most keyset sizes, so one reader still visits (nearly) every settled
+/// key while distinct readers start `READ_STRIDE` apart.
+pub const READ_STRIDE: usize = 17;
+
+/// The strided settled-key probe sequence for verified reads: probe `i`
+/// of reader `r` is `keys[(r * READ_STRIDE + i) % keys.len()]`.
+///
+/// This is exactly the reader-verification stream of
+/// `fig4_parallel --mode=mixed` (every probe must answer positive — a
+/// false negative on a settled key fails the run), reused by the
+/// loadgen's verified-read connections.
+#[derive(Clone, Debug)]
+pub struct SettledCycle<'a> {
+    keys: &'a [u64],
+    next: usize,
+}
+
+impl<'a> SettledCycle<'a> {
+    /// Reader `reader`'s probe stream over `keys` (non-empty).
+    pub fn new(keys: &'a [u64], reader: usize) -> Self {
+        assert!(!keys.is_empty(), "settled keyset must be non-empty");
+        Self {
+            keys,
+            next: reader.wrapping_mul(READ_STRIDE),
+        }
+    }
+}
+
+impl Iterator for SettledCycle<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        let k = self.keys[self.next % self.keys.len()];
+        self.next = self.next.wrapping_add(1);
+        Some(k)
+    }
+}
+
+/// Which of the three shared traffic shapes a [`KeyStream`] produces.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StreamShape {
+    /// Uniform keys from a bounded universe, spread over the 64-bit key
+    /// space by the shared mixer (like [`crate::uniform_universe_keys`]).
+    Uniform,
+    /// Zipf-skewed keys (the paper's α = 1.5 query distribution).
+    Zipf {
+        /// Zipf exponent.
+        alpha: f64,
+    },
+    /// The Fig. 6 latency-observing adversary: uniform background
+    /// traffic, with observed false positives replayed at `frequency`.
+    Adversarial {
+        /// Fraction of the stream the adversary controls.
+        frequency: f64,
+    },
+}
+
+/// A seeded query-key source in one of the [`StreamShape`]s; see the
+/// module docs.
+pub struct KeyStream {
+    shape: StreamShape,
+    universe: u64,
+    salt: u64,
+    rng: StdRng,
+    zipf: Option<ZipfGenerator>,
+    adversary: Option<Adversary>,
+}
+
+impl KeyStream {
+    /// A stream of `shape` over `universe` elements. `seed` drives the
+    /// sampling RNG; `salt` fixes the universe-element → key mixing (two
+    /// streams with equal `salt` and universe draw from the same keyset,
+    /// so a query stream can be pointed at an insert stream's keys).
+    pub fn new(shape: StreamShape, universe: u64, salt: u64, seed: u64) -> Self {
+        assert!(universe >= 1, "stream universe must be non-empty");
+        let zipf = match shape {
+            StreamShape::Zipf { alpha } => Some(ZipfGenerator::new(universe, alpha, salt)),
+            _ => None,
+        };
+        let adversary = match shape {
+            StreamShape::Adversarial { frequency } => Some(Adversary::new(frequency, seed)),
+            _ => None,
+        };
+        Self {
+            shape,
+            universe,
+            salt,
+            rng: StdRng::seed_from_u64(seed),
+            zipf,
+            adversary,
+        }
+    }
+
+    /// Uniform stream (see [`StreamShape::Uniform`]).
+    pub fn uniform(universe: u64, salt: u64, seed: u64) -> Self {
+        Self::new(StreamShape::Uniform, universe, salt, seed)
+    }
+
+    /// Zipf stream at exponent `alpha` (the paper uses 1.5).
+    pub fn zipf(universe: u64, alpha: f64, salt: u64, seed: u64) -> Self {
+        Self::new(StreamShape::Zipf { alpha }, universe, salt, seed)
+    }
+
+    /// Adversarial stream controlling `frequency` of the traffic.
+    pub fn adversarial(frequency: f64, universe: u64, salt: u64, seed: u64) -> Self {
+        Self::new(StreamShape::Adversarial { frequency }, universe, salt, seed)
+    }
+
+    /// The stream's shape.
+    pub fn shape(&self) -> StreamShape {
+        self.shape
+    }
+
+    /// The key for universe element `i` — ground truth for building the
+    /// member set a [`Self::zipf`] or [`Self::uniform`] stream will hit.
+    pub fn key_for_element(&self, i: u64) -> u64 {
+        crate::aqf_bits_mix(i, self.salt)
+    }
+
+    /// Next query key.
+    pub fn next_key(&mut self) -> u64 {
+        let universe = self.universe;
+        let salt = self.salt;
+        match (&mut self.adversary, &self.zipf) {
+            (Some(adv), _) => {
+                adv.next_query(|rng| crate::aqf_bits_mix(rng.random_range(0..universe), salt))
+            }
+            (None, Some(z)) => z.sample_key(&mut self.rng),
+            (None, None) => crate::aqf_bits_mix(self.rng.random_range(0..universe), salt),
+        }
+    }
+
+    /// Feed back what the issuer could observe about its own query:
+    /// whether it was slow (hit the backing store) and whether it found a
+    /// result. Only the adversarial shape reacts — a slow "not found" is
+    /// a false positive worth replaying ([`Adversary::observe`]).
+    pub fn observe(&mut self, key: u64, went_to_disk: bool, found: bool) {
+        if let Some(adv) = &mut self.adversary {
+            adv.observe(key, went_to_disk, found);
+        }
+    }
+
+    /// Replayable false positives collected so far (0 for non-adversarial
+    /// shapes).
+    pub fn arsenal(&self) -> usize {
+        self.adversary.as_ref().map_or(0, Adversary::arsenal)
+    }
+}

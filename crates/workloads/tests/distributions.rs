@@ -3,7 +3,7 @@
 use aqf_workloads::datasets::{
     caida_like_trace, churn_schedule, shalla_like_urls, url_key, ChurnOp,
 };
-use aqf_workloads::{rng, Adversary, ZipfGenerator};
+use aqf_workloads::{rng, Adversary, KeyStream, SettledCycle, ZipfGenerator};
 use rand::RngExt;
 use std::collections::HashMap;
 
@@ -107,4 +107,71 @@ fn uniform_universe_keys_cover_universe() {
     let distinct: std::collections::HashSet<u64> = ks.iter().copied().collect();
     // 50K draws from 64 mapped values should hit every one.
     assert_eq!(distinct.len(), 64);
+}
+
+// ----------------------------------------------------------------------
+// stream.rs: equivalence pins — the shared KeyStream / SettledCycle
+// helpers must reproduce, element for element, the constructions the
+// harnesses used to build inline (fig4_parallel's reader verification
+// stride, direct ZipfGenerator sampling, direct Adversary driving).
+// Refactoring a harness onto the helpers must not change its workload.
+// ----------------------------------------------------------------------
+
+#[test]
+fn settled_cycle_matches_fig4_inline_formula() {
+    let keys = aqf_workloads::uniform_keys(1013, 5);
+    for reader in [0usize, 1, 3, 11] {
+        let got: Vec<u64> = SettledCycle::new(&keys, reader).take(5000).collect();
+        // The formula fig4_parallel --mode=mixed readers used inline.
+        let want: Vec<u64> = (0..5000)
+            .map(|j| keys[(reader * 17 + j) % keys.len()])
+            .collect();
+        assert_eq!(got, want, "reader {reader} diverged from the inline stride");
+    }
+}
+
+#[test]
+fn keystream_zipf_matches_direct_generator() {
+    let (universe, alpha, salt, seed) = (100_000u64, 1.5f64, 7u64, 42u64);
+    let mut s = KeyStream::zipf(universe, alpha, salt, seed);
+    let z = ZipfGenerator::new(universe, alpha, salt);
+    let mut r = rng(seed);
+    for i in 0..20_000 {
+        assert_eq!(s.next_key(), z.sample_key(&mut r), "draw {i} diverged");
+    }
+}
+
+#[test]
+fn keystream_uniform_matches_universe_key_construction() {
+    let (universe, salt, seed) = (1 << 20, 9u64, 3u64);
+    let mut s = KeyStream::uniform(universe, salt, seed);
+    let mut r = rng(seed);
+    for i in 0..20_000 {
+        let want = aqf_workloads::aqf_bits_mix(r.random_range(0..universe), salt);
+        assert_eq!(s.next_key(), want, "draw {i} diverged");
+        assert_eq!(s.key_for_element(i), aqf_workloads::aqf_bits_mix(i, salt));
+    }
+}
+
+#[test]
+fn keystream_adversarial_matches_direct_adversary() {
+    let (frequency, universe, salt, seed) = (0.3f64, 1u64 << 16, 11u64, 8u64);
+    let mut s = KeyStream::adversarial(frequency, universe, salt, seed);
+    let mut a = Adversary::new(frequency, seed);
+    // Identical observation schedules (mixing hits, fast misses, and
+    // replay-worthy slow misses)...
+    for k in 0..600u64 {
+        let (disk, found) = (k % 3 != 2, k % 5 == 0);
+        s.observe(k, disk, found);
+        a.observe(k, disk, found);
+    }
+    assert_eq!(s.arsenal(), a.arsenal());
+    assert!(s.arsenal() > 0, "schedule must collect false positives");
+    // ...must yield identical query streams (replays and background
+    // draws interleave by the adversary's own RNG, so element-wise
+    // equality pins both the mix and the background construction).
+    for i in 0..20_000 {
+        let want = a.next_query(|r| aqf_workloads::aqf_bits_mix(r.random_range(0..universe), salt));
+        assert_eq!(s.next_key(), want, "draw {i} diverged");
+    }
 }

@@ -6,16 +6,19 @@
 # - BENCH_PR6.json — fig4_parallel --mode=mixed: lock-free (seqlock) vs
 #   locked read throughput under concurrent write load, sweeping reader
 #   count at 1 writer.
+# - BENCH_PR7.json — fig13_server: loopback TCP server query throughput
+#   vs client connections, per-op vs batched framing.
 #
-# Usage: scripts/bench_json.sh [pr5_outfile] [pr6_outfile]
-# Defaults: BENCH_PR5.json / BENCH_PR6.json, with the exact protocols of
-# the recorded tables in BENCHMARKS.md. Set SKIP_PR5=1 or SKIP_PR6=1 to
-# emit only one point.
+# Usage: scripts/bench_json.sh [pr5_outfile] [pr6_outfile] [pr7_outfile]
+# Defaults: BENCH_PR5.json / BENCH_PR6.json / BENCH_PR7.json, with the
+# exact protocols of the recorded tables in BENCHMARKS.md. Set SKIP_PR5=1,
+# SKIP_PR6=1 or SKIP_PR7=1 to emit a subset.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PR5_OUT="${1:-BENCH_PR5.json}"
 PR6_OUT="${2:-BENCH_PR6.json}"
+PR7_OUT="${3:-BENCH_PR7.json}"
 
 if [[ -z "${SKIP_PR5:-}" ]]; then
   cargo build --release --locked -p aqf-bench --bin fig12_layout
@@ -31,4 +34,12 @@ if [[ -z "${SKIP_PR6:-}" ]]; then
     --mode=mixed --qbits=20 --shard-bits=3 --load=0.7 \
     --max-threads=8 --writers=1 --reads=200000 --reps=5 --json="$PR6_OUT"
   echo "perf point written to $PR6_OUT"
+fi
+
+if [[ -z "${SKIP_PR7:-}" ]]; then
+  cargo build --release --locked -p aqf-bench --bin fig13_server
+  ./target/release/fig13_server \
+    --qbits=16 --load=0.6 --max-conns=8 --ops=30000 --batch=64 \
+    --pipeline=32 --filter=aqf,sharded-aqf,qf --json="$PR7_OUT"
+  echo "perf point written to $PR7_OUT"
 fi
