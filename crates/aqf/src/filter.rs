@@ -100,6 +100,8 @@ pub struct AqfStats {
     pub extension_slots: u64,
     /// Total counter slots currently in the table.
     pub counter_slots: u64,
+    /// Capacity-doubling grow events since construction.
+    pub grows: u64,
 }
 
 /// The AdaptiveQF (paper §3–4): a counting quotient filter that corrects
@@ -115,6 +117,11 @@ pub struct AdaptiveQf {
     /// Physical slots in use.
     pub(crate) slots_used: u64,
     pub(crate) stats: AqfStats,
+    /// Auto-grow load-factor threshold; `None` disables auto-grow.
+    pub(crate) auto_grow: Option<f64>,
+    /// File name of the arena backing file (plain name, lives beside the
+    /// snapshot); `None` for heap-backed tables.
+    pub(crate) backing_file: Option<String>,
 }
 
 impl AdaptiveQf {
@@ -130,6 +137,8 @@ impl AdaptiveQf {
             total_count: 0,
             slots_used: 0,
             stats: AqfStats::default(),
+            auto_grow: None,
+            backing_file: None,
         })
     }
 
@@ -179,6 +188,119 @@ impl AdaptiveQf {
     #[inline]
     pub fn stats(&self) -> AqfStats {
         self.stats
+    }
+
+    /// Canonical slot capacity (`2^qbits`).
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.t.canonical as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic capacity (ROADMAP item 1): grow-on-threshold / grow-on-full
+    // ------------------------------------------------------------------
+
+    /// True while the geometry can still double (`qbits+1`, `rbits-1`
+    /// needs at least two remainder bits to give one up).
+    #[inline]
+    pub fn supports_grow(&self) -> bool {
+        self.cfg.rbits >= 2
+    }
+
+    /// Enable automatic capacity doubling on insert once
+    /// [`Self::load_factor`] reaches `threshold` (also retried on a
+    /// [`FilterError::Full`] insert), or disable it with `None`.
+    /// Thresholds outside `(0, 1]` are invalid.
+    pub fn set_auto_grow(&mut self, threshold: Option<f64>) -> Result<(), FilterError> {
+        if let Some(t) = threshold {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(FilterError::InvalidConfig(
+                    "auto-grow threshold must be in (0, 1]",
+                ));
+            }
+        }
+        self.auto_grow = threshold;
+        Ok(())
+    }
+
+    /// The configured auto-grow threshold, if any.
+    #[inline]
+    pub fn auto_grow(&self) -> Option<f64> {
+        self.auto_grow
+    }
+
+    /// Grow if auto-grow is enabled and the load factor has reached the
+    /// threshold (the cqfrs `check_and_resize` hook, run before every
+    /// insert). Returns whether a grow happened.
+    pub fn check_and_resize(&mut self) -> Result<bool, FilterError> {
+        let Some(threshold) = self.auto_grow else {
+            return Ok(false);
+        };
+        if self.load_factor() < threshold || !self.supports_grow() {
+            return Ok(false);
+        }
+        self.grow_in_place()?;
+        Ok(true)
+    }
+
+    /// Replace this filter with its doubled-capacity rebuild
+    /// ([`Self::grow`]), carrying over the cumulative stats and the
+    /// auto-grow setting. Minirun ids and within-minirun ranks are
+    /// invariant under grow (the fingerprint bit string is merely re-split
+    /// at `qbits+1`), so reverse-map state keyed on them stays valid.
+    /// A file-backed table grows into the heap; re-attach with
+    /// [`Self::set_file_backing`] (the next snapshot does this for
+    /// file-backed systems).
+    pub fn grow_in_place(&mut self) -> Result<(), FilterError> {
+        let mut grown = self.grow()?;
+        grown.stats.adaptations = self.stats.adaptations;
+        grown.stats.grows = self.stats.grows + 1;
+        grown.auto_grow = self.auto_grow;
+        *self = grown;
+        Ok(())
+    }
+
+    /// True if grow-on-full retry is armed.
+    #[inline]
+    fn can_auto_grow(&self) -> bool {
+        self.auto_grow.is_some() && self.supports_grow()
+    }
+
+    // ------------------------------------------------------------------
+    // File backing
+    // ------------------------------------------------------------------
+
+    /// Move the table arena into a file at `path` (mmap-backed on Linux):
+    /// subsequent mutations write straight into the mapping and
+    /// [`Self::sync`] flushes them. Snapshots of a file-backed filter
+    /// reference the arena by file name, so `path` must be a plain file
+    /// name in the directory the snapshot will live in. Growing falls
+    /// back to a heap arena; call this again to re-attach.
+    pub fn set_file_backing(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "backing path needs a UTF-8 file name",
+                )
+            })?
+            .to_string();
+        self.t.b.migrate_to_file(path)?;
+        self.backing_file = Some(name);
+        Ok(())
+    }
+
+    /// True if the table arena lives in a file.
+    #[inline]
+    pub fn is_file_backed(&self) -> bool {
+        self.t.b.is_file_backed()
+    }
+
+    /// Flush a file-backed arena to disk (no-op for heap tables).
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.t.b.sync()
     }
 
     /// Total bytes of heap memory held by the filter table.
@@ -233,8 +355,14 @@ impl AdaptiveQf {
         value: u64,
         counting: bool,
     ) -> Result<InsertOutcome, FilterError> {
-        let fp = self.fingerprint(key);
-        self.insert_fp(&fp, value, counting)
+        self.check_and_resize()?;
+        loop {
+            let fp = self.fingerprint(key);
+            match self.insert_fp(&fp, value, counting) {
+                Err(FilterError::Full) if self.can_auto_grow() => self.grow_in_place()?,
+                r => return r,
+            }
+        }
     }
 
     fn insert_fp(
@@ -583,10 +711,30 @@ impl AdaptiveQf {
         keys: &[u64],
         mut sink: impl FnMut(usize, InsertOutcome),
     ) -> Result<(), FilterError> {
-        let (fps, order) = self.batch_order(keys);
-        for &i in &order {
-            let out = self.insert_fp(&fps[i as usize], 0, false)?;
-            sink(i as usize, out);
+        self.check_and_resize()?;
+        let (mut fps, order) = self.batch_order(keys);
+        let mut k = 0usize;
+        while k < order.len() {
+            let i = order[k] as usize;
+            match self.insert_fp(&fps[i], 0, false) {
+                Ok(out) => {
+                    sink(i, out);
+                    k += 1;
+                }
+                Err(FilterError::Full) if self.can_auto_grow() => {
+                    self.grow_in_place()?;
+                    // The geometry changed, so re-derive every fingerprint.
+                    // `order` stays valid: the batch bucket is the hash
+                    // string's top bits, which re-splitting at `qbits+1`
+                    // preserves, and same-quotient keys (same bucket before
+                    // and after) keep their stable relative order — so
+                    // outcomes still match sequential insert calls.
+                    for (j, f) in fps.iter_mut().enumerate() {
+                        *f = self.fingerprint(keys[j]);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }

@@ -55,6 +55,13 @@ impl AdaptiveQf {
 }
 
 impl AqfReader {
+    /// True if this reader still aliases `f`'s current arena under the
+    /// same geometry — false once `f` grew (or otherwise swapped its
+    /// table), meaning a fresh reader must be published.
+    pub(crate) fn tracks(&self, f: &AdaptiveQf) -> bool {
+        self.cfg == *f.config() && self.t.b.shares_arena(&f.t.b)
+    }
+
     /// The fingerprint this reader's filter derives for `key`.
     #[inline]
     pub fn fingerprint(&self, key: u64) -> Fingerprint {

@@ -26,6 +26,9 @@
 //! seqlock write section around the mutation. The memory-ordering
 //! contract lives in [`aqf_bits::seqlock`].
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
 use aqf_bits::hash::mix64;
 use aqf_bits::SeqLock;
 use parking_lot::Mutex;
@@ -45,23 +48,73 @@ const BATCH_OPTIMISTIC_RETRIES: usize = 2;
 
 /// One shard: the filter under its writer mutex, plus the seqlock and
 /// arena-aliasing reader that let queries skip the mutex entirely.
+///
+/// **Reader epochs.** A shard's table arena is replaced whenever its
+/// filter grows, so the reader cannot be a single fixed handle. Instead
+/// the shard holds a fixed-capacity vector of [`OnceLock`] reader slots
+/// (capacity = the maximum number of grows the geometry admits, so the
+/// vector never reallocates and published `&AqfReader` borrows stay valid
+/// for the shard's lifetime) plus an atomic index naming the live epoch.
+/// Writers publish a new epoch *inside* their mutex + seqlock write
+/// section ([`Shard::refresh_reader`]); optimistic readers load the index
+/// with `Acquire` after `read_begin`, so a probe that raced a grow either
+/// sees the new epoch or fails seqlock validation and retries.
 pub(crate) struct Shard {
     /// Even/odd version counter; writers (serialized by `qf`'s mutex)
     /// hold a write section for the duration of every mutation.
     pub(crate) seq: SeqLock,
-    /// Optimistic reader sharing `qf`'s table arena. Never mutates;
-    /// every probe is validated against `seq`.
-    reader: AqfReader,
+    /// Reader epochs; slot 0 is the construction-time reader, each grow
+    /// fills the next slot. Fixed capacity — never reallocates.
+    readers: Vec<OnceLock<AqfReader>>,
+    /// Index of the live epoch in `readers`.
+    reader_idx: AtomicUsize,
     pub(crate) qf: Mutex<AdaptiveQf>,
 }
 
 impl Shard {
     pub(crate) fn new(qf: AdaptiveQf) -> Self {
+        // Each grow trades one remainder bit for a quotient bit and
+        // requires rbits >= 2, so a filter born with `r` remainder bits
+        // can grow at most r - 1 times: r epochs suffice, forever.
+        let cap = (qf.config().rbits as usize).max(1);
+        let readers: Vec<OnceLock<AqfReader>> = (0..cap).map(|_| OnceLock::new()).collect();
+        assert!(readers[0].set(qf.reader()).is_ok(), "fresh slot 0 is empty");
         Self {
             seq: SeqLock::new(),
-            reader: qf.reader(),
+            readers,
+            reader_idx: AtomicUsize::new(0),
             qf: Mutex::new(qf),
         }
+    }
+
+    /// The live reader epoch. The `Acquire` load pairs with the `Release`
+    /// publish in [`Shard::refresh_reader`].
+    #[inline]
+    fn current_reader(&self) -> &AqfReader {
+        let idx = self.reader_idx.load(Ordering::Acquire);
+        self.readers[idx]
+            .get()
+            .expect("published reader epoch is initialized")
+    }
+
+    /// Publish a fresh reader epoch if `qf`'s arena or geometry moved out
+    /// from under the live one (i.e. the filter grew). Must be called
+    /// with the shard mutex and a seqlock write section held.
+    fn refresh_reader(&self, qf: &AdaptiveQf) {
+        let idx = self.reader_idx.load(Ordering::Relaxed);
+        if self.readers[idx].get().is_some_and(|r| r.tracks(qf)) {
+            return;
+        }
+        let next = idx + 1;
+        assert!(
+            next < self.readers.len(),
+            "more grows than the initial geometry admits"
+        );
+        assert!(
+            self.readers[next].set(qf.reader()).is_ok(),
+            "epochs advance only under the shard mutex"
+        );
+        self.reader_idx.store(next, Ordering::Release);
     }
 }
 
@@ -119,8 +172,10 @@ impl ShardedAqf {
         self.shard_bits
     }
 
-    /// The per-shard configuration (each shard has `qbits - shard_bits`
-    /// quotient bits; seed and remainder width are shared).
+    /// The *base* per-shard configuration (at construction each shard has
+    /// `qbits - shard_bits` quotient bits; seed and value width stay
+    /// shared forever, but a shard that auto-grew has more quotient bits
+    /// and fewer remainder bits than this base).
     #[inline]
     pub fn shard_config(&self) -> &AqfConfig {
         &self.shard_cfg
@@ -147,7 +202,13 @@ impl ShardedAqf {
         let sh = &self.shards[i];
         let mut qf = sh.qf.lock();
         let _section = sh.seq.write_guard();
-        f(&mut qf)
+        let out = f(&mut qf);
+        // If the mutation grew the shard (new arena / new geometry),
+        // publish a fresh reader epoch before the write section closes —
+        // only this shard pauses; every other shard keeps serving
+        // lock-free reads throughout.
+        sh.refresh_reader(&qf);
+        out
     }
 
     /// Insert `key` (see [`AdaptiveQf::insert`]).
@@ -177,13 +238,17 @@ impl ShardedAqf {
 
     fn query_optimistic_in(&self, shard: usize, key: u64) -> Option<QueryResult> {
         let sh = &self.shards[shard];
-        let fp = sh.reader.fingerprint(key);
         for _ in 0..OPTIMISTIC_RETRIES {
             let Some(stamp) = sh.seq.read_begin() else {
                 std::hint::spin_loop();
                 continue;
             };
-            let probe = sh.reader.query_fp(&fp);
+            // Load the reader epoch *after* read_begin, and re-derive the
+            // fingerprint from it each attempt: a concurrent grow changes
+            // the geometry, and the old epoch's fingerprint would probe
+            // the new arena wrongly (validation catches the race either
+            // way; re-loading just makes the retry use the right epoch).
+            let probe = sh.current_reader().query(key);
             if sh.seq.read_validate(stamp) {
                 match probe {
                     Ok(r) => return Some(r),
@@ -328,7 +393,8 @@ impl ShardedAqf {
                     std::hint::spin_loop();
                     continue;
                 };
-                let r = probe(&sh.reader, &shard_keys, group, out);
+                // Epoch loaded after read_begin — see query_optimistic_in.
+                let r = probe(sh.current_reader(), &shard_keys, group, out);
                 if sh.seq.read_validate(stamp) {
                     match r {
                         Ok(()) => continue 'shards,
@@ -436,6 +502,30 @@ impl ShardedAqf {
             .sum()
     }
 
+    /// Enable per-shard auto-grow at `threshold` (or disable with
+    /// `None`): each shard doubles independently when its own load factor
+    /// crosses the threshold, rebuilding under its mutex + seqlock write
+    /// section while every other shard keeps serving lock-free reads.
+    pub fn set_auto_grow(&self, threshold: Option<f64>) -> Result<(), FilterError> {
+        for i in 0..self.shards.len() {
+            self.with_write(i, |f| f.set_auto_grow(threshold))?;
+        }
+        Ok(())
+    }
+
+    /// True while every shard can still double (see
+    /// [`AdaptiveQf::supports_grow`]); shards grow independently, so this
+    /// reflects the least-grown shard.
+    pub fn supports_grow(&self) -> bool {
+        self.shards.iter().all(|s| s.qf.lock().supports_grow())
+    }
+
+    /// Canonical slot capacity summed across shards (grows over time once
+    /// auto-grow is enabled).
+    pub fn capacity(&self) -> u64 {
+        self.shards.iter().map(|s| s.qf.lock().capacity()).sum()
+    }
+
     /// Aggregated operation statistics across shards
     /// (see [`AdaptiveQf::stats`]).
     pub fn stats(&self) -> AqfStats {
@@ -445,6 +535,7 @@ impl ShardedAqf {
             total.adaptations += st.adaptations;
             total.extension_slots += st.extension_slots;
             total.counter_slots += st.counter_slots;
+            total.grows += st.grows;
         }
         total
     }
@@ -463,10 +554,19 @@ impl ShardedAqf {
     }
 
     /// Used slots over canonical slots — the paper's load factor, computed
-    /// over the whole partitioned table.
+    /// over the whole partitioned table. Sums each shard's *current*
+    /// canonical slot count (shards grow independently, so the uniform
+    /// `shards × base-capacity` shortcut would overstate load after any
+    /// grow).
     pub fn load_factor(&self) -> f64 {
-        let canonical = (self.shards.len() * self.shard_cfg.canonical_slots()) as f64;
-        self.slots_in_use() as f64 / canonical
+        let mut used = 0u64;
+        let mut canonical = 0u64;
+        for s in &self.shards {
+            let f = s.qf.lock();
+            used += f.slots_in_use();
+            canonical += f.capacity();
+        }
+        used as f64 / canonical as f64
     }
 
     /// Bits of table space per stored fingerprint group

@@ -45,14 +45,25 @@ impl AdaptiveQf {
     /// open snapshot. Composable: wrappers embed the body inside their own
     /// frames; use [`AdaptiveQf::to_snapshot_bytes`] for a standalone one.
     pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
-        self.write_config_and_stats(w);
-        // v2: the blocked table arena is serialized natively — offsets,
-        // metadata lanes, and packed slots in one contiguous section.
-        w.section(*b"QTB2");
-        w.blocked(&self.t.b);
+        self.write_config_and_stats(w, true);
+        // v3: the table section leads with a backing tag — 0 embeds the
+        // blocked arena inline (offsets, metadata lanes, and packed slots
+        // in one contiguous run of words), 1 references an arena file
+        // living beside the snapshot (O(1) open, no decode).
+        w.section(*b"QTB3");
+        match &self.backing_file {
+            Some(name) if self.t.b.is_file_backed() => {
+                w.u8(1);
+                w.blocked_external(&self.t.b, name);
+            }
+            _ => {
+                w.u8(0);
+                w.blocked(&self.t.b);
+            }
+        }
     }
 
-    fn write_config_and_stats(&self, w: &mut SnapshotWriter) {
+    fn write_config_and_stats(&self, w: &mut SnapshotWriter, with_grows: bool) {
         w.section(*b"QCFG");
         w.u32(self.cfg.qbits);
         w.u32(self.cfg.rbits);
@@ -67,6 +78,21 @@ impl AdaptiveQf {
         w.u64(self.stats.adaptations);
         w.u64(self.stats.extension_slots);
         w.u64(self.stats.counter_slots);
+        if with_grows {
+            // v3 appended the grow-event counter to the stats section.
+            w.u64(self.stats.grows);
+        }
+    }
+
+    /// Write this filter's body in the legacy v2 layout (inline blocked
+    /// arena, no grow counter). For compatibility tooling and the v2-frame
+    /// regression tests; pair with
+    /// [`SnapshotWriter::new_versioned`]`(kind, 2)`.
+    #[doc(hidden)]
+    pub fn write_snapshot_legacy_v2(&self, w: &mut SnapshotWriter) {
+        self.write_config_and_stats(w, false);
+        w.section(*b"QTB2");
+        w.blocked(&self.t.b);
     }
 
     /// Write this filter's body in the legacy v1 layout (split bit
@@ -75,7 +101,7 @@ impl AdaptiveQf {
     /// [`SnapshotWriter::new_versioned`]`(kind, 1)`.
     #[doc(hidden)]
     pub fn write_snapshot_legacy_v1(&self, w: &mut SnapshotWriter) {
-        self.write_config_and_stats(w);
+        self.write_config_and_stats(w, false);
         w.section(*b"QTAB");
         w.bitvec(&self.t.b.lane_to_bitvec(crate::table::OCC));
         w.bitvec(&self.t.b.lane_to_bitvec(crate::table::RUN));
@@ -121,12 +147,33 @@ impl AdaptiveQf {
             adaptations: r.u64()?,
             extension_slots: r.u64()?,
             counter_slots: r.u64()?,
+            // v3 appended the grow counter; older frames predate growing.
+            grows: if r.version() >= 3 { r.u64()? } else { 0 },
         };
+        let mut backing_file = None;
         let t = if r.version() >= 2 {
-            // Native blocked arena. The file's cached offsets are *not*
-            // trusted: `validate()` below re-derives every one.
-            r.section(*b"QTB2")?;
-            let b = r.blocked()?;
+            // Native blocked arena — inline (v2, or v3 backing tag 0) or
+            // an external arena file (v3 backing tag 1). Inline offsets
+            // are *not* trusted: `validate()` below re-derives every one.
+            let b = if r.version() >= 3 {
+                r.section(*b"QTB3")?;
+                match r.u8()? {
+                    0 => r.blocked()?,
+                    1 => {
+                        let (b, name) = r.blocked_external()?;
+                        backing_file = Some(name);
+                        b
+                    }
+                    tag => {
+                        return Err(SnapError::corrupt(format!(
+                            "unknown table backing tag {tag}"
+                        )));
+                    }
+                }
+            } else {
+                r.section(*b"QTB2")?;
+                r.blocked()?
+            };
             if b.len() != total || b.lanes() != LANES || b.width() != rbits + value_bits {
                 return Err(SnapError::corrupt(format!(
                     "blocked table {}x{}-bit ({} lanes) disagrees with geometry \
@@ -198,12 +245,29 @@ impl AdaptiveQf {
             total_count,
             slots_used,
             stats,
+            auto_grow: None,
+            backing_file,
         };
-        // Full structural sweep: a snapshot that decodes but describes an
-        // impossible table (phantom runends, stat drift, out-of-order
-        // remainders, wrong block offsets) must be rejected here, not
-        // corrupt operations later.
-        f.validate().map_err(SnapError::corrupt)?;
+        if f.t.b.is_file_backed() {
+            // File-backed open is O(1) by design: the arena words are not
+            // decoded (or checksummed), so the full structural sweep would
+            // defeat the point. Cross-check the one cheap summary
+            // invariant — slot accounting — against a popcount of the
+            // used lane; everything else is re-derived lazily or was
+            // validated when the arena was written.
+            let used = f.t.count_used() as u64;
+            if used != slots_used {
+                return Err(SnapError::corrupt(format!(
+                    "arena file holds {used} used slots, snapshot recorded {slots_used}"
+                )));
+            }
+        } else {
+            // Full structural sweep: a snapshot that decodes but describes
+            // an impossible table (phantom runends, stat drift,
+            // out-of-order remainders, wrong block offsets) must be
+            // rejected here, not corrupt operations later.
+            f.validate().map_err(SnapError::corrupt)?;
+        }
         Ok(f)
     }
 
@@ -216,6 +280,15 @@ impl AdaptiveQf {
         w.finish()
     }
 
+    /// Serialize to a standalone frame in the legacy v2 format
+    /// (compatibility tooling / tests).
+    #[doc(hidden)]
+    pub fn to_snapshot_bytes_legacy_v2(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new_versioned(AQF_SNAPSHOT_KIND, 2);
+        self.write_snapshot_legacy_v2(&mut w);
+        w.finish()
+    }
+
     /// Serialize to a standalone snapshot frame.
     pub fn to_snapshot_bytes(&self) -> Vec<u8> {
         let mut w = SnapshotWriter::new(AQF_SNAPSHOT_KIND);
@@ -223,21 +296,39 @@ impl AdaptiveQf {
         w.finish()
     }
 
-    /// Decode a standalone snapshot frame.
+    /// Decode a standalone snapshot frame. Frames referencing an external
+    /// arena file need [`AdaptiveQf::from_snapshot_bytes_in`] (or
+    /// [`AdaptiveQf::load`]) so the reference can be resolved.
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
-        let mut r = SnapshotReader::new(bytes)?;
+        Self::from_snapshot_bytes_in(bytes, None)
+    }
+
+    /// Decode a standalone snapshot frame, resolving external arena
+    /// references against `base_dir`.
+    pub fn from_snapshot_bytes_in(
+        bytes: &[u8],
+        base_dir: Option<&Path>,
+    ) -> Result<Self, SnapError> {
+        let mut r = SnapshotReader::new_in(bytes, base_dir)?;
         r.expect_kind(AQF_SNAPSHOT_KIND)?;
         Self::read_snapshot(&mut r)
     }
 
-    /// Save atomically to `path` (write-temp-then-rename).
+    /// Save atomically to `path` (write-temp-then-rename). A file-backed
+    /// filter syncs its arena first and writes only a reference frame —
+    /// the arena file must live in `path`'s directory (see
+    /// [`AdaptiveQf::set_file_backing`]).
     pub fn save(&self, path: &Path) -> Result<(), SnapError> {
+        if self.is_file_backed() {
+            self.sync()?;
+        }
         Ok(write_atomic(path, &self.to_snapshot_bytes())?)
     }
 
-    /// Load a filter saved by [`AdaptiveQf::save`].
+    /// Load a filter saved by [`AdaptiveQf::save`], resolving external
+    /// arena references against `path`'s directory.
     pub fn load(path: &Path) -> Result<Self, SnapError> {
-        Self::from_snapshot_bytes(&read_file(path)?)
+        Self::from_snapshot_bytes_in(&read_file(path)?, path.parent())
     }
 }
 
@@ -275,20 +366,24 @@ impl ShardedAqf {
             blobs.push(r.bytes()?);
         }
         let shards = decode_shards_parallel(&blobs)?;
-        let shard_cfg = *shards[0].config();
+        // Shards grow independently, so their qbits/rbits may legitimately
+        // diverge; only the routing seed and the value width must agree.
+        // The recorded base config is the least-grown shard's (largest
+        // rbits), matching what construction would have produced.
+        let shard_cfg = *shards
+            .iter()
+            .max_by_key(|s| s.config().rbits)
+            .expect("shard count >= 1")
+            .config();
         for (i, s) in shards.iter().enumerate() {
-            if *s.config() != shard_cfg {
+            let c = s.config();
+            if c.seed != seed || c.value_bits != shard_cfg.value_bits {
                 return Err(SnapError::corrupt(format!(
-                    "shard {i} config {:?} disagrees with shard 0's {shard_cfg:?}",
-                    s.config()
+                    "shard {i} config {c:?} disagrees with routing seed {seed} / \
+                     value width {}",
+                    shard_cfg.value_bits
                 )));
             }
-        }
-        if shard_cfg.seed != seed {
-            return Err(SnapError::corrupt(format!(
-                "shard seed {} disagrees with routing seed {seed}",
-                shard_cfg.seed
-            )));
         }
         Ok(Self {
             shards: shards.into_iter().map(crate::sharded::Shard::new).collect(),

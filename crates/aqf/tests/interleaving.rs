@@ -317,6 +317,99 @@ fn poisoned_shard_falls_back_to_locked_reads() {
     }
 }
 
+/// PR 8 acceptance: while one shard grows (rebuild under its own mutex +
+/// seqlock write section), lock-free reads on the **other** shards keep
+/// succeeding. The writer thread drives the victim shard through several
+/// auto-grow doublings; reader threads spin on settled keys of the other
+/// shards, where `query_optimistic_only` must *always* win first try
+/// (their seqlocks are never held) and always answer positive. The
+/// victim shard's own keys stay reachable through the public fallback
+/// path concurrently with the rebuilds.
+#[test]
+fn reads_on_other_shards_succeed_during_shard_grow() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    // 4 shards of 2^6 slots; rbits 8 leaves headroom for many doublings.
+    let f = Arc::new(ShardedAqf::new(AqfConfig::new(8, 8).with_seed(5), 2).unwrap());
+    f.set_auto_grow(Some(0.8)).unwrap();
+
+    // Bucket a key stream by shard: settle a below-threshold population
+    // everywhere, and reserve a large insert set for the victim shard.
+    const VICTIM: usize = 0;
+    let mut settled: Vec<Vec<u64>> = vec![Vec::new(); f.shard_count()];
+    let mut victim_feed: Vec<u64> = Vec::new();
+    let mut k = 0u64;
+    while victim_feed.len() < 600 {
+        let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x55;
+        k += 1;
+        let s = f.shard_of(key);
+        if settled[s].len() < 30 {
+            f.insert(key).unwrap();
+            settled[s].push(key);
+        } else if s == VICTIM {
+            victim_feed.push(key);
+        }
+    }
+    let grows_before = f.stats().grows;
+
+    let done = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let mut readers = Vec::new();
+    for shard in (0..f.shard_count()).filter(|&s| s != VICTIM) {
+        let (f, done, reads) = (Arc::clone(&f), Arc::clone(&done), Arc::clone(&reads));
+        let keys = settled[shard].clone();
+        readers.push(std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                for &key in &keys {
+                    let r = f
+                        .query_optimistic_only(key)
+                        .expect("optimistic read failed on a shard with no writer");
+                    assert!(r.is_positive(), "false negative for settled key {key}");
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    // A reader on the victim shard itself: the public path must stay
+    // correct right through the grows (it may block on the mutex).
+    let victim_reader = {
+        let (f, done) = (Arc::clone(&f), Arc::clone(&done));
+        let keys = settled[VICTIM].clone();
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                for &key in &keys {
+                    assert!(f.contains(key), "victim-shard key {key} lost mid-grow");
+                }
+            }
+        })
+    };
+
+    // Drive the victim shard through several doublings (600 inserts into
+    // 64 slots at threshold 0.8 needs at least 4).
+    for &key in &victim_feed {
+        f.insert(key).unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for t in readers {
+        t.join().unwrap();
+    }
+    victim_reader.join().unwrap();
+
+    let grew = f.stats().grows - grows_before;
+    assert!(grew >= 3, "victim shard grew only {grew} times");
+    assert!(
+        reads.load(Ordering::Relaxed) > 0,
+        "no concurrent reads observed"
+    );
+    // All settled keys everywhere survived the grows.
+    for keys in &settled {
+        for &key in keys {
+            assert!(f.contains(key), "settled key {key} lost");
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 enum Op {
     Insert(u64),

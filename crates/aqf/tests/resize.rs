@@ -1,0 +1,173 @@
+//! Property tests for online capacity growth (PR 8).
+//!
+//! The grow remap is an identity on fingerprints: the hash bit string is
+//! merely re-split at `qbits+1`, so a filter grown `g` times from
+//! `(q, r)` must be **element-wise equivalent** to a never-grown filter
+//! built directly at `(q+g, r-g)` over the same insert history — same
+//! membership, same minirun ids and ranks (the `query_loc` contract the
+//! reverse map depends on), same occupancy. Grown filters must also
+//! round-trip through snapshot v3 (which records the grow count and
+//! table backing), and legacy v2 frames must still load.
+//!
+//! Case counts scale with `AQF_PROPTEST_CASES` (CI's deep profile).
+
+use aqf::{AdaptiveQf, AqfConfig, QueryResult};
+use proptest::prelude::*;
+
+/// Proptest case count: default, or `AQF_PROPTEST_CASES` (deep profile).
+fn cases(default: u32) -> u32 {
+    std::env::var("AQF_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Compare two filters element-wise over members and a probe space.
+fn assert_equivalent(a: &AdaptiveQf, b: &AdaptiveQf, members: &[u64], probes: u64, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: len");
+    assert_eq!(
+        a.distinct_fingerprints(),
+        b.distinct_fingerprints(),
+        "{ctx}: distinct fingerprints"
+    );
+    assert_eq!(a.slots_in_use(), b.slots_in_use(), "{ctx}: slots in use");
+    assert_eq!(a.capacity(), b.capacity(), "{ctx}: capacity");
+    for &k in members {
+        assert!(a.contains(k) && b.contains(k), "{ctx}: member {k} lost");
+    }
+    for k in 0..probes {
+        let key = k.wrapping_mul(0x9E37_79B9) ^ 0xABCD;
+        match (a.query(key), b.query(key)) {
+            (QueryResult::Negative, QueryResult::Negative) => {}
+            (QueryResult::Positive(ha), QueryResult::Positive(hb)) => {
+                assert_eq!(ha.minirun_id, hb.minirun_id, "{ctx}: minirun id for {key}");
+                assert_eq!(ha.rank, hb.rank, "{ctx}: rank for {key}");
+            }
+            (ra, rb) => panic!("{ctx}: probe {key} diverged: {ra:?} vs {rb:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// A filter grown `g` times equals a never-grown filter built at the
+    /// final geometry, element-wise.
+    #[test]
+    fn grown_matches_never_grown_at_final_size(
+        keys in proptest::collection::vec(0u64..1_000_000, 1..60),
+        seed in 0u64..500,
+        grows in 1u32..=3,
+    ) {
+        let mut keys = keys; keys.sort_unstable(); keys.dedup();
+        let mut grown = AdaptiveQf::new(AqfConfig::new(7, 6).with_seed(seed)).unwrap();
+        for &k in &keys {
+            grown.insert(k).unwrap();
+        }
+        for _ in 0..grows {
+            grown.grow_in_place().unwrap();
+        }
+        grown.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(grown.stats().grows, grows as u64);
+
+        let mut fresh =
+            AdaptiveQf::new(AqfConfig::new(7 + grows, 6 - grows).with_seed(seed)).unwrap();
+        for &k in &keys {
+            fresh.insert(k).unwrap();
+        }
+        assert_equivalent(&grown, &fresh, &keys, 2000, "grown vs fresh");
+    }
+
+    /// Auto-grow driven by inserts reaches the same state as explicit
+    /// grows: members survive, the structure validates, and occupancy
+    /// stays below the threshold's doubling headroom.
+    #[test]
+    fn auto_grow_equals_explicit_grow(
+        seed in 0u64..200,
+    ) {
+        let mut f = AdaptiveQf::new(AqfConfig::new(6, 6).with_seed(seed)).unwrap();
+        f.set_auto_grow(Some(0.85)).unwrap();
+        let n = 512u64; // 8x the 2^6 initial capacity
+        for i in 0..n {
+            let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13;
+            f.insert(k).unwrap();
+        }
+        f.validate().map_err(TestCaseError::fail)?;
+        prop_assert!(f.stats().grows >= 3, "needed >=3 doublings, saw {}", f.stats().grows);
+        prop_assert!(f.capacity() >= n);
+        for i in 0..n {
+            let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13;
+            prop_assert!(f.contains(k), "lost key {} across auto-grows", k);
+        }
+    }
+
+    /// Grown filters round-trip through snapshot v3: geometry, grow
+    /// count, and element-wise behavior all survive.
+    #[test]
+    fn grown_filter_roundtrips_snapshot_v3(
+        keys in proptest::collection::vec(0u64..1_000_000, 1..60),
+        seed in 0u64..200,
+    ) {
+        let mut keys = keys; keys.sort_unstable(); keys.dedup();
+        let mut f = AdaptiveQf::new(AqfConfig::new(7, 5).with_seed(seed)).unwrap();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        f.grow_in_place().unwrap();
+        f.grow_in_place().unwrap();
+
+        let bytes = f.to_snapshot_bytes();
+        let r = AdaptiveQf::from_snapshot_bytes(&bytes).unwrap();
+        r.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(r.stats().grows, 2, "grow count lost in snapshot");
+        prop_assert_eq!(r.config().qbits, 9);
+        prop_assert_eq!(r.config().rbits, 3);
+        assert_equivalent(&f, &r, &keys, 2000, "snapshot roundtrip");
+    }
+
+    /// Legacy v2 frames (no backing/grow metadata) still load; the grow
+    /// counter resets but the element-wise state is intact.
+    #[test]
+    fn legacy_v2_frames_still_load(
+        keys in proptest::collection::vec(0u64..1_000_000, 1..60),
+        seed in 0u64..200,
+    ) {
+        let mut keys = keys; keys.sort_unstable(); keys.dedup();
+        let mut f = AdaptiveQf::new(AqfConfig::new(7, 5).with_seed(seed)).unwrap();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        f.grow_in_place().unwrap();
+
+        let bytes = f.to_snapshot_bytes_legacy_v2();
+        let r = AdaptiveQf::from_snapshot_bytes(&bytes).unwrap();
+        r.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(r.stats().grows, 0, "v2 frames carry no grow count");
+        assert_equivalent(&f, &r, &keys, 2000, "v2 load");
+    }
+}
+
+/// A grown, file-backed filter snapshots by arena reference and reopens
+/// from the mapped file with its state intact (deterministic, so kept
+/// outside the proptest block).
+#[test]
+fn grown_file_backed_filter_reopens() {
+    let dir = std::env::temp_dir().join(format!("aqf-resize-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut f = AdaptiveQf::new(AqfConfig::new(7, 5).with_seed(11)).unwrap();
+    let keys: Vec<u64> = (0..90u64).map(|i| i * 7919 + 3).collect();
+    for &k in &keys {
+        f.insert(k).unwrap();
+    }
+    f.grow_in_place().unwrap();
+    // Grow falls back to the heap; re-attach the arena, then snapshot.
+    f.set_file_backing(&dir.join("table.arena")).unwrap();
+    assert!(f.is_file_backed());
+    f.save(&dir.join("filter.snap")).unwrap();
+
+    let r = AdaptiveQf::load(&dir.join("filter.snap")).unwrap();
+    assert!(r.is_file_backed(), "reopened filter lost its arena backing");
+    assert_eq!(r.stats().grows, 1);
+    assert_equivalent(&f, &r, &keys, 2000, "file-backed reopen");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,194 @@
+//! "Figure 14" (beyond the paper): the cost of online capacity growth
+//! and the payoff of file-backed tables (PR 8).
+//!
+//! **Section 1 — insert throughput across grow events.** A filter that
+//! starts small and doubles on a load-factor threshold pays for each
+//! grow with a full rebuild into the doubled table. This section inserts
+//! the same key set into (a) a filter starting at `--qbits-start` with
+//! auto-grow enabled and (b) a filter pre-sized to the final geometry,
+//! and reports aggregate throughput plus the number of grow events —
+//! the amortized price of not knowing your capacity in advance. Runs on
+//! every growable `--filter` kind.
+//!
+//! **Section 2 — file-backed open vs full decode.** A snapshot of a
+//! file-backed filter references its table arena by name instead of
+//! inlining it; `load` maps the arena (page-cache warm or lazily faulted)
+//! and runs a cheap occupancy check instead of decoding and rebuilding
+//! the table. This section saves the same `--file-qbits` filter both
+//! ways and times the two load paths — the restart-latency trade that
+//! motivates file backing for big tables.
+//!
+//! Defaults: section 1 grows 2^10 -> 2^{14} slots at threshold 0.85
+//! (`--qbits-start`, `--qbits-final`, `--threshold`); section 2 at
+//! 2^22 slots (`--file-qbits`), 3 reps (`--reps`). `--json=PATH` writes
+//! the rows as machine-readable JSON (see `scripts/bench_json.sh`,
+//! which emits `BENCH_PR8.json`).
+
+use std::fmt::Write as _;
+
+use aqf_bench::*;
+use aqf_workloads::{uniform_keys, unique_temp_dir};
+
+struct GrowRow {
+    kind: String,
+    grows: u64,
+    grown_mops: f64,
+    presized_mops: f64,
+}
+
+fn main() {
+    let qbits_start = flag_u64("qbits-start", 10) as u32;
+    let qbits_final = (flag_u64("qbits-final", 14) as u32).max(qbits_start);
+    let threshold = flag_f64("threshold", 0.85);
+    let file_qbits = flag_u64("file-qbits", 22) as u32;
+    let reps = (flag_u64("reps", 3) as usize).max(1);
+    let json_path = flag_str("json", "");
+    let kinds = filter_kinds(&["aqf", "sharded-aqf"]);
+
+    // ---- Section 1: insert throughput across grow events ---------------
+    let n = ((1u64 << qbits_final) as f64 * (threshold - 0.05)) as usize;
+    let keys = uniform_keys(n, 31);
+    let mut grow_rows = Vec::new();
+    for kind in &kinds {
+        let spec_small = FilterSpec::new(kind.clone(), qbits_start).with_seed(1);
+        {
+            let mut probe = spec_small.build().expect("spec validated by filter_kinds");
+            if !probe.supports_grow() || probe.set_auto_grow(Some(threshold)).is_err() {
+                eprintln!("skipping {kind}: not growable");
+                continue;
+            }
+        }
+
+        let mut grown_s = f64::INFINITY;
+        let mut grows = 0;
+        for _ in 0..reps {
+            let mut f = spec_small.build().expect("spec validated");
+            f.set_auto_grow(Some(threshold)).expect("checked above");
+            let (_, s) = timed(|| {
+                for c in keys.chunks(4096) {
+                    f.insert_batch(c).expect("auto-grow absorbs the overflow");
+                }
+            });
+            grown_s = grown_s.min(s);
+            grows = f.grows();
+        }
+
+        let spec_final = FilterSpec::new(kind.clone(), qbits_final).with_seed(1);
+        let mut presized_s = f64::INFINITY;
+        for _ in 0..reps {
+            let mut f = spec_final.build().expect("spec validated");
+            let (_, s) = timed(|| {
+                for c in keys.chunks(4096) {
+                    f.insert_batch(c).expect("pre-sized to fit");
+                }
+            });
+            presized_s = presized_s.min(s);
+        }
+
+        grow_rows.push(GrowRow {
+            kind: kind.clone(),
+            grows,
+            grown_mops: n as f64 / grown_s / 1e6,
+            presized_mops: n as f64 / presized_s / 1e6,
+        });
+    }
+    print_table(
+        &format!(
+            "Fig 14a: insert throughput, auto-grown 2^{qbits_start}->2^{qbits_final} \
+             vs pre-sized (threshold {threshold}, {n} keys, best of {reps})"
+        ),
+        &[
+            "Filter",
+            "Grows",
+            "Grown Mops",
+            "Pre-sized Mops",
+            "Overhead",
+        ],
+        &grow_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kind.clone(),
+                    r.grows.to_string(),
+                    format!("{:.3}", r.grown_mops),
+                    format!("{:.3}", r.presized_mops),
+                    format!("{:.2}x", r.presized_mops / r.grown_mops),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // ---- Section 2: file-backed open vs full decode ---------------------
+    use aqf::{AdaptiveQf, AqfConfig};
+    let dir = unique_temp_dir("aqf-fig14");
+    std::fs::create_dir_all(&dir).expect("create bench tempdir");
+    let slots = 1u64 << file_qbits;
+    let fn_keys = uniform_keys((slots as f64 * 0.85) as usize, 32);
+    let mut f = AdaptiveQf::new(AqfConfig::new(file_qbits, 9).with_seed(1)).expect("config");
+    for &k in &fn_keys {
+        f.insert(k).expect("sized to fit");
+    }
+    let full_path = dir.join("full.snap");
+    f.save(&full_path).expect("save full snapshot");
+    f.set_file_backing(&dir.join("table.arena"))
+        .expect("migrate to arena file");
+    let fb_path = dir.join("fb.snap");
+    f.save(&fb_path).expect("save file-backed snapshot");
+
+    let mut full_s = f64::INFINITY;
+    let mut fb_s = f64::INFINITY;
+    for _ in 0..reps {
+        let (g, s) = timed(|| AdaptiveQf::load(&full_path).expect("full decode load"));
+        assert_eq!(g.len(), f.len(), "full decode must reproduce the filter");
+        full_s = full_s.min(s);
+        let (g, s) = timed(|| AdaptiveQf::load(&fb_path).expect("file-backed load"));
+        assert_eq!(g.len(), f.len(), "mapped open must reproduce the filter");
+        fb_s = fb_s.min(s);
+    }
+    print_table(
+        &format!("Fig 14b: restart load path, 2^{file_qbits} slots (best of {reps})"),
+        &["Path", "Load ms", "Speedup"],
+        &[
+            vec![
+                "full decode".into(),
+                format!("{:.2}", full_s * 1e3),
+                "1.0x".into(),
+            ],
+            vec![
+                "file-backed open".into(),
+                format!("{:.2}", fb_s * 1e3),
+                format!("{:.1}x", full_s / fb_s),
+            ],
+        ],
+    );
+
+    if !json_path.is_empty() {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"fig14_resize\",");
+        let _ = writeln!(out, "  \"qbits_start\": {qbits_start},");
+        let _ = writeln!(out, "  \"qbits_final\": {qbits_final},");
+        let _ = writeln!(out, "  \"threshold\": {threshold},");
+        let _ = writeln!(out, "  \"keys\": {n},");
+        out.push_str("  \"grow_rows\": [\n");
+        for (i, r) in grow_rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"filter\": \"{}\", \"grows\": {}, \"grown_insert_mops\": {:.3}, \
+                 \"presized_insert_mops\": {:.3}}}",
+                r.kind, r.grows, r.grown_mops, r.presized_mops
+            );
+            out.push_str(if i + 1 < grow_rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(out, "  \"open\": {{");
+        let _ = writeln!(out, "    \"slots\": {slots},");
+        let _ = writeln!(out, "    \"full_decode_ms\": {:.3},", full_s * 1e3);
+        let _ = writeln!(out, "    \"file_backed_open_ms\": {:.3},", fb_s * 1e3);
+        let _ = writeln!(out, "    \"speedup\": {:.2}", full_s / fb_s);
+        out.push_str("  }\n}\n");
+        std::fs::write(&json_path, out).expect("write --json file");
+        eprintln!("wrote {json_path}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,477 @@
+//! Where a [`crate::BlockedTable`]'s word arena lives: heap or file.
+//!
+//! [`TableBacking`] abstracts the storage behind the blocked table's
+//! `AtomicU64` arena. The heap variant is what every table has used so
+//! far: one anonymous allocation. The file variant maps the arena
+//! directly out of a file (`mmap` with `MAP_SHARED` on Linux, a
+//! read-into-heap/write-back emulation elsewhere), so "loading" a
+//! snapshot becomes an O(1) open + demand paging instead of a full
+//! decode, and tables larger than RAM stay usable.
+//!
+//! An arena file is:
+//!
+//! ```text
+//! offset  size      field
+//! 0       8         magic  "AQFARENA"
+//! 8       2         format version (LE; currently 1)
+//! 10      2         reserved (zero)
+//! 12      4         metadata lanes (LE)
+//! 16      4         slot width in bits (LE)
+//! 20      8         logical slot count (LE)
+//! 28      8         arena word count (LE)
+//! 36      ..4096    reserved (zero)
+//! 4096    nwords*8  the word arena, little-endian u64s, page-aligned
+//! ```
+//!
+//! The header pins the geometry so an arena can never be re-opened with
+//! the wrong shape; the page-aligned payload means the mapped words are
+//! always 8-byte aligned for `AtomicU64` access. Arena *contents* are
+//! deliberately not checksummed — a content checksum would force a full
+//! read and defeat the O(1) open. Callers that need integrity pair the
+//! arena with a checksummed frame carrying cheap summary invariants.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Arena file magic.
+pub const ARENA_MAGIC: [u8; 8] = *b"AQFARENA";
+/// Arena file format version.
+pub const ARENA_VERSION: u16 = 1;
+/// Byte offset of the word arena within an arena file (one page, so the
+/// mapped payload is page- and hence 8-byte aligned).
+pub const ARENA_HEADER_LEN: usize = 4096;
+
+/// Geometry recorded in an arena file header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaGeometry {
+    /// Logical slot count of the table.
+    pub len: usize,
+    /// Metadata lanes per block.
+    pub lanes: u32,
+    /// Slot width in bits.
+    pub width: u32,
+    /// Total words in the arena.
+    pub nwords: usize,
+}
+
+fn encode_header(g: &ArenaGeometry) -> [u8; 36] {
+    let mut h = [0u8; 36];
+    h[0..8].copy_from_slice(&ARENA_MAGIC);
+    h[8..10].copy_from_slice(&ARENA_VERSION.to_le_bytes());
+    h[12..16].copy_from_slice(&g.lanes.to_le_bytes());
+    h[16..20].copy_from_slice(&g.width.to_le_bytes());
+    h[20..28].copy_from_slice(&(g.len as u64).to_le_bytes());
+    h[28..36].copy_from_slice(&(g.nwords as u64).to_le_bytes());
+    h
+}
+
+fn decode_header(h: &[u8; 36]) -> io::Result<ArenaGeometry> {
+    if h[0..8] != ARENA_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an AQF arena file (bad magic)",
+        ));
+    }
+    let version = u16::from_le_bytes([h[8], h[9]]);
+    if version != ARENA_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported arena format version {version}"),
+        ));
+    }
+    Ok(ArenaGeometry {
+        lanes: u32::from_le_bytes(h[12..16].try_into().unwrap()),
+        width: u32::from_le_bytes(h[16..20].try_into().unwrap()),
+        len: u64::from_le_bytes(h[20..28].try_into().unwrap()) as usize,
+        nwords: u64::from_le_bytes(h[28..36].try_into().unwrap()) as usize,
+    })
+}
+
+/// The storage behind a blocked table's word arena.
+///
+/// Cloning a `TableBacking` clones the *handle* (both variants are
+/// reference-counted); the words themselves are shared, which is exactly
+/// what [`crate::BlockedTable::share`] needs.
+#[derive(Clone)]
+pub struct TableBacking {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Anonymous heap allocation.
+    Heap(Arc<[AtomicU64]>),
+    /// File-backed arena (`mmap` on Linux, emulated elsewhere).
+    File(Arc<FileArena>),
+}
+
+impl TableBacking {
+    /// A zeroed heap arena of `nwords` words.
+    pub fn heap(nwords: usize) -> Self {
+        Self {
+            repr: Repr::Heap((0..nwords).map(|_| AtomicU64::new(0)).collect()),
+        }
+    }
+
+    /// Create a new zeroed file-backed arena at `path` (truncating any
+    /// existing file) and record `geometry` in its header.
+    pub fn create_file(path: &Path, geometry: ArenaGeometry) -> io::Result<Self> {
+        Ok(Self {
+            repr: Repr::File(Arc::new(FileArena::create(path, geometry)?)),
+        })
+    }
+
+    /// Open an existing arena file, returning the backing and the
+    /// geometry recorded in its header.
+    pub fn open_file(path: &Path) -> io::Result<(Self, ArenaGeometry)> {
+        let (arena, g) = FileArena::open(path)?;
+        Ok((
+            Self {
+                repr: Repr::File(Arc::new(arena)),
+            },
+            g,
+        ))
+    }
+
+    /// The word arena.
+    #[inline(always)]
+    pub fn words(&self) -> &[AtomicU64] {
+        match &self.repr {
+            Repr::Heap(w) => w,
+            Repr::File(f) => f.words(),
+        }
+    }
+
+    /// True if both handles alias the same arena.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Heap(a), Repr::Heap(b)) => Arc::ptr_eq(a, b),
+            (Repr::File(a), Repr::File(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// True if the arena lives in a file.
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self.repr, Repr::File(_))
+    }
+
+    /// Flush a file-backed arena's dirty pages to disk (no-op for heap).
+    pub fn sync(&self) -> io::Result<()> {
+        match &self.repr {
+            Repr::Heap(_) => Ok(()),
+            Repr::File(f) => f.sync(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// File arenas: real mmap on Linux, portable emulation elsewhere.
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+pub(crate) use mmap_impl::FileArena;
+#[cfg(not(target_os = "linux"))]
+pub(crate) use portable_impl::FileArena;
+
+/// `mmap(MAP_SHARED)`-backed arena. The kernel pages words in on demand
+/// and writes dirty pages back; [`FileArena::sync`] is `msync(MS_SYNC)`.
+///
+/// This module is the only unsafe code in the crate beyond the BMI2
+/// select intrinsic: raw `mmap`/`munmap`/`msync` FFI plus the
+/// `&[AtomicU64]` view over the mapping. Soundness: the mapping is
+/// created once, stays valid until `Drop`, is page-aligned (so 8-byte
+/// aligned for `AtomicU64`), and is only ever reinterpreted as the
+/// plain-old-data word array the header's `nwords` declares (bounds
+/// checked against the file length before mapping).
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod mmap_impl {
+    use super::*;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const MAP_SHARED: i32 = 1;
+    const MS_SYNC: i32 = 4;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+        fn msync(addr: *mut core::ffi::c_void, len: usize, flags: i32) -> i32;
+    }
+
+    pub(crate) struct FileArena {
+        base: *mut core::ffi::c_void,
+        map_len: usize,
+        nwords: usize,
+        file: File,
+    }
+
+    // The mapping is plain shared memory of atomics; the raw pointer is
+    // only a stable base address.
+    unsafe impl Send for FileArena {}
+    unsafe impl Sync for FileArena {}
+
+    impl FileArena {
+        fn map(file: File, nwords: usize) -> io::Result<(Self, usize)> {
+            let map_len = ARENA_HEADER_LEN + nwords * 8;
+            let base = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    map_len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if base as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok((
+                Self {
+                    base,
+                    map_len,
+                    nwords,
+                    file,
+                },
+                map_len,
+            ))
+        }
+
+        pub fn create(path: &Path, g: ArenaGeometry) -> io::Result<Self> {
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            file.set_len((ARENA_HEADER_LEN + g.nwords * 8) as u64)?;
+            (&file).write_all(&encode_header(&g))?;
+            let (arena, _) = Self::map(file, g.nwords)?;
+            Ok(arena)
+        }
+
+        pub fn open(path: &Path) -> io::Result<(Self, ArenaGeometry)> {
+            let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+            let mut h = [0u8; 36];
+            file.read_exact(&mut h)?;
+            let g = decode_header(&h)?;
+            let expect = (ARENA_HEADER_LEN as u64)
+                .checked_add((g.nwords as u64).checked_mul(8).ok_or_else(bad_nwords)?)
+                .ok_or_else(bad_nwords)?;
+            if file.metadata()?.len() < expect {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "arena file shorter than its header declares",
+                ));
+            }
+            let (arena, _) = Self::map(file, g.nwords)?;
+            Ok((arena, g))
+        }
+
+        #[inline(always)]
+        pub fn words(&self) -> &[AtomicU64] {
+            unsafe {
+                std::slice::from_raw_parts(
+                    (self.base as *const u8).add(ARENA_HEADER_LEN) as *const AtomicU64,
+                    self.nwords,
+                )
+            }
+        }
+
+        pub fn sync(&self) -> io::Result<()> {
+            let rc = unsafe { msync(self.base, self.map_len, MS_SYNC) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            self.file.sync_all()
+        }
+    }
+
+    impl Drop for FileArena {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.base, self.map_len);
+            }
+        }
+    }
+}
+
+fn bad_nwords() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "arena word count overflows")
+}
+
+/// Portable emulation for targets without `mmap`: the arena is read into
+/// heap memory on open and written back wholesale on [`FileArena::sync`].
+/// Correct (same visible semantics after a sync) but not O(1)-open; the
+/// Linux build gets the real mapping.
+#[cfg(not(target_os = "linux"))]
+mod portable_impl {
+    use super::*;
+    use std::io::{Seek, SeekFrom};
+    use std::sync::atomic::Ordering::Relaxed;
+    use std::sync::Mutex;
+
+    pub(crate) struct FileArena {
+        words: Box<[AtomicU64]>,
+        geometry: ArenaGeometry,
+        file: Mutex<File>,
+    }
+
+    impl FileArena {
+        pub fn create(path: &Path, g: ArenaGeometry) -> io::Result<Self> {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            file.set_len((ARENA_HEADER_LEN + g.nwords * 8) as u64)?;
+            file.write_all(&encode_header(&g))?;
+            Ok(Self {
+                words: (0..g.nwords).map(|_| AtomicU64::new(0)).collect(),
+                geometry: g,
+                file: Mutex::new(file),
+            })
+        }
+
+        pub fn open(path: &Path) -> io::Result<(Self, ArenaGeometry)> {
+            let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+            let mut h = [0u8; 36];
+            file.read_exact(&mut h)?;
+            let g = decode_header(&h)?;
+            let expect = (ARENA_HEADER_LEN as u64)
+                .checked_add((g.nwords as u64).checked_mul(8).ok_or_else(bad_nwords)?)
+                .ok_or_else(bad_nwords)?;
+            if file.metadata()?.len() < expect {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "arena file shorter than its header declares",
+                ));
+            }
+            file.seek(SeekFrom::Start(ARENA_HEADER_LEN as u64))?;
+            let mut buf = vec![0u8; g.nwords * 8];
+            file.read_exact(&mut buf)?;
+            let words: Box<[AtomicU64]> = buf
+                .chunks_exact(8)
+                .map(|c| AtomicU64::new(u64::from_le_bytes(c.try_into().unwrap())))
+                .collect();
+            Ok((
+                Self {
+                    words,
+                    geometry: g,
+                    file: Mutex::new(file),
+                },
+                g,
+            ))
+        }
+
+        #[inline(always)]
+        pub fn words(&self) -> &[AtomicU64] {
+            &self.words
+        }
+
+        pub fn sync(&self) -> io::Result<()> {
+            let mut buf = Vec::with_capacity(self.geometry.nwords * 8);
+            for w in self.words.iter() {
+                buf.extend_from_slice(&w.load(Relaxed).to_le_bytes());
+            }
+            let mut file = self.file.lock().expect("arena file lock poisoned");
+            file.seek(SeekFrom::Start(ARENA_HEADER_LEN as u64))?;
+            file.write_all(&buf)?;
+            file.sync_all()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "aqf-backing-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn file_arena_roundtrips_words() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("t.arena");
+        let g = ArenaGeometry {
+            len: 128,
+            lanes: 4,
+            width: 9,
+            nwords: 29,
+        };
+        let b = TableBacking::create_file(&path, g).unwrap();
+        assert!(b.is_file_backed());
+        assert_eq!(b.words().len(), 29);
+        for (i, w) in b.words().iter().enumerate() {
+            w.store(i as u64 * 0x9E37_79B9, Relaxed);
+        }
+        b.sync().unwrap();
+        drop(b);
+        let (b2, g2) = TableBacking::open_file(&path).unwrap();
+        assert_eq!(g2, g);
+        for (i, w) in b2.words().iter().enumerate() {
+            assert_eq!(w.load(Relaxed), i as u64 * 0x9E37_79B9, "word {i}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_wrong_magic_and_truncation() {
+        let dir = tmpdir("reject");
+        let path = dir.join("bad.arena");
+        std::fs::write(&path, b"not an arena file at all........").unwrap();
+        assert!(TableBacking::open_file(&path).is_err());
+        // Valid header but file shorter than declared.
+        let g = ArenaGeometry {
+            len: 64,
+            lanes: 2,
+            width: 7,
+            nwords: 1000,
+        };
+        let mut h = vec![0u8; 64];
+        h[..36].copy_from_slice(&encode_header(&g));
+        std::fs::write(&path, &h).unwrap();
+        assert!(TableBacking::open_file(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heap_and_file_never_alias_each_other() {
+        let dir = tmpdir("alias");
+        let path = dir.join("t.arena");
+        let g = ArenaGeometry {
+            len: 64,
+            lanes: 1,
+            width: 3,
+            nwords: 5,
+        };
+        let h = TableBacking::heap(5);
+        let f = TableBacking::create_file(&path, g).unwrap();
+        assert!(h.ptr_eq(&h.clone()));
+        assert!(f.ptr_eq(&f.clone()));
+        assert!(!h.ptr_eq(&f));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -26,10 +26,12 @@
 //! the one-increment-per-block rule shifts apply, and
 //! [`BlockedTable::set_offset`] lets rebuilders write recomputed values.
 
+use crate::backing::{ArenaGeometry, TableBacking};
 use crate::word::{bitmask, select_from_words};
 use crate::{BitVec, PackedVec};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::Ordering::Relaxed;
 
 /// Slots per block: one metadata word's worth.
 pub const BLOCK_SLOTS: usize = 64;
@@ -38,17 +40,20 @@ pub const BLOCK_SLOTS: usize = 64;
 /// packed `width`-bit slots, interleaved block by block in one contiguous
 /// allocation.
 ///
-/// The arena is a shared `Arc<[AtomicU64]>` accessed with `Relaxed`
-/// atomics (plain loads/stores on x86-64, so the single-threaded paths
-/// cost nothing), which makes [`BlockedTable::share`] possible: an
-/// aliasing read handle over the same arena that optimistic seqlock
-/// readers can probe while an exclusive writer mutates through `&mut
-/// self`. Torn *values* are impossible (every access is a whole-word
-/// atomic); torn *states* (a reader observing a half-finished shift) are
-/// possible by design and must be rejected by the caller's version
-/// validation — see `aqf_bits::SeqLock`.
+/// The arena is a shared [`TableBacking`] — a heap allocation by default,
+/// or a file mapping via [`BlockedTable::new_file`]/
+/// [`BlockedTable::open_file`] — of `AtomicU64` words accessed with
+/// `Relaxed` atomics (plain loads/stores on x86-64, so the
+/// single-threaded paths cost nothing), which makes
+/// [`BlockedTable::share`] possible: an aliasing read handle over the
+/// same arena that optimistic seqlock readers can probe while an
+/// exclusive writer mutates through `&mut self`. Torn *values* are
+/// impossible (every access is a whole-word atomic); torn *states* (a
+/// reader observing a half-finished shift) are possible by design and
+/// must be rejected by the caller's version validation — see
+/// `aqf_bits::SeqLock`.
 pub struct BlockedTable {
-    words: Arc<[AtomicU64]>,
+    words: TableBacking,
     /// Logical slot count; physical capacity is `nblocks * 64` and the
     /// tail slots beyond `len` must never carry metadata bits.
     len: usize,
@@ -63,18 +68,22 @@ pub struct BlockedTable {
     rep_hi: u64,
 }
 
+/// Arena word count for a table of `len` slots: blocks of `1 + lanes +
+/// width` words, plus one trailing padding word for gather over-reads.
+fn arena_words(len: usize, lanes: u32, width: u32) -> usize {
+    let nblocks = len.div_ceil(BLOCK_SLOTS);
+    let stride = 1 + lanes as usize + width as usize;
+    nblocks
+        .checked_mul(stride)
+        .and_then(|w| w.checked_add(1))
+        .expect("blocked table size overflow")
+}
+
 impl BlockedTable {
-    /// A table of `len` zeroed slots with `lanes` metadata bit lanes and
-    /// `width`-bit slots (1..=64).
-    pub fn new(len: usize, lanes: u32, width: u32) -> Self {
+    fn with_backing(words: TableBacking, len: usize, lanes: u32, width: u32) -> Self {
         assert!((1..=64).contains(&width), "slot width must be 1..=64");
         assert!(lanes >= 1, "need at least one metadata lane");
-        let nblocks = len.div_ceil(BLOCK_SLOTS);
-        let stride = 1 + lanes as usize + width as usize;
-        let total_words = nblocks
-            .checked_mul(stride)
-            .and_then(|w| w.checked_add(1)) // +1: gather over-read padding
-            .expect("blocked table size overflow");
+        debug_assert_eq!(words.words().len(), arena_words(len, lanes, width));
         let mut rep_lo = 0u64;
         let mut bit = 0u32;
         while bit + width <= 64 {
@@ -82,21 +91,117 @@ impl BlockedTable {
             bit += width;
         }
         Self {
-            words: (0..total_words).map(|_| AtomicU64::new(0)).collect(),
+            words,
             len,
-            nblocks,
+            nblocks: len.div_ceil(BLOCK_SLOTS),
             lanes,
             width,
-            stride,
+            stride: 1 + lanes as usize + width as usize,
             rep_lo,
             rep_hi: rep_lo << (width - 1),
         }
     }
 
+    /// A table of `len` zeroed slots with `lanes` metadata bit lanes and
+    /// `width`-bit slots (1..=64), backed by the heap.
+    pub fn new(len: usize, lanes: u32, width: u32) -> Self {
+        Self::with_backing(
+            TableBacking::heap(arena_words(len, lanes, width)),
+            len,
+            lanes,
+            width,
+        )
+    }
+
+    /// A zeroed table whose arena lives in a new file at `path`
+    /// (truncating any existing file). Mutations write straight into the
+    /// mapping; call [`BlockedTable::sync`] to force dirty pages to disk.
+    pub fn new_file(path: &Path, len: usize, lanes: u32, width: u32) -> io::Result<Self> {
+        assert!((1..=64).contains(&width), "slot width must be 1..=64");
+        assert!(lanes >= 1, "need at least one metadata lane");
+        let g = ArenaGeometry {
+            len,
+            lanes,
+            width,
+            nwords: arena_words(len, lanes, width),
+        };
+        Ok(Self::with_backing(
+            TableBacking::create_file(path, g)?,
+            len,
+            lanes,
+            width,
+        ))
+    }
+
+    /// Re-open a table whose arena was written by [`BlockedTable::new_file`]
+    /// (or migrated there and [`BlockedTable::sync`]ed). O(1): the header
+    /// pins the geometry and the words page in on demand — no decode.
+    ///
+    /// Only the header is validated here. Arena *contents* are whatever
+    /// the file holds; callers layering semantic invariants on top (run
+    /// structure, offsets, stat counters) must re-check the cheap ones
+    /// themselves.
+    pub fn open_file(path: &Path) -> io::Result<Self> {
+        let (backing, g) = TableBacking::open_file(path)?;
+        if !(1..=64).contains(&g.width) || !(1..=16).contains(&g.lanes) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("arena geometry {}x{}-bit out of range", g.lanes, g.width),
+            ));
+        }
+        if g.nwords != arena_words(g.len, g.lanes, g.width) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "arena word count {} disagrees with geometry ({} slots, {} lanes, {} bits)",
+                    g.nwords, g.len, g.lanes, g.width
+                ),
+            ));
+        }
+        Ok(Self::with_backing(backing, g.len, g.lanes, g.width))
+    }
+
+    /// True if the arena lives in a file.
+    pub fn is_file_backed(&self) -> bool {
+        self.words.is_file_backed()
+    }
+
+    /// Move the arena into a new file at `path` (truncating any existing
+    /// file): creates the file arena, copies every word, and swaps the
+    /// backing in place. Existing [`BlockedTable::share`] handles keep
+    /// aliasing the *old* arena and must be re-taken.
+    pub fn migrate_to_file(&mut self, path: &Path) -> io::Result<()> {
+        let g = ArenaGeometry {
+            len: self.len,
+            lanes: self.lanes,
+            width: self.width,
+            nwords: self.words.words().len(),
+        };
+        let file = TableBacking::create_file(path, g)?;
+        for (i, w) in file.words().iter().enumerate() {
+            w.store(self.w(i), Relaxed);
+        }
+        self.words = file;
+        Ok(())
+    }
+
+    /// Flush a file-backed arena's dirty pages to disk (no-op for heap).
+    pub fn sync(&self) -> io::Result<()> {
+        self.words.sync()
+    }
+
+    /// An empty successor table for a capacity-doubling rebuild: same
+    /// metadata lanes, `new_len` slots of `new_width` bits, heap-backed.
+    /// (A file-backed table grows into the heap; re-attach the grown
+    /// arena to a file at the next snapshot.)
+    pub fn grow_into(&self, new_len: usize, new_width: u32) -> Self {
+        Self::new(new_len, self.lanes, new_width)
+    }
+
     /// Load arena word `i` (`Relaxed`: a plain load on x86-64).
     #[inline(always)]
     fn w(&self, i: usize) -> u64 {
-        self.words[i].load(Relaxed)
+        self.words.words()[i].load(Relaxed)
     }
 
     /// Store arena word `i`. Takes `&mut self` so every mutation still
@@ -104,7 +209,7 @@ impl BlockedTable {
     /// by construction (see [`BlockedTable::share`]).
     #[inline(always)]
     fn store_w(&mut self, i: usize, v: u64) {
-        self.words[i].store(v, Relaxed);
+        self.words.words()[i].store(v, Relaxed);
     }
 
     /// An aliasing handle over the **same** arena, for optimistic
@@ -115,14 +220,14 @@ impl BlockedTable {
     /// Use [`Clone`] for an independent deep copy.
     pub fn share(&self) -> Self {
         Self {
-            words: Arc::clone(&self.words),
+            words: self.words.clone(),
             ..*self
         }
     }
 
     /// True if `self` and `other` alias the same arena (share handles).
     pub fn shares_arena(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.words, &other.words)
+        self.words.ptr_eq(&other.words)
     }
 
     /// Logical slot count.
@@ -519,14 +624,14 @@ impl BlockedTable {
     // Bulk / conversion
     // ------------------------------------------------------------------
 
-    /// Bytes of heap memory used.
+    /// Bytes of arena memory used (heap or mapped).
     pub fn heap_size_bytes(&self) -> usize {
-        self.words.len() * 8
+        self.words.words().len() * 8
     }
 
     /// Zero every lane bit, slot, and offset.
     pub fn reset(&mut self) {
-        for i in 0..self.words.len() {
+        for i in 0..self.words.words().len() {
             self.store_w(i, 0);
         }
     }
@@ -535,7 +640,7 @@ impl BlockedTable {
     /// rather than a borrow: the arena is atomic, so a `&[u64]` view
     /// cannot exist.
     pub fn snapshot_words(&self) -> Vec<u64> {
-        (0..self.words.len()).map(|i| self.w(i)).collect()
+        (0..self.words.words().len()).map(|i| self.w(i)).collect()
     }
 
     /// Rebuild from backing words written by a snapshot of the same
@@ -605,10 +710,13 @@ impl BlockedTable {
 /// [`BlockedTable::share`] for an aliasing read handle instead.
 impl Clone for BlockedTable {
     fn clone(&self) -> Self {
+        let nwords = self.words.words().len();
+        let copy = TableBacking::heap(nwords);
+        for i in 0..nwords {
+            copy.words()[i].store(self.w(i), Relaxed);
+        }
         Self {
-            words: (0..self.words.len())
-                .map(|i| AtomicU64::new(self.w(i)))
-                .collect(),
+            words: copy,
             ..*self
         }
     }
@@ -619,7 +727,7 @@ impl PartialEq for BlockedTable {
         self.len == other.len
             && self.lanes == other.lanes
             && self.width == other.width
-            && (0..self.words.len()).all(|i| self.w(i) == other.w(i))
+            && (0..self.words.words().len()).all(|i| self.w(i) == other.w(i))
     }
 }
 
@@ -835,6 +943,57 @@ mod tests {
         assert_eq!(copy.slot(6), 0);
         assert!(!copy.get(1, 6));
         assert_ne!(copy, t);
+    }
+
+    #[test]
+    fn file_backed_table_roundtrips_and_shares() {
+        let dir = std::env::temp_dir().join(format!(
+            "aqf-blocked-file-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.arena");
+        let mut t = BlockedTable::new_file(&path, 300, 4, 9).unwrap();
+        assert!(t.is_file_backed());
+        for i in (0..300).step_by(3) {
+            t.set(0, i);
+            t.set_slot(i, (i as u64) & bitmask(9));
+        }
+        t.set_offset(2, 7);
+        // Shares alias the same mapping; clones are independent heap copies.
+        let view = t.share();
+        assert!(t.shares_arena(&view));
+        let copy = t.clone();
+        assert!(!t.shares_arena(&copy) && !copy.is_file_backed());
+        assert_eq!(copy, t);
+        t.sync().unwrap();
+        drop(view);
+        drop(t);
+        let back = BlockedTable::open_file(&path).unwrap();
+        assert!(back.is_file_backed());
+        assert_eq!(back, copy);
+        assert_eq!(back.offset(2), 7);
+        // grow_into: empty heap successor with the same lane count.
+        let g = back.grow_into(600, 8);
+        assert_eq!((g.len(), g.lanes(), g.width()), (600, 4, 8));
+        assert!(!g.is_file_backed());
+        assert_eq!(g.count_ones(0), 0);
+        // migrate_to_file: a heap arena moves into a fresh file and
+        // survives a close/open cycle.
+        let mpath = dir.join("m.arena");
+        let mut mig = copy.clone();
+        mig.migrate_to_file(&mpath).unwrap();
+        assert!(mig.is_file_backed());
+        assert_eq!(mig, copy);
+        mig.sync().unwrap();
+        drop(mig);
+        assert_eq!(BlockedTable::open_file(&mpath).unwrap(), copy);
+        // Opening a non-arena file fails cleanly.
+        let junk = dir.join("junk");
+        std::fs::write(&junk, b"short").unwrap();
+        assert!(BlockedTable::open_file(&junk).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

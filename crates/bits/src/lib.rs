@@ -25,11 +25,14 @@
 //! Everything here is allocation-free on the hot paths and model-tested
 //! against naive reference implementations. The only `unsafe` in the crate
 //! is the single BMI2 `pdep` intrinsic behind `word::select_u64`'s
-//! compile-time feature gate (portable broadword code everywhere else).
+//! compile-time feature gate, plus the `mmap` FFI and mapped-slice view
+//! inside [`backing`]'s file-backed arena (portable safe code everywhere
+//! else).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backing;
 pub mod bitvec;
 pub mod block;
 pub mod hash;
@@ -38,6 +41,7 @@ pub mod seqlock;
 pub mod snapshot;
 pub mod word;
 
+pub use backing::{ArenaGeometry, TableBacking};
 pub use bitvec::BitVec;
 pub use block::{BlockedTable, BLOCK_SLOTS};
 pub use packed::PackedVec;

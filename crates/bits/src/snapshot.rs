@@ -9,10 +9,11 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  "AQFSNAP\0"
-//! 8       2     format version (LE; currently 2 — v2 serializes quotient
-//!               filter tables as native block arenas, v1 as split bit
-//!               vectors; readers accept both and decoders branch on
-//!               [`SnapshotReader::version`])
+//! 8       2     format version (LE; currently 3 — v3 adds grow metadata
+//!               and optional external arena-file table sections, v2
+//!               serializes quotient filter tables as native block
+//!               arenas, v1 as split bit vectors; readers accept all
+//!               three and decoders branch on [`SnapshotReader::version`])
 //! 10      2     kind-string length (LE)
 //! 12      k     kind string (UTF-8; e.g. "aqf", "sharded-aqf", "filtered-db")
 //! 12+k    ...   sections: { tag [u8;4], payload length u64 LE, payload }
@@ -42,11 +43,15 @@ use crate::{BitVec, BlockedTable, PackedVec};
 /// Snapshot file magic.
 pub const MAGIC: [u8; 8] = *b"AQFSNAP\0";
 
-/// Current snapshot format version. Version 2 introduced the blocked,
-/// offset-indexed table arena ([`crate::BlockedTable`]); version 1 frames
-/// (split bit-vector tables) are still read, with block offsets rebuilt on
-/// decode.
-pub const VERSION: u16 = 2;
+/// Current snapshot format version. Version 3 adds dynamic-capacity
+/// metadata (grow counters) and *external* table arenas — a frame section
+/// that references a [`crate::TableBacking`] arena file beside the
+/// snapshot instead of inlining the words, so loading is an O(1) mmap
+/// open ([`SnapshotReader::blocked_external`]). Version 2 introduced the
+/// blocked, offset-indexed table arena ([`crate::BlockedTable`]); version
+/// 1 frames (split bit-vector tables) are still read, with block offsets
+/// rebuilt on decode. Readers accept all three.
+pub const VERSION: u16 = 3;
 
 /// Seed for the content checksum.
 const CHECKSUM_SEED: u64 = 0x5eed_c0de_ca1c_50b3;
@@ -292,6 +297,20 @@ impl SnapshotWriter {
         self.u64_slice(&t.snapshot_words());
     }
 
+    /// Append an *external* [`BlockedTable`] reference (v3): the table's
+    /// geometry plus the name of an arena file living beside the
+    /// snapshot. The arena contents are **not** covered by this frame's
+    /// checksum — that is what makes [`SnapshotReader::blocked_external`]
+    /// an O(1) open instead of a full decode; the arena file's own header
+    /// re-pins the geometry, and callers re-check cheap summary
+    /// invariants after opening.
+    pub fn blocked_external(&mut self, t: &BlockedTable, file_name: &str) {
+        self.u64(t.len() as u64);
+        self.u32(t.lanes());
+        self.u32(t.width());
+        self.bytes(file_name.as_bytes());
+    }
+
     /// Close the open section and seal the snapshot with its checksum.
     pub fn finish(mut self) -> Vec<u8> {
         self.close_section();
@@ -322,6 +341,8 @@ pub struct SnapshotReader<'a> {
     /// One past the last content byte (start of the checksum).
     content_end: usize,
     version: u16,
+    /// Directory external arena references resolve against, if any.
+    base_dir: Option<PathBuf>,
 }
 
 impl<'a> SnapshotReader<'a> {
@@ -367,7 +388,19 @@ impl<'a> SnapshotReader<'a> {
             kind_end,
             content_end,
             version,
+            base_dir: None,
         })
+    }
+
+    /// Like [`SnapshotReader::new`], but records the directory the frame
+    /// was read from so external arena references
+    /// ([`SnapshotReader::blocked_external`]) can be resolved. Frames
+    /// decoded from bare byte slices (no directory) reject external
+    /// references with a typed error instead of guessing.
+    pub fn new_in(bytes: &'a [u8], base_dir: Option<&Path>) -> Result<Self, SnapError> {
+        let mut r = Self::new(bytes)?;
+        r.base_dir = base_dir.map(Path::to_path_buf);
+        Ok(r)
     }
 
     /// The format version the frame was written with (1..=[`VERSION`]).
@@ -519,6 +552,45 @@ impl<'a> SnapshotReader<'a> {
                 "blocked table of {len} slots ({lanes} lanes, {width}-bit): bad word count"
             ))
         })
+    }
+
+    /// Open a [`BlockedTable`] referenced externally by
+    /// [`SnapshotWriter::blocked_external`]: resolve the recorded file
+    /// name against the reader's base directory (see
+    /// [`SnapshotReader::new_in`]) and mmap-open the arena. The frame's
+    /// geometry must agree with the arena header's; path components in
+    /// the recorded name are rejected so a hostile frame cannot reference
+    /// files outside the snapshot directory.
+    /// Returns the opened table along with the recorded file name, so
+    /// callers that re-save the structure can reference the same arena.
+    pub fn blocked_external(&mut self) -> Result<(BlockedTable, String), SnapError> {
+        let len = self.len_u64()?;
+        let lanes = self.u32()?;
+        let width = self.u32()?;
+        let name_bytes = self.bytes()?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| SnapError::Corrupt("arena file name is not UTF-8".into()))?;
+        if name.is_empty() || name.contains(['/', '\\']) || name == "." || name == ".." {
+            return Err(SnapError::Corrupt(format!(
+                "arena file name {name:?} is not a plain file name"
+            )));
+        }
+        let Some(dir) = &self.base_dir else {
+            return Err(SnapError::Unsupported(
+                "a file-backed snapshot frame decoded without a base directory".into(),
+            ));
+        };
+        let t = BlockedTable::open_file(&dir.join(name))?;
+        if t.len() != len || t.lanes() != lanes || t.width() != width {
+            return Err(SnapError::Corrupt(format!(
+                "arena file {name:?} geometry {}x{}-bit ({} lanes) disagrees with frame \
+                 {len}x{width}-bit ({lanes} lanes)",
+                t.len(),
+                t.width(),
+                t.lanes()
+            )));
+        }
+        Ok((t, name.to_string()))
     }
 
     /// Bytes of content left to read (excluding the checksum).
@@ -745,6 +817,49 @@ mod tests {
         let mut r = SnapshotReader::new(&bytes).unwrap();
         r.section(*b"DATA").unwrap();
         assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn external_blocked_reference_roundtrips() {
+        let dir = std::env::temp_dir().join(format!(
+            "aqf-snap-ext-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut t = BlockedTable::new_file(&dir.join("t.arena"), 200, 4, 9).unwrap();
+        for i in (0..200).step_by(7) {
+            t.set(1, i);
+            t.set_slot(i, i as u64 & bitmask(9));
+        }
+        t.sync().unwrap();
+        let mut w = SnapshotWriter::new("ext");
+        w.section(*b"QTBF");
+        w.blocked_external(&t, "t.arena");
+        let bytes = w.finish();
+        // With a base dir: O(1) open, contents match.
+        let mut r = SnapshotReader::new_in(&bytes, Some(&dir)).unwrap();
+        r.section(*b"QTBF").unwrap();
+        let (back, name) = r.blocked_external().unwrap();
+        assert!(back.is_file_backed());
+        assert_eq!(name, "t.arena");
+        assert_eq!(back, t);
+        // Without a base dir: typed Unsupported, not a guess.
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        r.section(*b"QTBF").unwrap();
+        assert!(matches!(
+            r.blocked_external(),
+            Err(SnapError::Unsupported(_))
+        ));
+        // A reference that tries to escape the directory is Corrupt.
+        let mut w = SnapshotWriter::new("ext");
+        w.section(*b"QTBF");
+        w.blocked_external(&t, "../t.arena");
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new_in(&bytes, Some(&dir)).unwrap();
+        r.section(*b"QTBF").unwrap();
+        assert!(matches!(r.blocked_external(), Err(SnapError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -332,6 +332,10 @@ impl AmqFilter for AdaptiveCuckooFilter {
         "ACF"
     }
 
+    fn capacity(&self) -> u64 {
+        (self.buckets * BUCKET_SLOTS) as u64
+    }
+
     fn adaptivity(&self) -> Adaptivity {
         // The 2-bit selector cycles: fixing one false positive can
         // re-expose another.

@@ -36,6 +36,14 @@ impl AmqFilter for AdaptiveQf {
         "AQF"
     }
 
+    fn capacity(&self) -> u64 {
+        AdaptiveQf::capacity(self)
+    }
+
+    fn load_factor(&self) -> f64 {
+        AdaptiveQf::load_factor(self)
+    }
+
     fn adaptivity(&self) -> Adaptivity {
         Adaptivity::Strong
     }
@@ -137,6 +145,14 @@ impl AmqFilter for ShardedAqf {
 
     fn name(&self) -> &'static str {
         "ShardedAQF"
+    }
+
+    fn capacity(&self) -> u64 {
+        ShardedAqf::capacity(self)
+    }
+
+    fn load_factor(&self) -> f64 {
+        ShardedAqf::load_factor(self)
     }
 
     fn adaptivity(&self) -> Adaptivity {
@@ -246,6 +262,14 @@ impl AmqFilter for YesNoFilter {
 
     fn name(&self) -> &'static str {
         "YesNo"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.filter().capacity()
+    }
+
+    fn load_factor(&self) -> f64 {
+        self.filter().load_factor()
     }
 
     /// The yes/no filter adapts *internally at insert time* (collisions

@@ -125,6 +125,16 @@ impl AmqFilter for BloomFilter {
     fn name(&self) -> &'static str {
         "Bloom"
     }
+
+    fn capacity(&self) -> u64 {
+        self.nbits as u64
+    }
+
+    /// Bit-array fill fraction (set bits / total bits), not items over a
+    /// slot budget — a Bloom filter has no per-item slots.
+    fn load_factor(&self) -> f64 {
+        self.bits.count_ones() as f64 / self.nbits as f64
+    }
 }
 
 #[cfg(test)]

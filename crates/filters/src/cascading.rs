@@ -203,6 +203,26 @@ impl AmqFilter for CascadingBloomFilter {
     fn name(&self) -> &'static str {
         "CBF"
     }
+
+    /// Total bits across all cascade levels — 0 until the first rebuild
+    /// materializes a cascade (pending keys live in a plain set).
+    fn capacity(&self) -> u64 {
+        self.levels.iter().map(AmqFilter::capacity).sum()
+    }
+
+    /// Bit-fill fraction across all levels, weighted by level size.
+    fn load_factor(&self) -> f64 {
+        let total: u64 = self.levels.iter().map(AmqFilter::capacity).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let ones: f64 = self
+            .levels
+            .iter()
+            .map(|b| AmqFilter::load_factor(b) * AmqFilter::capacity(b) as f64)
+            .sum();
+        ones / total as f64
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,28 @@ pub trait AmqFilter {
     /// Display name for benchmark tables.
     fn name(&self) -> &'static str;
 
+    /// Slot capacity of the filter table — the denominator of
+    /// [`AmqFilter::load_factor`]. For slotted filters this is the
+    /// canonical slot budget; for bit-array filters, the number of bits.
+    /// 0 when the structure has no fixed capacity (e.g. a cascading Bloom
+    /// filter, whose levels are rebuilt per snapshot).
+    fn capacity(&self) -> u64 {
+        0
+    }
+
+    /// Fraction of [`AmqFilter::capacity`] occupied by live table state.
+    /// The numerator is filter-specific occupancy — used slots for
+    /// slotted filters (including adaptation overhead such as the AQF's
+    /// extension slots), set bits for bit-array filters — so the value
+    /// is a real fill fraction, not just `len / capacity`. 0 when
+    /// capacity is 0.
+    fn load_factor(&self) -> f64 {
+        match self.capacity() {
+            0 => 0.0,
+            c => self.len() as f64 / c as f64,
+        }
+    }
+
     /// The filter's adaptivity class.
     fn adaptivity(&self) -> Adaptivity {
         Adaptivity::None

@@ -238,6 +238,14 @@ impl AmqFilter for CuckooFilter {
         "CF"
     }
 
+    fn capacity(&self) -> u64 {
+        (self.buckets * BUCKET_SLOTS) as u64
+    }
+
+    fn load_factor(&self) -> f64 {
+        CuckooFilter::load_factor(self)
+    }
+
     fn supports_delete(&self) -> bool {
         true
     }

@@ -29,6 +29,9 @@
 //! every registry kind is batch-callable; the AQF wrappers override them
 //! with quotient-sorted, lock-once-per-shard bulk paths.
 
+use std::io;
+use std::path::Path;
+
 use aqf::{AdaptiveQf, AqfConfig, FilterError, Hit, QueryResult, ShadowMap, ShardedAqf};
 
 use crate::aqf_impls::ShardedHit;
@@ -132,6 +135,71 @@ pub trait DynFilter: Send + Sync {
     /// positive. Non-adaptive filters just answer.
     fn query_adapting(&mut self, key: u64) -> bool {
         self.contains(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Capacity, online growth, and file backing
+    // ------------------------------------------------------------------
+
+    /// Slot capacity of the filter table (bits for bit-array filters;
+    /// 0 when the structure has no fixed capacity). See
+    /// [`crate::AmqFilter::capacity`].
+    fn capacity(&self) -> u64 {
+        0
+    }
+
+    /// Fraction of [`DynFilter::capacity`] occupied by live table state
+    /// (0 when capacity is 0). See [`crate::AmqFilter::load_factor`].
+    fn load_factor(&self) -> f64 {
+        0.0
+    }
+
+    /// True if this filter can grow its table online (the AQF family
+    /// doubles slots by re-splitting fingerprints, paper §4 remainders
+    /// permitting).
+    fn supports_grow(&self) -> bool {
+        false
+    }
+
+    /// Number of grow events the filter has performed.
+    fn grows(&self) -> u64 {
+        0
+    }
+
+    /// Enable (`Some(threshold)`) or disable (`None`) automatic growth:
+    /// once [`DynFilter::load_factor`] reaches `threshold`, the next
+    /// insert doubles the table before landing. Kinds that cannot grow
+    /// accept only `None` and report
+    /// [`FilterError::InvalidConfig`] otherwise.
+    fn set_auto_grow(&mut self, threshold: Option<f64>) -> Result<(), FilterError> {
+        if threshold.is_none() {
+            Ok(())
+        } else {
+            Err(FilterError::InvalidConfig(
+                "this filter kind cannot grow online",
+            ))
+        }
+    }
+
+    /// Migrate the filter table onto a file-backed arena at `path`, so
+    /// reopening a snapshot maps the table instead of decoding it.
+    /// Default: unsupported.
+    fn set_file_backing(&mut self, path: &Path) -> io::Result<()> {
+        let _ = path;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "this filter kind does not support file-backed tables",
+        ))
+    }
+
+    /// True if the filter table currently lives in a file-backed arena.
+    fn is_file_backed(&self) -> bool {
+        false
+    }
+
+    /// Flush file-backed table state to disk (no-op for heap tables).
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -333,6 +401,14 @@ impl<F: AmqFilter + SnapshotBody + Send + Sync> DynFilter for PlainDyn<F> {
         self.f.size_in_bytes()
     }
 
+    fn capacity(&self) -> u64 {
+        self.f.capacity()
+    }
+
+    fn load_factor(&self) -> f64 {
+        self.f.load_factor()
+    }
+
     fn supports_delete(&self) -> bool {
         self.f.supports_delete()
     }
@@ -421,6 +497,14 @@ impl<F: AdaptiveFilter + MapEventSource + SnapshotBody + Send + Sync> DynFilter 
 
     fn size_in_bytes(&self) -> usize {
         self.f.size_in_bytes()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.f.capacity()
+    }
+
+    fn load_factor(&self) -> f64 {
+        self.f.load_factor()
     }
 
     fn query_adapting(&mut self, key: u64) -> bool {
@@ -560,6 +644,38 @@ impl DynFilter for AqfDyn {
 
     fn size_in_bytes(&self) -> usize {
         AdaptiveQf::size_in_bytes(&self.f)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.f.capacity()
+    }
+
+    fn load_factor(&self) -> f64 {
+        self.f.load_factor()
+    }
+
+    fn supports_grow(&self) -> bool {
+        self.f.supports_grow()
+    }
+
+    fn grows(&self) -> u64 {
+        self.f.stats().grows
+    }
+
+    fn set_auto_grow(&mut self, threshold: Option<f64>) -> Result<(), FilterError> {
+        self.f.set_auto_grow(threshold)
+    }
+
+    fn set_file_backing(&mut self, path: &Path) -> io::Result<()> {
+        self.f.set_file_backing(path)
+    }
+
+    fn is_file_backed(&self) -> bool {
+        self.f.is_file_backed()
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.f.sync()
     }
 
     fn supports_delete(&self) -> bool {
@@ -786,6 +902,29 @@ impl DynFilter for ShardedAqfDyn {
 
     fn size_in_bytes(&self) -> usize {
         ShardedAqf::size_in_bytes(&self.f)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.f.capacity()
+    }
+
+    fn load_factor(&self) -> f64 {
+        self.f.load_factor()
+    }
+
+    fn supports_grow(&self) -> bool {
+        self.f.supports_grow()
+    }
+
+    fn grows(&self) -> u64 {
+        self.f.stats().grows
+    }
+
+    /// Per-shard auto-grow: each shard grows independently under its own
+    /// mutex while the others keep serving (the table stays file-free —
+    /// shards are heap-backed).
+    fn set_auto_grow(&mut self, threshold: Option<f64>) -> Result<(), FilterError> {
+        self.f.set_auto_grow(threshold)
     }
 
     fn supports_delete(&self) -> bool {

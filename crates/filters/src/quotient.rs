@@ -312,6 +312,14 @@ impl AmqFilter for QuotientFilter {
     fn name(&self) -> &'static str {
         "QF"
     }
+
+    fn capacity(&self) -> u64 {
+        self.canonical as u64
+    }
+
+    fn load_factor(&self) -> f64 {
+        QuotientFilter::load_factor(self)
+    }
 }
 
 #[cfg(test)]

@@ -299,7 +299,21 @@ pub fn snapshot_kind(bytes: &[u8]) -> Result<String, SnapError> {
 /// assert!((0..500u64).all(|k| g.contains(k)));
 /// ```
 pub fn load_snapshot(bytes: &[u8]) -> Result<Box<dyn DynFilter>, SnapError> {
-    let mut r = SnapshotReader::new(bytes)?;
+    load_snapshot_in(bytes, None)
+}
+
+/// [`load_snapshot`] with a base directory for external table
+/// references: a frame whose filter migrated to a file-backed arena
+/// ([`DynFilter::set_file_backing`]) names its arena file, and the open
+/// resolves that name inside `base_dir` (mapping the table instead of
+/// decoding it). Frames with inline tables ignore `base_dir`; external
+/// frames loaded with `None` fail with a typed
+/// [`SnapError::Unsupported`].
+pub fn load_snapshot_in(
+    bytes: &[u8],
+    base_dir: Option<&Path>,
+) -> Result<Box<dyn DynFilter>, SnapError> {
+    let mut r = SnapshotReader::new_in(bytes, base_dir)?;
     load_from_reader(&mut r)
 }
 
@@ -332,9 +346,10 @@ pub fn save_snapshot(filter: &dyn DynFilter, path: &Path) -> Result<(), SnapErro
     Ok(write_atomic(path, &filter.snapshot_bytes()?)?)
 }
 
-/// Load a filter saved by [`save_snapshot`].
+/// Load a filter saved by [`save_snapshot`]. External table references
+/// (file-backed arenas) resolve against the snapshot's own directory.
 pub fn load_snapshot_file(path: &Path) -> Result<Box<dyn DynFilter>, SnapError> {
-    load_snapshot(&read_file(path)?)
+    load_snapshot_in(&read_file(path)?, path.parent())
 }
 
 #[cfg(test)]

@@ -397,6 +397,14 @@ impl AmqFilter for TelescopingFilter {
         "TQF"
     }
 
+    fn capacity(&self) -> u64 {
+        self.canonical as u64
+    }
+
+    fn load_factor(&self) -> f64 {
+        TelescopingFilter::load_factor(self)
+    }
+
     fn adaptivity(&self) -> Adaptivity {
         // Strongly adaptive while selectors last, but the fixed 2-bit
         // selector wraps, so fixes are not permanent in general.

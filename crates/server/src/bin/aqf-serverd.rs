@@ -5,7 +5,8 @@
 //! aqf-serverd [--addr=127.0.0.1:4477] [--dir=PATH] [--filter=KIND]
 //!             [--qbits=16] [--rbits=9] [--shard-bits=4] [--seed=1]
 //!             [--cache-pages=256] [--workers=8] [--burst=256]
-//!             [--revmap=merged|split] [--fresh] [--no-final-snapshot]
+//!             [--revmap=merged|split] [--auto-grow=0.9] [--file-backed]
+//!             [--fresh] [--no-final-snapshot]
 //! ```
 //!
 //! If `--dir` holds a snapshot manifest (and `--fresh` is absent), the
@@ -14,9 +15,17 @@
 //! `--filter` kind is built through the registry. On graceful shutdown
 //! (a SHUTDOWN frame — the SIGTERM stand-in) the server drains, takes an
 //! atomic snapshot (unless `--no-final-snapshot`), and exits.
+//!
+//! `--auto-grow=T` doubles the filter whenever its load factor reaches
+//! `T` instead of failing inserts with Full (growable kinds only —
+//! currently `aqf` and `sharded-aqf`; other kinds exit with an error).
+//! `--file-backed` keeps the filter's slot table in a mapped arena file
+//! next to the snapshot, so a later `open` maps it instead of decoding
+//! it. Both also apply to recovered databases (auto-grow is not
+//! persisted; the arena mode sticks via the snapshot itself).
 
 use aqf_filters::registry::FilterSpec;
-use aqf_server::cli::{flag_bool, flag_str, flag_u64};
+use aqf_server::cli::{flag_bool, flag_f64, flag_str, flag_u64};
 use aqf_server::{Server, ServerConfig};
 use aqf_storage::pager::IoPolicy;
 use aqf_storage::system::{FilteredDb, RevMapMode, SNAPSHOT_FILE};
@@ -29,7 +38,7 @@ fn main() {
     let fresh = flag_bool("fresh");
 
     let dir_path = Path::new(&dir);
-    let db = if !fresh && dir_path.join(SNAPSHOT_FILE).is_file() {
+    let mut db = if !fresh && dir_path.join(SNAPSHOT_FILE).is_file() {
         eprintln!("recovering database from {dir}/{SNAPSHOT_FILE}");
         match FilteredDb::open(dir_path, cache_pages, IoPolicy::default()) {
             Ok(db) => db,
@@ -72,6 +81,22 @@ fn main() {
             }
         }
     };
+
+    let auto_grow = flag_f64("auto-grow", 0.0);
+    if auto_grow > 0.0 {
+        if let Err(e) = db.set_auto_grow(Some(auto_grow)) {
+            eprintln!("--auto-grow={auto_grow} rejected: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("auto-grow enabled at load factor {auto_grow}");
+    }
+    if flag_bool("file-backed") {
+        if let Err(e) = db.enable_file_backing() {
+            eprintln!("--file-backed rejected: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("filter table backed by arena file in {dir}");
+    }
 
     let cfg = ServerConfig {
         worker_cap: flag_u64("workers", 8) as usize,

@@ -6,13 +6,19 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "AQFP"
-//! 4       2     version (LE; currently 1)
+//! 4       2     version (LE; currently 2, accepted 1..=2)
 //! 6       1     op tag
 //! 7       1     flags
 //! 8       4     payload length (LE; at most MAX_PAYLOAD)
 //! 12      n     payload
 //! 12+n    8     murmur64a checksum over bytes [0, 12+n) (LE)
 //! ```
+//!
+//! **Version history.** v1 is the original op set. v2 (minor revision)
+//! extends the `RESP_STATS` payload with filter capacity, load factor,
+//! and grow count; every other payload is unchanged. Both ends accept
+//! v1 frames — a v1 stats payload simply decodes with the new fields
+//! zeroed — so old clients and servers interoperate with new ones.
 //!
 //! The discipline mirrors `aqf_bits::snapshot`: validate the cheap
 //! structural fields first (magic, version, declared length *before*
@@ -29,8 +35,10 @@ use std::io::{self, Read};
 
 /// Frame magic: "AQFP".
 pub const MAGIC: [u8; 4] = *b"AQFP";
-/// Protocol version encoded in every frame.
-pub const VERSION: u16 = 1;
+/// Protocol version encoded in every outgoing frame.
+pub const VERSION: u16 = 2;
+/// Oldest protocol version this build still accepts.
+pub const MIN_VERSION: u16 = 1;
 /// Frame header size (magic + version + op + flags + payload length).
 pub const HEADER_LEN: usize = 12;
 /// Trailing checksum size.
@@ -136,11 +144,12 @@ pub enum ProtoError {
     },
     /// First four bytes were not "AQFP".
     BadMagic([u8; 4]),
-    /// Frame version this build does not speak.
+    /// Frame version this build does not speak (outside
+    /// [`MIN_VERSION`]..=[`VERSION`]).
     UnsupportedVersion {
         /// Version found in the frame.
         found: u16,
-        /// Version this build supports.
+        /// Newest version this build supports.
         supported: u16,
     },
     /// Declared payload length exceeds [`MAX_PAYLOAD`].
@@ -185,7 +194,7 @@ impl std::fmt::Display for ProtoError {
             Self::UnsupportedVersion { found, supported } => {
                 write!(
                     f,
-                    "unsupported protocol version {found} (supported: {supported})"
+                    "unsupported protocol version {found} (supported: {MIN_VERSION}..={supported})"
                 )
             }
             Self::Oversized { declared, max } => {
@@ -222,15 +231,28 @@ pub fn frame_checksum(frame_without_checksum: &[u8]) -> u64 {
     aqf_bits::hash::murmur64a(frame_without_checksum, CHECKSUM_SEED)
 }
 
-/// Encode one frame: envelope around `payload` with the given op/flags.
+/// Encode one frame: envelope around `payload` with the given op/flags,
+/// stamped with the current [`VERSION`].
 pub fn encode_frame(op_tag: u8, flags: u8, payload: &[u8]) -> Vec<u8> {
+    encode_frame_versioned(VERSION, op_tag, flags, payload)
+}
+
+/// [`encode_frame`] stamping an explicit version — for peers that must
+/// emit a legacy frame (compatibility tests, downgrade tooling). The
+/// caller is responsible for encoding the payload in that version's
+/// layout.
+pub fn encode_frame_versioned(version: u16, op_tag: u8, flags: u8, payload: &[u8]) -> Vec<u8> {
     assert!(
         payload.len() as u64 <= MAX_PAYLOAD as u64,
         "payload over cap"
     );
+    assert!(
+        (MIN_VERSION..=VERSION).contains(&version),
+        "frame version {version} out of supported range"
+    );
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.push(op_tag);
     out.push(flags);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -240,9 +262,13 @@ pub fn encode_frame(op_tag: u8, flags: u8, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// A decoded frame envelope: op tag, flags, and owned payload.
+/// A decoded frame envelope: version, op tag, flags, and owned payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
+    /// Protocol version the frame was encoded with
+    /// ([`MIN_VERSION`]..=[`VERSION`]) — version-gated payloads
+    /// (`RESP_STATS`) branch on it during decode.
+    pub version: u16,
     /// Op tag (see [`op`]).
     pub op_tag: u8,
     /// Flags byte (see [`FLAG_STORE_ACCESSED`]).
@@ -251,15 +277,16 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
-/// Validate the 12-byte header. Returns the declared payload length.
-/// Order matters: magic, version, then length — so a peer speaking a
-/// different protocol fails on magic, not on a nonsense length.
-fn validate_header(h: &[u8; HEADER_LEN]) -> Result<u32> {
+/// Validate the 12-byte header. Returns the frame version and the
+/// declared payload length. Order matters: magic, version, then length —
+/// so a peer speaking a different protocol fails on magic, not on a
+/// nonsense length.
+fn validate_header(h: &[u8; HEADER_LEN]) -> Result<(u16, u32)> {
     if h[0..4] != MAGIC {
         return Err(ProtoError::BadMagic([h[0], h[1], h[2], h[3]]));
     }
     let version = u16::from_le_bytes([h[4], h[5]]);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ProtoError::UnsupportedVersion {
             found: version,
             supported: VERSION,
@@ -272,7 +299,7 @@ fn validate_header(h: &[u8; HEADER_LEN]) -> Result<u32> {
             max: MAX_PAYLOAD,
         });
     }
-    Ok(len)
+    Ok((version, len))
 }
 
 /// Decode one complete frame from `buf`. Returns the frame and the
@@ -286,7 +313,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize)> {
     }
     let mut h = [0u8; HEADER_LEN];
     h.copy_from_slice(&buf[..HEADER_LEN]);
-    let payload_len = validate_header(&h)? as usize;
+    let (version, payload_len) = validate_header(&h)?;
+    let payload_len = payload_len as usize;
     let total = HEADER_LEN + payload_len + CHECKSUM_LEN;
     if buf.len() < total {
         return Err(ProtoError::Truncated {
@@ -302,6 +330,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize)> {
     }
     Ok((
         Frame {
+            version,
             op_tag: h[6],
             flags: h[7],
             payload: body[HEADER_LEN..].to_vec(),
@@ -676,6 +705,26 @@ pub struct StatsReport {
     pub connections: u64,
     /// Request frames served since startup.
     pub requests: u64,
+    /// Filter slot capacity (v2 frames; 0 from v1 peers or capacity-free
+    /// kinds).
+    pub capacity: u64,
+    /// Filter load factor in parts per million (v2 frames; u64 keeps the
+    /// payload integer-only and `Eq`).
+    pub load_factor_ppm: u64,
+    /// Grow events the filter has performed (v2 frames).
+    pub grows: u64,
+}
+
+impl StatsReport {
+    /// The load factor as a fraction, back from parts per million.
+    pub fn load_factor(&self) -> f64 {
+        self.load_factor_ppm as f64 / 1e6
+    }
+
+    /// Encode a load factor into parts per million (saturating at 0).
+    pub fn ppm(load_factor: f64) -> u64 {
+        (load_factor.max(0.0) * 1e6).round() as u64
+    }
 }
 
 /// A decoded server response.
@@ -799,7 +848,11 @@ impl Response {
                     .u64(s.false_positives)
                     .u64(s.adapts)
                     .u64(s.connections)
-                    .u64(s.requests);
+                    .u64(s.requests)
+                    // v2 tail: capacity / load factor / grows.
+                    .u64(s.capacity)
+                    .u64(s.load_factor_ppm)
+                    .u64(s.grows);
             }
             Self::Error { code, message } => {
                 w.u16(*code as u16).bytes(message.as_bytes());
@@ -838,7 +891,7 @@ impl Response {
                 let kind_bytes = r.bytes()?;
                 let filter_kind = String::from_utf8(kind_bytes)
                     .map_err(|_| ProtoError::Corrupt("stats kind is not UTF-8".into()))?;
-                Self::Stats(StatsReport {
+                let mut s = StatsReport {
                     filter_kind,
                     filter_len: r.u64()?,
                     filter_bytes: r.u64()?,
@@ -850,7 +903,16 @@ impl Response {
                     adapts: r.u64()?,
                     connections: r.u64()?,
                     requests: r.u64()?,
-                })
+                    ..StatsReport::default()
+                };
+                // v1 peers end the payload here; the capacity fields stay
+                // zeroed (`done()` still rejects any trailing garbage).
+                if frame.version >= 2 {
+                    s.capacity = r.u64()?;
+                    s.load_factor_ppm = r.u64()?;
+                    s.grows = r.u64()?;
+                }
+                Self::Stats(s)
             }
             op::RESP_ERROR => {
                 let code_raw = r.u16()?;
@@ -938,11 +1000,78 @@ mod tests {
             adapts: 8,
             connections: 9,
             requests: 10,
+            capacity: 1 << 20,
+            load_factor_ppm: 812_500,
+            grows: 2,
         }));
         roundtrip_resp(Response::Error {
             code: ErrorCode::Filter,
             message: "full".into(),
         });
+    }
+
+    /// A v1 peer's stats frame (kind + 10 counters, no capacity tail)
+    /// must still decode, with the v2-only fields zeroed.
+    #[test]
+    fn v1_stats_frame_decodes_with_zeroed_capacity_fields() {
+        let mut p = PayloadWriter::new();
+        p.bytes(b"aqf");
+        for v in 1..=10u64 {
+            p.u64(v);
+        }
+        let wire = encode_frame_versioned(1, op::RESP_STATS, 0, &p.finish());
+        let (frame, used) = decode_frame(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(frame.version, 1);
+        let Response::Stats(s) = Response::decode(&frame).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.filter_kind, "aqf");
+        assert_eq!(s.filter_len, 1);
+        assert_eq!(s.requests, 10);
+        assert_eq!((s.capacity, s.load_factor_ppm, s.grows), (0, 0, 0));
+    }
+
+    /// The capacity tail is mandatory in v2 frames: a v2 stats payload
+    /// that stops after the v1 fields is corrupt, not silently zeroed.
+    #[test]
+    fn v2_stats_frame_without_capacity_tail_is_corrupt() {
+        let mut p = PayloadWriter::new();
+        p.bytes(b"aqf");
+        for v in 1..=10u64 {
+            p.u64(v);
+        }
+        let wire = encode_frame_versioned(2, op::RESP_STATS, 0, &p.finish());
+        let (frame, _) = decode_frame(&wire).unwrap();
+        assert!(matches!(
+            Response::decode(&frame),
+            Err(ProtoError::Truncated { .. } | ProtoError::Corrupt(_))
+        ));
+    }
+
+    /// v1 request frames (identical layout in both versions) decode fine;
+    /// versions past [`VERSION`] are rejected at the envelope.
+    #[test]
+    fn version_range_enforced_at_envelope() {
+        let mut p = PayloadWriter::new();
+        p.u64(7);
+        let v1_wire = encode_frame_versioned(1, op::QUERY, 0, &p.finish());
+        let (frame, _) = decode_frame(&v1_wire).unwrap();
+        assert_eq!(frame.version, 1);
+        assert_eq!(Request::decode(&frame).unwrap(), Request::Query { key: 7 });
+
+        // Hand-build a frame claiming a future version.
+        let mut wire = Request::Query { key: 7 }.encode();
+        wire[4] = (VERSION + 1) as u8;
+        wire[5] = 0;
+        let body_len = wire.len() - CHECKSUM_LEN;
+        let sum = frame_checksum(&wire[..body_len]);
+        wire[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&wire),
+            Err(ProtoError::UnsupportedVersion { found, supported })
+                if found == VERSION + 1 && supported == VERSION
+        ));
     }
 
     #[test]

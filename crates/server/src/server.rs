@@ -482,6 +482,9 @@ fn handle_one(
                 adapts: s.adapts,
                 connections: shared.connections.load(Relaxed),
                 requests: shared.requests.load(Relaxed),
+                capacity: f.capacity(),
+                load_factor_ppm: StatsReport::ppm(f.load_factor()),
+                grows: f.grows(),
             })
         }
         Request::Snapshot => {

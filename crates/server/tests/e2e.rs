@@ -169,6 +169,41 @@ fn delete_over_the_wire() {
     }
 }
 
+/// A live server over an auto-growing, file-backed database: wire
+/// inserts push far past the initial filter capacity without ever
+/// failing, and the v2 STATS fields (capacity / load factor / grow
+/// count) report the growth over the wire.
+#[test]
+fn auto_grow_reports_through_wire_stats() {
+    let dir = aqf_workloads::unique_temp_dir("aqf-e2e-grow");
+    let mut db = fresh_db("aqf", 8, &dir);
+    db.set_auto_grow(Some(0.9)).unwrap();
+    db.enable_file_backing().unwrap();
+    let srv = start(db, ServerConfig::default());
+    let mut cl = Client::connect(srv.local_addr()).unwrap();
+
+    let n = 4 * 256u64; // 4x the 2^8 initial slot budget
+    let items: Vec<(u64, Vec<u8>)> = (0..n).map(|k| (k * 9 + 1, value_of(k))).collect();
+    cl.insert_batch(&items).unwrap();
+
+    let stats = cl.stats().unwrap();
+    assert_eq!(stats.inserts, n, "every insert absorbed without Full");
+    assert!(
+        stats.grows >= 2,
+        "expected >=2 doublings, saw {}",
+        stats.grows
+    );
+    assert!(stats.capacity >= n, "capacity {} < {n}", stats.capacity);
+    let lf = stats.load_factor();
+    assert!(lf > 0.0 && lf <= 1.0, "load factor {lf} out of range");
+    for (k, v) in items.iter().step_by(37) {
+        assert_eq!(cl.query(*k).unwrap().as_deref(), Some(&v[..]));
+    }
+    cl.shutdown().unwrap();
+    srv.wait().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The full SIGTERM-shaped lifecycle against a hard kill: commit a
 /// prefix, snapshot, keep writing, kill without the final snapshot,
 /// restart, verify committed-present / lost-absent element-wise, replay

@@ -100,7 +100,7 @@ fn wrong_magic_and_version_are_identified_before_the_checksum() {
         decode_frame(&bad),
         Err(ProtoError::UnsupportedVersion {
             found: 9,
-            supported: 1
+            supported: proto::VERSION
         })
     ));
 }

@@ -81,6 +81,10 @@ pub struct SystemStats {
 /// Name of the snapshot manifest inside a [`FilteredDb`]'s directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.aqfdb";
 
+/// Name of the file-backed filter arena inside a [`FilteredDb`]'s
+/// directory (present only after [`FilteredDb::enable_file_backing`]).
+pub const FILTER_ARENA_FILE: &str = "filter.arena";
+
 /// Snapshot kind string of a [`FilteredDb`] manifest frame.
 const DB_SNAPSHOT_KIND: &str = "filtered-db";
 
@@ -95,6 +99,9 @@ pub struct FilteredDb {
     stats: SystemStats,
     /// Directory holding the database files and snapshot manifest.
     dir: PathBuf,
+    /// File-backed filter mode was requested: re-established before each
+    /// snapshot if a grow in between moved the table back to the heap.
+    file_backed: bool,
 }
 
 impl FilteredDb {
@@ -129,6 +136,7 @@ impl FilteredDb {
             split_db,
             stats: SystemStats::default(),
             dir: dir.to_path_buf(),
+            file_backed: false,
         })
     }
 
@@ -175,6 +183,31 @@ impl FilteredDb {
         &self.dir
     }
 
+    /// Enable (`Some(threshold)`) or disable (`None`) automatic filter
+    /// growth: once the filter's load factor reaches `threshold`, the
+    /// next insert doubles its table in place instead of returning
+    /// [`FilterError::Full`]. Errors for filter kinds that cannot grow.
+    pub fn set_auto_grow(&mut self, threshold: Option<f64>) -> Result<(), FilterError> {
+        self.filter.set_auto_grow(threshold)
+    }
+
+    /// Migrate the filter table onto a file-backed arena
+    /// ([`FILTER_ARENA_FILE`] in the database directory), so subsequent
+    /// snapshots reference the arena by name and [`FilteredDb::open`]
+    /// maps it instead of decoding the table. Errors for filter kinds
+    /// without file-backed support.
+    ///
+    /// A grow event moves the table back to the heap (the arena geometry
+    /// is fixed); the mode is sticky, so the next
+    /// [`FilteredDb::snapshot`] migrates the grown table onto a fresh
+    /// arena before writing the manifest.
+    pub fn enable_file_backing(&mut self) -> std::io::Result<()> {
+        self.filter
+            .set_file_backing(&self.dir.join(FILTER_ARENA_FILE))?;
+        self.file_backed = true;
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Snapshot persistence
     // ------------------------------------------------------------------
@@ -189,6 +222,18 @@ impl FilteredDb {
     /// committed snapshot intact, and [`FilteredDb::open`] recovers from
     /// it, discarding the stale temp.
     pub fn snapshot(&mut self) -> Result<(), SnapError> {
+        if self.file_backed {
+            if !self.filter.is_file_backed() {
+                // A grow since the last snapshot rebuilt the table on the
+                // heap; move it back onto a (fresh-geometry) arena so the
+                // manifest can keep referencing it by name.
+                self.filter
+                    .set_file_backing(&self.dir.join(FILTER_ARENA_FILE))?;
+            }
+            // The manifest records only a name for the table; the arena
+            // bytes must be durable before the manifest commits.
+            self.filter.sync()?;
+        }
         let filter_bytes = self.filter.snapshot_bytes()?;
         let mut w = SnapshotWriter::new(DB_SNAPSHOT_KIND);
         w.section(*b"FLTR");
@@ -232,7 +277,9 @@ impl FilteredDb {
         let mut r = SnapshotReader::new(&bytes)?;
         r.expect_kind(DB_SNAPSHOT_KIND)?;
         r.section(*b"FLTR")?;
-        let mut filter = registry::load_snapshot(r.bytes()?)?;
+        // External table references (file-backed arenas) resolve against
+        // the database directory itself.
+        let mut filter = registry::load_snapshot_in(r.bytes()?, Some(dir))?;
         filter.set_system_mode(true);
         r.section(*b"STAT")?;
         let stats = SystemStats {
@@ -278,12 +325,14 @@ impl FilteredDb {
         // failed to open, the temp would survive as recovery evidence).
         // Best-effort: an undeletable temp must not fail a good open.
         let _ = std::fs::remove_file(stale_temp_path(&manifest));
+        let file_backed = filter.is_file_backed();
         Ok(Self {
             filter,
             primary,
             split_db,
             stats,
             dir: dir.to_path_buf(),
+            file_backed,
         })
     }
 

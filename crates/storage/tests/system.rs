@@ -333,3 +333,59 @@ fn delete_unsupported_kinds_report_typed_error() {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
+
+#[test]
+fn auto_grow_file_backed_db_snapshots_and_reopens() {
+    // The full dynamic-capacity lifecycle at the system layer: auto-grow
+    // absorbs 8x the initial filter capacity without ever reporting
+    // Full, the table lives on a file-backed arena, and both survive a
+    // snapshot/open cycle — including the sticky re-attach after a grow
+    // has bounced the table back onto the heap.
+    let dir = temp_dir("grow-fb");
+    let spec = FilterSpec::new("aqf", 8).with_rbits(9).with_seed(9);
+    let mut db = registry_db(&spec, &dir, RevMapMode::Merged);
+    db.set_auto_grow(Some(0.9)).unwrap();
+    db.enable_file_backing().unwrap();
+    assert!(db.filter().is_file_backed());
+
+    let n = 8 * 256u64; // 8x the 2^8 initial slot budget
+    for k in 0..n {
+        db.insert(k * 3 + 1, &(k * 7).to_le_bytes())
+            .unwrap()
+            .expect("auto-grow must absorb 8x capacity without Full");
+    }
+    assert!(db.filter().grows() >= 3, "expected >=3 doublings");
+    assert!(db.filter().capacity() >= n);
+    // Growing rebuilds on the heap; the mode is sticky, so the snapshot
+    // below must migrate the grown table back onto the arena.
+    db.snapshot().unwrap();
+    assert!(
+        db.filter().is_file_backed(),
+        "snapshot must re-attach arena"
+    );
+    let grows_before = db.filter().grows();
+    drop(db);
+
+    let mut r = FilteredDb::open(&dir, 256, IoPolicy::default()).unwrap();
+    assert!(r.filter().is_file_backed(), "reopen lost the arena backing");
+    assert_eq!(r.filter().grows(), grows_before);
+    for k in 0..n {
+        assert_eq!(
+            r.query(k * 3 + 1).unwrap().as_deref(),
+            Some(&(k * 7).to_le_bytes()[..]),
+            "key {} lost across grow + reopen",
+            k * 3 + 1
+        );
+    }
+    // Auto-grow is a runtime policy, not snapshot state (a reopened db
+    // loads with it off); re-arm it and push past the next threshold —
+    // inserts must still never report Full.
+    r.set_auto_grow(Some(0.9)).unwrap();
+    for k in n..(2 * n) {
+        r.insert(k * 3 + 1, &(k * 7).to_le_bytes())
+            .unwrap()
+            .expect("reopened db must keep auto-growing");
+    }
+    assert!(r.filter().grows() > grows_before);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -8,17 +8,22 @@
 #   count at 1 writer.
 # - BENCH_PR7.json — fig13_server: loopback TCP server query throughput
 #   vs client connections, per-op vs batched framing.
+# - BENCH_PR8.json — fig14_resize: insert throughput across auto-grow
+#   doublings vs a pre-sized filter, and file-backed snapshot open vs
+#   full decode at 2^22 slots.
 #
-# Usage: scripts/bench_json.sh [pr5_outfile] [pr6_outfile] [pr7_outfile]
-# Defaults: BENCH_PR5.json / BENCH_PR6.json / BENCH_PR7.json, with the
-# exact protocols of the recorded tables in BENCHMARKS.md. Set SKIP_PR5=1,
-# SKIP_PR6=1 or SKIP_PR7=1 to emit a subset.
+# Usage: scripts/bench_json.sh [pr5_outfile] [pr6_outfile] [pr7_outfile] [pr8_outfile]
+# Defaults: BENCH_PR5.json / BENCH_PR6.json / BENCH_PR7.json /
+# BENCH_PR8.json, with the exact protocols of the recorded tables in
+# BENCHMARKS.md. Set SKIP_PR5=1, SKIP_PR6=1, SKIP_PR7=1 or SKIP_PR8=1 to
+# emit a subset.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PR5_OUT="${1:-BENCH_PR5.json}"
 PR6_OUT="${2:-BENCH_PR6.json}"
 PR7_OUT="${3:-BENCH_PR7.json}"
+PR8_OUT="${4:-BENCH_PR8.json}"
 
 if [[ -z "${SKIP_PR5:-}" ]]; then
   cargo build --release --locked -p aqf-bench --bin fig12_layout
@@ -42,4 +47,12 @@ if [[ -z "${SKIP_PR7:-}" ]]; then
     --qbits=16 --load=0.6 --max-conns=8 --ops=30000 --batch=64 \
     --pipeline=32 --filter=aqf,sharded-aqf,qf --json="$PR7_OUT"
   echo "perf point written to $PR7_OUT"
+fi
+
+if [[ -z "${SKIP_PR8:-}" ]]; then
+  cargo build --release --locked -p aqf-bench --bin fig14_resize
+  ./target/release/fig14_resize \
+    --qbits-start=14 --qbits-final=20 --threshold=0.85 --file-qbits=22 \
+    --reps=5 --filter=aqf,sharded-aqf --json="$PR8_OUT"
+  echo "perf point written to $PR8_OUT"
 fi

@@ -18,6 +18,7 @@ $RUN fig10_batch -- --qbits=8 --shard-bits=2 --batch=64 --max-threads=2 --reps=1
 $RUN fig11_persist -- --qbits=8 --db-qbits=8 --shard-bits=2 --reps=1 --filter=aqf,sharded-aqf,qf
 $RUN fig12_layout -- --qbits=8 --queries=2000 --loads=0.5,0.9 --reps=1 --filter=aqf,qf
 $RUN fig13_server -- --qbits=9 --ops=1000 --max-conns=2 --batch=16 --filter=sharded-aqf,qf
+$RUN fig14_resize -- --qbits-start=8 --qbits-final=10 --file-qbits=14 --reps=1 --filter=aqf,sharded-aqf
 $RUN sec69_extra_space -- --qbits=8 --queries=1000 --io-us=1 --filter=qf,cf
 $RUN tab1_space -- --qbits=8 --probes=1000 --filter=all
 $RUN tab2_revmap -- --qbits1=8 --qbits2=9 --filter=aqf,tqf,acf
