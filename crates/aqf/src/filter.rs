@@ -104,6 +104,47 @@ pub struct AqfStats {
     pub grows: u64,
 }
 
+/// Reusable scratch buffers for the batch pipeline (fingerprints, the
+/// counting-partition work arrays, and the resulting index order).
+///
+/// Batch entry points ([`AdaptiveQf::query_batch`] etc.) draw one of
+/// these from a thread-local pool automatically; the `*_in` variants
+/// ([`AdaptiveQf::query_batch_in`] etc.) take a caller-held scratch so
+/// hot loops issuing many batches reuse the same allocations
+/// deterministically.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    fps: Vec<Fingerprint>,
+    bucket_of: Vec<u32>,
+    order: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+std::thread_local! {
+    static BATCH_SCRATCH: std::cell::Cell<BatchScratch> =
+        std::cell::Cell::new(BatchScratch::default());
+}
+
+/// Run `f` with the thread-local [`BatchScratch`]. The scratch is *taken*
+/// from the slot and restored afterwards, so a re-entrant batch call
+/// (e.g. from an `insert_batch_with` sink) sees a fresh default scratch
+/// instead of aliasing buffers already in use.
+fn with_scratch<R>(f: impl FnOnce(&mut BatchScratch) -> R) -> R {
+    BATCH_SCRATCH.with(|slot| {
+        let mut s = slot.take();
+        let r = f(&mut s);
+        slot.set(s);
+        r
+    })
+}
+
 /// The AdaptiveQF (paper §3–4): a counting quotient filter that corrects
 /// reported false positives by extending fingerprints in place.
 #[derive(Clone, Debug)]
@@ -404,6 +445,39 @@ impl AdaptiveQf {
 
         // Existing run: walk its groups (sorted by remainder).
         let (rs, re) = self.t.run_range(hq);
+
+        // Fast path: a run with no extension or counter slots anywhere
+        // (including trailing extras of its last group) is a plain sorted
+        // remainder array, so the insert is a QF-style scalar walk — no
+        // per-group extent decoding. Counting inserts stay on the general
+        // path because they must compare full fingerprints for duplicates.
+        if !counting && self.t.ext_count_range(rs + 1, (re + 2).min(self.t.total)) == 0 {
+            let mut pos = rs;
+            let mut rank: u32 = 0;
+            while pos <= re {
+                let grem = self.t.remainder_at(pos);
+                if grem > hr {
+                    break;
+                }
+                if grem == hr {
+                    rank += 1;
+                }
+                pos += 1;
+            }
+            if pos <= re {
+                self.t.insert_slot_at(hq, pos, slot_val, false, false)?;
+            } else {
+                self.t.insert_slot_at(hq, re + 1, slot_val, false, true)?;
+                self.t.clear_runend(re);
+            }
+            self.note_new_group(1);
+            return Ok(InsertOutcome {
+                minirun_id: id,
+                rank,
+                duplicate: false,
+            });
+        }
+
         let mut g = rs;
         let mut rank: u32 = 0;
         loop {
@@ -667,34 +741,61 @@ impl AdaptiveQf {
     /// resident while the batch works through it.
     const BATCH_BUCKET_BITS: u32 = 8;
 
-    /// Fingerprints of `keys` plus a stable index order grouped by
-    /// quotient range. The quotient is extracted **once** per key (every
-    /// [`Fingerprint`] accessor re-derives the hash string, so ordering
-    /// must not re-read it per comparison).
-    fn batch_order(&self, keys: &[u64]) -> (Vec<Fingerprint>, Vec<u32>) {
+    /// Batches smaller than this skip the counting partition and run in
+    /// input order. Below ~64 keys the partition's two extra passes and
+    /// the 256-entry cursor reset cost more than the locality they buy —
+    /// a tiny batch touches so few table regions that its walks are
+    /// effectively random either way.
+    pub const BATCH_PARTITION_MIN: usize = 64;
+
+    /// How many keys ahead of the batch cursor target blocks are
+    /// software-prefetched. Eight probes of ~100 ns DRAM latency each is
+    /// comfortably more work than one prefetch needs to land, without
+    /// running far enough ahead to thrash the L1.
+    pub const BATCH_PREFETCH_DIST: usize = 8;
+
+    /// Fill `s` with `keys`' fingerprints and a stable index order
+    /// grouped by quotient range (identity order below
+    /// [`Self::BATCH_PARTITION_MIN`]). Quotients come from the
+    /// [`Fingerprint`] cache, so the partition never re-derives the hash
+    /// string. All buffers are reused across calls.
+    fn batch_order_into(&self, keys: &[u64], s: &mut BatchScratch) {
         debug_assert!(keys.len() <= u32::MAX as usize);
+        s.fps.clear();
+        s.fps.extend(keys.iter().map(|&k| self.fingerprint(k)));
+        s.order.clear();
+        if keys.len() < Self::BATCH_PARTITION_MIN {
+            s.order.extend(0..keys.len() as u32);
+            return;
+        }
         let bb = Self::BATCH_BUCKET_BITS.min(self.cfg.qbits);
         let shift = self.cfg.qbits - bb;
         let nb = 1usize << bb;
-        let mut fps = Vec::with_capacity(keys.len());
-        let mut bucket_of = Vec::with_capacity(keys.len());
-        let mut cursor = vec![0u32; nb + 1];
-        for &k in keys {
-            let fp = self.fingerprint(k);
+        s.bucket_of.clear();
+        s.cursor.clear();
+        s.cursor.resize(nb + 1, 0);
+        for fp in &s.fps {
             let b = (fp.quotient() >> shift) as u32;
-            cursor[b as usize + 1] += 1;
-            bucket_of.push(b);
-            fps.push(fp);
+            s.cursor[b as usize + 1] += 1;
+            s.bucket_of.push(b);
         }
         for b in 0..nb {
-            cursor[b + 1] += cursor[b];
+            s.cursor[b + 1] += s.cursor[b];
         }
-        let mut order = vec![0u32; keys.len()];
-        for (i, &b) in bucket_of.iter().enumerate() {
-            order[cursor[b as usize] as usize] = i as u32;
-            cursor[b as usize] += 1;
+        s.order.resize(keys.len(), 0);
+        for (i, &b) in s.bucket_of.iter().enumerate() {
+            s.order[s.cursor[b as usize] as usize] = i as u32;
+            s.cursor[b as usize] += 1;
         }
-        (fps, order)
+    }
+
+    /// Prefetch the block of the key `BATCH_PREFETCH_DIST` positions
+    /// ahead of cursor `k` in the batch order, if any.
+    #[inline(always)]
+    fn prefetch_ahead(&self, s: &BatchScratch, k: usize) {
+        if let Some(&j) = s.order.get(k + Self::BATCH_PREFETCH_DIST) {
+            self.t.prefetch(s.fps[j as usize].quotient());
+        }
     }
 
     /// Insert every key of `keys`, invoking `sink(input_index, outcome)`
@@ -709,14 +810,27 @@ impl AdaptiveQf {
     pub fn insert_batch_with(
         &mut self,
         keys: &[u64],
+        sink: impl FnMut(usize, InsertOutcome),
+    ) -> Result<(), FilterError> {
+        with_scratch(|s| self.insert_batch_with_in(keys, s, sink))
+    }
+
+    /// [`Self::insert_batch_with`] with caller-held scratch buffers —
+    /// repeated batches reuse `scratch`'s allocations instead of going
+    /// through the thread-local pool.
+    pub fn insert_batch_with_in(
+        &mut self,
+        keys: &[u64],
+        scratch: &mut BatchScratch,
         mut sink: impl FnMut(usize, InsertOutcome),
     ) -> Result<(), FilterError> {
         self.check_and_resize()?;
-        let (mut fps, order) = self.batch_order(keys);
+        self.batch_order_into(keys, scratch);
         let mut k = 0usize;
-        while k < order.len() {
-            let i = order[k] as usize;
-            match self.insert_fp(&fps[i], 0, false) {
+        while k < scratch.order.len() {
+            self.prefetch_ahead(scratch, k);
+            let i = scratch.order[k] as usize;
+            match self.insert_fp(&scratch.fps[i], 0, false) {
                 Ok(out) => {
                     sink(i, out);
                     k += 1;
@@ -729,7 +843,7 @@ impl AdaptiveQf {
                     // preserves, and same-quotient keys (same bucket before
                     // and after) keep their stable relative order — so
                     // outcomes still match sequential insert calls.
-                    for (j, f) in fps.iter_mut().enumerate() {
+                    for (j, f) in scratch.fps.iter_mut().enumerate() {
                         *f = self.fingerprint(keys[j]);
                     }
                 }
@@ -764,11 +878,18 @@ impl AdaptiveQf {
     /// Query every key of `keys`, returning per-key results in input
     /// order; element-wise identical to per-key [`Self::query`] calls.
     pub fn query_batch(&self, keys: &[u64]) -> Vec<QueryResult> {
-        let (fps, order) = self.batch_order(keys);
+        with_scratch(|s| self.query_batch_in(keys, s))
+    }
+
+    /// [`Self::query_batch`] with caller-held scratch buffers.
+    pub fn query_batch_in(&self, keys: &[u64], scratch: &mut BatchScratch) -> Vec<QueryResult> {
+        self.batch_order_into(keys, scratch);
         let mut out = vec![QueryResult::Negative; keys.len()];
-        for &i in &order {
-            if let Some((_, hit)) = self.find_first_match(&fps[i as usize]) {
-                out[i as usize] = QueryResult::Positive(hit);
+        for k in 0..scratch.order.len() {
+            self.prefetch_ahead(scratch, k);
+            let i = scratch.order[k] as usize;
+            if let Some((_, hit)) = self.find_first_match(&scratch.fps[i]) {
+                out[i] = QueryResult::Positive(hit);
             }
         }
         out
@@ -776,10 +897,17 @@ impl AdaptiveQf {
 
     /// Batched [`Self::contains`]: per-key membership bits in input order.
     pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
-        let (fps, order) = self.batch_order(keys);
+        with_scratch(|s| self.contains_batch_in(keys, s))
+    }
+
+    /// [`Self::contains_batch`] with caller-held scratch buffers.
+    pub fn contains_batch_in(&self, keys: &[u64], scratch: &mut BatchScratch) -> Vec<bool> {
+        self.batch_order_into(keys, scratch);
         let mut out = vec![false; keys.len()];
-        for &i in &order {
-            out[i as usize] = self.find_first_match(&fps[i as usize]).is_some();
+        for k in 0..scratch.order.len() {
+            self.prefetch_ahead(scratch, k);
+            let i = scratch.order[k] as usize;
+            out[i] = self.find_first_match(&scratch.fps[i]).is_some();
         }
         out
     }
@@ -793,22 +921,30 @@ impl AdaptiveQf {
         out: &mut [QueryResult],
     ) {
         debug_assert_eq!(keys.len(), out_idx.len());
-        let (fps, order) = self.batch_order(keys);
-        for &i in &order {
-            if let Some((_, hit)) = self.find_first_match(&fps[i as usize]) {
-                out[out_idx[i as usize] as usize] = QueryResult::Positive(hit);
+        with_scratch(|s| {
+            self.batch_order_into(keys, s);
+            for k in 0..s.order.len() {
+                self.prefetch_ahead(s, k);
+                let i = s.order[k] as usize;
+                if let Some((_, hit)) = self.find_first_match(&s.fps[i]) {
+                    out[out_idx[i] as usize] = QueryResult::Positive(hit);
+                }
             }
-        }
+        })
     }
 
     /// Batch-membership core for [`crate::ShardedAqf`]; see
     /// [`Self::insert_batch_scatter`].
     pub(crate) fn contains_batch_scatter(&self, keys: &[u64], out_idx: &[u32], out: &mut [bool]) {
         debug_assert_eq!(keys.len(), out_idx.len());
-        let (fps, order) = self.batch_order(keys);
-        for &i in &order {
-            out[out_idx[i as usize] as usize] = self.find_first_match(&fps[i as usize]).is_some();
-        }
+        with_scratch(|s| {
+            self.batch_order_into(keys, s);
+            for k in 0..s.order.len() {
+                self.prefetch_ahead(s, k);
+                let i = s.order[k] as usize;
+                out[out_idx[i] as usize] = self.find_first_match(&s.fps[i]).is_some();
+            }
+        })
     }
 
     // ------------------------------------------------------------------

@@ -10,21 +10,33 @@
 use aqf_bits::hash::HashSeq;
 
 /// A key's fingerprint decomposition under a given filter geometry.
+///
+/// The fixed parts of the decomposition — quotient and remainder — are
+/// extracted **once** at construction and cached: every insert and query
+/// reads them several times (run location, ordering comparisons, the
+/// minirun id), and re-deriving them from the hash string on each call
+/// put two bit-extraction chains on the hot path per read. Extension
+/// chunks stay lazy (only adaptation walks past the first hash word).
 #[derive(Clone, Copy, Debug)]
 pub struct Fingerprint {
     seq: HashSeq,
     qbits: u32,
     rbits: u32,
+    quotient: usize,
+    remainder: u64,
 }
 
 impl Fingerprint {
     /// Decompose `key` under `seed` for a `(qbits, rbits)` filter.
     #[inline]
     pub fn new(key: u64, seed: u64, qbits: u32, rbits: u32) -> Self {
+        let seq = HashSeq::new(key, seed);
         Self {
-            seq: HashSeq::new(key, seed),
+            seq,
             qbits,
             rbits,
+            quotient: seq.bits_msb(0, qbits) as usize,
+            remainder: seq.bits_msb(qbits as u64, rbits),
         }
     }
 
@@ -32,13 +44,13 @@ impl Fingerprint {
     /// (MSB-first positions `[0, q)`), as in the quotient filter.
     #[inline]
     pub fn quotient(&self) -> usize {
-        self.seq.bits_msb(0, self.qbits) as usize
+        self.quotient
     }
 
     /// The base remainder: MSB-first hash bits `[q, q+r)`.
     #[inline]
     pub fn remainder(&self) -> u64 {
-        self.seq.bits_msb(self.qbits as u64, self.rbits)
+        self.remainder
     }
 
     /// Extension chunk `i` (0-based): MSB-first hash bits

@@ -61,7 +61,9 @@ pub mod testhooks;
 mod yesno;
 
 pub use config::{AqfConfig, FilterError};
-pub use filter::{AdaptiveQf, AqfStats, DeleteOutcome, Entry, Hit, InsertOutcome, QueryResult};
+pub use filter::{
+    AdaptiveQf, AqfStats, BatchScratch, DeleteOutcome, Entry, Hit, InsertOutcome, QueryResult,
+};
 pub use probe::{AqfReader, Torn};
 
 pub use aqf_bits::snapshot::SnapError;

@@ -7,19 +7,27 @@
 //! will suffice in order to simulate having the reverse map present");
 //! [`ShadowMap`] is that substitute.
 //!
-//! Inserts append to a flat log (a couple of ns, so timed insert loops
-//! aren't polluted by map maintenance, matching the paper's protocol);
-//! the first lookup folds the log into the hash map.
+//! Inserts append the **key alone** to a flat log — one 8-byte store with
+//! no data dependency on the insert outcome, so timed insert loops aren't
+//! polluted by map maintenance (matching the paper's protocol; the earlier
+//! 24-byte `(id, rank, key)` entry measurably dragged insert throughput).
+//! The first lookup folds the log into the hash map, recomputing each
+//! key's minirun id from its hash string. Ranks need no storage at all:
+//! within a minirun, groups appear in insertion order, so folding the log
+//! in order appends each key at exactly its filter-assigned rank. Both
+//! reconstructions survive capacity doubling — the minirun id is the
+//! numeric value of the hash prefix of length `qbits + rbits`, which grow
+//! re-splits but never changes.
 
 use std::collections::HashMap;
 
-use crate::filter::{DeleteOutcome, InsertOutcome};
+use crate::filter::DeleteOutcome;
 
 /// Exact reverse map: minirun id -> keys in rank order, mirroring AQF
 /// insert outcomes.
 #[derive(Clone, Debug, Default)]
 pub struct ShadowMap {
-    pub(crate) log: Vec<(u64, u32, u64)>,
+    pub(crate) log: Vec<u64>,
     pub(crate) map: HashMap<u64, Vec<u64>>,
 }
 
@@ -29,18 +37,27 @@ impl ShadowMap {
         Self::default()
     }
 
-    /// Record an insert outcome (cheap append).
+    /// Record an inserted key (one 8-byte append; the hot-path cost).
     #[inline]
-    pub fn record(&mut self, out: &InsertOutcome, key: u64) {
-        self.log.push((out.minirun_id, out.rank, key));
+    pub fn record(&mut self, key: u64) {
+        self.log.push(key);
     }
 
-    /// Fold pending log entries into the lookup structure.
-    pub fn settle(&mut self) {
-        for (id, rank, key) in self.log.drain(..) {
-            let list = self.map.entry(id).or_default();
-            list.insert((rank as usize).min(list.len()), key);
+    /// Fold pending log entries into the lookup structure. `id_of` maps a
+    /// key to its minirun id (e.g. `|k| f.fingerprint(k).minirun_id()`);
+    /// it must be the geometry the keys were inserted under — any later
+    /// geometry of the same filter works, since grow preserves ids.
+    pub fn settle(&mut self, mut id_of: impl FnMut(u64) -> u64) {
+        for key in self.log.drain(..) {
+            // In-order append = rank order: the filter assigns each new
+            // group of a minirun the next rank, exactly like this push.
+            self.map.entry(id_of(key)).or_default().push(key);
         }
+    }
+
+    /// True if inserts are pending; [`Self::settle`] before lookups.
+    pub fn needs_settle(&self) -> bool {
+        !self.log.is_empty()
     }
 
     /// Key stored at (id, rank). Call [`Self::settle`] after inserts.
@@ -52,11 +69,12 @@ impl ShadowMap {
     /// Remove the entry a successful delete vacated, keeping later ranks of
     /// the same minirun aligned with the filter (they shift down by one,
     /// exactly as the filter's ranks do when a whole group is removed).
+    /// The map must be settled first.
     pub fn remove(&mut self, out: &DeleteOutcome) {
+        debug_assert!(self.log.is_empty(), "call settle() before deletes");
         if !out.removed_group {
             return; // only a counter decrement: the entry is still live
         }
-        self.settle();
         if let Some(list) = self.map.get_mut(&out.minirun_id) {
             if (out.rank as usize) < list.len() {
                 list.remove(out.rank as usize);
@@ -80,10 +98,10 @@ mod tests {
         let mut m = ShadowMap::new();
         let keys: Vec<u64> = (0..800).map(|i| i * 37 + 5).collect();
         for &k in &keys {
-            let out = f.insert(k).unwrap();
-            m.record(&out, k);
+            f.insert(k).unwrap();
+            m.record(k);
         }
-        m.settle();
+        m.settle(|k| f.fingerprint(k).minirun_id());
         // Every key resolves through its own query coordinates.
         for &k in &keys {
             let crate::QueryResult::Positive(hit) = f.query(k) else {
@@ -102,6 +120,30 @@ mod tests {
         for &k in keys.iter().skip(1).step_by(2) {
             let crate::QueryResult::Positive(hit) = f.query(k) else {
                 panic!("surviving member {k} lost");
+            };
+            let stored = m.get(hit.minirun_id, hit.rank).expect("map entry");
+            assert_eq!(f.fingerprint(stored).minirun_id(), hit.minirun_id);
+        }
+    }
+
+    #[test]
+    fn ranks_survive_grow() {
+        // Minirun ids are the (qbits + rbits)-bit hash prefix, so a map
+        // settled *after* capacity doubling must still agree with hits.
+        let cfg = AqfConfig::new(8, 9).with_seed(5);
+        let mut f = AdaptiveQf::new(cfg).unwrap();
+        f.set_auto_grow(Some(0.9)).unwrap();
+        let mut m = ShadowMap::new();
+        let keys: Vec<u64> = (0..400).map(|i| i * 911 + 3).collect();
+        for &k in &keys {
+            f.insert(k).unwrap();
+            m.record(k);
+        }
+        assert!(f.stats().grows > 0, "workload must trigger a grow");
+        m.settle(|k| f.fingerprint(k).minirun_id());
+        for &k in &keys {
+            let crate::QueryResult::Positive(hit) = f.query(k) else {
+                panic!("member {k} lost across grow");
             };
             let stored = m.get(hit.minirun_id, hit.rank).expect("map entry");
             assert_eq!(f.fingerprint(stored).minirun_id(), hit.minirun_id);

@@ -463,12 +463,7 @@ impl ShadowMap {
             w.u64_slice(keys);
         }
         w.section(*b"SLOG");
-        w.u64(self.log.len() as u64);
-        for &(id, rank, key) in &self.log {
-            w.u64(id);
-            w.u32(rank);
-            w.u64(key);
-        }
+        w.u64_slice(&self.log);
     }
 
     /// Read a map written by [`ShadowMap::write_snapshot`].
@@ -486,11 +481,7 @@ impl ShadowMap {
             }
         }
         r.section(*b"SLOG")?;
-        let n = r.len_u64()?;
-        let mut log = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            log.push((r.u64()?, r.u32()?, r.u64()?));
-        }
+        let log = r.u64_vec()?;
         Ok(Self { log, map })
     }
 }
@@ -599,10 +590,10 @@ mod tests {
         // Rebuild the map from scratch so adaptation has stored keys.
         let mut f2 = AdaptiveQf::new(*f.config()).unwrap();
         for k in 0..3000u64 {
-            let out = f2.insert(k * 31 + 7).unwrap();
-            m.record(&out, k * 31 + 7);
+            f2.insert(k * 31 + 7).unwrap();
+            m.record(k * 31 + 7);
         }
-        m.settle();
+        m.settle(|k| f2.fingerprint(k).minirun_id());
         f = f2;
         // Adapt a few hundred false positives.
         let mut adapted = 0;
@@ -662,23 +653,23 @@ mod tests {
         let mut m = ShadowMap::new();
         let mut f2 = AdaptiveQf::new(*f.config()).unwrap();
         for k in 0..500u64 {
-            let out = f2.insert(k * 31 + 7).unwrap();
-            m.record(&out, k * 31 + 7);
+            f2.insert(k * 31 + 7).unwrap();
+            m.record(k * 31 + 7);
         }
         f = f2;
         // Half settled, half still in the log.
-        m.settle();
+        m.settle(|k| f.fingerprint(k).minirun_id());
         for k in 500..700u64 {
-            let out = f.insert(k * 31 + 7).unwrap();
-            m.record(&out, k * 31 + 7);
+            f.insert(k * 31 + 7).unwrap();
+            m.record(k * 31 + 7);
         }
         let mut w = SnapshotWriter::new("shadow-test");
         m.write_snapshot(&mut w);
         let bytes = w.finish();
         let mut r = SnapshotReader::new(&bytes).unwrap();
         let mut m2 = ShadowMap::read_snapshot(&mut r).unwrap();
-        m.settle();
-        m2.settle();
+        m.settle(|k| f.fingerprint(k).minirun_id());
+        m2.settle(|k| f.fingerprint(k).minirun_id());
         for k in 0..700u64 {
             let QueryResult::Positive(hit) = f.query(k * 31 + 7) else {
                 panic!("member lost");

@@ -459,6 +459,14 @@ impl Table {
         self.b.set(USED, pos);
     }
 
+    /// Hint the CPU to pull quotient `q`'s block into cache. Batch loops
+    /// issue this a few keys ahead of the cursor so the block's metadata
+    /// and slot words are resident by the time the probe reaches them.
+    #[inline(always)]
+    pub fn prefetch(&self, q: usize) {
+        self.b.prefetch_block_of_slot(q);
+    }
+
     /// Number of used slots (O(total/64); cached by the filter for stats).
     pub fn count_used(&self) -> usize {
         self.b.count_ones(USED)

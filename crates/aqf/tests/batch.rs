@@ -6,7 +6,7 @@
 //! identical* results to sequential calls; these tests pin that promise
 //! exactly — outcomes, hits, and membership bits, not just aggregates.
 
-use aqf::{AdaptiveQf, AqfConfig, QueryResult, ShardedAqf};
+use aqf::{AdaptiveQf, AqfConfig, BatchScratch, QueryResult, ShardedAqf};
 use std::sync::Arc;
 
 fn keys_mixed(n: u64, salt: u64) -> Vec<u64> {
@@ -69,6 +69,59 @@ fn query_batch_matches_per_key_exactly() {
             matches!(r, QueryResult::Positive(_)),
             "member {j} lost in batch query"
         );
+    }
+}
+
+#[test]
+fn batches_equivalent_across_partition_threshold() {
+    // Batches below BATCH_PARTITION_MIN run in input order; at and above
+    // it they go through the counting partition. Both regimes — and the
+    // exact boundary, crossed in both directions — must be element-wise
+    // identical to sequential calls, for inserts and lookups alike.
+    let m = AdaptiveQf::BATCH_PARTITION_MIN;
+    let sizes = [m - 1, m, m + 1, m / 2, 2 * m, m - 1, m + 1];
+    let cfg = AqfConfig::new(12, 9).with_seed(21);
+    let keys = keys_mixed(sizes.iter().sum::<usize>() as u64, 17);
+
+    let mut seq = AdaptiveQf::new(cfg).unwrap();
+    let seq_outs: Vec<_> = keys.iter().map(|&k| seq.insert(k).unwrap()).collect();
+
+    let mut bat = AdaptiveQf::new(cfg).unwrap();
+    let mut scratch = BatchScratch::new();
+    let mut bat_outs = Vec::new();
+    let mut off = 0usize;
+    for &n in &sizes {
+        let chunk = &keys[off..off + n];
+        // Alternate thread-local and caller-held scratch entry points.
+        if n % 2 == 0 {
+            bat_outs.extend(bat.insert_batch(chunk).unwrap());
+        } else {
+            let mut outs = vec![
+                aqf::InsertOutcome {
+                    minirun_id: 0,
+                    rank: 0,
+                    duplicate: false,
+                };
+                n
+            ];
+            bat.insert_batch_with_in(chunk, &mut scratch, |i, o| outs[i] = o)
+                .unwrap();
+            bat_outs.extend(outs);
+        }
+        off += n;
+    }
+    assert_eq!(seq_outs, bat_outs, "outcomes diverge across the threshold");
+
+    off = 0;
+    for &n in &sizes {
+        let chunk = &keys[off..off + n];
+        let qb = bat.query_batch_in(chunk, &mut scratch);
+        let cb = bat.contains_batch_in(chunk, &mut scratch);
+        for (j, &k) in chunk.iter().enumerate() {
+            assert_eq!(qb[j], bat.query(k), "query {k} diverges at size {n}");
+            assert_eq!(cb[j], bat.contains(k), "contains {k} diverges at size {n}");
+        }
+        off += n;
     }
 }
 

@@ -8,6 +8,13 @@
 //! probe walks a run) and *uniform* probes (mostly negative), because run
 //! location is exactly what the blocked layout makes O(1).
 //!
+//! The bulk-load phase drives every filter kind through the same public
+//! `insert_batch` API in `--batch`-sized chunks. Kinds without a native
+//! batch path inherit the trait's per-key loop (identical cost to calling
+//! `insert` directly), while the AQF routes through its partitioned,
+//! prefetched pipeline — so `insert_mops` compares what each filter can
+//! actually sustain under a bulk load, not just its scalar path.
+//!
 //! `--json=PATH` additionally writes the rows as machine-readable JSON
 //! (see `scripts/bench_json.sh`, which emits `BENCH_PR5.json`).
 
@@ -53,10 +60,11 @@ fn main() {
                 .unwrap();
             let (inserted, ins_secs) = timed(|| {
                 let mut ok = 0usize;
-                for &k in &keys {
-                    if f.insert(k).is_ok() {
-                        ok += 1;
+                for chunk in keys.chunks(batch.max(1)) {
+                    if f.insert_batch(chunk).is_err() {
+                        break; // filter full: the remainder can't land
                     }
+                    ok += chunk.len();
                 }
                 ok
             });

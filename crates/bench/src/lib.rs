@@ -129,10 +129,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// Fill an AQF + shadow map to `n` keys from `keys`.
 pub fn fill_aqf(f: &mut AdaptiveQf, map: &mut ShadowMap, keys: &[u64]) {
     for &k in keys {
-        let out = f.insert(k).expect("bench filter sized to fit");
-        map.record(&out, k);
+        f.insert(k).expect("bench filter sized to fit");
+        map.record(k);
     }
-    map.settle();
+    map.settle(|k| f.fingerprint(k).minirun_id());
 }
 
 /// AQF query with full adaptation through the shadow map. Returns true on

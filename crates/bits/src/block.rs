@@ -177,9 +177,19 @@ impl BlockedTable {
             width: self.width,
             nwords: self.words.words().len(),
         };
+        // If the arena is already file-backed, `path` may be the very file
+        // backing it (self-migration: a server unconditionally re-enabling
+        // file backing on restart), and `create_file`'s truncation would
+        // wipe the mapping before the copy. Stage the words on the heap
+        // first; heap arenas cannot alias the target and copy directly.
+        let staged: Option<Vec<u64>> = self
+            .words
+            .is_file_backed()
+            .then(|| (0..g.nwords).map(|i| self.w(i)).collect());
         let file = TableBacking::create_file(path, g)?;
         for (i, w) in file.words().iter().enumerate() {
-            w.store(self.w(i), Relaxed);
+            let v = staged.as_ref().map_or_else(|| self.w(i), |s| s[i]);
+            w.store(v, Relaxed);
         }
         self.words = file;
         Ok(())
@@ -483,28 +493,52 @@ impl BlockedTable {
     /// Shift `lane` bits in `[pos, end)` one position right so they occupy
     /// `[pos+1, end+1)`, then write `value` into bit `pos`. Bit `end` is
     /// overwritten (callers guarantee slot `end` was free).
+    ///
+    /// Word-parallel: each metadata word in range is rewritten with one
+    /// load/store pair — the word shifted left by one with the previous
+    /// word's top bit carried in, masked onto the destination bit range.
+    /// Words are processed high to low so every carry source is read
+    /// before it is overwritten. The common case (`pos` and `end` in one
+    /// block) touches a single word with no carry at all.
     pub fn shift_right_insert(&mut self, lane: u32, pos: usize, end: usize, value: bool) {
         debug_assert!(pos <= end && end < self.len);
-        let mut i = end;
-        while i > pos {
-            let w = i >> 6;
-            let lo_bit = w << 6;
-            let seg_start = pos.max(lo_bit);
-            let wi = self.lane_idx(lane, w);
-            let word = self.w(wi);
-            let keep_lo = word & bitmask((seg_start - lo_bit) as u32);
-            let move_mask = bitmask((i - lo_bit) as u32) & !bitmask((seg_start - lo_bit) as u32);
-            let moved = (word & move_mask) << 1;
-            let keep_hi = word & !bitmask((i - lo_bit + 1) as u32);
-            self.store_w(wi, keep_lo | moved | keep_hi);
-            if seg_start == pos {
+        let ws = pos >> 6;
+        let mut w = end >> 6;
+        loop {
+            // Destination bits [d_lo, d_hi] local to word w.
+            let d_lo = if w == ws { (pos & 63) + 1 } else { 0 };
+            let d_hi = if w == end >> 6 { end & 63 } else { 63 };
+            // d_lo == 64 (pos on a word's top bit): this word only
+            // supplies its carry; the destination range above is empty.
+            if d_lo <= d_hi {
+                let wi = self.lane_idx(lane, w);
+                let word = self.w(wi);
+                let carry = if d_lo == 0 {
+                    self.lane_word(lane, w - 1) >> 63
+                } else {
+                    0 // masked out below
+                };
+                let shifted = (word << 1) | carry;
+                let mask = bitmask((d_hi - d_lo + 1) as u32) << d_lo;
+                self.store_w(wi, (word & !mask) | (shifted & mask));
+            }
+            if w == ws {
                 break;
             }
-            // Bit seg_start (just vacated) receives the previous block's
-            // top bit; the next pass overwrites that carry source.
-            let prev = self.lane_word(lane, w - 1) >> 63 & 1 == 1;
-            self.assign(lane, seg_start, prev);
-            i = seg_start - 1;
+            w -= 1;
+        }
+        self.assign(lane, pos, value);
+    }
+
+    /// Per-bit reference for [`BlockedTable::shift_right_insert`]:
+    /// element-wise moves, trivially correct by inspection. Retained so
+    /// the word-parallel path is provable (shift-equivalence proptests),
+    /// not assumed.
+    pub fn shift_right_insert_ref(&mut self, lane: u32, pos: usize, end: usize, value: bool) {
+        debug_assert!(pos <= end && end < self.len);
+        for i in (pos..end).rev() {
+            let v = self.get(lane, i);
+            self.assign(lane, i + 1, v);
         }
         self.assign(lane, pos, value);
     }
@@ -557,13 +591,106 @@ impl BlockedTable {
     /// Shift slots `[pos, end)` right by one so they occupy `[pos+1,
     /// end+1)`, then write `value` into slot `pos`. Slot `end` must be
     /// dead space.
+    ///
+    /// Word-parallel: within each block the packed remainders form a
+    /// contiguous `width * 64`-bit string, so shifting a slot range right
+    /// by one slot is a funnel shift of that string by `width` bits —
+    /// one load and one store per packed word instead of a cross-word
+    /// read-modify-write per slot. Blocks are processed high to low and
+    /// each takes its carry-in (the previous block's slot 63) before that
+    /// block is touched; a shift confined to one block runs with no
+    /// cross-block carry at all.
     pub fn shift_right_insert_slot(&mut self, pos: usize, end: usize, value: u64) {
+        debug_assert!(pos <= end && end < self.len);
+        let w = self.width as usize;
+        if w == 64 {
+            // Whole-word slots: the per-slot reference loop already moves
+            // word-at-a-time, and `x << 64` would be undefined below.
+            self.shift_right_insert_slot_ref(pos, end, value);
+            return;
+        }
+        let bs = pos >> 6;
+        let mut b = end >> 6;
+        loop {
+            // Destination slots [d_lo, d_hi] local to block b.
+            let d_lo = if b == bs { (pos & 63) + 1 } else { 0 };
+            let d_hi = if b == end >> 6 { end & 63 } else { 63 };
+            // d_lo == 64 (pos on a block's top slot): the block only
+            // supplies its carry; its own destination range is empty.
+            if d_lo <= d_hi {
+                let base = b * self.stride + 1 + self.lanes as usize;
+                let lo_bit = d_lo * w;
+                let hi_bit = (d_hi + 1) * w;
+                // Slot 63 of the previous block funnels into slot 0; for
+                // d_lo > 0 the shifted-in bits sit below lo_bit and are
+                // masked out, so the carry value is irrelevant.
+                let carry = if d_lo == 0 {
+                    self.slot((b << 6) - 1) << (64 - w as u32)
+                } else {
+                    0
+                };
+                let w_lo = lo_bit >> 6;
+                let mut k = (hi_bit - 1) >> 6;
+                loop {
+                    let word = self.w(base + k);
+                    let below = if k > 0 { self.w(base + k - 1) } else { carry };
+                    let shifted = (word << w) | (below >> (64 - w));
+                    let lo = lo_bit.max(k << 6) - (k << 6);
+                    let hi = hi_bit.min((k + 1) << 6) - (k << 6);
+                    let mask = bitmask((hi - lo) as u32) << lo;
+                    self.store_w(base + k, (word & !mask) | (shifted & mask));
+                    if k == w_lo {
+                        break;
+                    }
+                    k -= 1;
+                }
+            }
+            if b == bs {
+                break;
+            }
+            b -= 1;
+        }
+        self.set_slot(pos, value);
+    }
+
+    /// Per-slot reference for [`BlockedTable::shift_right_insert_slot`]:
+    /// element-wise moves, trivially correct by inspection. Retained so
+    /// the word-parallel path is provable (shift-equivalence proptests),
+    /// not assumed.
+    pub fn shift_right_insert_slot_ref(&mut self, pos: usize, end: usize, value: u64) {
         debug_assert!(pos <= end && end < self.len);
         for i in (pos..end).rev() {
             let v = self.slot(i);
             self.set_slot(i + 1, v);
         }
         self.set_slot(pos, value);
+    }
+
+    /// Hint the CPU to pull the block holding `slot` into cache: the
+    /// block-leading line (offset word + metadata lanes — everything run
+    /// navigation reads first) and the line holding the last packed
+    /// remainder word. Batch pipelines issue this a few keys ahead of the
+    /// probe cursor so the dependent block loads hit L1/L2 instead of
+    /// DRAM. No-op on non-x86-64 targets.
+    #[inline(always)]
+    pub fn prefetch_block_of_slot(&self, slot: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let base = (slot >> 6).min(self.nblocks - 1) * self.stride;
+            let words = self.words.words();
+            let p = words[base].as_ptr() as *const i8;
+            // SAFETY: `_mm_prefetch` is architecturally a hint with no
+            // memory effects (valid for any address); both offsets point
+            // within this block's words, which `base` bounds-checked.
+            #[allow(unsafe_code)]
+            unsafe {
+                _mm_prefetch::<_MM_HINT_T0>(p);
+                _mm_prefetch::<_MM_HINT_T0>(p.add((self.stride - 1) * 8));
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = slot;
     }
 
     /// 64 raw bits of packed slot data starting at slot `i`'s first bit:

@@ -4,13 +4,15 @@ fn migrate_onto_own_backing_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("t.arena");
     let mut t = aqf_bits::BlockedTable::new_file(&path, 300, 4, 9).unwrap();
-    for i in 0..300 { t.set_slot(i, (i as u64) & 511); }
+    for i in 0..300 {
+        t.set_slot(i, (i as u64) & 511);
+    }
     t.sync().unwrap();
     drop(t);
     // Reopen (like FilteredDb::open) then migrate to the same path
     // (like serverd's unconditional enable_file_backing on restart).
     let mut t = aqf_bits::BlockedTable::open_file(&path).unwrap();
-    assert_eq!(t.get_slot(37), 37);
+    assert_eq!(t.slot(37), 37);
     t.migrate_to_file(&path).unwrap();
-    assert_eq!(t.get_slot(37), 37, "data destroyed by self-migration");
+    assert_eq!(t.slot(37), 37, "data destroyed by self-migration");
 }

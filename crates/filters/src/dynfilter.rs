@@ -626,10 +626,10 @@ impl DynFilter for AqfDyn {
     }
 
     fn insert(&mut self, key: u64) -> Result<(), FilterError> {
-        let out = AdaptiveQf::insert(&mut self.f, key)?;
+        AdaptiveQf::insert(&mut self.f, key)?;
         self.map_inserts += 1;
         if !self.system_mode {
-            self.map.record(&out, key);
+            self.map.record(key);
         }
         Ok(())
     }
@@ -683,6 +683,10 @@ impl DynFilter for AqfDyn {
     }
 
     fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        if !self.system_mode && self.map.needs_settle() {
+            let f = &self.f;
+            self.map.settle(|k| f.fingerprint(k).minirun_id());
+        }
         match AdaptiveQf::delete(&mut self.f, key)? {
             Some(out) => {
                 if !self.system_mode {
@@ -698,7 +702,10 @@ impl DynFilter for AqfDyn {
         match self.f.query(key) {
             QueryResult::Negative => false,
             QueryResult::Positive(hit) => {
-                self.map.settle();
+                {
+                    let f = &self.f;
+                    self.map.settle(|k| f.fingerprint(k).minirun_id());
+                }
                 if let Some(stored) = self.map.get(hit.minirun_id, hit.rank) {
                     if stored != key {
                         let _ = AdaptiveQf::adapt(&mut self.f, &hit, stored, key);
@@ -715,10 +722,10 @@ impl DynFilter for AqfDyn {
         let map = &mut self.map;
         let system_mode = self.system_mode;
         let mut landed = 0u64;
-        let r = self.f.insert_batch_with(keys, |i, out| {
+        let r = self.f.insert_batch_with(keys, |i, _out| {
             landed += 1;
             if !system_mode {
-                map.record(&out, keys[i]);
+                map.record(keys[i]);
             }
         });
         self.map_inserts += landed;
@@ -884,10 +891,10 @@ impl DynFilter for ShardedAqfDyn {
     }
 
     fn insert(&mut self, key: u64) -> Result<(), FilterError> {
-        let out = ShardedAqf::insert(&self.f, key)?;
+        ShardedAqf::insert(&self.f, key)?;
         self.map_inserts += 1;
         if !self.system_mode {
-            self.maps[self.f.shard_of(key)].record(&out, key);
+            self.maps[self.f.shard_of(key)].record(key);
         }
         Ok(())
     }
@@ -932,10 +939,15 @@ impl DynFilter for ShardedAqfDyn {
     }
 
     fn delete(&mut self, key: u64) -> Result<bool, FilterError> {
+        let shard = self.f.shard_of(key);
+        if !self.system_mode && self.maps[shard].needs_settle() {
+            let f = &self.f;
+            self.maps[shard].settle(|k| f.with_shard(shard, |s| s.fingerprint(k).minirun_id()));
+        }
         match ShardedAqf::delete(&self.f, key)? {
             Some(out) => {
                 if !self.system_mode {
-                    self.maps[self.f.shard_of(key)].remove(&out);
+                    self.maps[shard].remove(&out);
                 }
                 Ok(true)
             }
@@ -947,8 +959,10 @@ impl DynFilter for ShardedAqfDyn {
         match self.f.query(key) {
             QueryResult::Negative => false,
             QueryResult::Positive(hit) => {
-                let map = &mut self.maps[self.f.shard_of(key)];
-                map.settle();
+                let shard = self.f.shard_of(key);
+                let f = &self.f;
+                let map = &mut self.maps[shard];
+                map.settle(|k| f.with_shard(shard, |s| s.fingerprint(k).minirun_id()));
                 if let Some(stored) = map.get(hit.minirun_id, hit.rank) {
                     if stored != key {
                         let _ = ShardedAqf::adapt(&self.f, &hit, stored, key);
@@ -966,10 +980,10 @@ impl DynFilter for ShardedAqfDyn {
         let maps = &mut self.maps;
         let system_mode = self.system_mode;
         let mut landed = 0u64;
-        let r = self.f.insert_batch_with(keys, |i, shard, out| {
+        let r = self.f.insert_batch_with(keys, |i, shard, _out| {
             landed += 1;
             if !system_mode {
-                maps[shard].record(&out, keys[i]);
+                maps[shard].record(keys[i]);
             }
         });
         self.map_inserts += landed;

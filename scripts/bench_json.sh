@@ -11,12 +11,16 @@
 # - BENCH_PR8.json — fig14_resize: insert throughput across auto-grow
 #   doublings vs a pre-sized filter, and file-backed snapshot open vs
 #   full decode at 2^22 slots.
+# - BENCH_PR9.json — fig12_layout re-run (same protocol as PR5) after the
+#   word-parallel shift + prefetched-batch work: the insert-gap and
+#   batched-lookup trajectory point.
 #
-# Usage: scripts/bench_json.sh [pr5_outfile] [pr6_outfile] [pr7_outfile] [pr8_outfile]
+# Usage: scripts/bench_json.sh [pr5_outfile] [pr6_outfile] [pr7_outfile]
+#                              [pr8_outfile] [pr9_outfile]
 # Defaults: BENCH_PR5.json / BENCH_PR6.json / BENCH_PR7.json /
-# BENCH_PR8.json, with the exact protocols of the recorded tables in
-# BENCHMARKS.md. Set SKIP_PR5=1, SKIP_PR6=1, SKIP_PR7=1 or SKIP_PR8=1 to
-# emit a subset.
+# BENCH_PR8.json / BENCH_PR9.json, with the exact protocols of the
+# recorded tables in BENCHMARKS.md. Set SKIP_PR5=1 … SKIP_PR9=1 to emit a
+# subset.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +28,7 @@ PR5_OUT="${1:-BENCH_PR5.json}"
 PR6_OUT="${2:-BENCH_PR6.json}"
 PR7_OUT="${3:-BENCH_PR7.json}"
 PR8_OUT="${4:-BENCH_PR8.json}"
+PR9_OUT="${5:-BENCH_PR9.json}"
 
 if [[ -z "${SKIP_PR5:-}" ]]; then
   cargo build --release --locked -p aqf-bench --bin fig12_layout
@@ -55,4 +60,12 @@ if [[ -z "${SKIP_PR8:-}" ]]; then
     --qbits-start=14 --qbits-final=20 --threshold=0.85 --file-qbits=22 \
     --reps=5 --filter=aqf,sharded-aqf --json="$PR8_OUT"
   echo "perf point written to $PR8_OUT"
+fi
+
+if [[ -z "${SKIP_PR9:-}" ]]; then
+  cargo build --release --locked -p aqf-bench --bin fig12_layout
+  ./target/release/fig12_layout \
+    --qbits=24 --queries=2000000 --loads=0.5,0.8,0.9,0.95 --reps=5 \
+    --filter=aqf,qf --json="$PR9_OUT"
+  echo "perf point written to $PR9_OUT"
 fi

@@ -17,6 +17,10 @@ $RUN fig9_yesno_space -- --aggregate=1024 --filter=yesno,cbf
 $RUN fig10_batch -- --qbits=8 --shard-bits=2 --batch=64 --max-threads=2 --reps=1 --filter=aqf,sharded-aqf,qf
 $RUN fig11_persist -- --qbits=8 --db-qbits=8 --shard-bits=2 --reps=1 --filter=aqf,sharded-aqf,qf
 $RUN fig12_layout -- --qbits=8 --queries=2000 --loads=0.5,0.9 --reps=1 --filter=aqf,qf
+# Cross the small-batch bypass threshold (BATCH_PARTITION_MIN = 64) in
+# both directions: batch=16 runs in input order, batch=256 partitions.
+$RUN fig12_layout -- --qbits=8 --queries=2000 --batch=16 --loads=0.9 --reps=1 --filter=aqf,qf
+$RUN fig12_layout -- --qbits=8 --queries=2000 --batch=256 --loads=0.9 --reps=1 --filter=aqf,qf
 $RUN fig13_server -- --qbits=9 --ops=1000 --max-conns=2 --batch=16 --filter=sharded-aqf,qf
 $RUN fig14_resize -- --qbits-start=8 --qbits-final=10 --file-qbits=14 --reps=1 --filter=aqf,sharded-aqf
 $RUN sec69_extra_space -- --qbits=8 --queries=1000 --io-us=1 --filter=qf,cf
