@@ -16,6 +16,7 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Mutex;
 
 /// Where in a writer's critical section the table is torn.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +51,30 @@ pub fn clear() {
     HOOK.with(|h| *h.borrow_mut() = None);
 }
 
+/// A process-wide torn-point callback (must be `Send`: it fires on
+/// whichever thread happens to be writing).
+pub type GlobalHook = Box<dyn FnMut(TornPoint) + Send>;
+
+/// Process-wide hook for tests whose writers run on threads the test
+/// does not own (server worker threads): fires on *any* thread without
+/// a thread-local hook of its own. Guarded by a mutex; `try_lock` in
+/// the firing path keeps concurrent writers from blocking on each other
+/// (a skipped firing is fine — these hooks gate on counters anyway).
+static GLOBAL: Mutex<Option<GlobalHook>> = Mutex::new(None);
+
+/// Install `f` as the process-wide torn-point callback (see
+/// [`GlobalHook`]). Replaces any previous one; pair with
+/// [`clear_global`].
+pub fn install_global(f: GlobalHook) {
+    *GLOBAL.lock().unwrap() = Some(f);
+    ARMED.store(true, Relaxed);
+}
+
+/// Remove the process-wide hook.
+pub fn clear_global() {
+    *GLOBAL.lock().unwrap() = None;
+}
+
 #[inline(always)]
 pub(crate) fn fire(p: TornPoint) {
     if ARMED.load(Relaxed) {
@@ -59,13 +84,24 @@ pub(crate) fn fire(p: TornPoint) {
 
 #[cold]
 fn fire_slow(p: TornPoint) {
-    HOOK.with(|h| {
+    let fired_locally = HOOK.with(|h| {
         // try_borrow: a hook that itself mutates a filter would re-enter;
         // the inner firing is silently skipped rather than panicking.
         if let Ok(mut slot) = h.try_borrow_mut() {
             if let Some(f) = slot.as_mut() {
                 f(p);
+                return true;
             }
         }
+        false
     });
+    if !fired_locally {
+        // try_lock doubles as the re-entrancy guard for a global hook
+        // that itself mutates a filter on the same thread.
+        if let Ok(mut slot) = GLOBAL.try_lock() {
+            if let Some(f) = slot.as_mut() {
+                f(p);
+            }
+        }
+    }
 }

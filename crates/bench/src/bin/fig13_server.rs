@@ -1,22 +1,39 @@
 //! Figure 13 (beyond the paper): loopback server throughput vs client
-//! connections — per-op framing against batched framing.
+//! connections, in three modes selected by `--compare` / `--idle-conns`:
 //!
-//! For each filter kind, an in-process `aqf_server::Server` is started
-//! on an ephemeral loopback port and prefilled; then, for each
-//! connection count, every connection thread issues `--ops` point
-//! queries two ways:
+//! - `--compare=framing` (default, the PR 7 figure): per-op `QUERY`
+//!   frames (pipelined, server-side burst coalescing) against explicit
+//!   `QUERY_BATCH` frames, for each filter kind. Batched framing
+//!   amortizes framing overhead and per-request lock acquisitions; the
+//!   crossover is the figure.
+//! - `--compare=locking` (the PR 10 figure): the global-mutex server
+//!   baseline against the read/write-split server (seqlock read path)
+//!   on a sharded AQF, sweeping connection counts and read/write mixes
+//!   (`--mixes=100,90` percent QUERY). `--absent-pct` of queries probe
+//!   never-inserted keys — the filter-negative traffic a filter front
+//!   exists to absorb — and `--io-us`/`--cache-pages` inject per-page
+//!   I/O latency against a small cache, so store-touching operations
+//!   stall realistically: under the global mutex those stalls serialize
+//!   every connection, while the read/write split lets filter-negative
+//!   reads flow past them (the stalls park their thread — `yield_io` —
+//!   so even a 1-core box can overlap them). Each (mix, conns) cell
+//!   reports geometric-mean QPS over `--reps` interleaved global/rw
+//!   rep pairs (machine drift cancels in the ratio) plus merged
+//!   p50/p99/p999 in-flight latency from send-stamped pipelined
+//!   responses.
+//! - `--idle-conns=N`: capacity bench, not throughput — a
+//!   thread-per-connection server holding N mostly-idle connections
+//!   (one worker thread each) against a `mux` poll-style server holding
+//!   `--idle-factor`x as many over two poller threads, comparing
+//!   process RSS deltas and thread counts at equal service (every
+//!   connection verified live round-trip).
 //!
-//! - **per-op**: one `QUERY` frame per key, pipelined `--pipeline` deep
-//!   (the server's burst coalescer folds buffered runs into
-//!   `query_batch` calls),
-//! - **batched**: explicit `QUERY_BATCH` frames of `--batch` keys.
-//!
-//! Batched framing amortizes both framing overhead and the server's
-//! per-request lock acquisitions, so it should win from a few
-//! connections up — that crossover is the figure. Query keys are the
-//! shared Zipf stream (`aqf_workloads::KeyStream`) over the prefilled
-//! universe. `--json=PATH` writes machine-readable rows (see
-//! `scripts/bench_json.sh`, which emits `BENCH_PR7.json`).
+//! Query keys are the shared Zipf stream (`aqf_workloads::KeyStream`)
+//! over the prefilled universe; mixed-sweep inserts draw fresh disjoint
+//! keys with auto-grow enabled so neither mode ever hits Full.
+//! `--json=PATH` writes machine-readable rows (see
+//! `scripts/bench_json.sh`, which emits `BENCH_PR7.json` from the
+//! framing mode and `BENCH_PR10.json` from the other two).
 //!
 //! Defaults: 2^16 slots, 60%-load prefill, connections 1,2,4,8,
 //! 30k queries per connection, batch 64, pipeline 32
@@ -25,18 +42,65 @@
 //!
 //! Single-core caveat: in a 1-core container the client threads and the
 //! server workers timeshare one CPU, so absolute QPS is depressed and
-//! connection scaling flattens early; the per-op vs batched *ratio*
-//! remains meaningful (framing overhead is CPU work on both sides).
+//! connection scaling flattens early; the per-op vs batched ratio, the
+//! global-vs-rw ratio (lock handoff overhead is CPU work), and the RSS
+//! comparison remain meaningful.
 
 use aqf_bench::{filter_kinds, flag_f64, flag_str, flag_u64, print_table, timed};
 use aqf_server::proto::Request;
-use aqf_server::{Client, Server, ServerConfig};
+use aqf_server::{Client, Histogram, LockMode, Server, ServerConfig};
 use aqf_storage::pager::IoPolicy;
 use aqf_storage::system::{FilteredDb, RevMapMode};
 use aqf_workloads::KeyStream;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Instant;
 
-struct Row {
+fn fresh_db(
+    kind: &str,
+    qbits: u32,
+    dir: &std::path::Path,
+    auto_grow: bool,
+    cache_pages: usize,
+    policy: IoPolicy,
+) -> FilteredDb {
+    let mut db = FilteredDb::new(
+        aqf_bench::FilterSpec::new(kind, qbits)
+            .with_seed(1)
+            .build()
+            .expect("registry kind builds"),
+        dir,
+        cache_pages,
+        policy,
+        RevMapMode::Merged,
+    )
+    .expect("create db");
+    if auto_grow {
+        db.set_auto_grow(Some(0.9)).expect("growable kind");
+    }
+    db
+}
+
+/// Prefill the member universe through the wire (batched).
+fn prefill(cl: &mut Client, universe: u64) {
+    let probe = KeyStream::zipf(universe, 1.5, 7, 0);
+    let mut buf = Vec::with_capacity(4096);
+    for i in 0..universe {
+        buf.push((probe.key_for_element(i), i.to_le_bytes().to_vec()));
+        if buf.len() == 4096 {
+            cl.insert_batch(&buf).expect("prefill");
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        cl.insert_batch(&buf).expect("prefill");
+    }
+}
+
+// ---------------------------------------------------------------- framing
+
+struct FramingRow {
     kind: String,
     conns: usize,
     perop_qps: f64,
@@ -90,54 +154,30 @@ fn run_clients(
     (conns * ops) as f64 / secs
 }
 
-fn main() {
-    let qbits = flag_u64("qbits", 16) as u32;
+fn bench_framing(
+    qbits: u32,
+    ops: usize,
+    batch: usize,
+    pipeline: usize,
+    max_conns: usize,
+) -> String {
     let load = flag_f64("load", 0.6);
-    let max_conns = flag_u64("max-conns", 8) as usize;
-    let ops = flag_u64("ops", 30_000) as usize;
-    let batch = flag_u64("batch", 64) as usize;
-    let pipeline = flag_u64("pipeline", 32) as usize;
-    let json_path = flag_str("json", "");
     let kinds = filter_kinds(&["aqf", "sharded-aqf", "qf"]);
-
     let universe = ((1u64 << qbits) as f64 * load) as u64;
-    let mut rows: Vec<Row> = Vec::new();
+    let mut rows: Vec<FramingRow> = Vec::new();
     for kind in &kinds {
         let dir = aqf_workloads::unique_temp_dir(&format!("fig13-{kind}"));
-        let db = FilteredDb::new(
-            aqf_bench::FilterSpec::new(kind, qbits)
-                .with_seed(1)
-                .build()
-                .expect("registry kind builds"),
-            &dir,
-            512,
-            IoPolicy::default(),
-            RevMapMode::Merged,
-        )
-        .expect("create db");
+        let db = fresh_db(kind, qbits, &dir, false, 512, IoPolicy::default());
         let server = Server::start(db, "127.0.0.1:0", ServerConfig::default()).expect("start");
         let addr = server.local_addr();
-
-        // Prefill the member universe through the wire (batched).
-        let probe = KeyStream::zipf(universe, 1.5, 7, 0);
         let mut cl = Client::connect(addr).expect("connect");
-        let mut buf = Vec::with_capacity(4096);
-        for i in 0..universe {
-            buf.push((probe.key_for_element(i), i.to_le_bytes().to_vec()));
-            if buf.len() == 4096 {
-                cl.insert_batch(&buf).expect("prefill");
-                buf.clear();
-            }
-        }
-        if !buf.is_empty() {
-            cl.insert_batch(&buf).expect("prefill");
-        }
+        prefill(&mut cl, universe);
 
         let mut conns = 1usize;
         while conns <= max_conns {
             let perop_qps = run_clients(addr, conns, ops, universe, None, pipeline);
             let batched_qps = run_clients(addr, conns, ops, universe, Some(batch), pipeline);
-            rows.push(Row {
+            rows.push(FramingRow {
                 kind: kind.clone(),
                 conns,
                 perop_qps,
@@ -171,28 +211,413 @@ fn main() {
         &table,
     );
 
-    if !json_path.is_empty() {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"bench\": \"fig13_server\",");
-        let _ = writeln!(out, "  \"qbits\": {qbits},");
-        let _ = writeln!(out, "  \"ops_per_conn\": {ops},");
-        let _ = writeln!(out, "  \"batch\": {batch},");
-        let _ = writeln!(out, "  \"pipeline\": {pipeline},");
-        out.push_str("  \"rows\": [\n");
-        for (i, r) in rows.iter().enumerate() {
-            let _ = write!(
-                out,
-                "    {{\"filter\": \"{}\", \"conns\": {}, \"perop_qps\": {:.0}, \
-                 \"batched_qps\": {:.0}, \"batch_gain\": {:.3}}}",
-                r.kind,
-                r.conns,
-                r.perop_qps,
-                r.batched_qps,
-                r.batched_qps / r.perop_qps
-            );
-            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fig13_server\",");
+    let _ = writeln!(out, "  \"mode\": \"framing\",");
+    let _ = writeln!(out, "  \"qbits\": {qbits},");
+    let _ = writeln!(out, "  \"ops_per_conn\": {ops},");
+    let _ = writeln!(out, "  \"batch\": {batch},");
+    let _ = writeln!(out, "  \"pipeline\": {pipeline},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"filter\": \"{}\", \"conns\": {}, \"perop_qps\": {:.0}, \
+             \"batched_qps\": {:.0}, \"batch_gain\": {:.3}}}",
+            r.kind,
+            r.conns,
+            r.perop_qps,
+            r.batched_qps,
+            r.batched_qps / r.perop_qps
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------- locking
+
+struct LockRow {
+    mix: u64,
+    conns: usize,
+    global_qps: f64,
+    rw_qps: f64,
+    rw_lat: Histogram,
+    global_lat: Histogram,
+}
+
+/// Shape of one mixed read/write cell, shared by every rep of a sweep.
+#[derive(Clone, Copy)]
+struct MixWorkload {
+    ops: usize,
+    universe: u64,
+    write_pct: u64,
+    absent_pct: u64,
+    pipeline: usize,
+}
+
+/// Pipelined mixed read/write run; returns (qps, merged in-flight
+/// latency histogram). Inserts draw globally fresh keys (disjoint from
+/// the query universe) so repeated runs against one server never
+/// re-insert; `absent_pct` of queries probe never-inserted keys — the
+/// filter-negative fast path that skips the backing store entirely,
+/// which is the traffic a filter front exists to absorb.
+fn run_mixed(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    wl: MixWorkload,
+    fresh_keys: &AtomicU64,
+) -> (f64, Histogram) {
+    let MixWorkload {
+        ops,
+        universe,
+        write_pct,
+        absent_pct,
+        pipeline,
+    } = wl;
+    let merged = Mutex::new(Histogram::new());
+    let (_, secs) = timed(|| {
+        std::thread::scope(|s| {
+            for c in 0..conns {
+                let merged = &merged;
+                s.spawn(move || {
+                    use rand::RngExt;
+                    let mut cl = Client::connect(addr).expect("connect");
+                    let mut stream = KeyStream::zipf(universe, 1.5, 7, 42 + c as u64);
+                    let mut decide = aqf_workloads::rng(977 + c as u64);
+                    let mut lat = Histogram::new();
+                    let mut in_flight: std::collections::VecDeque<Instant> =
+                        std::collections::VecDeque::with_capacity(pipeline);
+                    let mut sent = 0usize;
+                    let mut recvd = 0usize;
+                    while recvd < ops {
+                        while sent < ops && sent - recvd < pipeline {
+                            let req = if decide.random_range(0..100u64) < write_pct {
+                                let k = (1 << 40) + fresh_keys.fetch_add(1, Relaxed);
+                                Request::Insert {
+                                    key: k,
+                                    value: k.to_le_bytes().to_vec(),
+                                }
+                            } else if decide.random_range(0..100u64) < absent_pct {
+                                // Disjoint bit region: never inserted.
+                                Request::Query {
+                                    key: (1 << 41) | stream.next_key(),
+                                }
+                            } else {
+                                Request::Query {
+                                    key: stream.next_key(),
+                                }
+                            };
+                            in_flight.push_back(Instant::now());
+                            cl.send(&req).expect("send");
+                            sent += 1;
+                        }
+                        cl.recv().expect("recv");
+                        let t = in_flight.pop_front().expect("stamped");
+                        lat.record(t.elapsed().as_nanos() as u64);
+                        recvd += 1;
+                    }
+                    merged.lock().unwrap().merge(&lat);
+                });
+            }
+        })
+    });
+    ((conns * ops) as f64 / secs, merged.into_inner().unwrap())
+}
+
+fn bench_locking(qbits: u32, ops: usize, pipeline: usize, max_conns: usize) -> String {
+    let load = flag_f64("load", 0.6);
+    let reps = flag_u64("reps", 3) as usize;
+    let absent_pct = flag_u64("absent-pct", 50).min(100);
+    let io_us = flag_u64("io-us", 20);
+    let cache_pages = flag_u64("cache-pages", 64) as usize;
+    let policy = IoPolicy {
+        read_delay: (io_us > 0).then(|| std::time::Duration::from_micros(io_us)),
+        write_delay: (io_us > 0).then(|| std::time::Duration::from_micros(io_us)),
+        // Blocking-I/O model: a stalled worker parks its thread so other
+        // workers can use the core — the regime the read/write split is
+        // built for (a spinning stall would monopolize a 1-core box and
+        // hide the contrast entirely).
+        yield_io: true,
+    };
+    let mixes: Vec<u64> = flag_str("mixes", "100,90")
+        .split(',')
+        .map(|m| m.trim().parse().expect("--mixes takes percents"))
+        .collect();
+    let universe = ((1u64 << qbits) as f64 * load) as u64;
+    let mut rows: Vec<LockRow> = Vec::new();
+
+    for &mix in &mixes {
+        let write_pct = 100 - mix.min(100);
+        // Both lock-mode servers live at once, with reps interleaved
+        // global/rw/global/rw, so machine-level drift (CPU frequency,
+        // cache state) pairs out instead of landing on whichever mode
+        // ran its whole sweep second. Each server keeps its own fresh
+        // insert range; keys never collide across reps or cells.
+        let runs: Vec<_> = [LockMode::GlobalLock, LockMode::ReadWrite]
+            .into_iter()
+            .map(|lock_mode| {
+                let dir = aqf_workloads::unique_temp_dir(&format!("fig13-lock-{mix}"));
+                let db = fresh_db("sharded-aqf", qbits, &dir, true, cache_pages, policy);
+                let cfg = ServerConfig {
+                    lock_mode,
+                    ..ServerConfig::default()
+                };
+                let server = Server::start(db, "127.0.0.1:0", cfg).expect("start");
+                let addr = server.local_addr();
+                let mut cl = Client::connect(addr).expect("connect");
+                prefill(&mut cl, universe);
+                (server, cl, addr, dir, AtomicU64::new(0))
+            })
+            .collect();
+
+        let mut conns = 1usize;
+        while conns <= max_conns {
+            // Each rep measures global then rw back-to-back, so the pair
+            // shares whatever machine state that half-second had. Report
+            // the geometric-mean QPS per mode over all reps: the ratio of
+            // geomeans equals the geomean of per-rep paired ratios, so
+            // machine drift between reps cancels exactly, and per-rep
+            // scheduling noise averages down by sqrt(reps). Latency
+            // histograms are merged across reps.
+            let mut ln_qps = [0.0f64; 2];
+            let mut lats = [Histogram::new(), Histogram::new()];
+            let wl = MixWorkload {
+                ops,
+                universe,
+                write_pct,
+                absent_pct,
+                pipeline,
+            };
+            for _ in 0..reps {
+                for (i, (_, _, addr, _, fresh_keys)) in runs.iter().enumerate() {
+                    let (qps, lat) = run_mixed(*addr, conns, wl, fresh_keys);
+                    ln_qps[i] += qps.ln();
+                    lats[i].merge(&lat);
+                }
+            }
+            let [global_qps, rw_qps] = ln_qps.map(|s| (s / reps as f64).exp());
+            let [global_lat, rw_lat] = lats;
+            rows.push(LockRow {
+                mix,
+                conns,
+                global_qps,
+                rw_qps,
+                rw_lat,
+                global_lat,
+            });
+            conns *= 2;
         }
-        out.push_str("  ]\n}\n");
+        for (server, mut cl, _, dir, _) in runs {
+            cl.shutdown().expect("shutdown");
+            drop(server.wait().expect("drain"));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.mix),
+                r.conns.to_string(),
+                format!("{:.0}", r.global_qps),
+                format!("{:.0}", r.rw_qps),
+                format!("{:.2}x", r.rw_qps / r.global_qps),
+                format!("{:.0}", us(r.rw_lat.percentile(0.5))),
+                format!("{:.0}", us(r.rw_lat.percentile(0.99))),
+                format!("{:.0}", us(r.rw_lat.percentile(0.999))),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig 13b: global-lock vs read/write-split server QPS \
+             (sharded-aqf, 2^{qbits} slots, {ops} ops/conn, {absent_pct}% absent \
+             queries, {io_us}us/IO, geomean of {reps} paired reps)"
+        ),
+        &[
+            "Query mix",
+            "Conns",
+            "Global QPS",
+            "RW QPS",
+            "Speedup",
+            "RW p50 us",
+            "RW p99 us",
+            "RW p999 us",
+        ],
+        &table,
+    );
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fig13_server\",");
+    let _ = writeln!(out, "  \"mode\": \"locking\",");
+    let _ = writeln!(out, "  \"qbits\": {qbits},");
+    let _ = writeln!(out, "  \"ops_per_conn\": {ops},");
+    let _ = writeln!(out, "  \"pipeline\": {pipeline},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"absent_pct\": {absent_pct},");
+    let _ = writeln!(out, "  \"io_us\": {io_us},");
+    let _ = writeln!(out, "  \"cache_pages\": {cache_pages},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"mix_query_pct\": {}, \"conns\": {}, \"global_qps\": {:.0}, \
+             \"rw_qps\": {:.0}, \"speedup\": {:.3}, \
+             \"rw_p50_us\": {:.1}, \"rw_p99_us\": {:.1}, \"rw_p999_us\": {:.1}, \
+             \"global_p50_us\": {:.1}, \"global_p99_us\": {:.1}, \"global_p999_us\": {:.1}}}",
+            r.mix,
+            r.conns,
+            r.global_qps,
+            r.rw_qps,
+            r.rw_qps / r.global_qps,
+            us(r.rw_lat.percentile(0.5)),
+            us(r.rw_lat.percentile(0.99)),
+            us(r.rw_lat.percentile(0.999)),
+            us(r.global_lat.percentile(0.5)),
+            us(r.global_lat.percentile(0.99)),
+            us(r.global_lat.percentile(0.999)),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ------------------------------------------------------------------ idle
+
+/// Read VmRSS (kB) and thread count from /proc/self/status.
+fn proc_status() -> (u64, u64) {
+    let text = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    let field = |name: &str| {
+        text.lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0u64)
+    };
+    (field("VmRSS:"), field("Threads:"))
+}
+
+/// Hold `conns` live connections against a server and verify each one
+/// answers (a STATS round-trip per connection, then a sampled second
+/// pass); returns (rss_delta_kb, threads) measured while all are held.
+fn hold_idle(cfg: ServerConfig, qbits: u32, conns: usize, label: &str) -> (u64, u64) {
+    let dir = aqf_workloads::unique_temp_dir(&format!("fig13-idle-{label}"));
+    let db = fresh_db("sharded-aqf", qbits, &dir, false, 512, IoPolicy::default());
+    let (rss_before, _) = proc_status();
+    let server = Server::start(db, "127.0.0.1:0", cfg).expect("start");
+    let addr = server.local_addr();
+    let mut clients: Vec<Client> = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let mut cl = Client::connect(addr).expect("connect");
+        cl.stats().expect("every connection must be served");
+        clients.push(cl);
+    }
+    // Sampled second pass proves connections stay live, not
+    // served-once-and-dropped.
+    for cl in clients.iter_mut().step_by(7) {
+        cl.stats().expect("idle connection must still answer");
+    }
+    let (rss_after, threads) = proc_status();
+    clients[0].shutdown().expect("shutdown");
+    drop(clients);
+    server.wait().expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+    (rss_after.saturating_sub(rss_before), threads)
+}
+
+fn bench_idle(qbits: u32, idle_conns: usize) -> String {
+    let factor = flag_u64("idle-factor", 4) as usize;
+    // Thread-per-connection: one worker thread per held connection.
+    let threaded = hold_idle(
+        ServerConfig {
+            worker_cap: idle_conns,
+            snapshot_on_shutdown: false,
+            ..ServerConfig::default()
+        },
+        qbits,
+        idle_conns,
+        "threaded",
+    );
+    // Mux: factor-x the connections over two poller threads.
+    let mux = hold_idle(
+        ServerConfig {
+            mux: true,
+            mux_pollers: 2,
+            snapshot_on_shutdown: false,
+            ..ServerConfig::default()
+        },
+        qbits,
+        idle_conns * factor,
+        "mux",
+    );
+
+    let rows = [
+        ("thread-per-conn", idle_conns, threaded),
+        ("mux", idle_conns * factor, mux),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(mode, conns, (rss, threads))| {
+            vec![
+                mode.to_string(),
+                conns.to_string(),
+                format!("{rss}"),
+                format!("{threads}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 13c: idle-connection capacity (all connections verified live)",
+        &["Server mode", "Idle conns", "RSS delta kB", "Threads"],
+        &table,
+    );
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fig13_server\",");
+    let _ = writeln!(out, "  \"mode\": \"idle\",");
+    let _ = writeln!(out, "  \"qbits\": {qbits},");
+    let _ = writeln!(out, "  \"idle_factor\": {factor},");
+    out.push_str("  \"rows\": [\n");
+    for (i, (mode, conns, (rss, threads))) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"server\": \"{mode}\", \"conns\": {conns}, \
+             \"rss_delta_kb\": {rss}, \"threads\": {threads}}}"
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let qbits = flag_u64("qbits", 16) as u32;
+    let max_conns = flag_u64("max-conns", 8) as usize;
+    let ops = flag_u64("ops", 30_000) as usize;
+    let batch = flag_u64("batch", 64) as usize;
+    let pipeline = flag_u64("pipeline", 32) as usize;
+    let json_path = flag_str("json", "");
+    let idle_conns = flag_u64("idle-conns", 0) as usize;
+    let compare = flag_str("compare", "framing");
+
+    let out = if idle_conns > 0 {
+        bench_idle(qbits, idle_conns)
+    } else {
+        match compare.as_str() {
+            "framing" => bench_framing(qbits, ops, batch, pipeline, max_conns),
+            "locking" => bench_locking(qbits, ops, pipeline, max_conns),
+            other => {
+                eprintln!("unknown --compare={other} (expected framing|locking)");
+                std::process::exit(2);
+            }
+        }
+    };
+    if !json_path.is_empty() {
         std::fs::write(&json_path, out).expect("write --json file");
         eprintln!("wrote {json_path}");
     }

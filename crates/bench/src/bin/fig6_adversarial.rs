@@ -29,6 +29,7 @@ fn main() {
     let policy = IoPolicy {
         read_delay: Some(Duration::from_micros(io_us)),
         write_delay: None,
+        yield_io: false,
     };
 
     let mut header = vec!["Adv freq".to_string()];

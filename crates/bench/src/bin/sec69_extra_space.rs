@@ -27,6 +27,7 @@ fn main() {
     let policy = IoPolicy {
         read_delay: Some(Duration::from_micros(io_us)),
         write_delay: None,
+        yield_io: false,
     };
     let base = std::env::temp_dir().join(format!("aqf-sec69-{}", std::process::id()));
 

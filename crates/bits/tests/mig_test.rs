@@ -1,3 +1,7 @@
+//! Regression test: `migrate_to_file` onto the table's *own* backing
+//! path must not truncate the arena it is reading from (the serverd
+//! restart path calls `enable_file_backing` unconditionally).
+
 #[test]
 fn migrate_onto_own_backing_file() {
     let dir = std::env::temp_dir().join(format!("aqf-mig-{}", std::process::id()));

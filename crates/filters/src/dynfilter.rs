@@ -31,6 +31,7 @@
 
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use aqf::{AdaptiveQf, AqfConfig, FilterError, Hit, QueryResult, ShadowMap, ShardedAqf};
 
@@ -291,6 +292,68 @@ pub trait DynFilter: Send + Sync {
     fn adapt_loc(&mut self, loc: u64, stored_key: u64, query_key: u64) -> Result<(), FilterError> {
         let _ = (loc, stored_key, query_key);
         Err(FilterError::NotFound)
+    }
+
+    // ------------------------------------------------------------------
+    // Concurrent (shared-reference) operation
+    //
+    // The server's multi-core read path: when a filter reports
+    // `supports_concurrent_reads`, the system layer may call `contains`,
+    // `query_loc`, and `query_loc_batch` from many threads *while
+    // another thread mutates the filter through the `_shared` entry
+    // points below*. The sharded AQF satisfies this with per-shard
+    // seqlocks (optimistic reads validated against the shard version;
+    // writers serialize on the shard mutex). Filters that mutate through
+    // plain `&mut self` keep the `false` default and the erroring
+    // `_shared` defaults — the system then serializes them externally.
+    // ------------------------------------------------------------------
+
+    /// True if `&self` reads stay linearizable while another thread
+    /// mutates the filter through the `_shared` write entry points
+    /// (which the implementation must then also provide).
+    fn supports_concurrent_reads(&self) -> bool {
+        false
+    }
+
+    /// [`DynFilter::insert_tracked`] through a shared reference
+    /// (internally synchronized filters only).
+    fn insert_tracked_shared(&self, key: u64) -> Result<InsertPlan, FilterError> {
+        let _ = key;
+        Err(FilterError::InvalidConfig(
+            "this filter kind does not support shared-reference writes",
+        ))
+    }
+
+    /// [`DynFilter::insert_tracked_batch`] through a shared reference
+    /// (internally synchronized filters only).
+    fn insert_tracked_batch_shared(&self, keys: &[u64]) -> Result<Vec<InsertPlan>, FilterError> {
+        let _ = keys;
+        Err(FilterError::InvalidConfig(
+            "this filter kind does not support shared-reference writes",
+        ))
+    }
+
+    /// [`DynFilter::delete_tracked`] through a shared reference
+    /// (internally synchronized filters only).
+    fn delete_tracked_shared(&self, key: u64) -> Result<DeletePlan, FilterError> {
+        let _ = key;
+        Err(FilterError::InvalidConfig(
+            "this filter kind does not support shared-reference writes",
+        ))
+    }
+
+    /// [`DynFilter::adapt_loc`] through a shared reference (internally
+    /// synchronized filters only).
+    fn adapt_loc_shared(
+        &self,
+        loc: u64,
+        stored_key: u64,
+        query_key: u64,
+    ) -> Result<(), FilterError> {
+        let _ = (loc, stored_key, query_key);
+        Err(FilterError::InvalidConfig(
+            "this filter kind does not support shared-reference writes",
+        ))
     }
 
     /// True if the filter supports the paper's *split* reverse-map setup
@@ -838,7 +901,9 @@ pub struct ShardedAqfDyn {
     f: ShardedAqf,
     maps: Vec<ShadowMap>,
     system_mode: bool,
-    map_inserts: u64,
+    /// Atomic so the shared-reference (concurrent server) write paths can
+    /// keep counting without exclusive access.
+    map_inserts: AtomicU64,
 }
 
 impl ShardedAqfDyn {
@@ -849,7 +914,7 @@ impl ShardedAqfDyn {
             f,
             maps,
             system_mode: false,
-            map_inserts: 0,
+            map_inserts: AtomicU64::new(0),
         }
     }
 
@@ -872,7 +937,7 @@ impl ShardedAqfDyn {
             f,
             maps,
             system_mode: false,
-            map_inserts,
+            map_inserts: AtomicU64::new(map_inserts),
         })
     }
 }
@@ -892,7 +957,7 @@ impl DynFilter for ShardedAqfDyn {
 
     fn insert(&mut self, key: u64) -> Result<(), FilterError> {
         ShardedAqf::insert(&self.f, key)?;
-        self.map_inserts += 1;
+        self.map_inserts.fetch_add(1, Ordering::Relaxed);
         if !self.system_mode {
             self.maps[self.f.shard_of(key)].record(key);
         }
@@ -986,7 +1051,7 @@ impl DynFilter for ShardedAqfDyn {
                 maps[shard].record(keys[i]);
             }
         });
-        self.map_inserts += landed;
+        self.map_inserts.fetch_add(landed, Ordering::Relaxed);
         r
     }
 
@@ -1003,8 +1068,29 @@ impl DynFilter for ShardedAqfDyn {
     }
 
     fn insert_tracked(&mut self, key: u64) -> Result<InsertPlan, FilterError> {
+        self.insert_tracked_shared(key)
+    }
+
+    fn delete_tracked(&mut self, key: u64) -> Result<DeletePlan, FilterError> {
+        self.delete_tracked_shared(key)
+    }
+
+    fn insert_tracked_batch(&mut self, keys: &[u64]) -> Result<Vec<InsertPlan>, FilterError> {
+        self.insert_tracked_batch_shared(keys)
+    }
+
+    fn supports_concurrent_reads(&self) -> bool {
+        // Per-shard seqlocks: `query`/`contains`/`query_loc` validate an
+        // optimistic read against the shard version (retrying into the
+        // locked fallback), so they stay linearizable against the
+        // `_shared` write paths below, which serialize on the shard
+        // mutex and bump the version around the mutation.
+        true
+    }
+
+    fn insert_tracked_shared(&self, key: u64) -> Result<InsertPlan, FilterError> {
         let out = ShardedAqf::insert(&self.f, key)?;
-        self.map_inserts += 1;
+        self.map_inserts.fetch_add(1, Ordering::Relaxed);
         let hit = ShardedHit {
             shard: self.f.shard_of(key),
             hit: Hit {
@@ -1016,7 +1102,7 @@ impl DynFilter for ShardedAqfDyn {
         Ok(InsertPlan::AtLoc(AdaptiveFilter::store_key(&self.f, &hit)))
     }
 
-    fn delete_tracked(&mut self, key: u64) -> Result<DeletePlan, FilterError> {
+    fn delete_tracked_shared(&self, key: u64) -> Result<DeletePlan, FilterError> {
         let shard = self.f.shard_of(key);
         match ShardedAqf::delete(&self.f, key)? {
             None => Ok(DeletePlan::Missing),
@@ -1037,7 +1123,7 @@ impl DynFilter for ShardedAqfDyn {
         }
     }
 
-    fn insert_tracked_batch(&mut self, keys: &[u64]) -> Result<Vec<InsertPlan>, FilterError> {
+    fn insert_tracked_batch_shared(&self, keys: &[u64]) -> Result<Vec<InsertPlan>, FilterError> {
         let f = &self.f;
         let mut plans = vec![InsertPlan::AtKey; keys.len()];
         let mut landed = 0u64;
@@ -1053,8 +1139,20 @@ impl DynFilter for ShardedAqfDyn {
             };
             plans[i] = InsertPlan::AtLoc(AdaptiveFilter::store_key(f, &hit));
         });
-        self.map_inserts += landed;
+        self.map_inserts.fetch_add(landed, Ordering::Relaxed);
         r.map(|()| plans)
+    }
+
+    fn adapt_loc_shared(
+        &self,
+        loc: u64,
+        stored_key: u64,
+        query_key: u64,
+    ) -> Result<(), FilterError> {
+        let hit: ShardedHit = AdaptiveFilter::hit_at(&self.f, loc);
+        // `ShardedAqf::adapt` routes by `query_key`, which lands on
+        // `hit.shard` by construction of the store key.
+        ShardedAqf::adapt(&self.f, &hit.hit, stored_key, query_key).map(|_| ())
     }
 
     fn query_loc(&self, key: u64) -> Option<u64> {
@@ -1079,7 +1177,7 @@ impl DynFilter for ShardedAqfDyn {
 
     fn map_stats(&self) -> Option<MapStats> {
         Some(MapStats {
-            inserts: self.map_inserts,
+            inserts: self.map_inserts.load(Ordering::Relaxed),
             updates: 0,
             queries: 0,
         })
@@ -1101,7 +1199,7 @@ impl DynFilter for ShardedAqfDyn {
             m.write_snapshot(&mut w);
         }
         w.section(*b"ADYN");
-        w.u64(self.map_inserts);
+        w.u64(self.map_inserts.load(Ordering::Relaxed));
         Ok(w.finish())
     }
 }

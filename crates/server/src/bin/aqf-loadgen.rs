@@ -5,7 +5,7 @@
 //!             [--stream=zipf|uniform|adversarial] [--batch=0]
 //!             [--write-pct=10] [--zipf-alpha=1.5] [--universe=1048576]
 //!             [--value-bytes=8] [--salt=7] [--seed=42] [--prefill=0]
-//!             [--warmup=2000]
+//!             [--warmup=2000] [--mux]
 //! ```
 //!
 //! Each connection runs `--ops` operations: `--write-pct`% inserts, the
@@ -19,9 +19,17 @@
 //! disk-latency oracle) to pick replay keys, exactly like the paper's
 //! Fig. 6 adversary. Reports per-op latency percentiles (reads and
 //! writes separately) and aggregate throughput.
+//!
+//! By default each connection gets its own OS thread — fine for a
+//! handful, wasteful for hundreds. `--mux` drives *all* connections from
+//! one thread instead: each round it pipelines one request down every
+//! connection, then collects the responses, so N connections cost N
+//! sockets rather than N threads (the client-side mirror of the
+//! server's `--mux` poller mode). Mux mode is per-op only (no `--batch`)
+//! and does not support the adversarial stream.
 
-use aqf_server::cli::{flag_f64, flag_str, flag_u64};
-use aqf_server::{Client, Histogram};
+use aqf_server::cli::{flag_bool, flag_f64, flag_str, flag_u64};
+use aqf_server::{Client, Histogram, Request};
 use aqf_workloads::{KeyStream, StreamShape};
 use std::time::Instant;
 
@@ -163,6 +171,88 @@ fn run_connection(addr: &str, conn_id: u64, spec: &RunSpec) -> ConnReport {
     }
 }
 
+/// Drive every connection from this one thread: per round, pipeline one
+/// request down each connection, then collect each response. Latency is
+/// measured send-to-recv per connection, so it includes the pipelining
+/// overlap — the number that matters for a multiplexed client.
+fn run_mux(addr: &str, connections: u64, spec: &RunSpec) -> Vec<ConnReport> {
+    struct MuxLane {
+        client: Client,
+        stream: KeyStream,
+        decide: rand::rngs::StdRng,
+        write_element: u64,
+        sent_at: Instant,
+        reads: Histogram,
+        writes: Histogram,
+        was_write: bool,
+    }
+    use rand::RngExt;
+    let t0 = Instant::now();
+    let mut lanes: Vec<MuxLane> = (0..connections)
+        .map(|conn_id| MuxLane {
+            client: Client::connect(addr).expect("connect"),
+            stream: make_stream(
+                &spec.shape,
+                spec.universe,
+                spec.salt,
+                spec.seed ^ ((conn_id + 1) * 0x9E37),
+            ),
+            decide: aqf_workloads::rng(spec.seed.wrapping_add(conn_id * 77)),
+            write_element: conn_id * spec.ops,
+            sent_at: t0,
+            reads: Histogram::new(),
+            writes: Histogram::new(),
+            was_write: false,
+        })
+        .collect();
+    let value_of = |k: u64| -> Vec<u8> {
+        k.to_le_bytes()
+            .iter()
+            .copied()
+            .cycle()
+            .take(spec.value_bytes)
+            .collect()
+    };
+    for _ in 0..spec.ops {
+        for lane in lanes.iter_mut() {
+            lane.was_write = lane.decide.random_range(0..100u64) < spec.write_pct;
+            let req = if lane.was_write {
+                let k = lane.stream.key_for_element(lane.write_element);
+                lane.write_element += 1;
+                Request::Insert {
+                    key: k,
+                    value: value_of(k),
+                }
+            } else {
+                Request::Query {
+                    key: lane.stream.next_key(),
+                }
+            };
+            lane.sent_at = Instant::now();
+            lane.client.send(&req).expect("send");
+        }
+        for lane in lanes.iter_mut() {
+            lane.client.recv().expect("recv");
+            let ns = lane.sent_at.elapsed().as_nanos() as u64;
+            if lane.was_write {
+                lane.writes.record(ns);
+            } else {
+                lane.reads.record(ns);
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    lanes
+        .into_iter()
+        .map(|l| ConnReport {
+            reads: l.reads,
+            writes: l.writes,
+            ops: spec.ops,
+            secs,
+        })
+        .collect()
+}
+
 fn main() {
     let addr = flag_str("addr", "127.0.0.1:4477");
     let connections = flag_u64("connections", 4);
@@ -198,19 +288,35 @@ fn main() {
         eprintln!("prefilled {prefill} keys");
     }
 
+    let mux = flag_bool("mux");
+    if mux {
+        if spec.batch > 1 {
+            eprintln!("--mux is per-op only; drop --batch");
+            std::process::exit(2);
+        }
+        if spec.shape == "adversarial" {
+            eprintln!("--mux does not support --stream=adversarial");
+            std::process::exit(2);
+        }
+    }
+
     let t0 = Instant::now();
-    let reports: Vec<ConnReport> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..connections)
-            .map(|c| {
-                let (addr, spec) = (addr.clone(), spec.clone());
-                s.spawn(move || run_connection(&addr, c, &spec))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect()
-    });
+    let reports: Vec<ConnReport> = if mux {
+        run_mux(&addr, connections, &spec)
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..connections)
+                .map(|c| {
+                    let (addr, spec) = (addr.clone(), spec.clone());
+                    s.spawn(move || run_connection(&addr, c, &spec))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        })
+    };
     let wall = t0.elapsed().as_secs_f64();
 
     let mut reads = Histogram::new();
@@ -223,19 +329,22 @@ fn main() {
     }
     let us = |ns: u64| ns as f64 / 1000.0;
     println!(
-        "## aqf-loadgen: {} stream, {connections} connections, batch={}",
-        spec.shape, spec.batch
+        "## aqf-loadgen: {} stream, {connections} connections, batch={}{}",
+        spec.shape,
+        spec.batch,
+        if mux { ", mux" } else { "" }
     );
     println!();
-    println!("| Op | Count | p50 (us) | p90 (us) | p99 (us) | max (us) |");
-    println!("|---|---|---|---|---|---|");
+    println!("| Op | Count | p50 (us) | p90 (us) | p99 (us) | p999 (us) | max (us) |");
+    println!("|---|---|---|---|---|---|---|");
     for (name, h) in [("query", &reads), ("insert", &writes)] {
         println!(
-            "| {name} | {} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            "| {name} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |",
             h.count(),
             us(h.percentile(0.5)),
             us(h.percentile(0.9)),
             us(h.percentile(0.99)),
+            us(h.percentile(0.999)),
             us(h.max()),
         );
     }

@@ -6,6 +6,7 @@
 //!             [--qbits=16] [--rbits=9] [--shard-bits=4] [--seed=1]
 //!             [--cache-pages=256] [--workers=8] [--burst=256]
 //!             [--revmap=merged|split] [--auto-grow=0.9] [--file-backed]
+//!             [--global-lock] [--mux] [--mux-pollers=2]
 //!             [--fresh] [--no-final-snapshot]
 //! ```
 //!
@@ -23,10 +24,18 @@
 //! next to the snapshot, so a later `open` maps it instead of decoding
 //! it. Both also apply to recovered databases (auto-grow is not
 //! persisted; the arena mode sticks via the snapshot itself).
+//!
+//! Concurrency: the default is the read/write-split lock mode (queries
+//! and stats run concurrently through the filter's seqlock read path;
+//! writes serialize on a gate). `--global-lock` reverts to the single
+//! global mutex of earlier versions. `--mux` replaces thread-per-
+//! connection workers with `--mux-pollers` poller threads, each
+//! multiplexing many non-blocking connections — the mode for large
+//! mostly-idle connection counts.
 
 use aqf_filters::registry::FilterSpec;
 use aqf_server::cli::{flag_bool, flag_f64, flag_str, flag_u64};
-use aqf_server::{Server, ServerConfig};
+use aqf_server::{LockMode, Server, ServerConfig};
 use aqf_storage::pager::IoPolicy;
 use aqf_storage::system::{FilteredDb, RevMapMode, SNAPSHOT_FILE};
 use std::path::Path;
@@ -102,6 +111,13 @@ fn main() {
         worker_cap: flag_u64("workers", 8) as usize,
         burst_max: flag_u64("burst", 256) as usize,
         snapshot_on_shutdown: !flag_bool("no-final-snapshot"),
+        lock_mode: if flag_bool("global-lock") {
+            LockMode::GlobalLock
+        } else {
+            LockMode::ReadWrite
+        },
+        mux: flag_bool("mux"),
+        mux_pollers: flag_u64("mux-pollers", 2) as usize,
     };
     let server = match Server::start(db, &addr, cfg) {
         Ok(s) => s,

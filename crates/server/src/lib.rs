@@ -7,9 +7,11 @@
 //!   murmur-checksummed frames with typed errors on every corruption
 //!   mode (same validate-before-decode discipline as
 //!   `aqf_bits::snapshot`),
-//! - [`server`] — the `aqf-serverd` runtime: capped worker pool over a
-//!   shared accept queue, per-connection burst coalescing into the
-//!   database's batch entry points, drain-snapshot-exit lifecycle,
+//! - [`server`] — the `aqf-serverd` runtime: read/write-split database
+//!   locking with a lock-free (seqlock) read path, per-worker sharded
+//!   accept queues with work stealing, an optional poll-style connection
+//!   multiplexer, per-connection burst coalescing into the database's
+//!   batch entry points, and a drain-snapshot-exit lifecycle,
 //! - [`client`] — the blocking client (with a send/recv split for
 //!   pipelining) used by `aqf-loadgen`, the system tests, and the
 //!   `fig13_server` benchmark; [`histogram`] carries its latency
@@ -27,4 +29,4 @@ pub mod server;
 pub use client::Client;
 pub use histogram::Histogram;
 pub use proto::{ErrorCode, ProtoError, Request, Response, StatsReport};
-pub use server::{Server, ServerConfig};
+pub use server::{LockMode, Server, ServerConfig};

@@ -1,16 +1,45 @@
-//! The filter server runtime: a `std::net` TCP acceptor, a capped worker
-//! pool fed by a shared accept queue, and per-connection request loops
+//! The filter server runtime: a `std::net` TCP acceptor, per-worker
+//! sharded connection queues (with work stealing), an optional
+//! poll-style connection multiplexer, and per-connection request loops
 //! that funnel pipelined bursts into the database's batch entry points.
 //!
-//! Concurrency model: one `FilteredDb` behind one mutex. Single-op
-//! traffic pays one lock acquisition per request; pipelined clients are
-//! coalesced — consecutive already-buffered `QUERY` (or `INSERT`) frames
-//! on a connection are folded into a single `query_batch`
-//! (`insert_batch`) call under one lock hold, which also lets the filter
-//! run its quotient-sorted batch walks (and, for the sharded AQF, its
-//! lock-free optimistic reads) instead of per-key probes. Worker threads
-//! are spawned lazily up to a cap; beyond that, accepted connections
-//! wait in the queue until a worker frees up.
+//! Concurrency model ([`LockMode`]):
+//!
+//! - [`LockMode::ReadWrite`] (default): the database sits behind an
+//!   `RwLock` plus a write gate. QUERY / QUERY_BATCH / STATS run on the
+//!   read side — concurrently across worker threads — through
+//!   `FilteredDb`'s shared (`&self`) paths: sharded-AQF probes go through
+//!   the per-shard seqlock optimistic read path, B-tree reads through the
+//!   store's tree lock, and STATS reads nothing but atomic counters.
+//!   INSERT / INSERT_BATCH / ADAPT_REPORT serialize on the write gate
+//!   but — when the filter supports concurrent reads — still run under
+//!   the *shared* lock, so readers never stall behind them; a mid-write
+//!   auto-grow parks readers of that one shard on its seqlock (the epoch
+//!   fence) while every other shard keeps serving. DELETE and SNAPSHOT
+//!   take the exclusive lock: deletes shift reverse-map ranks across two
+//!   structures (filter + B-tree), which cannot be exposed to concurrent
+//!   verification, and snapshots need the whole system quiescent.
+//!   Filters without concurrent-read support degrade gracefully: reads
+//!   still share the read lock with each other, writes go exclusive, and
+//!   a read that needs adaptation escapes to the write side
+//!   (`SharedRead::NeedsWrite`) and retries exclusively.
+//! - [`LockMode::GlobalLock`]: the pre-PR-10 baseline — one global mutex
+//!   around everything. Kept selectable for benchmarking
+//!   (`fig13_server --compare=locking`) and as the conservative fallback.
+//!
+//! Pipelined clients are coalesced either way: consecutive
+//! already-buffered `QUERY` (or `INSERT`) frames on a connection fold
+//! into a single `query_batch` (`insert_batch`) call under one lock
+//! acquisition, which also lets the filter run its quotient-sorted batch
+//! walks instead of per-key probes.
+//!
+//! Connection scheduling: the acceptor round-robins connections across
+//! per-worker queues (no single hot queue mutex); idle workers steal
+//! from their neighbors. With [`ServerConfig::mux`] set, connections go
+//! to a small pool of poller threads instead, each multiplexing many
+//! non-blocking sockets through a readiness scan with adaptive backoff
+//! (std-only — no epoll binding exists in this environment), so
+//! thousands of mostly-idle clients cost buffers, not threads.
 //!
 //! Lifecycle: a `SHUTDOWN` frame (the container-friendly stand-in for
 //! SIGTERM — no signal-handling dependency exists in this environment)
@@ -20,25 +49,43 @@
 //! Startup recovery is the caller's job via [`FilteredDb::open`].
 
 use crate::proto::{op, ErrorCode, Frame, FrameReader, ProtoError, Request, Response, StatsReport};
-use aqf_storage::system::FilteredDb;
+use aqf_storage::system::{FilteredDb, SharedRead};
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::Duration;
+
+/// How the server synchronizes access to the database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// One global mutex around the whole `FilteredDb` (the pre-PR-10
+    /// baseline; every op serializes).
+    GlobalLock,
+    /// Read/write split: concurrent reads through `FilteredDb`'s shared
+    /// paths, writes serialized on a gate (see the module docs).
+    ReadWrite,
+}
 
 /// Tunables for [`Server::start`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Maximum worker threads (thread-per-connection up to this cap;
-    /// further connections queue).
+    /// further connections queue). Ignored in mux mode.
     pub worker_cap: usize,
     /// Maximum frames folded into one batched database call.
     pub burst_max: usize,
     /// Take an atomic snapshot during graceful shutdown. Disabled by the
     /// crash tests to simulate a hard kill.
     pub snapshot_on_shutdown: bool,
+    /// Database locking discipline.
+    pub lock_mode: LockMode,
+    /// Multiplex connections over a small poller pool instead of
+    /// thread-per-connection workers.
+    pub mux: bool,
+    /// Poller threads in mux mode.
+    pub mux_pollers: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,20 +94,108 @@ impl Default for ServerConfig {
             worker_cap: 8,
             burst_max: 256,
             snapshot_on_shutdown: true,
+            lock_mode: LockMode::ReadWrite,
+            mux: false,
+            mux_pollers: 2,
         }
     }
 }
 
-/// State shared by the acceptor and every worker.
+/// The database behind the selected locking discipline.
+enum Db {
+    Global(Mutex<FilteredDb>),
+    Shared {
+        db: RwLock<FilteredDb>,
+        /// Serializes writers among themselves (they hold the *read*
+        /// lock when the filter is internally synchronized, so the
+        /// RwLock alone would let writers interleave). Lock order is
+        /// always gate before db lock.
+        write_gate: Mutex<()>,
+        /// The filter supports concurrent `&self` writes (per-shard
+        /// seqlocks); writers may run under the shared lock.
+        concurrent: bool,
+    },
+}
+
+/// One worker's connection queue.
+struct ConnQueue {
+    q: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+}
+
+/// Cached filter geometry for the STATS fast path. The filter's own
+/// `len()`/`capacity()`/`load_factor()` sum over per-shard mutexes, so
+/// calling them from STATS would serialize behind an in-flight writer
+/// holding a shard lock. Instead, writers refresh this cache while they
+/// hold the write gate (shards uncontended), and STATS reads only these
+/// atomics plus the database's atomic counters — it never waits on any
+/// writer. Staleness is bounded by one in-flight write.
+struct FilterGeom {
+    kind: String,
+    len: AtomicU64,
+    bytes: AtomicU64,
+    capacity: AtomicU64,
+    load_ppm: AtomicU64,
+    grows: AtomicU64,
+}
+
+impl FilterGeom {
+    fn capture(db: &FilteredDb) -> FilterGeom {
+        let f = db.filter();
+        FilterGeom {
+            kind: f.kind().to_string(),
+            len: AtomicU64::new(f.len()),
+            bytes: AtomicU64::new(f.size_in_bytes() as u64),
+            capacity: AtomicU64::new(f.capacity()),
+            load_ppm: AtomicU64::new(StatsReport::ppm(f.load_factor())),
+            grows: AtomicU64::new(f.grows()),
+        }
+    }
+
+    /// Re-read the filter's geometry. Callers must hold the write gate
+    /// (so no shard lock is held by anyone else for long).
+    fn refresh(&self, db: &FilteredDb) {
+        let f = db.filter();
+        self.len.store(f.len(), Relaxed);
+        self.bytes.store(f.size_in_bytes() as u64, Relaxed);
+        self.capacity.store(f.capacity(), Relaxed);
+        self.load_ppm
+            .store(StatsReport::ppm(f.load_factor()), Relaxed);
+        self.grows.store(f.grows(), Relaxed);
+    }
+}
+
+/// State shared by the acceptor and every worker/poller.
 struct Shared {
-    db: Mutex<FilteredDb>,
+    db: Db,
+    geom: FilterGeom,
     cfg: ServerConfig,
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
-    workers: AtomicU64,
+    /// Per-worker queues (threaded mode); acceptor round-robins, idle
+    /// workers steal.
+    queues: Vec<ConnQueue>,
+    /// Poller inboxes (mux mode).
+    mux_inboxes: Vec<Mutex<Vec<TcpStream>>>,
     connections: AtomicU64,
     requests: AtomicU64,
+}
+
+impl Shared {
+    fn lock_global<'a>(m: &'a Mutex<FilteredDb>) -> std::sync::MutexGuard<'a, FilteredDb> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn read<'a>(db: &'a RwLock<FilteredDb>) -> std::sync::RwLockReadGuard<'a, FilteredDb> {
+        db.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write<'a>(db: &'a RwLock<FilteredDb>) -> std::sync::RwLockWriteGuard<'a, FilteredDb> {
+        db.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn gate<'a>(g: &'a Mutex<()>) -> std::sync::MutexGuard<'a, ()> {
+        g.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A running filter server. Dropping the handle does NOT stop it; send a
@@ -77,13 +212,31 @@ impl Server {
     pub fn start(db: FilteredDb, addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let geom = FilterGeom::capture(&db);
+        let db = match cfg.lock_mode {
+            LockMode::GlobalLock => Db::Global(Mutex::new(db)),
+            LockMode::ReadWrite => Db::Shared {
+                concurrent: db.supports_concurrent_ops(),
+                db: RwLock::new(db),
+                write_gate: Mutex::new(()),
+            },
+        };
+        let queues = (0..cfg.worker_cap.max(1))
+            .map(|_| ConnQueue {
+                q: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            })
+            .collect();
+        let mux_inboxes = (0..if cfg.mux { cfg.mux_pollers.max(1) } else { 0 })
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
         let shared = Arc::new(Shared {
-            db: Mutex::new(db),
+            db,
+            geom,
             cfg,
             shutdown: AtomicBool::new(false),
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
-            workers: AtomicU64::new(0),
+            queues,
+            mux_inboxes,
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
         });
@@ -115,10 +268,10 @@ impl Server {
             let _ = w.join();
         }
         let shared = Arc::into_inner(self.shared).expect("all worker references dropped");
-        let mut db = shared
-            .db
-            .into_inner()
-            .expect("db mutex cannot be poisoned after join");
+        let mut db = match shared.db {
+            Db::Global(m) => m.into_inner().unwrap_or_else(PoisonError::into_inner),
+            Db::Shared { db, .. } => db.into_inner().unwrap_or_else(PoisonError::into_inner),
+        };
         if shared.cfg.snapshot_on_shutdown {
             db.snapshot()
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
@@ -132,16 +285,27 @@ fn request_shutdown(shared: &Arc<Shared>, addr: SocketAddr) {
         return;
     }
     // Wake queued workers so they observe the flag...
-    shared.queue_cv.notify_all();
+    for q in &shared.queues {
+        q.cv.notify_all();
+    }
     // ...and poke the blocking accept() with a throwaway connection.
+    // (Mux pollers run on a bounded backoff and observe the flag alone.)
     let _ = TcpStream::connect(addr);
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<std::thread::JoinHandle<()>> {
-    let mut workers = Vec::new();
+    let mut handles = Vec::new();
     let addr = listener
         .local_addr()
         .expect("bound listener has an address");
+    if shared.cfg.mux {
+        for i in 0..shared.mux_inboxes.len() {
+            let ps = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || poller_loop(ps, addr, i)));
+        }
+    }
+    let mut accepted = 0usize;
+    let mut spawned_workers = 0usize;
     loop {
         if shared.shutdown.load(Relaxed) {
             break;
@@ -154,39 +318,86 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<std::thread::J
             break; // the shutdown poke, or a late client; either way: drain.
         }
         shared.connections.fetch_add(1, Relaxed);
-        shared.queue.lock().expect("queue lock").push_back(conn);
-        shared.queue_cv.notify_one();
-        // Lazily grow the pool: one worker per connection up to the cap.
-        let live = shared.workers.load(Relaxed);
-        if (live as usize) < shared.cfg.worker_cap {
-            shared.workers.fetch_add(1, Relaxed);
-            let ws = Arc::clone(&shared);
-            workers.push(std::thread::spawn(move || worker_loop(ws, addr)));
+        if shared.cfg.mux {
+            let slot = accepted % shared.mux_inboxes.len();
+            shared.mux_inboxes[slot]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(conn);
+        } else {
+            // Round-robin across per-worker queues; spawn each worker
+            // lazily the first time its queue can receive work.
+            let cap = shared.queues.len();
+            if spawned_workers < cap {
+                let idx = spawned_workers;
+                spawned_workers += 1;
+                let ws = Arc::clone(&shared);
+                handles.push(std::thread::spawn(move || worker_loop(ws, addr, idx)));
+            }
+            let slot = accepted % spawned_workers;
+            shared.queues[slot]
+                .q
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(conn);
+            shared.queues[slot].cv.notify_one();
         }
+        accepted += 1;
     }
-    shared.queue_cv.notify_all();
-    workers
+    for q in &shared.queues {
+        q.cv.notify_all();
+    }
+    handles
 }
 
-fn worker_loop(shared: Arc<Shared>, addr: SocketAddr) {
-    loop {
-        let conn = {
-            let mut q = shared.queue.lock().expect("queue lock");
-            loop {
-                if let Some(c) = q.pop_front() {
-                    break Some(c);
-                }
-                if shared.shutdown.load(Relaxed) {
-                    break None;
-                }
-                q = shared
-                    .queue_cv
-                    .wait_timeout(q, Duration::from_millis(100))
-                    .expect("queue lock")
-                    .0;
+/// Pop a connection for worker `idx`: own queue first, then steal from
+/// the other queues (busiest-neighbor would need a second scan; any
+/// non-empty queue is fine at this scale).
+fn next_conn(shared: &Shared, idx: usize) -> Option<TcpStream> {
+    let own = &shared.queues[idx];
+    {
+        let mut q = own.q.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(c) = q.pop_front() {
+                return Some(c);
             }
+            // Steal before parking: a connection may sit in a busy
+            // worker's queue.
+            drop(q);
+            for (j, other) in shared.queues.iter().enumerate() {
+                if j == idx {
+                    continue;
+                }
+                if let Some(c) = other
+                    .q
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pop_front()
+                {
+                    return Some(c);
+                }
+            }
+            if shared.shutdown.load(Relaxed) {
+                return None;
+            }
+            q = own.q.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(c) = q.pop_front() {
+                return Some(c);
+            }
+            q = own
+                .cv
+                .wait_timeout(q, Duration::from_millis(100))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, addr: SocketAddr, idx: usize) {
+    loop {
+        let Some(conn) = next_conn(&shared, idx) else {
+            return;
         };
-        let Some(conn) = conn else { return };
         // Serve to completion; protocol errors kill only this connection.
         let _ = serve_conn(&shared, conn, addr);
         if shared.shutdown.load(Relaxed) {
@@ -197,6 +408,12 @@ fn worker_loop(shared: Arc<Shared>, addr: SocketAddr) {
 
 /// Read timeout used to poll the shutdown flag while idle.
 const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// Request-loop control flow after a frame is handled.
+enum Flow {
+    Continue,
+    Shutdown,
+}
 
 fn serve_conn(shared: &Arc<Shared>, conn: TcpStream, addr: SocketAddr) -> Result<(), ProtoError> {
     conn.set_nodelay(true).ok();
@@ -255,27 +472,9 @@ fn serve_conn(shared: &Arc<Shared>, conn: TcpStream, addr: SocketAddr) -> Result
                     }
                 }
                 let out = if keys.len() == 1 {
-                    // Single query: report whether the backing store was
-                    // touched (stats delta) — the adversary's oracle.
-                    let mut db = shared.db.lock().expect("db lock");
-                    let negs_before = db.stats().filter_negatives;
-                    let got = db.query(keys[0]).map_err(ProtoError::Io)?;
-                    let accessed = db.stats().filter_negatives == negs_before;
-                    match got {
-                        Some(value) => Response::Value {
-                            value,
-                            store_accessed: accessed,
-                        },
-                        None => Response::NotFound {
-                            store_accessed: accessed,
-                        },
-                    }
-                    .encode()
+                    query_one(shared, keys[0])?.encode()
                 } else {
-                    let values = {
-                        let mut db = shared.db.lock().expect("db lock");
-                        db.query_batch(&keys).map_err(ProtoError::Io)?
-                    };
+                    let values = query_batch(shared, &keys)?;
                     // One response frame per request frame, in order.
                     let mut out = Vec::new();
                     for value in values {
@@ -296,8 +495,7 @@ fn serve_conn(shared: &Arc<Shared>, conn: TcpStream, addr: SocketAddr) -> Result
                 };
                 writer.write_all(&out).map_err(ProtoError::Io)?;
                 if let Some(f) = tail {
-                    handle_one(shared, &f, &mut writer)?;
-                    if f.op_tag == op::SHUTDOWN {
+                    if let Flow::Shutdown = handle_frame(shared, &f, &mut writer)? {
                         request_shutdown(shared, addr);
                         return Ok(());
                     }
@@ -328,8 +526,7 @@ fn serve_conn(shared: &Arc<Shared>, conn: TcpStream, addr: SocketAddr) -> Result
                 let result = {
                     let refs: Vec<(u64, &[u8])> =
                         items.iter().map(|(k, v)| (*k, v.as_slice())).collect();
-                    let mut db = shared.db.lock().expect("db lock");
-                    db.insert_batch(&refs).map_err(ProtoError::Io)?
+                    insert_batch(shared, &refs)?
                 };
                 let one = match result {
                     Ok(()) => Response::Ok.encode(),
@@ -345,21 +542,18 @@ fn serve_conn(shared: &Arc<Shared>, conn: TcpStream, addr: SocketAddr) -> Result
                 }
                 writer.write_all(&out).map_err(ProtoError::Io)?;
                 if let Some(f) = tail {
-                    handle_one(shared, &f, &mut writer)?;
-                    if f.op_tag == op::SHUTDOWN {
+                    if let Flow::Shutdown = handle_frame(shared, &f, &mut writer)? {
                         request_shutdown(shared, addr);
                         return Ok(());
                     }
                 }
             }
-            op::SHUTDOWN => {
-                writer
-                    .write_all(&Response::Ok.encode())
-                    .map_err(ProtoError::Io)?;
-                request_shutdown(shared, addr);
-                return Ok(());
+            _ => {
+                if let Flow::Shutdown = handle_frame(shared, &frame, &mut writer)? {
+                    request_shutdown(shared, addr);
+                    return Ok(());
+                }
             }
-            _ => handle_one(shared, &frame, &mut writer)?,
         }
     }
 }
@@ -384,12 +578,113 @@ fn peek_same_op(reader: &mut FrameReader<TcpStream>, want: u8) -> Result<Peek, P
     }
 }
 
-/// Serve one non-coalesced request frame.
-fn handle_one(
-    shared: &Arc<Shared>,
+// ----------------------------------------------------------------------
+// Database operations under the configured lock mode
+// ----------------------------------------------------------------------
+
+/// Single QUERY, reporting whether the backing store was touched (the
+/// adversary's oracle behind `FLAG_STORE_ACCESSED`).
+fn query_one(shared: &Shared, key: u64) -> Result<Response, ProtoError> {
+    let respond = |got: Option<Vec<u8>>, accessed: bool| match got {
+        Some(value) => Response::Value {
+            value,
+            store_accessed: accessed,
+        },
+        None => Response::NotFound {
+            store_accessed: accessed,
+        },
+    };
+    match &shared.db {
+        Db::Global(m) => {
+            let mut db = Shared::lock_global(m);
+            // Exact under the global lock: nothing else moves the counter.
+            let negs_before = db.stats().filter_negatives;
+            let got = db.query(key).map_err(ProtoError::Io)?;
+            let accessed = db.stats().filter_negatives == negs_before;
+            Ok(respond(got, accessed))
+        }
+        Db::Shared { db, write_gate, .. } => {
+            {
+                let d = Shared::read(db);
+                if let SharedRead::Done(o) = d.query_shared(key).map_err(ProtoError::Io)? {
+                    return Ok(respond(o.value, o.store_accessed));
+                }
+            }
+            // The filter needs exclusive adaptation: retry on the write
+            // side (rare — refuted positives on non-concurrent filters).
+            let _g = Shared::gate(write_gate);
+            let mut d = Shared::write(db);
+            let negs_before = d.stats().filter_negatives;
+            let got = d.query(key).map_err(ProtoError::Io)?;
+            let accessed = d.stats().filter_negatives == negs_before;
+            shared.geom.refresh(&d); // adaptation may extend slots
+            Ok(respond(got, accessed))
+        }
+    }
+}
+
+fn query_batch(shared: &Shared, keys: &[u64]) -> Result<Vec<Option<Vec<u8>>>, ProtoError> {
+    match &shared.db {
+        Db::Global(m) => Shared::lock_global(m)
+            .query_batch(keys)
+            .map_err(ProtoError::Io),
+        Db::Shared { db, write_gate, .. } => {
+            {
+                let d = Shared::read(db);
+                if let SharedRead::Done(v) = d.query_batch_shared(keys).map_err(ProtoError::Io)? {
+                    return Ok(v);
+                }
+            }
+            let _g = Shared::gate(write_gate);
+            let mut d = Shared::write(db);
+            let got = d.query_batch(keys).map_err(ProtoError::Io)?;
+            shared.geom.refresh(&d);
+            Ok(got)
+        }
+    }
+}
+
+fn insert_batch(
+    shared: &Shared,
+    items: &[(u64, &[u8])],
+) -> Result<Result<(), aqf_filters::FilterError>, ProtoError> {
+    match &shared.db {
+        Db::Global(m) => Shared::lock_global(m)
+            .insert_batch(items)
+            .map_err(ProtoError::Io),
+        Db::Shared {
+            db,
+            write_gate,
+            concurrent,
+        } => {
+            let _g = Shared::gate(write_gate);
+            let got = if *concurrent {
+                // Writers hold the gate + the *shared* lock: the filter
+                // serializes internally and readers keep flowing.
+                let d = Shared::read(db);
+                let got = d.insert_batch_shared(items);
+                shared.geom.refresh(&d);
+                got
+            } else {
+                let mut d = Shared::write(db);
+                let got = d.insert_batch(items);
+                shared.geom.refresh(&d);
+                got
+            };
+            got.map_err(ProtoError::Io)
+        }
+    }
+}
+
+/// Serve one non-coalesced request frame, appending response bytes to
+/// `writer` (a socket in threaded mode, a connection outbox in mux
+/// mode). Returns [`Flow::Shutdown`] for a SHUTDOWN frame — the caller
+/// owns flag-flipping and teardown.
+fn handle_frame(
+    shared: &Shared,
     frame: &Frame,
-    writer: &mut TcpStream,
-) -> Result<(), ProtoError> {
+    writer: &mut impl Write,
+) -> Result<Flow, ProtoError> {
     let req = match Request::decode(frame) {
         Ok(r) => r,
         Err(e) => {
@@ -403,8 +698,31 @@ fn handle_one(
     };
     let resp = match req {
         Request::Insert { key, value } => {
-            let mut db = shared.db.lock().expect("db lock");
-            match db.insert(key, &value).map_err(ProtoError::Io)? {
+            let result = match &shared.db {
+                Db::Global(m) => Shared::lock_global(m)
+                    .insert(key, &value)
+                    .map_err(ProtoError::Io)?,
+                Db::Shared {
+                    db,
+                    write_gate,
+                    concurrent,
+                } => {
+                    let _g = Shared::gate(write_gate);
+                    let got = if *concurrent {
+                        let d = Shared::read(db);
+                        let got = d.insert_shared(key, &value);
+                        shared.geom.refresh(&d);
+                        got
+                    } else {
+                        let mut d = Shared::write(db);
+                        let got = d.insert(key, &value);
+                        shared.geom.refresh(&d);
+                        got
+                    };
+                    got.map_err(ProtoError::Io)?
+                }
+            };
+            match result {
                 Ok(()) => Response::Ok,
                 Err(e) => Response::Error {
                     code: ErrorCode::Filter,
@@ -412,24 +730,24 @@ fn handle_one(
                 },
             }
         }
-        Request::Query { key } => {
-            let mut db = shared.db.lock().expect("db lock");
-            let negs_before = db.stats().filter_negatives;
-            let got = db.query(key).map_err(ProtoError::Io)?;
-            let accessed = db.stats().filter_negatives == negs_before;
-            match got {
-                Some(value) => Response::Value {
-                    value,
-                    store_accessed: accessed,
-                },
-                None => Response::NotFound {
-                    store_accessed: accessed,
-                },
-            }
-        }
+        Request::Query { key } => query_one(shared, key)?,
         Request::Delete { key } => {
-            let mut db = shared.db.lock().expect("db lock");
-            match db.delete(key).map_err(ProtoError::Io)? {
+            // Deletes always take the exclusive lock, even for
+            // concurrent filters: a delete shifts reverse-map ranks in
+            // the filter and the B-tree as two separate mutations, and a
+            // reader verifying (or adapting) between them could act on a
+            // location that now names a different fingerprint.
+            let result = match &shared.db {
+                Db::Global(m) => Shared::lock_global(m).delete(key).map_err(ProtoError::Io)?,
+                Db::Shared { db, write_gate, .. } => {
+                    let _g = Shared::gate(write_gate);
+                    let mut d = Shared::write(db);
+                    let got = d.delete(key).map_err(ProtoError::Io)?;
+                    shared.geom.refresh(&d);
+                    got
+                }
+            };
+            match result {
                 Ok(removed) => Response::Deleted { removed },
                 Err(e) => Response::Error {
                     code: ErrorCode::Unsupported,
@@ -438,25 +756,48 @@ fn handle_one(
             }
         }
         Request::AdaptReport { key } => {
-            // Re-run the query under the lock: FilteredDb's verify path
-            // adapts the filter on a refuted positive as a side effect.
-            let mut db = shared.db.lock().expect("db lock");
-            let adapts_before = db.stats().adapts;
-            let _ = db.query(key).map_err(ProtoError::Io)?;
-            Response::Adapted {
-                adapted: db.stats().adapts > adapts_before,
-            }
+            // Re-run the query: FilteredDb's verify path adapts the
+            // filter on a refuted positive as a side effect.
+            let adapted = match &shared.db {
+                Db::Global(m) => {
+                    let mut db = Shared::lock_global(m);
+                    let adapts_before = db.stats().adapts;
+                    let _ = db.query(key).map_err(ProtoError::Io)?;
+                    db.stats().adapts > adapts_before
+                }
+                Db::Shared {
+                    db,
+                    write_gate,
+                    concurrent,
+                } => {
+                    let _g = Shared::gate(write_gate);
+                    if *concurrent {
+                        let d = Shared::read(db);
+                        let adapted = match d.query_shared(key).map_err(ProtoError::Io)? {
+                            SharedRead::Done(o) => o.adapted,
+                            SharedRead::NeedsWrite => {
+                                unreachable!("concurrent filters adapt on the shared path")
+                            }
+                        };
+                        shared.geom.refresh(&d);
+                        adapted
+                    } else {
+                        let mut d = Shared::write(db);
+                        let adapts_before = d.stats().adapts;
+                        let _ = d.query(key).map_err(ProtoError::Io)?;
+                        shared.geom.refresh(&d);
+                        d.stats().adapts > adapts_before
+                    }
+                }
+            };
+            Response::Adapted { adapted }
         }
-        Request::QueryBatch { keys } => {
-            let mut db = shared.db.lock().expect("db lock");
-            Response::BatchValues {
-                values: db.query_batch(&keys).map_err(ProtoError::Io)?,
-            }
-        }
+        Request::QueryBatch { keys } => Response::BatchValues {
+            values: query_batch(shared, &keys)?,
+        },
         Request::InsertBatch { items } => {
             let refs: Vec<(u64, &[u8])> = items.iter().map(|(k, v)| (*k, v.as_slice())).collect();
-            let mut db = shared.db.lock().expect("db lock");
-            match db.insert_batch(&refs).map_err(ProtoError::Io)? {
+            match insert_batch(shared, &refs)? {
                 Ok(()) => Response::BatchOk {
                     inserted: items.len() as u64,
                 },
@@ -467,13 +808,42 @@ fn handle_one(
             }
         }
         Request::Stats => {
-            let db = shared.db.lock().expect("db lock");
-            let s = db.stats();
-            let f = db.filter();
+            let geom = &shared.geom;
+            let (s, filter_len, filter_bytes, capacity, load_factor_ppm, grows) = match &shared.db {
+                Db::Global(m) => {
+                    // Exact under the global lock.
+                    let db = Shared::lock_global(m);
+                    let f = db.filter();
+                    (
+                        db.stats(),
+                        f.len(),
+                        f.size_in_bytes() as u64,
+                        f.capacity(),
+                        StatsReport::ppm(f.load_factor()),
+                        f.grows(),
+                    )
+                }
+                Db::Shared { db, .. } => {
+                    // Read side only: the database's atomic counters plus
+                    // the writer-maintained geometry cache. Never touches
+                    // the write gate, the exclusive lock, or any shard
+                    // lock — STATS completes even while a writer is
+                    // mid-mutation.
+                    let s = Shared::read(db).stats();
+                    (
+                        s,
+                        geom.len.load(Relaxed),
+                        geom.bytes.load(Relaxed),
+                        geom.capacity.load(Relaxed),
+                        geom.load_ppm.load(Relaxed),
+                        geom.grows.load(Relaxed),
+                    )
+                }
+            };
             Response::Stats(StatsReport {
-                filter_kind: f.kind().to_string(),
-                filter_len: f.len(),
-                filter_bytes: f.size_in_bytes() as u64,
+                filter_kind: geom.kind.clone(),
+                filter_len,
+                filter_bytes,
                 inserts: s.inserts,
                 queries: s.queries,
                 deletes: s.deletes,
@@ -482,14 +852,23 @@ fn handle_one(
                 adapts: s.adapts,
                 connections: shared.connections.load(Relaxed),
                 requests: shared.requests.load(Relaxed),
-                capacity: f.capacity(),
-                load_factor_ppm: StatsReport::ppm(f.load_factor()),
-                grows: f.grows(),
+                capacity,
+                load_factor_ppm,
+                grows,
             })
         }
         Request::Snapshot => {
-            let mut db = shared.db.lock().expect("db lock");
-            match db.snapshot() {
+            let result = match &shared.db {
+                Db::Global(m) => Shared::lock_global(m).snapshot(),
+                Db::Shared { db, write_gate, .. } => {
+                    let _g = Shared::gate(write_gate);
+                    let mut d = Shared::write(db);
+                    let got = d.snapshot();
+                    shared.geom.refresh(&d);
+                    got
+                }
+            };
+            match result {
                 Ok(()) => Response::Ok,
                 Err(e) => Response::Error {
                     code: ErrorCode::Snapshot,
@@ -497,7 +876,172 @@ fn handle_one(
                 },
             }
         }
-        Request::Shutdown => Response::Ok, // tag handled by the caller
+        Request::Shutdown => {
+            writer
+                .write_all(&Response::Ok.encode())
+                .map_err(ProtoError::Io)?;
+            return Ok(Flow::Shutdown);
+        }
     };
-    writer.write_all(&resp.encode()).map_err(ProtoError::Io)
+    writer.write_all(&resp.encode()).map_err(ProtoError::Io)?;
+    Ok(Flow::Continue)
+}
+
+// ----------------------------------------------------------------------
+// Poll-style connection multiplexer (std-only)
+// ----------------------------------------------------------------------
+
+/// One multiplexed connection: a non-blocking socket, its frame reader
+/// (which preserves partial buffered progress across `WouldBlock`), and
+/// a pending-output buffer for responses the socket wasn't ready to
+/// take.
+struct MuxConn {
+    stream: TcpStream,
+    reader: FrameReader<TcpStream>,
+    outbox: Vec<u8>,
+    outpos: usize,
+    dead: bool,
+}
+
+impl MuxConn {
+    fn new(stream: TcpStream) -> std::io::Result<MuxConn> {
+        stream.set_nodelay(true).ok();
+        stream.set_nonblocking(true)?;
+        let reader = FrameReader::new(stream.try_clone()?);
+        Ok(MuxConn {
+            stream,
+            reader,
+            outbox: Vec::new(),
+            outpos: 0,
+            dead: false,
+        })
+    }
+
+    /// Push buffered response bytes into the socket without blocking.
+    /// Returns true if any bytes moved.
+    fn flush_some(&mut self) -> bool {
+        let mut progressed = false;
+        while self.outpos < self.outbox.len() {
+            match self.stream.write(&self.outbox[self.outpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.outpos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.outpos == self.outbox.len() && self.outpos > 0 {
+            self.outbox.clear();
+            self.outpos = 0;
+        }
+        progressed
+    }
+}
+
+/// Multiplexer poller: owns a set of non-blocking connections and scans
+/// them for readiness. Idle scans back off exponentially (up to ~2 ms),
+/// so thousands of idle connections cost near-zero CPU; any progress
+/// resets the backoff. A true `poll(2)` would avoid the scan entirely,
+/// but no such binding exists in this std-only environment, and the
+/// bounded backoff keeps the idle cost flat in connection count.
+fn poller_loop(shared: Arc<Shared>, addr: SocketAddr, idx: usize) {
+    let mut conns: Vec<MuxConn> = Vec::new();
+    let mut backoff_us: u64 = 0;
+    let mut want_shutdown = false;
+    loop {
+        // Adopt newly accepted connections.
+        {
+            let mut inbox = shared.mux_inboxes[idx]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for s in inbox.drain(..) {
+                if let Ok(c) = MuxConn::new(s) {
+                    conns.push(c);
+                }
+            }
+        }
+        let mut progressed = false;
+        for c in conns.iter_mut() {
+            if c.dead {
+                continue;
+            }
+            progressed |= c.flush_some();
+            if c.dead || c.outpos < c.outbox.len() {
+                // Don't grow the outbox while the peer isn't draining it.
+                continue;
+            }
+            // Drain every frame the socket has ready right now.
+            loop {
+                match c.reader.read_frame() {
+                    Ok(frame) => {
+                        progressed = true;
+                        shared.requests.fetch_add(1, Relaxed);
+                        match handle_frame(&shared, &frame, &mut c.outbox) {
+                            Ok(Flow::Continue) => {}
+                            Ok(Flow::Shutdown) => {
+                                want_shutdown = true;
+                                break;
+                            }
+                            Err(_) => {
+                                c.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    Err(ProtoError::Io(e))
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        break
+                    }
+                    Err(ProtoError::Closed) => {
+                        c.dead = true;
+                        break;
+                    }
+                    Err(e) => {
+                        let resp = Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: e.to_string(),
+                        };
+                        c.outbox.extend_from_slice(&resp.encode());
+                        c.flush_some();
+                        c.dead = true;
+                        break;
+                    }
+                }
+            }
+            progressed |= c.flush_some();
+        }
+        conns.retain(|c| !c.dead || c.outpos < c.outbox.len());
+        conns.retain(|c| !c.dead);
+        if want_shutdown {
+            // Best-effort drain of pending responses, then stop serving.
+            for c in conns.iter_mut() {
+                c.flush_some();
+            }
+            request_shutdown(&shared, addr);
+            return;
+        }
+        if shared.shutdown.load(Relaxed) {
+            for c in conns.iter_mut() {
+                c.flush_some();
+            }
+            return;
+        }
+        if progressed {
+            backoff_us = 0;
+        } else {
+            backoff_us = (backoff_us.max(25) * 2).min(2_000);
+            std::thread::sleep(Duration::from_micros(backoff_us));
+        }
+    }
 }

@@ -1,0 +1,316 @@
+//! Concurrency proofs for the server's read/write-split lock mode,
+//! driven entirely over the wire:
+//!
+//! - many concurrent reader connections against one writer connection,
+//!   with every answer checked element-wise against the sequential
+//!   ground truth (a response is only ever `NotFound` or the exact
+//!   inserted value, and inserts acknowledged before a read must be
+//!   visible to it),
+//! - a writer frozen *inside* a torn filter mutation (via the `aqf`
+//!   test hooks), proving STATS completes without serializing behind
+//!   the write side and that no torn answer ever escapes the server,
+//! - the same mixed e2e workload under `--mux` (poll-style multiplexer)
+//!   and `--global-lock`, which must be behaviorally identical to the
+//!   default mode.
+//!
+//! The torn-writer test installs a process-wide hook, so every test in
+//! this binary serializes on a file-local lock.
+
+use aqf::testhooks::{self, TornPoint};
+use aqf_filters::registry::FilterSpec;
+use aqf_server::{Client, LockMode, Server, ServerConfig};
+use aqf_storage::pager::IoPolicy;
+use aqf_storage::system::{FilteredDb, RevMapMode};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Serializes the tests in this binary: the torn-writer probe installs
+/// a process-wide test hook that must not observe another test's
+/// writer threads.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn fresh_db(qbits: u32, dir: &Path) -> FilteredDb {
+    FilteredDb::new(
+        FilterSpec::new("sharded-aqf", qbits)
+            .with_seed(5)
+            .build()
+            .unwrap(),
+        dir,
+        128,
+        IoPolicy::default(),
+        RevMapMode::Merged,
+    )
+    .unwrap()
+}
+
+fn value_of(k: u64) -> Vec<u8> {
+    (k ^ 0xC3C3_C3C3).to_le_bytes().to_vec()
+}
+
+/// Writer key `i` (odd keys; probes use even keys so they never become
+/// members).
+fn wkey(i: u64) -> u64 {
+    1 + i * 2
+}
+
+/// Many readers race one writer; every response is checked against the
+/// sequential ground truth. The writer acknowledges insert `i` before
+/// publishing watermark `i+1`, so any read that observes watermark `w`
+/// must see every key below `w` — that is exactly the element-wise
+/// equality a sequential replay would produce, checked while the race
+/// is live instead of after it.
+#[test]
+fn many_readers_one_writer_match_sequential_ground_truth() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    const N: u64 = 2500;
+    const READERS: u64 = 3;
+    let dir = aqf_workloads::unique_temp_dir("aqf-cw-readers");
+    let srv = Server::start(fresh_db(13, &dir), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = srv.local_addr();
+
+    let watermark = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let (watermark, done) = (Arc::clone(&watermark), Arc::clone(&done));
+            s.spawn(move || {
+                let mut cl = Client::connect(addr).unwrap();
+                for i in 0..N {
+                    cl.insert(wkey(i), &value_of(wkey(i))).unwrap();
+                    watermark.store(i + 1, SeqCst);
+                }
+                done.store(true, SeqCst);
+            });
+        }
+        for r in 0..READERS {
+            let (watermark, done) = (Arc::clone(&watermark), Arc::clone(&done));
+            s.spawn(move || {
+                use rand::RngExt;
+                let mut rng = aqf_workloads::rng(0xBEEF ^ r);
+                let mut cl = Client::connect(addr).unwrap();
+                let mut checked = 0u64;
+                while !done.load(SeqCst) {
+                    let i = rng.random_range(0..N);
+                    let w = watermark.load(SeqCst);
+                    let got = cl.query(wkey(i)).unwrap();
+                    match got {
+                        Some(v) => assert_eq!(
+                            v,
+                            value_of(wkey(i)),
+                            "reader {r}: wrong value for key {}",
+                            wkey(i)
+                        ),
+                        None => assert!(
+                            i >= w,
+                            "reader {r}: key {} acknowledged before watermark {w} \
+                             but invisible",
+                            wkey(i)
+                        ),
+                    }
+                    // Never-inserted keys must never materialize.
+                    let probe = (1 << 40) + rng.random_range(0..N) * 2;
+                    assert_eq!(
+                        cl.query(probe).unwrap(),
+                        None,
+                        "reader {r}: phantom value for absent key {probe}"
+                    );
+                    checked += 1;
+                }
+                assert!(checked > 0, "reader {r} never overlapped the writer");
+            });
+        }
+    });
+
+    // Post-race: the full sequential replay, element-wise.
+    let mut cl = Client::connect(addr).unwrap();
+    let keys: Vec<u64> = (0..N).map(wkey).collect();
+    let got = cl.query_batch(&keys).unwrap();
+    for (i, g) in got.iter().enumerate() {
+        assert_eq!(
+            g.as_deref(),
+            Some(&value_of(wkey(i as u64))[..]),
+            "key {} diverges from sequential ground truth",
+            wkey(i as u64)
+        );
+    }
+    let stats = cl.stats().unwrap();
+    assert_eq!(stats.inserts, N);
+    cl.shutdown().unwrap();
+    srv.wait().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Freeze a writer *inside* a torn filter mutation (mid insert-shift,
+/// slots moved but metadata lanes not), then prove over the wire that
+/// (a) STATS completes while the writer is frozen — the read side never
+/// serializes behind the write side — and (b) after release, every
+/// member answers its exact value: the optimistic read path never let a
+/// torn answer escape through the server.
+#[test]
+fn stats_and_answers_survive_writer_frozen_mid_shift() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    const PREFILL: u64 = 3000;
+    const CHURN: u64 = 1500;
+    let dir = aqf_workloads::unique_temp_dir("aqf-cw-torn");
+    let srv = Server::start(fresh_db(13, &dir), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = srv.local_addr();
+
+    // Prefill densely enough that inserts shift runs, *before* arming
+    // the hook.
+    let mut cl = Client::connect(addr).unwrap();
+    let members: Vec<(u64, Vec<u8>)> = (0..PREFILL).map(|i| (wkey(i), value_of(wkey(i)))).collect();
+    cl.insert_batch(&members).unwrap();
+
+    // The first MidInsertShift firing parks the server's writer thread
+    // inside the torn window until the test releases it.
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let mut fired = false;
+    testhooks::install_global(Box::new(move |p| {
+        if p == TornPoint::MidInsertShift && !fired {
+            fired = true;
+            let _ = entered_tx.send(());
+            let _ = release_rx.recv_timeout(Duration::from_secs(30));
+        }
+    }));
+
+    let writer = std::thread::spawn(move || {
+        let mut cl = Client::connect(addr).unwrap();
+        for i in 0..CHURN {
+            let k = wkey(PREFILL + i);
+            cl.insert(k, &value_of(k)).unwrap();
+        }
+    });
+    entered_rx
+        .recv_timeout(Duration::from_secs(20))
+        .expect("a churn insert must hit the torn shift window");
+
+    // Writer is now parked mid-mutation, holding the write gate and a
+    // shard lock. STATS from a fresh connection must still complete.
+    let (stats_tx, stats_rx) = mpsc::channel();
+    let prober = std::thread::spawn(move || {
+        let mut cl = Client::connect(addr).unwrap();
+        let s = cl.stats().unwrap();
+        let _ = stats_tx.send(s);
+    });
+    let stats = stats_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("STATS serialized behind a writer frozen mid-mutation");
+    assert!(stats.inserts >= PREFILL);
+
+    release_tx.send(()).unwrap();
+    writer.join().unwrap();
+    prober.join().unwrap();
+    testhooks::clear_global();
+
+    // No torn answer escaped: every member (prefill + churn) answers its
+    // exact value through pipelined batch queries.
+    let keys: Vec<u64> = (0..PREFILL + CHURN).map(wkey).collect();
+    for chunk in keys.chunks(512) {
+        let got = cl.query_batch(chunk).unwrap();
+        for (j, g) in got.iter().enumerate() {
+            assert_eq!(
+                g.as_deref(),
+                Some(&value_of(chunk[j])[..]),
+                "torn answer for key {} after writer churn",
+                chunk[j]
+            );
+        }
+    }
+    cl.shutdown().unwrap();
+    srv.wait().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The same concurrent mixed workload must be behaviorally identical
+/// under every server mode: default read/write split, the global-lock
+/// baseline, and the poll-style multiplexer (which serves all
+/// connections from two poller threads).
+#[test]
+fn every_server_mode_serves_identical_answers() {
+    let _t = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let modes = [
+        ("rw", ServerConfig::default()),
+        (
+            "global",
+            ServerConfig {
+                lock_mode: LockMode::GlobalLock,
+                ..ServerConfig::default()
+            },
+        ),
+        (
+            "mux",
+            ServerConfig {
+                mux: true,
+                mux_pollers: 2,
+                ..ServerConfig::default()
+            },
+        ),
+        (
+            "mux-global",
+            ServerConfig {
+                mux: true,
+                mux_pollers: 1,
+                lock_mode: LockMode::GlobalLock,
+                ..ServerConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in modes {
+        const CLIENTS: u64 = 3;
+        const PER: u64 = 400;
+        let dir = aqf_workloads::unique_temp_dir(&format!("aqf-cw-mode-{name}"));
+        let srv = Server::start(fresh_db(12, &dir), "127.0.0.1:0", cfg).unwrap();
+        let addr = srv.local_addr();
+        std::thread::scope(|s| {
+            for c in 0..CLIENTS {
+                s.spawn(move || {
+                    let mut cl = Client::connect(addr).unwrap();
+                    let base = 1 + c * PER * 4;
+                    let members: Vec<u64> = (0..PER).map(|i| base + i * 2).collect();
+                    for &k in &members[..members.len() / 2] {
+                        cl.insert(k, &value_of(k)).unwrap();
+                    }
+                    let rest: Vec<(u64, Vec<u8>)> = members[members.len() / 2..]
+                        .iter()
+                        .map(|&k| (k, value_of(k)))
+                        .collect();
+                    cl.insert_batch(&rest).unwrap();
+                    for &k in &members {
+                        assert_eq!(
+                            cl.query(k).unwrap().as_deref(),
+                            Some(&value_of(k)[..]),
+                            "{name}: member {k}"
+                        );
+                    }
+                    let got = cl.query_batch(&members).unwrap();
+                    for (i, &k) in members.iter().enumerate() {
+                        assert_eq!(
+                            got[i].as_deref(),
+                            Some(&value_of(k)[..]),
+                            "{name}: batched member {k}"
+                        );
+                    }
+                    // Deletes and absent keys round-trip too.
+                    assert!(cl.delete(members[0]).unwrap(), "{name}: delete");
+                    assert_eq!(cl.query(members[0]).unwrap(), None, "{name}: deleted");
+                    let absent = (1 << 44) + c * PER * 8;
+                    for i in 0..64 {
+                        assert_eq!(cl.query(absent + i * 16).unwrap(), None, "{name}: absent");
+                    }
+                    let _ = cl.adapt_report(absent).unwrap();
+                });
+            }
+        });
+        let mut cl = Client::connect(addr).unwrap();
+        let stats = cl.stats().unwrap();
+        assert_eq!(stats.inserts, CLIENTS * PER, "{name}: insert count");
+        assert_eq!(stats.deletes, CLIENTS, "{name}: delete count");
+        assert!(stats.connections >= CLIENTS, "{name}: connections");
+        cl.shutdown().unwrap();
+        srv.wait().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

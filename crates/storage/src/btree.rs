@@ -6,10 +6,20 @@
 //! up to [`MAX_VALUE_LEN`] bytes. Deletes are lazy (no rebalancing) —
 //! sufficient for every experiment in the paper, all of which are
 //! insert/query dominated.
+//!
+//! Concurrency: every operation takes `&self`. A tree-level `RwLock`
+//! (which also holds the root page id) is held across whole operations —
+//! shared for [`BTreeStore::get`], exclusive for [`BTreeStore::put`] /
+//! [`BTreeStore::delete`] — so a reader can never descend through a
+//! half-propagated split. Page frames themselves are synchronized by the
+//! [`PageCache`]; the tree lock provides the multi-page structural
+//! consistency the cache deliberately does not.
 
 use crate::cache::{CacheStats, PageCache};
 use crate::pager::{IoPolicy, IoStats, Pager, PAGE_SIZE};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{PoisonError, RwLock};
 
 /// Maximum value size storable in a leaf.
 pub const MAX_VALUE_LEN: usize = 1024;
@@ -99,11 +109,14 @@ impl Node {
     }
 }
 
-/// An on-disk B+tree store.
+/// An on-disk B+tree store with shared (`&self`) reads and internally
+/// serialized writes.
 pub struct BTreeStore {
     cache: PageCache,
-    root: u32,
-    len: u64,
+    /// Tree structure lock; the protected value is the root page id, so
+    /// holding the guard *is* holding a consistent view of the tree.
+    root: RwLock<u32>,
+    len: AtomicU64,
 }
 
 impl BTreeStore {
@@ -124,19 +137,19 @@ impl BTreeStore {
         .serialize(root_page);
         Ok(Self {
             cache,
-            root,
-            len: 0,
+            root: RwLock::new(root),
+            len: AtomicU64::new(0),
         })
     }
 
     /// Number of key-value pairs.
     pub fn len(&self) -> u64 {
-        self.len
+        self.len.load(Relaxed)
     }
 
     /// True if the store holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Disk I/O counters.
@@ -149,18 +162,19 @@ impl BTreeStore {
         self.cache.stats()
     }
 
-    fn load(&mut self, id: u32) -> std::io::Result<Node> {
-        Ok(Node::parse(self.cache.page(id)?))
+    fn load(&self, id: u32) -> std::io::Result<Node> {
+        self.cache.with_page(id, Node::parse)
     }
 
-    fn store_node(&mut self, id: u32, node: &Node) -> std::io::Result<()> {
-        node.serialize(self.cache.page_mut(id)?);
-        Ok(())
+    fn store_node(&self, id: u32, node: &Node) -> std::io::Result<()> {
+        self.cache.with_page_mut(id, |p| node.serialize(p))
     }
 
-    /// Look up `key`.
-    pub fn get(&mut self, key: u64) -> std::io::Result<Option<Vec<u8>>> {
-        let mut id = self.root;
+    /// Look up `key`. Concurrent with other lookups; excluded against
+    /// writers by the tree lock.
+    pub fn get(&self, key: u64) -> std::io::Result<Option<Vec<u8>>> {
+        let root = self.root.read().unwrap_or_else(PoisonError::into_inner);
+        let mut id = *root;
         loop {
             match self.load(id)? {
                 Node::Internal { keys, children } => {
@@ -178,11 +192,12 @@ impl BTreeStore {
     }
 
     /// Insert or replace `key -> value`.
-    pub fn put(&mut self, key: u64, value: &[u8]) -> std::io::Result<()> {
+    pub fn put(&self, key: u64, value: &[u8]) -> std::io::Result<()> {
         assert!(value.len() <= MAX_VALUE_LEN, "value too large");
+        let mut root = self.root.write().unwrap_or_else(PoisonError::into_inner);
         // Descend, remembering the path.
         let mut path: Vec<u32> = Vec::new();
-        let mut id = self.root;
+        let mut id = *root;
         loop {
             match self.load(id)? {
                 Node::Internal { keys, children } => {
@@ -195,7 +210,7 @@ impl BTreeStore {
                         Ok(i) => entries[i].1 = value.to_vec(),
                         Err(i) => {
                             entries.insert(i, (key, value.to_vec()));
-                            self.len += 1;
+                            self.len.fetch_add(1, Relaxed);
                         }
                     }
                     let node = Node::Leaf { entries };
@@ -223,7 +238,7 @@ impl BTreeStore {
                             entries: right_entries,
                         },
                     )?;
-                    return self.insert_separator(path, id, sep, right_id);
+                    return self.insert_separator(&mut root, path, id, sep, right_id);
                 }
             }
         }
@@ -231,7 +246,8 @@ impl BTreeStore {
 
     /// Insert `sep`/`right_id` into the parent chain after `left_id` split.
     fn insert_separator(
-        &mut self,
+        &self,
+        root: &mut u32,
         mut path: Vec<u32>,
         mut left_id: u32,
         mut sep: u64,
@@ -246,7 +262,7 @@ impl BTreeStore {
                     children: vec![left_id, right_id],
                 };
                 self.store_node(new_root, &node)?;
-                self.root = new_root;
+                *root = new_root;
                 return Ok(());
             };
             let Node::Internal {
@@ -299,8 +315,9 @@ impl BTreeStore {
 
     /// Remove `key`. Returns true if it existed. Lazy: leaves may become
     /// underfull (no rebalancing).
-    pub fn delete(&mut self, key: u64) -> std::io::Result<bool> {
-        let mut id = self.root;
+    pub fn delete(&self, key: u64) -> std::io::Result<bool> {
+        let root = self.root.write().unwrap_or_else(PoisonError::into_inner);
+        let mut id = *root;
         loop {
             match self.load(id)? {
                 Node::Internal { keys, children } => {
@@ -311,7 +328,7 @@ impl BTreeStore {
                     match entries.binary_search_by_key(&key, |(k, _)| *k) {
                         Ok(i) => {
                             entries.remove(i);
-                            self.len -= 1;
+                            self.len.fetch_sub(1, Relaxed);
                             self.store_node(id, &Node::Leaf { entries })?;
                             return Ok(true);
                         }
@@ -329,7 +346,7 @@ impl BTreeStore {
 
     /// Root page id (for snapshot manifests).
     pub fn root(&self) -> u32 {
-        self.root
+        *self.root.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Flush, then stream the tree's complete on-disk image — root page
@@ -343,8 +360,8 @@ impl BTreeStore {
     ) -> std::io::Result<()> {
         self.flush()?;
         let n = self.cache.page_count();
-        w.u32(self.root);
-        w.u64(self.len);
+        w.u32(self.root());
+        w.u64(self.len());
         w.u64(n as u64 * PAGE_SIZE as u64);
         for id in 0..n {
             w.raw(&self.cache.page(id)?[..]);
@@ -381,7 +398,11 @@ impl BTreeStore {
         std::fs::write(path, pages)?;
         let pager = Pager::open(path, policy)?;
         let cache = PageCache::new(pager, cache_pages);
-        Ok(Self { cache, root, len })
+        Ok(Self {
+            cache,
+            root: RwLock::new(root),
+            len: AtomicU64::new(len),
+        })
     }
 }
 
@@ -408,7 +429,7 @@ mod tests {
 
     #[test]
     fn model_test_against_btreemap() {
-        let (mut t, path) = temp_store(64);
+        let (t, path) = temp_store(64);
         let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         let mut rng = StdRng::seed_from_u64(7);
         for step in 0..20_000u64 {
@@ -448,7 +469,7 @@ mod tests {
 
     #[test]
     fn splits_under_sequential_load() {
-        let (mut t, path) = temp_store(256);
+        let (t, path) = temp_store(256);
         for k in 0..50_000u64 {
             t.put(k, &k.to_le_bytes()).unwrap();
         }
@@ -461,7 +482,7 @@ mod tests {
 
     #[test]
     fn small_cache_thrashes_but_stays_correct() {
-        let (mut t, path) = temp_store(8);
+        let (t, path) = temp_store(8);
         for k in 0..5000u64 {
             t.put(k * 3, &[1, 2, 3]).unwrap();
         }
@@ -474,13 +495,46 @@ mod tests {
 
     #[test]
     fn large_values_split_correctly() {
-        let (mut t, path) = temp_store(64);
+        let (t, path) = temp_store(64);
         let big = vec![0xAB; 1000];
         for k in 0..200u64 {
             t.put(k, &big).unwrap();
         }
         for k in 0..200u64 {
             assert_eq!(t.get(k).unwrap().unwrap().len(), 1000);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_race_one_writer() {
+        let (t, path) = temp_store(64);
+        for k in 0..2_000u64 {
+            t.put(k, &k.to_le_bytes()).unwrap();
+        }
+        std::thread::scope(|s| {
+            let t = &t;
+            // Writer keeps splitting leaves past the prefilled range.
+            s.spawn(move || {
+                for k in 2_000..6_000u64 {
+                    t.put(k, &k.to_le_bytes()).unwrap();
+                }
+            });
+            for r in 0..3 {
+                s.spawn(move || {
+                    for i in 0..4_000u64 {
+                        let k = (i * 37 + r) % 2_000;
+                        assert_eq!(
+                            t.get(k).unwrap().as_deref(),
+                            Some(&k.to_le_bytes()[..]),
+                            "reader saw torn tree at {k}"
+                        );
+                    }
+                });
+            }
+        });
+        for k in 0..6_000u64 {
+            assert_eq!(t.get(k).unwrap().unwrap(), k.to_le_bytes());
         }
         std::fs::remove_file(path).unwrap();
     }

@@ -3,10 +3,32 @@
 //! Bounded number of in-memory frames; dirty pages are written back on
 //! eviction and on `flush`. Hit/miss counters feed the Fig. 6 experiment
 //! (query throughput vs cache size under adversarial queries).
+//!
+//! Concurrency: the cache is internally synchronized so callers holding
+//! only `&PageCache` can read concurrently. Cache hits run under a
+//! shared (`RwLock` read) guard — the hot path for filter-negative-free
+//! query traffic — with the LRU stamp bumped through a per-frame atomic.
+//! Misses are *single-flight*: one thread claims the page (a pending
+//! set + condvar), performs the device wait ([`IoPolicy::stall_read`])
+//! and the pager transfer **outside the frame-table lock**, then takes
+//! the exclusive guard only to install the frame — so concurrent misses
+//! on different pages overlap their device waits instead of convoying
+//! behind one lock, and concurrent requests for the same page wait for
+//! the in-flight load rather than issuing duplicate reads. Evicting a
+//! dirty victim likewise defers the write-back until the locks drop;
+//! the victim id stays in the pending set so a racing reload waits for
+//! the fresh bytes to reach disk instead of reading the stale copy.
+//! Lock order is frame table → pending set → pager; the pending set is
+//! never held across the frame-table lock. Callers that need
+//! reader/writer exclusion *across multiple pages* (a B-tree descent
+//! racing a split) must layer their own structure lock on top — see
+//! [`crate::btree::BTreeStore`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
-use crate::pager::{IoStats, Page, Pager, PAGE_SIZE};
+use crate::pager::{IoPolicy, IoStats, Page, Pager, PAGE_SIZE};
 
 /// Cache hit/miss counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -23,121 +45,308 @@ struct Frame {
     page_id: u32,
     data: Page,
     dirty: bool,
-    last_used: u64,
+    /// LRU stamp; atomic so concurrent shared-guard hits can touch it.
+    last_used: AtomicU64,
 }
 
-/// A fixed-capacity LRU page cache.
-pub struct PageCache {
-    pager: Pager,
+/// The frame table: everything that needs exclusive access to move.
+struct CacheInner {
     frames: Vec<Frame>,
     map: HashMap<u32, usize>,
+}
+
+/// Lock-free cache metadata: counters live outside the lock so hits
+/// under the shared guard never contend on them.
+struct CacheMeta {
     capacity: usize,
-    clock: u64,
-    stats: CacheStats,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A fixed-capacity LRU page cache, shareable across reader threads.
+pub struct PageCache {
+    inner: RwLock<CacheInner>,
+    pager: Mutex<Pager>,
+    /// Pages with an in-flight load or eviction write-back.
+    pending: Mutex<HashSet<u32>>,
+    pending_cv: Condvar,
+    policy: IoPolicy,
+    meta: CacheMeta,
 }
 
 impl PageCache {
     /// Wrap `pager` with an LRU cache of `capacity` pages (>= 8).
     pub fn new(pager: Pager, capacity: usize) -> Self {
+        let policy = pager.policy();
         Self {
-            pager,
-            frames: Vec::new(),
-            map: HashMap::new(),
-            capacity: capacity.max(8),
-            clock: 0,
-            stats: CacheStats::default(),
+            inner: RwLock::new(CacheInner {
+                frames: Vec::new(),
+                map: HashMap::new(),
+            }),
+            pager: Mutex::new(pager),
+            pending: Mutex::new(HashSet::new()),
+            pending_cv: Condvar::new(),
+            policy,
+            meta: CacheMeta {
+                capacity: capacity.max(8),
+                clock: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            },
         }
     }
 
     /// Cache capacity in pages.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.meta.capacity
     }
 
     /// Cache counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.meta.hits.load(Relaxed),
+            misses: self.meta.misses.load(Relaxed),
+            evictions: self.meta.evictions.load(Relaxed),
+        }
     }
 
     /// Pager (disk) counters.
     pub fn io_stats(&self) -> IoStats {
-        self.pager.stats()
+        self.lock_pager().stats()
     }
 
     /// Allocate a fresh page.
-    pub fn allocate(&mut self) -> std::io::Result<u32> {
-        self.pager.allocate()
+    pub fn allocate(&self) -> std::io::Result<u32> {
+        self.lock_pager().allocate()
     }
 
     /// Number of pages in the underlying file.
     pub fn page_count(&self) -> u32 {
-        self.pager.page_count()
+        self.lock_pager().page_count()
     }
 
-    fn touch(&mut self, frame: usize) {
-        self.clock += 1;
-        self.frames[frame].last_used = self.clock;
+    fn read_inner(&self) -> std::sync::RwLockReadGuard<'_, CacheInner> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn frame_for(&mut self, page_id: u32) -> std::io::Result<usize> {
-        if let Some(&f) = self.map.get(&page_id) {
-            self.stats.hits += 1;
-            self.touch(f);
+    fn write_inner(&self) -> std::sync::RwLockWriteGuard<'_, CacheInner> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_pager(&self) -> MutexGuard<'_, Pager> {
+        self.pager.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_pending(&self) -> MutexGuard<'_, HashSet<u32>> {
+        self.pending.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn touch(meta: &CacheMeta, frame: &Frame) {
+        let t = meta.clock.fetch_add(1, Relaxed) + 1;
+        frame.last_used.store(t, Relaxed);
+    }
+
+    /// Locate (or load) `page_id` in the frame table. Requires the
+    /// exclusive borrow: may read from disk, evict, or grow the table.
+    fn frame_for(
+        meta: &CacheMeta,
+        inner: &mut CacheInner,
+        pager: &mut Pager,
+        page_id: u32,
+    ) -> std::io::Result<usize> {
+        if let Some(&f) = inner.map.get(&page_id) {
+            meta.hits.fetch_add(1, Relaxed);
+            Self::touch(meta, &inner.frames[f]);
             return Ok(f);
         }
-        self.stats.misses += 1;
-        let data = self.pager.read_page(page_id)?;
-        let f = if self.frames.len() < self.capacity {
-            self.frames.push(Frame {
-                page_id,
-                data,
-                dirty: false,
-                last_used: 0,
-            });
-            self.frames.len() - 1
-        } else {
-            // Evict the least-recently-used frame.
-            let victim = (0..self.frames.len())
-                .min_by_key(|&i| self.frames[i].last_used)
-                .expect("cache not empty");
-            let old = &mut self.frames[victim];
-            if old.dirty {
-                self.pager.write_page(old.page_id, &old.data)?;
-                self.stats.evictions += 1;
-            }
-            self.map.remove(&old.page_id);
-            old.page_id = page_id;
-            old.data = data;
-            old.dirty = false;
-            victim
-        };
-        self.map.insert(page_id, f);
-        self.touch(f);
+        meta.misses.fetch_add(1, Relaxed);
+        let data = pager.read_page(page_id)?;
+        let (f, write_back) = Self::install(meta, inner, page_id, data);
+        if let Some((old_id, old_data)) = write_back {
+            pager.write_page(old_id, &old_data)?;
+        }
         Ok(f)
     }
 
-    /// Read access to a page.
-    pub fn page(&mut self, page_id: u32) -> std::io::Result<&[u8; PAGE_SIZE]> {
-        let f = self.frame_for(page_id)?;
-        Ok(&self.frames[f].data)
+    /// Put `data` into a frame (growing or evicting LRU), updating the
+    /// map. Returns the frame index plus the evicted dirty page's
+    /// `(id, data)` if any — the caller must persist that (with the
+    /// exclusive guard held or the victim claimed pending, so a racing
+    /// reload can't see the stale on-disk copy first).
+    fn install(
+        meta: &CacheMeta,
+        inner: &mut CacheInner,
+        page_id: u32,
+        data: Page,
+    ) -> (usize, Option<(u32, Page)>) {
+        let (f, write_back) = if inner.frames.len() < meta.capacity {
+            inner.frames.push(Frame {
+                page_id,
+                data,
+                dirty: false,
+                last_used: AtomicU64::new(0),
+            });
+            (inner.frames.len() - 1, None)
+        } else {
+            // Evict the least-recently-used frame.
+            let victim = (0..inner.frames.len())
+                .min_by_key(|&i| inner.frames[i].last_used.load(Relaxed))
+                .expect("cache not empty");
+            let old = &mut inner.frames[victim];
+            let old_id = old.page_id;
+            let old_dirty = old.dirty;
+            let old_data = std::mem::replace(&mut old.data, data);
+            old.page_id = page_id;
+            old.dirty = false;
+            inner.map.remove(&old_id);
+            let wb = if old_dirty {
+                meta.evictions.fetch_add(1, Relaxed);
+                Some((old_id, old_data))
+            } else {
+                None
+            };
+            (victim, wb)
+        };
+        inner.map.insert(page_id, f);
+        Self::touch(meta, &inner.frames[f]);
+        (f, write_back)
     }
 
-    /// Write access to a page (marks it dirty).
+    /// Single-flight load of `page_id` for the shared (`&self`) paths.
+    /// Claims the page in the pending set (waiting out any in-flight
+    /// load or write-back of it), performs the device wait and the
+    /// pager read with **no cache lock held**, then takes the exclusive
+    /// guard only to install the frame. Returns with the page loaded —
+    /// though a concurrent eviction may already have removed it again,
+    /// so callers re-check the map in a loop.
+    fn load_page(&self, page_id: u32) -> std::io::Result<()> {
+        {
+            let mut pend = self.lock_pending();
+            while pend.contains(&page_id) {
+                pend = self
+                    .pending_cv
+                    .wait(pend)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            pend.insert(page_id);
+        }
+        let res = self.load_claimed(page_id);
+        self.lock_pending().remove(&page_id);
+        self.pending_cv.notify_all();
+        res
+    }
+
+    /// The body of [`Self::load_page`], run while owning the claim.
+    fn load_claimed(&self, page_id: u32) -> std::io::Result<()> {
+        // The load we waited out may have installed the page already.
+        if self.read_inner().map.contains_key(&page_id) {
+            return Ok(());
+        }
+        self.meta.misses.fetch_add(1, Relaxed);
+        self.policy.stall_read(); // device wait: no lock held
+        let data = self.lock_pager().read_page_raw(page_id)?;
+        // Install under the exclusive guard; a dirty victim's write-back
+        // is deferred until the guard drops, claimed in the pending set
+        // (lock order inner → pending) so a racing reload of the victim
+        // waits for the fresh bytes instead of reading the stale copy.
+        let write_back = {
+            let mut inner = self.write_inner();
+            let (_, wb) = Self::install(&self.meta, &mut inner, page_id, data);
+            if let Some((old_id, _)) = &wb {
+                self.lock_pending().insert(*old_id);
+            }
+            wb
+        };
+        if let Some((old_id, old_data)) = write_back {
+            self.policy.stall_write(); // device wait: no lock held
+            let res = self.lock_pager().write_page_raw(old_id, &old_data);
+            self.lock_pending().remove(&old_id);
+            self.pending_cv.notify_all();
+            res?;
+        }
+        Ok(())
+    }
+
+    /// Run `f` over a shared view of a page. Cache hits stay under the
+    /// shared guard (concurrent with other readers); misses load the
+    /// page single-flight with the I/O outside the cache locks.
+    pub fn with_page<T>(
+        &self,
+        page_id: u32,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> T,
+    ) -> std::io::Result<T> {
+        let mut f = Some(f);
+        loop {
+            {
+                let inner = self.read_inner();
+                if let Some(&i) = inner.map.get(&page_id) {
+                    self.meta.hits.fetch_add(1, Relaxed);
+                    let frame = &inner.frames[i];
+                    Self::touch(&self.meta, frame);
+                    return Ok((f.take().expect("looped with f consumed"))(&frame.data));
+                }
+            }
+            self.load_page(page_id)?;
+        }
+    }
+
+    /// Run `f` over an exclusive view of a page, marking it dirty.
+    /// Misses load the page through the same single-flight path as
+    /// reads, so the I/O happens before the exclusive guard is taken.
+    pub fn with_page_mut<T>(
+        &self,
+        page_id: u32,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> T,
+    ) -> std::io::Result<T> {
+        let mut f = Some(f);
+        loop {
+            {
+                let mut inner = self.write_inner();
+                if let Some(&i) = inner.map.get(&page_id) {
+                    self.meta.hits.fetch_add(1, Relaxed);
+                    Self::touch(&self.meta, &inner.frames[i]);
+                    let frame = &mut inner.frames[i];
+                    frame.dirty = true;
+                    return Ok((f.take().expect("looped with f consumed"))(&mut frame.data));
+                }
+            }
+            self.load_page(page_id)?;
+        }
+    }
+
+    /// Read access to a page (exclusive-borrow fast path: no locking).
+    pub fn page(&mut self, page_id: u32) -> std::io::Result<&[u8; PAGE_SIZE]> {
+        let inner = self.inner.get_mut().unwrap_or_else(PoisonError::into_inner);
+        let pager = self.pager.get_mut().unwrap_or_else(PoisonError::into_inner);
+        let f = Self::frame_for(&self.meta, inner, pager, page_id)?;
+        let inner = self.inner.get_mut().unwrap_or_else(PoisonError::into_inner);
+        Ok(&inner.frames[f].data)
+    }
+
+    /// Write access to a page (marks it dirty; exclusive borrow).
     pub fn page_mut(&mut self, page_id: u32) -> std::io::Result<&mut [u8; PAGE_SIZE]> {
-        let f = self.frame_for(page_id)?;
-        self.frames[f].dirty = true;
-        Ok(&mut self.frames[f].data)
+        let inner = self.inner.get_mut().unwrap_or_else(PoisonError::into_inner);
+        let pager = self.pager.get_mut().unwrap_or_else(PoisonError::into_inner);
+        let f = Self::frame_for(&self.meta, inner, pager, page_id)?;
+        let inner = self.inner.get_mut().unwrap_or_else(PoisonError::into_inner);
+        inner.frames[f].dirty = true;
+        Ok(&mut inner.frames[f].data)
     }
 
     /// Write back every dirty page.
     pub fn flush(&mut self) -> std::io::Result<()> {
-        for f in &mut self.frames {
+        let inner = self.inner.get_mut().unwrap_or_else(PoisonError::into_inner);
+        let pager = self.pager.get_mut().unwrap_or_else(PoisonError::into_inner);
+        for f in inner.frames.iter_mut() {
             if f.dirty {
-                self.pager.write_page(f.page_id, &f.data)?;
+                pager.write_page(f.page_id, &f.data)?;
                 f.dirty = false;
             }
         }
-        self.pager.sync()
+        pager.sync()
     }
 }
 
@@ -186,6 +395,131 @@ mod tests {
         }
         assert!(c.stats().evictions > 0);
         c.flush().unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn shared_reads_agree_with_exclusive_reads() {
+        let (mut c, path) = temp_cache(8);
+        let ids: Vec<u32> = (0..32).map(|_| c.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            c.with_page_mut(id, |p| p[7] = i as u8).unwrap();
+        }
+        // Shared-path reads (hits and miss-upgrades) see the same bytes.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(c.with_page(id, |p| p[7]).unwrap(), i as u8, "page {id}");
+        }
+        // Concurrent shared readers over a hot working set.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = &c;
+                let ids = &ids;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        for (i, &id) in ids.iter().enumerate().take(4) {
+                            assert_eq!(c.with_page(id, |p| p[7]).unwrap(), i as u8);
+                        }
+                    }
+                });
+            }
+        });
+        c.flush().unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_misses_are_single_flight() {
+        // A slow (yielding) device wait widens the miss window so every
+        // thread piles onto the same cold page; single-flight must issue
+        // exactly one disk read for all of them.
+        let dir = std::env::temp_dir().join(format!("aqf-cache-sf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pages");
+        let _ = std::fs::remove_file(&path);
+        let policy = IoPolicy {
+            read_delay: Some(std::time::Duration::from_millis(5)),
+            write_delay: None,
+            yield_io: true,
+        };
+        let mut c = PageCache::new(Pager::open(&path, policy).unwrap(), 8);
+        let cold = c.allocate().unwrap();
+        c.page_mut(cold).unwrap()[3] = 77;
+        c.flush().unwrap();
+        // Refill the cache with other pages so `cold` is evicted.
+        for _ in 0..8 {
+            let id = c.allocate().unwrap();
+            c.page_mut(id).unwrap();
+        }
+        assert!(
+            !c.read_inner().map.contains_key(&cold),
+            "cold page must start evicted"
+        );
+        let reads_before = c.io_stats().reads;
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    assert_eq!(c.with_page(cold, |p| p[3]).unwrap(), 77);
+                });
+            }
+        });
+        assert_eq!(
+            c.io_stats().reads - reads_before,
+            1,
+            "eight concurrent misses on one page must read it once"
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_miss_churn_preserves_dirty_evictions() {
+        // Readers churn a 64-page working set through an 8-frame cache
+        // (every access a miss + dirty write-back eviction in some
+        // interleaving) while a writer keeps re-dirtying pages; the
+        // deferred out-of-lock write-backs must never lose bytes or
+        // serve a stale on-disk copy.
+        let dir = std::env::temp_dir().join(format!("aqf-cache-churn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pages");
+        let _ = std::fs::remove_file(&path);
+        let mut c = PageCache::new(Pager::open(&path, IoPolicy::default()).unwrap(), 8);
+        let ids: Vec<u32> = (0..64).map(|_| c.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            c.page_mut(id).unwrap()[0] = i as u8;
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = &c;
+                let ids = &ids;
+                s.spawn(move || {
+                    let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t + 1);
+                    for _ in 0..2000 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let i = (x >> 33) as usize % ids.len();
+                        assert_eq!(c.with_page(ids[i], |p| p[0]).unwrap(), i as u8, "page {i}");
+                    }
+                });
+            }
+            let c = &c;
+            let ids = &ids;
+            s.spawn(move || {
+                for round in 0..200u32 {
+                    for (i, &id) in ids.iter().enumerate() {
+                        c.with_page_mut(id, |p| {
+                            assert_eq!(p[0], i as u8, "dirty bytes lost on page {i}");
+                            p[1] = round as u8; // re-dirty
+                        })
+                        .unwrap();
+                    }
+                }
+            });
+        });
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(c.page(id).unwrap()[0], i as u8);
+            assert_eq!(c.page(id).unwrap()[1], 199);
+        }
         std::fs::remove_file(path).unwrap();
     }
 }

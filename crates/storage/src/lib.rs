@@ -30,4 +30,4 @@ pub mod system;
 pub use btree::BTreeStore;
 pub use cache::PageCache;
 pub use pager::{IoPolicy, IoStats, Pager, PAGE_SIZE};
-pub use system::{FilteredDb, RevMapMode, SystemStats};
+pub use system::{FilteredDb, QueryOutcome, RevMapMode, SharedRead, SystemStats};

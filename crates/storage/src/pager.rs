@@ -34,6 +34,37 @@ pub struct IoPolicy {
     pub read_delay: Option<Duration>,
     /// Sleep per page write.
     pub write_delay: Option<Duration>,
+    /// Model I/O as *blocking*: park the OS thread (`thread::sleep`)
+    /// instead of busy-spinning for the delay. A spinning "I/O" burns
+    /// the core, so on few-core machines nothing else can run during
+    /// the stall — the opposite of what a real device wait does.
+    /// Concurrency benchmarks set this; throughput benchmarks that
+    /// calibrated against the precise spin delay keep the default.
+    pub yield_io: bool,
+}
+
+impl IoPolicy {
+    /// Perform the configured per-read device wait (no-op if none).
+    pub fn stall_read(&self) {
+        if let Some(d) = self.read_delay {
+            self.stall(d);
+        }
+    }
+
+    /// Perform the configured per-write device wait (no-op if none).
+    pub fn stall_write(&self) {
+        if let Some(d) = self.write_delay {
+            self.stall(d);
+        }
+    }
+
+    fn stall(&self, d: Duration) {
+        if self.yield_io {
+            std::thread::sleep(d);
+        } else {
+            spin_sleep(d);
+        }
+    }
 }
 
 /// A file of fixed-size pages.
@@ -76,11 +107,16 @@ impl Pager {
         Ok(id)
     }
 
-    /// Read page `id` into a fresh buffer.
+    /// Read page `id` into a fresh buffer (device wait + transfer).
     pub fn read_page(&mut self, id: u32) -> std::io::Result<Page> {
-        if let Some(d) = self.policy.read_delay {
-            spin_sleep(d);
-        }
+        self.policy.stall_read();
+        self.read_page_raw(id)
+    }
+
+    /// Read page `id` without the injected device wait. For callers
+    /// (the page cache) that perform [`IoPolicy::stall_read`] outside
+    /// their locks so concurrent device waits can overlap.
+    pub fn read_page_raw(&mut self, id: u32) -> std::io::Result<Page> {
         let mut buf = Box::new([0u8; PAGE_SIZE]);
         self.file
             .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
@@ -89,11 +125,15 @@ impl Pager {
         Ok(buf)
     }
 
-    /// Write a page.
+    /// Write a page (device wait + transfer).
     pub fn write_page(&mut self, id: u32, data: &[u8; PAGE_SIZE]) -> std::io::Result<()> {
-        if let Some(d) = self.policy.write_delay {
-            spin_sleep(d);
-        }
+        self.policy.stall_write();
+        self.write_page_raw(id, data)
+    }
+
+    /// Write a page without the injected device wait (see
+    /// [`Self::read_page_raw`]).
+    pub fn write_page_raw(&mut self, id: u32, data: &[u8; PAGE_SIZE]) -> std::io::Result<()> {
         self.file
             .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.write_all(data)?;
@@ -109,6 +149,11 @@ impl Pager {
     /// I/O counters so far.
     pub fn stats(&self) -> IoStats {
         self.stats
+    }
+
+    /// The latency-injection policy this pager was opened with.
+    pub fn policy(&self) -> IoPolicy {
+        self.policy
     }
 }
 

@@ -42,6 +42,7 @@ use aqf_filters::{
     registry, Adaptivity, AqfDyn, DeletePlan, DynFilter, InsertPlan, Keying, MapEvent,
 };
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use crate::btree::BTreeStore;
 use crate::pager::{IoPolicy, IoStats};
@@ -78,6 +79,92 @@ pub struct SystemStats {
     pub deletes: u64,
 }
 
+/// Internal atomic mirror of [`SystemStats`], so counting never needs
+/// `&mut self` — the server's STATS op reads these without touching the
+/// write side at all.
+#[derive(Default)]
+struct SysCounters {
+    inserts: AtomicU64,
+    queries: AtomicU64,
+    filter_negatives: AtomicU64,
+    true_positives: AtomicU64,
+    false_positives: AtomicU64,
+    adapts: AtomicU64,
+    deletes: AtomicU64,
+}
+
+impl SysCounters {
+    fn restore(s: SystemStats) -> Self {
+        Self {
+            inserts: AtomicU64::new(s.inserts),
+            queries: AtomicU64::new(s.queries),
+            filter_negatives: AtomicU64::new(s.filter_negatives),
+            true_positives: AtomicU64::new(s.true_positives),
+            false_positives: AtomicU64::new(s.false_positives),
+            adapts: AtomicU64::new(s.adapts),
+            deletes: AtomicU64::new(s.deletes),
+        }
+    }
+
+    fn snapshot(&self) -> SystemStats {
+        SystemStats {
+            inserts: self.inserts.load(Relaxed),
+            queries: self.queries.load(Relaxed),
+            filter_negatives: self.filter_negatives.load(Relaxed),
+            true_positives: self.true_positives.load(Relaxed),
+            false_positives: self.false_positives.load(Relaxed),
+            adapts: self.adapts.load(Relaxed),
+            deletes: self.deletes.load(Relaxed),
+        }
+    }
+
+    fn apply(&self, d: &StatsDelta) {
+        self.queries.fetch_add(d.queries, Relaxed);
+        self.filter_negatives.fetch_add(d.filter_negatives, Relaxed);
+        self.true_positives.fetch_add(d.true_positives, Relaxed);
+        self.false_positives.fetch_add(d.false_positives, Relaxed);
+        self.adapts.fetch_add(d.adapts, Relaxed);
+    }
+}
+
+/// Query-side counter deltas, accumulated locally during a shared read
+/// and applied atomically only when the read completes on the shared
+/// path — a [`SharedRead::NeedsWrite`] escape discards them, so the
+/// write-side retry never double-counts.
+#[derive(Clone, Copy, Default)]
+struct StatsDelta {
+    queries: u64,
+    filter_negatives: u64,
+    true_positives: u64,
+    false_positives: u64,
+    adapts: u64,
+}
+
+/// Outcome of a shared (`&self`) read: either it completed, or it needs
+/// the exclusive write path (the filter requires adaptation but cannot
+/// adapt through a shared reference).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SharedRead<T> {
+    /// The read completed on the shared path.
+    Done(T),
+    /// Retry under exclusive access ([`FilteredDb::query`] /
+    /// [`FilteredDb::query_batch`]); no counters were consumed.
+    NeedsWrite,
+}
+
+/// What a single shared query observed, so callers (the wire protocol's
+/// `FLAG_STORE_ACCESSED`) don't have to infer it racily from global
+/// counter diffs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The verified value, if present.
+    pub value: Option<Vec<u8>>,
+    /// True if the query read the backing store (filter positive).
+    pub store_accessed: bool,
+    /// True if the query adapted the filter (false-positive feedback).
+    pub adapted: bool,
+}
+
 /// Name of the snapshot manifest inside a [`FilteredDb`]'s directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.aqfdb";
 
@@ -96,7 +183,7 @@ pub struct FilteredDb {
     primary: BTreeStore,
     /// Key->value database in the split setup.
     split_db: Option<BTreeStore>,
-    stats: SystemStats,
+    stats: SysCounters,
     /// Directory holding the database files and snapshot manifest.
     dir: PathBuf,
     /// File-backed filter mode was requested: re-established before each
@@ -134,7 +221,7 @@ impl FilteredDb {
             filter,
             primary,
             split_db,
-            stats: SystemStats::default(),
+            stats: SysCounters::default(),
             dir: dir.to_path_buf(),
             file_backed: false,
         })
@@ -157,9 +244,20 @@ impl FilteredDb {
         )
     }
 
-    /// Operation counters.
+    /// Operation counters (an atomic snapshot; safe to call from any
+    /// thread, including concurrently with shared reads and writes).
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// True if this system's filter supports fully concurrent operation:
+    /// shared (`&self`) queries *and* shared inserts/deletes/adaptations,
+    /// internally synchronized (the sharded AQF's per-shard seqlocks).
+    /// When false, callers must serialize writes against reads
+    /// externally; the shared query path is then still safe among
+    /// readers only.
+    pub fn supports_concurrent_ops(&self) -> bool {
+        self.filter.supports_concurrent_reads()
     }
 
     /// Total disk I/O across stores.
@@ -240,13 +338,14 @@ impl FilteredDb {
         w.bytes(&filter_bytes);
         drop(filter_bytes);
         w.section(*b"STAT");
-        w.u64(self.stats.inserts);
-        w.u64(self.stats.queries);
-        w.u64(self.stats.filter_negatives);
-        w.u64(self.stats.true_positives);
-        w.u64(self.stats.false_positives);
-        w.u64(self.stats.adapts);
-        w.u64(self.stats.deletes);
+        let stats = self.stats.snapshot();
+        w.u64(stats.inserts);
+        w.u64(stats.queries);
+        w.u64(stats.filter_negatives);
+        w.u64(stats.true_positives);
+        w.u64(stats.false_positives);
+        w.u64(stats.adapts);
+        w.u64(stats.deletes);
         w.u8(self.split_db.is_some() as u8);
         // B-tree pages stream straight into the manifest buffer — no
         // store-sized intermediate copy (the store dwarfs the filter).
@@ -330,7 +429,7 @@ impl FilteredDb {
             filter,
             primary,
             split_db,
-            stats,
+            stats: SysCounters::restore(stats),
             dir: dir.to_path_buf(),
             file_backed,
         })
@@ -346,7 +445,7 @@ impl FilteredDb {
     /// Replay location-keyed reverse-map traffic against the B-tree,
     /// carrying displaced records through kick chains.
     fn replay_events(
-        store: &mut BTreeStore,
+        store: &BTreeStore,
         events: &[MapEvent],
         mut carry: Vec<u8>,
     ) -> std::io::Result<()> {
@@ -374,30 +473,51 @@ impl FilteredDb {
         Ok(())
     }
 
+    /// Apply one insert's database writes (shared reference: the B-tree
+    /// stores are internally synchronized).
+    fn apply_insert_plan(&self, key: u64, value: &[u8], plan: &InsertPlan) -> std::io::Result<()> {
+        match plan {
+            InsertPlan::AtKey => self.primary.put(key, value),
+            InsertPlan::AtLoc(fp_key) => match &self.split_db {
+                None => self.primary.put(*fp_key, &Self::value_record(key, value)),
+                Some(db) => {
+                    self.primary.put(*fp_key, &key.to_le_bytes())?;
+                    db.put(key, value)
+                }
+            },
+            InsertPlan::Events(events) => {
+                Self::replay_events(&self.primary, events, Self::value_record(key, value))
+            }
+        }
+    }
+
     /// Insert `key -> value`.
     pub fn insert(&mut self, key: u64, value: &[u8]) -> std::io::Result<Result<(), FilterError>> {
-        self.stats.inserts += 1;
+        self.stats.inserts.fetch_add(1, Relaxed);
         let plan = match self.filter.insert_tracked(key) {
             Ok(p) => p,
             Err(e) => return Ok(Err(e)),
         };
-        match plan {
-            InsertPlan::AtKey => {
-                self.primary.put(key, value)?;
-            }
-            InsertPlan::AtLoc(fp_key) => match &mut self.split_db {
-                None => {
-                    self.primary.put(fp_key, &Self::value_record(key, value))?;
-                }
-                Some(db) => {
-                    self.primary.put(fp_key, &key.to_le_bytes())?;
-                    db.put(key, value)?;
-                }
-            },
-            InsertPlan::Events(events) => {
-                Self::replay_events(&mut self.primary, &events, Self::value_record(key, value))?;
-            }
-        }
+        self.apply_insert_plan(key, value, &plan)?;
+        Ok(Ok(()))
+    }
+
+    /// [`FilteredDb::insert`] through a shared reference. Requires
+    /// [`FilteredDb::supports_concurrent_ops`]; the filter serializes
+    /// internally (per-shard mutexes), the B-tree writes serialize on
+    /// the store's tree lock. Callers wanting a single global write
+    /// order (the server) additionally hold their own write gate.
+    pub fn insert_shared(
+        &self,
+        key: u64,
+        value: &[u8],
+    ) -> std::io::Result<Result<(), FilterError>> {
+        self.stats.inserts.fetch_add(1, Relaxed);
+        let plan = match self.filter.insert_tracked_shared(key) {
+            Ok(p) => p,
+            Err(e) => return Ok(Err(e)),
+        };
+        self.apply_insert_plan(key, value, &plan)?;
         Ok(Ok(()))
     }
 
@@ -406,7 +526,7 @@ impl FilteredDb {
     /// adaptation so the same query never pays again (strong adaptivity)
     /// or pays bounded retries (weak adaptivity).
     pub fn query(&mut self, key: u64) -> std::io::Result<Option<Vec<u8>>> {
-        self.stats.queries += 1;
+        self.stats.queries.fetch_add(1, Relaxed);
         match self.filter.keying() {
             Keying::Key => {
                 let positive = self.filter.contains(key);
@@ -440,11 +560,32 @@ impl FilteredDb {
     /// only delete keys they previously inserted (the collision
     /// probability is then the filter's ε).
     pub fn delete(&mut self, key: u64) -> std::io::Result<Result<bool, FilterError>> {
-        self.stats.deletes += 1;
+        self.stats.deletes.fetch_add(1, Relaxed);
         let plan = match self.filter.delete_tracked(key) {
             Ok(p) => p,
             Err(e) => return Ok(Err(e)),
         };
+        self.apply_delete_plan(key, plan)
+    }
+
+    /// [`FilteredDb::delete`] through a shared reference. Requires
+    /// [`FilteredDb::supports_concurrent_ops`]; same synchronization
+    /// contract as [`FilteredDb::insert_shared`].
+    pub fn delete_shared(&self, key: u64) -> std::io::Result<Result<bool, FilterError>> {
+        self.stats.deletes.fetch_add(1, Relaxed);
+        let plan = match self.filter.delete_tracked_shared(key) {
+            Ok(p) => p,
+            Err(e) => return Ok(Err(e)),
+        };
+        self.apply_delete_plan(key, plan)
+    }
+
+    /// Apply one delete's database writes (shared reference).
+    fn apply_delete_plan(
+        &self,
+        key: u64,
+        plan: DeletePlan,
+    ) -> std::io::Result<Result<bool, FilterError>> {
         match plan {
             DeletePlan::Missing => return Ok(Ok(false)),
             DeletePlan::Decremented => return Ok(Ok(true)),
@@ -479,7 +620,7 @@ impl FilteredDb {
                         }
                     }
                 }
-                if let Some(db) = &mut self.split_db {
+                if let Some(db) = &self.split_db {
                     db.delete(key)?;
                 }
             }
@@ -489,16 +630,16 @@ impl FilteredDb {
 
     /// Key-keyed verification: the filter answered `positive`; a positive
     /// costs one database read under the original key.
-    fn verify_key_keyed(&mut self, key: u64, positive: bool) -> std::io::Result<Option<Vec<u8>>> {
+    fn verify_key_keyed(&self, key: u64, positive: bool) -> std::io::Result<Option<Vec<u8>>> {
         if !positive {
-            self.stats.filter_negatives += 1;
+            self.stats.filter_negatives.fetch_add(1, Relaxed);
             return Ok(None);
         }
         let got = self.primary.get(key)?;
         if got.is_some() {
-            self.stats.true_positives += 1;
+            self.stats.true_positives.fetch_add(1, Relaxed);
         } else {
-            self.stats.false_positives += 1;
+            self.stats.false_positives.fetch_add(1, Relaxed);
         }
         Ok(got)
     }
@@ -530,36 +671,202 @@ impl FilteredDb {
                 // touched the store; post-adapt negatives ended a
                 // false-positive round that already paid.
                 if round == 0 {
-                    self.stats.filter_negatives += 1;
+                    self.stats.filter_negatives.fetch_add(1, Relaxed);
                 }
                 return Ok(None);
             };
             let Some(rec) = self.primary.get(l)? else {
                 // Filter/DB divergence (should not happen).
-                self.stats.false_positives += 1;
+                self.stats.false_positives.fetch_add(1, Relaxed);
                 return Ok(None);
             };
             let stored = u64::from_le_bytes(rec[..8].try_into().unwrap());
             if stored == key {
-                self.stats.true_positives += 1;
-                return match &mut self.split_db {
+                self.stats.true_positives.fetch_add(1, Relaxed);
+                return match &self.split_db {
                     None => Ok(Some(rec[8..].to_vec())),
                     Some(db) => Ok(db.get(key)?),
                 };
             }
-            self.stats.false_positives += 1;
+            self.stats.false_positives.fetch_add(1, Relaxed);
             round += 1;
             if round >= max_rounds {
                 return Ok(None);
             }
             match self.filter.adapt_loc(l, stored, key) {
-                Ok(()) => self.stats.adapts += 1,
+                Ok(()) => {
+                    self.stats.adapts.fetch_add(1, Relaxed);
+                }
                 // Full table or inseparable hashes: stop trying;
                 // the query stays a false positive.
                 Err(_) => return Ok(None),
             }
             loc = self.filter.query_loc(key);
         }
+    }
+
+    /// Shared-path location-keyed verification: like
+    /// [`Self::verify_at_loc`], but counter deltas accumulate in `d`
+    /// (applied by the caller only on [`SharedRead::Done`]) and
+    /// adaptation goes through [`DynFilter::adapt_loc_shared`]. Filters
+    /// without shared adaptation escape with [`SharedRead::NeedsWrite`]
+    /// at the first refuted positive instead of adapting.
+    fn verify_at_loc_shared(
+        &self,
+        key: u64,
+        mut loc: Option<u64>,
+        d: &mut StatsDelta,
+    ) -> std::io::Result<SharedRead<QueryOutcome>> {
+        let max_rounds = match self.filter.adaptivity() {
+            Adaptivity::Strong => usize::MAX,
+            Adaptivity::Weak => WEAK_ADAPT_ROUNDS,
+            Adaptivity::None => 1,
+        };
+        let concurrent = self.filter.supports_concurrent_reads();
+        let mut round = 0usize;
+        let mut adapted = false;
+        let done = |value, store_accessed, adapted| {
+            Ok(SharedRead::Done(QueryOutcome {
+                value,
+                store_accessed,
+                adapted,
+            }))
+        };
+        loop {
+            let Some(l) = loc else {
+                if round == 0 {
+                    d.filter_negatives += 1;
+                    return done(None, false, adapted);
+                }
+                return done(None, true, adapted);
+            };
+            let Some(rec) = self.primary.get(l)? else {
+                d.false_positives += 1;
+                return done(None, true, adapted);
+            };
+            let stored = u64::from_le_bytes(rec[..8].try_into().unwrap());
+            if stored == key {
+                d.true_positives += 1;
+                let value = match &self.split_db {
+                    None => Some(rec[8..].to_vec()),
+                    Some(db) => db.get(key)?,
+                };
+                return done(value, true, adapted);
+            }
+            d.false_positives += 1;
+            round += 1;
+            if round >= max_rounds {
+                return done(None, true, adapted);
+            }
+            if !concurrent {
+                // Adaptation needs `&mut`; hand the whole query to the
+                // exclusive path (the accumulated deltas are discarded).
+                return Ok(SharedRead::NeedsWrite);
+            }
+            match self.filter.adapt_loc_shared(l, stored, key) {
+                Ok(()) => {
+                    d.adapts += 1;
+                    adapted = true;
+                }
+                Err(_) => return done(None, true, adapted),
+            }
+            loc = self.filter.query_loc(key);
+        }
+    }
+
+    /// Query `key` through a shared reference.
+    ///
+    /// Safe concurrently with other shared queries for every filter
+    /// kind; additionally safe concurrently with `*_shared` writes when
+    /// [`FilteredDb::supports_concurrent_ops`] (the AQF read probes go
+    /// through the per-shard seqlock optimistic path, B-tree reads
+    /// through the store's tree lock, and a mid-grow shard parks readers
+    /// on its seqlock until the rebuilt table is published). Counters
+    /// are applied only when the query completes here — a
+    /// [`SharedRead::NeedsWrite`] escape consumes nothing, so the
+    /// exclusive retry counts the query exactly once.
+    pub fn query_shared(&self, key: u64) -> std::io::Result<SharedRead<QueryOutcome>> {
+        let mut d = StatsDelta {
+            queries: 1,
+            ..StatsDelta::default()
+        };
+        let result = match self.filter.keying() {
+            Keying::Key => {
+                let positive = self.filter.contains(key);
+                let got = if positive {
+                    let got = self.primary.get(key)?;
+                    if got.is_some() {
+                        d.true_positives += 1;
+                    } else {
+                        d.false_positives += 1;
+                    }
+                    got
+                } else {
+                    d.filter_negatives += 1;
+                    None
+                };
+                SharedRead::Done(QueryOutcome {
+                    store_accessed: positive,
+                    value: got,
+                    adapted: false,
+                })
+            }
+            Keying::Location => {
+                let loc = self.filter.query_loc(key);
+                self.verify_at_loc_shared(key, loc, &mut d)?
+            }
+        };
+        if matches!(result, SharedRead::Done(_)) {
+            self.stats.apply(&d);
+        }
+        Ok(result)
+    }
+
+    /// Query a batch of keys through a shared reference (see
+    /// [`FilteredDb::query_shared`] for the concurrency contract). All
+    /// filter probes are pipelined ahead of the database reads, exactly
+    /// like [`FilteredDb::query_batch`]. If *any* key needs exclusive
+    /// adaptation the whole batch escapes with [`SharedRead::NeedsWrite`]
+    /// (counters untouched) and the caller retries it exclusively.
+    pub fn query_batch_shared(
+        &self,
+        keys: &[u64],
+    ) -> std::io::Result<SharedRead<Vec<Option<Vec<u8>>>>> {
+        let mut d = StatsDelta {
+            queries: keys.len() as u64,
+            ..StatsDelta::default()
+        };
+        let mut out = Vec::with_capacity(keys.len());
+        match self.filter.keying() {
+            Keying::Key => {
+                let positives = self.filter.contains_batch(keys);
+                for (&key, positive) in keys.iter().zip(positives) {
+                    if positive {
+                        let got = self.primary.get(key)?;
+                        if got.is_some() {
+                            d.true_positives += 1;
+                        } else {
+                            d.false_positives += 1;
+                        }
+                        out.push(got);
+                    } else {
+                        d.filter_negatives += 1;
+                        out.push(None);
+                    }
+                }
+            }
+            Keying::Location => {
+                let locs = self.filter.query_loc_batch(keys);
+                for (&key, loc) in keys.iter().zip(locs) {
+                    match self.verify_at_loc_shared(key, loc, &mut d)? {
+                        SharedRead::Done(o) => out.push(o.value),
+                        SharedRead::NeedsWrite => return Ok(SharedRead::NeedsWrite),
+                    }
+                }
+            }
+        }
+        self.stats.apply(&d);
+        Ok(SharedRead::Done(out))
     }
 
     // ------------------------------------------------------------------
@@ -579,34 +886,33 @@ impl FilteredDb {
         &mut self,
         items: &[(u64, &[u8])],
     ) -> std::io::Result<Result<(), FilterError>> {
-        self.stats.inserts += items.len() as u64;
+        self.stats.inserts.fetch_add(items.len() as u64, Relaxed);
         let keys: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
         let plans = match self.filter.insert_tracked_batch(&keys) {
             Ok(p) => p,
             Err(e) => return Ok(Err(e)),
         };
         for (&(key, value), plan) in items.iter().zip(plans) {
-            match plan {
-                InsertPlan::AtKey => {
-                    self.primary.put(key, value)?;
-                }
-                InsertPlan::AtLoc(fp_key) => match &mut self.split_db {
-                    None => {
-                        self.primary.put(fp_key, &Self::value_record(key, value))?;
-                    }
-                    Some(db) => {
-                        self.primary.put(fp_key, &key.to_le_bytes())?;
-                        db.put(key, value)?;
-                    }
-                },
-                InsertPlan::Events(events) => {
-                    Self::replay_events(
-                        &mut self.primary,
-                        &events,
-                        Self::value_record(key, value),
-                    )?;
-                }
-            }
+            self.apply_insert_plan(key, value, &plan)?;
+        }
+        Ok(Ok(()))
+    }
+
+    /// [`FilteredDb::insert_batch`] through a shared reference. Requires
+    /// [`FilteredDb::supports_concurrent_ops`]; same synchronization
+    /// contract as [`FilteredDb::insert_shared`].
+    pub fn insert_batch_shared(
+        &self,
+        items: &[(u64, &[u8])],
+    ) -> std::io::Result<Result<(), FilterError>> {
+        self.stats.inserts.fetch_add(items.len() as u64, Relaxed);
+        let keys: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+        let plans = match self.filter.insert_tracked_batch_shared(&keys) {
+            Ok(p) => p,
+            Err(e) => return Ok(Err(e)),
+        };
+        for (&(key, value), plan) in items.iter().zip(plans) {
+            self.apply_insert_plan(key, value, &plan)?;
         }
         Ok(Ok(()))
     }
@@ -622,7 +928,7 @@ impl FilteredDb {
     /// key still verifies correctly (its pre-computed probe is refuted by
     /// the database like any false positive).
     pub fn query_batch(&mut self, keys: &[u64]) -> std::io::Result<Vec<Option<Vec<u8>>>> {
-        self.stats.queries += keys.len() as u64;
+        self.stats.queries.fetch_add(keys.len() as u64, Relaxed);
         let mut out = Vec::with_capacity(keys.len());
         match self.filter.keying() {
             Keying::Key => {

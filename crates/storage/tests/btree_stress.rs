@@ -19,7 +19,7 @@ fn temp_store(tag: &str, cache_pages: usize) -> (BTreeStore, std::path::PathBuf)
 
 #[test]
 fn delete_heavy_churn_stays_consistent() {
-    let (mut t, path) = temp_store("churn", 32);
+    let (t, path) = temp_store("churn", 32);
     let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut rng = StdRng::seed_from_u64(3);
     for round in 0..6 {
@@ -51,7 +51,7 @@ fn delete_heavy_churn_stays_consistent() {
 
 #[test]
 fn max_value_boundary() {
-    let (mut t, path) = temp_store("maxval", 64);
+    let (t, path) = temp_store("maxval", 64);
     let big = vec![7u8; aqf_storage::btree::MAX_VALUE_LEN];
     for k in 0..20u64 {
         t.put(k, &big).unwrap();
@@ -95,7 +95,7 @@ proptest! {
         ));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.db");
-        let mut t = BTreeStore::create(&path, IoPolicy::default(), cache).unwrap();
+        let t = BTreeStore::create(&path, IoPolicy::default(), cache).unwrap();
         let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         for (key, op, vlen) in ops {
             match op {

@@ -63,6 +63,7 @@ fn main() {
     let policy = IoPolicy {
         read_delay: Some(Duration::from_micros(50)),
         write_delay: None,
+        yield_io: false,
     };
 
     // Uniform filter selection, like the bench binaries.

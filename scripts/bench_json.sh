@@ -14,13 +14,18 @@
 # - BENCH_PR9.json — fig12_layout re-run (same protocol as PR5) after the
 #   word-parallel shift + prefetched-batch work: the insert-gap and
 #   batched-lookup trajectory point.
+# - BENCH_PR10.json — fig13_server --compare=locking + --idle-conns: the
+#   global-lock vs read/write-split server QPS sweep (read/write mixes,
+#   merged latency percentiles) and the thread-per-connection vs mux
+#   idle-connection capacity comparison, concatenated as a 2-element
+#   JSON array.
 #
 # Usage: scripts/bench_json.sh [pr5_outfile] [pr6_outfile] [pr7_outfile]
-#                              [pr8_outfile] [pr9_outfile]
+#                              [pr8_outfile] [pr9_outfile] [pr10_outfile]
 # Defaults: BENCH_PR5.json / BENCH_PR6.json / BENCH_PR7.json /
-# BENCH_PR8.json / BENCH_PR9.json, with the exact protocols of the
-# recorded tables in BENCHMARKS.md. Set SKIP_PR5=1 … SKIP_PR9=1 to emit a
-# subset.
+# BENCH_PR8.json / BENCH_PR9.json / BENCH_PR10.json, with the exact
+# protocols of the recorded tables in BENCHMARKS.md. Set SKIP_PR5=1 …
+# SKIP_PR10=1 to emit a subset.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +34,7 @@ PR6_OUT="${2:-BENCH_PR6.json}"
 PR7_OUT="${3:-BENCH_PR7.json}"
 PR8_OUT="${4:-BENCH_PR8.json}"
 PR9_OUT="${5:-BENCH_PR9.json}"
+PR10_OUT="${6:-BENCH_PR10.json}"
 
 if [[ -z "${SKIP_PR5:-}" ]]; then
   cargo build --release --locked -p aqf-bench --bin fig12_layout
@@ -68,4 +74,27 @@ if [[ -z "${SKIP_PR9:-}" ]]; then
     --qbits=24 --queries=2000000 --loads=0.5,0.8,0.9,0.95 --reps=5 \
     --filter=aqf,qf --json="$PR9_OUT"
   echo "perf point written to $PR9_OUT"
+fi
+
+if [[ -z "${SKIP_PR10:-}" ]]; then
+  cargo build --release --locked -p aqf-bench --bin fig13_server
+  # qbits/load sized so the whole mixed sweep's fresh inserts fit
+  # without triggering an auto-grow rebuild mid-cell; half the queries
+  # are filter negatives and store I/O costs 20us/page against a
+  # 64-page cache, the workload a filter front exists for. The sweep
+  # stops at the default worker-pool cap (8): beyond it, connections
+  # rotate through workers on idle ticks and that rotation — identical
+  # in both lock modes — dominates, which is the regime the mux
+  # (--idle-conns below) is for.
+  ./target/release/fig13_server \
+    --compare=locking --qbits=21 --load=0.0375 --max-conns=8 --ops=8000 \
+    --pipeline=32 --mixes=100,90 --reps=10 --absent-pct=50 --io-us=20 \
+    --cache-pages=64 --json="$PR10_OUT.locking"
+  ./target/release/fig13_server \
+    --idle-conns=64 --idle-factor=4 --qbits=12 --json="$PR10_OUT.idle"
+  # Concatenate the two sections into one JSON array.
+  { echo '['; cat "$PR10_OUT.locking"; echo ','; cat "$PR10_OUT.idle"; echo ']'; } \
+    > "$PR10_OUT"
+  rm -f "$PR10_OUT.locking" "$PR10_OUT.idle"
+  echo "perf point written to $PR10_OUT"
 fi

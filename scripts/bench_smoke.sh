@@ -22,6 +22,10 @@ $RUN fig12_layout -- --qbits=8 --queries=2000 --loads=0.5,0.9 --reps=1 --filter=
 $RUN fig12_layout -- --qbits=8 --queries=2000 --batch=16 --loads=0.9 --reps=1 --filter=aqf,qf
 $RUN fig12_layout -- --qbits=8 --queries=2000 --batch=256 --loads=0.9 --reps=1 --filter=aqf,qf
 $RUN fig13_server -- --qbits=9 --ops=1000 --max-conns=2 --batch=16 --filter=sharded-aqf,qf
+# PR 10 modes: global-lock vs read/write-split sweep, and the mux
+# idle-connection capacity path.
+$RUN fig13_server -- --compare=locking --qbits=9 --ops=500 --max-conns=2 --reps=1 --mixes=90
+$RUN fig13_server -- --idle-conns=8 --idle-factor=2 --qbits=9
 $RUN fig14_resize -- --qbits-start=8 --qbits-final=10 --file-qbits=14 --reps=1 --filter=aqf,sharded-aqf
 $RUN sec69_extra_space -- --qbits=8 --queries=1000 --io-us=1 --filter=qf,cf
 $RUN tab1_space -- --qbits=8 --probes=1000 --filter=all
